@@ -1,0 +1,108 @@
+//! Criterion benches for every pipeline stage: tensor construction,
+//! sparsification, prefetch passes, functional interpretation, and
+//! simulated execution. Sized to run quickly (the figure regeneration
+//! binaries do the heavy lifting; these track compiler/simulator
+//! performance regressions).
+
+use asap_core::{ainsworth_jones, AjConfig, AsapConfig, AsapHook};
+use asap_ir::{dce, licm, NullModel};
+use asap_matrices::gen;
+use asap_sim::{GracemontConfig, Machine, PrefetcherConfig};
+use asap_sparsifier::{run, sparsify, KernelSpec};
+use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_tensor_build(c: &mut Criterion) {
+    let tri = gen::erdos_renyi(10_000, 8, 1).to_coo_f64();
+    let mut g = c.benchmark_group("tensor_build");
+    g.throughput(Throughput::Elements(tri.nnz() as u64));
+    for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
+        g.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &fmt, |b, fmt| {
+            b.iter(|| SparseTensor::from_coo(&tri, fmt.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparsify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparsify");
+    for (name, spec, fmt) in [
+        ("spmv_csr", KernelSpec::spmv(ValueKind::F64), Format::csr()),
+        ("spmv_coo", KernelSpec::spmv(ValueKind::F64), Format::coo()),
+        ("spmv_dcsr", KernelSpec::spmv(ValueKind::F64), Format::dcsr()),
+        ("spmm_csr", KernelSpec::spmm(ValueKind::F64), Format::csr()),
+        ("mttkrp_csf3", KernelSpec::mttkrp(ValueKind::F64), Format::csf(3)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| sparsify(&spec, &fmt, IndexWidth::U32, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let mut g = c.benchmark_group("passes");
+    g.bench_function("asap_inject", |b| {
+        b.iter(|| {
+            let mut hook = AsapHook::new(AsapConfig::paper());
+            sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap()
+        })
+    });
+    g.bench_function("aj_pass", |b| {
+        b.iter(|| {
+            let mut k = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
+            ainsworth_jones(&mut k.func, &AjConfig::paper())
+        })
+    });
+    g.bench_function("licm_dce", |b| {
+        let mut hook = AsapHook::new(AsapConfig::paper());
+        let k = sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap();
+        b.iter(|| {
+            let mut f = k.func.clone();
+            licm(&mut f);
+            dce(&mut f)
+        })
+    });
+    g.finish();
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let tri = gen::erdos_renyi(20_000, 8, 7);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csr(), sparse.index_width(), None).unwrap();
+    let x = DenseTensor::from_f64(vec![20_000], vec![1.0; 20_000]);
+    let mut g = c.benchmark_group("execution");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(sparse.nnz() as u64));
+    g.bench_function("interpret_spmv_null", |b| {
+        b.iter(|| {
+            let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
+            run(&kernel, &sparse, &[&x], &mut out, &mut NullModel).unwrap()
+        })
+    });
+    g.bench_function("interpret_spmv_simulated", |b| {
+        b.iter(|| {
+            let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
+            let mut m = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
+            run(&kernel, &sparse, &[&x], &mut out, &mut m).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tensor_build, bench_sparsify, bench_passes, bench_execution
+}
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! `asap_cli` — run SpMV/SpMM on any MatrixMarket file (or a named
+//! generator) under any variant and prefetcher configuration, printing
+//! the PMU-style counters. The "try it on your own matrix" entry point.
+//!
+//! ```sh
+//! asap_cli --matrix path/to/matrix.mtx --kernel spmv --variant asap \
+//!          --hw optimized --distance 45
+//! asap_cli --gen rmat:16:8 --kernel spmm --variant aj
+//! ```
+
+use asap_bench::{run_spmm, run_spmv, Variant, SPMM_COLS_F64};
+use asap_matrices::{gen, read_matrix_market, Triplets};
+use asap_sim::{GracemontConfig, PrefetcherConfig};
+use std::io::BufReader;
+
+struct Args {
+    tri: Triplets,
+    name: String,
+    kernel: String,
+    variant: Variant,
+    hw: (String, PrefetcherConfig),
+    paper_caches: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asap_cli (--matrix FILE.mtx | --gen KIND:ARGS) \
+         [--kernel spmv|spmm] [--variant baseline|asap|aj] \
+         [--distance N] [--hw default|optimized|off] [--paper-caches]\n\
+         generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
+    );
+    std::process::exit(2);
+}
+
+fn parse_gen(spec: &str) -> (String, Triplets) {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let p = |i: usize| -> usize { parts[i].parse().expect("numeric generator arg") };
+    let tri = match parts[0] {
+        "rmat" => gen::rmat(p(1) as u32, p(2), 1),
+        "er" => gen::erdos_renyi(p(1), p(2), 1),
+        "road" => gen::road_network(p(1), 1),
+        "banded" => gen::banded(p(1), p(2), 1),
+        "powerlaw" => gen::power_law(p(1), p(2), 1.0, 1),
+        _ => usage(),
+    };
+    let mut tri = tri;
+    if tri.binary {
+        for (i, v) in tri.vals.iter_mut().enumerate() {
+            *v = 0.25 + (i % 7) as f64 * 0.1;
+        }
+        tri.binary = false;
+    }
+    (spec.to_string(), tri)
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut tri = None;
+    let mut name = String::new();
+    let mut kernel = "spmv".to_string();
+    let mut variant_name = "asap".to_string();
+    let mut distance = 45usize;
+    let mut hw_name = "optimized".to_string();
+    let mut paper_caches = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--matrix" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let f = std::fs::File::open(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot open {path}: {e}");
+                    std::process::exit(1);
+                });
+                let t = read_matrix_market(BufReader::new(f)).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(1);
+                });
+                name = path;
+                let mut t = t;
+                if t.binary {
+                    for (i, v) in t.vals.iter_mut().enumerate() {
+                        *v = 0.25 + (i % 7) as f64 * 0.1;
+                    }
+                    t.binary = false;
+                }
+                tri = Some(t);
+            }
+            "--gen" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (n, t) = parse_gen(&spec);
+                name = n;
+                tri = Some(t);
+            }
+            "--kernel" => kernel = args.next().unwrap_or_else(|| usage()),
+            "--variant" => variant_name = args.next().unwrap_or_else(|| usage()),
+            "--distance" => {
+                distance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--hw" => hw_name = args.next().unwrap_or_else(|| usage()),
+            "--paper-caches" => paper_caches = true,
+            _ => usage(),
+        }
+    }
+    let tri = tri.unwrap_or_else(|| usage());
+    let variant = match variant_name.as_str() {
+        "baseline" => Variant::Baseline,
+        "asap" => Variant::Asap { distance },
+        "aj" => Variant::AinsworthJones { distance },
+        _ => usage(),
+    };
+    let hw = match hw_name.as_str() {
+        "default" => PrefetcherConfig::hw_default(),
+        "optimized" => {
+            if kernel == "spmm" {
+                PrefetcherConfig::optimized_spmm()
+            } else {
+                PrefetcherConfig::optimized_spmv()
+            }
+        }
+        "off" => PrefetcherConfig::all_off(),
+        _ => usage(),
+    };
+    Args {
+        tri,
+        name,
+        kernel,
+        variant,
+        hw: (hw_name, hw),
+        paper_caches,
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let cfg = if a.paper_caches {
+        GracemontConfig::paper()
+    } else {
+        GracemontConfig::scaled()
+    };
+    println!(
+        "matrix {} : {}x{}, {} nnz",
+        a.name,
+        a.tri.nrows,
+        a.tri.ncols,
+        a.tri.nnz()
+    );
+    let r = match a.kernel.as_str() {
+        "spmv" => run_spmv(
+            &a.tri, &a.name, "cli", true, a.variant, a.hw.1, &a.hw.0, cfg,
+        ),
+        "spmm" => run_spmm(
+            &a.tri, &a.name, "cli", true, SPMM_COLS_F64, a.variant, a.hw.1, &a.hw.0, cfg,
+        ),
+        _ => usage(),
+    };
+    println!("kernel        : {}", r.kernel);
+    println!("variant       : {}", r.variant);
+    println!("hw prefetchers: {}", r.hw_config);
+    println!("cycles        : {}", r.cycles);
+    println!("instructions  : {}", r.instructions);
+    println!("throughput    : {:.0} nnz/ms", r.throughput);
+    println!("L2 MPKI       : {:.2}", r.l2_mpki);
+    println!("sw prefetches : {} issued, {} dropped", r.sw_pf_issued, r.sw_pf_dropped);
+    println!("hw prefetches : {} issued", r.hw_pf_issued);
+    println!("DRAM traffic  : {:.1} MB", r.dram_bytes as f64 / 1e6);
+    println!("stall cycles  : {} ({:.1}%)", r.stall_cycles, 100.0 * r.stall_cycles as f64 / r.cycles as f64);
+}

@@ -1,0 +1,60 @@
+//! Figure 10: Equal-Work harmonic-mean Speedup (EWS) for SpMM across
+//! matrix groups (single-threaded, 8 dense columns).
+//!
+//! Paper shape: ~1.28x for the unstructured aggregate ("Selected"),
+//! ~1.02x for the rest; hardware-prefetcher configuration differences are
+//! negligible for SpMM (which is why Figure 10 omits the "-default" bars).
+
+use asap_bench::{harmonic_mean, run_spmm, ExperimentResult, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64};
+use asap_matrices::{spmm_collection, UNSTRUCTURED_GROUPS};
+use asap_sim::{GracemontConfig, PrefetcherConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = GracemontConfig::scaled();
+    let pf = PrefetcherConfig::optimized_spmm();
+
+    let mut base_thr = Vec::new();
+    let mut asap_thr = Vec::new();
+    let mut groups: Vec<(String, bool)> = Vec::new();
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    for m in spmm_collection(opts.size) {
+        let tri = m.materialize();
+        groups.push((m.group.clone(), m.unstructured));
+        let b = run_spmm(
+            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
+            Variant::Baseline, pf, "optimized", cfg,
+        );
+        let a = run_spmm(
+            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
+            Variant::Asap { distance: PAPER_DISTANCE }, pf, "optimized", cfg,
+        );
+        base_thr.push(b.throughput);
+        asap_thr.push(a.throughput);
+        results.push(b);
+        results.push(a);
+    }
+
+    println!("# Figure 10: SpMM EWS by group (ASaP vs baseline)");
+    println!("{:<12} {:>9}", "group", "asap");
+    let mut names: Vec<String> = UNSTRUCTURED_GROUPS.iter().map(|s| s.to_string()).collect();
+    names.push("Selected".into());
+    names.push("Others".into());
+    for g in &names {
+        let pick = |i: usize| match g.as_str() {
+            "Selected" => groups[i].1,
+            "Others" => !groups[i].1,
+            name => groups[i].0 == name,
+        };
+        let a: Vec<f64> = asap_thr.iter().enumerate().filter(|(i, _)| pick(*i)).map(|(_, &t)| t).collect();
+        let b: Vec<f64> = base_thr.iter().enumerate().filter(|(i, _)| pick(*i)).map(|(_, &t)| t).collect();
+        if a.is_empty() {
+            println!("{g:<12} {:>9}", "-");
+        } else {
+            println!("{g:<12} {:>9.3}", harmonic_mean(&a) / harmonic_mean(&b));
+        }
+    }
+    println!();
+    println!("paper reference: Selected ~1.28, Others ~1.02");
+    opts.save(&results);
+}

@@ -1,0 +1,53 @@
+//! Figure 6: SpMV speedup (ASaP vs baseline) versus baseline L2 MPKI,
+//! single-threaded, over the footprint-selected collection.
+//!
+//! Paper shape to reproduce: slowdown (<1) at low MPKI from instruction
+//! overhead, speedup growing with MPKI, break-even at a small MPKI, and
+//! >2x speedups for the most memory-bound matrices.
+
+use asap_bench::{linear_fit, run_spmv, Options, Variant, PAPER_DISTANCE};
+use asap_matrices::synthetic_collection;
+use asap_sim::{GracemontConfig, PrefetcherConfig};
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = GracemontConfig::scaled();
+    let pf = PrefetcherConfig::optimized_spmv();
+    let mut results = Vec::new();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+
+    println!("# Figure 6: SpMV speedup (ASaP/baseline) vs baseline L2 MPKI");
+    println!("{:<24} {:>10} {:>10} {:>8}", "matrix", "mpki", "speedup", "nnz(M)");
+    for m in synthetic_collection(opts.size) {
+        let tri = m.materialize();
+        let base = run_spmv(
+            &tri, &m.name, &m.group, m.unstructured,
+            Variant::Baseline, pf, "optimized", cfg,
+        );
+        let asap = run_spmv(
+            &tri, &m.name, &m.group, m.unstructured,
+            Variant::Asap { distance: PAPER_DISTANCE }, pf, "optimized", cfg,
+        );
+        let speedup = asap.throughput / base.throughput;
+        println!(
+            "{:<24} {:>10.2} {:>10.3} {:>8.2}",
+            m.name,
+            base.l2_mpki,
+            speedup,
+            base.nnz as f64 / 1e6
+        );
+        xs.push(base.l2_mpki);
+        ys.push(speedup);
+        results.push(base);
+        results.push(asap);
+    }
+
+    let (slope, intercept, r2) = linear_fit(&xs, &ys);
+    let breakeven = (1.0 - intercept) / slope;
+    println!();
+    println!("linear fit: y = {slope:.4}x + {intercept:.3}  (R^2 = {r2:.3})");
+    println!("break-even MPKI: {breakeven:.2}");
+    println!("paper reference: break-even ~4 MPKI, y(0) ~0.9, y(50) > 2");
+    opts.save(&results);
+}

@@ -1,0 +1,90 @@
+//! Figure 7: Equal-Work harmonic-mean Speedup (EWS) for SpMV across
+//! matrix groups, single-threaded, with "-default" (out-of-box hardware
+//! prefetchers) and optimized (L1 NLP and L2 AMP disabled) configurations.
+//!
+//! Paper shape: ASaP ~1.42x on the Selected (unstructured) aggregate with
+//! optimized prefetchers, consistently above ASaP-default; the baseline
+//! is roughly insensitive to the configuration; "Others" regresses (~0.8x).
+
+use asap_bench::{harmonic_mean, run_spmv, ExperimentResult, Options, Variant, PAPER_DISTANCE};
+use asap_matrices::{synthetic_collection, UNSTRUCTURED_GROUPS};
+use asap_sim::{GracemontConfig, PrefetcherConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = GracemontConfig::scaled();
+    let configs = [
+        ("baseline", Variant::Baseline, PrefetcherConfig::optimized_spmv()),
+        ("baseline-default", Variant::Baseline, PrefetcherConfig::hw_default()),
+        ("asap", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::optimized_spmv()),
+        ("asap-default", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::hw_default()),
+    ];
+
+    // throughput[config][matrix index]
+    let mut thr: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    let mut groups: Vec<(String, bool)> = Vec::new();
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    for m in synthetic_collection(opts.size) {
+        let tri = m.materialize();
+        groups.push((m.group.clone(), m.unstructured));
+        for (label, v, pf) in &configs {
+            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg);
+            thr.entry(label).or_default().push(r.throughput);
+            results.push(r);
+        }
+    }
+
+    let ews_of = |label: &str, pick: &dyn Fn(usize) -> bool| -> Option<f64> {
+        let sel: Vec<f64> = thr[label]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick(*i))
+            .map(|(_, &t)| t)
+            .collect();
+        let base: Vec<f64> = thr["baseline"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick(*i))
+            .map(|(_, &t)| t)
+            .collect();
+        if sel.is_empty() {
+            None
+        } else {
+            Some(harmonic_mean(&sel) / harmonic_mean(&base))
+        }
+    };
+
+    println!("# Figure 7: SpMV EWS by group (relative to baseline w/ optimized prefetchers)");
+    println!(
+        "{:<12} {:>9} {:>17} {:>9} {:>13}",
+        "group", "baseline", "baseline-default", "asap", "asap-default"
+    );
+    let mut group_names: Vec<String> = UNSTRUCTURED_GROUPS.iter().map(|s| s.to_string()).collect();
+    group_names.push("Selected".into());
+    group_names.push("Others".into());
+    for g in &group_names {
+        let groups = &groups;
+        let gname = g.clone();
+        let pick: Box<dyn Fn(usize) -> bool> = match g.as_str() {
+            "Selected" => Box::new(move |i: usize| groups[i].1),
+            "Others" => Box::new(move |i: usize| !groups[i].1),
+            _ => Box::new(move |i: usize| groups[i].0 == gname),
+        };
+        let row: Vec<String> = ["baseline", "baseline-default", "asap", "asap-default"]
+            .iter()
+            .map(|l| {
+                ews_of(l, &*pick)
+                    .map(|x| format!("{x:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            })
+            .collect();
+        println!(
+            "{:<12} {:>9} {:>17} {:>9} {:>13}",
+            g, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!();
+    println!("paper reference: Selected asap ~1.42, Others asap ~0.8, asap > asap-default");
+    opts.save(&results);
+}

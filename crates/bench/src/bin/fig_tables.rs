@@ -1,0 +1,50 @@
+//! Tables 1 and 2: the experimental-platform configuration and the
+//! hardware-prefetcher inventory, as encoded in the simulator.
+
+use asap_sim::{table2, GracemontConfig, PrefetcherConfig};
+
+fn print_table1(cfg: &GracemontConfig, label: &str) {
+    println!("## Table 1 ({label} preset): system configuration");
+    println!("CPU model            | Gracemont-like simulated core");
+    println!("Frequency            | {:.1} GHz", cfg.freq_hz as f64 / 1e9);
+    println!("Retire width         | {} instructions/cycle", cfg.ipc_base);
+    println!(
+        "L1D / L2 / L3        | {} KB / {} KB / {} MB",
+        cfg.l1.size_bytes / 1024,
+        cfg.l2.size_bytes / 1024,
+        cfg.l3.size_bytes / 1024 / 1024
+    );
+    println!(
+        "Latencies (L1/L2/L3) | {} / {} / {} cycles",
+        cfg.l1.latency, cfg.l2.latency, cfg.l3.latency
+    );
+    println!(
+        "MSHRs (L1/L2)        | {} / {}",
+        cfg.l1_mshrs, cfg.l2_mshrs
+    );
+    println!(
+        "DRAM                 | {} cycles latency, 1 line / {} cycles (~{:.1} GB/s)",
+        cfg.dram_latency,
+        cfg.dram_line_interval,
+        cfg.freq_hz as f64 * 64.0 / cfg.dram_line_interval as f64 / 1e9
+    );
+    println!(
+        "OoO model            | overlap window {} cycles, MLP width {}, FP op {} cycles",
+        cfg.overlap_cycles, cfg.mlp_width, cfg.fp_op_cycles
+    );
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "table1" || which == "all" {
+        print_table1(&GracemontConfig::paper(), "paper");
+        print_table1(&GracemontConfig::scaled(), "scaled evaluation");
+    }
+    if which == "table2" || which == "all" {
+        println!("## Table 2: hardware prefetchers, SpMV-optimized setting");
+        println!("{}", table2(&PrefetcherConfig::optimized_spmv()));
+        println!("## Table 2: hardware prefetchers, SpMM-optimized setting");
+        println!("{}", table2(&PrefetcherConfig::optimized_spmm()));
+    }
+}

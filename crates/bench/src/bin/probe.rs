@@ -1,0 +1,56 @@
+//! Development probe: sanity-check the simulator's qualitative shapes on
+//! a few matrices before running the full figure sweeps. Not part of the
+//! paper's artifact set, but useful when tuning the machine model.
+
+use asap_bench::{run_spmv, Variant, PAPER_DISTANCE};
+use asap_matrices::gen;
+use asap_sim::{GracemontConfig, PrefetcherConfig};
+use std::time::Instant;
+
+fn main() {
+    let cfg = GracemontConfig::scaled();
+    let matrices = [
+        ("er-300k", gen::erdos_renyi(300_000, 8, 51), true),
+        ("road-500k", gen::road_network(500_000, 31), true),
+        ("banded-400k", gen::banded(400_000, 4, 71), false),
+    ];
+    let variants = [
+        Variant::Baseline,
+        Variant::Asap {
+            distance: PAPER_DISTANCE,
+        },
+        Variant::AinsworthJones {
+            distance: PAPER_DISTANCE,
+        },
+    ];
+    let hw = [
+        ("default", PrefetcherConfig::hw_default()),
+        ("optimized", PrefetcherConfig::optimized_spmv()),
+        ("alloff", PrefetcherConfig::all_off()),
+    ];
+    println!(
+        "{:<14} {:<10} {:<10} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "matrix", "variant", "hw", "mpki", "thrpt", "wall_s", "swpf_drop", "hwpf", "stall%"
+    );
+    for (name, tri, unstructured) in &matrices {
+        for v in &variants {
+            for (hw_name, pf) in &hw {
+                let t0 = Instant::now();
+                let r = run_spmv(tri, name, "probe", *unstructured, *v, *pf, hw_name, cfg);
+                println!(
+                    "{:<14} {:<10} {:<10} {:>8.2} {:>10.0} {:>8.2} {:>10} {:>10} {:>9.1}%",
+                    name,
+                    r.variant,
+                    hw_name,
+                    r.l2_mpki,
+                    r.throughput,
+                    t0.elapsed().as_secs_f64(),
+                    r.sw_pf_dropped,
+                    r.hw_pf_issued,
+                    100.0 * r.stall_cycles as f64 / r.cycles as f64,
+                );
+            }
+        }
+        println!();
+    }
+}

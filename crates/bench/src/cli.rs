@@ -1,0 +1,116 @@
+//! Tiny argument parsing and result persistence shared by the `fig*`
+//! binaries (no external CLI crate needed).
+
+use crate::run::ExperimentResult;
+use asap_matrices::SizeClass;
+use std::path::PathBuf;
+
+/// Common options: `--size tiny|small|full` and `--out <path.json>`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub size: SizeClass,
+    pub out: Option<PathBuf>,
+}
+
+impl Options {
+    pub fn from_args() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut size = SizeClass::Full;
+        let mut out = None;
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--size" => {
+                    let v = it.next().expect("--size needs a value");
+                    size = match v.as_str() {
+                        "tiny" => SizeClass::Tiny,
+                        "small" => SizeClass::Small,
+                        "full" => SizeClass::Full,
+                        other => panic!("unknown size {other} (tiny|small|full)"),
+                    };
+                }
+                "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
+                other => panic!("unknown argument {other}"),
+            }
+        }
+        Options { size, out }
+    }
+
+    /// Dump results as JSON next to printing the table.
+    pub fn save(&self, results: &[ExperimentResult]) {
+        if let Some(path) = &self.out {
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir).expect("create output dir");
+            }
+            let json = serde_json::to_string_pretty(results).expect("serialize results");
+            std::fs::write(path, json).expect("write results");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Least-squares linear fit `y = slope*x + intercept`, with R².
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    assert!(n >= 2.0, "need at least two points");
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (slope, intercept, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_size_and_out() {
+        let o = Options::parse(
+            ["--size", "tiny", "--out", "/tmp/x.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.size, SizeClass::Tiny);
+        assert_eq!(o.out.unwrap().to_str().unwrap(), "/tmp/x.json");
+    }
+
+    #[test]
+    fn default_is_full() {
+        let o = Options::parse(std::iter::empty());
+        assert_eq!(o.size, SizeClass::Full);
+        assert!(o.out.is_none());
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.7 * x + 0.9).collect();
+        let (s, i, r2) = linear_fit(&xs, &ys);
+        assert!((s - 0.7).abs() < 1e-12);
+        assert!((i - 0.9).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown size")]
+    fn rejects_bad_size() {
+        Options::parse(["--size", "huge"].iter().map(|s| s.to_string()));
+    }
+}

@@ -1,0 +1,58 @@
+//! Equal-Work harmonic-mean Speedup (EWS), per Eeckhout 2024 — the
+//! paper's aggregation metric (Section 5): summarize per-matrix
+//! throughputs with a harmonic mean and report the ratio.
+
+/// Harmonic mean of strictly-positive values.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "harmonic mean of an empty set");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "harmonic mean requires positive values"
+    );
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// EWS of variant `a` over variant `b`: ratio of harmonic means of their
+/// per-matrix throughputs (same matrix order in both slices).
+pub fn ews_speedup(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EWS compares matched throughput sets");
+    harmonic_mean(a) / harmonic_mean(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_dominated_by_small_values() {
+        // One slow matrix drags the mean down much more than the
+        // geometric mean would — the paper's argument for EWS.
+        let hm = harmonic_mean(&[100.0, 1.0]);
+        assert!(hm < 2.0);
+    }
+
+    #[test]
+    fn ews_of_identical_sets_is_one() {
+        let t = [3.0, 5.0, 7.0];
+        assert!((ews_speedup(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ews_uniform_speedup_is_preserved() {
+        let b = [2.0, 4.0, 8.0];
+        let a: Vec<f64> = b.iter().map(|x| 1.5 * x).collect();
+        assert!((ews_speedup(&a, &b) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_throughput() {
+        harmonic_mean(&[1.0, 0.0]);
+    }
+}

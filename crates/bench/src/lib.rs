@@ -1,0 +1,27 @@
+//! # asap-bench — experiment harness regenerating every table and figure
+//!
+//! Shared machinery for the `fig*` binaries: running a kernel variant on
+//! a matrix under a simulator configuration, collecting paper-style
+//! metrics (throughput in nnz/ms, L2 MPKI), and the Equal-Work harmonic
+//! mean Speedup (EWS) aggregation of Section 5.
+
+pub mod cli;
+pub mod ews;
+pub mod predict;
+pub mod run;
+pub mod table;
+
+pub use ews::{ews_speedup, harmonic_mean};
+pub use run::{
+    run_spmm, run_spmm_threads, run_spmv, run_spmv_threads, ExperimentResult, Variant,
+};
+pub use cli::{linear_fit, Options};
+pub use predict::{aj_coverage, predict_asap_over_aj, predicted_advantage};
+pub use table::{fmt_f64, markdown_table};
+
+/// Paper-fixed prefetch distance (Section 4.3).
+pub const PAPER_DISTANCE: usize = 45;
+
+/// Dense columns for SpMM with f64 values: one cache line per row
+/// (Section 5.2).
+pub const SPMM_COLS_F64: usize = 8;

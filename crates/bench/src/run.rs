@@ -1,0 +1,508 @@
+//! Running one (matrix, kernel, variant, prefetcher-config) experiment on
+//! the simulator and extracting the paper's metrics.
+
+use asap_core::{compile_with_width, CompiledKernel, PrefetchStrategy};
+use asap_ir::{interpret, V};
+use asap_matrices::Triplets;
+use asap_sim::{run_parallel, GracemontConfig, Machine, PrefetcherConfig};
+use asap_sparsifier::{bind, KernelArg, KernelSpec};
+use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
+use serde::Serialize;
+
+/// Which implementation variant to run (paper Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    Baseline,
+    Asap { distance: usize },
+    AinsworthJones { distance: usize },
+}
+
+impl Variant {
+    pub fn strategy(&self) -> PrefetchStrategy {
+        match *self {
+            Variant::Baseline => PrefetchStrategy::none(),
+            Variant::Asap { distance } => PrefetchStrategy::asap(distance),
+            Variant::AinsworthJones { distance } => PrefetchStrategy::aj(distance),
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::Asap { .. } => "asap",
+            Variant::AinsworthJones { .. } => "aj",
+        }
+    }
+}
+
+/// One experiment's outcome, serializable for EXPERIMENTS.md tooling.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    pub matrix: String,
+    pub group: String,
+    pub unstructured: bool,
+    pub kernel: String,
+    pub variant: String,
+    pub hw_config: String,
+    pub threads: usize,
+    pub nnz: usize,
+    pub cycles: u64,
+    pub instructions: u64,
+    /// nnz processed per millisecond at the configured frequency — the
+    /// paper's throughput metric.
+    pub throughput: f64,
+    /// L2 MPKI of this run.
+    pub l2_mpki: f64,
+    pub sw_pf_issued: u64,
+    pub sw_pf_dropped: u64,
+    pub hw_pf_issued: u64,
+    pub dram_bytes: u64,
+    pub stall_cycles: u64,
+}
+
+fn result_from(
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    kernel: &str,
+    variant: Variant,
+    hw_name: &str,
+    threads: usize,
+    nnz: usize,
+    cfg: &GracemontConfig,
+    agg: asap_sim::Counters,
+    dram_bytes: u64,
+) -> ExperimentResult {
+    let ms = cfg.cycles_to_seconds(agg.cycles) * 1e3;
+    ExperimentResult {
+        matrix: name.to_string(),
+        group: group.to_string(),
+        unstructured,
+        kernel: kernel.to_string(),
+        variant: variant.label().to_string(),
+        hw_config: hw_name.to_string(),
+        threads,
+        nnz,
+        cycles: agg.cycles,
+        instructions: agg.instructions,
+        throughput: nnz as f64 / ms,
+        l2_mpki: agg.l2_mpki(),
+        sw_pf_issued: agg.sw_pf_issued,
+        sw_pf_dropped: agg.sw_pf_dropped,
+        hw_pf_issued: agg.hw_pf_issued,
+        dram_bytes,
+        stall_cycles: agg.stall_cycles,
+    }
+}
+
+/// Deterministic dense vector values.
+fn x_vector(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.25 + (i % 31) as f64 * 0.125).collect()
+}
+
+fn compile_spmv(t: &SparseTensor, variant: Variant) -> CompiledKernel {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    compile_with_width(&spec, t.format(), t.index_width(), &variant.strategy())
+        .expect("spmv compiles")
+}
+
+/// Single-threaded SpMV of `tri` under the given variant and hardware
+/// prefetcher configuration. The result is verified against the dense
+/// reference.
+pub fn run_spmv(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+) -> ExperimentResult {
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let ck = compile_spmv(&sparse, variant);
+    let x = x_vector(tri.ncols);
+    let mut machine = Machine::new(cfg, pf);
+    let y = asap_core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+    verify_close(&y, &tri.dense_spmv(&x), name);
+    let dram = machine.dram_bytes_total();
+    result_from(
+        name,
+        group,
+        unstructured,
+        "spmv",
+        variant,
+        hw_name,
+        1,
+        sparse.nnz(),
+        &cfg,
+        machine.counters(),
+        dram,
+    )
+}
+
+/// Single-threaded SpMM (`A = B·C`, `n_cols` dense columns).
+pub fn run_spmm(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    n_cols: usize,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+) -> ExperimentResult {
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let spec = KernelSpec::spmm(ValueKind::F64);
+    let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &variant.strategy())
+        .expect("spmm compiles");
+    let c = DenseTensor::from_f64(
+        vec![tri.ncols, n_cols],
+        (0..tri.ncols * n_cols)
+            .map(|i| 0.5 + (i % 17) as f64 * 0.0625)
+            .collect(),
+    );
+    let mut machine = Machine::new(cfg, pf);
+    let a = asap_core::run_spmm_f64_with(&ck, &sparse, &c, &mut machine);
+    // Spot-verify one column against the SpMV reference.
+    let col0: Vec<f64> = (0..tri.ncols).map(|j| c.as_f64()[j * n_cols]).collect();
+    let a0: Vec<f64> = (0..tri.nrows).map(|i| a.as_f64()[i * n_cols]).collect();
+    verify_close(&a0, &tri.dense_spmv(&col0), name);
+    let dram = machine.dram_bytes_total();
+    result_from(
+        name,
+        group,
+        unstructured,
+        "spmm",
+        variant,
+        hw_name,
+        1,
+        sparse.nnz(),
+        &cfg,
+        machine.counters(),
+        dram,
+    )
+}
+
+/// Slice rows `[r0, r1)` of a matrix into a standalone sub-matrix.
+fn row_slice(tri: &Triplets, r0: usize, r1: usize) -> Triplets {
+    let mut s = Triplets::new(r1 - r0, tri.ncols);
+    s.binary = tri.binary;
+    for i in 0..tri.nnz() {
+        let r = tri.rows[i];
+        if r >= r0 && r < r1 {
+            s.push(r - r0, tri.cols[i], tri.vals[i]);
+        }
+    }
+    s
+}
+
+/// Split rows into `n` contiguous chunks of roughly equal nnz.
+fn partition_rows(tri: &Triplets, n: usize) -> Vec<(usize, usize)> {
+    let deg = tri.row_degrees();
+    let total: usize = deg.iter().sum();
+    let per = total.div_ceil(n.max(1)).max(1);
+    let mut cuts = Vec::with_capacity(n + 1);
+    cuts.push(0);
+    let mut acc = 0;
+    for (r, d) in deg.iter().enumerate() {
+        acc += d;
+        if acc >= per && cuts.len() < n {
+            cuts.push(r + 1);
+            acc = 0;
+        }
+    }
+    while cuts.len() < n {
+        cuts.push(tri.nrows);
+    }
+    cuts.push(tri.nrows);
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// Base address where the shared `x` vector is mapped in every thread's
+/// address space (so the shared L3 sees one copy, as on real hardware).
+const SHARED_X_BASE: u64 = 0x40_0000_0000;
+
+/// Multi-threaded SpMV: contiguous row partitions of roughly equal nnz,
+/// one simulated core per thread, shared L3/DRAM, `x` mapped at the same
+/// address in all cores (paper Figure 12 setup, the sparsifier's
+/// `dense-outer-loop` parallelization strategy).
+pub fn run_spmv_threads(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+    n_threads: usize,
+) -> ExperimentResult {
+    let x = x_vector(tri.ncols);
+    let parts = partition_rows(tri, n_threads);
+
+    // Per-thread prepared runs (kernel + bound buffers).
+    struct Prepared {
+        ck: CompiledKernel,
+        bufs: asap_ir::Buffers,
+        args: Vec<V>,
+    }
+    let prepared: Vec<std::sync::Mutex<Option<Prepared>>> = parts
+        .iter()
+        .map(|&(r0, r1)| {
+            let slice = row_slice(tri, r0, r1);
+            let sparse = SparseTensor::from_coo(&slice.to_coo_f64(), Format::csr());
+            let ck = compile_spmv(&sparse, variant);
+            let xt = DenseTensor::from_f64(vec![tri.ncols], x.clone());
+            let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0]);
+            let mut bound =
+                bind(&ck.kernel, &sparse, &[&xt], &out).expect("binding a prepared slice");
+            // Re-map the x buffer to the shared address.
+            let x_pos = ck
+                .kernel
+                .arg_position(KernelArg::DenseInput { input: 1 })
+                .expect("spmv has one dense input");
+            let V::Mem(x_buf) = bound.args[x_pos] else {
+                unreachable!("dense input binds to a buffer");
+            };
+            bound.bufs.get_mut(x_buf).base_addr = SHARED_X_BASE;
+            std::sync::Mutex::new(Some(Prepared {
+                ck,
+                bufs: bound.bufs,
+                args: bound.args,
+            }))
+        })
+        .collect();
+
+    let nnz = tri.nnz();
+    let total_dram = std::sync::atomic::AtomicU64::new(0);
+    let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
+        let mut p = prepared[tid]
+            .lock()
+            .expect("prepared lock")
+            .take()
+            .expect("each partition runs once");
+        interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine)
+            .expect("simulated spmv run failed");
+        total_dram.store(
+            machine.dram_bytes_total(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    });
+    let dram = total_dram.load(std::sync::atomic::Ordering::Relaxed);
+    result_from(
+        name,
+        group,
+        unstructured,
+        "spmv",
+        variant,
+        hw_name,
+        n_threads,
+        nnz,
+        &cfg,
+        result.aggregate,
+        dram.max(result.dram_bytes),
+    )
+}
+
+/// Multi-threaded SpMM (row-partitioned, shared dense C).
+pub fn run_spmm_threads(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    n_cols: usize,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+    n_threads: usize,
+) -> ExperimentResult {
+    let parts = partition_rows(tri, n_threads);
+    let spec = KernelSpec::spmm(ValueKind::F64);
+    let cvals: Vec<f64> = (0..tri.ncols * n_cols)
+        .map(|i| 0.5 + (i % 17) as f64 * 0.0625)
+        .collect();
+
+    struct Prepared {
+        ck: CompiledKernel,
+        bufs: asap_ir::Buffers,
+        args: Vec<V>,
+    }
+    let prepared: Vec<std::sync::Mutex<Option<Prepared>>> = parts
+        .iter()
+        .map(|&(r0, r1)| {
+            let slice = row_slice(tri, r0, r1);
+            let sparse = SparseTensor::from_coo(&slice.to_coo_f64(), Format::csr());
+            let ck = compile_with_width(
+                &spec,
+                sparse.format(),
+                sparse.index_width(),
+                &variant.strategy(),
+            )
+            .expect("spmm compiles");
+            let ct = DenseTensor::from_f64(vec![tri.ncols, n_cols], cvals.clone());
+            let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0, n_cols]);
+            let mut bound = bind(&ck.kernel, &sparse, &[&ct], &out).expect("binding");
+            let c_pos = ck
+                .kernel
+                .arg_position(KernelArg::DenseInput { input: 1 })
+                .expect("spmm has one dense input");
+            let V::Mem(c_buf) = bound.args[c_pos] else {
+                unreachable!()
+            };
+            bound.bufs.get_mut(c_buf).base_addr = SHARED_X_BASE;
+            std::sync::Mutex::new(Some(Prepared {
+                ck,
+                bufs: bound.bufs,
+                args: bound.args,
+            }))
+        })
+        .collect();
+
+    let nnz = tri.nnz();
+    let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
+        let mut p = prepared[tid]
+            .lock()
+            .expect("prepared lock")
+            .take()
+            .expect("each partition runs once");
+        interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine)
+            .expect("simulated spmm run failed");
+    });
+    result_from(
+        name,
+        group,
+        unstructured,
+        "spmm",
+        variant,
+        hw_name,
+        n_threads,
+        nnz,
+        &cfg,
+        result.aggregate,
+        result.dram_bytes,
+    )
+}
+
+fn verify_close(got: &[f64], want: &[f64], name: &str) {
+    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-9 * (1.0 + g.abs().max(w.abs()));
+        assert!(
+            (g - w).abs() <= tol,
+            "{name}: row {i} differs: {g} vs {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_matrices::gen;
+
+    fn cfg() -> GracemontConfig {
+        GracemontConfig::scaled()
+    }
+
+    #[test]
+    fn spmv_experiment_runs_and_verifies() {
+        let tri = gen::erdos_renyi(4096, 6, 3);
+        let r = run_spmv(
+            &tri,
+            "er",
+            "Gleich",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::hw_default(),
+            "default",
+            cfg(),
+        );
+        assert!(r.nnz <= tri.nnz() && r.nnz > 0, "dedup'd nnz");
+        assert!(r.throughput > 0.0);
+        assert!(r.cycles > 0);
+        assert_eq!(r.variant, "baseline");
+    }
+
+    #[test]
+    fn asap_issues_prefetches_baseline_does_not() {
+        let tri = gen::erdos_renyi(2048, 6, 5);
+        let base = run_spmv(
+            &tri,
+            "er",
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        );
+        let asap = run_spmv(
+            &tri,
+            "er",
+            "g",
+            true,
+            Variant::Asap { distance: 16 },
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        );
+        assert_eq!(base.sw_pf_issued, 0);
+        assert!(asap.sw_pf_issued as usize >= tri.nnz(), "{asap:?}");
+    }
+
+    #[test]
+    fn partition_balances_nnz() {
+        let tri = gen::power_law(4000, 8, 1.0, 2);
+        let parts = partition_rows(&tri, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[3].1, 4000);
+        let deg = tri.row_degrees();
+        let sums: Vec<usize> = parts
+            .iter()
+            .map(|&(a, b)| deg[a..b].iter().sum())
+            .collect();
+        let max = *sums.iter().max().unwrap();
+        let min = *sums.iter().min().unwrap();
+        assert!(max < 2 * min + tri.nnz() / 2, "{sums:?}");
+    }
+
+    #[test]
+    fn threaded_spmv_covers_all_rows() {
+        let tri = gen::erdos_renyi(8192, 6, 9);
+        let r = run_spmv_threads(
+            &tri,
+            "er",
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+            4,
+        );
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.nnz, tri.nnz());  // threaded path reports input nnz
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn spmm_experiment_runs() {
+        let tri = gen::erdos_renyi(1024, 4, 1);
+        let r = run_spmm(
+            &tri,
+            "er",
+            "g",
+            true,
+            8,
+            Variant::Asap { distance: 8 },
+            PrefetcherConfig::optimized_spmm(),
+            "optimized",
+            cfg(),
+        );
+        assert_eq!(r.kernel, "spmm");
+        assert!(r.sw_pf_issued > 0);
+    }
+}

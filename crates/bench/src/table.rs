@@ -1,0 +1,41 @@
+//! Small formatting helpers for the fig binaries' textual output.
+
+/// Fixed-precision float for tables.
+pub fn fmt_f64(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+/// Render rows as a markdown table with a header.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("| {} |\n", header.join(" | ")));
+    s.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---|").collect::<String>()
+    ));
+    for r in rows {
+        s.push_str(&format!("| {} |\n", r.join(" | ")));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("|---|---|"));
+        assert!(t.contains("| 3 | 4 |"));
+    }
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,156 @@
+//! Profile-guided prefetch-distance selection.
+//!
+//! The paper fixes `distance = 45` and names profile-guided tuning
+//! (APT-GET, RPG²) as an orthogonal direction it "could benefit from"
+//! (Sections 3.2.3 and 6). This module implements that extension: compile
+//! the kernel at several candidate distances, score each with a
+//! caller-supplied evaluator (typically a simulator run over a sample of
+//! the workload), and return the best.
+//!
+//! The evaluator is a closure, so this crate stays independent of any
+//! particular timing backend.
+
+use crate::asap::AsapConfig;
+use crate::pipeline::{compile_with_width, CompiledKernel, PrefetchStrategy};
+use asap_sparsifier::KernelSpec;
+use asap_tensor::{Format, IndexWidth};
+
+/// One sampled point of the tuning sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneSample {
+    pub distance: usize,
+    /// Evaluator score; lower is better (e.g. simulated cycles).
+    pub cost: u64,
+}
+
+/// Result of a tuning sweep.
+#[derive(Debug, Clone)]
+pub struct TuneOutcome {
+    pub best: CompiledKernel,
+    pub best_distance: usize,
+    pub samples: Vec<TuneSample>,
+}
+
+/// The default candidate ladder: powers of two around the paper's 45.
+pub fn default_candidates() -> Vec<usize> {
+    vec![4, 8, 16, 32, 45, 64, 96, 128]
+}
+
+/// Sweep `candidates`, scoring each compiled kernel with `evaluate`
+/// (lower cost wins; ties go to the smaller distance, which pollutes
+/// less). Returns an error if `candidates` is empty or compilation fails.
+pub fn tune_distance(
+    spec: &KernelSpec,
+    format: &Format,
+    index_width: IndexWidth,
+    candidates: &[usize],
+    mut evaluate: impl FnMut(&CompiledKernel) -> u64,
+) -> Result<TuneOutcome, String> {
+    if candidates.is_empty() {
+        return Err("no candidate distances".into());
+    }
+    let mut samples = Vec::with_capacity(candidates.len());
+    let mut best: Option<(u64, usize, CompiledKernel)> = None;
+    for &d in candidates {
+        let ck = compile_with_width(
+            spec,
+            format,
+            index_width,
+            &PrefetchStrategy::Asap(AsapConfig::with_distance(d)),
+        )?;
+        let cost = evaluate(&ck);
+        samples.push(TuneSample { distance: d, cost });
+        let better = match &best {
+            None => true,
+            Some((c, bd, _)) => cost < *c || (cost == *c && d < *bd),
+        };
+        if better {
+            best = Some((cost, d, ck));
+        }
+    }
+    let (_, best_distance, best) = best.expect("candidates is non-empty");
+    Ok(TuneOutcome {
+        best,
+        best_distance,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_tensor::ValueKind;
+
+    fn spec() -> KernelSpec {
+        KernelSpec::spmv(ValueKind::F64)
+    }
+
+    #[test]
+    fn picks_the_minimum_cost_distance() {
+        // Synthetic cost curve with a minimum at 32.
+        let out = tune_distance(
+            &spec(),
+            &Format::csr(),
+            IndexWidth::U32,
+            &[8, 16, 32, 64],
+            |ck| {
+                let d = match ck.strategy {
+                    PrefetchStrategy::Asap(c) => c.distance as i64,
+                    _ => unreachable!(),
+                };
+                ((d - 32).abs() + 100) as u64
+            },
+        )
+        .unwrap();
+        assert_eq!(out.best_distance, 32);
+        assert_eq!(out.samples.len(), 4);
+        assert!(out.samples.iter().all(|s| s.cost >= 100));
+    }
+
+    #[test]
+    fn ties_prefer_smaller_distance() {
+        let out = tune_distance(
+            &spec(),
+            &Format::csr(),
+            IndexWidth::U32,
+            &[64, 8, 32],
+            |_| 7,
+        )
+        .unwrap();
+        assert_eq!(out.best_distance, 8);
+    }
+
+    #[test]
+    fn rejects_empty_candidates() {
+        let err =
+            tune_distance(&spec(), &Format::csr(), IndexWidth::U32, &[], |_| 0).unwrap_err();
+        assert!(err.contains("no candidate"));
+    }
+
+    #[test]
+    fn tuned_kernel_is_runnable_end_to_end() {
+        use asap_tensor::{CooTensor, SparseTensor, Values};
+        let coo = CooTensor::new(
+            vec![4, 4],
+            vec![0, 1, 1, 2, 2, 0, 3, 3],
+            Values::F64(vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let b = SparseTensor::from_coo(&coo, Format::csr());
+        // Evaluate by real (functional) instruction count — a degenerate
+        // but well-defined cost.
+        let out = tune_distance(
+            &spec(),
+            &Format::csr(),
+            IndexWidth::U32,
+            &default_candidates(),
+            |ck| {
+                let mut m = asap_ir::CountingModel::default();
+                let _ = crate::pipeline::run_spmv_f64_with(ck, &b, &[1.0; 4], &mut m);
+                m.instructions
+            },
+        )
+        .unwrap();
+        let y = crate::pipeline::run_spmv_f64(&out.best, &b, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! The end-to-end compilation pipeline: sparsify (with or without a
+//! prefetch strategy), then clean up (LICM + DCE), producing a
+//! [`CompiledKernel`] ready to run — the counterpart of the paper's three
+//! implementation variants (Section 4.3).
+
+use crate::aj::{ainsworth_jones, AjConfig};
+use crate::asap::{AsapConfig, AsapHook};
+use asap_ir::{cse, dce, fold, licm, MemoryModel};
+use asap_sparsifier::{run as run_kernel, sparsify, KernelSpec, SparsifiedKernel};
+use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
+
+/// Which software-prefetching variant to compile (paper Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefetchStrategy {
+    /// Variant 1: plain sparsification, no software prefetching.
+    Baseline,
+    /// Variant 2: ASaP — semantic bounds, injected during sparsification.
+    Asap(AsapConfig),
+    /// Variant 3: the Ainsworth & Jones low-level pass, applied post-hoc.
+    AinsworthJones(AjConfig),
+}
+
+impl PrefetchStrategy {
+    /// ASaP at the paper's configuration (distance 45, locality 2).
+    pub fn asap(distance: usize) -> PrefetchStrategy {
+        PrefetchStrategy::Asap(AsapConfig::with_distance(distance))
+    }
+
+    /// Ainsworth & Jones at the same distance.
+    pub fn aj(distance: usize) -> PrefetchStrategy {
+        PrefetchStrategy::AinsworthJones(AjConfig::with_distance(distance))
+    }
+
+    pub fn none() -> PrefetchStrategy {
+        PrefetchStrategy::Baseline
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PrefetchStrategy::Baseline => "baseline",
+            PrefetchStrategy::Asap(_) => "asap",
+            PrefetchStrategy::AinsworthJones(_) => "ainsworth-jones",
+        }
+    }
+}
+
+/// A compiled kernel plus compilation metadata.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    pub kernel: SparsifiedKernel,
+    pub strategy: PrefetchStrategy,
+    /// Number of `memref.prefetch` ops in the final IR.
+    pub prefetch_ops: usize,
+    /// Ops hoisted by LICM (the bound chain, for ASaP).
+    pub hoisted_ops: usize,
+}
+
+/// Compile a kernel for a sparse operand stored in `format` with the given
+/// index width, applying the chosen prefetch strategy and then LICM + DCE
+/// (mirroring the shared `-O3` backend of the paper's setup).
+pub fn compile_with_width(
+    spec: &KernelSpec,
+    format: &Format,
+    index_width: IndexWidth,
+    strategy: &PrefetchStrategy,
+) -> Result<CompiledKernel, String> {
+    let mut kernel = match strategy {
+        PrefetchStrategy::Baseline => sparsify(spec, format, index_width, None)?,
+        PrefetchStrategy::Asap(cfg) => {
+            let mut hook = AsapHook::new(*cfg);
+            sparsify(spec, format, index_width, Some(&mut hook))?
+        }
+        PrefetchStrategy::AinsworthJones(_) => sparsify(spec, format, index_width, None)?,
+    };
+    if let PrefetchStrategy::AinsworthJones(cfg) = strategy {
+        ainsworth_jones(&mut kernel.func, cfg);
+    }
+    let hoisted = licm(&mut kernel.func);
+    fold(&mut kernel.func);
+    cse(&mut kernel.func);
+    dce(&mut kernel.func);
+    asap_ir::verify(&kernel.func).map_err(|e| e.to_string())?;
+    Ok(CompiledKernel {
+        prefetch_ops: kernel.func.prefetch_count(),
+        kernel,
+        strategy: *strategy,
+        hoisted_ops: hoisted,
+    })
+}
+
+/// As [`compile_with_width`] with the default narrow (32-bit) index width,
+/// which every tensor whose nnz and dims fit in `u32` uses.
+pub fn compile(
+    spec: &KernelSpec,
+    format: &Format,
+    strategy: &PrefetchStrategy,
+) -> CompiledKernel {
+    compile_with_width(spec, format, IndexWidth::U32, strategy)
+        .expect("compilation of a validated spec cannot fail")
+}
+
+/// Run a compiled kernel (generic operands) under the given memory model.
+pub fn run(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    dense: &[&DenseTensor],
+    out: &mut DenseTensor,
+    model: &mut dyn MemoryModel,
+) -> Result<(), String> {
+    run_kernel(&ck.kernel, sparse, dense, out, model)
+}
+
+/// Convenience: SpMV over f64, functional run, returning `a = B·x`.
+pub fn run_spmv_f64(ck: &CompiledKernel, b: &SparseTensor, x: &[f64]) -> Vec<f64> {
+    let mut model = asap_ir::NullModel;
+    run_spmv_f64_with(ck, b, x, &mut model)
+}
+
+/// SpMV over f64 under an arbitrary memory model (e.g. the simulator).
+pub fn run_spmv_f64_with(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    x: &[f64],
+    model: &mut dyn MemoryModel,
+) -> Vec<f64> {
+    let n = b.dims()[1];
+    assert_eq!(x.len(), n, "x length must equal the matrix column count");
+    let c = DenseTensor::from_f64(vec![n], x.to_vec());
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0]]);
+    run(ck, b, &[&c], &mut a, model).expect("spmv run failed");
+    a.as_f64().to_vec()
+}
+
+/// Convenience: SpMM over f64 (`A = B·C`), functional run.
+pub fn run_spmm_f64(ck: &CompiledKernel, b: &SparseTensor, c: &DenseTensor) -> DenseTensor {
+    let mut model = asap_ir::NullModel;
+    run_spmm_f64_with(ck, b, c, &mut model)
+}
+
+/// SpMM over f64 under an arbitrary memory model.
+pub fn run_spmm_f64_with(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    c: &DenseTensor,
+    model: &mut dyn MemoryModel,
+) -> DenseTensor {
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0], c.dims[1]]);
+    run(ck, b, &[c], &mut a, model).expect("spmm run failed");
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_tensor::{CooTensor, Values};
+
+    fn paper_tensor(fmt: Format) -> SparseTensor {
+        let coo = CooTensor::new(
+            vec![3, 3],
+            vec![0, 0, 0, 2, 2, 2],
+            Values::F64(vec![1.0, 2.0, 3.0]),
+        );
+        SparseTensor::from_coo(&coo, fmt)
+    }
+
+    #[test]
+    fn three_variants_compute_identical_spmv_results() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let x = vec![1.0, 10.0, 100.0];
+        let mut results = Vec::new();
+        for strat in [
+            PrefetchStrategy::none(),
+            PrefetchStrategy::asap(4),
+            PrefetchStrategy::aj(4),
+        ] {
+            let ck = compile(&spec, &Format::csr(), &strat);
+            results.push(run_spmv_f64(&ck, &b, &x));
+        }
+        assert_eq!(results[0], vec![201.0, 0.0, 300.0]);
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn asap_bound_chain_is_hoisted() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45));
+        // The size chain (const 1, muli, pos load, cast, subi...) must
+        // leave the inner loop.
+        assert!(
+            ck.hoisted_ops >= 3,
+            "expected the bound chain hoisted, got {}",
+            ck.hoisted_ops
+        );
+        assert_eq!(ck.prefetch_ops, 2);
+    }
+
+    #[test]
+    fn aj_emits_no_prefetches_for_spmm() {
+        let spec = KernelSpec::spmm(ValueKind::F64);
+        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45));
+        let aj = compile(&spec, &Format::csr(), &PrefetchStrategy::aj(45));
+        assert_eq!(asap.prefetch_ops, 2, "ASaP outer-loop prefetching works");
+        assert_eq!(aj.prefetch_ops, 0, "A&J cannot handle SpMM");
+    }
+
+    #[test]
+    fn spmm_results_match_across_variants() {
+        let spec = KernelSpec::spmm(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let c = DenseTensor::from_f64(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let base = compile(&spec, &Format::csr(), &PrefetchStrategy::none());
+        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(3));
+        let a0 = run_spmm_f64(&base, &b, &c);
+        let a1 = run_spmm_f64(&asap, &b, &c);
+        assert_eq!(a0.as_f64(), a1.as_f64());
+        // Row 0: 1*C[0,:] + 2*C[2,:] = [1+10, 2+12] = [11, 14].
+        assert_eq!(&a0.as_f64()[0..2], &[11.0, 14.0]);
+    }
+
+    #[test]
+    fn strategies_have_labels() {
+        assert_eq!(PrefetchStrategy::none().label(), "baseline");
+        assert_eq!(PrefetchStrategy::asap(1).label(), "asap");
+        assert_eq!(PrefetchStrategy::aj(1).label(), "ainsworth-jones");
+    }
+
+    #[test]
+    fn coo_variants_agree() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::coo());
+        let x = vec![2.0, 3.0, 4.0];
+        let base = compile(&spec, &Format::coo(), &PrefetchStrategy::none());
+        let asap = compile(&spec, &Format::coo(), &PrefetchStrategy::asap(2));
+        let aj = compile(&spec, &Format::coo(), &PrefetchStrategy::aj(2));
+        let r0 = run_spmv_f64(&base, &b, &x);
+        assert_eq!(r0, run_spmv_f64(&asap, &b, &x));
+        assert_eq!(r0, run_spmv_f64(&aj, &b, &x));
+    }
+
+    #[test]
+    fn dcsr_asap_compiles_and_runs() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::dcsr());
+        let ck = compile(&spec, &Format::dcsr(), &PrefetchStrategy::asap(8));
+        let r = run_spmv_f64(&ck, &b, &[1.0, 1.0, 1.0]);
+        assert_eq!(r, vec![3.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,449 @@
+//! A closure-based builder for constructing functions.
+//!
+//! Mirrors MLIR's `OpBuilder` pattern: structured control-flow ops take
+//! closures that populate their nested regions, so the lexical structure of
+//! the Rust code matches the structure of the generated IR.
+
+use crate::ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
+use crate::types::{Literal, Type};
+
+/// Builds one [`Function`].
+pub struct FuncBuilder {
+    name: String,
+    params: Vec<Value>,
+    value_types: Vec<Type>,
+    num_ops: u32,
+    /// Stack of regions currently being filled; the bottom entry is the
+    /// function body.
+    stack: Vec<Region>,
+}
+
+impl FuncBuilder {
+    /// Start building a function with the given symbol name.
+    pub fn new(name: impl Into<String>) -> FuncBuilder {
+        FuncBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            value_types: Vec::new(),
+            num_ops: 0,
+            stack: vec![Region::new()],
+        }
+    }
+
+    /// Declare a function parameter. Must be called before any ops are
+    /// emitted (parameters come first in the value numbering, like MLIR
+    /// block arguments).
+    pub fn arg(&mut self, ty: Type) -> Value {
+        assert!(
+            self.stack.len() == 1 && self.stack[0].ops.is_empty(),
+            "declare all parameters before emitting ops"
+        );
+        let v = self.fresh(ty);
+        self.params.push(v);
+        v
+    }
+
+    fn fresh(&mut self, ty: Type) -> Value {
+        let v = Value(self.value_types.len() as u32);
+        self.value_types.push(ty);
+        v
+    }
+
+    fn fresh_op_id(&mut self) -> OpId {
+        let id = OpId(self.num_ops);
+        self.num_ops += 1;
+        id
+    }
+
+    fn push(&mut self, kind: OpKind, result_tys: Vec<Type>) -> Vec<Value> {
+        let results: Vec<Value> = result_tys.into_iter().map(|t| self.fresh(t)).collect();
+        let id = self.fresh_op_id();
+        self.stack
+            .last_mut()
+            .expect("builder region stack is never empty")
+            .ops
+            .push(Op {
+                id,
+                kind,
+                results: results.clone(),
+            });
+        results
+    }
+
+    fn ty(&self, v: Value) -> &Type {
+        &self.value_types[v.index()]
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    pub fn constant(&mut self, lit: Literal) -> Value {
+        let ty = lit.ty();
+        self.push(OpKind::Const(lit), vec![ty])[0]
+    }
+
+    pub fn const_index(&mut self, v: usize) -> Value {
+        self.constant(Literal::Index(v))
+    }
+
+    pub fn const_f64(&mut self, v: f64) -> Value {
+        self.constant(Literal::F64(v))
+    }
+
+    pub fn const_i8(&mut self, v: i8) -> Value {
+        self.constant(Literal::I8(v))
+    }
+
+    // ---- arith -----------------------------------------------------------
+
+    pub fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Value {
+        let ty = self.ty(lhs).clone();
+        debug_assert_eq!(
+            self.ty(lhs),
+            self.ty(rhs),
+            "binary op operand types must match"
+        );
+        self.push(OpKind::Binary { op, lhs, rhs }, vec![ty])[0]
+    }
+
+    pub fn addi(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::AddI, lhs, rhs)
+    }
+
+    pub fn subi(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::SubI, lhs, rhs)
+    }
+
+    pub fn muli(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::MulI, lhs, rhs)
+    }
+
+    pub fn addf(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::AddF, lhs, rhs)
+    }
+
+    pub fn mulf(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::MulF, lhs, rhs)
+    }
+
+    pub fn ori(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::OrI, lhs, rhs)
+    }
+
+    pub fn andi(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::AndI, lhs, rhs)
+    }
+
+    pub fn minui(&mut self, lhs: Value, rhs: Value) -> Value {
+        self.binary(BinOp::MinUI, lhs, rhs)
+    }
+
+    pub fn cmpi(&mut self, pred: CmpPred, lhs: Value, rhs: Value) -> Value {
+        self.push(OpKind::Cmp { pred, lhs, rhs }, vec![Type::I1])[0]
+    }
+
+    pub fn select(&mut self, cond: Value, if_true: Value, if_false: Value) -> Value {
+        let ty = self.ty(if_true).clone();
+        self.push(
+            OpKind::Select {
+                cond,
+                if_true,
+                if_false,
+            },
+            vec![ty],
+        )[0]
+    }
+
+    pub fn cast(&mut self, value: Value, to: Type) -> Value {
+        self.push(OpKind::Cast { value, to: to.clone() }, vec![to])[0]
+    }
+
+    /// Cast to `index` only if the value is not already an index. Mirrors
+    /// how sparsification materializes `arith.index_cast` only for narrow
+    /// coordinate buffers.
+    pub fn to_index(&mut self, value: Value) -> Value {
+        if *self.ty(value) == Type::Index {
+            value
+        } else {
+            self.cast(value, Type::Index)
+        }
+    }
+
+    // ---- memref ----------------------------------------------------------
+
+    pub fn load(&mut self, mem: Value, index: Value) -> Value {
+        let elem = self
+            .ty(mem)
+            .elem()
+            .expect("load from non-memref value")
+            .clone();
+        self.push(OpKind::Load { mem, index }, vec![elem])[0]
+    }
+
+    pub fn store(&mut self, value: Value, mem: Value, index: Value) {
+        self.push(OpKind::Store { mem, index, value }, vec![]);
+    }
+
+    pub fn prefetch_read(&mut self, mem: Value, index: Value, locality: u8) {
+        self.push(
+            OpKind::Prefetch {
+                mem,
+                index,
+                write: false,
+                locality,
+            },
+            vec![],
+        );
+    }
+
+    pub fn prefetch_write(&mut self, mem: Value, index: Value, locality: u8) {
+        self.push(
+            OpKind::Prefetch {
+                mem,
+                index,
+                write: true,
+                locality,
+            },
+            vec![],
+        );
+    }
+
+    pub fn dim(&mut self, mem: Value) -> Value {
+        self.push(OpKind::Dim { mem }, vec![Type::Index])[0]
+    }
+
+    // ---- scf -------------------------------------------------------------
+
+    /// `scf.for %iv = lo to hi step step iter_args(inits)`.
+    ///
+    /// The closure receives the builder, the induction variable, and the
+    /// iteration arguments, and must return the values to yield (one per
+    /// init). Returns the loop results (same arity).
+    pub fn for_loop(
+        &mut self,
+        lo: Value,
+        hi: Value,
+        step: Value,
+        inits: &[Value],
+        f: impl FnOnce(&mut FuncBuilder, Value, &[Value]) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let iv = self.fresh(Type::Index);
+        let iter_args: Vec<Value> = inits
+            .iter()
+            .map(|&v| {
+                let t = self.ty(v).clone();
+                self.fresh(t)
+            })
+            .collect();
+        self.stack.push(Region::new());
+        let yields = f(self, iv, &iter_args);
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "scf.for body must yield one value per iter_arg"
+        );
+        self.push(OpKind::Yield(yields), vec![]);
+        let body = self.stack.pop().expect("region pushed above");
+        let result_tys: Vec<Type> = inits.iter().map(|&v| self.ty(v).clone()).collect();
+        self.push(
+            OpKind::For {
+                lo,
+                hi,
+                step,
+                iv,
+                iter_args,
+                inits: inits.to_vec(),
+                body,
+            },
+            result_tys,
+        )
+    }
+
+    /// `scf.while` with identical before/after/result signatures (the shape
+    /// sparsification emits). `before` returns the continuation condition
+    /// plus forwarded args; `after` returns the next iteration's args.
+    pub fn while_loop(
+        &mut self,
+        inits: &[Value],
+        before: impl FnOnce(&mut FuncBuilder, &[Value]) -> (Value, Vec<Value>),
+        after: impl FnOnce(&mut FuncBuilder, &[Value]) -> Vec<Value>,
+    ) -> Vec<Value> {
+        let arg_tys: Vec<Type> = inits.iter().map(|&v| self.ty(v).clone()).collect();
+        let before_args: Vec<Value> = arg_tys.iter().map(|t| self.fresh(t.clone())).collect();
+
+        self.stack.push(Region::new());
+        let (cond, fwd) = before(self, &before_args);
+        assert_eq!(
+            fwd.len(),
+            inits.len(),
+            "scf.condition must forward one value per init"
+        );
+        self.push(OpKind::ConditionOp { cond, args: fwd }, vec![]);
+        let before_region = self.stack.pop().expect("region pushed above");
+
+        let after_args: Vec<Value> = arg_tys.iter().map(|t| self.fresh(t.clone())).collect();
+        self.stack.push(Region::new());
+        let yields = after(self, &after_args);
+        assert_eq!(
+            yields.len(),
+            inits.len(),
+            "scf.while body must yield one value per init"
+        );
+        self.push(OpKind::Yield(yields), vec![]);
+        let after_region = self.stack.pop().expect("region pushed above");
+
+        self.push(
+            OpKind::While {
+                inits: inits.to_vec(),
+                before_args,
+                before: before_region,
+                after_args,
+                after: after_region,
+            },
+            arg_tys,
+        )
+    }
+
+    /// `scf.if` yielding `result_tys`-typed values from both branches.
+    pub fn if_else(
+        &mut self,
+        cond: Value,
+        result_tys: &[Type],
+        then_f: impl FnOnce(&mut FuncBuilder) -> Vec<Value>,
+        else_f: impl FnOnce(&mut FuncBuilder) -> Vec<Value>,
+    ) -> Vec<Value> {
+        self.stack.push(Region::new());
+        let t = then_f(self);
+        assert_eq!(t.len(), result_tys.len(), "then branch arity mismatch");
+        self.push(OpKind::Yield(t), vec![]);
+        let then_region = self.stack.pop().expect("region pushed above");
+
+        self.stack.push(Region::new());
+        let e = else_f(self);
+        assert_eq!(e.len(), result_tys.len(), "else branch arity mismatch");
+        self.push(OpKind::Yield(e), vec![]);
+        let else_region = self.stack.pop().expect("region pushed above");
+
+        self.push(
+            OpKind::If {
+                cond,
+                then_region,
+                else_region,
+            },
+            result_tys.to_vec(),
+        )
+    }
+
+    // ---- finish ----------------------------------------------------------
+
+    /// Terminate the body with `func.return` (no results) and produce the
+    /// function.
+    pub fn finish(mut self) -> Function {
+        self.push(OpKind::Return(vec![]), vec![]);
+        assert_eq!(self.stack.len(), 1, "unbalanced region stack at finish");
+        Function {
+            name: self.name,
+            params: self.params,
+            body: self.stack.pop().expect("stack has the body region"),
+            value_types: self.value_types,
+            num_ops: self.num_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_loop() {
+        let mut b = FuncBuilder::new("axpy");
+        let x = b.arg(Type::memref(Type::F64));
+        let y = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.for_loop(c0, n, c1, &[], |b, i, _| {
+            let xv = b.load(x, i);
+            let yv = b.load(y, i);
+            let s = b.addf(xv, yv);
+            b.store(s, y, i);
+            vec![]
+        });
+        let f = b.finish();
+        assert_eq!(f.params.len(), 3);
+        // for + 4 body ops + yield + 2 consts + return
+        assert_eq!(f.op_count(), 9);
+    }
+
+    #[test]
+    fn for_loop_carries_iter_args() {
+        let mut b = FuncBuilder::new("sum");
+        let x = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let zero = b.const_f64(0.0);
+        let res = b.for_loop(c0, n, c1, &[zero], |b, i, args| {
+            let xv = b.load(x, i);
+            vec![b.addf(args[0], xv)]
+        });
+        assert_eq!(res.len(), 1);
+        let f = b.finish();
+        assert_eq!(*f.ty(res[0]), Type::F64);
+    }
+
+    #[test]
+    fn while_loop_signature() {
+        let mut b = FuncBuilder::new("count");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let res = b.while_loop(
+            &[c0],
+            |b, args| {
+                let c = b.cmpi(CmpPred::Ult, args[0], n);
+                (c, vec![args[0]])
+            },
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        assert_eq!(res.len(), 1);
+        let f = b.finish();
+        assert_eq!(*f.ty(res[0]), Type::Index);
+    }
+
+    #[test]
+    fn if_else_results() {
+        let mut b = FuncBuilder::new("max0");
+        let x = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let cond = b.cmpi(CmpPred::Ugt, x, c0);
+        let r = b.if_else(
+            cond,
+            &[Type::Index],
+            |_| vec![x],
+            |_| vec![c0],
+        );
+        let f = b.finish();
+        assert_eq!(*f.ty(r[0]), Type::Index);
+    }
+
+    #[test]
+    #[should_panic(expected = "declare all parameters before emitting ops")]
+    fn args_after_ops_panic() {
+        let mut b = FuncBuilder::new("bad");
+        let _ = b.const_index(0);
+        let _ = b.arg(Type::Index);
+    }
+
+    #[test]
+    fn to_index_is_identity_on_index() {
+        let mut b = FuncBuilder::new("c");
+        let x = b.arg(Type::Index);
+        let y = b.arg(Type::I32);
+        assert_eq!(b.to_index(x), x);
+        let yi = b.to_index(y);
+        assert_ne!(yi, y);
+        let f = b.finish();
+        assert_eq!(*f.ty(yi), Type::Index);
+    }
+}

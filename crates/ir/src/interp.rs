@@ -1,0 +1,825 @@
+//! An interpreter for the IR that reports every memory access to a
+//! pluggable [`MemoryModel`].
+//!
+//! This is what makes the workspace's "compiler" executable without a real
+//! backend: functional correctness is obtained by running the IR directly,
+//! and timing is obtained by attaching the `asap-sim` machine model as the
+//! memory model. A [`NullModel`] is provided for pure functional runs.
+
+use crate::ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
+use crate::types::{Literal, Type};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V {
+    Index(usize),
+    I64(i64),
+    I32(i32),
+    I8(i8),
+    Bool(bool),
+    F64(f64),
+    /// A memref bound to a buffer id in the [`Buffers`] arena.
+    Mem(u32),
+}
+
+impl V {
+    pub fn as_index(self) -> usize {
+        match self {
+            V::Index(v) => v,
+            other => panic!("expected index value, got {other:?}"),
+        }
+    }
+
+    pub fn as_f64(self) -> f64 {
+        match self {
+            V::F64(v) => v,
+            other => panic!("expected f64 value, got {other:?}"),
+        }
+    }
+
+    pub fn as_bool(self) -> bool {
+        match self {
+            V::Bool(v) => v,
+            other => panic!("expected i1 value, got {other:?}"),
+        }
+    }
+
+    fn as_mem(self) -> u32 {
+        match self {
+            V::Mem(v) => v,
+            other => panic!("expected memref value, got {other:?}"),
+        }
+    }
+
+    /// Widen any integer-like value to u64 (for casts and comparisons).
+    fn as_u64(self) -> u64 {
+        match self {
+            V::Index(v) => v as u64,
+            V::I64(v) => v as u64,
+            V::I32(v) => v as u32 as u64,
+            V::I8(v) => v as u8 as u64,
+            V::Bool(v) => v as u64,
+            other => panic!("expected integer-like value, got {other:?}"),
+        }
+    }
+}
+
+/// Typed storage for one buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BufferData {
+    F64(Vec<f64>),
+    I64(Vec<i64>),
+    I32(Vec<i32>),
+    I8(Vec<i8>),
+    Index(Vec<usize>),
+}
+
+impl BufferData {
+    pub fn len(&self) -> usize {
+        match self {
+            BufferData::F64(v) => v.len(),
+            BufferData::I64(v) => v.len(),
+            BufferData::I32(v) => v.len(),
+            BufferData::I8(v) => v.len(),
+            BufferData::Index(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u8 {
+        match self {
+            BufferData::F64(_) | BufferData::I64(_) | BufferData::Index(_) => 8,
+            BufferData::I32(_) => 4,
+            BufferData::I8(_) => 1,
+        }
+    }
+
+    /// The IR element type of this buffer.
+    pub fn elem_type(&self) -> Type {
+        match self {
+            BufferData::F64(_) => Type::F64,
+            BufferData::I64(_) => Type::I64,
+            BufferData::I32(_) => Type::I32,
+            BufferData::I8(_) => Type::I8,
+            BufferData::Index(_) => Type::Index,
+        }
+    }
+
+    fn get(&self, i: usize) -> Option<V> {
+        match self {
+            BufferData::F64(v) => v.get(i).map(|&x| V::F64(x)),
+            BufferData::I64(v) => v.get(i).map(|&x| V::I64(x)),
+            BufferData::I32(v) => v.get(i).map(|&x| V::I32(x)),
+            BufferData::I8(v) => v.get(i).map(|&x| V::I8(x)),
+            BufferData::Index(v) => v.get(i).map(|&x| V::Index(x)),
+        }
+    }
+
+    fn set(&mut self, i: usize, val: V) -> Result<(), InterpError> {
+        let oob = |len: usize| InterpError::OutOfBounds { index: i, len };
+        match (self, val) {
+            (BufferData::F64(v), V::F64(x)) => {
+                let len = v.len();
+                *v.get_mut(i).ok_or(oob(len))? = x;
+            }
+            (BufferData::I64(v), V::I64(x)) => {
+                let len = v.len();
+                *v.get_mut(i).ok_or(oob(len))? = x;
+            }
+            (BufferData::I32(v), V::I32(x)) => {
+                let len = v.len();
+                *v.get_mut(i).ok_or(oob(len))? = x;
+            }
+            (BufferData::I8(v), V::I8(x)) => {
+                let len = v.len();
+                *v.get_mut(i).ok_or(oob(len))? = x;
+            }
+            (BufferData::Index(v), V::Index(x)) => {
+                let len = v.len();
+                *v.get_mut(i).ok_or(oob(len))? = x;
+            }
+            (b, v) => {
+                return Err(InterpError::TypeMismatch(format!(
+                    "store of {v:?} into {} buffer",
+                    b.elem_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One buffer with its assigned virtual base address.
+#[derive(Debug, Clone)]
+pub struct Buffer {
+    pub data: BufferData,
+    pub base_addr: u64,
+}
+
+/// The buffer arena. Buffers get virtual base addresses from a bump
+/// allocator with page alignment and a guard gap, so hardware-prefetcher
+/// models see distinct, realistic address streams per buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Buffers {
+    bufs: Vec<Buffer>,
+    next_addr: u64,
+}
+
+/// Virtual address where the first buffer is placed.
+pub const BASE_ADDR: u64 = 0x1000_0000;
+/// Alignment of each buffer (a 4 KiB page).
+pub const BUF_ALIGN: u64 = 4096;
+/// Unmapped guard gap between consecutive buffers.
+pub const GUARD_GAP: u64 = 64 * 1024;
+
+impl Buffers {
+    pub fn new() -> Buffers {
+        Buffers {
+            bufs: Vec::new(),
+            next_addr: BASE_ADDR,
+        }
+    }
+
+    /// Add a buffer, returning its id (to be passed as a `V::Mem` argument).
+    pub fn add(&mut self, data: BufferData) -> u32 {
+        let id = self.bufs.len() as u32;
+        let size = data.len() as u64 * data.elem_bytes() as u64;
+        let base = self.next_addr;
+        self.next_addr = (base + size + GUARD_GAP).div_ceil(BUF_ALIGN) * BUF_ALIGN;
+        self.bufs.push(Buffer {
+            data,
+            base_addr: base,
+        });
+        id
+    }
+
+    pub fn get(&self, id: u32) -> &Buffer {
+        &self.bufs[id as usize]
+    }
+
+    pub fn get_mut(&mut self, id: u32) -> &mut Buffer {
+        &mut self.bufs[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+}
+
+/// Kinds of memory access reported to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Load,
+    Store,
+    /// Software prefetch with its locality hint (0 = non-temporal … 3 = L1).
+    Prefetch { locality: u8, write: bool },
+}
+
+/// Observer of the interpreted execution. `asap-sim` implements this to do
+/// timing; [`NullModel`] ignores everything.
+pub trait MemoryModel {
+    /// A demand load of `bytes` at `addr`, issued by static op `pc`.
+    fn load(&mut self, pc: OpId, addr: u64, bytes: u8);
+    /// A demand store.
+    fn store(&mut self, pc: OpId, addr: u64, bytes: u8);
+    /// A software prefetch. Never faults; `addr` may be outside any buffer.
+    fn prefetch(&mut self, pc: OpId, addr: u64, locality: u8, write: bool);
+    /// `n` non-memory instructions retired.
+    fn retire(&mut self, n: u64);
+    /// `n` floating-point arithmetic instructions retired. Distinguished
+    /// so timing models can charge FP latency chains (e.g. a scalarized
+    /// reduction's serial `addf` chain); defaults to plain
+    /// [`MemoryModel::retire`].
+    fn retire_fp(&mut self, n: u64) {
+        self.retire(n);
+    }
+}
+
+/// A memory model that ignores all events (pure functional execution).
+#[derive(Debug, Default, Clone)]
+pub struct NullModel;
+
+impl MemoryModel for NullModel {
+    fn load(&mut self, _: OpId, _: u64, _: u8) {}
+    fn store(&mut self, _: OpId, _: u64, _: u8) {}
+    fn prefetch(&mut self, _: OpId, _: u64, _: u8, _: bool) {}
+    fn retire(&mut self, _: u64) {}
+}
+
+/// A memory model that only counts events — useful in tests.
+#[derive(Debug, Default, Clone)]
+pub struct CountingModel {
+    pub loads: u64,
+    pub stores: u64,
+    pub prefetches: u64,
+    pub instructions: u64,
+}
+
+impl MemoryModel for CountingModel {
+    fn load(&mut self, _: OpId, _: u64, _: u8) {
+        self.loads += 1;
+        self.instructions += 1;
+    }
+    fn store(&mut self, _: OpId, _: u64, _: u8) {
+        self.stores += 1;
+        self.instructions += 1;
+    }
+    fn prefetch(&mut self, _: OpId, _: u64, _: u8, _: bool) {
+        self.prefetches += 1;
+        self.instructions += 1;
+    }
+    fn retire(&mut self, n: u64) {
+        self.instructions += n;
+    }
+}
+
+/// Errors during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A demand access fell outside its buffer — the fault ASaP's bounds
+    /// logic exists to avoid.
+    OutOfBounds { index: usize, len: usize },
+    TypeMismatch(String),
+    /// Function argument count mismatch.
+    BadArgs(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::OutOfBounds { index, len } => {
+                write!(f, "access fault: index {index} out of bounds (len {len})")
+            }
+            InterpError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            InterpError::BadArgs(m) => write!(f, "bad arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+enum Flow {
+    Yield(Vec<V>),
+    Condition(bool, Vec<V>),
+    Return(Vec<V>),
+}
+
+/// Run `func` with the given arguments against `bufs`, reporting events to
+/// `model`. Returns the values of `func.return`.
+pub fn interpret(
+    func: &Function,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut dyn MemoryModel,
+) -> Result<Vec<V>, InterpError> {
+    if args.len() != func.params.len() {
+        return Err(InterpError::BadArgs(format!(
+            "expected {} arguments, got {}",
+            func.params.len(),
+            args.len()
+        )));
+    }
+    let mut env: Vec<Option<V>> = vec![None; func.value_types.len()];
+    for (&p, &a) in func.params.iter().zip(args) {
+        env[p.index()] = Some(a);
+    }
+    let mut interp = Interp { bufs, model };
+    match interp.region(&func.body, &mut env)? {
+        Flow::Return(vs) => Ok(vs),
+        _ => Err(InterpError::TypeMismatch(
+            "function body did not end in return".into(),
+        )),
+    }
+}
+
+struct Interp<'a> {
+    bufs: &'a mut Buffers,
+    model: &'a mut dyn MemoryModel,
+}
+
+impl<'a> Interp<'a> {
+    fn get(env: &[Option<V>], v: Value) -> V {
+        env[v.index()].expect("verifier guarantees def-before-use")
+    }
+
+    fn region(&mut self, r: &Region, env: &mut Vec<Option<V>>) -> Result<Flow, InterpError> {
+        for op in &r.ops {
+            if let Some(flow) = self.op(op, env)? {
+                return Ok(flow);
+            }
+        }
+        unreachable!("verifier guarantees every region ends in a terminator")
+    }
+
+    fn addr_of(&self, buf_id: u32, index: usize) -> (u64, u8) {
+        let buf = self.bufs.get(buf_id);
+        let eb = buf.data.elem_bytes();
+        (buf.base_addr + index as u64 * eb as u64, eb)
+    }
+
+    /// Execute one op. Returns `Some(flow)` when a terminator fires.
+    fn op(&mut self, op: &Op, env: &mut Vec<Option<V>>) -> Result<Option<Flow>, InterpError> {
+        let g = |env: &Vec<Option<V>>, v: Value| Self::get(env, v);
+        match &op.kind {
+            OpKind::Const(lit) => {
+                self.model.retire(1);
+                let v = match *lit {
+                    Literal::Index(x) => V::Index(x),
+                    Literal::I64(x) => V::I64(x),
+                    Literal::I32(x) => V::I32(x),
+                    Literal::I8(x) => V::I8(x),
+                    Literal::Bool(x) => V::Bool(x),
+                    Literal::F64(x) => V::F64(x),
+                };
+                env[op.results[0].index()] = Some(v);
+            }
+            OpKind::Binary { op: b, lhs, rhs } => {
+                if b.is_float() {
+                    self.model.retire_fp(1);
+                } else {
+                    self.model.retire(1);
+                }
+                let l = g(env, *lhs);
+                let r = g(env, *rhs);
+                env[op.results[0].index()] = Some(eval_binary(*b, l, r));
+            }
+            OpKind::Cmp { pred, lhs, rhs } => {
+                self.model.retire(1);
+                let l = g(env, *lhs).as_u64();
+                let r = g(env, *rhs).as_u64();
+                let b = match pred {
+                    CmpPred::Eq => l == r,
+                    CmpPred::Ne => l != r,
+                    CmpPred::Ult => l < r,
+                    CmpPred::Ule => l <= r,
+                    CmpPred::Ugt => l > r,
+                    CmpPred::Uge => l >= r,
+                };
+                env[op.results[0].index()] = Some(V::Bool(b));
+            }
+            OpKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.model.retire(1);
+                let c = g(env, *cond).as_bool();
+                env[op.results[0].index()] =
+                    Some(if c { g(env, *if_true) } else { g(env, *if_false) });
+            }
+            OpKind::Cast { value, to } => {
+                self.model.retire(1);
+                let raw = g(env, *value).as_u64();
+                let v = match to {
+                    Type::Index => V::Index(raw as usize),
+                    Type::I64 => V::I64(raw as i64),
+                    Type::I32 => V::I32(raw as i32),
+                    Type::I8 => V::I8(raw as i8),
+                    Type::I1 => V::Bool(raw != 0),
+                    other => {
+                        return Err(InterpError::TypeMismatch(format!(
+                            "cast to unsupported type {other}"
+                        )))
+                    }
+                };
+                env[op.results[0].index()] = Some(v);
+            }
+            OpKind::Load { mem, index } => {
+                let buf_id = g(env, *mem).as_mem();
+                let i = g(env, *index).as_index();
+                let (addr, eb) = self.addr_of(buf_id, i);
+                self.model.load(op.id, addr, eb);
+                let buf = self.bufs.get(buf_id);
+                let v = buf.data.get(i).ok_or(InterpError::OutOfBounds {
+                    index: i,
+                    len: buf.data.len(),
+                })?;
+                env[op.results[0].index()] = Some(v);
+            }
+            OpKind::Store { mem, index, value } => {
+                let buf_id = g(env, *mem).as_mem();
+                let i = g(env, *index).as_index();
+                let v = g(env, *value);
+                let (addr, eb) = self.addr_of(buf_id, i);
+                self.model.store(op.id, addr, eb);
+                self.bufs.get_mut(buf_id).data.set(i, v)?;
+            }
+            OpKind::Prefetch {
+                mem,
+                index,
+                write,
+                locality,
+            } => {
+                let buf_id = g(env, *mem).as_mem();
+                let i = g(env, *index).as_index();
+                // Prefetches never fault: compute the address even if it is
+                // out of bounds for the buffer.
+                let (addr, _eb) = self.addr_of(buf_id, i);
+                self.model.prefetch(op.id, addr, *locality, *write);
+            }
+            OpKind::Dim { mem } => {
+                self.model.retire(1);
+                let buf_id = g(env, *mem).as_mem();
+                env[op.results[0].index()] = Some(V::Index(self.bufs.get(buf_id).data.len()));
+            }
+            OpKind::For {
+                lo,
+                hi,
+                step,
+                iv,
+                iter_args,
+                inits,
+                body,
+            } => {
+                let lo = g(env, *lo).as_index();
+                let hi = g(env, *hi).as_index();
+                let step = g(env, *step).as_index();
+                debug_assert!(step > 0, "scf.for step must be positive");
+                let mut carried: Vec<V> = inits.iter().map(|&v| g(env, v)).collect();
+                let mut i = lo;
+                while i < hi {
+                    // Loop bookkeeping: induction increment + compare/branch.
+                    self.model.retire(1);
+                    env[iv.index()] = Some(V::Index(i));
+                    for (a, v) in iter_args.iter().zip(&carried) {
+                        env[a.index()] = Some(*v);
+                    }
+                    match self.region(body, env)? {
+                        Flow::Yield(vs) => carried = vs,
+                        f @ Flow::Return(_) => return Ok(Some(f)),
+                        Flow::Condition(..) => unreachable!("verified"),
+                    }
+                    i += step;
+                }
+                for (r, v) in op.results.iter().zip(&carried) {
+                    env[r.index()] = Some(*v);
+                }
+            }
+            OpKind::While {
+                inits,
+                before_args,
+                before,
+                after_args,
+                after,
+            } => {
+                let mut carried: Vec<V> = inits.iter().map(|&v| g(env, v)).collect();
+                loop {
+                    for (a, v) in before_args.iter().zip(&carried) {
+                        env[a.index()] = Some(*v);
+                    }
+                    match self.region(before, env)? {
+                        Flow::Condition(cond, fwd) => {
+                            if !cond {
+                                for (r, v) in op.results.iter().zip(&fwd) {
+                                    env[r.index()] = Some(*v);
+                                }
+                                break;
+                            }
+                            for (a, v) in after_args.iter().zip(&fwd) {
+                                env[a.index()] = Some(*v);
+                            }
+                        }
+                        f @ Flow::Return(_) => return Ok(Some(f)),
+                        Flow::Yield(_) => unreachable!("verified"),
+                    }
+                    match self.region(after, env)? {
+                        Flow::Yield(vs) => carried = vs,
+                        f @ Flow::Return(_) => return Ok(Some(f)),
+                        Flow::Condition(..) => unreachable!("verified"),
+                    }
+                }
+            }
+            OpKind::If {
+                cond,
+                then_region,
+                else_region,
+            } => {
+                // Branch instruction.
+                self.model.retire(1);
+                let c = g(env, *cond).as_bool();
+                let r = if c { then_region } else { else_region };
+                match self.region(r, env)? {
+                    Flow::Yield(vs) => {
+                        for (res, v) in op.results.iter().zip(&vs) {
+                            env[res.index()] = Some(*v);
+                        }
+                    }
+                    f @ Flow::Return(_) => return Ok(Some(f)),
+                    Flow::Condition(..) => unreachable!("verified"),
+                }
+            }
+            OpKind::Yield(vs) => {
+                self.model.retire(1);
+                return Ok(Some(Flow::Yield(vs.iter().map(|&v| g(env, v)).collect())));
+            }
+            OpKind::ConditionOp { cond, args } => {
+                self.model.retire(1);
+                let c = g(env, *cond).as_bool();
+                return Ok(Some(Flow::Condition(
+                    c,
+                    args.iter().map(|&v| g(env, v)).collect(),
+                )));
+            }
+            OpKind::Return(vs) => {
+                self.model.retire(1);
+                return Ok(Some(Flow::Return(vs.iter().map(|&v| g(env, v)).collect())));
+            }
+        }
+        Ok(None)
+    }
+}
+
+fn eval_binary(b: BinOp, l: V, r: V) -> V {
+    use BinOp::*;
+    match b {
+        AddF | SubF | MulF | DivF => {
+            let (x, y) = (l.as_f64(), r.as_f64());
+            V::F64(match b {
+                AddF => x + y,
+                SubF => x - y,
+                MulF => x * y,
+                DivF => x / y,
+                _ => unreachable!(),
+            })
+        }
+        _ => {
+            let (x, y) = (l.as_u64(), r.as_u64());
+            let z = match b {
+                AddI => x.wrapping_add(y),
+                SubI => x.wrapping_sub(y),
+                MulI => x.wrapping_mul(y),
+                DivUI => x / y,
+                RemUI => x % y,
+                MinUI => x.min(y),
+                MaxUI => x.max(y),
+                AndI => x & y,
+                OrI => x | y,
+                XorI => x ^ y,
+                _ => unreachable!(),
+            };
+            // Result type follows the lhs operand type.
+            match l {
+                V::Index(_) => V::Index(z as usize),
+                V::I64(_) => V::I64(z as i64),
+                V::I32(_) => V::I32(z as i32),
+                V::I8(_) => V::I8(z as i8),
+                V::Bool(_) => V::Bool(z != 0),
+                _ => unreachable!("verified integer-like"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::verify::verify;
+
+    /// Build and run a dense dot-product kernel, checking the result and
+    /// event counts.
+    #[test]
+    fn dot_product() {
+        let mut b = FuncBuilder::new("dot");
+        let x = b.arg(Type::memref(Type::F64));
+        let y = b.arg(Type::memref(Type::F64));
+        let out = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let zero = b.const_f64(0.0);
+        let acc = b.for_loop(c0, n, c1, &[zero], |b, i, args| {
+            let xv = b.load(x, i);
+            let yv = b.load(y, i);
+            let p = b.mulf(xv, yv);
+            vec![b.addf(args[0], p)]
+        });
+        b.store(acc[0], out, c0);
+        let f = b.finish();
+        verify(&f).unwrap();
+
+        let mut bufs = Buffers::new();
+        let bx = bufs.add(BufferData::F64(vec![1.0, 2.0, 3.0]));
+        let by = bufs.add(BufferData::F64(vec![4.0, 5.0, 6.0]));
+        let bo = bufs.add(BufferData::F64(vec![0.0]));
+        let mut m = CountingModel::default();
+        interpret(
+            &f,
+            &[V::Mem(bx), V::Mem(by), V::Mem(bo), V::Index(3)],
+            &mut bufs,
+            &mut m,
+        )
+        .unwrap();
+        match &bufs.get(bo).data {
+            BufferData::F64(v) => assert_eq!(v[0], 32.0),
+            _ => unreachable!(),
+        }
+        assert_eq!(m.loads, 6);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.prefetches, 0);
+        assert!(m.instructions > 6);
+    }
+
+    #[test]
+    fn while_loop_counts_to_n() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("count");
+        let n = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::Index));
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let r = b.while_loop(
+            &[c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0]]),
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        b.store(r[0], out, c0);
+        let f = b.finish();
+        verify(&f).unwrap();
+
+        let mut bufs = Buffers::new();
+        let bo = bufs.add(BufferData::Index(vec![0]));
+        interpret(
+            &f,
+            &[V::Index(7), V::Mem(bo)],
+            &mut bufs,
+            &mut NullModel,
+        )
+        .unwrap();
+        match &bufs.get(bo).data {
+            BufferData::Index(v) => assert_eq!(v[0], 7),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_load_faults() {
+        let mut b = FuncBuilder::new("oob");
+        let x = b.arg(Type::memref(Type::F64));
+        let i = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::F64));
+        let c0 = b.const_index(0);
+        let v = b.load(x, i);
+        b.store(v, out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let bx = bufs.add(BufferData::F64(vec![1.0, 2.0]));
+        let bo = bufs.add(BufferData::F64(vec![0.0]));
+        let err = interpret(
+            &f,
+            &[V::Mem(bx), V::Index(5), V::Mem(bo)],
+            &mut bufs,
+            &mut NullModel,
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::OutOfBounds { index: 5, len: 2 });
+    }
+
+    #[test]
+    fn prefetch_past_end_does_not_fault() {
+        let mut b = FuncBuilder::new("pf");
+        let x = b.arg(Type::memref(Type::F64));
+        let i = b.arg(Type::Index);
+        b.prefetch_read(x, i, 2);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let bx = bufs.add(BufferData::F64(vec![1.0]));
+        let mut m = CountingModel::default();
+        interpret(&f, &[V::Mem(bx), V::Index(1000)], &mut bufs, &mut m).unwrap();
+        assert_eq!(m.prefetches, 1);
+    }
+
+    #[test]
+    fn if_else_selects_branch() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("sel");
+        let x = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::Index));
+        let c0 = b.const_index(0);
+        let c10 = b.const_index(10);
+        let c20 = b.const_index(20);
+        let cond = b.cmpi(CmpPred::Ult, x, c10);
+        let r = b.if_else(cond, &[Type::Index], |_| vec![c10], |_| vec![c20]);
+        b.store(r[0], out, c0);
+        let f = b.finish();
+        let run = |arg: usize| {
+            let mut bufs = Buffers::new();
+            let bo = bufs.add(BufferData::Index(vec![0]));
+            interpret(&f, &[V::Index(arg), V::Mem(bo)], &mut bufs, &mut NullModel).unwrap();
+            match &bufs.get(bo).data {
+                BufferData::Index(v) => v[0],
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(run(5), 10);
+        assert_eq!(run(15), 20);
+    }
+
+    #[test]
+    fn buffer_addresses_are_disjoint_and_aligned() {
+        let mut bufs = Buffers::new();
+        let a = bufs.add(BufferData::F64(vec![0.0; 1000]));
+        let b = bufs.add(BufferData::I32(vec![0; 17]));
+        let c = bufs.add(BufferData::I8(vec![0; 3]));
+        let (ba, bb, bc) = (
+            bufs.get(a).base_addr,
+            bufs.get(b).base_addr,
+            bufs.get(c).base_addr,
+        );
+        assert_eq!(ba % BUF_ALIGN, 0);
+        assert_eq!(bb % BUF_ALIGN, 0);
+        assert_eq!(bc % BUF_ALIGN, 0);
+        assert!(ba + 8000 + GUARD_GAP <= bb);
+        assert!(bb + 68 + GUARD_GAP <= bc);
+    }
+
+    #[test]
+    fn integer_binops_follow_lhs_type() {
+        assert_eq!(
+            eval_binary(BinOp::AddI, V::I32(2_000_000_000), V::I32(2_000_000_000)),
+            V::I32((4_000_000_000u32) as i32)
+        );
+        assert_eq!(eval_binary(BinOp::MinUI, V::Index(3), V::Index(9)), V::Index(3));
+        assert_eq!(eval_binary(BinOp::OrI, V::I8(1), V::I8(2)), V::I8(3));
+        assert_eq!(eval_binary(BinOp::AndI, V::I8(3), V::I8(2)), V::I8(2));
+    }
+
+    #[test]
+    fn cast_widens_narrow_coordinates() {
+        let mut b = FuncBuilder::new("c");
+        let crd = b.arg(Type::memref(Type::I32));
+        let out = b.arg(Type::memref(Type::Index));
+        let c0 = b.const_index(0);
+        let v = b.load(crd, c0);
+        let vi = b.to_index(v);
+        b.store(vi, out, c0);
+        let f = b.finish();
+        verify(&f).unwrap();
+        let mut bufs = Buffers::new();
+        let bc = bufs.add(BufferData::I32(vec![42]));
+        let bo = bufs.add(BufferData::Index(vec![0]));
+        interpret(&f, &[V::Mem(bc), V::Mem(bo)], &mut bufs, &mut NullModel).unwrap();
+        match &bufs.get(bo).data {
+            BufferData::Index(v) => assert_eq!(v[0], 42),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bad_arg_count_is_reported() {
+        let mut b = FuncBuilder::new("f");
+        let _ = b.arg(Type::Index);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let err = interpret(&f, &[], &mut bufs, &mut NullModel).unwrap_err();
+        assert!(matches!(err, InterpError::BadArgs(_)));
+    }
+}

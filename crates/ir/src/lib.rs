@@ -1,0 +1,40 @@
+//! # asap-ir — a small MLIR-like SSA IR
+//!
+//! The executable substrate standing in for MLIR's `arith`/`memref`/`scf`
+//! dialects in the ASaP reproduction. It provides:
+//!
+//! - a region-structured SSA IR ([`Function`], [`Op`], [`Region`]) covering
+//!   exactly the op set sparsification emits, including `memref.prefetch`;
+//! - a closure-based [`FuncBuilder`];
+//! - a [`verify()`] pass checking def-before-use, terminators and types;
+//! - an MLIR-flavoured [`print_function`] printer for golden tests;
+//! - an [`interpret`]er that executes functions against typed [`Buffers`]
+//!   and reports every memory access (with a static-op "PC") to a
+//!   pluggable [`MemoryModel`] — the hook `asap-sim` attaches to;
+//! - transforms: [`licm`] (needed so ASaP's hoistable bound chain really is
+//!   hoisted, as the paper assumes) and [`dce`].
+
+pub mod builder;
+pub mod cse;
+pub mod fold;
+pub mod interp;
+pub mod ops;
+pub mod printer;
+pub mod trace;
+pub mod transforms;
+pub mod types;
+pub mod verify;
+
+pub use builder::FuncBuilder;
+pub use interp::{
+    interpret, AccessKind, Buffer, BufferData, Buffers, CountingModel, InterpError, MemoryModel,
+    NullModel, V,
+};
+pub use ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
+pub use printer::print_function;
+pub use trace::{TraceEvent, TraceModel};
+pub use cse::cse;
+pub use fold::fold;
+pub use transforms::{dce, licm};
+pub use types::{Literal, Type};
+pub use verify::{verify, VerifyError};

@@ -1,0 +1,537 @@
+//! Operations, regions and functions.
+//!
+//! The IR is a tree: a [`Function`] owns a body [`Region`]; structured
+//! control-flow ops (`scf.for`, `scf.while`, `scf.if`) own nested regions.
+//! Values are function-scoped SSA ids; ops that define region-local block
+//! arguments (loop induction variables, iteration arguments) allocate them
+//! from the same id space.
+
+use crate::types::{Literal, Type};
+use std::fmt;
+
+/// An SSA value id, scoped to one [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+impl Value {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A static op id: unique per op *instance* in a function. The interpreter
+/// reports it as the "program counter" of memory accesses so PC-indexed
+/// hardware prefetchers (e.g. the L1 IPP) can be simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Integer and float binary arithmetic ops (`arith` dialect subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    AddI,
+    SubI,
+    MulI,
+    DivUI,
+    RemUI,
+    MinUI,
+    MaxUI,
+    AndI,
+    OrI,
+    XorI,
+    AddF,
+    SubF,
+    MulF,
+    DivF,
+}
+
+impl BinOp {
+    /// Whether the op operates on (and produces) float values.
+    pub fn is_float(self) -> bool {
+        matches!(self, BinOp::AddF | BinOp::SubF | BinOp::MulF | BinOp::DivF)
+    }
+
+    /// MLIR-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::AddI => "arith.addi",
+            BinOp::SubI => "arith.subi",
+            BinOp::MulI => "arith.muli",
+            BinOp::DivUI => "arith.divui",
+            BinOp::RemUI => "arith.remui",
+            BinOp::MinUI => "arith.minui",
+            BinOp::MaxUI => "arith.maxui",
+            BinOp::AndI => "arith.andi",
+            BinOp::OrI => "arith.ori",
+            BinOp::XorI => "arith.xori",
+            BinOp::AddF => "arith.addf",
+            BinOp::SubF => "arith.subf",
+            BinOp::MulF => "arith.mulf",
+            BinOp::DivF => "arith.divf",
+        }
+    }
+}
+
+/// Integer comparison predicates (unsigned and signed subsets we need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+impl CmpPred {
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+        }
+    }
+}
+
+/// A straight-line list of ops (a single-block region, as produced by the
+/// sparsifier's structured control flow).
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    pub ops: Vec<Op>,
+}
+
+impl Region {
+    pub fn new() -> Region {
+        Region { ops: Vec::new() }
+    }
+
+    /// Walk every op in this region and nested regions, depth-first,
+    /// pre-order.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Op)) {
+        for op in &self.ops {
+            f(op);
+            for r in op.kind.regions() {
+                r.walk(f);
+            }
+        }
+    }
+
+    /// Total number of ops in this region including nested regions.
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+/// One operation: a kind plus the values it defines as results.
+#[derive(Debug, Clone)]
+pub struct Op {
+    pub id: OpId,
+    pub kind: OpKind,
+    pub results: Vec<Value>,
+}
+
+/// The different operations, mirroring MLIR's `arith`/`memref`/`scf` subset
+/// that sparsification emits.
+#[derive(Debug, Clone)]
+pub enum OpKind {
+    /// `arith.constant`.
+    Const(Literal),
+    /// Binary arithmetic.
+    Binary { op: BinOp, lhs: Value, rhs: Value },
+    /// `arith.cmpi`.
+    Cmp { pred: CmpPred, lhs: Value, rhs: Value },
+    /// `arith.select`.
+    Select {
+        cond: Value,
+        if_true: Value,
+        if_false: Value,
+    },
+    /// `arith.index_cast` / `arith.extui` / `arith.trunci` (value-preserving
+    /// conversion between integer-like scalar types).
+    Cast { value: Value, to: Type },
+    /// `memref.load %mem[%index]`.
+    Load { mem: Value, index: Value },
+    /// `memref.store %value, %mem[%index]`.
+    Store {
+        mem: Value,
+        index: Value,
+        value: Value,
+    },
+    /// `memref.prefetch %mem[%index], read|write, locality<l>, data`.
+    ///
+    /// Never faults: the index may point past the end of the buffer, in
+    /// which case the access still produces an address (the line after the
+    /// buffer) exactly like a hardware prefetch instruction would.
+    Prefetch {
+        mem: Value,
+        index: Value,
+        write: bool,
+        locality: u8,
+    },
+    /// `memref.dim %mem` — runtime length of the buffer. Provided for
+    /// completeness/testing; ASaP itself derives bounds from position
+    /// buffers because allocation sites are not visible to the pass.
+    Dim { mem: Value },
+    /// `scf.for %iv = %lo to %hi step %step iter_args(...)`.
+    For {
+        lo: Value,
+        hi: Value,
+        step: Value,
+        /// Block argument: induction variable.
+        iv: Value,
+        /// Block arguments: loop-carried values.
+        iter_args: Vec<Value>,
+        /// Initial values for `iter_args` (defined outside).
+        inits: Vec<Value>,
+        body: Region,
+    },
+    /// `scf.while`: `before` computes the condition (terminated by
+    /// [`OpKind::ConditionOp`]); `after` is the loop body (terminated by
+    /// [`OpKind::Yield`]).
+    While {
+        inits: Vec<Value>,
+        before_args: Vec<Value>,
+        before: Region,
+        after_args: Vec<Value>,
+        after: Region,
+    },
+    /// `scf.if` with optional results (both regions yield the same arity).
+    If {
+        cond: Value,
+        then_region: Region,
+        else_region: Region,
+    },
+    /// `scf.yield` — terminator of for/if/while-after regions.
+    Yield(Vec<Value>),
+    /// `scf.condition` — terminator of while-before regions; forwards
+    /// `args` to the after-region / results when `cond` is true.
+    ConditionOp { cond: Value, args: Vec<Value> },
+    /// `func.return`.
+    Return(Vec<Value>),
+}
+
+impl OpKind {
+    /// Nested regions of this op, if any.
+    pub fn regions(&self) -> Vec<&Region> {
+        match self {
+            OpKind::For { body, .. } => vec![body],
+            OpKind::While { before, after, .. } => vec![before, after],
+            OpKind::If {
+                then_region,
+                else_region,
+                ..
+            } => vec![then_region, else_region],
+            _ => vec![],
+        }
+    }
+
+    /// Mutable nested regions.
+    pub fn regions_mut(&mut self) -> Vec<&mut Region> {
+        match self {
+            OpKind::For { body, .. } => vec![body],
+            OpKind::While { before, after, .. } => vec![before, after],
+            OpKind::If {
+                then_region,
+                else_region,
+                ..
+            } => vec![then_region, else_region],
+            _ => vec![],
+        }
+    }
+
+    /// Values this op reads (not including values read inside nested
+    /// regions).
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            OpKind::Const(_) => vec![],
+            OpKind::Binary { lhs, rhs, .. } => vec![*lhs, *rhs],
+            OpKind::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            OpKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => vec![*cond, *if_true, *if_false],
+            OpKind::Cast { value, .. } => vec![*value],
+            OpKind::Load { mem, index } => vec![*mem, *index],
+            OpKind::Store { mem, index, value } => vec![*mem, *index, *value],
+            OpKind::Prefetch { mem, index, .. } => vec![*mem, *index],
+            OpKind::Dim { mem } => vec![*mem],
+            OpKind::For {
+                lo,
+                hi,
+                step,
+                inits,
+                ..
+            } => {
+                let mut v = vec![*lo, *hi, *step];
+                v.extend_from_slice(inits);
+                v
+            }
+            OpKind::While { inits, .. } => inits.clone(),
+            OpKind::If { cond, .. } => vec![*cond],
+            OpKind::Yield(vs) => vs.clone(),
+            OpKind::ConditionOp { cond, args } => {
+                let mut v = vec![*cond];
+                v.extend_from_slice(args);
+                v
+            }
+            OpKind::Return(vs) => vs.clone(),
+        }
+    }
+
+    /// Replace every operand occurrence of `from` with `to` (shallow: does
+    /// not descend into nested regions).
+    pub fn replace_operand(&mut self, from: Value, to: Value) {
+        let r = |v: &mut Value| {
+            if *v == from {
+                *v = to;
+            }
+        };
+        match self {
+            OpKind::Const(_) => {}
+            OpKind::Binary { lhs, rhs, .. } | OpKind::Cmp { lhs, rhs, .. } => {
+                r(lhs);
+                r(rhs);
+            }
+            OpKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                r(cond);
+                r(if_true);
+                r(if_false);
+            }
+            OpKind::Cast { value, .. } => r(value),
+            OpKind::Load { mem, index } => {
+                r(mem);
+                r(index);
+            }
+            OpKind::Store { mem, index, value } => {
+                r(mem);
+                r(index);
+                r(value);
+            }
+            OpKind::Prefetch { mem, index, .. } => {
+                r(mem);
+                r(index);
+            }
+            OpKind::Dim { mem } => r(mem),
+            OpKind::For {
+                lo,
+                hi,
+                step,
+                inits,
+                ..
+            } => {
+                r(lo);
+                r(hi);
+                r(step);
+                inits.iter_mut().for_each(r);
+            }
+            OpKind::While { inits, .. } => inits.iter_mut().for_each(r),
+            OpKind::If { cond, .. } => r(cond),
+            OpKind::Yield(vs) | OpKind::Return(vs) => vs.iter_mut().for_each(r),
+            OpKind::ConditionOp { cond, args } => {
+                r(cond);
+                args.iter_mut().for_each(r);
+            }
+        }
+    }
+
+    /// Whether the op has side effects on memory (and therefore must not be
+    /// removed or reordered freely).
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Store { .. }
+                | OpKind::Prefetch { .. }
+                | OpKind::Yield(_)
+                | OpKind::ConditionOp { .. }
+                | OpKind::Return(_)
+        ) || !self.regions().is_empty()
+    }
+
+    /// Whether this is a region terminator.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            OpKind::Yield(_) | OpKind::ConditionOp { .. } | OpKind::Return(_)
+        )
+    }
+}
+
+/// A function: typed parameters plus a body region ending in `Return`.
+#[derive(Debug, Clone)]
+pub struct Function {
+    pub name: String,
+    /// Parameter values, in order. Their types live in `value_types`.
+    pub params: Vec<Value>,
+    pub body: Region,
+    /// Type of every value, indexed by `Value::index()`.
+    pub value_types: Vec<Type>,
+    /// Number of distinct static ops allocated (for fresh `OpId`s).
+    pub num_ops: u32,
+}
+
+impl Function {
+    /// Type of a value.
+    pub fn ty(&self, v: Value) -> &Type {
+        &self.value_types[v.index()]
+    }
+
+    /// Number of SSA values allocated.
+    pub fn num_values(&self) -> u32 {
+        self.value_types.len() as u32
+    }
+
+    /// Allocate a fresh value of the given type (used by transforms that
+    /// create ops).
+    pub fn fresh_value(&mut self, ty: Type) -> Value {
+        let v = Value(self.value_types.len() as u32);
+        self.value_types.push(ty);
+        v
+    }
+
+    /// Allocate a fresh static op id.
+    pub fn fresh_op_id(&mut self) -> OpId {
+        let id = OpId(self.num_ops);
+        self.num_ops += 1;
+        id
+    }
+
+    /// Walk all ops in the function.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Op)) {
+        self.body.walk(f);
+    }
+
+    /// Count ops of the whole function.
+    pub fn op_count(&self) -> usize {
+        self.body.op_count()
+    }
+
+    /// Count prefetch ops — handy for tests asserting a pass's effect.
+    pub fn prefetch_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |op| {
+            if matches!(op.kind, OpKind::Prefetch { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_op(id: u32, kind: OpKind) -> Op {
+        Op {
+            id: OpId(id),
+            kind,
+            results: vec![],
+        }
+    }
+
+    #[test]
+    fn operands_and_replace() {
+        let mut k = OpKind::Binary {
+            op: BinOp::AddI,
+            lhs: Value(1),
+            rhs: Value(2),
+        };
+        assert_eq!(k.operands(), vec![Value(1), Value(2)]);
+        k.replace_operand(Value(2), Value(9));
+        assert_eq!(k.operands(), vec![Value(1), Value(9)]);
+    }
+
+    #[test]
+    fn store_has_side_effects_load_does_not() {
+        let st = OpKind::Store {
+            mem: Value(0),
+            index: Value(1),
+            value: Value(2),
+        };
+        let ld = OpKind::Load {
+            mem: Value(0),
+            index: Value(1),
+        };
+        assert!(st.has_side_effects());
+        assert!(!ld.has_side_effects());
+    }
+
+    #[test]
+    fn walk_descends_into_regions() {
+        let inner = Region {
+            ops: vec![dummy_op(2, OpKind::Yield(vec![]))],
+        };
+        let for_op = dummy_op(
+            1,
+            OpKind::For {
+                lo: Value(0),
+                hi: Value(1),
+                step: Value(2),
+                iv: Value(3),
+                iter_args: vec![],
+                inits: vec![],
+                body: inner,
+            },
+        );
+        let region = Region { ops: vec![for_op] };
+        let mut seen = vec![];
+        region.walk(&mut |op| seen.push(op.id.0));
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(region.op_count(), 2);
+    }
+
+    #[test]
+    fn for_operands_include_bounds_and_inits() {
+        let k = OpKind::For {
+            lo: Value(0),
+            hi: Value(1),
+            step: Value(2),
+            iv: Value(3),
+            iter_args: vec![Value(4)],
+            inits: vec![Value(5)],
+            body: Region::new(),
+        };
+        assert_eq!(k.operands(), vec![Value(0), Value(1), Value(2), Value(5)]);
+    }
+
+    #[test]
+    fn terminators() {
+        assert!(OpKind::Yield(vec![]).is_terminator());
+        assert!(OpKind::Return(vec![]).is_terminator());
+        assert!(OpKind::ConditionOp {
+            cond: Value(0),
+            args: vec![]
+        }
+        .is_terminator());
+        assert!(!OpKind::Const(Literal::Index(0)).is_terminator());
+    }
+
+    #[test]
+    fn binop_classification_and_mnemonics() {
+        assert!(BinOp::AddF.is_float());
+        assert!(!BinOp::AddI.is_float());
+        assert_eq!(BinOp::MulF.mnemonic(), "arith.mulf");
+        assert_eq!(CmpPred::Ult.mnemonic(), "ult");
+    }
+}

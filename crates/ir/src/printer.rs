@@ -1,0 +1,277 @@
+//! Textual printer producing MLIR-flavoured output.
+//!
+//! Used for golden tests (the codegen shapes of the paper's Figures 3, 5
+//! and 9) and for debugging. There is deliberately no parser: the IR is
+//! always constructed programmatically.
+
+use crate::ops::{Function, Op, OpKind, Region, Value};
+use std::fmt::Write;
+
+/// Render a function as MLIR-flavoured text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let mut p = Printer {
+        f,
+        out: &mut out,
+        indent: 0,
+    };
+    p.function();
+    out
+}
+
+struct Printer<'a> {
+    f: &'a Function,
+    out: &'a mut String,
+    indent: usize,
+}
+
+impl<'a> Printer<'a> {
+    fn function(&mut self) {
+        let params: Vec<String> = self
+            .f
+            .params
+            .iter()
+            .map(|&v| format!("{v}: {}", self.f.ty(v)))
+            .collect();
+        let _ = writeln!(self.out, "func @{}({}) {{", self.f.name, params.join(", "));
+        self.indent += 1;
+        self.region(&self.f.body);
+        self.indent -= 1;
+        let _ = writeln!(self.out, "}}");
+    }
+
+    fn region(&mut self, r: &Region) {
+        for op in &r.ops {
+            self.op(op);
+        }
+    }
+
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn results_prefix(&self, op: &Op) -> String {
+        if op.results.is_empty() {
+            String::new()
+        } else {
+            let rs: Vec<String> = op.results.iter().map(|v| v.to_string()).collect();
+            format!("{} = ", rs.join(", "))
+        }
+    }
+
+    fn vals(vs: &[Value]) -> String {
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn op(&mut self, op: &Op) {
+        self.line_start();
+        let pre = self.results_prefix(op);
+        match &op.kind {
+            OpKind::Const(lit) => {
+                let _ = writeln!(self.out, "{pre}arith.constant {lit} : {}", lit.ty());
+            }
+            OpKind::Binary { op: b, lhs, rhs } => {
+                let ty = self.f.ty(*lhs);
+                let _ = writeln!(self.out, "{pre}{} {lhs}, {rhs} : {ty}", b.mnemonic());
+            }
+            OpKind::Cmp { pred, lhs, rhs } => {
+                let ty = self.f.ty(*lhs);
+                let _ = writeln!(
+                    self.out,
+                    "{pre}arith.cmpi {}, {lhs}, {rhs} : {ty}",
+                    pred.mnemonic()
+                );
+            }
+            OpKind::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let ty = self.f.ty(*if_true);
+                let _ = writeln!(
+                    self.out,
+                    "{pre}arith.select {cond}, {if_true}, {if_false} : {ty}"
+                );
+            }
+            OpKind::Cast { value, to } => {
+                let from = self.f.ty(*value);
+                let _ = writeln!(self.out, "{pre}arith.index_cast {value} : {from} to {to}");
+            }
+            OpKind::Load { mem, index } => {
+                let ty = self.f.ty(*mem);
+                let _ = writeln!(self.out, "{pre}memref.load {mem}[{index}] : {ty}");
+            }
+            OpKind::Store { mem, index, value } => {
+                let ty = self.f.ty(*mem);
+                let _ = writeln!(self.out, "memref.store {value}, {mem}[{index}] : {ty}");
+            }
+            OpKind::Prefetch {
+                mem,
+                index,
+                write,
+                locality,
+            } => {
+                let rw = if *write { "write" } else { "read" };
+                let _ = writeln!(
+                    self.out,
+                    "memref.prefetch {mem}[{index}], {rw}, locality<{locality}>, data"
+                );
+            }
+            OpKind::Dim { mem } => {
+                let ty = self.f.ty(*mem);
+                let _ = writeln!(self.out, "{pre}memref.dim {mem} : {ty}");
+            }
+            OpKind::For {
+                lo,
+                hi,
+                step,
+                iv,
+                iter_args,
+                inits,
+                body,
+            } => {
+                let mut head = format!("{pre}scf.for {iv} = {lo} to {hi} step {step}");
+                if !iter_args.is_empty() {
+                    let pairs: Vec<String> = iter_args
+                        .iter()
+                        .zip(inits)
+                        .map(|(a, i)| format!("{a} = {i}"))
+                        .collect();
+                    let _ = write!(head, " iter_args({})", pairs.join(", "));
+                }
+                let _ = writeln!(self.out, "{head} {{");
+                self.indent += 1;
+                self.region(body);
+                self.indent -= 1;
+                self.line_start();
+                let _ = writeln!(self.out, "}}");
+            }
+            OpKind::While {
+                inits,
+                before_args,
+                before,
+                after_args,
+                after,
+            } => {
+                let pairs: Vec<String> = before_args
+                    .iter()
+                    .zip(inits)
+                    .map(|(a, i)| format!("{a} = {i}"))
+                    .collect();
+                let _ = writeln!(self.out, "{pre}scf.while ({}) {{", pairs.join(", "));
+                self.indent += 1;
+                self.region(before);
+                self.indent -= 1;
+                self.line_start();
+                let _ = writeln!(self.out, "}} do ({}) {{", Self::vals(after_args));
+                self.indent += 1;
+                self.region(after);
+                self.indent -= 1;
+                self.line_start();
+                let _ = writeln!(self.out, "}}");
+            }
+            OpKind::If {
+                cond,
+                then_region,
+                else_region,
+            } => {
+                let _ = writeln!(self.out, "{pre}scf.if {cond} {{");
+                self.indent += 1;
+                self.region(then_region);
+                self.indent -= 1;
+                self.line_start();
+                let _ = writeln!(self.out, "}} else {{");
+                self.indent += 1;
+                self.region(else_region);
+                self.indent -= 1;
+                self.line_start();
+                let _ = writeln!(self.out, "}}");
+            }
+            OpKind::Yield(vs) => {
+                let _ = writeln!(self.out, "scf.yield {}", Self::vals(vs));
+            }
+            OpKind::ConditionOp { cond, args } => {
+                let _ = writeln!(self.out, "scf.condition({cond}) {}", Self::vals(args));
+            }
+            OpKind::Return(vs) => {
+                let _ = writeln!(self.out, "func.return {}", Self::vals(vs));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::ops::CmpPred;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_loop_nest() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.for_loop(c0, n, c1, &[], |b, i, _| {
+            let v = b.load(x, i);
+            b.store(v, x, i);
+            vec![]
+        });
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("func @t(%0: memref<?xf64>, %1: index)"));
+        assert!(text.contains("scf.for %4 = %2 to %1 step %3 {"));
+        assert!(text.contains("memref.load %0[%4]"));
+        assert!(text.contains("memref.store %5, %0[%4]"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn prints_prefetch_with_locality() {
+        let mut b = FuncBuilder::new("p");
+        let x = b.arg(Type::memref(Type::F64));
+        let c0 = b.const_index(0);
+        b.prefetch_read(x, c0, 2);
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("memref.prefetch %0[%1], read, locality<2>, data"));
+    }
+
+    #[test]
+    fn prints_while_and_condition() {
+        let mut b = FuncBuilder::new("w");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.while_loop(
+            &[c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0]]),
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("scf.while"));
+        assert!(text.contains("scf.condition"));
+        assert!(text.contains("} do ("));
+    }
+
+    #[test]
+    fn prints_if_with_results() {
+        let mut b = FuncBuilder::new("i");
+        let x = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let cond = b.cmpi(CmpPred::Ugt, x, c0);
+        b.if_else(cond, &[Type::Index], |_| vec![x], |_| vec![c0]);
+        let f = b.finish();
+        let text = print_function(&f);
+        assert!(text.contains("scf.if"));
+        assert!(text.contains("} else {"));
+    }
+}

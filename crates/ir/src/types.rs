@@ -1,0 +1,170 @@
+//! Types and literal values for the IR.
+//!
+//! The type system mirrors the subset of MLIR types that the sparse tensor
+//! dialect's sparsification output uses: `index`, fixed-width integers,
+//! `f64`, `i1`, and dynamically-sized 1-D memrefs (`memref<?xT>`).
+
+use std::fmt;
+
+/// An IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Platform-sized index type (lowered to 64-bit here).
+    Index,
+    /// 64-bit signless integer.
+    I64,
+    /// 32-bit signless integer (used for narrow coordinate buffers).
+    I32,
+    /// 8-bit signless integer (used for binary-matrix values).
+    I8,
+    /// 1-bit boolean.
+    I1,
+    /// 64-bit IEEE float.
+    F64,
+    /// Dynamically-sized 1-D buffer of the element type (`memref<?xT>`).
+    MemRef(Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for `memref<?xT>`.
+    pub fn memref(elem: Type) -> Type {
+        Type::MemRef(Box::new(elem))
+    }
+
+    /// Element type of a memref type; `None` for scalar types.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::MemRef(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an integer-like scalar (including `index` and `i1`).
+    pub fn is_int_like(&self) -> bool {
+        matches!(self, Type::Index | Type::I64 | Type::I32 | Type::I8 | Type::I1)
+    }
+
+    /// Whether this is a float scalar.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::F64)
+    }
+
+    /// Size in bytes of a scalar of this type as stored in a buffer.
+    ///
+    /// `index` is stored as 8 bytes; `i1` as 1 byte. Panics on memref types,
+    /// which have no fixed element size of their own.
+    pub fn byte_width(&self) -> u8 {
+        match self {
+            Type::Index | Type::I64 | Type::F64 => 8,
+            Type::I32 => 4,
+            Type::I8 | Type::I1 => 1,
+            Type::MemRef(_) => panic!("memref has no scalar byte width"),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Index => write!(f, "index"),
+            Type::I64 => write!(f, "i64"),
+            Type::I32 => write!(f, "i32"),
+            Type::I8 => write!(f, "i8"),
+            Type::I1 => write!(f, "i1"),
+            Type::F64 => write!(f, "f64"),
+            Type::MemRef(e) => write!(f, "memref<?x{e}>"),
+        }
+    }
+}
+
+/// A compile-time literal, the payload of a constant op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    Index(usize),
+    I64(i64),
+    I32(i32),
+    I8(i8),
+    Bool(bool),
+    F64(f64),
+}
+
+impl Literal {
+    /// The type of this literal.
+    pub fn ty(&self) -> Type {
+        match self {
+            Literal::Index(_) => Type::Index,
+            Literal::I64(_) => Type::I64,
+            Literal::I32(_) => Type::I32,
+            Literal::I8(_) => Type::I8,
+            Literal::Bool(_) => Type::I1,
+            Literal::F64(_) => Type::F64,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Index(v) => write!(f, "{v}"),
+            Literal::I64(v) => write!(f, "{v}"),
+            Literal::I32(v) => write!(f, "{v}"),
+            Literal::I8(v) => write!(f, "{v}"),
+            Literal::Bool(v) => write!(f, "{v}"),
+            Literal::F64(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_elem_roundtrip() {
+        let t = Type::memref(Type::F64);
+        assert_eq!(t.elem(), Some(&Type::F64));
+        assert_eq!(Type::Index.elem(), None);
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Type::Index.byte_width(), 8);
+        assert_eq!(Type::F64.byte_width(), 8);
+        assert_eq!(Type::I64.byte_width(), 8);
+        assert_eq!(Type::I32.byte_width(), 4);
+        assert_eq!(Type::I8.byte_width(), 1);
+        assert_eq!(Type::I1.byte_width(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "memref has no scalar byte width")]
+    fn memref_byte_width_panics() {
+        let _ = Type::memref(Type::F64).byte_width();
+    }
+
+    #[test]
+    fn literal_types() {
+        assert_eq!(Literal::Index(3).ty(), Type::Index);
+        assert_eq!(Literal::F64(1.5).ty(), Type::F64);
+        assert_eq!(Literal::Bool(true).ty(), Type::I1);
+        assert_eq!(Literal::I32(-1).ty(), Type::I32);
+        assert_eq!(Literal::I8(7).ty(), Type::I8);
+        assert_eq!(Literal::I64(9).ty(), Type::I64);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::memref(Type::I32).to_string(), "memref<?xi32>");
+        assert_eq!(Literal::F64(2.0).to_string(), "2.0");
+        assert_eq!(Literal::Index(5).to_string(), "5");
+    }
+
+    #[test]
+    fn int_float_classification() {
+        assert!(Type::Index.is_int_like());
+        assert!(Type::I1.is_int_like());
+        assert!(!Type::F64.is_int_like());
+        assert!(Type::F64.is_float());
+        assert!(!Type::memref(Type::F64).is_int_like());
+    }
+}

@@ -1,0 +1,445 @@
+//! Structural and type verification.
+//!
+//! Checks the invariants the interpreter and the transforms rely on:
+//! every operand is defined (dominance within the straight-line region
+//! model), region terminators have the right kind and arity, and operand
+//! types are consistent.
+
+use crate::ops::{Function, Op, OpKind, Region, Value};
+use crate::types::Type;
+use std::collections::HashSet;
+
+/// A verification failure, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError(pub String);
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a function, returning the first violated invariant.
+pub fn verify(f: &Function) -> Result<(), VerifyError> {
+    let mut defined: HashSet<Value> = f.params.iter().copied().collect();
+    for &p in &f.params {
+        if p.index() >= f.value_types.len() {
+            return Err(VerifyError(format!("param {p} has no recorded type")));
+        }
+    }
+    verify_region(f, &f.body, &mut defined, TerminatorKind::Return)?;
+    Ok(())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TerminatorKind {
+    Return,
+    Yield { arity: usize },
+    Condition { arity: usize },
+}
+
+fn check_operands(f: &Function, op: &Op, defined: &HashSet<Value>) -> Result<(), VerifyError> {
+    for v in op.kind.operands() {
+        if !defined.contains(&v) {
+            return Err(VerifyError(format!(
+                "{}: operand {v} used before definition",
+                op.id
+            )));
+        }
+        if v.index() >= f.value_types.len() {
+            return Err(VerifyError(format!("{}: operand {v} has no type", op.id)));
+        }
+    }
+    Ok(())
+}
+
+fn check_types(f: &Function, op: &Op) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError(format!("{}: {msg}", op.id)));
+    match &op.kind {
+        OpKind::Binary { op: b, lhs, rhs } => {
+            if f.ty(*lhs) != f.ty(*rhs) {
+                return err(format!(
+                    "binary operand types differ: {} vs {}",
+                    f.ty(*lhs),
+                    f.ty(*rhs)
+                ));
+            }
+            let want_float = b.is_float();
+            if want_float != f.ty(*lhs).is_float() {
+                return err(format!(
+                    "{} applied to {}",
+                    b.mnemonic(),
+                    f.ty(*lhs)
+                ));
+            }
+        }
+        OpKind::Cmp { lhs, rhs, .. } => {
+            if f.ty(*lhs) != f.ty(*rhs) {
+                return err("cmp operand types differ".into());
+            }
+            if !f.ty(*lhs).is_int_like() {
+                return err("cmpi on non-integer type".into());
+            }
+        }
+        OpKind::Select {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            if *f.ty(*cond) != Type::I1 {
+                return err("select condition must be i1".into());
+            }
+            if f.ty(*if_true) != f.ty(*if_false) {
+                return err("select arms have different types".into());
+            }
+        }
+        OpKind::Load { mem, index } | OpKind::Prefetch { mem, index, .. } => {
+            if f.ty(*mem).elem().is_none() {
+                return err("memory operand is not a memref".into());
+            }
+            if *f.ty(*index) != Type::Index {
+                return err("memory index must be of index type".into());
+            }
+        }
+        OpKind::Store { mem, index, value } => {
+            let Some(elem) = f.ty(*mem).elem() else {
+                return err("store target is not a memref".into());
+            };
+            if *f.ty(*index) != Type::Index {
+                return err("store index must be of index type".into());
+            }
+            if elem != f.ty(*value) {
+                return err(format!(
+                    "store of {} into memref of {}",
+                    f.ty(*value),
+                    elem
+                ));
+            }
+        }
+        OpKind::Dim { mem } => {
+            if f.ty(*mem).elem().is_none() {
+                return err("dim of non-memref".into());
+            }
+        }
+        OpKind::For {
+            lo,
+            hi,
+            step,
+            iter_args,
+            inits,
+            ..
+        } => {
+            for (name, v) in [("lo", lo), ("hi", hi), ("step", step)] {
+                if *f.ty(*v) != Type::Index {
+                    return err(format!("for {name} bound must be index"));
+                }
+            }
+            if iter_args.len() != inits.len() {
+                return err("for iter_args/inits arity mismatch".into());
+            }
+            for (a, i) in iter_args.iter().zip(inits) {
+                if f.ty(*a) != f.ty(*i) {
+                    return err("for iter_arg/init type mismatch".into());
+                }
+            }
+            if op.results.len() != inits.len() {
+                return err("for results/inits arity mismatch".into());
+            }
+        }
+        OpKind::While {
+            inits,
+            before_args,
+            after_args,
+            ..
+        } => {
+            if before_args.len() != inits.len() || after_args.len() != inits.len() {
+                return err("while arg arity mismatch".into());
+            }
+            if op.results.len() != inits.len() {
+                return err("while results arity mismatch".into());
+            }
+        }
+        OpKind::If { cond, .. } => {
+            if *f.ty(*cond) != Type::I1 {
+                return err("if condition must be i1".into());
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn verify_region(
+    f: &Function,
+    r: &Region,
+    defined: &mut HashSet<Value>,
+    term: TerminatorKind,
+) -> Result<(), VerifyError> {
+    let Some(last) = r.ops.last() else {
+        return Err(VerifyError("empty region".into()));
+    };
+    if !last.kind.is_terminator() {
+        return Err(VerifyError(format!(
+            "{}: region does not end in a terminator",
+            last.id
+        )));
+    }
+    for (i, op) in r.ops.iter().enumerate() {
+        if op.kind.is_terminator() && i + 1 != r.ops.len() {
+            return Err(VerifyError(format!(
+                "{}: terminator in the middle of a region",
+                op.id
+            )));
+        }
+        check_operands(f, op, defined)?;
+        check_types(f, op)?;
+        match &op.kind {
+            OpKind::For {
+                iv, iter_args, body, ..
+            } => {
+                defined.insert(*iv);
+                defined.extend(iter_args.iter().copied());
+                verify_region(
+                    f,
+                    body,
+                    defined,
+                    TerminatorKind::Yield {
+                        arity: iter_args.len(),
+                    },
+                )?;
+            }
+            OpKind::While {
+                before_args,
+                before,
+                after_args,
+                after,
+                inits,
+            } => {
+                defined.extend(before_args.iter().copied());
+                verify_region(
+                    f,
+                    before,
+                    defined,
+                    TerminatorKind::Condition {
+                        arity: inits.len(),
+                    },
+                )?;
+                defined.extend(after_args.iter().copied());
+                verify_region(
+                    f,
+                    after,
+                    defined,
+                    TerminatorKind::Yield { arity: inits.len() },
+                )?;
+            }
+            OpKind::If {
+                then_region,
+                else_region,
+                ..
+            } => {
+                verify_region(
+                    f,
+                    then_region,
+                    defined,
+                    TerminatorKind::Yield {
+                        arity: op.results.len(),
+                    },
+                )?;
+                verify_region(
+                    f,
+                    else_region,
+                    defined,
+                    TerminatorKind::Yield {
+                        arity: op.results.len(),
+                    },
+                )?;
+            }
+            OpKind::Yield(vs) => match term {
+                TerminatorKind::Yield { arity } if vs.len() == arity => {}
+                TerminatorKind::Yield { arity } => {
+                    return Err(VerifyError(format!(
+                        "{}: yield arity {} != expected {arity}",
+                        op.id,
+                        vs.len()
+                    )));
+                }
+                _ => {
+                    return Err(VerifyError(format!(
+                        "{}: yield where another terminator was expected",
+                        op.id
+                    )));
+                }
+            },
+            OpKind::ConditionOp { args, .. } => match term {
+                TerminatorKind::Condition { arity } if args.len() == arity => {}
+                _ => {
+                    return Err(VerifyError(format!(
+                        "{}: misplaced or wrong-arity scf.condition",
+                        op.id
+                    )));
+                }
+            },
+            OpKind::Return(_) => {
+                if term != TerminatorKind::Return {
+                    return Err(VerifyError(format!(
+                        "{}: return inside a nested region",
+                        op.id
+                    )));
+                }
+            }
+            _ => {}
+        }
+        for &res in &op.results {
+            if !defined.insert(res) {
+                return Err(VerifyError(format!("{}: value {res} redefined", op.id)));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::ops::{BinOp, Op, OpId};
+    use crate::types::{Literal, Type};
+
+    #[test]
+    fn accepts_wellformed_function() {
+        let mut b = FuncBuilder::new("ok");
+        let x = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.for_loop(c0, n, c1, &[], |b, i, _| {
+            let v = b.load(x, i);
+            b.store(v, x, i);
+            vec![]
+        });
+        let f = b.finish();
+        assert!(verify(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut b = FuncBuilder::new("bad");
+        let _ = b.arg(Type::Index);
+        let mut f = b.finish();
+        // Inject an op using an undefined value.
+        f.value_types.push(Type::Index); // type for value 1
+        f.value_types.push(Type::Index); // type for value 2 (never defined)
+        let res = Value(1);
+        f.body.ops.insert(
+            0,
+            Op {
+                id: OpId(99),
+                kind: OpKind::Binary {
+                    op: BinOp::AddI,
+                    lhs: Value(2),
+                    rhs: Value(2),
+                },
+                results: vec![res],
+            },
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_type_mismatch_in_store() {
+        let mut b = FuncBuilder::new("bad_store");
+        let x = b.arg(Type::memref(Type::F64));
+        let c0 = b.const_index(0);
+        let mut f = b.finish();
+        // store of an index into an f64 memref
+        f.body.ops.insert(
+            1,
+            Op {
+                id: OpId(99),
+                kind: OpKind::Store {
+                    mem: x,
+                    index: c0,
+                    value: c0,
+                },
+                results: vec![],
+            },
+        );
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("store of index"), "got: {}", err.0);
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = FuncBuilder::new("nt");
+        let _ = b.arg(Type::Index);
+        let mut f = b.finish();
+        f.body.ops.pop(); // drop the return
+        f.body.ops.push(Op {
+            id: OpId(98),
+            kind: OpKind::Const(Literal::Index(0)),
+            results: vec![Value(1)],
+        });
+        f.value_types.push(Type::Index);
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_float_binop_on_index() {
+        let mut b = FuncBuilder::new("fm");
+        let x = b.arg(Type::Index);
+        let mut f = b.finish();
+        let res = f.fresh_value(Type::Index);
+        f.body.ops.insert(
+            0,
+            Op {
+                id: OpId(97),
+                kind: OpKind::Binary {
+                    op: BinOp::AddF,
+                    lhs: x,
+                    rhs: x,
+                },
+                results: vec![res],
+            },
+        );
+        let err = verify(&f).unwrap_err();
+        assert!(err.0.contains("arith.addf applied to index"));
+    }
+
+    #[test]
+    fn rejects_non_index_load_index() {
+        let mut b = FuncBuilder::new("li");
+        let x = b.arg(Type::memref(Type::F64));
+        let i = b.arg(Type::I32);
+        let mut f = b.finish();
+        let res = f.fresh_value(Type::F64);
+        f.body.ops.insert(
+            0,
+            Op {
+                id: OpId(96),
+                kind: OpKind::Load { mem: x, index: i },
+                results: vec![res],
+            },
+        );
+        assert!(verify(&f).is_err());
+    }
+
+    #[test]
+    fn while_and_if_verify() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("wi");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let w = b.while_loop(
+            &[c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0]]),
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        let cond = b.cmpi(CmpPred::Eq, w[0], n);
+        b.if_else(cond, &[], |_| vec![], |_| vec![]);
+        let f = b.finish();
+        assert!(verify(&f).is_ok());
+    }
+}

@@ -1,0 +1,291 @@
+//! Synthetic matrix generators, one per SuiteSparse family archetype.
+//!
+//! Each generator controls the two properties that drive every experiment
+//! in the paper: memory footprint relative to the simulated LLC
+//! (memory-boundness) and the row-degree distribution (inner-segment
+//! lengths — short segments are where ASaP's cross-segment bound wins
+//! over loop-bound prefetching).
+//!
+//! All generators are deterministic given their seed.
+
+use crate::triplets::Triplets;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Banded matrix: `band` diagonals around the main one. Structured;
+/// hardware prefetchers love it (the "Others" regime of Figures 7/11).
+pub fn banded(n: usize, band: usize, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band + 1).min(n);
+        for j in lo..hi {
+            t.push(i, j, rng.gen_range(0.1..1.0));
+        }
+    }
+    t
+}
+
+/// 5-point 2-D stencil (finite differences on an nx × ny grid):
+/// the classic structured scientific-computing matrix.
+pub fn stencil5(nx: usize, ny: usize) -> Triplets {
+    let n = nx * ny;
+    let mut t = Triplets::new(n, n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            t.push(i, i, 4.0);
+            if x > 0 {
+                t.push(i, idx(x - 1, y), -1.0);
+            }
+            if x + 1 < nx {
+                t.push(i, idx(x + 1, y), -1.0);
+            }
+            if y > 0 {
+                t.push(i, idx(x, y - 1), -1.0);
+            }
+            if y + 1 < ny {
+                t.push(i, idx(x, y + 1), -1.0);
+            }
+        }
+    }
+    t
+}
+
+/// Uniform random (Erdős–Rényi) matrix: every row draws `avg_deg` columns
+/// uniformly. Unstructured, uniform short rows.
+pub fn erdos_renyi(n: usize, avg_deg: usize, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        for _ in 0..avg_deg {
+            let j = rng.gen_range(0..n);
+            t.push(i, j, rng.gen_range(0.1..1.0));
+        }
+    }
+    t
+}
+
+/// RMAT (recursive-matrix) power-law graph, the GAP/Graph500 archetype:
+/// heavy-tailed degrees, a few huge hub rows, many near-empty rows.
+/// Binary adjacency (graph) matrix.
+pub fn rmat(scale: u32, avg_deg: usize, seed: u64) -> Triplets {
+    let n = 1usize << scale;
+    let nnz = n * avg_deg;
+    let (a, b, c) = (0.57, 0.19, 0.19); // Graph500 parameters
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    t.binary = true;
+    for _ in 0..nnz {
+        let (mut r, mut col) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let p: f64 = rng.gen();
+            let (ri, ci) = if p < a {
+                (0, 0)
+            } else if p < a + b {
+                (0, 1)
+            } else if p < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= ri << bit;
+            col |= ci << bit;
+        }
+        t.push(r, col, 1.0);
+    }
+    t
+}
+
+/// Power-law row degrees with uniform column targets (SNAP-style social
+/// network): degree of row i ∝ (i+1)^(-alpha), scaled to hit `avg_deg`.
+pub fn power_law(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let total = (n * avg_deg) as f64;
+    let mut t = Triplets::new(n, n);
+    t.binary = true;
+    for (i, w) in weights.iter().enumerate() {
+        let deg = ((w / wsum) * total).round() as usize;
+        for _ in 0..deg.max(1) {
+            let j = rng.gen_range(0..n);
+            t.push(i, j, 1.0);
+        }
+    }
+    t
+}
+
+/// Road-network-like graph (DIMACS10 archetype): nearly-planar, degree
+/// 2–4, mostly local edges with occasional long ones. The short rows
+/// (segment length ≪ prefetch distance) are the regime of Section 5.3.
+pub fn road_network(n: usize, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    t.binary = true;
+    for i in 0..n {
+        let deg = rng.gen_range(2..=4usize);
+        for _ in 0..deg {
+            // Mostly regional: neighbours within a window a few times the
+            // L1 size (road networks have locality, but not cache-line
+            // streaming locality); 10% long-range.
+            let j = if rng.gen_bool(0.90) {
+                let max_off = 4096usize.min(n.saturating_sub(1)).max(1);
+                let off = rng.gen_range(1..=max_off);
+                if rng.gen_bool(0.5) {
+                    (i + off) % n
+                } else {
+                    (i + n - off) % n
+                }
+            } else {
+                rng.gen_range(0..n)
+            };
+            t.push(i, j, 1.0);
+        }
+    }
+    t
+}
+
+/// Block-diagonal with dense-ish blocks (FEM / GHS_psdef archetype):
+/// structured, excellent locality.
+pub fn block_diagonal(nblocks: usize, block: usize, fill: f64, seed: u64) -> Triplets {
+    let n = nblocks * block;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    for bidx in 0..nblocks {
+        let base = bidx * block;
+        for r in 0..block {
+            for c in 0..block {
+                if r == c || rng.gen_bool(fill) {
+                    t.push(base + r, base + c, rng.gen_range(0.1..1.0));
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Web-graph-like (LAW archetype): power-law degrees plus locality runs
+/// (consecutive columns), mixing streaming-friendly segments with hubs.
+pub fn web_graph(n: usize, avg_deg: usize, seed: u64) -> Triplets {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Triplets::new(n, n);
+    t.binary = true;
+    for i in 0..n {
+        // Heavy tail via a geometric-ish draw.
+        let mut deg = 1usize;
+        while deg < 4 * avg_deg && rng.gen_bool(1.0 - 1.0 / avg_deg as f64) {
+            deg += 1;
+        }
+        let mut j = rng.gen_range(0..n);
+        for k in 0..deg {
+            // Runs of consecutive columns with occasional jumps.
+            if k > 0 && rng.gen_bool(0.6) {
+                j = (j + 1) % n;
+            } else {
+                j = rng.gen_range(0..n);
+            }
+            t.push(i, j, 1.0);
+        }
+    }
+    t
+}
+
+/// Diagonal matrix (degenerate structured case).
+pub fn diagonal(n: usize) -> Triplets {
+    let mut t = Triplets::new(n, n);
+    for i in 0..n {
+        t.push(i, i, 1.0 + i as f64 * 1e-6);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_has_expected_band() {
+        let t = banded(10, 1, 1);
+        assert_eq!(t.nnz(), 10 + 9 + 9);
+        assert!(t
+            .rows
+            .iter()
+            .zip(&t.cols)
+            .all(|(&r, &c)| r.abs_diff(c) <= 1));
+    }
+
+    #[test]
+    fn stencil5_interior_degree_is_five() {
+        let t = stencil5(8, 8);
+        let d = t.row_degrees();
+        // Interior point (3,3) -> index 27.
+        assert_eq!(d[27], 5);
+        // Corner has 3.
+        assert_eq!(d[0], 3);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(erdos_renyi(100, 4, 7), erdos_renyi(100, 4, 7));
+        assert_eq!(rmat(8, 4, 9), rmat(8, 4, 9));
+        assert_ne!(erdos_renyi(100, 4, 7), erdos_renyi(100, 4, 8));
+    }
+
+    #[test]
+    fn rmat_is_heavy_tailed() {
+        let t = rmat(12, 8, 3);
+        let mut d = t.row_degrees();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = d.iter().sum();
+        let top1pct: usize = d.iter().take(d.len() / 100).sum();
+        assert!(
+            top1pct as f64 > 0.10 * total as f64,
+            "top 1% of rows must hold >10% of edges (got {top1pct}/{total})"
+        );
+        assert!(t.binary);
+    }
+
+    #[test]
+    fn road_network_has_short_rows() {
+        let t = road_network(1000, 5);
+        let d = t.row_degrees();
+        assert!(d.iter().all(|&x| x <= 4));
+        assert!(d.iter().filter(|&&x| x >= 2).count() > 900);
+    }
+
+    #[test]
+    fn erdos_renyi_has_uniform_degrees() {
+        let t = erdos_renyi(500, 8, 11);
+        assert_eq!(t.nnz(), 4000);
+        assert!(t.row_degrees().iter().all(|&d| d == 8));
+    }
+
+    #[test]
+    fn block_diagonal_stays_in_blocks() {
+        let t = block_diagonal(4, 8, 0.5, 2);
+        assert!(t
+            .rows
+            .iter()
+            .zip(&t.cols)
+            .all(|(&r, &c)| r / 8 == c / 8));
+    }
+
+    #[test]
+    fn power_law_and_web_graph_shapes() {
+        let p = power_law(400, 6, 1.1, 3);
+        assert!(p.nnz() >= 400, "every row gets at least one entry");
+        let w = web_graph(300, 6, 4);
+        assert!(w.nnz() > 300);
+        assert!(w.binary);
+    }
+
+    #[test]
+    fn diagonal_matches_n() {
+        let t = diagonal(16);
+        assert_eq!(t.nnz(), 16);
+        assert!(t.rows.iter().zip(&t.cols).all(|(&r, &c)| r == c));
+    }
+}

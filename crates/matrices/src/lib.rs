@@ -1,0 +1,21 @@
+//! # asap-matrices — a synthetic SuiteSparse-like matrix collection
+//!
+//! Stands in for the paper's SuiteSparse evaluation set (Section 4.2):
+//! deterministic generators per family archetype ([`gen`]), a grouped
+//! collection mirroring the figures' "Selected six groups + Others"
+//! structure ([`collection`]), MatrixMarket I/O so real matrices can be
+//! substituted ([`mmio`]), and the row-degree statistics that predict
+//! which prefetching regime a matrix falls into ([`stats`]).
+
+pub mod collection;
+pub mod gen;
+pub mod mmio;
+pub mod stats;
+pub mod triplets;
+
+pub use collection::{
+    spmm_collection, synthetic_collection, GenSpec, MatrixSpec, SizeClass, UNSTRUCTURED_GROUPS,
+};
+pub use mmio::{read_matrix_market, write_matrix_market};
+pub use stats::RowStats;
+pub use triplets::Triplets;

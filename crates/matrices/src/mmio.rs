@@ -1,0 +1,174 @@
+//! MatrixMarket coordinate-format I/O, so real SuiteSparse matrices can
+//! be dropped into any experiment in place of the synthetic families.
+//!
+//! Supports `matrix coordinate {real,integer,pattern} {general,symmetric}`.
+
+use crate::triplets::Triplets;
+use std::io::{BufRead, Write};
+
+/// Parse a MatrixMarket stream.
+pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, String> {
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or("empty input")?
+        .map_err(|e| e.to_string())?;
+    let fields: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(format!("not a MatrixMarket matrix header: {header}"));
+    }
+    if fields[2] != "coordinate" {
+        return Err(format!("unsupported storage format: {}", fields[2]));
+    }
+    let value_type = fields[3].as_str();
+    let pattern = match value_type {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(format!("unsupported value type: {other}")),
+    };
+    let symmetric = match fields[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(format!("unsupported symmetry: {other}")),
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or("missing size line")?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|x| x.parse().map_err(|e| format!("bad size field {x}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(format!("size line needs 3 fields: {size_line}"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = Triplets::new(nrows, ncols);
+    t.binary = pattern;
+    let mut read = 0usize;
+    for line in lines {
+        let line = line.map_err(|e| e.to_string())?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('%') {
+            continue;
+        }
+        let mut it = s.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or("missing row")?
+            .parse()
+            .map_err(|e| format!("bad row: {e}"))?;
+        let c: usize = it
+            .next()
+            .ok_or("missing col")?
+            .parse()
+            .map_err(|e| format!("bad col: {e}"))?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(format!("entry ({r},{c}) out of bounds"));
+        }
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or("missing value")?
+                .parse()
+                .map_err(|e| format!("bad value: {e}"))?
+        };
+        t.push(r - 1, c - 1, v);
+        if symmetric && r != c {
+            t.push(c - 1, r - 1, v);
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(format!("expected {nnz} entries, read {read}"));
+    }
+    Ok(t)
+}
+
+/// Write in `coordinate real general` form.
+pub fn write_matrix_market(t: &Triplets, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by asap-matrices")?;
+    writeln!(w, "{} {} {}", t.nrows, t.ncols, t.nnz())?;
+    for i in 0..t.nnz() {
+        writeln!(w, "{} {} {:?}", t.rows[i] + 1, t.cols[i] + 1, t.vals[i])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 4 2\n\
+                   1 1 2.5\n\
+                   3 4 -1.0\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!((t.nrows, t.ncols, t.nnz()), (3, 4, 2));
+        assert_eq!(t.rows, vec![0, 2]);
+        assert_eq!(t.cols, vec![0, 3]);
+        assert_eq!(t.vals, vec![2.5, -1.0]);
+        assert!(!t.binary);
+    }
+
+    #[test]
+    fn parses_pattern_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                   3 3 2\n\
+                   2 1\n\
+                   3 3\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        // Off-diagonal mirrored, diagonal not.
+        assert_eq!(t.nnz(), 3);
+        assert!(t.binary);
+        assert!(t.rows.contains(&0) && t.cols.contains(&0));
+    }
+
+    #[test]
+    fn roundtrips_through_write() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 0.5);
+        t.push(1, 0, -3.25);
+        let mut buf = Vec::new();
+        write_matrix_market(&t, &mut buf).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%Nope\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entries() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(src.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(err.contains("expected 2 entries"));
+    }
+}

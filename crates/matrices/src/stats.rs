@@ -1,0 +1,96 @@
+//! Matrix statistics: the row-degree (inner-segment-length) distribution
+//! that determines which prefetching regime a matrix falls into.
+
+use crate::triplets::Triplets;
+
+/// Summary of a matrix's row-degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStats {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    pub mean: f64,
+    pub median: usize,
+    pub p90: usize,
+    pub max: usize,
+    pub empty_rows: usize,
+}
+
+impl RowStats {
+    pub fn of(t: &Triplets) -> RowStats {
+        let mut d = t.row_degrees();
+        let empty_rows = d.iter().filter(|&&x| x == 0).count();
+        d.sort_unstable();
+        let pick = |q: f64| -> usize {
+            if d.is_empty() {
+                0
+            } else {
+                d[((d.len() - 1) as f64 * q) as usize]
+            }
+        };
+        RowStats {
+            nrows: t.nrows,
+            ncols: t.ncols,
+            nnz: t.nnz(),
+            mean: if t.nrows == 0 {
+                0.0
+            } else {
+                t.nnz() as f64 / t.nrows as f64
+            },
+            median: pick(0.5),
+            p90: pick(0.9),
+            max: d.last().copied().unwrap_or(0),
+            empty_rows,
+        }
+    }
+
+    /// Fraction of non-zeros living in rows shorter than `distance` —
+    /// the share of the work where a loop-bound-clamped prefetcher
+    /// (Ainsworth & Jones) loses coverage (paper Section 3.2.2 / 5.3).
+    pub fn nnz_fraction_in_short_rows(t: &Triplets, distance: usize) -> f64 {
+        let d = t.row_degrees();
+        let short: usize = d.iter().filter(|&&x| x > 0 && x < distance).sum();
+        if t.nnz() == 0 {
+            0.0
+        } else {
+            short as f64 / t.nnz() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_of_banded() {
+        let t = gen::banded(100, 1, 0);
+        let s = RowStats::of(&t);
+        assert_eq!(s.nrows, 100);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.empty_rows, 0);
+        assert!((s.mean - 2.98).abs() < 0.01);
+    }
+
+    #[test]
+    fn short_row_fraction_road_vs_banded() {
+        let road = gen::road_network(2000, 1);
+        let wide = gen::banded(2000, 50, 1);
+        let d = 45;
+        let f_road = RowStats::nnz_fraction_in_short_rows(&road, d);
+        let f_wide = RowStats::nnz_fraction_in_short_rows(&wide, d);
+        assert!(f_road > 0.99, "road rows are all short: {f_road}");
+        assert!(f_wide < 0.1, "wide band rows are long: {f_wide}");
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let t = Triplets::new(4, 4);
+        let s = RowStats::of(&t);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.empty_rows, 4);
+        assert_eq!(RowStats::nnz_fraction_in_short_rows(&t, 45), 0.0);
+    }
+}

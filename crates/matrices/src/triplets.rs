@@ -1,0 +1,150 @@
+//! 2-D coordinate-form matrices: the universal interchange type of the
+//! matrix collection (generators and MatrixMarket I/O both produce it).
+
+/// A sparse matrix as (row, col, value) triplets. Duplicates allowed
+//  (they are combined downstream when building a `SparseTensor`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Triplets {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub rows: Vec<usize>,
+    pub cols: Vec<usize>,
+    pub vals: Vec<f64>,
+    /// Binary matrices (graph adjacency): stored with 1-byte values and
+    /// boolean semiring arithmetic downstream (paper Section 4.2).
+    pub binary: bool,
+}
+
+impl Triplets {
+    pub fn new(nrows: usize, ncols: usize) -> Triplets {
+        Triplets {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+            binary: false,
+        }
+    }
+
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.nrows && c < self.ncols);
+        self.rows.push(r);
+        self.cols.push(c);
+        self.vals.push(v);
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Convert to an f64 [`asap_tensor::CooTensor`].
+    pub fn to_coo_f64(&self) -> asap_tensor::CooTensor {
+        let mut coords = Vec::with_capacity(self.nnz() * 2);
+        for (&r, &c) in self.rows.iter().zip(&self.cols) {
+            coords.push(r);
+            coords.push(c);
+        }
+        asap_tensor::CooTensor::new(
+            vec![self.nrows, self.ncols],
+            coords,
+            asap_tensor::Values::F64(self.vals.clone()),
+        )
+    }
+
+    /// Convert to a boolean (i8) [`asap_tensor::CooTensor`]: any non-zero
+    /// becomes 1.
+    pub fn to_coo_i8(&self) -> asap_tensor::CooTensor {
+        let mut coords = Vec::with_capacity(self.nnz() * 2);
+        for (&r, &c) in self.rows.iter().zip(&self.cols) {
+            coords.push(r);
+            coords.push(c);
+        }
+        asap_tensor::CooTensor::new(
+            vec![self.nrows, self.ncols],
+            coords,
+            asap_tensor::Values::I8(self.vals.iter().map(|&v| (v != 0.0) as i8).collect()),
+        )
+    }
+
+    /// The natural COO form for this matrix's value kind.
+    pub fn to_coo(&self) -> asap_tensor::CooTensor {
+        if self.binary {
+            self.to_coo_i8()
+        } else {
+            self.to_coo_f64()
+        }
+    }
+
+    /// Dense SpMV reference (`y = A·x`), accumulating duplicates.
+    pub fn dense_spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for i in 0..self.nnz() {
+            y[self.rows[i]] += self.vals[i] * x[self.cols[i]];
+        }
+        y
+    }
+
+    /// Approximate CSR memory footprint in bytes (32-bit indices, f64 or
+    /// i8 values) — the paper's matrix-selection criterion.
+    pub fn footprint_bytes(&self) -> usize {
+        let val_bytes = if self.binary { 1 } else { 8 };
+        (self.nrows + 1) * 4 + self.nnz() * (4 + val_bytes)
+    }
+
+    /// Per-row non-zero counts.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.nrows];
+        for &r in &self.rows {
+            d[r] += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Triplets {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, 3.0);
+        t.push(1, 1, 4.0);
+        t
+    }
+
+    #[test]
+    fn dense_spmv_reference() {
+        let t = small();
+        let y = t.dense_spmv(&[1.0, 10.0, 100.0]);
+        assert_eq!(y, vec![302.0, 40.0]);
+    }
+
+    #[test]
+    fn coo_roundtrip_f64() {
+        let coo = small().to_coo_f64();
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.dims, vec![2, 3]);
+        assert_eq!(coo.coord(1), &[0, 2]);
+    }
+
+    #[test]
+    fn binary_conversion_maps_nonzero_to_one() {
+        let mut t = small();
+        t.binary = true;
+        let coo = t.to_coo();
+        match coo.values {
+            asap_tensor::Values::I8(v) => assert_eq!(v, vec![1, 1, 1]),
+            _ => panic!("expected i8 values"),
+        }
+    }
+
+    #[test]
+    fn footprint_and_degrees() {
+        let t = small();
+        assert_eq!(t.row_degrees(), vec![2, 1]);
+        assert_eq!(t.footprint_bytes(), 3 * 4 + 3 * 12);
+    }
+}

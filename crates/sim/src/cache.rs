@@ -1,0 +1,257 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement and per-line fill timestamps.
+//!
+//! Lines carry a `ready_cycle` so a hit on an in-flight line (filled by an
+//! earlier prefetch or miss that has not completed yet) stalls only for
+//! the *remaining* latency — the mechanism by which a timely prefetch
+//! hides memory latency and a late one hides part of it.
+
+use crate::config::{CacheParams, LINE_BYTES};
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// Line present; data usable at `ready` (may be in the future if the
+    /// fill is still in flight).
+    Hit { ready: u64 },
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Cycle at which the fill completes.
+    ready: u64,
+    /// Installed by a prefetch (SW or HW) and not yet demanded.
+    prefetched: bool,
+    /// LRU stamp.
+    lru: u64,
+}
+
+const INVALID: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    ready: 0,
+    prefetched: false,
+    lru: 0,
+};
+
+/// Information about an evicted line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    pub line_addr: u64,
+    pub dirty: bool,
+    /// The line was prefetched but never demand-referenced — a useless
+    /// prefetch (pollution).
+    pub unused_prefetch: bool,
+}
+
+/// One cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    assoc: usize,
+    lines: Vec<Line>,
+    stamp: u64,
+}
+
+impl Cache {
+    pub fn new(params: CacheParams) -> Cache {
+        let sets = params.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        Cache {
+            sets,
+            assoc: params.assoc,
+            lines: vec![INVALID; sets * params.assoc],
+            stamp: 0,
+        }
+    }
+
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = (line_addr as usize) % self.sets;
+        set * self.assoc..(set + 1) * self.assoc
+    }
+
+    /// Probe for a line. On a hit the LRU stamp is refreshed and, when
+    /// `demand` is set, the prefetched mark is cleared (the prefetch paid
+    /// off).
+    pub fn probe(&mut self, line_addr: u64, demand: bool) -> Probe {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line_addr);
+        for l in &mut self.lines[range] {
+            if l.valid && l.tag == line_addr {
+                l.lru = stamp;
+                if demand {
+                    l.prefetched = false;
+                }
+                return Probe::Hit { ready: l.ready };
+            }
+        }
+        Probe::Miss
+    }
+
+    /// Probe without touching replacement state (for inspection/tests).
+    pub fn peek(&self, line_addr: u64) -> Option<u64> {
+        let range = self.set_range(line_addr);
+        self.lines[range]
+            .iter()
+            .find(|l| l.valid && l.tag == line_addr)
+            .map(|l| l.ready)
+    }
+
+    /// Install a line (filling the LRU way), returning the victim.
+    pub fn install(&mut self, line_addr: u64, ready: u64, prefetched: bool) -> Option<Evicted> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let range = self.set_range(line_addr);
+        let set = &mut self.lines[range];
+        // Already present (e.g. race between prefetch and demand): just
+        // refresh.
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
+            l.ready = l.ready.min(ready);
+            l.lru = stamp;
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("assoc >= 1");
+        let evicted = if victim.valid {
+            Some(Evicted {
+                line_addr: victim.tag,
+                dirty: victim.dirty,
+                unused_prefetch: victim.prefetched,
+            })
+        } else {
+            None
+        };
+        *victim = Line {
+            tag: line_addr,
+            valid: true,
+            dirty: false,
+            ready,
+            prefetched,
+            lru: stamp,
+        };
+        evicted
+    }
+
+    /// Mark a line dirty (store hit / write-allocate fill).
+    pub fn mark_dirty(&mut self, line_addr: u64) {
+        let range = self.set_range(line_addr);
+        if let Some(l) = self.lines[range]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)
+        {
+            l.dirty = true;
+        }
+    }
+
+    /// Number of valid lines (for occupancy checks in tests).
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// The line address of a byte address.
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways of 64B lines = 256 B.
+        Cache::new(CacheParams {
+            size_bytes: 256,
+            assoc: 2,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut c = tiny();
+        assert_eq!(c.probe(10, true), Probe::Miss);
+        c.install(10, 5, false);
+        assert_eq!(c.probe(10, true), Probe::Hit { ready: 5 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line addrs, 2 sets).
+        c.install(0, 0, false);
+        c.install(2, 0, false);
+        c.probe(0, true); // refresh 0 -> 2 is LRU
+        let ev = c.install(4, 0, false).expect("one way evicted");
+        assert_eq!(ev.line_addr, 2);
+        assert!(matches!(c.probe(0, true), Probe::Hit { .. }));
+        assert_eq!(c.probe(2, true), Probe::Miss);
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch() {
+        let mut c = tiny();
+        c.install(0, 0, true); // prefetched, never referenced
+        c.install(2, 0, false);
+        let ev = c.install(4, 0, false).unwrap();
+        assert!(ev.unused_prefetch);
+        assert_eq!(ev.line_addr, 0);
+    }
+
+    #[test]
+    fn demand_hit_clears_prefetch_mark() {
+        let mut c = tiny();
+        c.install(0, 0, true);
+        c.probe(0, true); // demand reference
+        c.install(2, 0, false);
+        let ev = c.install(4, 0, false).unwrap();
+        assert!(!ev.unused_prefetch);
+    }
+
+    #[test]
+    fn dirty_travels_with_eviction() {
+        let mut c = tiny();
+        c.install(0, 0, false);
+        c.mark_dirty(0);
+        c.install(2, 0, false);
+        let ev = c.install(4, 0, false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn reinstall_keeps_earliest_ready() {
+        let mut c = tiny();
+        c.install(0, 100, true);
+        assert!(c.install(0, 50, false).is_none());
+        assert_eq!(c.peek(0), Some(50));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = tiny();
+        c.install(0, 0, false);
+        c.install(1, 0, false); // odd -> set 1
+        c.install(2, 0, false);
+        c.install(3, 0, false);
+        assert_eq!(c.valid_lines(), 4);
+    }
+
+    #[test]
+    fn line_of_addr() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Machine configuration (paper Table 1) and hardware-prefetcher
+//! configuration (paper Table 2).
+
+/// Cache line size in bytes (fixed across the hierarchy).
+pub const LINE_BYTES: u64 = 64;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    pub size_bytes: usize,
+    pub assoc: usize,
+    /// Load-to-use latency in core cycles when hitting this level.
+    pub latency: u64,
+}
+
+impl CacheParams {
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (LINE_BYTES as usize * self.assoc)
+    }
+}
+
+/// The machine model approximating an Alder Lake E-core (Gracemont) and
+/// its uncore, per Table 1 of the paper.
+///
+/// Two presets exist: [`GracemontConfig::paper`] with the real cache
+/// sizes, and [`GracemontConfig::scaled`] with L2/L3 shrunk ~16× so that
+/// generator-sized matrices (10⁵–10⁶ rows) stress the hierarchy the way
+/// the paper's top-5% SuiteSparse matrices stress 30 MB of L3, while
+/// keeping simulation time tractable (see DESIGN.md, substitutions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GracemontConfig {
+    /// Core frequency in Hz (2.4 GHz, pinned via the pstate driver).
+    pub freq_hz: u64,
+    /// Peak retire rate for non-memory instructions (instructions/cycle).
+    pub ipc_base: u64,
+    /// Out-of-order overlap window: cycles of a demand-miss stall that the
+    /// core's small OoO engine can hide.
+    pub overlap_cycles: u64,
+    /// Memory-level parallelism of demand misses: the OoO engine keeps
+    /// several independent misses in flight, so the average exposed stall
+    /// per miss is the residual latency divided by this width.
+    pub mlp_width: u64,
+    /// Cycles charged per floating-point arithmetic op, modeling the FP
+    /// latency that binds scalarized reduction chains (integer ops retire
+    /// at `ipc_base` alongside).
+    pub fp_op_cycles: u64,
+    pub l1: CacheParams,
+    pub l2: CacheParams,
+    pub l3: CacheParams,
+    /// L1 fill-buffer (MSHR) entries.
+    pub l1_mshrs: usize,
+    /// L2 MSHR entries — the resource software and hardware prefetches
+    /// contend for (paper Section 4.1).
+    pub l2_mshrs: usize,
+    /// DRAM access latency (row access + controller) in core cycles.
+    pub dram_latency: u64,
+    /// Minimum core cycles between consecutive DRAM line transfers
+    /// (inverse bandwidth: DDR5-4800 dual channel ≈ 76.8 GB/s ≈ one 64 B
+    /// line every 2 cycles at 2.4 GHz).
+    pub dram_line_interval: u64,
+    /// Data-TLB model; defaults to the paper's huge-page setup.
+    pub tlb: crate::tlb::TlbConfig,
+}
+
+impl GracemontConfig {
+    /// Table-1 sizes: 32 KB L1D, 2 MB L2 (cluster), 30 MB L3.
+    pub fn paper() -> GracemontConfig {
+        GracemontConfig {
+            freq_hz: 2_400_000_000,
+            ipc_base: 3,
+            overlap_cycles: 24,
+            mlp_width: 4,
+            fp_op_cycles: 2,
+            l1: CacheParams {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                latency: 3,
+            },
+            l2: CacheParams {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 16,
+                latency: 16,
+            },
+            l3: CacheParams {
+                size_bytes: 30 * 1024 * 1024,
+                assoc: 15,
+                latency: 55,
+            },
+            l1_mshrs: 12,
+            l2_mshrs: 32,
+            dram_latency: 220,
+            dram_line_interval: 2,
+            tlb: crate::tlb::TlbConfig::huge_pages(),
+        }
+    }
+
+    /// The default evaluation preset: same ratios, L2/L3 shrunk so the
+    /// synthetic collection is memory-bound at tractable sizes.
+    pub fn scaled() -> GracemontConfig {
+        GracemontConfig {
+            l2: CacheParams {
+                size_bytes: 128 * 1024,
+                assoc: 16,
+                latency: 16,
+            },
+            l3: CacheParams {
+                size_bytes: 2 * 1024 * 1024,
+                assoc: 16,
+                latency: 55,
+            },
+            ..GracemontConfig::paper()
+        }
+    }
+
+    /// Wall-clock seconds for a cycle count at the configured frequency.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+}
+
+impl Default for GracemontConfig {
+    fn default() -> Self {
+        GracemontConfig::scaled()
+    }
+}
+
+/// Which hardware prefetchers are enabled — the MSR toggles of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefetcherConfig {
+    /// L1 next-line prefetcher.
+    pub l1_nlp: bool,
+    /// L1 instruction-pointer (stride) prefetcher.
+    pub l1_ipp: bool,
+    /// L2 next-line prefetcher.
+    pub l2_nlp: bool,
+    /// Mid-level-cache streamer.
+    pub mlc_streamer: bool,
+    /// L2 adaptive multipath prefetcher.
+    pub l2_amp: bool,
+    /// Last-level-cache streamer.
+    pub llc_streamer: bool,
+}
+
+impl PrefetcherConfig {
+    /// Out-of-box processor state ("Default On/Off" column of Table 2).
+    pub fn hw_default() -> PrefetcherConfig {
+        PrefetcherConfig {
+            l1_nlp: true,
+            l1_ipp: true,
+            l2_nlp: false,
+            mlc_streamer: true,
+            l2_amp: true,
+            llc_streamer: true,
+        }
+    }
+
+    /// The paper's optimized setting for SpMV: L1 NLP and L2 AMP disabled
+    /// ("Setting" column of Table 2 with AMP's selective choice = off).
+    pub fn optimized_spmv() -> PrefetcherConfig {
+        PrefetcherConfig {
+            l1_nlp: false,
+            l2_amp: false,
+            ..PrefetcherConfig::hw_default()
+        }
+    }
+
+    /// The paper's optimized setting for SpMM: L1 NLP disabled, L2 AMP
+    /// kept (it exploits SpMM's 2D pattern).
+    pub fn optimized_spmm() -> PrefetcherConfig {
+        PrefetcherConfig {
+            l1_nlp: false,
+            ..PrefetcherConfig::hw_default()
+        }
+    }
+
+    /// Every hardware prefetcher off (for isolation experiments).
+    pub fn all_off() -> PrefetcherConfig {
+        PrefetcherConfig {
+            l1_nlp: false,
+            l1_ipp: false,
+            l2_nlp: false,
+            mlc_streamer: false,
+            l2_amp: false,
+            llc_streamer: false,
+        }
+    }
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        PrefetcherConfig::hw_default()
+    }
+}
+
+/// Render Table 2 (prefetcher inventory with default and chosen state).
+pub fn table2(chosen: &PrefetcherConfig) -> String {
+    let rows = [
+        ("L1 NLP", "L1 next-line prefetcher", true, chosen.l1_nlp),
+        ("L1 IPP", "L1 instruction-pointer stride prefetcher (2 streams)", true, chosen.l1_ipp),
+        ("L2 NLP", "L2 next-line prefetcher", false, chosen.l2_nlp),
+        ("MLC Streamer", "L2 stream prefetcher", true, chosen.mlc_streamer),
+        ("L2 AMP", "L2 adaptive multipath prefetcher", true, chosen.l2_amp),
+        ("LLC Streamer", "L3 stream prefetcher", true, chosen.llc_streamer),
+    ];
+    let mut s = String::from("Prefetcher    | Default | Setting | Description\n");
+    for (name, desc, dflt, on) in rows {
+        s.push_str(&format!(
+            "{name:<13} | {:<7} | {:<7} | {desc}\n",
+            if dflt { "On" } else { "Off" },
+            if on { "On" } else { "Off" },
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_1() {
+        let c = GracemontConfig::paper();
+        assert_eq!(c.freq_hz, 2_400_000_000);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l3.size_bytes, 30 * 1024 * 1024);
+    }
+
+    #[test]
+    fn scaled_keeps_l1_and_ratios() {
+        let c = GracemontConfig::scaled();
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert!(c.l2.size_bytes < GracemontConfig::paper().l2.size_bytes);
+        assert!(c.l3.size_bytes > c.l2.size_bytes);
+    }
+
+    #[test]
+    fn sets_are_powers_of_two_for_presets() {
+        for c in [GracemontConfig::paper(), GracemontConfig::scaled()] {
+            for p in [c.l1, c.l2] {
+                let sets = p.sets();
+                assert!(sets.is_power_of_two(), "{sets} sets");
+            }
+        }
+    }
+
+    #[test]
+    fn default_prefetchers_match_table_2() {
+        let p = PrefetcherConfig::hw_default();
+        assert!(p.l1_nlp && p.l1_ipp && p.mlc_streamer && p.l2_amp && p.llc_streamer);
+        assert!(!p.l2_nlp);
+    }
+
+    #[test]
+    fn optimized_spmv_disables_nlp_and_amp() {
+        let p = PrefetcherConfig::optimized_spmv();
+        assert!(!p.l1_nlp && !p.l2_amp);
+        assert!(p.l1_ipp && p.mlc_streamer && p.llc_streamer);
+    }
+
+    #[test]
+    fn optimized_spmm_keeps_amp() {
+        let p = PrefetcherConfig::optimized_spmm();
+        assert!(!p.l1_nlp && p.l2_amp);
+    }
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let t = table2(&PrefetcherConfig::optimized_spmv());
+        for name in ["L1 NLP", "L1 IPP", "L2 NLP", "MLC Streamer", "L2 AMP", "LLC Streamer"] {
+            assert!(t.contains(name));
+        }
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = GracemontConfig::paper();
+        assert!((c.cycles_to_seconds(2_400_000_000) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Performance counters, modeled after the PMU events the paper measures
+//! (Section 4.4) plus simulator-only visibility (prefetch outcomes, stall
+//! breakdown).
+
+/// Per-core event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// INST_RETIRED.ANY equivalent (every executed IR op, incl. memory
+    /// ops and prefetches).
+    pub instructions: u64,
+    /// Core cycles including stalls.
+    pub cycles: u64,
+    /// Cycles lost to demand-miss stalls.
+    pub stall_cycles: u64,
+
+    pub loads: u64,
+    pub stores: u64,
+
+    /// Demand hits/misses per level.
+    pub l1_hits: u64,
+    pub l1_misses: u64,
+    pub l2_hits: u64,
+    pub l2_misses: u64,
+    /// Demand loads served by L3 (MEM_LOAD_UOPS_RETIRED.L3_HIT).
+    pub l3_hits: u64,
+    /// Demand loads served by DRAM (MEM_LOAD_UOPS_RETIRED.DRAM_HIT).
+    pub dram_hits: u64,
+
+    /// Software prefetch instructions executed.
+    pub sw_pf_issued: u64,
+    /// Dropped for lack of an MSHR slot.
+    pub sw_pf_dropped: u64,
+    /// Target line already cached or in flight.
+    pub sw_pf_redundant: u64,
+
+    /// Hardware prefetch requests issued to the hierarchy.
+    pub hw_pf_issued: u64,
+    pub hw_pf_dropped: u64,
+    pub hw_pf_redundant: u64,
+
+    /// Prefetched lines evicted without ever being demand-referenced
+    /// (pollution — the cost of inaccurate prefetching).
+    pub pf_unused_evictions: u64,
+
+    /// Lines read from DRAM on behalf of this core (demand + prefetch).
+    pub dram_lines_read: u64,
+    /// Dirty lines written back to DRAM.
+    pub dram_lines_written: u64,
+
+    /// dTLB misses (page walks) on demand accesses.
+    pub tlb_misses: u64,
+}
+
+impl Counters {
+    /// The paper's L2-miss approximation:
+    /// `MEM_LOAD_UOPS_RETIRED.DRAM_HIT + MEM_LOAD_UOPS_RETIRED.L3_HIT`.
+    pub fn l2_miss_events(&self) -> u64 {
+        self.l3_hits + self.dram_hits
+    }
+
+    /// L2 misses per kilo-instruction — the x-axis of Figures 6 and 8.
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.l2_miss_events() as f64 * 1000.0 / self.instructions as f64
+    }
+
+    /// Total DRAM traffic attributed to this core, in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        (self.dram_lines_read + self.dram_lines_written) * crate::config::LINE_BYTES
+    }
+
+    /// Merge another core's counters into this one (for aggregate
+    /// multi-core reporting). Cycles take the max (wall-clock), events sum.
+    pub fn merge_parallel(&mut self, other: &Counters) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.stall_cycles += other.stall_cycles;
+        self.instructions += other.instructions;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.l3_hits += other.l3_hits;
+        self.dram_hits += other.dram_hits;
+        self.sw_pf_issued += other.sw_pf_issued;
+        self.sw_pf_dropped += other.sw_pf_dropped;
+        self.sw_pf_redundant += other.sw_pf_redundant;
+        self.hw_pf_issued += other.hw_pf_issued;
+        self.hw_pf_dropped += other.hw_pf_dropped;
+        self.hw_pf_redundant += other.hw_pf_redundant;
+        self.pf_unused_evictions += other.pf_unused_evictions;
+        self.dram_lines_read += other.dram_lines_read;
+        self.dram_lines_written += other.dram_lines_written;
+        self.tlb_misses += other.tlb_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_formula() {
+        let c = Counters {
+            instructions: 10_000,
+            l3_hits: 30,
+            dram_hits: 20,
+            ..Counters::default()
+        };
+        assert_eq!(c.l2_miss_events(), 50);
+        assert!((c.l2_mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_zero_instructions() {
+        assert_eq!(Counters::default().l2_mpki(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_max_cycles_and_sums_events() {
+        let mut a = Counters {
+            cycles: 100,
+            instructions: 10,
+            dram_lines_read: 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            cycles: 250,
+            instructions: 20,
+            dram_lines_read: 2,
+            ..Counters::default()
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.cycles, 250);
+        assert_eq!(a.instructions, 30);
+        assert_eq!(a.dram_bytes(), 3 * 64);
+    }
+}

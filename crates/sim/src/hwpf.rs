@@ -1,0 +1,399 @@
+//! Behavioural models of the six Gracemont hardware prefetchers of the
+//! paper's Table 2.
+//!
+//! These are deliberately simple state machines reproducing the
+//! *interaction properties* the paper relies on, not microarchitectural
+//! replicas:
+//!
+//! - the L1 IPP tracks only **two** PC streams (the capacity the paper
+//!   measured), so SpMV's 4+ concurrent load streams thrash it — which is
+//!   why ASaP's Step 1 (prefetching the crd stream in software) pays off;
+//! - the next-line prefetchers fire on every miss, so irregular access
+//!   streams turn them into pure MSHR/bandwidth waste;
+//! - the streamers only engage on confirmed sequential runs, so they help
+//!   pos/crd/vals streaming and never the indirect `c[crd[jj]]` accesses;
+//! - the L2 AMP speculates on recent miss deltas even at low confidence:
+//!   accurate on SpMM's repeating 2D pattern, inaccurate (bandwidth
+//!   pressure) on SpMV's random gathers.
+
+use asap_ir::OpId;
+
+/// Where a hardware prefetch wants its fill installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillLevel {
+    L1,
+    L2,
+    L3,
+}
+
+/// A request emitted by a hardware prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PfRequest {
+    pub line: u64,
+    pub fill: FillLevel,
+}
+
+/// L1 next-line prefetcher: on an L1 miss of line `L`, fetch `L+1`.
+#[derive(Debug, Clone, Default)]
+pub struct NextLine {
+    fill: Option<FillLevel>,
+}
+
+impl NextLine {
+    pub fn new(fill: FillLevel) -> NextLine {
+        NextLine { fill: Some(fill) }
+    }
+
+    pub fn on_miss(&mut self, line: u64, out: &mut Vec<PfRequest>) {
+        if let Some(fill) = self.fill {
+            out.push(PfRequest {
+                line: line + 1,
+                fill,
+            });
+        }
+    }
+}
+
+/// L1 instruction-pointer (stride) prefetcher with a fixed number of PC
+/// slots (2 on the evaluation platform, per the paper).
+#[derive(Debug, Clone)]
+pub struct Ipp {
+    slots: Vec<IppSlot>,
+    capacity: usize,
+    /// Look-ahead in strides once a stream is confirmed.
+    pub lookahead: i64,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IppSlot {
+    pc: OpId,
+    last_addr: u64,
+    stride: i64,
+    conf: u8,
+    lru: u64,
+}
+
+impl Ipp {
+    pub fn new(capacity: usize) -> Ipp {
+        Ipp {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            lookahead: 24,
+            stamp: 0,
+        }
+    }
+
+    /// Observe a demand load; may emit one L1 prefetch.
+    pub fn on_load(&mut self, pc: OpId, addr: u64, out: &mut Vec<PfRequest>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(s) = self.slots.iter_mut().find(|s| s.pc == pc) {
+            let delta = addr as i64 - s.last_addr as i64;
+            if delta == s.stride && delta != 0 {
+                s.conf = s.conf.saturating_add(1);
+            } else {
+                s.stride = delta;
+                s.conf = 0;
+            }
+            s.last_addr = addr;
+            s.lru = stamp;
+            if s.conf >= 2 {
+                let target = addr as i64 + s.stride * self.lookahead;
+                if target >= 0 {
+                    out.push(PfRequest {
+                        line: crate::cache::line_of(target as u64),
+                        fill: FillLevel::L1,
+                    });
+                }
+            }
+            return;
+        }
+        // Miss in the table: evict the LRU slot (stream-capacity thrash).
+        if self.slots.len() >= self.capacity {
+            let lru = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.slots.swap_remove(lru);
+        }
+        self.slots.push(IppSlot {
+            pc,
+            last_addr: addr,
+            stride: 0,
+            conf: 0,
+            lru: stamp,
+        });
+    }
+
+    /// Number of PCs currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Region-based stream prefetcher (MLC and LLC streamers): detects
+/// ascending line runs within 4 KiB regions and prefetches ahead.
+#[derive(Debug, Clone)]
+pub struct Streamer {
+    regions: Vec<StreamSlot>,
+    capacity: usize,
+    fill: FillLevel,
+    /// Prefetch degree once a run is confirmed.
+    pub degree: u64,
+    stamp: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StreamSlot {
+    region: u64,
+    last_line: u64,
+    conf: u8,
+    lru: u64,
+}
+
+/// Lines per 4 KiB region.
+const REGION_LINES: u64 = 64;
+
+impl Streamer {
+    pub fn new(capacity: usize, fill: FillLevel, degree: u64) -> Streamer {
+        Streamer {
+            regions: Vec::with_capacity(capacity),
+            capacity,
+            fill,
+            degree,
+            stamp: 0,
+        }
+    }
+
+    /// Observe an access at this level; may emit prefetches.
+    pub fn on_access(&mut self, line: u64, out: &mut Vec<PfRequest>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let region = line / REGION_LINES;
+        if let Some(s) = self.regions.iter_mut().find(|s| s.region == region) {
+            if line == s.last_line + 1 {
+                s.conf = s.conf.saturating_add(1);
+            } else if line != s.last_line {
+                s.conf = s.conf.saturating_sub(1);
+            }
+            s.last_line = line;
+            s.lru = stamp;
+            if s.conf >= 2 {
+                let ahead = 2 + (s.conf as u64).min(8);
+                for d in 0..self.degree {
+                    out.push(PfRequest {
+                        line: line + ahead + d,
+                        fill: self.fill,
+                    });
+                }
+            }
+            return;
+        }
+        if self.regions.len() >= self.capacity {
+            let lru = self
+                .regions
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.regions.swap_remove(lru);
+        }
+        self.regions.push(StreamSlot {
+            region,
+            last_line: line,
+            conf: 0,
+            lru: stamp,
+        });
+    }
+}
+
+/// L2 Adaptive Multipath Prefetcher: speculates on recent L2-miss deltas
+/// with little confidence gating. Repeating deltas (2D strides, as in
+/// SpMM) make it accurate; random gathers (SpMV's `c[crd[jj]]`) make its
+/// guesses pure bandwidth waste — the paper's reason to disable it for
+/// SpMV (Table 2).
+#[derive(Debug, Clone)]
+pub struct Amp {
+    last_line: Option<u64>,
+    deltas: Vec<i64>,
+    /// Ring capacity of remembered deltas.
+    window: usize,
+}
+
+impl Amp {
+    pub fn new() -> Amp {
+        Amp {
+            last_line: None,
+            deltas: Vec::with_capacity(8),
+            window: 8,
+        }
+    }
+
+    /// Observe an L2 demand miss; emits up to two speculative prefetches.
+    pub fn on_l2_miss(&mut self, line: u64, out: &mut Vec<PfRequest>) {
+        let Some(last) = self.last_line.replace(line) else {
+            return;
+        };
+        let delta = line as i64 - last as i64;
+        if delta == 0 {
+            return;
+        }
+        if self.deltas.len() >= self.window {
+            self.deltas.remove(0);
+        }
+        self.deltas.push(delta);
+
+        // Confirmed path: a delta seen at least twice recently.
+        let confirmed = self
+            .deltas
+            .iter()
+            .find(|&&d| self.deltas.iter().filter(|&&x| x == d).count() >= 2)
+            .copied();
+        // Speculative path: always chase the most recent delta.
+        let speculative = delta;
+        let mut push = |d: i64| {
+            let t = line as i64 + d;
+            if t >= 0 {
+                out.push(PfRequest {
+                    line: t as u64,
+                    fill: FillLevel::L2,
+                });
+            }
+        };
+        push(speculative);
+        if let Some(c) = confirmed {
+            if c != speculative {
+                push(c);
+            }
+        }
+    }
+}
+
+impl Default for Amp {
+    fn default() -> Self {
+        Amp::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_fetches_successor() {
+        let mut n = NextLine::new(FillLevel::L1);
+        let mut out = Vec::new();
+        n.on_miss(100, &mut out);
+        assert_eq!(
+            out,
+            vec![PfRequest {
+                line: 101,
+                fill: FillLevel::L1
+            }]
+        );
+    }
+
+    #[test]
+    fn ipp_confirms_stride_then_prefetches() {
+        let mut ipp = Ipp::new(2);
+        let mut out = Vec::new();
+        let pc = OpId(7);
+        for i in 0..5u64 {
+            ipp.on_load(pc, 0x1000 + i * 8, &mut out);
+        }
+        assert!(!out.is_empty(), "stride stream must trigger prefetches");
+        let expect = crate::cache::line_of(0x1000 + 4 * 8 + 8 * 24);
+        assert_eq!(out.last().unwrap().line, expect);
+    }
+
+    #[test]
+    fn ipp_two_streams_fit_three_thrash() {
+        // Two alternating streams: both confirm.
+        let mut ipp = Ipp::new(2);
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            ipp.on_load(OpId(1), 0x1000 + i * 8, &mut out);
+            ipp.on_load(OpId(2), 0x9000 + i * 8, &mut out);
+        }
+        assert!(out.len() >= 8, "two streams fit in two slots");
+
+        // Three round-robin streams on two slots: LRU thrash, no stream
+        // ever confirms — the paper's SpMV observation.
+        let mut ipp = Ipp::new(2);
+        let mut out = Vec::new();
+        for i in 0..32u64 {
+            ipp.on_load(OpId(1), 0x1000 + i * 8, &mut out);
+            ipp.on_load(OpId(2), 0x9000 + i * 8, &mut out);
+            ipp.on_load(OpId(3), 0x20000 + i * 8, &mut out);
+        }
+        assert!(out.is_empty(), "3 streams thrash a 2-entry table: {out:?}");
+    }
+
+    #[test]
+    fn ipp_irregular_stream_never_confirms() {
+        let mut ipp = Ipp::new(2);
+        let mut out = Vec::new();
+        let addrs = [0x1000u64, 0x5040, 0x2980, 0x88c0, 0x1180, 0x9000];
+        for &a in &addrs {
+            ipp.on_load(OpId(1), a, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn streamer_engages_on_sequential_runs() {
+        let mut s = Streamer::new(16, FillLevel::L2, 2);
+        let mut out = Vec::new();
+        for l in 100..110u64 {
+            s.on_access(l, &mut out);
+        }
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|r| r.fill == FillLevel::L2));
+        assert!(out.iter().all(|r| r.line > 109 - 9), "prefetches run ahead");
+    }
+
+    #[test]
+    fn streamer_ignores_random_accesses() {
+        let mut s = Streamer::new(16, FillLevel::L3, 4);
+        let mut out = Vec::new();
+        for l in [5u64, 900, 17, 3000, 42, 1234, 77, 2500] {
+            s.on_access(l, &mut out);
+        }
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn amp_accurate_on_repeating_stride() {
+        let mut a = Amp::new();
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            a.on_l2_miss(1000 + i * 16, &mut out);
+        }
+        // Guesses chase delta 16: next guess from line 1080 is 1096.
+        assert!(out.contains(&PfRequest {
+            line: 1096,
+            fill: FillLevel::L2
+        }));
+    }
+
+    #[test]
+    fn amp_wastes_bandwidth_on_random_misses() {
+        let mut a = Amp::new();
+        let mut out = Vec::new();
+        let lines = [10u64, 995, 47, 3301, 228, 1771];
+        for &l in &lines {
+            a.on_l2_miss(l, &mut out);
+        }
+        // It still speculates (that is the point), but none of the guesses
+        // match any later actual miss.
+        assert!(!out.is_empty());
+        for r in &out {
+            assert!(!lines.contains(&r.line));
+        }
+    }
+}

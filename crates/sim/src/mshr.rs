@@ -1,0 +1,126 @@
+//! Miss Status Holding Registers: the finite pool of outstanding-miss
+//! slots that demand misses, software prefetches and hardware prefetches
+//! all compete for — the contention mechanism behind the paper's insight
+//! that disabling inaccurate hardware prefetchers "frees critical
+//! resources" (Sections 1 and 4.1).
+
+/// A fixed-capacity MSHR file. Entries are (line, completion cycle).
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    capacity: usize,
+    entries: Vec<(u64, u64)>,
+}
+
+/// Result of trying to allocate an MSHR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alloc {
+    /// Slot granted.
+    Ok,
+    /// The line already has an outstanding miss completing at `ready`
+    /// (secondary miss — merged, no new slot).
+    Merged { ready: u64 },
+    /// All slots busy; the earliest frees at `free_at`.
+    Full { free_at: u64 },
+}
+
+impl Mshr {
+    pub fn new(capacity: usize) -> Mshr {
+        assert!(capacity > 0);
+        Mshr {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Drop entries whose fills have completed by `now`.
+    fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// Check whether a slot could be granted for `line` at `now`, without
+    /// reserving it (the completion time is only known after the fetch is
+    /// priced; call [`Mshr::insert`] then).
+    pub fn check(&mut self, line: u64, now: u64) -> Alloc {
+        self.expire(now);
+        if let Some(&(_, r)) = self.entries.iter().find(|&&(l, _)| l == line) {
+            return Alloc::Merged { ready: r };
+        }
+        if self.entries.len() >= self.capacity {
+            let free_at = self
+                .entries
+                .iter()
+                .map(|&(_, r)| r)
+                .min()
+                .expect("full implies non-empty");
+            return Alloc::Full { free_at };
+        }
+        Alloc::Ok
+    }
+
+    /// Reserve a slot after a successful [`Mshr::check`].
+    pub fn insert(&mut self, line: u64, ready: u64) {
+        debug_assert!(self.entries.len() < self.capacity, "insert without check");
+        self.entries.push((line, ready));
+    }
+
+    /// Try to allocate a slot for `line`, completing at `ready`.
+    pub fn alloc(&mut self, line: u64, now: u64, ready: u64) -> Alloc {
+        match self.check(line, now) {
+            Alloc::Ok => {
+                self.insert(line, ready);
+                Alloc::Ok
+            }
+            other => other,
+        }
+    }
+
+    /// Outstanding entries at `now`.
+    pub fn in_flight(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_until_full() {
+        let mut m = Mshr::new(2);
+        assert_eq!(m.alloc(1, 0, 100), Alloc::Ok);
+        assert_eq!(m.alloc(2, 0, 150), Alloc::Ok);
+        assert_eq!(m.alloc(3, 0, 200), Alloc::Full { free_at: 100 });
+    }
+
+    #[test]
+    fn merges_same_line() {
+        let mut m = Mshr::new(2);
+        m.alloc(7, 0, 90);
+        assert_eq!(m.alloc(7, 10, 200), Alloc::Merged { ready: 90 });
+        assert_eq!(m.in_flight(10), 1);
+    }
+
+    #[test]
+    fn frees_after_completion() {
+        let mut m = Mshr::new(1);
+        m.alloc(1, 0, 100);
+        assert!(matches!(m.alloc(2, 50, 160), Alloc::Full { .. }));
+        assert_eq!(m.alloc(2, 100, 300), Alloc::Ok);
+        assert_eq!(m.in_flight(100), 1);
+    }
+
+    #[test]
+    fn in_flight_expires_lazily() {
+        let mut m = Mshr::new(4);
+        m.alloc(1, 0, 10);
+        m.alloc(2, 0, 20);
+        assert_eq!(m.in_flight(5), 2);
+        assert_eq!(m.in_flight(15), 1);
+        assert_eq!(m.in_flight(25), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Human-readable summaries of a run's [`Counters`] — the simulator's
+//! answer to `perf stat`.
+
+use crate::config::GracemontConfig;
+use crate::counters::Counters;
+use std::fmt::Write;
+
+/// Derived rates of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rates {
+    pub ipc: f64,
+    pub l1_miss_rate: f64,
+    pub l2_miss_rate: f64,
+    pub l2_mpki: f64,
+    pub stall_fraction: f64,
+    /// Fraction of software prefetches that were dropped.
+    pub sw_pf_drop_rate: f64,
+    /// Fraction of software prefetches that were redundant.
+    pub sw_pf_redundant_rate: f64,
+    /// DRAM bandwidth actually consumed, bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl Rates {
+    pub fn of(c: &Counters) -> Rates {
+        let div = |a: u64, b: u64| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        Rates {
+            ipc: div(c.instructions, c.cycles),
+            l1_miss_rate: div(c.l1_misses, c.l1_hits + c.l1_misses),
+            l2_miss_rate: div(c.l2_misses, c.l2_hits + c.l2_misses),
+            l2_mpki: c.l2_mpki(),
+            stall_fraction: div(c.stall_cycles, c.cycles),
+            sw_pf_drop_rate: div(c.sw_pf_dropped, c.sw_pf_issued),
+            sw_pf_redundant_rate: div(c.sw_pf_redundant, c.sw_pf_issued),
+            dram_bytes_per_cycle: div(c.dram_bytes(), c.cycles),
+        }
+    }
+}
+
+/// Render a perf-stat-style block.
+pub fn summarize(c: &Counters, cfg: &GracemontConfig) -> String {
+    let r = Rates::of(c);
+    let mut s = String::new();
+    let secs = cfg.cycles_to_seconds(c.cycles);
+    let _ = writeln!(s, "{:>14} cycles ({:.3} ms @ {:.1} GHz)", c.cycles, secs * 1e3, cfg.freq_hz as f64 / 1e9);
+    let _ = writeln!(s, "{:>14} instructions ({:.2} IPC)", c.instructions, r.ipc);
+    let _ = writeln!(s, "{:>14} stall cycles ({:.1}%)", c.stall_cycles, 100.0 * r.stall_fraction);
+    let _ = writeln!(s, "{:>14} loads, {} stores", c.loads, c.stores);
+    let _ = writeln!(s, "{:>14} L1 misses ({:.2}% of accesses)", c.l1_misses, 100.0 * r.l1_miss_rate);
+    let _ = writeln!(s, "{:>14} L2 misses ({:.2} MPKI)", c.l2_miss_events(), r.l2_mpki);
+    let _ = writeln!(s, "{:>14} L3 hits, {} DRAM hits", c.l3_hits, c.dram_hits);
+    let _ = writeln!(s, "{:>14} dTLB walks", c.tlb_misses);
+    let _ = writeln!(
+        s,
+        "{:>14} sw prefetches ({:.1}% dropped, {:.1}% redundant)",
+        c.sw_pf_issued,
+        100.0 * r.sw_pf_drop_rate,
+        100.0 * r.sw_pf_redundant_rate
+    );
+    let _ = writeln!(
+        s,
+        "{:>14} hw prefetches ({} unused evictions)",
+        c.hw_pf_issued, c.pf_unused_evictions
+    );
+    let _ = writeln!(
+        s,
+        "{:>14.1} MB DRAM traffic ({:.2} B/cycle)",
+        c.dram_bytes() as f64 / 1e6,
+        r.dram_bytes_per_cycle
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counters {
+        Counters {
+            instructions: 3000,
+            cycles: 1000,
+            stall_cycles: 250,
+            loads: 900,
+            stores: 100,
+            l1_hits: 800,
+            l1_misses: 200,
+            l2_hits: 150,
+            l2_misses: 50,
+            l3_hits: 30,
+            dram_hits: 20,
+            sw_pf_issued: 100,
+            sw_pf_dropped: 10,
+            sw_pf_redundant: 5,
+            dram_lines_read: 20,
+            ..Counters::default()
+        }
+    }
+
+    #[test]
+    fn rates_are_computed() {
+        let r = Rates::of(&sample());
+        assert!((r.ipc - 3.0).abs() < 1e-12);
+        assert!((r.l1_miss_rate - 0.2).abs() < 1e-12);
+        assert!((r.l2_miss_rate - 0.25).abs() < 1e-12);
+        assert!((r.stall_fraction - 0.25).abs() < 1e-12);
+        assert!((r.sw_pf_drop_rate - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_counters_do_not_divide_by_zero() {
+        let r = Rates::of(&Counters::default());
+        assert_eq!(r.ipc, 0.0);
+        assert_eq!(r.l2_mpki, 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_key_lines() {
+        let s = summarize(&sample(), &GracemontConfig::scaled());
+        for needle in ["instructions", "MPKI", "sw prefetches", "DRAM traffic", "dTLB"] {
+            assert!(s.contains(needle), "missing {needle}:\n{s}");
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! Sparsification code generation (paper Section 2.4, Figure 3).
+//!
+//! Lowers a declarative [`KernelSpec`] over one sparse operand into
+//! imperative IR: one loop (or while-based dedup construct) per storage
+//! level, then dense loops for the remaining indices, then the semiring
+//! multiply-accumulate body. Reductions whose index is innermost are
+//! scalarized through `scf.for` iter_args, as MLIR's sparsifier does.
+//!
+//! When an indirect access is generated (a coordinate loaded from a `crd`
+//! buffer locates into dense operands), the registered [`LocateHook`] is
+//! fired with full semantic context — the paper's injection mechanism.
+
+use crate::hooks::{LocateCtx, LocateHook, LocateTarget, SizeChain, Stride};
+use crate::itgraph::IterationGraph;
+use crate::spec::KernelSpec;
+use asap_ir::{verify, CmpPred, FuncBuilder, Function, Type, Value};
+use asap_tensor::{Format, IndexWidth, LevelType};
+
+/// One entry of a sparsified kernel's calling convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelArg {
+    /// Position buffer of sparse level `level`.
+    Pos { level: usize },
+    /// Coordinate buffer of sparse level `level`.
+    Crd { level: usize },
+    /// Non-zero values of the sparse input.
+    SparseVals,
+    /// Dense input operand (1-based position in `spec.inputs`).
+    DenseInput { input: usize },
+    /// The dense output buffer.
+    Output,
+    /// Size of loop index `index`'s dimension.
+    DimSize { index: usize },
+}
+
+/// The result of sparsification: an IR function plus its argument layout.
+#[derive(Debug, Clone)]
+pub struct SparsifiedKernel {
+    pub func: Function,
+    pub args: Vec<KernelArg>,
+    /// Loop indices outermost-first.
+    pub loop_order: Vec<usize>,
+    /// The kernel this was generated from.
+    pub spec: KernelSpec,
+    /// The sparse operand's storage format.
+    pub format: Format,
+    /// Index width the pos/crd buffer types were compiled for.
+    pub index_width: IndexWidth,
+}
+
+impl SparsifiedKernel {
+    /// Position of an argument in the calling convention.
+    pub fn arg_position(&self, arg: KernelArg) -> Option<usize> {
+        self.args.iter().position(|&a| a == arg)
+    }
+}
+
+/// Sparsify `spec` for a sparse operand stored in `format` with
+/// `index_width`-wide position/coordinate buffers. `hook` (if any) is
+/// fired at every iterate-and-locate site.
+pub fn sparsify(
+    spec: &KernelSpec,
+    format: &Format,
+    index_width: IndexWidth,
+    mut hook: Option<&mut dyn LocateHook>,
+) -> Result<SparsifiedKernel, String> {
+    spec.validate()?;
+    let smap = &spec.sparse_input().map;
+    if smap.len() != format.rank() {
+        return Err("sparse operand rank != format rank".into());
+    }
+
+    let graph = IterationGraph::build(spec, format);
+    let loop_order = graph.topo_order()?;
+
+    // Sparse levels must form a prefix of the loop order (our codegen only
+    // supports the storage-order traversal, which `sorted = true` demands).
+    for l in 0..format.rank() {
+        let want = smap[format.dim_of_level(l)];
+        if loop_order[l] != want {
+            return Err(format!(
+                "loop order {loop_order:?} does not follow sparse storage order \
+                 (level {l} resolves index {want})"
+            ));
+        }
+    }
+
+    let idx_elem = match index_width {
+        IndexWidth::U32 => Type::I32,
+        IndexWidth::U64 => Type::Index,
+    };
+    let val_ty = spec.value_kind.ir_type();
+
+    let mut b = FuncBuilder::new(spec.name.clone());
+    let mut args = Vec::new();
+    let rank = format.rank();
+    let mut pos = vec![None; rank];
+    let mut crd = vec![None; rank];
+    for (l, &lt) in format.levels().iter().enumerate() {
+        if lt.has_pos() {
+            pos[l] = Some(b.arg(Type::memref(idx_elem.clone())));
+            args.push(KernelArg::Pos { level: l });
+        }
+        if lt.has_crd() {
+            crd[l] = Some(b.arg(Type::memref(idx_elem.clone())));
+            args.push(KernelArg::Crd { level: l });
+        }
+    }
+    let vals = b.arg(Type::memref(val_ty.clone()));
+    args.push(KernelArg::SparseVals);
+    let mut dense = Vec::new();
+    for di in 0..spec.dense_inputs().len() {
+        dense.push(b.arg(Type::memref(val_ty.clone())));
+        args.push(KernelArg::DenseInput { input: di + 1 });
+    }
+    let out = b.arg(Type::memref(val_ty.clone()));
+    args.push(KernelArg::Output);
+    let mut dims = Vec::new();
+    for idx in 0..spec.num_indices {
+        dims.push(b.arg(Type::Index));
+        args.push(KernelArg::DimSize { index: idx });
+    }
+
+    // Per-level size chains (the crd_buf_sz recursion, Section 3.2.2).
+    let mut size_chains: Vec<SizeChain> = Vec::with_capacity(rank);
+    let mut chain = SizeChain::new();
+    for (l, &lt) in format.levels().iter().enumerate() {
+        match lt {
+            LevelType::Dense => chain.push_dense(dims[smap[format.dim_of_level(l)]]),
+            LevelType::Compressed { .. } => {
+                chain.push_compressed(pos[l].expect("compressed level has pos"))
+            }
+            LevelType::Singleton => chain.push_singleton(),
+        }
+        size_chains.push(chain.clone());
+    }
+
+    // Per-level locate targets: dense inputs indexed by the level's index.
+    let mut locate_targets: Vec<Vec<LocateTarget>> = vec![Vec::new(); rank];
+    for (l, &lt) in format.levels().iter().enumerate() {
+        if !lt.has_crd() {
+            continue; // dense levels stream; hardware prefetchers cover them
+        }
+        let idx = smap[format.dim_of_level(l)];
+        for (di, dspec) in spec.dense_inputs().iter().enumerate() {
+            let Some(p) = dspec.map.iter().position(|&m| m == idx) else {
+                continue;
+            };
+            // Row stride = product of the sizes of the trailing dims.
+            let trailing = &dspec.map[p + 1..];
+            let stride = if trailing.is_empty() {
+                Stride::One
+            } else {
+                let mut s = dims[trailing[0]];
+                for &t in &trailing[1..] {
+                    s = b.muli(s, dims[t]);
+                }
+                Stride::Elems(s)
+            };
+            locate_targets[l].push(LocateTarget {
+                buf: dense[di],
+                stride,
+                operand: di + 1,
+            });
+        }
+    }
+
+    let n_loops = loop_order.len();
+    let last_idx = *loop_order.last().expect("at least one loop");
+    let scalarize = !spec.index_in_output(last_idx);
+
+    let mut em = Emitter {
+        spec,
+        format,
+        hook: hook.take(),
+        pos,
+        crd,
+        vals,
+        dense,
+        out,
+        dims,
+        coord: vec![None; spec.num_indices],
+        parent: None,
+        leaf: None,
+        loop_order: loop_order.clone(),
+        n_loops,
+        scalarize,
+        size_chains,
+        locate_targets,
+    };
+    em.emit_depth(&mut b, 0);
+
+    let func = b.finish();
+    verify(&func).map_err(|e| e.to_string())?;
+    Ok(SparsifiedKernel {
+        func,
+        args,
+        loop_order,
+        spec: spec.clone(),
+        format: format.clone(),
+        index_width,
+    })
+}
+
+struct Emitter<'a, 'h> {
+    spec: &'a KernelSpec,
+    format: &'a Format,
+    hook: Option<&'h mut dyn LocateHook>,
+    pos: Vec<Option<Value>>,
+    crd: Vec<Option<Value>>,
+    vals: Value,
+    dense: Vec<Value>,
+    out: Value,
+    dims: Vec<Value>,
+    /// Resolved coordinate per loop index.
+    coord: Vec<Option<Value>>,
+    /// Node of the previous sparse level (`None` = virtual root), or the
+    /// entry range produced by a non-unique level.
+    parent: Option<Parent>,
+    /// Node index at the last sparse level: indexes the values buffer.
+    leaf: Option<Value>,
+    loop_order: Vec<usize>,
+    n_loops: usize,
+    scalarize: bool,
+    size_chains: Vec<SizeChain>,
+    locate_targets: Vec<Vec<LocateTarget>>,
+}
+
+#[derive(Clone, Copy)]
+enum Parent {
+    /// A single parent node.
+    Single(Value),
+    /// A range of entries (from a non-unique level's dedup scan).
+    Range(Value, Value),
+}
+
+impl<'a, 'h> Emitter<'a, 'h> {
+    fn emit_depth(&mut self, b: &mut FuncBuilder, depth: usize) {
+        if depth == self.n_loops {
+            self.emit_body(b, None);
+            return;
+        }
+        let last = depth + 1 == self.n_loops;
+        if last && self.scalarize {
+            // Load the accumulator, run the innermost loop carrying it,
+            // store once — the scalarized reduction MLIR emits.
+            let omap = self.spec.output.map.clone();
+            let oidx = self.flat_index(b, &omap);
+            let acc0 = b.load(self.out, oidx);
+            let acc = self
+                .emit_loop(b, depth, Some(acc0))
+                .expect("scalar loop returns accumulator");
+            b.store(acc, self.out, oidx);
+        } else {
+            self.emit_loop(b, depth, None);
+        }
+    }
+
+    /// Emit the loop construct at `depth`. With `scalar = Some(acc0)` the
+    /// loop carries the accumulator and its final value is returned.
+    fn emit_loop(
+        &mut self,
+        b: &mut FuncBuilder,
+        depth: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        if depth < self.format.rank() {
+            self.emit_sparse_level(b, depth, scalar)
+        } else {
+            self.emit_dense_loop(b, self.loop_order[depth], depth, scalar)
+        }
+    }
+
+    fn inner(&mut self, b: &mut FuncBuilder, depth: usize, scalar: Option<Value>) -> Option<Value> {
+        match scalar {
+            Some(acc) => Some(
+                self.emit_body(b, Some(acc))
+                    .expect("scalar body returns accumulator"),
+            ),
+            None => {
+                self.emit_depth(b, depth + 1);
+                None
+            }
+        }
+    }
+
+    fn emit_dense_loop(
+        &mut self,
+        b: &mut FuncBuilder,
+        idx: usize,
+        depth: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let dim = self.dims[idx];
+        let inits: Vec<Value> = scalar.into_iter().collect();
+        let res = b.for_loop(c0, dim, c1, &inits, |b, iv, iter_args| {
+            self.coord[idx] = Some(iv);
+            match self.inner(b, depth, iter_args.first().copied()) {
+                Some(acc) => vec![acc],
+                None => vec![],
+            }
+        });
+        res.first().copied()
+    }
+
+    fn emit_sparse_level(
+        &mut self,
+        b: &mut FuncBuilder,
+        l: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        let idx = self.spec.sparse_input().map[self.format.dim_of_level(l)];
+        match self.format.levels()[l] {
+            LevelType::Dense => self.emit_dense_level(b, l, idx, scalar),
+            LevelType::Compressed { unique: true, .. } => {
+                self.emit_compressed_level(b, l, idx, scalar)
+            }
+            LevelType::Compressed { unique: false, .. } => {
+                assert!(
+                    scalar.is_none(),
+                    "non-unique level cannot be the scalarized innermost loop"
+                );
+                self.emit_nonunique_level(b, l, idx);
+                None
+            }
+            LevelType::Singleton => self.emit_singleton_level(b, l, idx, scalar),
+        }
+    }
+
+    /// Dense storage level: loop over all coordinates; the node index is
+    /// `parent * dim + coord`.
+    fn emit_dense_level(
+        &mut self,
+        b: &mut FuncBuilder,
+        l: usize,
+        idx: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let dim = self.dims[idx];
+        let parent = self.parent;
+        let inits: Vec<Value> = scalar.into_iter().collect();
+        let res = b.for_loop(c0, dim, c1, &inits, |b, iv, iter_args| {
+            self.coord[idx] = Some(iv);
+            let node = match parent {
+                None => iv,
+                Some(Parent::Single(p)) => {
+                    let base = b.muli(p, dim);
+                    b.addi(base, iv)
+                }
+                Some(Parent::Range(..)) => {
+                    panic!("dense level cannot follow a non-unique level")
+                }
+            };
+            self.parent = Some(Parent::Single(node));
+            if l + 1 == self.format.rank() {
+                self.leaf = Some(node);
+            }
+            match self.inner(b, l, iter_args.first().copied()) {
+                Some(acc) => vec![acc],
+                None => vec![],
+            }
+        });
+        res.first().copied()
+    }
+
+    /// Unique compressed level: `for n in pos[p] .. pos[p+1]`, coordinate
+    /// loaded from `crd[n]` (Figure 3b/3c inner loops).
+    fn emit_compressed_level(
+        &mut self,
+        b: &mut FuncBuilder,
+        l: usize,
+        idx: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        let c1 = b.const_index(1);
+        let pos = self.pos[l].expect("compressed level has pos");
+        let crd = self.crd[l].expect("compressed level has crd");
+        let p = match self.parent {
+            None => b.const_index(0),
+            Some(Parent::Single(p)) => p,
+            Some(Parent::Range(..)) => {
+                panic!("compressed level cannot follow a non-unique level")
+            }
+        };
+        let lo_raw = b.load(pos, p);
+        let lo = b.to_index(lo_raw);
+        let p1 = b.addi(p, c1);
+        let hi_raw = b.load(pos, p1);
+        let hi = b.to_index(hi_raw);
+        let inits: Vec<Value> = scalar.into_iter().collect();
+        let res = b.for_loop(lo, hi, c1, &inits, |b, n, iter_args| {
+            let raw = b.load(crd, n);
+            let coordv = b.to_index(raw);
+            self.coord[idx] = Some(coordv);
+            self.fire_hook(b, l, n, coordv);
+            self.parent = Some(Parent::Single(n));
+            if l + 1 == self.format.rank() {
+                self.leaf = Some(n);
+            }
+            match self.inner(b, l, iter_args.first().copied()) {
+                Some(acc) => vec![acc],
+                None => vec![],
+            }
+        });
+        res.first().copied()
+    }
+
+    /// Non-unique compressed level (COO's first level): a while loop over
+    /// entries with an inner duplicate-scan producing each coordinate's
+    /// segment (Figure 3a).
+    fn emit_nonunique_level(&mut self, b: &mut FuncBuilder, l: usize, idx: usize) {
+        let c1 = b.const_index(1);
+        let pos = self.pos[l].expect("non-unique compressed level has pos");
+        let crd = self.crd[l].expect("non-unique compressed level has crd");
+        let p = match self.parent {
+            None => b.const_index(0),
+            Some(Parent::Single(p)) => p,
+            Some(Parent::Range(..)) => panic!("nested non-unique levels unsupported"),
+        };
+        let lo_raw = b.load(pos, p);
+        let lo = b.to_index(lo_raw);
+        let p1 = b.addi(p, c1);
+        let hi_raw = b.load(pos, p1);
+        let hi = b.to_index(hi_raw);
+        b.while_loop(
+            &[lo],
+            |b, args| {
+                let cont = b.cmpi(CmpPred::Ult, args[0], hi);
+                (cont, vec![args[0]])
+            },
+            |b, args| {
+                let ii = args[0];
+                let raw = b.load(crd, ii);
+                let coordv = b.to_index(raw);
+                self.coord[idx] = Some(coordv);
+                // Duplicate scan: segment_end = first entry with a
+                // different coordinate (short-circuit the bounds check so
+                // crd[hi] is never touched).
+                let se0 = b.addi(ii, c1);
+                let se = b.while_loop(
+                    &[se0],
+                    |b, sargs| {
+                        let in_range = b.cmpi(CmpPred::Ult, sargs[0], hi);
+                        let same = b.if_else(
+                            in_range,
+                            &[Type::I1],
+                            |b| {
+                                let r2 = b.load(crd, sargs[0]);
+                                vec![b.cmpi(CmpPred::Eq, r2, raw)]
+                            },
+                            |b| vec![b.constant(asap_ir::Literal::Bool(false))],
+                        );
+                        (same[0], vec![sargs[0]])
+                    },
+                    |b, sargs| vec![b.addi(sargs[0], c1)],
+                );
+                self.fire_hook(b, l, ii, coordv);
+                self.parent = Some(Parent::Range(ii, se[0]));
+                self.emit_depth(b, l + 1);
+                vec![se[0]]
+            },
+        );
+    }
+
+    /// Singleton level: one coordinate per parent. With a range parent
+    /// (following a non-unique level) this is the per-segment entry loop
+    /// of Figure 3a (line 11); with a single parent it is a plain deref.
+    fn emit_singleton_level(
+        &mut self,
+        b: &mut FuncBuilder,
+        l: usize,
+        idx: usize,
+        scalar: Option<Value>,
+    ) -> Option<Value> {
+        let crd = self.crd[l].expect("singleton level has crd");
+        match self.parent.expect("singleton level cannot be the root") {
+            Parent::Single(p) => {
+                let raw = b.load(crd, p);
+                let coordv = b.to_index(raw);
+                self.coord[idx] = Some(coordv);
+                self.fire_hook(b, l, p, coordv);
+                self.parent = Some(Parent::Single(p));
+                if l + 1 == self.format.rank() {
+                    self.leaf = Some(p);
+                }
+                match scalar {
+                    Some(acc) => Some(
+                        self.emit_body(b, Some(acc))
+                            .expect("scalar body returns accumulator"),
+                    ),
+                    None => {
+                        self.emit_depth(b, l + 1);
+                        None
+                    }
+                }
+            }
+            Parent::Range(lo, hi) => {
+                let c1 = b.const_index(1);
+                let inits: Vec<Value> = scalar.into_iter().collect();
+                let res = b.for_loop(lo, hi, c1, &inits, |b, jj, iter_args| {
+                    let raw = b.load(crd, jj);
+                    let coordv = b.to_index(raw);
+                    self.coord[idx] = Some(coordv);
+                    self.fire_hook(b, l, jj, coordv);
+                    self.parent = Some(Parent::Single(jj));
+                    if l + 1 == self.format.rank() {
+                        self.leaf = Some(jj);
+                    }
+                    match self.inner(b, l, iter_args.first().copied()) {
+                        Some(acc) => vec![acc],
+                        None => vec![],
+                    }
+                });
+                res.first().copied()
+            }
+        }
+    }
+
+    /// Fire the locate hook if this level's coordinate locates into any
+    /// dense operand — the paper's injection point (Section 3.1).
+    fn fire_hook(&mut self, b: &mut FuncBuilder, level: usize, iter: Value, coord: Value) {
+        if self.locate_targets[level].is_empty() {
+            return;
+        }
+        if let Some(h) = self.hook.as_mut() {
+            let ctx = LocateCtx {
+                level,
+                crd: self.crd[level].expect("hook fires on crd-bearing levels"),
+                iter,
+                coord,
+                targets: &self.locate_targets[level],
+                size_chain: &self.size_chains[level],
+            };
+            h.on_locate(b, &ctx);
+        }
+    }
+
+    /// Row-major flattened index for an operand map, from resolved coords.
+    fn flat_index(&mut self, b: &mut FuncBuilder, map: &[usize]) -> Value {
+        let mut it = map.iter();
+        let first = *it.next().expect("operand has at least one dim");
+        let mut idx = self.coord[first].expect("coordinate resolved before use");
+        for &d in it {
+            let dim = self.dims[d];
+            idx = b.muli(idx, dim);
+            let c = self.coord[d].expect("coordinate resolved before use");
+            idx = b.addi(idx, c);
+        }
+        idx
+    }
+
+    fn semiring_mul(&self, b: &mut FuncBuilder, x: Value, y: Value) -> Value {
+        match self.spec.value_kind {
+            asap_tensor::ValueKind::F64 => b.mulf(x, y),
+            asap_tensor::ValueKind::I8 => b.andi(x, y),
+        }
+    }
+
+    fn semiring_add(&self, b: &mut FuncBuilder, x: Value, y: Value) -> Value {
+        match self.spec.value_kind {
+            asap_tensor::ValueKind::F64 => b.addf(x, y),
+            asap_tensor::ValueKind::I8 => b.ori(x, y),
+        }
+    }
+
+    /// The multiply-accumulate body. With `acc` the new accumulator value
+    /// is returned; otherwise the output location is read-modify-written.
+    fn emit_body(&mut self, b: &mut FuncBuilder, acc: Option<Value>) -> Option<Value> {
+        let leaf = self.leaf.expect("leaf node resolved at the last level");
+        let sv = b.load(self.vals, leaf);
+        let mut prod = sv;
+        let dense_maps: Vec<Vec<usize>> = self
+            .spec
+            .dense_inputs()
+            .iter()
+            .map(|d| d.map.clone())
+            .collect();
+        for (di, map) in dense_maps.iter().enumerate() {
+            let idxv = self.flat_index(b, map);
+            let dv = b.load(self.dense[di], idxv);
+            prod = self.semiring_mul(b, prod, dv);
+        }
+        match acc {
+            Some(a) => Some(self.semiring_add(b, a, prod)),
+            None => {
+                let omap = self.spec.output.map.clone();
+                let oidx = self.flat_index(b, &omap);
+                let cur = b.load(self.out, oidx);
+                let sum = self.semiring_add(b, cur, prod);
+                b.store(sum, self.out, oidx);
+                None
+            }
+        }
+    }
+}

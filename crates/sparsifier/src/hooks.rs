@@ -1,0 +1,247 @@
+//! Hook infrastructure for prefetch injection *during* sparsification.
+//!
+//! The paper's key observation (Section 3.1) is that the indirect access
+//! `c[Bj_crd[jj]]` materializes at a known point of the sparsification
+//! transformation — when an iterate-and-locate coiteration strategy is
+//! chosen — so a prefetching extension can be handed complete semantic
+//! context instead of re-discovering it post-hoc. [`LocateHook`] is that
+//! extension point; `asap-core` implements it with the three-step scheme
+//! of Figure 5.
+
+use asap_ir::{FuncBuilder, Value};
+
+/// How a located coordinate scales into a dense operand's flat index.
+#[derive(Debug, Clone, Copy)]
+pub enum Stride {
+    /// The coordinate indexes the operand directly (SpMV's `c[j]`).
+    One,
+    /// The coordinate selects a row of `stride` elements (SpMM's
+    /// `C[j*N + k]`): prefetching `target[coord*stride]` covers the first
+    /// cache line of the row, as in the paper's Figure 9.
+    Elems(Value),
+}
+
+/// One dense operand located by the resolved coordinate.
+#[derive(Debug, Clone)]
+pub struct LocateTarget {
+    /// The dense operand's buffer (function argument).
+    pub buf: Value,
+    pub stride: Stride,
+    /// Operand position in the kernel spec (1-based; 0 is the sparse
+    /// input), for diagnostics.
+    pub operand: usize,
+}
+
+/// Recipe for computing, at runtime, the total size of a level's
+/// coordinate buffer — the paper's recursive `crd_buf_sz` formula
+/// (Section 3.2.2). Each step transforms the running node count of the
+/// previous level.
+#[derive(Debug, Clone)]
+pub struct SizeChain {
+    steps: Vec<SizeStep>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SizeStep {
+    /// Dense level: node count multiplies by the dimension size argument.
+    MulDim(Value),
+    /// Compressed level: node count becomes `pos[count]` — a runtime load,
+    /// because allocation sites are not visible to the pass.
+    LoadPos(Value),
+    /// Singleton level: node count unchanged.
+    Keep,
+}
+
+impl SizeChain {
+    pub fn new() -> SizeChain {
+        SizeChain { steps: Vec::new() }
+    }
+
+    pub fn push_dense(&mut self, dim_arg: Value) {
+        self.steps.push(SizeStep::MulDim(dim_arg));
+    }
+
+    pub fn push_compressed(&mut self, pos_buf: Value) {
+        self.steps.push(SizeStep::LoadPos(pos_buf));
+    }
+
+    pub fn push_singleton(&mut self) {
+        self.steps.push(SizeStep::Keep);
+    }
+
+    /// Number of levels described.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Emit the chain, returning the node count of the last level — which
+    /// equals that level's coordinate-buffer size. Every emitted op is
+    /// loop-invariant (loads are from read-only position buffers), so LICM
+    /// hoists the chain out of the loop nest, exactly as the paper notes
+    /// for Figure 5 lines 8–10.
+    pub fn emit(&self, b: &mut FuncBuilder) -> Value {
+        let mut count = b.const_index(1);
+        for step in &self.steps {
+            count = match *step {
+                SizeStep::MulDim(dim) => b.muli(count, dim),
+                SizeStep::LoadPos(pos) => {
+                    let raw = b.load(pos, count);
+                    b.to_index(raw)
+                }
+                SizeStep::Keep => count,
+            };
+        }
+        count
+    }
+}
+
+impl Default for SizeChain {
+    fn default() -> Self {
+        SizeChain::new()
+    }
+}
+
+/// Context handed to a [`LocateHook`] at the moment sparsification
+/// generates an indirect access: everything the three-step generation
+/// scheme needs, derived from sparse tensor semantics.
+pub struct LocateCtx<'a> {
+    /// Storage level whose coordinate was just resolved.
+    pub level: usize,
+    /// The level's coordinate buffer (`Bj_crd`).
+    pub crd: Value,
+    /// The position iterator (`jj`) indexing `crd` in the current loop.
+    pub iter: Value,
+    /// The resolved coordinate, already cast to `index`.
+    pub coord: Value,
+    /// Dense operands located by `coord`.
+    pub targets: &'a [LocateTarget],
+    /// Recipe for the total size of `crd` (the ASaP bound).
+    pub size_chain: &'a SizeChain,
+}
+
+/// Extension point fired once per iterate-and-locate site during
+/// sparsification. Implementations inject IR at the current insertion
+/// point (right after coordinate resolution, inside the level's loop).
+pub trait LocateHook {
+    fn on_locate(&mut self, b: &mut FuncBuilder, ctx: &LocateCtx<'_>);
+}
+
+/// A hook that records the sites it saw — used by tests to check the
+/// sparsifier fires hooks at exactly the right places.
+#[derive(Debug, Default)]
+pub struct RecordingHook {
+    /// (level, number of targets) per fired site.
+    pub sites: Vec<(usize, usize)>,
+}
+
+impl LocateHook for RecordingHook {
+    fn on_locate(&mut self, _b: &mut FuncBuilder, ctx: &LocateCtx<'_>) {
+        self.sites.push((ctx.level, ctx.targets.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_ir::{interpret, BufferData, Buffers, NullModel, Type, V};
+
+    #[test]
+    fn size_chain_emits_csr_bound() {
+        // CSR: dense level (dim = nrows), then compressed level (pos).
+        let mut b = FuncBuilder::new("sz");
+        let pos = b.arg(Type::memref(Type::Index));
+        let nrows = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::Index));
+        let mut chain = SizeChain::new();
+        chain.push_dense(nrows);
+        chain.push_compressed(pos);
+        let sz = chain.emit(&mut b);
+        let c0 = b.const_index(0);
+        b.store(sz, out, c0);
+        let f = b.finish();
+
+        let mut bufs = Buffers::new();
+        let bpos = bufs.add(BufferData::Index(vec![0, 2, 2, 3]));
+        let bout = bufs.add(BufferData::Index(vec![0]));
+        interpret(
+            &f,
+            &[V::Mem(bpos), V::Index(3), V::Mem(bout)],
+            &mut bufs,
+            &mut NullModel,
+        )
+        .unwrap();
+        match &bufs.get(bout).data {
+            BufferData::Index(v) => assert_eq!(v[0], 3, "crd size = pos[nrows]"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn size_chain_emits_dcsr_recursion() {
+        // DCSR: compressed, compressed — size(l1) = pos1[pos0[1]].
+        let mut b = FuncBuilder::new("sz");
+        let pos0 = b.arg(Type::memref(Type::Index));
+        let pos1 = b.arg(Type::memref(Type::Index));
+        let out = b.arg(Type::memref(Type::Index));
+        let mut chain = SizeChain::new();
+        chain.push_compressed(pos0);
+        chain.push_compressed(pos1);
+        let sz = chain.emit(&mut b);
+        let c0 = b.const_index(0);
+        b.store(sz, out, c0);
+        let f = b.finish();
+
+        let mut bufs = Buffers::new();
+        let bpos0 = bufs.add(BufferData::Index(vec![0, 2]));
+        let bpos1 = bufs.add(BufferData::Index(vec![0, 2, 3]));
+        let bout = bufs.add(BufferData::Index(vec![0]));
+        interpret(
+            &f,
+            &[V::Mem(bpos0), V::Mem(bpos1), V::Mem(bout)],
+            &mut bufs,
+            &mut NullModel,
+        )
+        .unwrap();
+        match &bufs.get(bout).data {
+            BufferData::Index(v) => assert_eq!(v[0], 3),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn size_chain_narrow_pos_gets_cast() {
+        let mut b = FuncBuilder::new("sz");
+        let pos = b.arg(Type::memref(Type::I32));
+        let mut chain = SizeChain::new();
+        chain.push_compressed(pos);
+        let sz = chain.emit(&mut b);
+        let f = b.finish();
+        assert_eq!(*f.ty(sz), Type::Index);
+    }
+
+    #[test]
+    fn singleton_keeps_count() {
+        let mut b = FuncBuilder::new("sz");
+        let pos = b.arg(Type::memref(Type::Index));
+        let mut chain = SizeChain::new();
+        chain.push_compressed(pos);
+        chain.push_singleton();
+        assert_eq!(chain.len(), 2);
+        let sz = chain.emit(&mut b);
+        let c0 = b.const_index(0);
+        let out = pos; // reuse buffer for a store target
+        b.store(sz, out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let bpos = bufs.add(BufferData::Index(vec![0, 5]));
+        interpret(&f, &[V::Mem(bpos)], &mut bufs, &mut NullModel).unwrap();
+        match &bufs.get(bpos).data {
+            BufferData::Index(v) => assert_eq!(v[0], 5, "COO singleton crd size = Bi_pos[1]"),
+            _ => unreachable!(),
+        }
+    }
+}

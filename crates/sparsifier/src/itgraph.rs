@@ -1,0 +1,180 @@
+//! Iteration graphs (paper Section 3.1, Figure 4).
+//!
+//! Nodes are loop indices; a directed edge `a -> b` records that `a`'s
+//! loop must enclose `b`'s because some sparse operand stores the
+//! dimension of `a` at an outer level of its coordinate hierarchy tree
+//! than the dimension of `b`. A topological order of the graph is a legal
+//! loop order; with `sorted = true` the storage order of the sparse
+//! operand must be respected, which the level-derived edges encode.
+
+use crate::spec::KernelSpec;
+use asap_tensor::Format;
+
+/// The iteration graph for a kernel with one sparse input.
+#[derive(Debug, Clone)]
+pub struct IterationGraph {
+    num_indices: usize,
+    /// Edges `a -> b` (a's loop outside b's).
+    edges: Vec<(usize, usize)>,
+}
+
+impl IterationGraph {
+    /// Build from the kernel spec and the sparse operand's format:
+    /// consecutive levels of the sparse tensor constrain their indices.
+    pub fn build(spec: &KernelSpec, sparse_format: &Format) -> IterationGraph {
+        let smap = &spec.sparse_input().map;
+        assert_eq!(
+            smap.len(),
+            sparse_format.rank(),
+            "sparse operand rank must match its format"
+        );
+        let mut edges = Vec::new();
+        // Level l is stored outside level l+1; each level encodes operand
+        // dimension dim_of_level(l), which is bound to loop index
+        // smap[dim_of_level(l)].
+        for l in 0..sparse_format.rank().saturating_sub(1) {
+            let outer = smap[sparse_format.dim_of_level(l)];
+            let inner = smap[sparse_format.dim_of_level(l + 1)];
+            edges.push((outer, inner));
+        }
+        IterationGraph {
+            num_indices: spec.num_indices,
+            edges,
+        }
+    }
+
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Topological order of the indices. Ties are broken by index number
+    /// (so dense-only indices come as late as their constraints allow,
+    /// matching sparsification's preference for keeping dense loops
+    /// innermost). Returns `Err` with a cycle description when the
+    /// constraints are unsatisfiable.
+    pub fn topo_order(&self) -> Result<Vec<usize>, String> {
+        let n = self.num_indices;
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        ready.sort_unstable();
+        while let Some(&next) = ready.first() {
+            ready.remove(0);
+            order.push(next);
+            for &b in &adj[next] {
+                indeg[b] -= 1;
+                if indeg[b] == 0 {
+                    let pos = ready.binary_search(&b).unwrap_or_else(|p| p);
+                    ready.insert(pos, b);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
+            return Err(format!(
+                "iteration graph has a cycle involving indices {stuck:?}"
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Render the elaboration stages of the paper's Figure 4 as text, for
+    /// inspection and golden tests: (a) raw constraint edges, (b) levels
+    /// annotated with their types, (c) the coiteration decision per index.
+    pub fn describe(&self, spec: &KernelSpec, fmt: &Format) -> String {
+        let mut s = String::new();
+        s.push_str("(a) iteration graph edges:\n");
+        for &(a, b) in &self.edges {
+            s.push_str(&format!("  i{a} -> i{b}\n"));
+        }
+        s.push_str("(b) sparse levels:\n");
+        let smap = &spec.sparse_input().map;
+        for l in 0..fmt.rank() {
+            let idx = smap[fmt.dim_of_level(l)];
+            s.push_str(&format!(
+                "  level {l} ({}): resolves i{idx}\n",
+                fmt.levels()[l].mlir_name()
+            ));
+        }
+        s.push_str("(c) coiteration:\n");
+        for l in 0..fmt.rank() {
+            let idx = smap[fmt.dim_of_level(l)];
+            let locates: Vec<usize> = spec
+                .dense_inputs()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.map.contains(&idx))
+                .map(|(i, _)| i + 1)
+                .collect();
+            if locates.is_empty() {
+                s.push_str(&format!("  i{idx}: iterate (sparse only)\n"));
+            } else {
+                s.push_str(&format!(
+                    "  i{idx}: iterate-and-locate into dense operand(s) {locates:?}\n"
+                ));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::KernelSpec;
+    use asap_tensor::ValueKind;
+
+    #[test]
+    fn spmv_csr_orders_i_before_j() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let g = IterationGraph::build(&spec, &Format::csr());
+        assert_eq!(g.edges(), &[(0, 1)]);
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn spmv_csc_orders_j_before_i() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let g = IterationGraph::build(&spec, &Format::csc());
+        assert_eq!(g.edges(), &[(1, 0)]);
+        assert_eq!(g.topo_order().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn spmm_keeps_dense_index_innermost() {
+        let spec = KernelSpec::spmm(ValueKind::F64);
+        let g = IterationGraph::build(&spec, &Format::csr());
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mttkrp_csf_order() {
+        let spec = KernelSpec::mttkrp(ValueKind::F64);
+        let g = IterationGraph::build(&spec, &Format::csf(3));
+        assert_eq!(g.topo_order().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let g = IterationGraph {
+            num_indices: 2,
+            edges: vec![(0, 1), (1, 0)],
+        };
+        assert!(g.topo_order().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn describe_mentions_iterate_and_locate() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let g = IterationGraph::build(&spec, &Format::csr());
+        let d = g.describe(&spec, &Format::csr());
+        assert!(d.contains("i1: iterate-and-locate"));
+        assert!(d.contains("i0: iterate (sparse only)"));
+        assert!(d.contains("level 1 (compressed): resolves i1"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # asap-sparsifier — the sparsification transformation
+//!
+//! Lowers declarative contraction kernels over sparse tensors (the
+//! `linalg.generic` level of the paper's Figure 1a) into imperative IR
+//! operating on segmented `pos`/`crd`/`values` buffers, reproducing the
+//! loop shapes of the paper's Figure 3 for COO, CSR and DCSR (and any
+//! other format expressible with the level types).
+//!
+//! The crate exposes the paper's central mechanism: a [`LocateHook`] fired
+//! exactly when an iterate-and-locate coiteration strategy generates an
+//! indirect access, carrying full semantic context (coordinate buffer,
+//! iterator, resolved coordinate, dense targets with strides, and the
+//! [`SizeChain`] implementing the `crd_buf_sz` bound recursion of
+//! Section 3.2.2). `asap-core` implements the hook to inject prefetches.
+
+pub mod codegen;
+pub mod hooks;
+pub mod itgraph;
+pub mod merge;
+pub mod runner;
+pub mod spec;
+
+pub use codegen::{sparsify, KernelArg, SparsifiedKernel};
+pub use hooks::{LocateCtx, LocateHook, LocateTarget, RecordingHook, SizeChain, Stride};
+pub use itgraph::IterationGraph;
+pub use merge::{run_sparse_add, sparse_vector_add, MergeArg, MergeKernel, MergeOptions};
+pub use runner::{bind, densify, reference_contraction, resolve_dims, run, BoundKernel};
+pub use spec::{IteratorType, KernelSpec, OperandSpec};

@@ -1,0 +1,392 @@
+//! Merge-based coiteration (the paper's Section 3.1 alternative to
+//! iterate-and-locate): when *two* sparse operands share an index and
+//! both are sorted, the compiler emits a two-pointer merge loop instead
+//! of locate lookups.
+//!
+//! Implemented here for element-wise addition of two sparse vectors into
+//! a dense output (`z = x ⊕ y`), the canonical merge kernel. The merge
+//! loop's coordinate loads are streaming, but with *two* crd streams plus
+//! two value streams the L1 IPP's two slots are again insufficient, so
+//! optional ASaP-style software prefetching (bounded by the semantic
+//! buffer sizes, as in Section 3.2.2) is supported for all four streams.
+
+use asap_ir::{verify, CmpPred, FuncBuilder, Function, Type, Value};
+use asap_tensor::{DenseTensor, IndexWidth, SparseTensor, ValueKind};
+
+/// Calling convention of a merge kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeArg {
+    /// `pos` buffer of operand 0 / 1.
+    Pos(usize),
+    /// `crd` buffer of operand 0 / 1.
+    Crd(usize),
+    /// values of operand 0 / 1.
+    Vals(usize),
+    /// Dense output vector.
+    Output,
+}
+
+/// A compiled sparse-vector-add kernel.
+#[derive(Debug, Clone)]
+pub struct MergeKernel {
+    pub func: Function,
+    pub args: Vec<MergeArg>,
+    pub index_width: IndexWidth,
+    pub value_kind: ValueKind,
+}
+
+/// Options for [`sparse_vector_add`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MergeOptions {
+    /// Inject ASaP-style prefetches at this look-ahead distance for both
+    /// coordinate streams (bounded by each buffer's runtime size).
+    pub prefetch_distance: Option<usize>,
+    /// Locality hint for injected prefetches.
+    pub locality: u8,
+}
+
+/// Generate `z = x + y` over two sorted sparse vectors stored as single
+/// compressed levels, writing into a dense output.
+pub fn sparse_vector_add(
+    index_width: IndexWidth,
+    value_kind: ValueKind,
+    opts: MergeOptions,
+) -> Result<MergeKernel, String> {
+    let idx_elem = match index_width {
+        IndexWidth::U32 => Type::I32,
+        IndexWidth::U64 => Type::Index,
+    };
+    let val_ty = value_kind.ir_type();
+
+    let mut b = FuncBuilder::new("sparse_add");
+    let mut args = Vec::new();
+    let pos_x = b.arg(Type::memref(idx_elem.clone()));
+    args.push(MergeArg::Pos(0));
+    let crd_x = b.arg(Type::memref(idx_elem.clone()));
+    args.push(MergeArg::Crd(0));
+    let vals_x = b.arg(Type::memref(val_ty.clone()));
+    args.push(MergeArg::Vals(0));
+    let pos_y = b.arg(Type::memref(idx_elem.clone()));
+    args.push(MergeArg::Pos(1));
+    let crd_y = b.arg(Type::memref(idx_elem.clone()));
+    args.push(MergeArg::Crd(1));
+    let vals_y = b.arg(Type::memref(val_ty.clone()));
+    args.push(MergeArg::Vals(1));
+    let out = b.arg(Type::memref(val_ty.clone()));
+    args.push(MergeArg::Output);
+
+    let c0 = b.const_index(0);
+    let c1 = b.const_index(1);
+    let lo_x_raw = b.load(pos_x, c0);
+    let lo_x = b.to_index(lo_x_raw);
+    let hi_x_raw = b.load(pos_x, c1);
+    let hi_x = b.to_index(hi_x_raw);
+    let lo_y_raw = b.load(pos_y, c0);
+    let lo_y = b.to_index(lo_y_raw);
+    let hi_y_raw = b.load(pos_y, c1);
+    let hi_y = b.to_index(hi_y_raw);
+
+    // Optional ASaP-style stream prefetching: the buffer size bound is
+    // pos[1] (the crd_buf_sz recursion for a single compressed level).
+    let prefetch = |b: &mut FuncBuilder, iter: Value, crd: Value, vals: Value, hi: Value| {
+        let Some(d) = opts.prefetch_distance else {
+            return;
+        };
+        let cd = b.const_index(d);
+        let jd = b.addi(iter, cd);
+        let c1 = b.const_index(1);
+        let bound = b.subi(hi, c1);
+        let in_range = b.cmpi(CmpPred::Ult, jd, bound);
+        let clamped = b.select(in_range, jd, bound);
+        // Streams are regular: prefetch both crd and vals at distance d.
+        b.prefetch_read(crd, clamped, opts.locality);
+        b.prefetch_read(vals, clamped, opts.locality);
+    };
+
+    let write = |b: &mut FuncBuilder, coord: Value, v: Value| {
+        let cur = b.load(out, coord);
+        let s = match value_kind {
+            ValueKind::F64 => b.addf(cur, v),
+            ValueKind::I8 => b.ori(cur, v),
+        };
+        b.store(s, out, coord);
+    };
+
+    // Main merge loop while both operands have entries.
+    let res = b.while_loop(
+        &[lo_x, lo_y],
+        |b, a| {
+            let cx = b.cmpi(CmpPred::Ult, a[0], hi_x);
+            let cy = b.cmpi(CmpPred::Ult, a[1], hi_y);
+            (b.andi(cx, cy), vec![a[0], a[1]])
+        },
+        |b, a| {
+            let (ix, iy) = (a[0], a[1]);
+            prefetch(b, ix, crd_x, vals_x, hi_x);
+            prefetch(b, iy, crd_y, vals_y, hi_y);
+            let cx_raw = b.load(crd_x, ix);
+            let cx = b.to_index(cx_raw);
+            let cy_raw = b.load(crd_y, iy);
+            let cy = b.to_index(cy_raw);
+            let eq = b.cmpi(CmpPred::Eq, cx, cy);
+            let next = b.if_else(
+                eq,
+                &[Type::Index, Type::Index],
+                |b| {
+                    let xv = b.load(vals_x, ix);
+                    let yv = b.load(vals_y, iy);
+                    let s = match value_kind {
+                        ValueKind::F64 => b.addf(xv, yv),
+                        ValueKind::I8 => b.ori(xv, yv),
+                    };
+                    write(b, cx, s);
+                    let nix = b.addi(ix, c1);
+                    let niy = b.addi(iy, c1);
+                    vec![nix, niy]
+                },
+                |b| {
+                    let lt = b.cmpi(CmpPred::Ult, cx, cy);
+                    let inner = b.if_else(
+                        lt,
+                        &[Type::Index, Type::Index],
+                        |b| {
+                            let xv = b.load(vals_x, ix);
+                            write(b, cx, xv);
+                            let nix = b.addi(ix, c1);
+                            vec![nix, iy]
+                        },
+                        |b| {
+                            let yv = b.load(vals_y, iy);
+                            write(b, cy, yv);
+                            let niy = b.addi(iy, c1);
+                            vec![ix, niy]
+                        },
+                    );
+                    vec![inner[0], inner[1]]
+                },
+            );
+            vec![next[0], next[1]]
+        },
+    );
+
+    // Tail loops: drain whichever operand still has entries.
+    let tail = |b: &mut FuncBuilder, start: Value, hi: Value, crd: Value, vals: Value| {
+        b.while_loop(
+            &[start],
+            |b, a| (b.cmpi(CmpPred::Ult, a[0], hi), vec![a[0]]),
+            |b, a| {
+                let i = a[0];
+                prefetch(b, i, crd, vals, hi);
+                let c_raw = b.load(crd, i);
+                let c = b.to_index(c_raw);
+                let v = b.load(vals, i);
+                write(b, c, v);
+                vec![b.addi(i, c1)]
+            },
+        );
+    };
+    tail(&mut b, res[0], hi_x, crd_x, vals_x);
+    tail(&mut b, res[1], hi_y, crd_y, vals_y);
+
+    let func = b.finish();
+    verify(&func).map_err(|e| e.to_string())?;
+    Ok(MergeKernel {
+        func,
+        args,
+        index_width,
+        value_kind,
+    })
+}
+
+/// Run a merge kernel over two rank-1 sparse tensors stored as a single
+/// compressed level (`Format::csf(1)`), writing into (and returning) a
+/// dense output of length `n`.
+pub fn run_sparse_add(
+    kernel: &MergeKernel,
+    x: &SparseTensor,
+    y: &SparseTensor,
+    out: &mut DenseTensor,
+    model: &mut dyn asap_ir::MemoryModel,
+) -> Result<(), String> {
+    use asap_ir::{interpret, Buffers, V};
+    for (name, t) in [("x", x), ("y", y)] {
+        if t.format().rank() != 1 || !t.format().levels()[0].has_pos() {
+            return Err(format!("{name} must be a single compressed level"));
+        }
+        if t.index_width() != kernel.index_width {
+            return Err(format!("{name}: index width mismatch"));
+        }
+        if t.value_kind() != kernel.value_kind {
+            return Err(format!("{name}: value kind mismatch"));
+        }
+    }
+    let mut bufs = Buffers::new();
+    let tx = x.install(&mut bufs);
+    let ty = y.install(&mut bufs);
+    let out_id = out.install(&mut bufs);
+    let mut argv = Vec::with_capacity(kernel.args.len());
+    for &a in &kernel.args {
+        let (t, tb) = (a, [&tx, &ty]);
+        argv.push(match t {
+            MergeArg::Pos(k) => V::Mem(tb[k].pos[0].ok_or("missing pos")?),
+            MergeArg::Crd(k) => V::Mem(tb[k].crd[0].ok_or("missing crd")?),
+            MergeArg::Vals(k) => V::Mem(tb[k].vals),
+            MergeArg::Output => V::Mem(out_id),
+        });
+    }
+    interpret(&kernel.func, &argv, &mut bufs, model).map_err(|e| e.to_string())?;
+    out.values = match &bufs.get(out_id).data {
+        asap_ir::BufferData::F64(v) => asap_tensor::Values::F64(v.clone()),
+        asap_ir::BufferData::I8(v) => asap_tensor::Values::I8(v.clone()),
+        other => return Err(format!("unexpected output type {other:?}")),
+    };
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_ir::{NullModel, OpKind};
+    use asap_tensor::{CooTensor, Format, Values};
+
+    fn vec_tensor(n: usize, entries: &[(usize, f64)], width: IndexWidth) -> SparseTensor {
+        let coords: Vec<usize> = entries.iter().map(|&(i, _)| i).collect();
+        let vals: Vec<f64> = entries.iter().map(|&(_, v)| v).collect();
+        let coo = CooTensor::new(vec![n], coords, Values::F64(vals));
+        let mut t = SparseTensor::from_coo(&coo, Format::csf(1));
+        t.set_index_width(width);
+        t
+    }
+
+    fn run_add(
+        n: usize,
+        xs: &[(usize, f64)],
+        ys: &[(usize, f64)],
+        opts: MergeOptions,
+        width: IndexWidth,
+    ) -> Vec<f64> {
+        let k = sparse_vector_add(width, ValueKind::F64, opts).unwrap();
+        let x = vec_tensor(n, xs, width);
+        let y = vec_tensor(n, ys, width);
+        let mut out = DenseTensor::zeros(ValueKind::F64, vec![n]);
+        run_sparse_add(&k, &x, &y, &mut out, &mut NullModel).unwrap();
+        out.as_f64().to_vec()
+    }
+
+    fn reference(n: usize, xs: &[(usize, f64)], ys: &[(usize, f64)]) -> Vec<f64> {
+        let mut z = vec![0.0; n];
+        for &(i, v) in xs.iter().chain(ys) {
+            z[i] += v;
+        }
+        z
+    }
+
+    #[test]
+    fn merges_disjoint_and_overlapping_coordinates() {
+        let xs = [(0, 1.0), (3, 2.0), (7, 3.0)];
+        let ys = [(1, 10.0), (3, 20.0), (9, 30.0)];
+        let got = run_add(10, &xs, &ys, MergeOptions::default(), IndexWidth::U64);
+        assert_eq!(got, reference(10, &xs, &ys));
+    }
+
+    #[test]
+    fn handles_empty_operands() {
+        let xs = [(2, 5.0)];
+        assert_eq!(
+            run_add(4, &xs, &[], MergeOptions::default(), IndexWidth::U64),
+            reference(4, &xs, &[])
+        );
+        assert_eq!(
+            run_add(4, &[], &xs, MergeOptions::default(), IndexWidth::U64),
+            reference(4, &xs, &[])
+        );
+        assert_eq!(
+            run_add(4, &[], &[], MergeOptions::default(), IndexWidth::U64),
+            vec![0.0; 4]
+        );
+    }
+
+    #[test]
+    fn narrow_indices_work() {
+        let xs = [(0, 1.0), (5, 2.0)];
+        let ys = [(5, 4.0), (6, 8.0)];
+        let got = run_add(8, &xs, &ys, MergeOptions::default(), IndexWidth::U32);
+        assert_eq!(got, reference(8, &xs, &ys));
+    }
+
+    #[test]
+    fn prefetching_variant_matches_plain() {
+        let xs: Vec<(usize, f64)> = (0..50).map(|i| (i * 3, i as f64)).collect();
+        let ys: Vec<(usize, f64)> = (0..50).map(|i| (i * 2 + 1, 2.0 * i as f64)).collect();
+        let plain = run_add(200, &xs, &ys, MergeOptions::default(), IndexWidth::U64);
+        let pf = run_add(
+            200,
+            &xs,
+            &ys,
+            MergeOptions {
+                prefetch_distance: Some(8),
+                locality: 2,
+            },
+            IndexWidth::U64,
+        );
+        assert_eq!(plain, pf);
+    }
+
+    #[test]
+    fn prefetching_emits_four_stream_prefetches() {
+        let k = sparse_vector_add(
+            IndexWidth::U64,
+            ValueKind::F64,
+            MergeOptions {
+                prefetch_distance: Some(16),
+                locality: 2,
+            },
+        )
+        .unwrap();
+        // 2 streams x (crd+vals) in the merge loop + 1 stream x 2 per tail.
+        assert_eq!(k.func.prefetch_count(), 8);
+    }
+
+    #[test]
+    fn merge_loop_shape() {
+        let k = sparse_vector_add(IndexWidth::U64, ValueKind::F64, MergeOptions::default())
+            .unwrap();
+        let mut whiles = 0;
+        k.func.walk(&mut |op| {
+            if matches!(op.kind, OpKind::While { .. }) {
+                whiles += 1;
+            }
+        });
+        assert_eq!(whiles, 3, "merge + two tails");
+    }
+
+    #[test]
+    fn boolean_semiring_add() {
+        let k = sparse_vector_add(IndexWidth::U32, ValueKind::I8, MergeOptions::default())
+            .unwrap();
+        let mk = |entries: &[usize]| {
+            let coo = CooTensor::new(
+                vec![6],
+                entries.to_vec(),
+                Values::I8(vec![1; entries.len()]),
+            );
+            SparseTensor::from_coo(&coo, Format::csf(1))
+        };
+        let x = mk(&[0, 2]);
+        let y = mk(&[2, 4]);
+        let mut out = DenseTensor::zeros(ValueKind::I8, vec![6]);
+        run_sparse_add(&k, &x, &y, &mut out, &mut NullModel).unwrap();
+        assert_eq!(out.as_i8(), &[1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_rank2_operand() {
+        let k = sparse_vector_add(IndexWidth::U32, ValueKind::F64, MergeOptions::default())
+            .unwrap();
+        let coo = CooTensor::new(vec![2, 2], vec![0, 0], Values::F64(vec![1.0]));
+        let m = SparseTensor::from_coo(&coo, Format::csr());
+        let mut out = DenseTensor::zeros(ValueKind::F64, vec![2]);
+        let err = run_sparse_add(&k, &m, &m, &mut out, &mut NullModel).unwrap_err();
+        assert!(err.contains("single compressed level"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Functional correctness: every sparsified kernel must compute the same
+//! result as the dense reference contraction, for every format, value
+//! kind, and index width — including property-based random inputs.
+
+use asap_ir::NullModel;
+use asap_sparsifier::{densify, reference_contraction, resolve_dims, run, sparsify, KernelSpec};
+use asap_tensor::{CooTensor, DenseTensor, Format, IndexWidth, SparseTensor, ValueKind, Values};
+use proptest::prelude::*;
+
+fn approx_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())))
+}
+
+/// Run SpMV through the pipeline and the reference, compare.
+fn check_spmv(coo: &CooTensor, format: Format, width: IndexWidth) {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let kernel = sparsify(&spec, &format, width, None).unwrap();
+    let mut sparse = SparseTensor::from_coo(coo, format.clone());
+    sparse.set_index_width(width);
+    let (m, n) = (coo.dims[0], coo.dims[1]);
+    let c = DenseTensor::from_f64(vec![n], (0..n).map(|i| 0.5 + i as f64).collect());
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![m]);
+    run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap();
+
+    let dims = resolve_dims(&spec, &[m, n], &[&[n]], &[m]).unwrap();
+    let mut aref = DenseTensor::zeros(ValueKind::F64, vec![m]);
+    reference_contraction(&spec, &dims, &densify(&sparse), &[m, n], &[&c], &mut aref);
+    assert!(
+        approx_eq(a.as_f64(), aref.as_f64()),
+        "{format} mismatch:\n got {:?}\nwant {:?}",
+        a.as_f64(),
+        aref.as_f64()
+    );
+}
+
+fn paper_coo() -> CooTensor {
+    CooTensor::new(
+        vec![3, 3],
+        vec![0, 0, 0, 2, 2, 2],
+        Values::F64(vec![1.0, 2.0, 3.0]),
+    )
+}
+
+#[test]
+fn spmv_paper_matrix_all_formats() {
+    for fmt in [
+        Format::csr(),
+        Format::csc(),
+        Format::coo(),
+        Format::dcsr(),
+        Format::dcsc(),
+        Format::csf(2),
+    ] {
+        check_spmv(&paper_coo(), fmt.clone(), IndexWidth::U64);
+        check_spmv(&paper_coo(), fmt, IndexWidth::U32);
+    }
+}
+
+#[test]
+fn spmv_empty_matrix() {
+    let coo = CooTensor::new(vec![4, 4], vec![], Values::F64(vec![]));
+    for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
+        check_spmv(&coo, fmt, IndexWidth::U64);
+    }
+}
+
+#[test]
+fn spmv_single_dense_row() {
+    // One full row: a long inner segment.
+    let coo = CooTensor::new(
+        vec![3, 8],
+        (0..8).flat_map(|j| [1, j]).collect(),
+        Values::F64((0..8).map(|x| x as f64 + 1.0).collect()),
+    );
+    for fmt in [Format::csr(), Format::coo(), Format::dcsr(), Format::csc()] {
+        check_spmv(&coo, fmt, IndexWidth::U32);
+    }
+}
+
+#[test]
+fn spmm_matches_reference() {
+    let spec = KernelSpec::spmm(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U64, None).unwrap();
+    let coo = paper_coo();
+    let mut sparse = SparseTensor::from_coo(&coo, Format::csr());
+    sparse.set_index_width(IndexWidth::U64);
+    let n_cols = 4;
+    let c = DenseTensor::from_f64(
+        vec![3, n_cols],
+        (0..3 * n_cols).map(|x| x as f64 * 0.25).collect(),
+    );
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![3, n_cols]);
+    run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap();
+
+    let dims = resolve_dims(&spec, &[3, 3], &[&[3, n_cols]], &[3, n_cols]).unwrap();
+    let mut aref = DenseTensor::zeros(ValueKind::F64, vec![3, n_cols]);
+    reference_contraction(&spec, &dims, &densify(&sparse), &[3, 3], &[&c], &mut aref);
+    assert!(approx_eq(a.as_f64(), aref.as_f64()));
+}
+
+#[test]
+fn binary_spmv_uses_boolean_semiring() {
+    let spec = KernelSpec::spmv(ValueKind::I8);
+    let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
+    let coo = CooTensor::new(vec![2, 3], vec![0, 1, 1, 0, 1, 2], Values::I8(vec![1, 1, 1]));
+    let sparse = SparseTensor::from_coo(&coo, Format::csr());
+    let c = DenseTensor::from_i8(vec![3], vec![0, 1, 0]);
+    let mut a = DenseTensor::zeros(ValueKind::I8, vec![2]);
+    run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap();
+    // Row 0 hits col 1 (c=1) -> 1; row 1 hits cols 0,2 (c=0) -> 0.
+    assert_eq!(a.as_i8(), &[1, 0]);
+}
+
+#[test]
+fn mttkrp_csf3_matches_reference() {
+    let spec = KernelSpec::mttkrp(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csf(3), IndexWidth::U64, None).unwrap();
+    let coo = CooTensor::new(
+        vec![2, 3, 2],
+        vec![0, 0, 1, 0, 2, 0, 1, 1, 1],
+        Values::F64(vec![1.0, 2.0, 3.0]),
+    );
+    let mut sparse = SparseTensor::from_coo(&coo, Format::csf(3));
+    sparse.set_index_width(IndexWidth::U64);
+    let l = 2;
+    let c = DenseTensor::from_f64(vec![3, l], (0..3 * l).map(|x| x as f64 + 1.0).collect());
+    let d = DenseTensor::from_f64(vec![2, l], (0..2 * l).map(|x| 2.0 - x as f64).collect());
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![2, l]);
+    run(&kernel, &sparse, &[&c, &d], &mut a, &mut NullModel).unwrap();
+
+    let dims = resolve_dims(&spec, &[2, 3, 2], &[&[3, l], &[2, l]], &[2, l]).unwrap();
+    let mut aref = DenseTensor::zeros(ValueKind::F64, vec![2, l]);
+    reference_contraction(
+        &spec,
+        &dims,
+        &densify(&sparse),
+        &[2, 3, 2],
+        &[&c, &d],
+        &mut aref,
+    );
+    assert!(approx_eq(a.as_f64(), aref.as_f64()));
+}
+
+#[test]
+fn binding_rejects_wrong_format() {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U64, None).unwrap();
+    let mut sparse = SparseTensor::from_coo(&paper_coo(), Format::dcsr());
+    sparse.set_index_width(IndexWidth::U64);
+    let c = DenseTensor::from_f64(vec![3], vec![1.0; 3]);
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![3]);
+    let err = run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap_err();
+    assert!(err.contains("stored as DCSR"), "{err}");
+}
+
+#[test]
+fn binding_rejects_mismatched_shapes() {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
+    let sparse = SparseTensor::from_coo(&paper_coo(), Format::csr());
+    let c = DenseTensor::from_f64(vec![5], vec![1.0; 5]); // wrong length
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![3]);
+    let err = run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap_err();
+    assert!(err.contains("index 1 bound to"), "{err}");
+}
+
+/// Random COO generator for proptest.
+fn coo_strategy(max_m: usize, max_n: usize) -> impl Strategy<Value = CooTensor> {
+    (1..=max_m, 1..=max_n)
+        .prop_flat_map(|(m, n)| {
+            let entry = (0..m, 0..n, -4.0f64..4.0);
+            (Just((m, n)), proptest::collection::vec(entry, 0..40))
+        })
+        .prop_map(|((m, n), entries)| {
+            let mut coords = Vec::new();
+            let mut vals = Vec::new();
+            for (r, c, v) in entries {
+                coords.extend_from_slice(&[r, c]);
+                vals.push(v);
+            }
+            CooTensor::new(vec![m, n], coords, Values::F64(vals))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_spmv_all_formats_match_reference(coo in coo_strategy(12, 12), wide in any::<bool>()) {
+        let width = if wide { IndexWidth::U64 } else { IndexWidth::U32 };
+        for fmt in [Format::csr(), Format::csc(), Format::coo(), Format::dcsr()] {
+            check_spmv(&coo, fmt, width);
+        }
+    }
+
+    #[test]
+    fn prop_spmm_csr_matches_reference(coo in coo_strategy(8, 8), n_cols in 1usize..6) {
+        let spec = KernelSpec::spmm(ValueKind::F64);
+        let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U64, None).unwrap();
+        let mut sparse = SparseTensor::from_coo(&coo, Format::csr());
+        sparse.set_index_width(IndexWidth::U64);
+        let (m, n) = (coo.dims[0], coo.dims[1]);
+        let c = DenseTensor::from_f64(
+            vec![n, n_cols],
+            (0..n * n_cols).map(|x| (x % 7) as f64 - 3.0).collect(),
+        );
+        let mut a = DenseTensor::zeros(ValueKind::F64, vec![m, n_cols]);
+        run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap();
+
+        let dims = resolve_dims(&spec, &[m, n], &[&[n, n_cols]], &[m, n_cols]).unwrap();
+        let mut aref = DenseTensor::zeros(ValueKind::F64, vec![m, n_cols]);
+        reference_contraction(&spec, &dims, &densify(&sparse), &[m, n], &[&c], &mut aref);
+        prop_assert!(approx_eq(a.as_f64(), aref.as_f64()));
+    }
+
+    #[test]
+    fn prop_storage_roundtrips(coo in coo_strategy(10, 14)) {
+        for fmt in [Format::csr(), Format::csc(), Format::coo(), Format::dcsr(), Format::dcsc()] {
+            let t = SparseTensor::from_coo(&coo, fmt.clone());
+            prop_assert!(t.check_invariants().is_ok(), "{fmt}");
+            let dense_direct = SparseTensor::from_coo(&coo, Format::csr()).to_dense_f64();
+            prop_assert_eq!(&t.to_dense_f64(), &dense_direct, "{}", fmt);
+        }
+    }
+}
+
+#[test]
+fn spmv_transposed_matches_reference() {
+    // a(j) = B(i,j) * c(i): the reduction is the OUTER loop with CSR.
+    let spec = KernelSpec::spmv_transposed(ValueKind::F64);
+    let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
+    let coo = paper_coo();
+    let sparse = SparseTensor::from_coo(&coo, Format::csr());
+    let c = DenseTensor::from_f64(vec![3], vec![1.0, 10.0, 100.0]);
+    let mut a = DenseTensor::zeros(ValueKind::F64, vec![3]);
+    run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap();
+
+    // Reference: y = B^T c.
+    let dims = resolve_dims(&spec, &[3, 3], &[&[3]], &[3]).unwrap();
+    let mut aref = DenseTensor::zeros(ValueKind::F64, vec![3]);
+    reference_contraction(&spec, &dims, &densify(&sparse), &[3, 3], &[&c], &mut aref);
+    assert!(approx_eq(a.as_f64(), aref.as_f64()));
+    // B = [[1,0,2],[0,0,0],[0,0,3]]; B^T c = [1, 0, 2 + 300].
+    assert_eq!(a.as_f64(), &[1.0, 0.0, 302.0]);
+    // No scalarization: the innermost index j is parallel (in the output).
+    let text = asap_ir::print_function(&kernel.func);
+    assert!(!text.contains("iter_args"));
+}
+
+#[test]
+fn spmv_transposed_with_asap_prefetching_hits_output_locates() {
+    // In the transposed kernel the crd-resolved coordinate j indexes the
+    // OUTPUT (a write target), not a dense input: no locate targets, so
+    // the hook must not fire (the paper only prefetches read operands).
+    use asap_sparsifier::RecordingHook;
+    let spec = KernelSpec::spmv_transposed(ValueKind::F64);
+    let mut hook = RecordingHook::default();
+    sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap();
+    assert!(hook.sites.is_empty(), "{:?}", hook.sites);
+}

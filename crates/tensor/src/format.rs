@@ -1,0 +1,226 @@
+//! Sparse tensor formats: a mapping from tensor dimensions to storage
+//! levels with level types (paper Figure 1b).
+
+use crate::level::LevelType;
+use std::fmt;
+
+/// A sparse tensor format: an ordered list of levels, each typed and
+/// mapped to one tensor dimension.
+///
+/// `dim_of_level[l]` gives the tensor dimension that level `l` encodes —
+/// e.g. CSC stores columns before rows, so `dim_of_level == [1, 0]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Format {
+    levels: Vec<LevelType>,
+    dim_of_level: Vec<usize>,
+    name: String,
+}
+
+impl Format {
+    /// Build an arbitrary format. `dim_of_level` must be a permutation of
+    /// `0..levels.len()`.
+    pub fn new(name: impl Into<String>, levels: Vec<LevelType>, dim_of_level: Vec<usize>) -> Format {
+        assert_eq!(
+            levels.len(),
+            dim_of_level.len(),
+            "one dimension per level"
+        );
+        let mut seen = vec![false; dim_of_level.len()];
+        for &d in &dim_of_level {
+            assert!(d < seen.len() && !seen[d], "dim_of_level must be a permutation");
+            seen[d] = true;
+        }
+        Format {
+            levels,
+            dim_of_level,
+            name: name.into(),
+        }
+    }
+
+    /// Compressed Sparse Row: `(d0, d1) -> (d0: dense, d1: compressed)`.
+    pub fn csr() -> Format {
+        Format::new(
+            "CSR",
+            vec![LevelType::Dense, LevelType::compressed()],
+            vec![0, 1],
+        )
+    }
+
+    /// Compressed Sparse Column: like CSR with dimensions swapped.
+    pub fn csc() -> Format {
+        Format::new(
+            "CSC",
+            vec![LevelType::Dense, LevelType::compressed()],
+            vec![1, 0],
+        )
+    }
+
+    /// Coordinate list: `(compressed(nonunique), singleton)`.
+    pub fn coo() -> Format {
+        Format::new(
+            "COO",
+            vec![LevelType::compressed_nonunique(), LevelType::Singleton],
+            vec![0, 1],
+        )
+    }
+
+    /// Doubly Compressed Sparse Row: both levels compressed.
+    pub fn dcsr() -> Format {
+        Format::new(
+            "DCSR",
+            vec![LevelType::compressed(), LevelType::compressed()],
+            vec![0, 1],
+        )
+    }
+
+    /// Doubly Compressed Sparse Column.
+    pub fn dcsc() -> Format {
+        Format::new(
+            "DCSC",
+            vec![LevelType::compressed(), LevelType::compressed()],
+            vec![1, 0],
+        )
+    }
+
+    /// Compressed Sparse Fiber: every level compressed, identity order.
+    /// The general N-dimensional case of the paper's Section 3.2.2 bound
+    /// recursion.
+    pub fn csf(rank: usize) -> Format {
+        assert!(rank >= 1);
+        Format::new(
+            format!("CSF{rank}"),
+            vec![LevelType::compressed(); rank],
+            (0..rank).collect(),
+        )
+    }
+
+    /// All-dense format of the given rank (for reference/testing).
+    pub fn all_dense(rank: usize) -> Format {
+        Format::new(
+            format!("Dense{rank}"),
+            vec![LevelType::Dense; rank],
+            (0..rank).collect(),
+        )
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of levels (== tensor rank).
+    pub fn rank(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Level types in storage order.
+    pub fn levels(&self) -> &[LevelType] {
+        &self.levels
+    }
+
+    /// The tensor dimension encoded by level `l`.
+    pub fn dim_of_level(&self, l: usize) -> usize {
+        self.dim_of_level[l]
+    }
+
+    /// The level encoding tensor dimension `d`.
+    pub fn level_of_dim(&self, d: usize) -> usize {
+        self.dim_of_level
+            .iter()
+            .position(|&x| x == d)
+            .expect("dim_of_level is a permutation")
+    }
+
+    /// Whether any level is sparse (needs buffers).
+    pub fn is_sparse(&self) -> bool {
+        self.levels.iter().any(|l| l.has_crd())
+    }
+
+    /// MLIR `#sparse_tensor.encoding` attribute rendering, as in the
+    /// paper's Figure 1b.
+    pub fn mlir_encoding(&self) -> String {
+        let dims: Vec<String> = (0..self.rank()).map(|d| format!("d{d}")).collect();
+        let lvls: Vec<String> = (0..self.rank())
+            .map(|l| format!("d{} : {}", self.dim_of_level[l], self.levels[l].mlir_name()))
+            .collect();
+        format!(
+            "#sparse_tensor.encoding<{{ map = ({}) -> ({}) }}>",
+            dims.join(", "),
+            lvls.join(", ")
+        )
+    }
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_shape() {
+        let f = Format::csr();
+        assert_eq!(f.rank(), 2);
+        assert_eq!(f.levels()[0], LevelType::Dense);
+        assert_eq!(f.levels()[1], LevelType::compressed());
+        assert_eq!(f.dim_of_level(0), 0);
+        assert_eq!(f.level_of_dim(1), 1);
+    }
+
+    #[test]
+    fn csc_swaps_dims() {
+        let f = Format::csc();
+        assert_eq!(f.dim_of_level(0), 1);
+        assert_eq!(f.dim_of_level(1), 0);
+        assert_eq!(f.level_of_dim(0), 1);
+    }
+
+    #[test]
+    fn coo_levels() {
+        let f = Format::coo();
+        assert_eq!(f.levels()[0], LevelType::compressed_nonunique());
+        assert_eq!(f.levels()[1], LevelType::Singleton);
+        assert!(f.is_sparse());
+    }
+
+    #[test]
+    fn csf_rank_n() {
+        let f = Format::csf(3);
+        assert_eq!(f.rank(), 3);
+        assert!(f.levels().iter().all(|&l| l == LevelType::compressed()));
+    }
+
+    #[test]
+    fn all_dense_is_not_sparse() {
+        assert!(!Format::all_dense(2).is_sparse());
+    }
+
+    #[test]
+    fn mlir_encoding_csr() {
+        assert_eq!(
+            Format::csr().mlir_encoding(),
+            "#sparse_tensor.encoding<{ map = (d0, d1) -> (d0 : dense, d1 : compressed) }>"
+        );
+    }
+
+    #[test]
+    fn mlir_encoding_coo() {
+        assert_eq!(
+            Format::coo().mlir_encoding(),
+            "#sparse_tensor.encoding<{ map = (d0, d1) -> (d0 : compressed(nonunique), d1 : singleton) }>"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_bad_permutation() {
+        Format::new(
+            "bad",
+            vec![LevelType::Dense, LevelType::Dense],
+            vec![0, 0],
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Storage-level types, mirroring MLIR sparse tensor level types.
+//!
+//! A sparse tensor format maps each tensor dimension to a *level* of the
+//! coordinate hierarchy tree (paper Section 2.2). Each level has a type
+//! that determines how its nodes are stored (Section 2.3): dense levels
+//! need no buffers, compressed levels use `pos`/`crd` buffer pairs, and
+//! singleton levels use a `crd` buffer only.
+
+use std::fmt;
+
+/// The type of one storage level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelType {
+    /// All coordinates `0..dim` are materialized implicitly; no buffers.
+    /// CSR's row level.
+    Dense,
+    /// Only coordinates with children are stored, in a segmented `crd`
+    /// buffer delimited by a `pos` buffer.
+    ///
+    /// `unique` distinguishes CSR/DCSR levels (each coordinate appears once
+    /// per segment) from COO's first level (one entry per non-zero, so a
+    /// row with k non-zeros repeats k times and sparsified code must
+    /// deduplicate with a while-loop — paper Fig. 3a).
+    ///
+    /// `ordered` records whether coordinates within a segment are sorted;
+    /// sparsification relies on it when choosing merge-based coiteration.
+    Compressed { unique: bool, ordered: bool },
+    /// Exactly one child per parent node; `crd` buffer only, no `pos`.
+    /// COO's trailing levels.
+    Singleton,
+}
+
+impl LevelType {
+    /// Standard compressed level: unique and ordered (CSR/CSC/DCSR/CSF).
+    pub const fn compressed() -> LevelType {
+        LevelType::Compressed {
+            unique: true,
+            ordered: true,
+        }
+    }
+
+    /// COO-style first level: ordered but with duplicates.
+    pub const fn compressed_nonunique() -> LevelType {
+        LevelType::Compressed {
+            unique: false,
+            ordered: true,
+        }
+    }
+
+    /// Whether this level stores a `pos` buffer.
+    pub fn has_pos(self) -> bool {
+        matches!(self, LevelType::Compressed { .. })
+    }
+
+    /// Whether this level stores a `crd` buffer.
+    pub fn has_crd(self) -> bool {
+        matches!(self, LevelType::Compressed { .. } | LevelType::Singleton)
+    }
+
+    /// Whether coordinates are unique within a segment (dense and
+    /// singleton levels are trivially unique).
+    pub fn is_unique(self) -> bool {
+        match self {
+            LevelType::Compressed { unique, .. } => unique,
+            LevelType::Dense | LevelType::Singleton => true,
+        }
+    }
+
+    /// Whether iteration over this level supports constant-time `locate`
+    /// (random access by coordinate). Only dense levels do; this is what
+    /// drives the sparsifier's iterate-and-locate coiteration choice.
+    pub fn has_locate(self) -> bool {
+        matches!(self, LevelType::Dense)
+    }
+
+    /// MLIR attribute syntax for this level.
+    pub fn mlir_name(self) -> String {
+        match self {
+            LevelType::Dense => "dense".to_string(),
+            LevelType::Compressed {
+                unique: true,
+                ordered: true,
+            } => "compressed".to_string(),
+            LevelType::Compressed { unique, ordered } => {
+                let mut props = Vec::new();
+                if !unique {
+                    props.push("nonunique");
+                }
+                if !ordered {
+                    props.push("nonordered");
+                }
+                format!("compressed({})", props.join(", "))
+            }
+            LevelType::Singleton => "singleton".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LevelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mlir_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_requirements_by_level_type() {
+        assert!(!LevelType::Dense.has_pos());
+        assert!(!LevelType::Dense.has_crd());
+        assert!(LevelType::compressed().has_pos());
+        assert!(LevelType::compressed().has_crd());
+        assert!(!LevelType::Singleton.has_pos());
+        assert!(LevelType::Singleton.has_crd());
+    }
+
+    #[test]
+    fn uniqueness() {
+        assert!(LevelType::compressed().is_unique());
+        assert!(!LevelType::compressed_nonunique().is_unique());
+        assert!(LevelType::Dense.is_unique());
+        assert!(LevelType::Singleton.is_unique());
+    }
+
+    #[test]
+    fn locate_only_on_dense() {
+        assert!(LevelType::Dense.has_locate());
+        assert!(!LevelType::compressed().has_locate());
+        assert!(!LevelType::Singleton.has_locate());
+    }
+
+    #[test]
+    fn mlir_names() {
+        assert_eq!(LevelType::Dense.mlir_name(), "dense");
+        assert_eq!(LevelType::compressed().mlir_name(), "compressed");
+        assert_eq!(
+            LevelType::compressed_nonunique().mlir_name(),
+            "compressed(nonunique)"
+        );
+        assert_eq!(LevelType::Singleton.mlir_name(), "singleton");
+    }
+}

@@ -1,0 +1,716 @@
+//! Sparse tensor storage: construction of coordinate hierarchy trees and
+//! their serialization into segmented `pos`/`crd`/`values` buffers (paper
+//! Sections 2.2–2.3).
+
+use crate::format::Format;
+use crate::level::LevelType;
+use crate::values::{IndexWidth, ValueKind, Values};
+use asap_ir::{BufferData, Buffers};
+use std::ops::Range;
+
+/// A tensor in coordinate form: the universal input representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooTensor {
+    /// Shape, in tensor-dimension order.
+    pub dims: Vec<usize>,
+    /// Flattened coordinates: entry `i` occupies
+    /// `coords[i*rank .. (i+1)*rank]`, one coordinate per tensor dimension.
+    pub coords: Vec<usize>,
+    pub values: Values,
+}
+
+impl CooTensor {
+    pub fn new(dims: Vec<usize>, coords: Vec<usize>, values: Values) -> CooTensor {
+        let rank = dims.len();
+        assert_eq!(coords.len(), values.len() * rank, "coords/values mismatch");
+        let t = CooTensor {
+            dims,
+            coords,
+            values,
+        };
+        for i in 0..t.nnz() {
+            for (d, &c) in t.coord(i).iter().enumerate() {
+                assert!(c < t.dims[d], "coordinate {c} out of bounds in dim {d}");
+            }
+        }
+        t
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The coordinates of entry `i`.
+    pub fn coord(&self, i: usize) -> &[usize] {
+        let r = self.rank();
+        &self.coords[i * r..(i + 1) * r]
+    }
+}
+
+/// Per-level serialized buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelStorage {
+    /// Position buffer (`pos`): segment boundaries, one segment per parent
+    /// node; present iff the level type has one. Length = parents + 1.
+    pub pos: Vec<usize>,
+    /// Coordinate buffer (`crd`): one entry per node; present iff the
+    /// level type has one.
+    pub crd: Vec<usize>,
+}
+
+/// A sparse tensor stored in a given [`Format`].
+#[derive(Debug, Clone)]
+pub struct SparseTensor {
+    format: Format,
+    dims: Vec<usize>,
+    levels: Vec<LevelStorage>,
+    values: Values,
+    index_width: IndexWidth,
+}
+
+/// Buffer ids of a tensor installed into an interpreter [`Buffers`] arena.
+#[derive(Debug, Clone)]
+pub struct TensorBuffers {
+    /// Per level: id of the `pos` buffer, if the level has one.
+    pub pos: Vec<Option<u32>>,
+    /// Per level: id of the `crd` buffer, if the level has one.
+    pub crd: Vec<Option<u32>>,
+    /// Id of the values buffer.
+    pub vals: u32,
+}
+
+impl SparseTensor {
+    /// Build from coordinate form. Entries may be unsorted and contain
+    /// duplicates; duplicates are combined with the value kind's additive
+    /// op (`+` / `|`).
+    pub fn from_coo(coo: &CooTensor, format: Format) -> SparseTensor {
+        assert_eq!(coo.rank(), format.rank(), "rank mismatch");
+        let rank = coo.rank();
+        let nnz = coo.nnz();
+
+        // Order entries lexicographically by *level* coordinates.
+        let mut order: Vec<usize> = (0..nnz).collect();
+        let lvl_key = |i: usize| -> Vec<usize> {
+            (0..rank)
+                .map(|l| coo.coord(i)[format.dim_of_level(l)])
+                .collect()
+        };
+        order.sort_by_key(|&i| lvl_key(i));
+
+        // Deduplicate, accumulating values; store level-ordered coords.
+        let mut lvl_coords: Vec<usize> = Vec::with_capacity(nnz * rank);
+        let mut values = Values::empty(coo.values.kind());
+        for &i in &order {
+            let key = lvl_key(i);
+            let dup = values.len() > 0
+                && lvl_coords[lvl_coords.len() - rank..] == key[..];
+            if dup {
+                values.accumulate_last(&coo.values, i);
+            } else {
+                lvl_coords.extend_from_slice(&key);
+                values.push_from(&coo.values, i);
+            }
+        }
+        let n = values.len();
+
+        // Serialize level by level. `segments` are ranges of entries under
+        // each node of the previous level (root: one segment of all).
+        let mut segments: Vec<Range<usize>> = vec![0..n];
+        let mut levels: Vec<LevelStorage> = Vec::with_capacity(rank);
+        for l in 0..rank {
+            let dim = coo.dims[format.dim_of_level(l)];
+            let coord_at = |e: usize| lvl_coords[e * rank + l];
+            let mut st = LevelStorage::default();
+            let mut next_segments: Vec<Range<usize>> = Vec::new();
+            match format.levels()[l] {
+                LevelType::Dense => {
+                    // One child per coordinate value per parent, including
+                    // empty ones; no buffers.
+                    for seg in &segments {
+                        let mut e = seg.start;
+                        for c in 0..dim {
+                            let start = e;
+                            while e < seg.end && coord_at(e) == c {
+                                e += 1;
+                            }
+                            next_segments.push(start..e);
+                        }
+                        debug_assert_eq!(e, seg.end, "entries outside dim range");
+                    }
+                }
+                LevelType::Compressed { unique: true, .. } => {
+                    st.pos.push(0);
+                    for seg in &segments {
+                        let mut e = seg.start;
+                        while e < seg.end {
+                            let c = coord_at(e);
+                            let start = e;
+                            while e < seg.end && coord_at(e) == c {
+                                e += 1;
+                            }
+                            st.crd.push(c);
+                            next_segments.push(start..e);
+                        }
+                        st.pos.push(st.crd.len());
+                    }
+                }
+                LevelType::Compressed { unique: false, .. } => {
+                    // One node per entry (duplicates retained), as in COO's
+                    // first level.
+                    st.pos.push(0);
+                    for seg in &segments {
+                        for e in seg.clone() {
+                            st.crd.push(coord_at(e));
+                            next_segments.push(e..e + 1);
+                        }
+                        st.pos.push(st.crd.len());
+                    }
+                }
+                LevelType::Singleton => {
+                    for seg in &segments {
+                        assert_eq!(
+                            seg.len(),
+                            1,
+                            "singleton level requires exactly one entry per parent"
+                        );
+                        st.crd.push(coord_at(seg.start));
+                        next_segments.push(seg.clone());
+                    }
+                }
+            }
+            levels.push(st);
+            segments = next_segments;
+        }
+
+        let max_dim = coo.dims.iter().copied().max().unwrap_or(0);
+        SparseTensor {
+            format,
+            dims: coo.dims.clone(),
+            levels,
+            values,
+            index_width: IndexWidth::choose(n, max_dim),
+        }
+    }
+
+    pub fn format(&self) -> &Format {
+        &self.format
+    }
+
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Dimension size of the given *level*.
+    pub fn level_dim(&self, l: usize) -> usize {
+        self.dims[self.format.dim_of_level(l)]
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn values(&self) -> &Values {
+        &self.values
+    }
+
+    pub fn value_kind(&self) -> ValueKind {
+        self.values.kind()
+    }
+
+    pub fn level(&self, l: usize) -> &LevelStorage {
+        &self.levels[l]
+    }
+
+    pub fn index_width(&self) -> IndexWidth {
+        self.index_width
+    }
+
+    /// Override the index width (tests exercise both).
+    pub fn set_index_width(&mut self, w: IndexWidth) {
+        self.index_width = w;
+    }
+
+    /// Number of nodes at level `l` (root = level "-1" has 1 node).
+    ///
+    /// This is the denominator of the paper's `crd_buf_sz` recursion: for a
+    /// compressed level it equals `crd.len()`, i.e. the size of the
+    /// coordinate buffer ASaP bounds its look-ahead load with.
+    pub fn node_count(&self, l: usize) -> usize {
+        let parent = if l == 0 { 1 } else { self.node_count(l - 1) };
+        match self.format.levels()[l] {
+            LevelType::Dense => parent * self.level_dim(l),
+            LevelType::Compressed { .. } | LevelType::Singleton => self.levels[l].crd.len(),
+        }
+    }
+
+    /// Total bytes of the serialized representation (pos + crd + values),
+    /// the "memory footprint" used for benchmark matrix selection.
+    pub fn footprint_bytes(&self) -> usize {
+        let iw = self.index_width.byte_width();
+        let mut total = self.values.len() * self.values.kind().byte_width();
+        for st in &self.levels {
+            total += (st.pos.len() + st.crd.len()) * iw;
+        }
+        total
+    }
+
+    /// Check the structural invariants of the segmented storage that both
+    /// sparsification and ASaP's bound computation rely on.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut parent = 1usize;
+        for (l, st) in self.levels.iter().enumerate() {
+            let lt = self.format.levels()[l];
+            match lt {
+                LevelType::Dense => {
+                    if !st.pos.is_empty() || !st.crd.is_empty() {
+                        return Err(format!("level {l}: dense level has buffers"));
+                    }
+                    parent *= self.level_dim(l);
+                }
+                LevelType::Compressed { unique, .. } => {
+                    if st.pos.len() != parent + 1 {
+                        return Err(format!(
+                            "level {l}: pos len {} != parents+1 = {}",
+                            st.pos.len(),
+                            parent + 1
+                        ));
+                    }
+                    if st.pos[0] != 0 || *st.pos.last().expect("non-empty") != st.crd.len() {
+                        return Err(format!("level {l}: pos endpoints wrong"));
+                    }
+                    if st.pos.windows(2).any(|w| w[0] > w[1]) {
+                        return Err(format!("level {l}: pos not monotone"));
+                    }
+                    for w in st.pos.windows(2) {
+                        let seg = &st.crd[w[0]..w[1]];
+                        let ok = if unique {
+                            seg.windows(2).all(|s| s[0] < s[1])
+                        } else {
+                            seg.windows(2).all(|s| s[0] <= s[1])
+                        };
+                        if !ok {
+                            return Err(format!("level {l}: segment not sorted/unique"));
+                        }
+                    }
+                    if st.crd.iter().any(|&c| c >= self.level_dim(l)) {
+                        return Err(format!("level {l}: coordinate out of range"));
+                    }
+                    parent = st.crd.len();
+                }
+                LevelType::Singleton => {
+                    if !st.pos.is_empty() {
+                        return Err(format!("level {l}: singleton has pos"));
+                    }
+                    if st.crd.len() != parent {
+                        return Err(format!(
+                            "level {l}: singleton crd len {} != parents {}",
+                            st.crd.len(),
+                            parent
+                        ));
+                    }
+                    if st.crd.iter().any(|&c| c >= self.level_dim(l)) {
+                        return Err(format!("level {l}: coordinate out of range"));
+                    }
+                }
+            }
+        }
+        let leaves = self.node_count(self.format.rank() - 1);
+        if leaves != self.values.len() {
+            return Err(format!(
+                "leaf count {leaves} != values {}",
+                self.values.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Visit every stored entry in storage order as
+    /// `(tensor-dim coordinates, value index)`.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&[usize], usize)) {
+        let rank = self.format.rank();
+        let mut coords = vec![0usize; rank];
+        self.walk_level(0, 0..1, &mut coords, &mut f);
+    }
+
+    fn walk_level(
+        &self,
+        l: usize,
+        nodes: Range<usize>,
+        coords: &mut Vec<usize>,
+        f: &mut impl FnMut(&[usize], usize),
+    ) {
+        let rank = self.format.rank();
+        let dim_idx = self.format.dim_of_level(l);
+        match self.format.levels()[l] {
+            LevelType::Dense => {
+                let d = self.level_dim(l);
+                for node in nodes {
+                    for c in 0..d {
+                        coords[dim_idx] = c;
+                        let child = node * d + c;
+                        if l + 1 == rank {
+                            f(coords, child);
+                        } else {
+                            self.walk_level(l + 1, child..child + 1, coords, f);
+                        }
+                    }
+                }
+            }
+            LevelType::Compressed { .. } => {
+                let st = &self.levels[l];
+                for node in nodes {
+                    let (start, end) = (st.pos[node], st.pos[node + 1]);
+                    for child in start..end {
+                        coords[dim_idx] = st.crd[child];
+                        if l + 1 == rank {
+                            f(coords, child);
+                        } else {
+                            self.walk_level(l + 1, child..child + 1, coords, f);
+                        }
+                    }
+                }
+            }
+            LevelType::Singleton => {
+                let st = &self.levels[l];
+                for node in nodes {
+                    coords[dim_idx] = st.crd[node];
+                    if l + 1 == rank {
+                        f(coords, node);
+                    } else {
+                        self.walk_level(l + 1, node..node + 1, coords, f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convert back to (sorted, deduplicated) coordinate form.
+    pub fn to_coo(&self) -> CooTensor {
+        let rank = self.format.rank();
+        let mut coords = Vec::with_capacity(self.nnz() * rank);
+        let mut values = Values::empty(self.values.kind());
+        self.for_each_entry(|c, vi| {
+            coords.extend_from_slice(c);
+            values.push_from(&self.values, vi);
+        });
+        CooTensor::new(self.dims.clone(), coords, values)
+    }
+
+    /// Dense row-major rendering (f64 tensors only; for reference checks).
+    pub fn to_dense_f64(&self) -> Vec<f64> {
+        let size: usize = self.dims.iter().product();
+        let mut out = vec![0.0; size];
+        let vals = match &self.values {
+            Values::F64(v) => v,
+            _ => panic!("to_dense_f64 on non-f64 tensor"),
+        };
+        self.for_each_entry(|c, vi| {
+            let mut idx = 0;
+            for (d, &cd) in c.iter().enumerate() {
+                idx = idx * self.dims[d] + cd;
+            }
+            out[idx] += vals[vi];
+        });
+        out
+    }
+
+    /// Install the tensor's buffers into an interpreter arena. Position and
+    /// coordinate buffers are materialized at the tensor's index width.
+    pub fn install(&self, bufs: &mut Buffers) -> TensorBuffers {
+        let mut pos = Vec::with_capacity(self.levels.len());
+        let mut crd = Vec::with_capacity(self.levels.len());
+        for (l, st) in self.levels.iter().enumerate() {
+            let lt = self.format.levels()[l];
+            pos.push(if lt.has_pos() {
+                Some(bufs.add(self.index_width.to_buffer_data(&st.pos)))
+            } else {
+                None
+            });
+            crd.push(if lt.has_crd() {
+                Some(bufs.add(self.index_width.to_buffer_data(&st.crd)))
+            } else {
+                None
+            });
+        }
+        let vals = bufs.add(self.values.to_buffer_data());
+        TensorBuffers { pos, crd, vals }
+    }
+
+    /// Segment lengths at the innermost level (e.g. row lengths for CSR) —
+    /// the distribution that determines whether a matrix falls into the
+    /// short-inner-loop regime where ASaP beats loop-bound prefetching.
+    pub fn inner_segment_lengths(&self) -> Vec<usize> {
+        let last = self.format.rank() - 1;
+        let st = &self.levels[last];
+        if st.pos.is_empty() {
+            return Vec::new();
+        }
+        st.pos.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+/// Convenience: a dense tensor to be passed as a plain buffer operand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor {
+    pub dims: Vec<usize>,
+    pub values: Values,
+}
+
+impl DenseTensor {
+    pub fn zeros(kind: ValueKind, dims: Vec<usize>) -> DenseTensor {
+        let n = dims.iter().product();
+        DenseTensor {
+            dims,
+            values: Values::zeros(kind, n),
+        }
+    }
+
+    pub fn from_f64(dims: Vec<usize>, data: Vec<f64>) -> DenseTensor {
+        assert_eq!(dims.iter().product::<usize>(), data.len());
+        DenseTensor {
+            dims,
+            values: Values::F64(data),
+        }
+    }
+
+    pub fn from_i8(dims: Vec<usize>, data: Vec<i8>) -> DenseTensor {
+        assert_eq!(dims.iter().product::<usize>(), data.len());
+        DenseTensor {
+            dims,
+            values: Values::I8(data),
+        }
+    }
+
+    pub fn install(&self, bufs: &mut Buffers) -> u32 {
+        bufs.add(self.values.to_buffer_data())
+    }
+
+    pub fn as_f64(&self) -> &[f64] {
+        match &self.values {
+            Values::F64(v) => v,
+            _ => panic!("not an f64 tensor"),
+        }
+    }
+
+    pub fn as_i8(&self) -> &[i8] {
+        match &self.values {
+            Values::I8(v) => v,
+            _ => panic!("not an i8 tensor"),
+        }
+    }
+}
+
+/// Read back a buffer produced by [`DenseTensor::install`] after a run.
+pub fn read_f64(bufs: &Buffers, id: u32) -> Vec<f64> {
+    match &bufs.get(id).data {
+        BufferData::F64(v) => v.clone(),
+        other => panic!("buffer is not f64: {other:?}"),
+    }
+}
+
+/// As [`read_f64`] for i8 buffers.
+pub fn read_i8(bufs: &Buffers, id: u32) -> Vec<i8> {
+    match &bufs.get(id).data {
+        BufferData::I8(v) => v.clone(),
+        other => panic!("buffer is not i8: {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3×3 matrix of the paper's Figure 2:
+    /// row 0: cols 0,2; row 1: empty; row 2: col 2.
+    fn paper_matrix() -> CooTensor {
+        CooTensor::new(
+            vec![3, 3],
+            vec![0, 0, 0, 2, 2, 2],
+            Values::F64(vec![1.0, 2.0, 3.0]),
+        )
+    }
+
+    #[test]
+    fn csr_matches_figure_2b() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::csr());
+        t.check_invariants().unwrap();
+        // Dense level 0: no buffers.
+        assert!(t.level(0).pos.is_empty() && t.level(0).crd.is_empty());
+        // Bj_pos = [0, 2, 2, 3]; Bj_crd = [0, 2, 2].
+        assert_eq!(t.level(1).pos, vec![0, 2, 2, 3]);
+        assert_eq!(t.level(1).crd, vec![0, 2, 2]);
+        assert_eq!(t.node_count(1), 3);
+    }
+
+    #[test]
+    fn coo_matches_figure_2a() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::coo());
+        t.check_invariants().unwrap();
+        // Bi_pos = [0, 3]; Bi_crd = [0, 0, 2] (row 0 repeated, row 1 absent).
+        assert_eq!(t.level(0).pos, vec![0, 3]);
+        assert_eq!(t.level(0).crd, vec![0, 0, 2]);
+        // Singleton level: Bj_crd = [0, 2, 2].
+        assert_eq!(t.level(1).crd, vec![0, 2, 2]);
+        assert!(t.level(1).pos.is_empty());
+    }
+
+    #[test]
+    fn dcsr_matches_figure_2c() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::dcsr());
+        t.check_invariants().unwrap();
+        // Bi_pos = [0, 2]; Bi_crd = [0, 2] (empty row 1 eliminated).
+        assert_eq!(t.level(0).pos, vec![0, 2]);
+        assert_eq!(t.level(0).crd, vec![0, 2]);
+        // Bj_pos = [0, 2, 3]; Bj_crd = [0, 2, 2].
+        assert_eq!(t.level(1).pos, vec![0, 2, 3]);
+        assert_eq!(t.level(1).crd, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn csc_stores_columns_first() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::csc());
+        t.check_invariants().unwrap();
+        // Columns: col 0 has row 0; col 1 empty; col 2 has rows 0,2.
+        assert_eq!(t.level(1).pos, vec![0, 1, 1, 3]);
+        assert_eq!(t.level(1).crd, vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_accumulated() {
+        let coo = CooTensor::new(
+            vec![2, 2],
+            vec![0, 1, 0, 1, 1, 0],
+            Values::F64(vec![1.5, 2.5, 4.0]),
+        );
+        let t = SparseTensor::from_coo(&coo, Format::csr());
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(*t.values(), Values::F64(vec![4.0, 4.0]));
+    }
+
+    #[test]
+    fn boolean_duplicates_are_ored() {
+        let coo = CooTensor::new(vec![2, 2], vec![0, 0, 0, 0], Values::I8(vec![1, 1]));
+        let t = SparseTensor::from_coo(&coo, Format::csr());
+        assert_eq!(*t.values(), Values::I8(vec![1]));
+    }
+
+    #[test]
+    fn roundtrip_through_every_2d_format() {
+        let coo = CooTensor::new(
+            vec![4, 5],
+            vec![0, 1, 0, 4, 1, 3, 3, 0, 3, 2],
+            Values::F64(vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+        );
+        for fmt in [
+            Format::csr(),
+            Format::csc(),
+            Format::coo(),
+            Format::dcsr(),
+            Format::dcsc(),
+            Format::csf(2),
+        ] {
+            let t = SparseTensor::from_coo(&coo, fmt.clone());
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("{fmt}: {e}"));
+            let back = t.to_coo();
+            // to_coo sorts by the format's level order; compare as dense.
+            assert_eq!(
+                t.to_dense_f64(),
+                SparseTensor::from_coo(&back, Format::csr()).to_dense_f64(),
+                "roundtrip mismatch for {fmt}"
+            );
+            assert_eq!(back.nnz(), 5, "{fmt}");
+        }
+    }
+
+    #[test]
+    fn empty_tensor_is_wellformed() {
+        let coo = CooTensor::new(vec![3, 3], vec![], Values::F64(vec![]));
+        for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
+            let t = SparseTensor::from_coo(&coo, fmt);
+            t.check_invariants().unwrap();
+            assert_eq!(t.nnz(), 0);
+        }
+    }
+
+    #[test]
+    fn csf_3d_tensor() {
+        // 2x2x2 tensor with entries (0,0,1), (0,1,0), (1,1,1).
+        let coo = CooTensor::new(
+            vec![2, 2, 2],
+            vec![0, 0, 1, 0, 1, 0, 1, 1, 1],
+            Values::F64(vec![1.0, 2.0, 3.0]),
+        );
+        let t = SparseTensor::from_coo(&coo, Format::csf(3));
+        t.check_invariants().unwrap();
+        assert_eq!(t.level(0).pos, vec![0, 2]);
+        assert_eq!(t.level(0).crd, vec![0, 1]);
+        assert_eq!(t.level(1).pos, vec![0, 2, 3]);
+        assert_eq!(t.level(1).crd, vec![0, 1, 1]);
+        assert_eq!(t.level(2).pos, vec![0, 1, 2, 3]);
+        assert_eq!(t.level(2).crd, vec![1, 0, 1]);
+        // crd_buf_sz recursion: l0 -> pos[1]=2, l1 -> pos[2]=3, l2 -> pos[3]=3.
+        assert_eq!(t.node_count(0), 2);
+        assert_eq!(t.node_count(1), 3);
+        assert_eq!(t.node_count(2), 3);
+    }
+
+    #[test]
+    fn footprint_counts_pos_crd_vals() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::csr());
+        // u32 indices: pos 4*4 + crd 3*4 = 28; values 3*8 = 24.
+        assert_eq!(t.index_width(), IndexWidth::U32);
+        assert_eq!(t.footprint_bytes(), 28 + 24);
+    }
+
+    #[test]
+    fn inner_segment_lengths_csr() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::csr());
+        assert_eq!(t.inner_segment_lengths(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn install_and_read_back() {
+        let t = SparseTensor::from_coo(&paper_matrix(), Format::csr());
+        let mut bufs = Buffers::new();
+        let tb = t.install(&mut bufs);
+        assert!(tb.pos[0].is_none());
+        let pos_id = tb.pos[1].expect("csr level 1 has pos");
+        match &bufs.get(pos_id).data {
+            BufferData::I32(v) => assert_eq!(v, &vec![0, 2, 2, 3]),
+            other => panic!("expected i32 pos buffer, got {other:?}"),
+        }
+        match &bufs.get(tb.vals).data {
+            BufferData::F64(v) => assert_eq!(v, &vec![1.0, 2.0, 3.0]),
+            other => panic!("expected f64 vals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_index_install() {
+        let mut t = SparseTensor::from_coo(&paper_matrix(), Format::csr());
+        t.set_index_width(IndexWidth::U64);
+        let mut bufs = Buffers::new();
+        let tb = t.install(&mut bufs);
+        let crd_id = tb.crd[1].expect("csr has crd");
+        assert_eq!(bufs.get(crd_id).data.elem_bytes(), 8);
+    }
+
+    #[test]
+    fn dense_tensor_roundtrip() {
+        let d = DenseTensor::from_f64(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let mut bufs = Buffers::new();
+        let id = d.install(&mut bufs);
+        assert_eq!(read_f64(&bufs, id), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_range_coordinates() {
+        CooTensor::new(vec![2, 2], vec![0, 5], Values::F64(vec![1.0]));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the storage layer, including 3-D CSF tensors:
+//! invariants hold and densification round-trips for arbitrary inputs.
+
+use asap_tensor::{CooTensor, Format, IndexWidth, LevelType, SparseTensor, Values};
+use proptest::prelude::*;
+
+fn coo3_strategy() -> impl Strategy<Value = CooTensor> {
+    (1usize..6, 1usize..6, 1usize..6)
+        .prop_flat_map(|(a, b, c)| {
+            let entry = (0..a, 0..b, 0..c, -3.0f64..3.0);
+            (Just((a, b, c)), proptest::collection::vec(entry, 0..30))
+        })
+        .prop_map(|((a, b, c), entries)| {
+            let mut coords = Vec::new();
+            let mut vals = Vec::new();
+            for (i, j, k, v) in entries {
+                coords.extend_from_slice(&[i, j, k]);
+                vals.push(v);
+            }
+            CooTensor::new(vec![a, b, c], coords, Values::F64(vals))
+        })
+}
+
+fn dense3(t: &SparseTensor) -> Vec<f64> {
+    t.to_dense_f64()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csf3_invariants_and_roundtrip(coo in coo3_strategy()) {
+        let t = SparseTensor::from_coo(&coo, Format::csf(3));
+        prop_assert!(t.check_invariants().is_ok());
+        // Dense rendering equals accumulation over the raw entries.
+        let mut want = vec![0.0; coo.dims.iter().product()];
+        for e in 0..coo.nnz() {
+            let c = coo.coord(e);
+            let idx = (c[0] * coo.dims[1] + c[1]) * coo.dims[2] + c[2];
+            if let Values::F64(v) = &coo.values {
+                want[idx] += v[e];
+            }
+        }
+        prop_assert_eq!(dense3(&t), want);
+    }
+
+    #[test]
+    fn mixed_level_3d_formats_agree(coo in coo3_strategy()) {
+        // Dense-Compressed-Compressed (a "CSR-of-matrices") vs CSF vs
+        // Dense-Dense-Compressed: all must densify identically.
+        let dcc = Format::new(
+            "DCC",
+            vec![LevelType::Dense, LevelType::compressed(), LevelType::compressed()],
+            vec![0, 1, 2],
+        );
+        let ddc = Format::new(
+            "DDC",
+            vec![LevelType::Dense, LevelType::Dense, LevelType::compressed()],
+            vec![0, 1, 2],
+        );
+        let reference = dense3(&SparseTensor::from_coo(&coo, Format::csf(3)));
+        for fmt in [dcc, ddc] {
+            let t = SparseTensor::from_coo(&coo, fmt.clone());
+            prop_assert!(t.check_invariants().is_ok(), "{}", fmt);
+            prop_assert_eq!(dense3(&t), reference.clone(), "{}", fmt);
+        }
+    }
+
+    #[test]
+    fn node_counts_are_monotone_under_width_change(coo in coo3_strategy()) {
+        let mut t = SparseTensor::from_coo(&coo, Format::csf(3));
+        let counts: Vec<usize> = (0..3).map(|l| t.node_count(l)).collect();
+        t.set_index_width(IndexWidth::U64);
+        // Index width is a storage detail: structure unchanged.
+        prop_assert_eq!(counts, (0..3).map(|l| t.node_count(l)).collect::<Vec<_>>());
+        prop_assert_eq!(t.node_count(2), t.nnz());
+    }
+
+    #[test]
+    fn footprint_scales_with_width(coo in coo3_strategy()) {
+        prop_assume!(coo.nnz() > 0);
+        let mut t = SparseTensor::from_coo(&coo, Format::csf(3));
+        t.set_index_width(IndexWidth::U32);
+        let narrow = t.footprint_bytes();
+        t.set_index_width(IndexWidth::U64);
+        let wide = t.footprint_bytes();
+        prop_assert!(wide > narrow);
+        // Values bytes are unchanged; only index buffers doubled.
+        let val_bytes = t.nnz() * 8;
+        prop_assert_eq!((wide - val_bytes), 2 * (narrow - val_bytes));
+    }
+
+    #[test]
+    fn permuted_2d_formats_transpose_consistently(
+        entries in proptest::collection::vec((0usize..5, 0usize..7, 0.5f64..2.0), 0..20)
+    ) {
+        let mut coords = Vec::new();
+        let mut vals = Vec::new();
+        for (r, c, v) in &entries {
+            coords.extend_from_slice(&[*r, *c]);
+            vals.push(*v);
+        }
+        let coo = CooTensor::new(vec![5, 7], coords, Values::F64(vals));
+        let csr = SparseTensor::from_coo(&coo, Format::csr());
+        let csc = SparseTensor::from_coo(&coo, Format::csc());
+        // Same dense content regardless of level permutation.
+        prop_assert_eq!(csr.to_dense_f64(), csc.to_dense_f64());
+        // CSC's inner segment lengths are column degrees.
+        let col_deg_sum: usize = csc.inner_segment_lengths().iter().sum();
+        prop_assert_eq!(col_deg_sum, csc.nnz());
+    }
+}

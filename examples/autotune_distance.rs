@@ -1,0 +1,89 @@
+//! Profile-guided prefetch-distance tuning (the paper's future-work
+//! direction, Sections 3.2.3 and 6): sweep candidate distances on a
+//! row-sampled slice of the matrix under the simulator, pick the best,
+//! then validate the choice on the full matrix.
+//!
+//! ```sh
+//! cargo run --release --example autotune_distance
+//! ```
+
+use asap::core::{default_candidates, run_spmv_f64_with, tune_distance};
+use asap::matrices::{gen, Triplets};
+use asap::sim::{GracemontConfig, Machine, PrefetcherConfig};
+use asap::sparsifier::KernelSpec;
+use asap::tensor::{Format, SparseTensor, ValueKind};
+
+/// Keep every k-th row (shifted down) as the profiling sample.
+fn sample_rows(tri: &Triplets, keep_every: usize) -> Triplets {
+    let mut s = Triplets::new(tri.nrows / keep_every, tri.ncols);
+    for i in 0..tri.nnz() {
+        let r = tri.rows[i];
+        if r % keep_every == 0 && r / keep_every < s.nrows {
+            s.push(r / keep_every, tri.cols[i], tri.vals[i]);
+        }
+    }
+    s
+}
+
+fn main() {
+    let tri = gen::erdos_renyi(120_000, 8, 3);
+    let sample = sample_rows(&tri, 10);
+    println!(
+        "matrix: {} nnz; profiling sample: {} nnz",
+        tri.nnz(),
+        sample.nnz()
+    );
+
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let cfg = GracemontConfig::scaled();
+    let pf = PrefetcherConfig::optimized_spmv();
+    let sample_t = SparseTensor::from_coo(&sample.to_coo_f64(), Format::csr());
+    let xs: Vec<f64> = (0..sample.ncols).map(|i| (i % 5) as f64).collect();
+
+    let outcome = tune_distance(
+        &spec,
+        &Format::csr(),
+        sample_t.index_width(),
+        &default_candidates(),
+        |ck| {
+            let mut m = Machine::new(cfg, pf);
+            let _ = run_spmv_f64_with(ck, &sample_t, &xs, &mut m);
+            m.counters().cycles
+        },
+    )
+    .expect("tuning succeeds");
+
+    println!("\ndistance sweep on the sample:");
+    for s in &outcome.samples {
+        let marker = if s.distance == outcome.best_distance {
+            "  <= best"
+        } else {
+            ""
+        };
+        println!("  d={:<4} cost={} cycles{marker}", s.distance, s.cost);
+    }
+
+    // Validate on the full matrix: tuned vs the paper's fixed 45.
+    let full = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let xf: Vec<f64> = (0..tri.ncols).map(|i| (i % 5) as f64).collect();
+    let mut report = Vec::new();
+    for d in [outcome.best_distance, 45] {
+        let ck = asap::core::compile_with_width(
+            &spec,
+            &Format::csr(),
+            full.index_width(),
+            &asap::core::PrefetchStrategy::asap(d),
+        )
+        .unwrap();
+        let mut m = Machine::new(cfg, pf);
+        let _ = run_spmv_f64_with(&ck, &full, &xf, &mut m);
+        report.push((d, m.counters().cycles));
+    }
+    println!(
+        "\nfull matrix: tuned d={} -> {} cycles; paper d=45 -> {} cycles ({:+.1}%)",
+        report[0].0,
+        report[0].1,
+        report[1].1,
+        100.0 * (report[1].1 as f64 - report[0].1 as f64) / report[1].1 as f64
+    );
+}

@@ -1,0 +1,80 @@
+//! Hardware-prefetcher tuning: the experiment behind the paper's first
+//! insight — disabling inaccurate hardware prefetchers (L1 NLP, L2 AMP)
+//! frees MSHRs and bandwidth that software prefetching uses better.
+//!
+//! Sweeps all Table-2 configurations for SpMV on an unstructured matrix
+//! and reports throughput plus the resource-contention counters that
+//! explain the differences.
+//!
+//! ```sh
+//! cargo run --release --example prefetcher_tuning
+//! ```
+
+use asap::core::{compile_with_width, run_spmv_f64_with, PrefetchStrategy};
+use asap::matrices::gen;
+use asap::sim::{GracemontConfig, Machine, PrefetcherConfig};
+use asap::sparsifier::KernelSpec;
+use asap::tensor::{Format, SparseTensor, ValueKind};
+
+fn main() {
+    let tri = gen::erdos_renyi(150_000, 8, 51);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let x: Vec<f64> = (0..tri.ncols).map(|i| 1.0 + (i % 7) as f64).collect();
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let cfg = GracemontConfig::scaled();
+
+    let hw_configs = [
+        ("default (Table 2 out-of-box)", PrefetcherConfig::hw_default()),
+        ("optimized (NLP+AMP off)", PrefetcherConfig::optimized_spmv()),
+        ("all off", PrefetcherConfig::all_off()),
+        (
+            "NLP only off",
+            PrefetcherConfig {
+                l1_nlp: false,
+                ..PrefetcherConfig::hw_default()
+            },
+        ),
+        (
+            "AMP only off",
+            PrefetcherConfig {
+                l2_amp: false,
+                ..PrefetcherConfig::hw_default()
+            },
+        ),
+    ];
+
+    for (variant, strat) in [
+        ("baseline", PrefetchStrategy::none()),
+        ("asap", PrefetchStrategy::asap(45)),
+    ] {
+        println!("### {variant}");
+        println!(
+            "{:<30} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            "hw config", "cycles(M)", "thrpt", "swpf-drop", "hwpf-issued", "pf-unused"
+        );
+        let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &strat)
+            .expect("compiles");
+        let mut best = (0.0, "");
+        for (name, pf) in &hw_configs {
+            let mut machine = Machine::new(cfg, *pf);
+            let _ = run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+            let c = machine.counters();
+            let thrpt = sparse.nnz() as f64 / (cfg.cycles_to_seconds(c.cycles) * 1e3);
+            if thrpt > best.0 {
+                best = (thrpt, name);
+            }
+            println!(
+                "{:<30} {:>10.1} {:>10.0} {:>10} {:>12} {:>12}",
+                name,
+                c.cycles as f64 / 1e6,
+                thrpt,
+                c.sw_pf_dropped,
+                c.hw_pf_issued,
+                c.pf_unused_evictions
+            );
+        }
+        println!("best for {variant}: {}\n", best.1);
+    }
+    println!("paper insight: the optimized configuration amplifies ASaP's benefit;");
+    println!("the baseline is comparatively insensitive to it.");
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate every figure/table of the paper. Sequential (figures share
+# the CPU with nothing else); ~1h at full size on one core.
+set -x
+cd "$(dirname "$0")"
+BIN=target/release
+$BIN/fig_tables          > results/tables.txt 2>&1
+$BIN/fig6_spmv_mpki  --out results/fig6.json  > results/fig6.txt  2>&1
+$BIN/fig7_spmv_groups --out results/fig7.json > results/fig7.txt  2>&1
+$BIN/fig11_vs_aj     --out results/fig11.json > results/fig11.txt 2>&1
+$BIN/fig8_spmm_mpki  --out results/fig8.json  > results/fig8.txt  2>&1
+$BIN/fig10_spmm_groups --out results/fig10.json > results/fig10.txt 2>&1
+$BIN/fig12_roofline  --out results/fig12.json > results/fig12.txt 2>&1
+$BIN/ablations       > results/ablations.txt 2>&1
+echo ALL_FIGURES_DONE

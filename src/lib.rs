@@ -1,0 +1,63 @@
+//! # ASaP — Automatic Software Prefetching for Sparse Tensor Computations
+//!
+//! Meta-crate re-exporting the whole workspace under one roof. This is the
+//! crate a downstream user depends on; the individual crates remain usable
+//! on their own.
+//!
+//! The workspace reproduces the ASaP paper (LLVM-HPC 2025):
+//!
+//! - [`ir`] — a small MLIR-like SSA IR (`scf`/`memref`/`arith` level) with
+//!   an interpreter that reports every memory access to a pluggable
+//!   [`ir::MemoryModel`].
+//! - [`tensor`] — the sparse tensor "dialect" substrate: level types,
+//!   formats (COO/CSR/CSC/DCSR/DCSC/CSF) and their segmented
+//!   pos/crd/values storage.
+//! - [`sparsifier`] — the sparsification transformation: iteration graphs,
+//!   segment iterators, and imperative code generation, with the hook
+//!   points where indirect accesses materialize.
+//! - [`core`] — the paper's contribution: the ASaP prefetch-injection pass
+//!   (semantic buffer bounds, innermost- and outer-loop strategies) and
+//!   the Ainsworth & Jones baseline pass.
+//! - [`sim`] — an execution-driven Gracemont-like memory-hierarchy
+//!   simulator with toggleable hardware prefetchers, MSHRs and a DRAM
+//!   bandwidth model; stands in for the paper's Alder Lake testbed.
+//! - [`matrices`] — synthetic SuiteSparse-like matrix families plus
+//!   MatrixMarket I/O.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`:
+//!
+//! ```
+//! use asap::prelude::*;
+//!
+//! // Build a small CSR matrix, sparsify SpMV with ASaP prefetching and
+//! // check the result against a dense reference.
+//! let tri = asap::matrices::gen::banded(16, 3, 7);
+//! let csr = SparseTensor::from_coo(&tri.to_coo(), Format::csr());
+//! let kernel = KernelSpec::spmv(ValueKind::F64);
+//! let compiled = compile(&kernel, csr.format(), &PrefetchStrategy::asap(45));
+//! let x = vec![1.0f64; 16];
+//! let y = run_spmv_f64(&compiled, &csr, &x);
+//! let yref = tri.dense_spmv(&x);
+//! for (a, b) in y.iter().zip(&yref) {
+//!     assert!((a - b).abs() < 1e-9);
+//! }
+//! ```
+
+pub use asap_core as core;
+pub use asap_ir as ir;
+pub use asap_matrices as matrices;
+pub use asap_sim as sim;
+pub use asap_sparsifier as sparsifier;
+pub use asap_tensor as tensor;
+
+/// Commonly used items, for `use asap::prelude::*`.
+pub mod prelude {
+    pub use asap_core::{compile, run_spmv_f64, CompiledKernel, PrefetchStrategy};
+    pub use asap_ir::{Function, MemoryModel};
+    pub use asap_matrices::Triplets;
+    pub use asap_sim::{GracemontConfig, Machine, PrefetcherConfig};
+    pub use asap_sparsifier::KernelSpec;
+    pub use asap_tensor::{Format, LevelType, SparseTensor, ValueKind};
+}

@@ -1,0 +1,208 @@
+//! End-to-end pipeline tests spanning all crates: coordinate input →
+//! storage → sparsification → prefetch pass → interpretation (functional
+//! and simulated) → verified output.
+
+use asap::core::{compile_with_width, run as run_compiled, PrefetchStrategy};
+use asap::ir::NullModel;
+use asap::matrices::{gen, read_matrix_market, write_matrix_market, Triplets};
+use asap::sim::{GracemontConfig, Machine, PrefetcherConfig};
+use asap::sparsifier::KernelSpec;
+use asap::tensor::{DenseTensor, Format, SparseTensor, ValueKind};
+
+fn spmv_all_strategies(tri: &Triplets, fmt: Format) {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), fmt.clone());
+    let x: Vec<f64> = (0..tri.ncols).map(|i| 1.0 + (i % 5) as f64).collect();
+    let expect = tri.dense_spmv(&x);
+    for strat in [
+        PrefetchStrategy::none(),
+        PrefetchStrategy::asap(45),
+        PrefetchStrategy::asap(1),
+        PrefetchStrategy::aj(45),
+    ] {
+        let ck = compile_with_width(&spec, &fmt, sparse.index_width(), &strat).unwrap();
+        let y = asap::core::run_spmv_f64(&ck, &sparse, &x);
+        for (i, (g, w)) in y.iter().zip(&expect).enumerate() {
+            assert!(
+                (g - w).abs() < 1e-9 * (1.0 + w.abs()),
+                "{fmt}/{}: row {i}: {g} vs {w}",
+                strat.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn spmv_every_format_every_strategy() {
+    let tri = gen::erdos_renyi(500, 5, 3);
+    for fmt in [Format::csr(), Format::csc(), Format::coo(), Format::dcsr()] {
+        spmv_all_strategies(&tri, fmt);
+    }
+}
+
+#[test]
+fn spmv_on_generator_archetypes() {
+    for tri in [
+        gen::banded(400, 3, 1),
+        gen::stencil5(20, 20),
+        gen::rmat(9, 4, 2),
+        gen::road_network(600, 3),
+        gen::power_law(500, 6, 1.1, 4),
+        gen::web_graph(300, 6, 5),
+        gen::block_diagonal(10, 16, 0.3, 6),
+        gen::diagonal(128),
+    ] {
+        let mut t = tri.clone();
+        if t.binary {
+            // The f64 path needs weights.
+            for v in &mut t.vals {
+                *v = 0.5;
+            }
+            t.binary = false;
+        }
+        spmv_all_strategies(&t, Format::csr());
+    }
+}
+
+#[test]
+fn simulated_run_matches_functional_run() {
+    let tri = gen::power_law(2000, 6, 1.0, 9);
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let ck = compile_with_width(
+        &spec,
+        &Format::csr(),
+        sparse.index_width(),
+        &PrefetchStrategy::asap(16),
+    )
+    .unwrap();
+    let x: Vec<f64> = (0..2000).map(|i| (i % 3) as f64).collect();
+    let functional = asap::core::run_spmv_f64(&ck, &sparse, &x);
+    let mut machine = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
+    let simulated = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+    assert_eq!(functional, simulated, "timing model must not alter results");
+    let c = machine.counters();
+    assert!(c.instructions > 0 && c.cycles > 0 && c.sw_pf_issued > 0);
+}
+
+#[test]
+fn matrix_market_roundtrip_through_pipeline() {
+    let tri = gen::erdos_renyi(300, 4, 11);
+    let mut buf = Vec::new();
+    write_matrix_market(&tri, &mut buf).unwrap();
+    let back = read_matrix_market(&buf[..]).unwrap();
+    assert_eq!(back.nnz(), tri.nnz());
+    spmv_all_strategies(&back, Format::csr());
+}
+
+#[test]
+fn spmm_pipeline_with_all_strategies() {
+    let tri = gen::erdos_renyi(400, 5, 7);
+    let spec = KernelSpec::spmm(ValueKind::F64);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let n_cols = 8;
+    let c = DenseTensor::from_f64(
+        vec![400, n_cols],
+        (0..400 * n_cols).map(|i| (i % 9) as f64 * 0.5).collect(),
+    );
+    let mut reference: Option<Vec<f64>> = None;
+    for strat in [
+        PrefetchStrategy::none(),
+        PrefetchStrategy::asap(45),
+        PrefetchStrategy::aj(45),
+    ] {
+        let ck = compile_with_width(&spec, &Format::csr(), sparse.index_width(), &strat).unwrap();
+        let a = asap::core::run_spmm_f64(&ck, &sparse, &c);
+        match &reference {
+            None => reference = Some(a.as_f64().to_vec()),
+            Some(r) => assert_eq!(a.as_f64(), &r[..], "{}", strat.label()),
+        }
+    }
+}
+
+#[test]
+fn binary_semiring_spmv_end_to_end() {
+    let mut tri = gen::road_network(300, 5);
+    tri.binary = true;
+    let spec = KernelSpec::spmv(ValueKind::I8);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_i8(), Format::csr());
+    let ck = compile_with_width(
+        &spec,
+        &Format::csr(),
+        sparse.index_width(),
+        &PrefetchStrategy::asap(8),
+    )
+    .unwrap();
+    // x = indicator of a vertex set; y = indicator of its in-neighbors.
+    let x = DenseTensor::from_i8(
+        vec![300],
+        (0..300).map(|i| (i % 7 == 0) as i8).collect(),
+    );
+    let mut y = DenseTensor::zeros(ValueKind::I8, vec![300]);
+    run_compiled(&ck, &sparse, &[&x], &mut y, &mut NullModel).unwrap();
+    // Reference with the boolean semiring.
+    let mut want = vec![0i8; 300];
+    for k in 0..tri.nnz() {
+        want[tri.rows[k]] |= ((tri.vals[k] != 0.0) && (tri.cols[k] % 7 == 0)) as i8;
+    }
+    assert_eq!(y.as_i8(), &want[..]);
+}
+
+#[test]
+fn mttkrp_csf_with_asap_prefetching() {
+    use asap::tensor::{CooTensor, Values};
+    // Random small 3-tensor.
+    let dims = vec![6, 7, 8];
+    let mut coords = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..40usize {
+        coords.extend_from_slice(&[(i * 7) % 6, (i * 5) % 7, (i * 3) % 8]);
+        vals.push(1.0 + (i % 4) as f64);
+    }
+    let coo = CooTensor::new(dims.clone(), coords, Values::F64(vals));
+    let spec = KernelSpec::mttkrp(ValueKind::F64);
+    let mut sparse = SparseTensor::from_coo(&coo, Format::csf(3));
+    sparse.set_index_width(asap::tensor::IndexWidth::U64);
+    let l = 4;
+    let cmat = DenseTensor::from_f64(vec![7, l], (0..7 * l).map(|x| x as f64 * 0.5).collect());
+    let dmat = DenseTensor::from_f64(vec![8, l], (0..8 * l).map(|x| 2.0 - x as f64 * 0.1).collect());
+
+    let mut outs = Vec::new();
+    for strat in [PrefetchStrategy::none(), PrefetchStrategy::asap(4)] {
+        let ck = compile_with_width(
+            &spec,
+            &Format::csf(3),
+            asap::tensor::IndexWidth::U64,
+            &strat,
+        )
+        .unwrap();
+        let mut a = DenseTensor::zeros(ValueKind::F64, vec![6, l]);
+        run_compiled(&ck, &sparse, &[&cmat, &dmat], &mut a, &mut NullModel).unwrap();
+        outs.push(a);
+    }
+    assert_eq!(outs[0].as_f64(), outs[1].as_f64());
+    assert!(outs[0].as_f64().iter().any(|&v| v != 0.0));
+}
+
+#[test]
+fn dcsr_and_csc_simulated_runs() {
+    let tri = gen::power_law(1500, 5, 0.9, 13);
+    for fmt in [Format::dcsr(), Format::csc()] {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), fmt.clone());
+        let ck = compile_with_width(
+            &spec,
+            &fmt,
+            sparse.index_width(),
+            &PrefetchStrategy::asap(12),
+        )
+        .unwrap();
+        let x = vec![1.0; 1500];
+        let mut machine = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
+        let y = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+        let want = tri.dense_spmv(&x);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{fmt}");
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based invariants of the execution-driven simulator and the
+//! full pipeline: prefetching strategies must never change results,
+//! counters must be internally consistent, and runs must be deterministic.
+
+use asap::core::{compile_with_width, PrefetchStrategy};
+use asap::matrices::Triplets;
+use asap::sim::{GracemontConfig, Machine, PrefetcherConfig};
+use asap::sparsifier::KernelSpec;
+use asap::tensor::{Format, SparseTensor, ValueKind};
+use proptest::prelude::*;
+
+fn triplets_strategy(max_n: usize, max_entries: usize) -> impl Strategy<Value = Triplets> {
+    (2usize..=max_n)
+        .prop_flat_map(move |n| {
+            let entry = (0..n, 0..n, 0.1f64..2.0);
+            (
+                Just(n),
+                proptest::collection::vec(entry, 1..max_entries),
+            )
+        })
+        .prop_map(|(n, entries)| {
+            let mut t = Triplets::new(n, n);
+            for (r, c, v) in entries {
+                t.push(r, c, v);
+            }
+            t
+        })
+}
+
+fn pf_strategy() -> impl Strategy<Value = PrefetcherConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(a, b, c, d, e, f)| PrefetcherConfig {
+            l1_nlp: a,
+            l1_ipp: b,
+            l2_nlp: c,
+            mlc_streamer: d,
+            l2_amp: e,
+            llc_streamer: f,
+        },
+    )
+}
+
+fn run_simulated(
+    tri: &Triplets,
+    strat: &PrefetchStrategy,
+    pf: PrefetcherConfig,
+) -> (Vec<f64>, asap::sim::Counters) {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let ck = compile_with_width(&spec, &Format::csr(), sparse.index_width(), strat).unwrap();
+    let x: Vec<f64> = (0..tri.ncols).map(|i| 1.0 + (i % 4) as f64).collect();
+    let mut m = Machine::new(GracemontConfig::scaled(), pf);
+    let y = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut m);
+    (y, m.counters())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prefetch strategy and hardware-prefetcher configuration are pure
+    /// performance knobs: results must be bit-identical.
+    #[test]
+    fn prefetching_never_changes_results(
+        tri in triplets_strategy(64, 200),
+        pf in pf_strategy(),
+        distance in 1usize..128,
+    ) {
+        let (y0, _) = run_simulated(&tri, &PrefetchStrategy::none(), PrefetcherConfig::all_off());
+        for strat in [PrefetchStrategy::asap(distance), PrefetchStrategy::aj(distance)] {
+            let (y, _) = run_simulated(&tri, &strat, pf);
+            prop_assert_eq!(&y, &y0);
+        }
+    }
+
+    /// PMU-style counter consistency.
+    #[test]
+    fn counters_are_consistent(
+        tri in triplets_strategy(64, 200),
+        pf in pf_strategy(),
+    ) {
+        let (_, c) = run_simulated(&tri, &PrefetchStrategy::asap(16), pf);
+        // Every demand access classifies at L1.
+        prop_assert_eq!(c.l1_hits + c.l1_misses, c.loads + c.stores);
+        // L1 misses cascade down the hierarchy.
+        prop_assert_eq!(c.l2_hits + c.l2_misses, c.l1_misses);
+        prop_assert_eq!(c.l3_hits + c.dram_hits, c.l2_misses);
+        // The paper's L2-miss PMU approximation.
+        prop_assert_eq!(c.l2_miss_events(), c.l3_hits + c.dram_hits);
+        // Prefetch accounting: outcomes never exceed issues.
+        prop_assert!(c.sw_pf_dropped + c.sw_pf_redundant <= c.sw_pf_issued);
+        prop_assert!(c.hw_pf_dropped + c.hw_pf_redundant <= c.hw_pf_issued);
+        // Cycles include all stalls; instructions ran.
+        prop_assert!(c.cycles >= c.stall_cycles);
+        prop_assert!(c.instructions > 0);
+    }
+
+    /// Simulation is deterministic: identical inputs, identical counters.
+    #[test]
+    fn simulation_is_deterministic(tri in triplets_strategy(48, 150)) {
+        let a = run_simulated(&tri, &PrefetchStrategy::asap(8), PrefetcherConfig::hw_default());
+        let b = run_simulated(&tri, &PrefetchStrategy::asap(8), PrefetcherConfig::hw_default());
+        prop_assert_eq!(a.1, b.1);
+        prop_assert_eq!(a.0, b.0);
+    }
+
+    /// ASaP issues at most two software prefetches per non-zero for SpMV
+    /// (Step 1 + Step 3) and at least one per non-zero.
+    #[test]
+    fn asap_prefetch_volume_bounds(tri in triplets_strategy(64, 200)) {
+        let (_, c) = run_simulated(&tri, &PrefetchStrategy::asap(8), PrefetcherConfig::all_off());
+        let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+        let nnz = sparse.nnz() as u64;
+        prop_assert_eq!(c.sw_pf_issued, 2 * nnz);
+    }
+}
+
+/// Multi-core determinism of *results* (counters may vary slightly with
+/// thread interleaving through shared-resource timing, but outputs and
+/// work counters must not).
+#[test]
+fn multicore_work_is_stable() {
+    use asap_bench::{run_spmv_threads, Variant};
+    let tri = asap::matrices::gen::erdos_renyi(8_000, 6, 21);
+    let r1 = run_spmv_threads(
+        &tri, "t", "g", true,
+        Variant::Asap { distance: 16 },
+        PrefetcherConfig::hw_default(),
+        "hw",
+        GracemontConfig::scaled(),
+        3,
+    );
+    let r2 = run_spmv_threads(
+        &tri, "t", "g", true,
+        Variant::Asap { distance: 16 },
+        PrefetcherConfig::hw_default(),
+        "hw",
+        GracemontConfig::scaled(),
+        3,
+    );
+    assert_eq!(r1.instructions, r2.instructions, "work is deterministic");
+    assert_eq!(r1.sw_pf_issued, r2.sw_pf_issued);
+    // Timing may drift across runs only within the clock-sync quantum's
+    // influence on shared-resource contention.
+    let drift = (r1.cycles as f64 - r2.cycles as f64).abs() / r1.cycles as f64;
+    assert!(drift < 0.1, "cycle drift {drift:.3} too large");
+}
