@@ -1,8 +1,11 @@
-//! Criterion benches for every pipeline stage: tensor construction,
+//! Timing benches for every pipeline stage: tensor construction,
 //! sparsification, prefetch passes, functional interpretation, and
-//! simulated execution. Sized to run quickly (the figure regeneration
-//! binaries do the heavy lifting; these track compiler/simulator
-//! performance regressions).
+//! simulated execution. Plain `fn main()` harness (no external bench
+//! crate): each case is warmed up once, then timed over a fixed number
+//! of iterations and reported as median-of-runs nanoseconds.
+//!
+//! Sized to run quickly — the figure regeneration binaries do the heavy
+//! lifting; these track compiler/simulator performance regressions.
 
 use asap_core::{ainsworth_jones, AjConfig, AsapConfig, AsapHook};
 use asap_ir::{dce, licm, NullModel};
@@ -10,99 +13,133 @@ use asap_matrices::gen;
 use asap_sim::{GracemontConfig, Machine, PrefetcherConfig};
 use asap_sparsifier::{run, sparsify, KernelSpec};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use std::time::Instant;
 
-fn bench_tensor_build(c: &mut Criterion) {
+/// Time `f` over `iters` iterations, repeated `runs` times; report the
+/// best run's per-iteration nanoseconds (least-noise estimator).
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    const RUNS: usize = 3;
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t0.elapsed().as_nanos() as f64 / iters as f64;
+        best = best.min(per_iter);
+    }
+    if best >= 1e6 {
+        println!("{name:<40} {:>12.3} ms/iter", best / 1e6);
+    } else if best >= 1e3 {
+        println!("{name:<40} {:>12.3} us/iter", best / 1e3);
+    } else {
+        println!("{name:<40} {:>12.0} ns/iter", best);
+    }
+}
+
+fn bench_tensor_build() {
     let tri = gen::erdos_renyi(10_000, 8, 1).to_coo_f64();
-    let mut g = c.benchmark_group("tensor_build");
-    g.throughput(Throughput::Elements(tri.nnz() as u64));
     for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
-        g.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &fmt, |b, fmt| {
-            b.iter(|| SparseTensor::from_coo(&tri, fmt.clone()))
+        let label = format!("tensor_build/{}", fmt.name());
+        bench(&label, 20, || {
+            let t = SparseTensor::from_coo(&tri, fmt.clone());
+            std::hint::black_box(t);
         });
     }
-    g.finish();
 }
 
-fn bench_sparsify(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sparsify");
+fn bench_sparsify() {
     for (name, spec, fmt) in [
-        ("spmv_csr", KernelSpec::spmv(ValueKind::F64), Format::csr()),
-        ("spmv_coo", KernelSpec::spmv(ValueKind::F64), Format::coo()),
-        ("spmv_dcsr", KernelSpec::spmv(ValueKind::F64), Format::dcsr()),
-        ("spmm_csr", KernelSpec::spmm(ValueKind::F64), Format::csr()),
-        ("mttkrp_csf3", KernelSpec::mttkrp(ValueKind::F64), Format::csf(3)),
+        (
+            "sparsify/spmv_csr",
+            KernelSpec::spmv(ValueKind::F64),
+            Format::csr(),
+        ),
+        (
+            "sparsify/spmv_coo",
+            KernelSpec::spmv(ValueKind::F64),
+            Format::coo(),
+        ),
+        (
+            "sparsify/spmv_dcsr",
+            KernelSpec::spmv(ValueKind::F64),
+            Format::dcsr(),
+        ),
+        (
+            "sparsify/spmm_csr",
+            KernelSpec::spmm(ValueKind::F64),
+            Format::csr(),
+        ),
+        (
+            "sparsify/mttkrp_csf3",
+            KernelSpec::mttkrp(ValueKind::F64),
+            Format::csf(3),
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| sparsify(&spec, &fmt, IndexWidth::U32, None).unwrap())
+        bench(name, 200, || {
+            let k = sparsify(&spec, &fmt, IndexWidth::U32, None).unwrap();
+            std::hint::black_box(k);
         });
     }
-    g.finish();
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn bench_passes() {
     let spec = KernelSpec::spmv(ValueKind::F64);
-    let mut g = c.benchmark_group("passes");
-    g.bench_function("asap_inject", |b| {
-        b.iter(|| {
-            let mut hook = AsapHook::new(AsapConfig::paper());
-            sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap()
-        })
-    });
-    g.bench_function("aj_pass", |b| {
-        b.iter(|| {
-            let mut k = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
-            ainsworth_jones(&mut k.func, &AjConfig::paper())
-        })
-    });
-    g.bench_function("licm_dce", |b| {
+    bench("passes/asap_inject", 200, || {
         let mut hook = AsapHook::new(AsapConfig::paper());
         let k = sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap();
-        b.iter(|| {
-            let mut f = k.func.clone();
-            licm(&mut f);
-            dce(&mut f)
-        })
+        std::hint::black_box(k);
     });
-    g.finish();
+    bench("passes/aj_pass", 200, || {
+        let mut k = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
+        ainsworth_jones(&mut k.func, &AjConfig::paper());
+        std::hint::black_box(k);
+    });
+    let mut hook = AsapHook::new(AsapConfig::paper());
+    let k = sparsify(&spec, &Format::csr(), IndexWidth::U32, Some(&mut hook)).unwrap();
+    bench("passes/licm_dce", 200, || {
+        let mut f = k.func.clone();
+        licm(&mut f);
+        dce(&mut f);
+        std::hint::black_box(f);
+    });
 }
 
-fn bench_execution(c: &mut Criterion) {
+fn bench_execution() {
     let tri = gen::erdos_renyi(20_000, 8, 7);
     let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
     let spec = KernelSpec::spmv(ValueKind::F64);
     let kernel = sparsify(&spec, &Format::csr(), sparse.index_width(), None).unwrap();
     let x = DenseTensor::from_f64(vec![20_000], vec![1.0; 20_000]);
-    let mut g = c.benchmark_group("execution");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(sparse.nnz() as u64));
-    g.bench_function("interpret_spmv_null", |b| {
-        b.iter(|| {
-            let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
-            run(&kernel, &sparse, &[&x], &mut out, &mut NullModel).unwrap()
-        })
+    bench("execution/interpret_spmv_null", 5, || {
+        let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
+        run(&kernel, &sparse, &[&x], &mut out, &mut NullModel).unwrap();
+        std::hint::black_box(out);
     });
-    g.bench_function("interpret_spmv_simulated", |b| {
-        b.iter(|| {
-            let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
-            let mut m = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
-            run(&kernel, &sparse, &[&x], &mut out, &mut m).unwrap()
-        })
+    bench("execution/interpret_spmv_simulated", 3, || {
+        let mut out = DenseTensor::zeros(ValueKind::F64, vec![20_000]);
+        let mut m = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
+        run(&kernel, &sparse, &[&x], &mut out, &mut m).unwrap();
+        std::hint::black_box(out);
     });
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(500))
-        .sample_size(20)
+fn main() {
+    // `cargo bench -- <filter>` runs only matching groups.
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let want = |group: &str| filter.is_empty() || group.contains(&filter);
+    println!("{:<40} {:>12}", "bench", "time");
+    if want("tensor_build") {
+        bench_tensor_build();
+    }
+    if want("sparsify") {
+        bench_sparsify();
+    }
+    if want("passes") {
+        bench_passes();
+    }
+    if want("execution") {
+        bench_execution();
+    }
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_tensor_build, bench_sparsify, bench_passes, bench_execution
-}
-criterion_main!(benches);

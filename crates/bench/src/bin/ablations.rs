@@ -12,6 +12,7 @@
 
 use asap_bench::Options;
 use asap_core::{compile_with_width, AsapConfig, PrefetchStrategy};
+use asap_ir::AsapError;
 use asap_matrices::gen;
 use asap_sim::{GracemontConfig, Machine, PrefetcherConfig, TlbConfig};
 use asap_sparsifier::KernelSpec;
@@ -22,21 +23,27 @@ fn simulate(
     x: &[f64],
     cfgp: AsapConfig,
     machine_cfg: GracemontConfig,
-) -> u64 {
+) -> Result<u64, AsapError> {
     let spec = KernelSpec::spmv(ValueKind::F64);
     let ck = compile_with_width(
         &spec,
         sparse.format(),
         sparse.index_width(),
         &PrefetchStrategy::Asap(cfgp),
-    )
-    .expect("compiles");
+    )?;
     let mut m = Machine::new(machine_cfg, PrefetcherConfig::optimized_spmv());
-    let _ = asap_core::run_spmv_f64_with(&ck, sparse, x, &mut m);
-    m.counters().cycles
+    asap_core::run_spmv_f64_with(&ck, sparse, x, &mut m)?;
+    Ok(m.counters().cycles)
 }
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let n = match opts.size {
         asap_matrices::SizeClass::Tiny => 8_000,
@@ -44,7 +51,7 @@ fn main() {
         asap_matrices::SizeClass::Full => 300_000,
     };
     let tri = gen::erdos_renyi(n, 8, 51);
-    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
     let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
     let cfg = GracemontConfig::scaled();
     let nnz = sparse.nnz() as f64;
@@ -53,7 +60,7 @@ fn main() {
     println!("# Ablation 1: prefetch distance sweep (SpMV, uniform random, n={n})");
     println!("{:>9} {:>12}", "distance", "nnz/ms");
     for d in [1, 2, 4, 8, 16, 32, 45, 64, 96, 128, 256] {
-        let c = simulate(&sparse, &x, AsapConfig::with_distance(d), cfg);
+        let c = simulate(&sparse, &x, AsapConfig::with_distance(d), cfg)?;
         println!("{d:>9} {:>12.0}", thrpt(c));
     }
 
@@ -67,7 +74,7 @@ fn main() {
                 ..AsapConfig::paper()
             },
             cfg,
-        );
+        )?;
         println!("{label:<16} {:>12.0} nnz/ms", thrpt(c));
     }
     println!("paper: omitting Step 1 consistently degraded performance");
@@ -82,7 +89,7 @@ fn main() {
                 ..AsapConfig::paper()
             },
             cfg,
-        );
+        )?;
         println!("locality<{loc}>      {:>12.0} nnz/ms", thrpt(c));
     }
     println!("paper uses locality<2>");
@@ -98,8 +105,9 @@ fn main() {
             &x,
             AsapConfig::paper(),
             GracemontConfig { tlb, ..cfg },
-        );
+        )?;
         println!("{label:<18} {:>12.0} nnz/ms", thrpt(c));
     }
     println!("paper: huge pages for all operands to curb TLB pressure from irregular accesses");
+    Ok(())
 }

@@ -6,16 +6,22 @@
 //! asap_cli --matrix path/to/matrix.mtx --kernel spmv --variant asap \
 //!          --hw optimized --distance 45
 //! asap_cli --gen rmat:16:8 --kernel spmm --variant aj
+//! asap_cli --sweep path/to/dir --variant asap   # skip-and-report sweep
 //! ```
 
-use asap_bench::{run_spmm, run_spmv, Variant, SPMM_COLS_F64};
+use asap_bench::{run_spmm, run_spmv, sweep_spmv_dir, Variant, SPMM_COLS_F64};
 use asap_matrices::{gen, read_matrix_market, Triplets};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 use std::io::BufReader;
+use std::path::PathBuf;
+
+enum Input {
+    Matrix(Triplets, String),
+    Sweep(PathBuf),
+}
 
 struct Args {
-    tri: Triplets,
-    name: String,
+    input: Input,
     kernel: String,
     variant: Variant,
     hw: (String, PrefetcherConfig),
@@ -24,7 +30,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: asap_cli (--matrix FILE.mtx | --gen KIND:ARGS) \
+        "usage: asap_cli (--matrix FILE.mtx | --gen KIND:ARGS | --sweep DIR) \
          [--kernel spmv|spmm] [--variant baseline|asap|aj] \
          [--distance N] [--hw default|optimized|off] [--paper-caches]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
@@ -32,31 +38,45 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Parse a generator spec like `er:4096:8`. Malformed specs (missing or
+/// non-numeric fields) print the usage instead of panicking on an index.
 fn parse_gen(spec: &str) -> (String, Triplets) {
     let parts: Vec<&str> = spec.split(':').collect();
-    let p = |i: usize| -> usize { parts[i].parse().expect("numeric generator arg") };
-    let tri = match parts[0] {
-        "rmat" => gen::rmat(p(1) as u32, p(2), 1),
-        "er" => gen::erdos_renyi(p(1), p(2), 1),
-        "road" => gen::road_network(p(1), 1),
-        "banded" => gen::banded(p(1), p(2), 1),
-        "powerlaw" => gen::power_law(p(1), p(2), 1.0, 1),
+    let p = |i: usize| -> usize {
+        parts
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("generator spec {spec}: field {i} missing or not a number");
+                usage()
+            })
+    };
+    let tri = match parts.first().copied() {
+        Some("rmat") => gen::rmat(p(1) as u32, p(2), 1),
+        Some("er") => gen::erdos_renyi(p(1), p(2), 1),
+        Some("road") => gen::road_network(p(1), 1),
+        Some("banded") => gen::banded(p(1), p(2), 1),
+        Some("powerlaw") => gen::power_law(p(1), p(2), 1.0, 1),
         _ => usage(),
     };
     let mut tri = tri;
+    devalue_binary(&mut tri);
+    (spec.to_string(), tri)
+}
+
+/// Give binary (pattern) matrices deterministic non-trivial f64 values.
+fn devalue_binary(tri: &mut Triplets) {
     if tri.binary {
         for (i, v) in tri.vals.iter_mut().enumerate() {
             *v = 0.25 + (i % 7) as f64 * 0.1;
         }
         tri.binary = false;
     }
-    (spec.to_string(), tri)
 }
 
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut tri = None;
-    let mut name = String::new();
+    let mut input = None;
     let mut kernel = "spmv".to_string();
     let mut variant_name = "asap".to_string();
     let mut distance = 45usize;
@@ -74,21 +94,18 @@ fn parse_args() -> Args {
                     eprintln!("cannot parse {path}: {e}");
                     std::process::exit(1);
                 });
-                name = path;
                 let mut t = t;
-                if t.binary {
-                    for (i, v) in t.vals.iter_mut().enumerate() {
-                        *v = 0.25 + (i % 7) as f64 * 0.1;
-                    }
-                    t.binary = false;
-                }
-                tri = Some(t);
+                devalue_binary(&mut t);
+                input = Some(Input::Matrix(t, path));
             }
             "--gen" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 let (n, t) = parse_gen(&spec);
-                name = n;
-                tri = Some(t);
+                input = Some(Input::Matrix(t, n));
+            }
+            "--sweep" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                input = Some(Input::Sweep(PathBuf::from(dir)));
             }
             "--kernel" => kernel = args.next().unwrap_or_else(|| usage()),
             "--variant" => variant_name = args.next().unwrap_or_else(|| usage()),
@@ -103,7 +120,7 @@ fn parse_args() -> Args {
             _ => usage(),
         }
     }
-    let tri = tri.unwrap_or_else(|| usage());
+    let input = input.unwrap_or_else(|| usage());
     let variant = match variant_name.as_str() {
         "baseline" => Variant::Baseline,
         "asap" => Variant::Asap { distance },
@@ -123,8 +140,7 @@ fn parse_args() -> Args {
         _ => usage(),
     };
     Args {
-        tri,
-        name,
+        input,
         kernel,
         variant,
         hw: (hw_name, hw),
@@ -139,22 +155,64 @@ fn main() {
     } else {
         GracemontConfig::scaled()
     };
+
+    let (tri, name) = match a.input {
+        Input::Sweep(dir) => {
+            let report =
+                sweep_spmv_dir(&dir, a.variant, a.hw.1, &a.hw.0, cfg).unwrap_or_else(|e| {
+                    eprintln!("sweep failed: {e}");
+                    std::process::exit(1);
+                });
+            print!("{}", report.summary());
+            for r in &report.results {
+                println!(
+                    "{:<24} {:>12.0} nnz/ms  {:>8.2} MPKI{}",
+                    r.matrix,
+                    r.throughput,
+                    r.l2_mpki,
+                    if r.warnings.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  [{} warning(s)]", r.warnings.len())
+                    }
+                );
+            }
+            // A sweep that skipped matrices still exits 0: skipping is
+            // the graceful-degradation contract, not a failure.
+            return;
+        }
+        Input::Matrix(tri, name) => (tri, name),
+    };
+
     println!(
         "matrix {} : {}x{}, {} nnz",
-        a.name,
-        a.tri.nrows,
-        a.tri.ncols,
-        a.tri.nnz()
+        name,
+        tri.nrows,
+        tri.ncols,
+        tri.nnz()
     );
-    let r = match a.kernel.as_str() {
-        "spmv" => run_spmv(
-            &a.tri, &a.name, "cli", true, a.variant, a.hw.1, &a.hw.0, cfg,
-        ),
+    let outcome = match a.kernel.as_str() {
+        "spmv" => run_spmv(&tri, &name, "cli", true, a.variant, a.hw.1, &a.hw.0, cfg),
         "spmm" => run_spmm(
-            &a.tri, &a.name, "cli", true, SPMM_COLS_F64, a.variant, a.hw.1, &a.hw.0, cfg,
+            &tri,
+            &name,
+            "cli",
+            true,
+            SPMM_COLS_F64,
+            a.variant,
+            a.hw.1,
+            &a.hw.0,
+            cfg,
         ),
         _ => usage(),
     };
+    let r = outcome.unwrap_or_else(|e| {
+        eprintln!("run failed [{}]: {e}", e.kind());
+        std::process::exit(1);
+    });
+    for w in &r.warnings {
+        eprintln!("warning: {w}");
+    }
     println!("kernel        : {}", r.kernel);
     println!("variant       : {}", r.variant);
     println!("hw prefetchers: {}", r.hw_config);
@@ -162,8 +220,15 @@ fn main() {
     println!("instructions  : {}", r.instructions);
     println!("throughput    : {:.0} nnz/ms", r.throughput);
     println!("L2 MPKI       : {:.2}", r.l2_mpki);
-    println!("sw prefetches : {} issued, {} dropped", r.sw_pf_issued, r.sw_pf_dropped);
+    println!(
+        "sw prefetches : {} issued, {} dropped",
+        r.sw_pf_issued, r.sw_pf_dropped
+    );
     println!("hw prefetches : {} issued", r.hw_pf_issued);
     println!("DRAM traffic  : {:.1} MB", r.dram_bytes as f64 / 1e6);
-    println!("stall cycles  : {} ({:.1}%)", r.stall_cycles, 100.0 * r.stall_cycles as f64 / r.cycles as f64);
+    println!(
+        "stall cycles  : {} ({:.1}%)",
+        r.stall_cycles,
+        100.0 * r.stall_cycles as f64 / r.cycles as f64
+    );
 }

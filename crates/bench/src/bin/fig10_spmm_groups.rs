@@ -5,11 +5,21 @@
 //! ~1.02x for the rest; hardware-prefetcher configuration differences are
 //! negligible for SpMM (which is why Figure 10 omits the "-default" bars).
 
-use asap_bench::{harmonic_mean, run_spmm, ExperimentResult, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64};
+use asap_bench::{
+    harmonic_mean, run_spmm, ExperimentResult, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64,
+};
+use asap_ir::AsapError;
 use asap_matrices::{spmm_collection, UNSTRUCTURED_GROUPS};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmm();
@@ -22,13 +32,29 @@ fn main() {
         let tri = m.materialize();
         groups.push((m.group.clone(), m.unstructured));
         let b = run_spmm(
-            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
-            Variant::Baseline, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            SPMM_COLS_F64,
+            Variant::Baseline,
+            pf,
+            "optimized",
+            cfg,
+        )?;
         let a = run_spmm(
-            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
-            Variant::Asap { distance: PAPER_DISTANCE }, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            SPMM_COLS_F64,
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            pf,
+            "optimized",
+            cfg,
+        )?;
         base_thr.push(b.throughput);
         asap_thr.push(a.throughput);
         results.push(b);
@@ -46,8 +72,18 @@ fn main() {
             "Others" => !groups[i].1,
             name => groups[i].0 == name,
         };
-        let a: Vec<f64> = asap_thr.iter().enumerate().filter(|(i, _)| pick(*i)).map(|(_, &t)| t).collect();
-        let b: Vec<f64> = base_thr.iter().enumerate().filter(|(i, _)| pick(*i)).map(|(_, &t)| t).collect();
+        let a: Vec<f64> = asap_thr
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick(*i))
+            .map(|(_, &t)| t)
+            .collect();
+        let b: Vec<f64> = base_thr
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| pick(*i))
+            .map(|(_, &t)| t)
+            .collect();
         if a.is_empty() {
             println!("{g:<12} {:>9}", "-");
         } else {
@@ -56,5 +92,6 @@ fn main() {
     }
     println!();
     println!("paper reference: Selected ~1.28, Others ~1.02");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

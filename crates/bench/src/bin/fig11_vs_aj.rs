@@ -8,19 +8,55 @@
 //! marginally (~1.02x).
 
 use asap_bench::{harmonic_mean, run_spmv, ExperimentResult, Options, Variant, PAPER_DISTANCE};
+use asap_ir::AsapError;
 use asap_matrices::{synthetic_collection, UNSTRUCTURED_GROUPS};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 use std::collections::BTreeMap;
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     let configs = [
-        ("baseline", Variant::Baseline, PrefetcherConfig::optimized_spmv()),
-        ("asap", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::optimized_spmv()),
-        ("asap-default", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::hw_default()),
-        ("aj", Variant::AinsworthJones { distance: PAPER_DISTANCE }, PrefetcherConfig::optimized_spmv()),
-        ("aj-default", Variant::AinsworthJones { distance: PAPER_DISTANCE }, PrefetcherConfig::hw_default()),
+        (
+            "baseline",
+            Variant::Baseline,
+            PrefetcherConfig::optimized_spmv(),
+        ),
+        (
+            "asap",
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::optimized_spmv(),
+        ),
+        (
+            "asap-default",
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::hw_default(),
+        ),
+        (
+            "aj",
+            Variant::AinsworthJones {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::optimized_spmv(),
+        ),
+        (
+            "aj-default",
+            Variant::AinsworthJones {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::hw_default(),
+        ),
     ];
 
     let mut thr: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
@@ -30,7 +66,7 @@ fn main() {
         let tri = m.materialize();
         groups.push((m.group.clone(), m.unstructured));
         for (label, v, pf) in &configs {
-            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg);
+            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg)?;
             thr.entry(label).or_default().push(r.throughput);
             results.push(r);
         }
@@ -63,11 +99,22 @@ fn main() {
                 Some(harmonic_mean(&v))
             }
         };
-        match (hm("baseline"), hm("asap"), hm("asap-default"), hm("aj"), hm("aj-default")) {
+        match (
+            hm("baseline"),
+            hm("asap"),
+            hm("asap-default"),
+            hm("aj"),
+            hm("aj-default"),
+        ) {
             (Some(b), Some(a), Some(ad), Some(j), Some(jd)) => {
                 println!(
                     "{:<12} {:>8.3} {:>13.3} {:>8.3} {:>11.3} {:>9.3}",
-                    g, a / b, ad / b, j / b, jd / b, a / j
+                    g,
+                    a / b,
+                    ad / b,
+                    j / b,
+                    jd / b,
+                    a / j
                 );
             }
             _ => println!("{g:<12} {:>8}", "-"),
@@ -75,5 +122,6 @@ fn main() {
     }
     println!();
     println!("paper reference: Selected asap/aj ~1.38; optimized helps aj only ~1.02x");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

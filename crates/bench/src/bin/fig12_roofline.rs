@@ -8,15 +8,25 @@
 //! in intensity from the extra prefetch-issued memory traffic.
 
 use asap_bench::{run_spmv_threads, ExperimentResult, Options, Variant, PAPER_DISTANCE};
+use asap_ir::AsapError;
 use asap_matrices::{synthetic_collection, GenSpec};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmv();
 
     // The GAP/twitter-like entry of the collection.
+    // invariant: every size class of the synthetic collection includes
+    // the GAP/twitter-like entry (collection.rs constructs it statically).
     let m = synthetic_collection(opts.size)
         .into_iter()
         .find(|m| m.name == "GAP/twitter-like")
@@ -26,7 +36,11 @@ fn main() {
 
     let peak_gflops = cfg.freq_hz as f64 * cfg.ipc_base as f64 / 1e9;
     let peak_bw = cfg.freq_hz as f64 * 64.0 / cfg.dram_line_interval as f64 / 1e9;
-    println!("# Figure 12: roofline, SpMV on {} ({} nnz)", m.name, tri.nnz());
+    println!(
+        "# Figure 12: roofline, SpMV on {} ({} nnz)",
+        m.name,
+        tri.nnz()
+    );
     println!("peak compute: {peak_gflops:.1} GFLOP/s; DRAM bandwidth: {peak_bw:.1} GB/s");
     println!(
         "{:<9} {:>8} {:>12} {:>10} {:>12} {:>10}",
@@ -34,12 +48,27 @@ fn main() {
     );
 
     let mut results: Vec<ExperimentResult> = Vec::new();
-    let mut base_gflops = vec![0.0f64; 9];
-    for v in [Variant::Baseline, Variant::Asap { distance: PAPER_DISTANCE }] {
+    let mut base_gflops = [0.0f64; 9];
+    for v in [
+        Variant::Baseline,
+        Variant::Asap {
+            distance: PAPER_DISTANCE,
+        },
+    ] {
+        // `threads` doubles as thread count and speedup-table slot.
+        #[allow(clippy::needless_range_loop)]
         for threads in 1..=8usize {
             let r = run_spmv_threads(
-                &tri, &m.name, &m.group, true, v, pf, "optimized", cfg, threads,
-            );
+                &tri,
+                &m.name,
+                &m.group,
+                true,
+                v,
+                pf,
+                "optimized",
+                cfg,
+                threads,
+            )?;
             let flops = 2.0 * r.nnz as f64;
             let secs = cfg.cycles_to_seconds(r.cycles);
             let gflops = flops / secs / 1e9;
@@ -66,5 +95,6 @@ fn main() {
     println!();
     println!("paper reference: ASaP above baseline throughout; peak gain (~28%) at 3 threads;");
     println!("ASaP's AI slightly left of baseline's (extra prefetch traffic).");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

@@ -6,10 +6,18 @@
 //! >2x speedups for the most memory-bound matrices.
 
 use asap_bench::{linear_fit, run_spmv, Options, Variant, PAPER_DISTANCE};
+use asap_ir::AsapError;
 use asap_matrices::synthetic_collection;
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmv();
@@ -18,17 +26,34 @@ fn main() {
     let mut ys = Vec::new();
 
     println!("# Figure 6: SpMV speedup (ASaP/baseline) vs baseline L2 MPKI");
-    println!("{:<24} {:>10} {:>10} {:>8}", "matrix", "mpki", "speedup", "nnz(M)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "matrix", "mpki", "speedup", "nnz(M)"
+    );
     for m in synthetic_collection(opts.size) {
         let tri = m.materialize();
         let base = run_spmv(
-            &tri, &m.name, &m.group, m.unstructured,
-            Variant::Baseline, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            Variant::Baseline,
+            pf,
+            "optimized",
+            cfg,
+        )?;
         let asap = run_spmv(
-            &tri, &m.name, &m.group, m.unstructured,
-            Variant::Asap { distance: PAPER_DISTANCE }, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            pf,
+            "optimized",
+            cfg,
+        )?;
         let speedup = asap.throughput / base.throughput;
         println!(
             "{:<24} {:>10.2} {:>10.3} {:>8.2}",
@@ -49,5 +74,6 @@ fn main() {
     println!("linear fit: y = {slope:.4}x + {intercept:.3}  (R^2 = {r2:.3})");
     println!("break-even MPKI: {breakeven:.2}");
     println!("paper reference: break-even ~4 MPKI, y(0) ~0.9, y(50) > 2");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

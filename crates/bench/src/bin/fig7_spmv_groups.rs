@@ -7,18 +7,46 @@
 //! is roughly insensitive to the configuration; "Others" regresses (~0.8x).
 
 use asap_bench::{harmonic_mean, run_spmv, ExperimentResult, Options, Variant, PAPER_DISTANCE};
+use asap_ir::AsapError;
 use asap_matrices::{synthetic_collection, UNSTRUCTURED_GROUPS};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 use std::collections::BTreeMap;
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     let configs = [
-        ("baseline", Variant::Baseline, PrefetcherConfig::optimized_spmv()),
-        ("baseline-default", Variant::Baseline, PrefetcherConfig::hw_default()),
-        ("asap", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::optimized_spmv()),
-        ("asap-default", Variant::Asap { distance: PAPER_DISTANCE }, PrefetcherConfig::hw_default()),
+        (
+            "baseline",
+            Variant::Baseline,
+            PrefetcherConfig::optimized_spmv(),
+        ),
+        (
+            "baseline-default",
+            Variant::Baseline,
+            PrefetcherConfig::hw_default(),
+        ),
+        (
+            "asap",
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::optimized_spmv(),
+        ),
+        (
+            "asap-default",
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            PrefetcherConfig::hw_default(),
+        ),
     ];
 
     // throughput[config][matrix index]
@@ -29,7 +57,7 @@ fn main() {
         let tri = m.materialize();
         groups.push((m.group.clone(), m.unstructured));
         for (label, v, pf) in &configs {
-            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg);
+            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg)?;
             thr.entry(label).or_default().push(r.throughput);
             results.push(r);
         }
@@ -86,5 +114,6 @@ fn main() {
     }
     println!();
     println!("paper reference: Selected asap ~1.42, Others asap ~0.8, asap > asap-default");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

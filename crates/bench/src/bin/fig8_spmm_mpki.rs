@@ -6,10 +6,18 @@
 //! regression line starting near 1.0.
 
 use asap_bench::{linear_fit, run_spmm, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64};
+use asap_ir::AsapError;
 use asap_matrices::spmm_collection;
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
     let cfg = GracemontConfig::scaled();
     // Table 2: the L2 AMP stays on for SpMM (2D-stride friendly).
@@ -18,21 +26,43 @@ fn main() {
     let (mut xs, mut ys) = (Vec::new(), Vec::new());
 
     println!("# Figure 8: SpMM speedup (ASaP/baseline) vs baseline L2 MPKI");
-    println!("{:<24} {:>10} {:>10} {:>8}", "matrix", "mpki", "speedup", "nnz(M)");
+    println!(
+        "{:<24} {:>10} {:>10} {:>8}",
+        "matrix", "mpki", "speedup", "nnz(M)"
+    );
     for m in spmm_collection(opts.size) {
         let tri = m.materialize();
         let base = run_spmm(
-            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
-            Variant::Baseline, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            SPMM_COLS_F64,
+            Variant::Baseline,
+            pf,
+            "optimized",
+            cfg,
+        )?;
         let asap = run_spmm(
-            &tri, &m.name, &m.group, m.unstructured, SPMM_COLS_F64,
-            Variant::Asap { distance: PAPER_DISTANCE }, pf, "optimized", cfg,
-        );
+            &tri,
+            &m.name,
+            &m.group,
+            m.unstructured,
+            SPMM_COLS_F64,
+            Variant::Asap {
+                distance: PAPER_DISTANCE,
+            },
+            pf,
+            "optimized",
+            cfg,
+        )?;
         let speedup = asap.throughput / base.throughput;
         println!(
             "{:<24} {:>10.2} {:>10.3} {:>8.2}",
-            m.name, base.l2_mpki, speedup, base.nnz as f64 / 1e6
+            m.name,
+            base.l2_mpki,
+            speedup,
+            base.nnz as f64 / 1e6
         );
         xs.push(base.l2_mpki);
         ys.push(speedup);
@@ -44,5 +74,6 @@ fn main() {
     println!();
     println!("linear fit: y = {slope:.4}x + {intercept:.3}  (R^2 = {r2:.3})");
     println!("paper reference: y = 0.706x + 0.995 (R^2 = 0.776); slope >> SpMV's");
-    opts.save(&results);
+    opts.save(&results)?;
+    Ok(())
 }

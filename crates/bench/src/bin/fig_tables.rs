@@ -18,10 +18,7 @@ fn print_table1(cfg: &GracemontConfig, label: &str) {
         "Latencies (L1/L2/L3) | {} / {} / {} cycles",
         cfg.l1.latency, cfg.l2.latency, cfg.l3.latency
     );
-    println!(
-        "MSHRs (L1/L2)        | {} / {}",
-        cfg.l1_mshrs, cfg.l2_mshrs
-    );
+    println!("MSHRs (L1/L2)        | {} / {}", cfg.l1_mshrs, cfg.l2_mshrs);
     println!(
         "DRAM                 | {} cycles latency, 1 line / {} cycles (~{:.1} GB/s)",
         cfg.dram_latency,

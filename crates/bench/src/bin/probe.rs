@@ -3,11 +3,19 @@
 //! paper's artifact set, but useful when tuning the machine model.
 
 use asap_bench::{run_spmv, Variant, PAPER_DISTANCE};
+use asap_ir::AsapError;
 use asap_matrices::gen;
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 use std::time::Instant;
 
 fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn real_main() -> Result<(), AsapError> {
     let cfg = GracemontConfig::scaled();
     let matrices = [
         ("er-300k", gen::erdos_renyi(300_000, 8, 51), true),
@@ -36,7 +44,7 @@ fn main() {
         for v in &variants {
             for (hw_name, pf) in &hw {
                 let t0 = Instant::now();
-                let r = run_spmv(tri, name, "probe", *unstructured, *v, *pf, hw_name, cfg);
+                let r = run_spmv(tri, name, "probe", *unstructured, *v, *pf, hw_name, cfg)?;
                 println!(
                     "{:<14} {:<10} {:<10} {:>8.2} {:>10.0} {:>8.2} {:>10} {:>10} {:>9.1}%",
                     name,
@@ -53,4 +61,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

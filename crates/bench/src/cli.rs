@@ -1,9 +1,28 @@
 //! Tiny argument parsing and result persistence shared by the `fig*`
 //! binaries (no external CLI crate needed).
 
-use crate::run::ExperimentResult;
+use crate::run::{results_to_json, ExperimentResult};
 use asap_matrices::SizeClass;
+use std::fmt;
 use std::path::PathBuf;
+
+/// A command-line usage error: the message to print next to the usage
+/// string. Distinct from `AsapError` — nothing downstream of argument
+/// parsing ever sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (usage: [--size tiny|small|full] [--out <path.json>])",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UsageError {}
 
 /// Common options: `--size tiny|small|full` and `--out <path.json>`.
 #[derive(Debug, Clone)]
@@ -13,42 +32,61 @@ pub struct Options {
 }
 
 impl Options {
+    /// Parse `std::env::args`, printing the usage error and exiting with
+    /// status 2 on bad input (the binaries' single user-facing boundary).
     pub fn from_args() -> Options {
-        Options::parse(std::env::args().skip(1))
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 
-    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, UsageError> {
         let mut size = SizeClass::Full;
         let mut out = None;
         let mut it = args.peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--size" => {
-                    let v = it.next().expect("--size needs a value");
+                    let v = it
+                        .next()
+                        .ok_or_else(|| UsageError("--size needs a value".into()))?;
                     size = match v.as_str() {
                         "tiny" => SizeClass::Tiny,
                         "small" => SizeClass::Small,
                         "full" => SizeClass::Full,
-                        other => panic!("unknown size {other} (tiny|small|full)"),
+                        other => {
+                            return Err(UsageError(format!(
+                                "unknown size {other} (tiny|small|full)"
+                            )))
+                        }
                     };
                 }
-                "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a path"))),
-                other => panic!("unknown argument {other}"),
+                "--out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| UsageError("--out needs a path".into()))?;
+                    out = Some(PathBuf::from(v));
+                }
+                other => return Err(UsageError(format!("unknown argument {other}"))),
             }
         }
-        Options { size, out }
+        Ok(Options { size, out })
     }
 
     /// Dump results as JSON next to printing the table.
-    pub fn save(&self, results: &[ExperimentResult]) {
+    pub fn save(&self, results: &[ExperimentResult]) -> std::io::Result<()> {
         if let Some(path) = &self.out {
             if let Some(dir) = path.parent() {
-                std::fs::create_dir_all(dir).expect("create output dir");
+                std::fs::create_dir_all(dir)?;
             }
-            let json = serde_json::to_string_pretty(results).expect("serialize results");
-            std::fs::write(path, json).expect("write results");
+            std::fs::write(path, results_to_json(results))?;
             eprintln!("wrote {}", path.display());
         }
+        Ok(())
     }
 }
 
@@ -72,7 +110,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
         })
         .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (slope, intercept, r2)
 }
 
@@ -86,14 +128,15 @@ mod tests {
             ["--size", "tiny", "--out", "/tmp/x.json"]
                 .iter()
                 .map(|s| s.to_string()),
-        );
+        )
+        .unwrap();
         assert_eq!(o.size, SizeClass::Tiny);
         assert_eq!(o.out.unwrap().to_str().unwrap(), "/tmp/x.json");
     }
 
     #[test]
     fn default_is_full() {
-        let o = Options::parse(std::iter::empty());
+        let o = Options::parse(std::iter::empty()).unwrap();
         assert_eq!(o.size, SizeClass::Full);
         assert!(o.out.is_none());
     }
@@ -109,8 +152,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown size")]
-    fn rejects_bad_size() {
-        Options::parse(["--size", "huge"].iter().map(|s| s.to_string()));
+    fn rejects_bad_size_without_panicking() {
+        let err = Options::parse(["--size", "huge"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.to_string().contains("unknown size huge"));
+        assert!(err.to_string().contains("usage:"));
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        let err = Options::parse(["--out"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.to_string().contains("--out needs a path"));
     }
 }

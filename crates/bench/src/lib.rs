@@ -11,12 +11,13 @@ pub mod predict;
 pub mod run;
 pub mod table;
 
+pub use cli::{linear_fit, Options, UsageError};
 pub use ews::{ews_speedup, harmonic_mean};
-pub use run::{
-    run_spmm, run_spmm_threads, run_spmv, run_spmv_threads, ExperimentResult, Variant,
-};
-pub use cli::{linear_fit, Options};
 pub use predict::{aj_coverage, predict_asap_over_aj, predicted_advantage};
+pub use run::{
+    results_to_json, run_spmm, run_spmm_threads, run_spmv, run_spmv_threads, sweep_spmv_dir,
+    ExperimentResult, SkippedMatrix, SweepReport, Variant,
+};
 pub use table::{fmt_f64, markdown_table};
 
 /// Paper-fixed prefetch distance (Section 4.3).

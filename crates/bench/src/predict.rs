@@ -120,14 +120,34 @@ mod tests {
         }
         tri.binary = false;
         let pf = PrefetcherConfig::optimized_spmv();
-        let asap = run_spmv(&tri, "t", "g", true, Variant::Asap { distance: 45 }, pf, "o", cfg);
+        let asap = run_spmv(
+            &tri,
+            "t",
+            "g",
+            true,
+            Variant::Asap { distance: 45 },
+            pf,
+            "o",
+            cfg,
+        )
+        .unwrap();
         let aj = run_spmv(
-            &tri, "t", "g", true,
-            Variant::AinsworthJones { distance: 45 }, pf, "o", cfg,
-        );
+            &tri,
+            "t",
+            "g",
+            true,
+            Variant::AinsworthJones { distance: 45 },
+            pf,
+            "o",
+            cfg,
+        )
+        .unwrap();
         let measured = asap.throughput / aj.throughput;
         let predicted = predict_asap_over_aj(&tri, 45);
-        assert!(measured > 1.2, "short rows must show an advantage: {measured:.2}");
+        assert!(
+            measured > 1.2,
+            "short rows must show an advantage: {measured:.2}"
+        );
         // Same side of 1.0 and within a loose factor.
         assert!(
             predicted > 1.2 && (predicted / measured) < 3.0 && (measured / predicted) < 3.0,

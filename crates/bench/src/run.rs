@@ -1,13 +1,19 @@
 //! Running one (matrix, kernel, variant, prefetcher-config) experiment on
 //! the simulator and extracting the paper's metrics.
+//!
+//! All entry points return `Result<_, AsapError>` — a malformed matrix or
+//! a kernel that fails to bind is reported, never a panic. The directory
+//! sweep ([`sweep_spmv_dir`]) goes one step further: a failure on one
+//! matrix is recorded in the [`SweepReport::skipped`] list and the sweep
+//! continues with the rest of the collection.
 
 use asap_core::{compile_with_width, CompiledKernel, PrefetchStrategy};
-use asap_ir::{interpret, V};
-use asap_matrices::Triplets;
+use asap_ir::{interpret, AsapError, V};
+use asap_matrices::{read_matrix_market, Triplets};
 use asap_sim::{run_parallel, GracemontConfig, Machine, PrefetcherConfig};
 use asap_sparsifier::{bind, KernelArg, KernelSpec};
 use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
-use serde::Serialize;
+use std::path::Path;
 
 /// Which implementation variant to run (paper Section 4.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,7 +42,7 @@ impl Variant {
 }
 
 /// One experiment's outcome, serializable for EXPERIMENTS.md tooling.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     pub matrix: String,
     pub group: String,
@@ -58,8 +64,76 @@ pub struct ExperimentResult {
     pub hw_pf_issued: u64,
     pub dram_bytes: u64,
     pub stall_cycles: u64,
+    /// Compile warnings (graceful-degradation fallbacks) hit while
+    /// building this run's kernel(s). Empty on a clean compile.
+    pub warnings: Vec<String>,
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ExperimentResult {
+    /// Hand-rolled JSON object (no external serialization crate).
+    pub fn to_json(&self) -> String {
+        let warnings: Vec<String> = self
+            .warnings
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"matrix\":\"{}\",\"group\":\"{}\",\"unstructured\":{},",
+                "\"kernel\":\"{}\",\"variant\":\"{}\",\"hw_config\":\"{}\",",
+                "\"threads\":{},\"nnz\":{},\"cycles\":{},\"instructions\":{},",
+                "\"throughput\":{},\"l2_mpki\":{},\"sw_pf_issued\":{},",
+                "\"sw_pf_dropped\":{},\"hw_pf_issued\":{},\"dram_bytes\":{},",
+                "\"stall_cycles\":{},\"warnings\":[{}]}}"
+            ),
+            json_escape(&self.matrix),
+            json_escape(&self.group),
+            self.unstructured,
+            json_escape(&self.kernel),
+            json_escape(&self.variant),
+            json_escape(&self.hw_config),
+            self.threads,
+            self.nnz,
+            self.cycles,
+            self.instructions,
+            self.throughput,
+            self.l2_mpki,
+            self.sw_pf_issued,
+            self.sw_pf_dropped,
+            self.hw_pf_issued,
+            self.dram_bytes,
+            self.stall_cycles,
+            warnings.join(",")
+        )
+    }
+}
+
+/// JSON array of results, one object per line.
+pub fn results_to_json(results: &[ExperimentResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn result_from(
     name: &str,
     group: &str,
@@ -72,6 +146,7 @@ fn result_from(
     cfg: &GracemontConfig,
     agg: asap_sim::Counters,
     dram_bytes: u64,
+    warnings: Vec<String>,
 ) -> ExperimentResult {
     let ms = cfg.cycles_to_seconds(agg.cycles) * 1e3;
     ExperimentResult {
@@ -92,6 +167,7 @@ fn result_from(
         hw_pf_issued: agg.hw_pf_issued,
         dram_bytes,
         stall_cycles: agg.stall_cycles,
+        warnings,
     }
 }
 
@@ -100,15 +176,19 @@ fn x_vector(n: usize) -> Vec<f64> {
     (0..n).map(|i| 0.25 + (i % 31) as f64 * 0.125).collect()
 }
 
-fn compile_spmv(t: &SparseTensor, variant: Variant) -> CompiledKernel {
+fn compile_spmv(t: &SparseTensor, variant: Variant) -> Result<CompiledKernel, AsapError> {
     let spec = KernelSpec::spmv(ValueKind::F64);
     compile_with_width(&spec, t.format(), t.index_width(), &variant.strategy())
-        .expect("spmv compiles")
+}
+
+fn warning_strings(ck: &CompiledKernel) -> Vec<String> {
+    ck.warnings.iter().map(|w| w.to_string()).collect()
 }
 
 /// Single-threaded SpMV of `tri` under the given variant and hardware
 /// prefetcher configuration. The result is verified against the dense
 /// reference.
+#[allow(clippy::too_many_arguments)]
 pub fn run_spmv(
     tri: &Triplets,
     name: &str,
@@ -118,15 +198,15 @@ pub fn run_spmv(
     pf: PrefetcherConfig,
     hw_name: &str,
     cfg: GracemontConfig,
-) -> ExperimentResult {
-    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
-    let ck = compile_spmv(&sparse, variant);
+) -> Result<ExperimentResult, AsapError> {
+    let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
+    let ck = compile_spmv(&sparse, variant)?;
     let x = x_vector(tri.ncols);
     let mut machine = Machine::new(cfg, pf);
-    let y = asap_core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
-    verify_close(&y, &tri.dense_spmv(&x), name);
+    let y = asap_core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine)?;
+    verify_close(&y, &tri.dense_spmv(&x), name)?;
     let dram = machine.dram_bytes_total();
-    result_from(
+    Ok(result_from(
         name,
         group,
         unstructured,
@@ -138,10 +218,12 @@ pub fn run_spmv(
         &cfg,
         machine.counters(),
         dram,
-    )
+        warning_strings(&ck),
+    ))
 }
 
 /// Single-threaded SpMM (`A = B·C`, `n_cols` dense columns).
+#[allow(clippy::too_many_arguments)]
 pub fn run_spmm(
     tri: &Triplets,
     name: &str,
@@ -152,11 +234,15 @@ pub fn run_spmm(
     pf: PrefetcherConfig,
     hw_name: &str,
     cfg: GracemontConfig,
-) -> ExperimentResult {
-    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+) -> Result<ExperimentResult, AsapError> {
+    let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
     let spec = KernelSpec::spmm(ValueKind::F64);
-    let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &variant.strategy())
-        .expect("spmm compiles");
+    let ck = compile_with_width(
+        &spec,
+        sparse.format(),
+        sparse.index_width(),
+        &variant.strategy(),
+    )?;
     let c = DenseTensor::from_f64(
         vec![tri.ncols, n_cols],
         (0..tri.ncols * n_cols)
@@ -164,13 +250,13 @@ pub fn run_spmm(
             .collect(),
     );
     let mut machine = Machine::new(cfg, pf);
-    let a = asap_core::run_spmm_f64_with(&ck, &sparse, &c, &mut machine);
+    let a = asap_core::run_spmm_f64_with(&ck, &sparse, &c, &mut machine)?;
     // Spot-verify one column against the SpMV reference.
     let col0: Vec<f64> = (0..tri.ncols).map(|j| c.as_f64()[j * n_cols]).collect();
     let a0: Vec<f64> = (0..tri.nrows).map(|i| a.as_f64()[i * n_cols]).collect();
-    verify_close(&a0, &tri.dense_spmv(&col0), name);
+    verify_close(&a0, &tri.dense_spmv(&col0), name)?;
     let dram = machine.dram_bytes_total();
-    result_from(
+    Ok(result_from(
         name,
         group,
         unstructured,
@@ -182,7 +268,8 @@ pub fn run_spmm(
         &cfg,
         machine.counters(),
         dram,
-    )
+        warning_strings(&ck),
+    ))
 }
 
 /// Slice rows `[r0, r1)` of a matrix into a standalone sub-matrix.
@@ -224,10 +311,58 @@ fn partition_rows(tri: &Triplets, n: usize) -> Vec<(usize, usize)> {
 /// address space (so the shared L3 sees one copy, as on real hardware).
 const SHARED_X_BASE: u64 = 0x40_0000_0000;
 
+/// Per-thread prepared run (kernel + bound buffers).
+struct Prepared {
+    ck: CompiledKernel,
+    bufs: asap_ir::Buffers,
+    args: Vec<V>,
+}
+
+/// Run prepared per-thread kernels on the shared-uncore simulator,
+/// propagating the first interpreter trap instead of panicking inside
+/// the worker closure.
+fn run_prepared_parallel(
+    cfg: GracemontConfig,
+    pf: PrefetcherConfig,
+    n_threads: usize,
+    prepared: Vec<std::sync::Mutex<Option<Prepared>>>,
+) -> Result<(asap_sim::MulticoreResult, u64), AsapError> {
+    let total_dram = std::sync::atomic::AtomicU64::new(0);
+    let errors: std::sync::Mutex<Vec<AsapError>> = std::sync::Mutex::new(Vec::new());
+    let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
+        // invariant: each tid owns exactly one slot, taken exactly once;
+        // a poisoned lock can only follow a panic elsewhere, so treat it
+        // as "nothing to run" rather than panicking again.
+        let Some(mut p) = prepared[tid].lock().ok().and_then(|mut s| s.take()) else {
+            return;
+        };
+        if let Err(e) = interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine) {
+            if let Ok(mut errs) = errors.lock() {
+                errs.push(e.into());
+            }
+            return;
+        }
+        total_dram.store(
+            machine.dram_bytes_total(),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+    });
+    if let Some(e) = errors
+        .into_inner()
+        .ok()
+        .and_then(|mut v| v.drain(..).next())
+    {
+        return Err(e);
+    }
+    let dram = total_dram.load(std::sync::atomic::Ordering::Relaxed);
+    Ok((result, dram))
+}
+
 /// Multi-threaded SpMV: contiguous row partitions of roughly equal nnz,
 /// one simulated core per thread, shared L3/DRAM, `x` mapped at the same
 /// address in all cores (paper Figure 12 setup, the sparsifier's
 /// `dense-outer-loop` parallelization strategy).
+#[allow(clippy::too_many_arguments)]
 pub fn run_spmv_threads(
     tri: &Triplets,
     name: &str,
@@ -238,60 +373,39 @@ pub fn run_spmv_threads(
     hw_name: &str,
     cfg: GracemontConfig,
     n_threads: usize,
-) -> ExperimentResult {
+) -> Result<ExperimentResult, AsapError> {
     let x = x_vector(tri.ncols);
     let parts = partition_rows(tri, n_threads);
 
-    // Per-thread prepared runs (kernel + bound buffers).
-    struct Prepared {
-        ck: CompiledKernel,
-        bufs: asap_ir::Buffers,
-        args: Vec<V>,
+    let mut warnings = Vec::new();
+    let mut prepared: Vec<std::sync::Mutex<Option<Prepared>>> = Vec::with_capacity(parts.len());
+    for &(r0, r1) in &parts {
+        let slice = row_slice(tri, r0, r1);
+        let sparse = SparseTensor::try_from_coo(&slice.try_to_coo_f64()?, Format::csr())?;
+        let ck = compile_spmv(&sparse, variant)?;
+        let xt = DenseTensor::from_f64(vec![tri.ncols], x.clone());
+        let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0]);
+        let mut bound = bind(&ck.kernel, &sparse, &[&xt], &out)?;
+        // Re-map the x buffer to the shared address.
+        let x_pos = ck
+            .kernel
+            .arg_position(KernelArg::DenseInput { input: 1 })
+            .ok_or_else(|| AsapError::binding("spmv kernel has no dense input argument"))?;
+        let V::Mem(x_buf) = bound.args[x_pos] else {
+            return Err(AsapError::binding("dense input did not bind to a buffer"));
+        };
+        bound.bufs.get_mut(x_buf).base_addr = SHARED_X_BASE;
+        warnings.extend(warning_strings(&ck));
+        prepared.push(std::sync::Mutex::new(Some(Prepared {
+            ck,
+            bufs: bound.bufs,
+            args: bound.args,
+        })));
     }
-    let prepared: Vec<std::sync::Mutex<Option<Prepared>>> = parts
-        .iter()
-        .map(|&(r0, r1)| {
-            let slice = row_slice(tri, r0, r1);
-            let sparse = SparseTensor::from_coo(&slice.to_coo_f64(), Format::csr());
-            let ck = compile_spmv(&sparse, variant);
-            let xt = DenseTensor::from_f64(vec![tri.ncols], x.clone());
-            let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0]);
-            let mut bound =
-                bind(&ck.kernel, &sparse, &[&xt], &out).expect("binding a prepared slice");
-            // Re-map the x buffer to the shared address.
-            let x_pos = ck
-                .kernel
-                .arg_position(KernelArg::DenseInput { input: 1 })
-                .expect("spmv has one dense input");
-            let V::Mem(x_buf) = bound.args[x_pos] else {
-                unreachable!("dense input binds to a buffer");
-            };
-            bound.bufs.get_mut(x_buf).base_addr = SHARED_X_BASE;
-            std::sync::Mutex::new(Some(Prepared {
-                ck,
-                bufs: bound.bufs,
-                args: bound.args,
-            }))
-        })
-        .collect();
 
     let nnz = tri.nnz();
-    let total_dram = std::sync::atomic::AtomicU64::new(0);
-    let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
-        let mut p = prepared[tid]
-            .lock()
-            .expect("prepared lock")
-            .take()
-            .expect("each partition runs once");
-        interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine)
-            .expect("simulated spmv run failed");
-        total_dram.store(
-            machine.dram_bytes_total(),
-            std::sync::atomic::Ordering::Relaxed,
-        );
-    });
-    let dram = total_dram.load(std::sync::atomic::Ordering::Relaxed);
-    result_from(
+    let (result, dram) = run_prepared_parallel(cfg, pf, n_threads, prepared)?;
+    Ok(result_from(
         name,
         group,
         unstructured,
@@ -303,10 +417,12 @@ pub fn run_spmv_threads(
         &cfg,
         result.aggregate,
         dram.max(result.dram_bytes),
-    )
+        warnings,
+    ))
 }
 
 /// Multi-threaded SpMM (row-partitioned, shared dense C).
+#[allow(clippy::too_many_arguments)]
 pub fn run_spmm_threads(
     tri: &Triplets,
     name: &str,
@@ -318,60 +434,46 @@ pub fn run_spmm_threads(
     hw_name: &str,
     cfg: GracemontConfig,
     n_threads: usize,
-) -> ExperimentResult {
+) -> Result<ExperimentResult, AsapError> {
     let parts = partition_rows(tri, n_threads);
     let spec = KernelSpec::spmm(ValueKind::F64);
     let cvals: Vec<f64> = (0..tri.ncols * n_cols)
         .map(|i| 0.5 + (i % 17) as f64 * 0.0625)
         .collect();
 
-    struct Prepared {
-        ck: CompiledKernel,
-        bufs: asap_ir::Buffers,
-        args: Vec<V>,
+    let mut warnings = Vec::new();
+    let mut prepared: Vec<std::sync::Mutex<Option<Prepared>>> = Vec::with_capacity(parts.len());
+    for &(r0, r1) in &parts {
+        let slice = row_slice(tri, r0, r1);
+        let sparse = SparseTensor::try_from_coo(&slice.try_to_coo_f64()?, Format::csr())?;
+        let ck = compile_with_width(
+            &spec,
+            sparse.format(),
+            sparse.index_width(),
+            &variant.strategy(),
+        )?;
+        let ct = DenseTensor::from_f64(vec![tri.ncols, n_cols], cvals.clone());
+        let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0, n_cols]);
+        let mut bound = bind(&ck.kernel, &sparse, &[&ct], &out)?;
+        let c_pos = ck
+            .kernel
+            .arg_position(KernelArg::DenseInput { input: 1 })
+            .ok_or_else(|| AsapError::binding("spmm kernel has no dense input argument"))?;
+        let V::Mem(c_buf) = bound.args[c_pos] else {
+            return Err(AsapError::binding("dense input did not bind to a buffer"));
+        };
+        bound.bufs.get_mut(c_buf).base_addr = SHARED_X_BASE;
+        warnings.extend(warning_strings(&ck));
+        prepared.push(std::sync::Mutex::new(Some(Prepared {
+            ck,
+            bufs: bound.bufs,
+            args: bound.args,
+        })));
     }
-    let prepared: Vec<std::sync::Mutex<Option<Prepared>>> = parts
-        .iter()
-        .map(|&(r0, r1)| {
-            let slice = row_slice(tri, r0, r1);
-            let sparse = SparseTensor::from_coo(&slice.to_coo_f64(), Format::csr());
-            let ck = compile_with_width(
-                &spec,
-                sparse.format(),
-                sparse.index_width(),
-                &variant.strategy(),
-            )
-            .expect("spmm compiles");
-            let ct = DenseTensor::from_f64(vec![tri.ncols, n_cols], cvals.clone());
-            let out = DenseTensor::zeros(ValueKind::F64, vec![r1 - r0, n_cols]);
-            let mut bound = bind(&ck.kernel, &sparse, &[&ct], &out).expect("binding");
-            let c_pos = ck
-                .kernel
-                .arg_position(KernelArg::DenseInput { input: 1 })
-                .expect("spmm has one dense input");
-            let V::Mem(c_buf) = bound.args[c_pos] else {
-                unreachable!()
-            };
-            bound.bufs.get_mut(c_buf).base_addr = SHARED_X_BASE;
-            std::sync::Mutex::new(Some(Prepared {
-                ck,
-                bufs: bound.bufs,
-                args: bound.args,
-            }))
-        })
-        .collect();
 
     let nnz = tri.nnz();
-    let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
-        let mut p = prepared[tid]
-            .lock()
-            .expect("prepared lock")
-            .take()
-            .expect("each partition runs once");
-        interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine)
-            .expect("simulated spmm run failed");
-    });
-    result_from(
+    let (result, dram) = run_prepared_parallel(cfg, pf, n_threads, prepared)?;
+    Ok(result_from(
         name,
         group,
         unstructured,
@@ -382,19 +484,103 @@ pub fn run_spmm_threads(
         nnz,
         &cfg,
         result.aggregate,
-        result.dram_bytes,
-    )
+        dram.max(result.dram_bytes),
+        warnings,
+    ))
 }
 
-fn verify_close(got: &[f64], want: &[f64], name: &str) {
-    assert_eq!(got.len(), want.len(), "{name}: length mismatch");
+fn verify_close(got: &[f64], want: &[f64], name: &str) -> Result<(), AsapError> {
+    if got.len() != want.len() {
+        return Err(AsapError::mismatch(format!(
+            "{name}: length mismatch: got {} values, reference has {}",
+            got.len(),
+            want.len()
+        )));
+    }
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let tol = 1e-9 * (1.0 + g.abs().max(w.abs()));
-        assert!(
-            (g - w).abs() <= tol,
-            "{name}: row {i} differs: {g} vs {w}"
-        );
+        if (g - w).abs() > tol {
+            return Err(AsapError::mismatch(format!(
+                "{name}: row {i} differs: {g} vs {w}"
+            )));
+        }
     }
+    Ok(())
+}
+
+/// A matrix the sweep could not run, with the diagnostic explaining why.
+#[derive(Debug, Clone)]
+pub struct SkippedMatrix {
+    pub matrix: String,
+    pub kind: &'static str,
+    pub reason: String,
+}
+
+/// Outcome of a directory sweep: per-matrix results plus the matrices
+/// that had to be skipped (corrupt files, binding failures, ...).
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    pub results: Vec<ExperimentResult>,
+    pub skipped: Vec<SkippedMatrix>,
+}
+
+impl SweepReport {
+    /// Human-readable completion summary, listing every skip with its
+    /// error kind and message.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} matrices ran, {} skipped\n",
+            self.results.len(),
+            self.skipped.len()
+        );
+        for sk in &self.skipped {
+            s.push_str(&format!(
+                "  skipped {} [{}]: {}\n",
+                sk.matrix, sk.kind, sk.reason
+            ));
+        }
+        s
+    }
+}
+
+/// SpMV-sweep every `.mtx` file in `dir` (sorted by name). A matrix that
+/// fails to parse, compile, bind, or verify is skipped and reported; the
+/// sweep itself only fails if the directory cannot be read at all.
+pub fn sweep_spmv_dir(
+    dir: &Path,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+) -> Result<SweepReport, AsapError> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| AsapError::io(format!("cannot read {}: {e}", dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mtx"))
+        .collect();
+    paths.sort();
+
+    let mut report = SweepReport::default();
+    for path in paths {
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let outcome = (|| -> Result<ExperimentResult, AsapError> {
+            let file = std::fs::File::open(&path)?;
+            let tri = read_matrix_market(std::io::BufReader::new(file))?;
+            run_spmv(&tri, &name, "sweep", true, variant, pf, hw_name, cfg)
+        })();
+        match outcome {
+            Ok(r) => report.results.push(r),
+            Err(e) => report.skipped.push(SkippedMatrix {
+                matrix: name,
+                kind: e.kind(),
+                reason: e.to_string(),
+            }),
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -418,11 +604,13 @@ mod tests {
             PrefetcherConfig::hw_default(),
             "default",
             cfg(),
-        );
+        )
+        .unwrap();
         assert!(r.nnz <= tri.nnz() && r.nnz > 0, "dedup'd nnz");
         assert!(r.throughput > 0.0);
         assert!(r.cycles > 0);
         assert_eq!(r.variant, "baseline");
+        assert!(r.warnings.is_empty(), "{:?}", r.warnings);
     }
 
     #[test]
@@ -437,7 +625,8 @@ mod tests {
             PrefetcherConfig::all_off(),
             "off",
             cfg(),
-        );
+        )
+        .unwrap();
         let asap = run_spmv(
             &tri,
             "er",
@@ -447,7 +636,8 @@ mod tests {
             PrefetcherConfig::all_off(),
             "off",
             cfg(),
-        );
+        )
+        .unwrap();
         assert_eq!(base.sw_pf_issued, 0);
         assert!(asap.sw_pf_issued as usize >= tri.nnz(), "{asap:?}");
     }
@@ -460,10 +650,7 @@ mod tests {
         assert_eq!(parts[0].0, 0);
         assert_eq!(parts[3].1, 4000);
         let deg = tri.row_degrees();
-        let sums: Vec<usize> = parts
-            .iter()
-            .map(|&(a, b)| deg[a..b].iter().sum())
-            .collect();
+        let sums: Vec<usize> = parts.iter().map(|&(a, b)| deg[a..b].iter().sum()).collect();
         let max = *sums.iter().max().unwrap();
         let min = *sums.iter().min().unwrap();
         assert!(max < 2 * min + tri.nnz() / 2, "{sums:?}");
@@ -482,9 +669,10 @@ mod tests {
             "off",
             cfg(),
             4,
-        );
+        )
+        .unwrap();
         assert_eq!(r.threads, 4);
-        assert_eq!(r.nnz, tri.nnz());  // threaded path reports input nnz
+        assert_eq!(r.nnz, tri.nnz()); // threaded path reports input nnz
         assert!(r.cycles > 0);
     }
 
@@ -501,8 +689,83 @@ mod tests {
             PrefetcherConfig::optimized_spmm(),
             "optimized",
             cfg(),
-        );
+        )
+        .unwrap();
         assert_eq!(r.kernel, "spmm");
         assert!(r.sw_pf_issued > 0);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let tri = gen::erdos_renyi(512, 4, 2);
+        let mut r = run_spmv(
+            &tri,
+            "a\"b\\c",
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        )
+        .unwrap();
+        r.warnings.push("line1\nline2".into());
+        let json = r.to_json();
+        assert!(json.contains("\"a\\\"b\\\\c\""), "{json}");
+        assert!(json.contains("line1\\nline2"), "{json}");
+        let arr = results_to_json(&[r.clone(), r]);
+        assert!(arr.starts_with("[\n"));
+        assert!(arr.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn sweep_skips_corrupt_matrix_and_finishes() {
+        let dir = std::env::temp_dir().join(format!("asap-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = "%%MatrixMarket matrix coordinate real general\n\
+                    4 4 4\n1 1 1.0\n2 2 2.0\n3 3 3.0\n4 4 4.0\n";
+        std::fs::write(dir.join("a_good.mtx"), good).unwrap();
+        std::fs::write(dir.join("c_good.mtx"), good).unwrap();
+        // Out-of-range coordinate on the first entry line.
+        let corrupt = "%%MatrixMarket matrix coordinate real general\n\
+                       2 2 1\n5 5 1.0\n";
+        std::fs::write(dir.join("b_corrupt.mtx"), corrupt).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not a matrix").unwrap();
+
+        let report = sweep_spmv_dir(
+            &dir,
+            Variant::Asap { distance: 8 },
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        )
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        assert_eq!(report.results.len(), 2, "{}", report.summary());
+        assert_eq!(report.skipped.len(), 1, "{}", report.summary());
+        assert_eq!(report.skipped[0].matrix, "b_corrupt");
+        assert_eq!(report.skipped[0].kind, "parse");
+        assert!(
+            report.skipped[0].reason.contains("line 3"),
+            "{}",
+            report.skipped[0].reason
+        );
+        let summary = report.summary();
+        assert!(summary.contains("2 matrices ran, 1 skipped"), "{summary}");
+        assert!(summary.contains("b_corrupt"), "{summary}");
+    }
+
+    #[test]
+    fn sweep_on_missing_dir_is_an_io_error() {
+        let err = sweep_spmv_dir(
+            Path::new("/nonexistent/asap-sweep"),
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "io");
     }
 }

@@ -201,12 +201,9 @@ fn build_sequence(f: &mut Function, site: &Site, cfg: &AjConfig) -> Vec<Op> {
     let bnd = fac.binary(BinOp::SubI, site.hi, c1, Type::Index);
     let cmp = fac.cmpi(CmpPred::Ult, jd, bnd);
     let m = fac.select(cmp, jd, bnd, Type::Index);
-    let elem = fac
-        .f
-        .ty(site.m1)
-        .elem()
-        .expect("M1 is a memref")
-        .clone();
+    // invariant: site.m1 is the `mem` operand of a Load op, and verified
+    // IR only loads from memref-typed values.
+    let elem = fac.f.ty(site.m1).elem().expect("M1 is a memref").clone();
     let t = fac.load(site.m1, m, elem.clone());
     // Step 3: prefetch each dependent buffer at the derived index.
     for &(m2, d) in &site.deps {
@@ -235,6 +232,8 @@ struct OpFactory<'f> {
 }
 
 impl<'f> OpFactory<'f> {
+    // invariant: every `.expect` below fires only if `push` is called with
+    // `Some(ty)` yet returns `None`, which its body makes impossible.
     fn push(&mut self, kind: OpKind, result_ty: Option<Type>) -> Option<Value> {
         let results = match result_ty {
             Some(t) => vec![self.f.fresh_value(t)],
@@ -279,8 +278,14 @@ impl<'f> OpFactory<'f> {
     }
 
     fn cast(&mut self, value: Value, to: Type) -> Value {
-        self.push(OpKind::Cast { value, to: to.clone() }, Some(to))
-            .expect("cast has a result")
+        self.push(
+            OpKind::Cast {
+                value,
+                to: to.clone(),
+            },
+            Some(to),
+        )
+        .expect("cast has a result")
     }
 
     fn prefetch(&mut self, mem: Value, index: Value, locality: u8) {

@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(k.func.prefetch_count(), 2);
         let text = print_function(&k.func);
         assert!(text.contains("locality<2>"));
-        assert!(text.contains("arith.constant 90 : index"), "2*distance:\n{text}");
+        assert!(
+            text.contains("arith.constant 90 : index"),
+            "2*distance:\n{text}"
+        );
         assert!(text.contains("arith.select"));
     }
 

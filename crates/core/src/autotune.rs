@@ -12,6 +12,7 @@
 
 use crate::asap::AsapConfig;
 use crate::pipeline::{compile_with_width, CompiledKernel, PrefetchStrategy};
+use asap_ir::AsapError;
 use asap_sparsifier::KernelSpec;
 use asap_tensor::{Format, IndexWidth};
 
@@ -45,9 +46,9 @@ pub fn tune_distance(
     index_width: IndexWidth,
     candidates: &[usize],
     mut evaluate: impl FnMut(&CompiledKernel) -> u64,
-) -> Result<TuneOutcome, String> {
+) -> Result<TuneOutcome, AsapError> {
     if candidates.is_empty() {
-        return Err("no candidate distances".into());
+        return Err(AsapError::spec("no candidate distances"));
     }
     let mut samples = Vec::with_capacity(candidates.len());
     let mut best: Option<(u64, usize, CompiledKernel)> = None;
@@ -68,6 +69,7 @@ pub fn tune_distance(
             best = Some((cost, d, ck));
         }
     }
+    // invariant: `candidates` is non-empty (checked above), so the loop ran.
     let (_, best_distance, best) = best.expect("candidates is non-empty");
     Ok(TuneOutcome {
         best,
@@ -122,9 +124,8 @@ mod tests {
 
     #[test]
     fn rejects_empty_candidates() {
-        let err =
-            tune_distance(&spec(), &Format::csr(), IndexWidth::U32, &[], |_| 0).unwrap_err();
-        assert!(err.contains("no candidate"));
+        let err = tune_distance(&spec(), &Format::csr(), IndexWidth::U32, &[], |_| 0).unwrap_err();
+        assert!(err.to_string().contains("no candidate"));
     }
 
     #[test]
@@ -150,7 +151,7 @@ mod tests {
             },
         )
         .unwrap();
-        let y = crate::pipeline::run_spmv_f64(&out.best, &b, &[1.0, 1.0, 1.0, 1.0]);
+        let y = crate::pipeline::run_spmv_f64(&out.best, &b, &[1.0, 1.0, 1.0, 1.0]).unwrap();
         assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]);
     }
 }

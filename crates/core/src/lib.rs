@@ -16,14 +16,14 @@
 //!   Section 4.3 (baseline / ASaP / A&J), with LICM + DCE cleanup.
 
 pub mod aj;
-pub mod autotune;
 pub mod asap;
+pub mod autotune;
 pub mod pipeline;
 
 pub use aj::{ainsworth_jones, AjConfig};
-pub use autotune::{default_candidates, tune_distance, TuneOutcome, TuneSample};
 pub use asap::{AsapConfig, AsapHook, InjectionSite};
+pub use autotune::{default_candidates, tune_distance, TuneOutcome, TuneSample};
 pub use pipeline::{
     compile, compile_with_width, run, run_spmm_f64, run_spmm_f64_with, run_spmv_f64,
-    run_spmv_f64_with, CompiledKernel, PrefetchStrategy,
+    run_spmv_f64_with, CompileWarning, CompiledKernel, PrefetchStrategy,
 };

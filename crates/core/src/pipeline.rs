@@ -2,10 +2,22 @@
 //! prefetch strategy), then clean up (LICM + DCE), producing a
 //! [`CompiledKernel`] ready to run — the counterpart of the paper's three
 //! implementation variants (Section 4.3).
+//!
+//! # Graceful degradation
+//!
+//! Prefetching is a pure performance optimisation: the paper's Section
+//! 3.2.2 argument is that injected prefetches never change semantics. The
+//! pipeline exploits that here: if prefetch injection or post-pass
+//! verification fails for a (format, width, strategy) triple, compilation
+//! *falls back to the baseline kernel* instead of erroring out, and
+//! records a structured [`CompileWarning`] on the [`CompiledKernel`] so
+//! callers (the bench harness, reports) can surface the degradation. Only
+//! a baseline failure — the kernel itself cannot be generated — is a hard
+//! error.
 
 use crate::aj::{ainsworth_jones, AjConfig};
 use crate::asap::{AsapConfig, AsapHook};
-use asap_ir::{cse, dce, fold, licm, MemoryModel};
+use asap_ir::{cse, dce, fold, licm, AsapError, BinOp, MemoryModel, Op, OpKind, Type};
 use asap_sparsifier::{run as run_kernel, sparsify, KernelSpec, SparsifiedKernel};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
 
@@ -18,6 +30,11 @@ pub enum PrefetchStrategy {
     Asap(AsapConfig),
     /// Variant 3: the Ainsworth & Jones low-level pass, applied post-hoc.
     AinsworthJones(AjConfig),
+    /// Deliberately corrupts the IR after injection so post-pass
+    /// verification fails. Exists to exercise the graceful-degradation
+    /// fallback path end to end (fault-injection testing); never useful
+    /// for real compilation.
+    FaultInjection,
 }
 
 impl PrefetchStrategy {
@@ -41,7 +58,30 @@ impl PrefetchStrategy {
             PrefetchStrategy::Baseline => "baseline",
             PrefetchStrategy::Asap(_) => "asap",
             PrefetchStrategy::AinsworthJones(_) => "ainsworth-jones",
+            PrefetchStrategy::FaultInjection => "fault-injection",
         }
+    }
+}
+
+/// A non-fatal compilation event: the requested strategy could not be
+/// applied and the pipeline degraded to the baseline kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileWarning {
+    /// Label of the strategy that failed.
+    pub strategy: &'static str,
+    /// Stage that failed ([`AsapError::kind`]): "codegen", "verify", ...
+    pub kind: &'static str,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "strategy '{}' failed at {} stage, fell back to baseline: {}",
+            self.strategy, self.kind, self.message
+        )
     }
 }
 
@@ -49,29 +89,38 @@ impl PrefetchStrategy {
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     pub kernel: SparsifiedKernel,
+    /// The strategy that actually produced this kernel. After a fallback
+    /// this is [`PrefetchStrategy::Baseline`], not the requested one —
+    /// check `warnings` for what was requested.
     pub strategy: PrefetchStrategy,
     /// Number of `memref.prefetch` ops in the final IR.
     pub prefetch_ops: usize,
     /// Ops hoisted by LICM (the bound chain, for ASaP).
     pub hoisted_ops: usize,
+    /// Non-fatal degradations recorded during compilation.
+    pub warnings: Vec<CompileWarning>,
 }
 
-/// Compile a kernel for a sparse operand stored in `format` with the given
-/// index width, applying the chosen prefetch strategy and then LICM + DCE
-/// (mirroring the shared `-O3` backend of the paper's setup).
-pub fn compile_with_width(
+impl CompiledKernel {
+    /// True if the requested strategy was applied without degradation.
+    pub fn is_degraded(&self) -> bool {
+        !self.warnings.is_empty()
+    }
+}
+
+/// Compile exactly the requested strategy — no fallback.
+fn compile_exact(
     spec: &KernelSpec,
     format: &Format,
     index_width: IndexWidth,
     strategy: &PrefetchStrategy,
-) -> Result<CompiledKernel, String> {
+) -> Result<CompiledKernel, AsapError> {
     let mut kernel = match strategy {
-        PrefetchStrategy::Baseline => sparsify(spec, format, index_width, None)?,
         PrefetchStrategy::Asap(cfg) => {
             let mut hook = AsapHook::new(*cfg);
             sparsify(spec, format, index_width, Some(&mut hook))?
         }
-        PrefetchStrategy::AinsworthJones(_) => sparsify(spec, format, index_width, None)?,
+        _ => sparsify(spec, format, index_width, None)?,
     };
     if let PrefetchStrategy::AinsworthJones(cfg) = strategy {
         ainsworth_jones(&mut kernel.func, cfg);
@@ -80,13 +129,69 @@ pub fn compile_with_width(
     fold(&mut kernel.func);
     cse(&mut kernel.func);
     dce(&mut kernel.func);
-    asap_ir::verify(&kernel.func).map_err(|e| e.to_string())?;
+    if matches!(strategy, PrefetchStrategy::FaultInjection) {
+        poison(&mut kernel.func);
+    }
+    asap_ir::verify(&kernel.func)?;
     Ok(CompiledKernel {
         prefetch_ops: kernel.func.prefetch_count(),
         kernel,
         strategy: *strategy,
         hoisted_ops: hoisted,
+        warnings: Vec::new(),
     })
+}
+
+/// Corrupt a function so verification fails: prepend an op whose operand
+/// value is never defined. Used by [`PrefetchStrategy::FaultInjection`].
+fn poison(func: &mut asap_ir::Function) {
+    let undefined = func.fresh_value(Type::Index);
+    let result = func.fresh_value(Type::Index);
+    let id = func.fresh_op_id();
+    func.body.ops.insert(
+        0,
+        Op {
+            id,
+            kind: OpKind::Binary {
+                op: BinOp::AddI,
+                lhs: undefined,
+                rhs: undefined,
+            },
+            results: vec![result],
+        },
+    );
+}
+
+/// Compile a kernel for a sparse operand stored in `format` with the given
+/// index width, applying the chosen prefetch strategy and then LICM + DCE
+/// (mirroring the shared `-O3` backend of the paper's setup).
+///
+/// If the strategy fails (injection, transforms, or verification) the
+/// pipeline degrades to [`PrefetchStrategy::Baseline`] and records a
+/// [`CompileWarning`]; the error is returned only if the baseline itself
+/// cannot be compiled (e.g. an invalid spec or unsupported loop order).
+pub fn compile_with_width(
+    spec: &KernelSpec,
+    format: &Format,
+    index_width: IndexWidth,
+    strategy: &PrefetchStrategy,
+) -> Result<CompiledKernel, AsapError> {
+    match compile_exact(spec, format, index_width, strategy) {
+        Ok(ck) => Ok(ck),
+        Err(_) if matches!(strategy, PrefetchStrategy::Baseline) => {
+            // No fallback available below baseline: propagate.
+            compile_exact(spec, format, index_width, strategy)
+        }
+        Err(e) => {
+            let mut ck = compile_exact(spec, format, index_width, &PrefetchStrategy::Baseline)?;
+            ck.warnings.push(CompileWarning {
+                strategy: strategy.label(),
+                kind: e.kind(),
+                message: e.to_string(),
+            });
+            Ok(ck)
+        }
+    }
 }
 
 /// As [`compile_with_width`] with the default narrow (32-bit) index width,
@@ -95,9 +200,8 @@ pub fn compile(
     spec: &KernelSpec,
     format: &Format,
     strategy: &PrefetchStrategy,
-) -> CompiledKernel {
+) -> Result<CompiledKernel, AsapError> {
     compile_with_width(spec, format, IndexWidth::U32, strategy)
-        .expect("compilation of a validated spec cannot fail")
 }
 
 /// Run a compiled kernel (generic operands) under the given memory model.
@@ -107,12 +211,16 @@ pub fn run(
     dense: &[&DenseTensor],
     out: &mut DenseTensor,
     model: &mut dyn MemoryModel,
-) -> Result<(), String> {
+) -> Result<(), AsapError> {
     run_kernel(&ck.kernel, sparse, dense, out, model)
 }
 
 /// Convenience: SpMV over f64, functional run, returning `a = B·x`.
-pub fn run_spmv_f64(ck: &CompiledKernel, b: &SparseTensor, x: &[f64]) -> Vec<f64> {
+pub fn run_spmv_f64(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    x: &[f64],
+) -> Result<Vec<f64>, AsapError> {
     let mut model = asap_ir::NullModel;
     run_spmv_f64_with(ck, b, x, &mut model)
 }
@@ -123,17 +231,26 @@ pub fn run_spmv_f64_with(
     b: &SparseTensor,
     x: &[f64],
     model: &mut dyn MemoryModel,
-) -> Vec<f64> {
+) -> Result<Vec<f64>, AsapError> {
     let n = b.dims()[1];
-    assert_eq!(x.len(), n, "x length must equal the matrix column count");
+    if x.len() != n {
+        return Err(AsapError::binding(format!(
+            "x length {} must equal the matrix column count {n}",
+            x.len()
+        )));
+    }
     let c = DenseTensor::from_f64(vec![n], x.to_vec());
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0]]);
-    run(ck, b, &[&c], &mut a, model).expect("spmv run failed");
-    a.as_f64().to_vec()
+    run(ck, b, &[&c], &mut a, model)?;
+    Ok(a.as_f64().to_vec())
 }
 
 /// Convenience: SpMM over f64 (`A = B·C`), functional run.
-pub fn run_spmm_f64(ck: &CompiledKernel, b: &SparseTensor, c: &DenseTensor) -> DenseTensor {
+pub fn run_spmm_f64(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    c: &DenseTensor,
+) -> Result<DenseTensor, AsapError> {
     let mut model = asap_ir::NullModel;
     run_spmm_f64_with(ck, b, c, &mut model)
 }
@@ -144,10 +261,16 @@ pub fn run_spmm_f64_with(
     b: &SparseTensor,
     c: &DenseTensor,
     model: &mut dyn MemoryModel,
-) -> DenseTensor {
+) -> Result<DenseTensor, AsapError> {
+    if c.dims.len() != 2 {
+        return Err(AsapError::binding(format!(
+            "dense operand must be a matrix, got rank {}",
+            c.dims.len()
+        )));
+    }
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0], c.dims[1]]);
-    run(ck, b, &[c], &mut a, model).expect("spmm run failed");
-    a
+    run(ck, b, &[c], &mut a, model)?;
+    Ok(a)
 }
 
 #[cfg(test)]
@@ -175,8 +298,9 @@ mod tests {
             PrefetchStrategy::asap(4),
             PrefetchStrategy::aj(4),
         ] {
-            let ck = compile(&spec, &Format::csr(), &strat);
-            results.push(run_spmv_f64(&ck, &b, &x));
+            let ck = compile(&spec, &Format::csr(), &strat).unwrap();
+            assert!(!ck.is_degraded(), "{:?}", ck.warnings);
+            results.push(run_spmv_f64(&ck, &b, &x).unwrap());
         }
         assert_eq!(results[0], vec![201.0, 0.0, 300.0]);
         assert_eq!(results[0], results[1]);
@@ -186,7 +310,7 @@ mod tests {
     #[test]
     fn asap_bound_chain_is_hoisted() {
         let spec = KernelSpec::spmv(ValueKind::F64);
-        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45));
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45)).unwrap();
         // The size chain (const 1, muli, pos load, cast, subi...) must
         // leave the inner loop.
         assert!(
@@ -200,8 +324,8 @@ mod tests {
     #[test]
     fn aj_emits_no_prefetches_for_spmm() {
         let spec = KernelSpec::spmm(ValueKind::F64);
-        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45));
-        let aj = compile(&spec, &Format::csr(), &PrefetchStrategy::aj(45));
+        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45)).unwrap();
+        let aj = compile(&spec, &Format::csr(), &PrefetchStrategy::aj(45)).unwrap();
         assert_eq!(asap.prefetch_ops, 2, "ASaP outer-loop prefetching works");
         assert_eq!(aj.prefetch_ops, 0, "A&J cannot handle SpMM");
     }
@@ -211,10 +335,10 @@ mod tests {
         let spec = KernelSpec::spmm(ValueKind::F64);
         let b = paper_tensor(Format::csr());
         let c = DenseTensor::from_f64(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let base = compile(&spec, &Format::csr(), &PrefetchStrategy::none());
-        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(3));
-        let a0 = run_spmm_f64(&base, &b, &c);
-        let a1 = run_spmm_f64(&asap, &b, &c);
+        let base = compile(&spec, &Format::csr(), &PrefetchStrategy::none()).unwrap();
+        let asap = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(3)).unwrap();
+        let a0 = run_spmm_f64(&base, &b, &c).unwrap();
+        let a1 = run_spmm_f64(&asap, &b, &c).unwrap();
         assert_eq!(a0.as_f64(), a1.as_f64());
         // Row 0: 1*C[0,:] + 2*C[2,:] = [1+10, 2+12] = [11, 14].
         assert_eq!(&a0.as_f64()[0..2], &[11.0, 14.0]);
@@ -225,6 +349,7 @@ mod tests {
         assert_eq!(PrefetchStrategy::none().label(), "baseline");
         assert_eq!(PrefetchStrategy::asap(1).label(), "asap");
         assert_eq!(PrefetchStrategy::aj(1).label(), "ainsworth-jones");
+        assert_eq!(PrefetchStrategy::FaultInjection.label(), "fault-injection");
     }
 
     #[test]
@@ -232,20 +357,73 @@ mod tests {
         let spec = KernelSpec::spmv(ValueKind::F64);
         let b = paper_tensor(Format::coo());
         let x = vec![2.0, 3.0, 4.0];
-        let base = compile(&spec, &Format::coo(), &PrefetchStrategy::none());
-        let asap = compile(&spec, &Format::coo(), &PrefetchStrategy::asap(2));
-        let aj = compile(&spec, &Format::coo(), &PrefetchStrategy::aj(2));
-        let r0 = run_spmv_f64(&base, &b, &x);
-        assert_eq!(r0, run_spmv_f64(&asap, &b, &x));
-        assert_eq!(r0, run_spmv_f64(&aj, &b, &x));
+        let base = compile(&spec, &Format::coo(), &PrefetchStrategy::none()).unwrap();
+        let asap = compile(&spec, &Format::coo(), &PrefetchStrategy::asap(2)).unwrap();
+        let aj = compile(&spec, &Format::coo(), &PrefetchStrategy::aj(2)).unwrap();
+        let r0 = run_spmv_f64(&base, &b, &x).unwrap();
+        assert_eq!(r0, run_spmv_f64(&asap, &b, &x).unwrap());
+        assert_eq!(r0, run_spmv_f64(&aj, &b, &x).unwrap());
     }
 
     #[test]
     fn dcsr_asap_compiles_and_runs() {
         let spec = KernelSpec::spmv(ValueKind::F64);
         let b = paper_tensor(Format::dcsr());
-        let ck = compile(&spec, &Format::dcsr(), &PrefetchStrategy::asap(8));
-        let r = run_spmv_f64(&ck, &b, &[1.0, 1.0, 1.0]);
+        let ck = compile(&spec, &Format::dcsr(), &PrefetchStrategy::asap(8)).unwrap();
+        let r = run_spmv_f64(&ck, &b, &[1.0, 1.0, 1.0]).unwrap();
         assert_eq!(r, vec![3.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn fault_injection_falls_back_to_baseline_with_warning() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::FaultInjection).unwrap();
+        // Degraded: the compiled kernel is the baseline...
+        assert_eq!(ck.strategy, PrefetchStrategy::Baseline);
+        assert_eq!(ck.prefetch_ops, 0);
+        // ...and the failure is recorded, typed by stage.
+        assert!(ck.is_degraded());
+        assert_eq!(ck.warnings.len(), 1);
+        assert_eq!(ck.warnings[0].strategy, "fault-injection");
+        assert_eq!(ck.warnings[0].kind, "verify");
+        assert!(ck.warnings[0].to_string().contains("fell back to baseline"));
+        // The fallback kernel still computes the right answer.
+        let b = paper_tensor(Format::csr());
+        let r = run_spmv_f64(&ck, &b, &[1.0, 10.0, 100.0]).unwrap();
+        assert_eq!(r, vec![201.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn baseline_failure_is_a_hard_error() {
+        // An invalid spec cannot degrade: there is nothing to fall back to.
+        let mut spec = KernelSpec::spmv(ValueKind::F64);
+        spec.output.map = vec![1]; // reduction index in the output
+        let err = compile(&spec, &Format::csr(), &PrefetchStrategy::none()).unwrap_err();
+        assert_eq!(err.kind(), "spec");
+        // The same spec under a prefetch strategy also fails hard: the
+        // baseline fallback hits the identical spec error.
+        let err = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(4)).unwrap_err();
+        assert_eq!(err.kind(), "spec");
+    }
+
+    #[test]
+    fn codegen_failure_propagates_when_baseline_also_fails() {
+        // A sparse operand whose rank disagrees with the storage format
+        // fails codegen under every strategy, so the fallback cannot help:
+        // the typed error must propagate (never a panic).
+        let mut spec = KernelSpec::spmv(ValueKind::F64);
+        spec.inputs[0].map = vec![0]; // rank-1 map, rank-2 CSR format
+        let err = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(4)).unwrap_err();
+        assert_eq!(err.kind(), "codegen");
+        assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_x_length_is_a_binding_error() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::none()).unwrap();
+        let err = run_spmv_f64(&ck, &b, &[1.0]).unwrap_err();
+        assert_eq!(err.kind(), "binding");
     }
 }

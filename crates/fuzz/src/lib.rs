@@ -1,0 +1,415 @@
+//! Fault-injection and differential-fuzzing harness.
+//!
+//! The workspace builds without network access, so the usual external
+//! fuzzing / property-testing crates are unavailable; this crate provides
+//! deterministic, fixed-seed replacements:
+//!
+//! - generators for hostile sparse inputs (empty rows, all-short rows,
+//!   duplicate and out-of-range coordinates, zero-sized shapes),
+//! - byte-level corruptors for MatrixMarket streams,
+//! - the paper's differential oracle (Section 3.2.2): prefetch injection
+//!   is semantically a no-op, so Baseline/ASaP/A&J must produce
+//!   bit-identical outputs, which in turn must match a dense reference.
+//!
+//! Every entry point takes an explicit [`Rng64`] seeded by the caller, so
+//! a failing case is reproducible from the seed printed in the assertion
+//! message. The contract checked throughout: invalid input yields a typed
+//! [`asap_ir::AsapError`] (surfaced here as [`Outcome::Rejected`]), valid
+//! input yields agreeing results — and nothing panics.
+
+use asap_core::{compile_with_width, run_spmv_f64, PrefetchStrategy};
+use asap_matrices::{read_matrix_market, write_matrix_market, Triplets};
+use asap_sparsifier::KernelSpec;
+use asap_tensor::{Format, IndexWidth, SparseTensor, ValueKind};
+
+pub use asap_matrices::Rng64;
+
+/// Outcome of one well-behaved pipeline interaction with untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The input was structurally valid: every strategy compiled, ran,
+    /// agreed bit-for-bit, and matched the dense reference.
+    Verified,
+    /// The input was rejected up front with a typed error (its message is
+    /// kept for diagnostics assertions).
+    Rejected(String),
+}
+
+/// Random square-ish matrix drawn with the harness conventions: empty
+/// rows, duplicate coordinates and highly irregular degrees all occur.
+pub fn random_triplets(rng: &mut Rng64, max_n: usize, max_entries: usize) -> Triplets {
+    let nrows = rng.gen_range(1..=max_n);
+    let ncols = rng.gen_range(1..=max_n);
+    let entries = rng.usize_below(max_entries + 1);
+    let mut t = Triplets::new(nrows, ncols);
+    for _ in 0..entries {
+        t.push(
+            rng.usize_below(nrows),
+            rng.usize_below(ncols),
+            rng.gen_range(-2.0..2.0),
+        );
+    }
+    t
+}
+
+/// Deterministic degenerate matrices — the shapes that historically break
+/// sparse pipelines. Each entry is `(label, matrix)`; labels appear in
+/// assertion messages.
+pub fn degenerate_cases(seed: u64) -> Vec<(String, Triplets)> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    // Entirely empty and zero-sized shapes (0xN, Nx0, 0x0) first.
+    let mut cases: Vec<(String, Triplets)> = vec![
+        ("empty-5x7".into(), Triplets::new(5, 7)),
+        ("zero-rows-0x4".into(), Triplets::new(0, 4)),
+        ("zero-cols-4x0".into(), Triplets::new(4, 0)),
+        ("zero-both-0x0".into(), Triplets::new(0, 0)),
+    ];
+
+    // Mostly empty rows: a single populated row in a tall matrix.
+    let mut t = Triplets::new(64, 16);
+    for c in 0..16 {
+        t.push(40, c, 1.0 + c as f64);
+    }
+    cases.push(("one-dense-row-in-64".into(), t));
+
+    // All-short rows (degree 1): the A&J worst case.
+    let mut t = Triplets::new(48, 48);
+    for r in 0..48 {
+        t.push(r, (r * 7) % 48, 0.5);
+    }
+    cases.push(("all-degree-1".into(), t));
+
+    // Heavy duplicates: the same coordinate pushed many times.
+    let mut t = Triplets::new(8, 8);
+    for k in 0..32 {
+        t.push(3, 5, 0.25 * (k % 3) as f64);
+        t.push(k % 8, k % 8, 1.0);
+    }
+    cases.push(("heavy-duplicates".into(), t));
+
+    // A single entry in a large shape.
+    let mut t = Triplets::new(1000, 1000);
+    t.push(999, 999, 42.0);
+    cases.push(("single-corner-entry".into(), t));
+
+    // Out-of-range coordinates: must be rejected with a typed error,
+    // never a panic or a silent wrap. Built through the public fields —
+    // `Triplets::push` debug-asserts the range, and the whole point here
+    // is modeling input that skipped that check.
+    let mut t = Triplets::new(4, 4);
+    t.push(1, 1, 1.0);
+    t.rows.push(9);
+    t.cols.push(2);
+    t.vals.push(2.0);
+    cases.push(("row-out-of-range".into(), t));
+    let mut t = Triplets::new(4, 4);
+    t.rows.push(2);
+    t.cols.push(17);
+    t.vals.push(3.0);
+    cases.push(("col-out-of-range".into(), t));
+
+    // A few random hostile matrices for good measure.
+    for i in 0..3 {
+        cases.push((
+            format!("random-hostile-{i}"),
+            random_triplets(&mut rng, 24, 120),
+        ));
+    }
+    cases
+}
+
+/// Deterministic dense operand for a differential run.
+fn dense_x(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.75 + (i % 9) as f64 * 0.375).collect()
+}
+
+/// The three-strategy differential oracle for SpMV.
+///
+/// Returns `Ok(Outcome::Rejected(_))` when the input is invalid and every
+/// stage reported a typed error; `Ok(Outcome::Verified)` when all three
+/// strategies agreed bit-for-bit and matched the dense reference; `Err`
+/// with a description when the oracle is violated (results disagree, or a
+/// valid input failed to compile/run).
+pub fn differential_spmv(
+    tri: &Triplets,
+    fmt: &Format,
+    width: IndexWidth,
+    distance: usize,
+) -> Result<Outcome, String> {
+    let coo = match tri.try_to_coo_f64() {
+        Ok(c) => c,
+        Err(e) => return Ok(Outcome::Rejected(e.to_string())),
+    };
+    let mut sparse = match SparseTensor::try_from_coo(&coo, fmt.clone()) {
+        Ok(s) => s,
+        Err(e) => return Ok(Outcome::Rejected(e.to_string())),
+    };
+    sparse.set_index_width(width);
+    let x = dense_x(tri.ncols);
+    let want = tri.dense_spmv(&x);
+    let spec = KernelSpec::spmv(ValueKind::F64);
+
+    let mut reference: Option<Vec<u64>> = None;
+    for strat in [
+        PrefetchStrategy::none(),
+        PrefetchStrategy::asap(distance),
+        PrefetchStrategy::aj(distance),
+    ] {
+        let ck = compile_with_width(&spec, fmt, width, &strat).map_err(|e| {
+            format!(
+                "{fmt}/{}: compile failed on valid input: {e}",
+                strat.label()
+            )
+        })?;
+        let y = run_spmv_f64(&ck, &sparse, &x)
+            .map_err(|e| format!("{fmt}/{}: run failed on valid input: {e}", strat.label()))?;
+        if y.len() != want.len() {
+            return Err(format!(
+                "{fmt}/{}: output length {} vs reference {}",
+                strat.label(),
+                y.len(),
+                want.len()
+            ));
+        }
+        for (i, (g, w)) in y.iter().zip(&want).enumerate() {
+            if (g - w).abs() > 1e-9 * (1.0 + w.abs()) {
+                return Err(format!(
+                    "{fmt}/{}: row {i}: {g} vs dense reference {w}",
+                    strat.label()
+                ));
+            }
+        }
+        let bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => {
+                if &bits != r {
+                    return Err(format!(
+                        "{fmt}/{}: output bits differ from baseline",
+                        strat.label()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Outcome::Verified)
+}
+
+/// Render a matrix as MatrixMarket bytes (the corruptors' substrate).
+pub fn to_mtx_bytes(tri: &Triplets) -> Vec<u8> {
+    let mut buf = Vec::new();
+    // Writing to a Vec cannot fail.
+    write_matrix_market(tri, &mut buf).expect("in-memory write");
+    buf
+}
+
+/// Named byte-level corruptions of a MatrixMarket stream. Each returned
+/// `(label, bytes)` must make [`read_matrix_market`] report a typed error
+/// (asserted by [`corruption_must_error`]) — never panic.
+pub fn corruptions(bytes: &[u8], rng: &mut Rng64) -> Vec<(String, Vec<u8>)> {
+    let text = String::from_utf8_lossy(bytes).into_owned();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out: Vec<(String, Vec<u8>)> = Vec::new();
+
+    // Truncation mid-stream: drop the tail starting at a random entry.
+    if lines.len() > 4 {
+        let cut = 3 + rng.usize_below(lines.len() - 4);
+        let mut t: String = lines[..cut].join("\n");
+        t.push('\n');
+        out.push(("truncated".into(), t.into_bytes()));
+    }
+
+    // Garbage header.
+    out.push((
+        "bad-header".into(),
+        format!("%%NotMatrixMarket\n{}", lines[1..].join("\n")).into_bytes(),
+    ));
+
+    // Garbage size line.
+    if let Some(size_idx) = lines
+        .iter()
+        .skip(1)
+        .position(|l| !l.starts_with('%') && !l.trim().is_empty())
+        .map(|i| i + 1)
+    {
+        let mut garbled: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        garbled[size_idx] = "not a size line".into();
+        out.push(("bad-size-line".into(), garbled.join("\n").into_bytes()));
+
+        // nnz claiming more entries than follow.
+        let mut surplus: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        surplus[size_idx] = {
+            let mut it = lines[size_idx].split_whitespace();
+            let r = it.next().unwrap_or("1");
+            let c = it.next().unwrap_or("1");
+            format!("{r} {c} 99999999")
+        };
+        out.push(("wrong-entry-count".into(), surplus.join("\n").into_bytes()));
+
+        // Entry lines exist beyond this point: corrupt one of them.
+        if size_idx + 1 < lines.len() {
+            let entry_span = lines.len() - size_idx - 1;
+
+            // Zero-based coordinates (MatrixMarket is 1-based).
+            let mut z: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            let k = size_idx + 1 + rng.usize_below(entry_span);
+            let rest: Vec<&str> = lines[k].split_whitespace().skip(1).collect();
+            z[k] = format!("0 {}", rest.join(" "));
+            out.push(("zero-based-coord".into(), z.join("\n").into_bytes()));
+
+            // Non-numeric entry field.
+            let mut nn: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+            let k = size_idx + 1 + rng.usize_below(entry_span);
+            nn[k] = "1 fish 1.0".into();
+            out.push(("non-numeric-field".into(), nn.join("\n").into_bytes()));
+        }
+    }
+
+    // Raw byte smash: overwrite a random window with non-numeric noise.
+    if bytes.len() > 60 {
+        let mut b = bytes.to_vec();
+        let start = 40 + rng.usize_below(b.len() - 50);
+        for (i, slot) in b[start..].iter_mut().take(8).enumerate() {
+            *slot = b"@#$%!&*~"[i % 8];
+        }
+        out.push(("byte-smash".into(), b));
+    }
+
+    out
+}
+
+/// Assert the corruption contract on one stream: parsing must return a
+/// typed error whose message is non-empty (useful diagnostics), and must
+/// not panic. Returns the error display for further assertions, or a
+/// violation description.
+pub fn corruption_must_error(label: &str, bytes: &[u8]) -> Result<String, String> {
+    match read_matrix_market(bytes) {
+        Err(e) => {
+            let msg = e.to_string();
+            if msg.trim().is_empty() {
+                Err(format!("{label}: error display is empty"))
+            } else {
+                Ok(msg)
+            }
+        }
+        Ok(t) => Err(format!(
+            "{label}: corrupt stream parsed as a {}x{} matrix with {} entries",
+            t.nrows,
+            t.ncols,
+            t.nnz()
+        )),
+    }
+}
+
+/// One full fixed-seed differential fuzzing pass: `cases` random matrices
+/// across formats and index widths, plus every degenerate case, plus the
+/// corruption stage. Returns `(verified, rejected)` counts or the first
+/// oracle violation. This is what CI's smoke stage runs.
+pub fn fuzz_smoke(seed: u64, cases: usize) -> Result<(usize, usize), String> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let (mut verified, mut rejected) = (0usize, 0usize);
+
+    let mut check = |label: &str, tri: &Triplets, rng: &mut Rng64| -> Result<(), String> {
+        let fmt = &formats[rng.usize_below(formats.len())];
+        let width = widths[rng.usize_below(widths.len())];
+        let distance = rng.gen_range(1..96usize);
+        match differential_spmv(tri, fmt, width, distance)
+            .map_err(|e| format!("case {label}: {e}"))?
+        {
+            Outcome::Verified => verified += 1,
+            Outcome::Rejected(_) => rejected += 1,
+        }
+        Ok(())
+    };
+
+    for i in 0..cases {
+        let tri = random_triplets(&mut rng, 32, 160);
+        check(&format!("random-{i}"), &tri, &mut rng)?;
+    }
+    for (label, tri) in degenerate_cases(seed ^ 0xdead_beef) {
+        check(&label, &tri, &mut rng)?;
+    }
+
+    // Corruption stage: parser never panics, always reports usefully.
+    let tri = random_triplets(&mut rng, 16, 60);
+    let bytes = to_mtx_bytes(&tri);
+    for (label, corrupt) in corruptions(&bytes, &mut rng) {
+        corruption_must_error(&label, &corrupt)?;
+    }
+    Ok((verified, rejected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = random_triplets(&mut Rng64::seed_from_u64(9), 20, 50);
+        let b = random_triplets(&mut Rng64::seed_from_u64(9), 20, 50);
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.cols, b.cols);
+        assert_eq!(a.vals, b.vals);
+    }
+
+    #[test]
+    fn degenerate_set_covers_the_documented_shapes() {
+        let labels: Vec<String> = degenerate_cases(1).into_iter().map(|(l, _)| l).collect();
+        for want in [
+            "empty-5x7",
+            "zero-rows-0x4",
+            "all-degree-1",
+            "heavy-duplicates",
+            "row-out-of-range",
+        ] {
+            assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn oracle_verifies_a_healthy_matrix() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let tri = random_triplets(&mut rng, 16, 80);
+        let out = differential_spmv(&tri, &Format::csr(), IndexWidth::U32, 8).unwrap();
+        assert_eq!(out, Outcome::Verified);
+    }
+
+    #[test]
+    fn oracle_rejects_out_of_range_coordinates() {
+        let mut t = Triplets::new(3, 3);
+        t.rows.push(5);
+        t.cols.push(0);
+        t.vals.push(1.0);
+        let out = differential_spmv(&t, &Format::csr(), IndexWidth::U64, 4).unwrap();
+        match out {
+            Outcome::Rejected(msg) => assert!(msg.contains("out of bounds"), "{msg}"),
+            Outcome::Verified => panic!("out-of-range coordinates must be rejected"),
+        }
+    }
+
+    #[test]
+    fn corruptors_produce_parse_errors() {
+        let mut rng = Rng64::seed_from_u64(11);
+        let tri = random_triplets(&mut rng, 10, 40);
+        let bytes = to_mtx_bytes(&tri);
+        let variants = corruptions(&bytes, &mut rng);
+        assert!(
+            variants.len() >= 5,
+            "want a corruption battery, got {}",
+            variants.len()
+        );
+        for (label, corrupt) in variants {
+            corruption_must_error(&label, &corrupt).unwrap();
+        }
+    }
+
+    #[test]
+    fn smoke_pass_runs_clean() {
+        let (verified, rejected) = fuzz_smoke(42, 16).unwrap();
+        assert!(verified > 0);
+        // The degenerate set always contains rejectable inputs.
+        assert!(rejected >= 2, "expected out-of-range cases to be rejected");
+    }
+}

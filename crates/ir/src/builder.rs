@@ -154,7 +154,13 @@ impl FuncBuilder {
     }
 
     pub fn cast(&mut self, value: Value, to: Type) -> Value {
-        self.push(OpKind::Cast { value, to: to.clone() }, vec![to])[0]
+        self.push(
+            OpKind::Cast {
+                value,
+                to: to.clone(),
+            },
+            vec![to],
+        )[0]
     }
 
     /// Cast to `index` only if the value is not already an index. Mirrors
@@ -417,12 +423,7 @@ mod tests {
         let x = b.arg(Type::Index);
         let c0 = b.const_index(0);
         let cond = b.cmpi(CmpPred::Ugt, x, c0);
-        let r = b.if_else(
-            cond,
-            &[Type::Index],
-            |_| vec![x],
-            |_| vec![c0],
-        );
+        let r = b.if_else(cond, &[Type::Index], |_| vec![x], |_| vec![c0]);
         let f = b.finish();
         assert_eq!(*f.ty(r[0]), Type::Index);
     }

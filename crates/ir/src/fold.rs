@@ -23,9 +23,7 @@ pub fn fold(f: &mut Function) -> usize {
         collect_consts(&f.body, &mut consts);
         let mut replace: HashMap<Value, Value> = HashMap::new();
         let mut folded = 0;
-        let mut body = std::mem::take(&mut f.body);
-        fold_region(f, &mut body, &consts, &mut replace, &mut folded);
-        f.body = body;
+        fold_region(&mut f.body, &consts, &mut replace, &mut folded);
         if folded == 0 {
             return total;
         }
@@ -156,7 +154,6 @@ fn simplify(kind: &OpKind, consts: &HashMap<Value, Literal>) -> Outcome {
 }
 
 fn fold_region(
-    f: &mut Function,
     r: &mut Region,
     consts: &HashMap<Value, Literal>,
     replace: &mut HashMap<Value, Value>,
@@ -194,7 +191,7 @@ fn fold_region(
         }
         let mut op = r.ops.remove(i);
         for nested in op.kind.regions_mut() {
-            fold_region(f, nested, consts, replace, folded);
+            fold_region(nested, consts, replace, folded);
         }
         r.ops.insert(i, op);
         i += 1;
@@ -323,7 +320,13 @@ mod tests {
         verify(&f).unwrap();
         let mut muls = 0;
         f.walk(&mut |op| {
-            if matches!(op.kind, OpKind::Binary { op: BinOp::MulI, .. }) {
+            if matches!(
+                op.kind,
+                OpKind::Binary {
+                    op: BinOp::MulI,
+                    ..
+                }
+            ) {
                 muls += 1;
             }
         });

@@ -23,43 +23,48 @@ pub enum V {
 }
 
 impl V {
-    pub fn as_index(self) -> usize {
+    fn mismatch(want: &str, got: V) -> InterpError {
+        InterpError::TypeMismatch(format!("expected {want} value, got {got:?}"))
+    }
+
+    /// The `index` payload, or a [`InterpError::TypeMismatch`] trap.
+    pub fn as_index(self) -> Result<usize, InterpError> {
         match self {
-            V::Index(v) => v,
-            other => panic!("expected index value, got {other:?}"),
+            V::Index(v) => Ok(v),
+            other => Err(Self::mismatch("index", other)),
         }
     }
 
-    pub fn as_f64(self) -> f64 {
+    pub fn as_f64(self) -> Result<f64, InterpError> {
         match self {
-            V::F64(v) => v,
-            other => panic!("expected f64 value, got {other:?}"),
+            V::F64(v) => Ok(v),
+            other => Err(Self::mismatch("f64", other)),
         }
     }
 
-    pub fn as_bool(self) -> bool {
+    pub fn as_bool(self) -> Result<bool, InterpError> {
         match self {
-            V::Bool(v) => v,
-            other => panic!("expected i1 value, got {other:?}"),
+            V::Bool(v) => Ok(v),
+            other => Err(Self::mismatch("i1", other)),
         }
     }
 
-    fn as_mem(self) -> u32 {
+    pub fn as_mem(self) -> Result<u32, InterpError> {
         match self {
-            V::Mem(v) => v,
-            other => panic!("expected memref value, got {other:?}"),
+            V::Mem(v) => Ok(v),
+            other => Err(Self::mismatch("memref", other)),
         }
     }
 
     /// Widen any integer-like value to u64 (for casts and comparisons).
-    fn as_u64(self) -> u64 {
+    pub fn as_u64(self) -> Result<u64, InterpError> {
         match self {
-            V::Index(v) => v as u64,
-            V::I64(v) => v as u64,
-            V::I32(v) => v as u32 as u64,
-            V::I8(v) => v as u8 as u64,
-            V::Bool(v) => v as u64,
-            other => panic!("expected integer-like value, got {other:?}"),
+            V::Index(v) => Ok(v as u64),
+            V::I64(v) => Ok(v as u64),
+            V::I32(v) => Ok(v as u32 as u64),
+            V::I8(v) => Ok(v as u8 as u64),
+            V::Bool(v) => Ok(v as u64),
+            other => Err(Self::mismatch("integer-like", other)),
         }
     }
 }
@@ -197,6 +202,8 @@ impl Buffers {
         id
     }
 
+    // invariant: ids come from `add`, and `interpret` rejects dangling
+    // `V::Mem` arguments before execution starts, so the index is in range.
     pub fn get(&self, id: u32) -> &Buffer {
         &self.bufs[id as usize]
     }
@@ -220,7 +227,10 @@ pub enum AccessKind {
     Load,
     Store,
     /// Software prefetch with its locality hint (0 = non-temporal … 3 = L1).
-    Prefetch { locality: u8, write: bool },
+    Prefetch {
+        locality: u8,
+        write: bool,
+    },
 }
 
 /// Observer of the interpreted execution. `asap-sim` implements this to do
@@ -281,15 +291,60 @@ impl MemoryModel for CountingModel {
     }
 }
 
-/// Errors during interpretation.
+/// Errors during interpretation. These are traps, not process aborts: a
+/// kernel run over corrupt input returns `Err` and the interpreter state
+/// is simply dropped.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterpError {
     /// A demand access fell outside its buffer — the fault ASaP's bounds
     /// logic exists to avoid.
-    OutOfBounds { index: usize, len: usize },
+    OutOfBounds {
+        index: usize,
+        len: usize,
+    },
     TypeMismatch(String),
-    /// Function argument count mismatch.
+    /// Function argument count or buffer-id mismatch.
     BadArgs(String),
+    /// `arith.divui` / `arith.remui` with a zero divisor.
+    DivisionByZero,
+    /// `scf.for` with step 0 (would never terminate).
+    ZeroStep,
+    /// An error located at a specific static op, attached by the
+    /// interpreter's region walk. `cause` is never itself an `At`.
+    At {
+        op: OpId,
+        cause: Box<InterpError>,
+    },
+}
+
+impl InterpError {
+    /// Attach the faulting op id. Keeps the innermost location if one was
+    /// already attached (the op actually executing when the trap fired).
+    pub fn at(self, op: OpId) -> InterpError {
+        match self {
+            e @ InterpError::At { .. } => e,
+            e => InterpError::At {
+                op,
+                cause: Box::new(e),
+            },
+        }
+    }
+
+    /// The underlying error, with any location wrapper stripped.
+    pub fn root(&self) -> &InterpError {
+        match self {
+            InterpError::At { cause, .. } => cause.root(),
+            e => e,
+        }
+    }
+
+    /// The faulting op, when known.
+    pub fn op(&self) -> Option<OpId> {
+        match self {
+            InterpError::At { op, .. } => Some(*op),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for InterpError {
@@ -300,6 +355,9 @@ impl std::fmt::Display for InterpError {
             }
             InterpError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
             InterpError::BadArgs(m) => write!(f, "bad arguments: {m}"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::ZeroStep => write!(f, "scf.for step must be positive"),
+            InterpError::At { op, cause } => write!(f, "{op}: {cause}"),
         }
     }
 }
@@ -327,6 +385,19 @@ pub fn interpret(
             args.len()
         )));
     }
+    // Buffer ids only enter the environment through arguments (no op
+    // creates a `V::Mem`), so validating them here makes every later
+    // `Buffers::get` infallible.
+    for (i, a) in args.iter().enumerate() {
+        if let V::Mem(id) = a {
+            if *id as usize >= bufs.len() {
+                return Err(InterpError::BadArgs(format!(
+                    "argument {i} references buffer {id}, but only {} exist",
+                    bufs.len()
+                )));
+            }
+        }
+    }
     let mut env: Vec<Option<V>> = vec![None; func.value_types.len()];
     for (&p, &a) in func.params.iter().zip(args) {
         env[p.index()] = Some(a);
@@ -347,12 +418,14 @@ struct Interp<'a> {
 
 impl<'a> Interp<'a> {
     fn get(env: &[Option<V>], v: Value) -> V {
+        // invariant: the verifier rejects use-before-def, and every
+        // compiled kernel is verified before interpretation.
         env[v.index()].expect("verifier guarantees def-before-use")
     }
 
     fn region(&mut self, r: &Region, env: &mut Vec<Option<V>>) -> Result<Flow, InterpError> {
         for op in &r.ops {
-            if let Some(flow) = self.op(op, env)? {
+            if let Some(flow) = self.op(op, env).map_err(|e| e.at(op.id))? {
                 return Ok(flow);
             }
         }
@@ -389,12 +462,12 @@ impl<'a> Interp<'a> {
                 }
                 let l = g(env, *lhs);
                 let r = g(env, *rhs);
-                env[op.results[0].index()] = Some(eval_binary(*b, l, r));
+                env[op.results[0].index()] = Some(eval_binary(*b, l, r)?);
             }
             OpKind::Cmp { pred, lhs, rhs } => {
                 self.model.retire(1);
-                let l = g(env, *lhs).as_u64();
-                let r = g(env, *rhs).as_u64();
+                let l = g(env, *lhs).as_u64()?;
+                let r = g(env, *rhs).as_u64()?;
                 let b = match pred {
                     CmpPred::Eq => l == r,
                     CmpPred::Ne => l != r,
@@ -411,13 +484,16 @@ impl<'a> Interp<'a> {
                 if_false,
             } => {
                 self.model.retire(1);
-                let c = g(env, *cond).as_bool();
-                env[op.results[0].index()] =
-                    Some(if c { g(env, *if_true) } else { g(env, *if_false) });
+                let c = g(env, *cond).as_bool()?;
+                env[op.results[0].index()] = Some(if c {
+                    g(env, *if_true)
+                } else {
+                    g(env, *if_false)
+                });
             }
             OpKind::Cast { value, to } => {
                 self.model.retire(1);
-                let raw = g(env, *value).as_u64();
+                let raw = g(env, *value).as_u64()?;
                 let v = match to {
                     Type::Index => V::Index(raw as usize),
                     Type::I64 => V::I64(raw as i64),
@@ -433,8 +509,8 @@ impl<'a> Interp<'a> {
                 env[op.results[0].index()] = Some(v);
             }
             OpKind::Load { mem, index } => {
-                let buf_id = g(env, *mem).as_mem();
-                let i = g(env, *index).as_index();
+                let buf_id = g(env, *mem).as_mem()?;
+                let i = g(env, *index).as_index()?;
                 let (addr, eb) = self.addr_of(buf_id, i);
                 self.model.load(op.id, addr, eb);
                 let buf = self.bufs.get(buf_id);
@@ -445,8 +521,8 @@ impl<'a> Interp<'a> {
                 env[op.results[0].index()] = Some(v);
             }
             OpKind::Store { mem, index, value } => {
-                let buf_id = g(env, *mem).as_mem();
-                let i = g(env, *index).as_index();
+                let buf_id = g(env, *mem).as_mem()?;
+                let i = g(env, *index).as_index()?;
                 let v = g(env, *value);
                 let (addr, eb) = self.addr_of(buf_id, i);
                 self.model.store(op.id, addr, eb);
@@ -458,8 +534,8 @@ impl<'a> Interp<'a> {
                 write,
                 locality,
             } => {
-                let buf_id = g(env, *mem).as_mem();
-                let i = g(env, *index).as_index();
+                let buf_id = g(env, *mem).as_mem()?;
+                let i = g(env, *index).as_index()?;
                 // Prefetches never fault: compute the address even if it is
                 // out of bounds for the buffer.
                 let (addr, _eb) = self.addr_of(buf_id, i);
@@ -467,7 +543,7 @@ impl<'a> Interp<'a> {
             }
             OpKind::Dim { mem } => {
                 self.model.retire(1);
-                let buf_id = g(env, *mem).as_mem();
+                let buf_id = g(env, *mem).as_mem()?;
                 env[op.results[0].index()] = Some(V::Index(self.bufs.get(buf_id).data.len()));
             }
             OpKind::For {
@@ -479,10 +555,12 @@ impl<'a> Interp<'a> {
                 inits,
                 body,
             } => {
-                let lo = g(env, *lo).as_index();
-                let hi = g(env, *hi).as_index();
-                let step = g(env, *step).as_index();
-                debug_assert!(step > 0, "scf.for step must be positive");
+                let lo = g(env, *lo).as_index()?;
+                let hi = g(env, *hi).as_index()?;
+                let step = g(env, *step).as_index()?;
+                if step == 0 {
+                    return Err(InterpError::ZeroStep);
+                }
                 let mut carried: Vec<V> = inits.iter().map(|&v| g(env, v)).collect();
                 let mut i = lo;
                 while i < hi {
@@ -544,7 +622,7 @@ impl<'a> Interp<'a> {
             } => {
                 // Branch instruction.
                 self.model.retire(1);
-                let c = g(env, *cond).as_bool();
+                let c = g(env, *cond).as_bool()?;
                 let r = if c { then_region } else { else_region };
                 match self.region(r, env)? {
                     Flow::Yield(vs) => {
@@ -562,7 +640,7 @@ impl<'a> Interp<'a> {
             }
             OpKind::ConditionOp { cond, args } => {
                 self.model.retire(1);
-                let c = g(env, *cond).as_bool();
+                let c = g(env, *cond).as_bool()?;
                 return Ok(Some(Flow::Condition(
                     c,
                     args.iter().map(|&v| g(env, v)).collect(),
@@ -577,21 +655,24 @@ impl<'a> Interp<'a> {
     }
 }
 
-fn eval_binary(b: BinOp, l: V, r: V) -> V {
+fn eval_binary(b: BinOp, l: V, r: V) -> Result<V, InterpError> {
     use BinOp::*;
     match b {
         AddF | SubF | MulF | DivF => {
-            let (x, y) = (l.as_f64(), r.as_f64());
-            V::F64(match b {
+            let (x, y) = (l.as_f64()?, r.as_f64()?);
+            Ok(V::F64(match b {
                 AddF => x + y,
                 SubF => x - y,
                 MulF => x * y,
                 DivF => x / y,
                 _ => unreachable!(),
-            })
+            }))
         }
         _ => {
-            let (x, y) = (l.as_u64(), r.as_u64());
+            let (x, y) = (l.as_u64()?, r.as_u64()?);
+            if y == 0 && matches!(b, DivUI | RemUI) {
+                return Err(InterpError::DivisionByZero);
+            }
             let z = match b {
                 AddI => x.wrapping_add(y),
                 SubI => x.wrapping_sub(y),
@@ -606,14 +687,15 @@ fn eval_binary(b: BinOp, l: V, r: V) -> V {
                 _ => unreachable!(),
             };
             // Result type follows the lhs operand type.
-            match l {
+            Ok(match l {
                 V::Index(_) => V::Index(z as usize),
                 V::I64(_) => V::I64(z as i64),
                 V::I32(_) => V::I32(z as i32),
                 V::I8(_) => V::I8(z as i8),
                 V::Bool(_) => V::Bool(z != 0),
-                _ => unreachable!("verified integer-like"),
-            }
+                // invariant: as_u64 succeeded above, so l is integer-like.
+                _ => unreachable!("integer-like lhs"),
+            })
         }
     }
 }
@@ -687,13 +769,7 @@ mod tests {
 
         let mut bufs = Buffers::new();
         let bo = bufs.add(BufferData::Index(vec![0]));
-        interpret(
-            &f,
-            &[V::Index(7), V::Mem(bo)],
-            &mut bufs,
-            &mut NullModel,
-        )
-        .unwrap();
+        interpret(&f, &[V::Index(7), V::Mem(bo)], &mut bufs, &mut NullModel).unwrap();
         match &bufs.get(bo).data {
             BufferData::Index(v) => assert_eq!(v[0], 7),
             _ => unreachable!(),
@@ -720,7 +796,9 @@ mod tests {
             &mut NullModel,
         )
         .unwrap_err();
-        assert_eq!(err, InterpError::OutOfBounds { index: 5, len: 2 });
+        assert_eq!(*err.root(), InterpError::OutOfBounds { index: 5, len: 2 });
+        // The trap is located at the faulting load op.
+        assert!(err.op().is_some(), "trap carries an op id: {err}");
     }
 
     #[test]
@@ -784,12 +862,83 @@ mod tests {
     #[test]
     fn integer_binops_follow_lhs_type() {
         assert_eq!(
-            eval_binary(BinOp::AddI, V::I32(2_000_000_000), V::I32(2_000_000_000)),
+            eval_binary(BinOp::AddI, V::I32(2_000_000_000), V::I32(2_000_000_000)).unwrap(),
             V::I32((4_000_000_000u32) as i32)
         );
-        assert_eq!(eval_binary(BinOp::MinUI, V::Index(3), V::Index(9)), V::Index(3));
-        assert_eq!(eval_binary(BinOp::OrI, V::I8(1), V::I8(2)), V::I8(3));
-        assert_eq!(eval_binary(BinOp::AndI, V::I8(3), V::I8(2)), V::I8(2));
+        assert_eq!(
+            eval_binary(BinOp::MinUI, V::Index(3), V::Index(9)).unwrap(),
+            V::Index(3)
+        );
+        assert_eq!(
+            eval_binary(BinOp::OrI, V::I8(1), V::I8(2)).unwrap(),
+            V::I8(3)
+        );
+        assert_eq!(
+            eval_binary(BinOp::AndI, V::I8(3), V::I8(2)).unwrap(),
+            V::I8(2)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        assert_eq!(
+            eval_binary(BinOp::DivUI, V::Index(1), V::Index(0)).unwrap_err(),
+            InterpError::DivisionByZero
+        );
+        assert_eq!(
+            eval_binary(BinOp::RemUI, V::I32(7), V::I32(0)).unwrap_err(),
+            InterpError::DivisionByZero
+        );
+        // Float division by zero follows IEEE semantics instead.
+        assert_eq!(
+            eval_binary(BinOp::DivF, V::F64(1.0), V::F64(0.0)).unwrap(),
+            V::F64(f64::INFINITY)
+        );
+    }
+
+    #[test]
+    fn type_mismatch_traps_instead_of_aborting() {
+        // Pass an f64 where the loop bound (index) is expected: the `for`
+        // bound evaluation must trap, not abort the process.
+        let mut b = FuncBuilder::new("tm");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.for_loop(c0, n, c1, &[], |_, _, _| vec![]);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let err = interpret(&f, &[V::F64(3.5)], &mut bufs, &mut NullModel).unwrap_err();
+        assert!(
+            matches!(err.root(), InterpError::TypeMismatch(_)),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn zero_step_loop_traps() {
+        let mut b = FuncBuilder::new("zs");
+        let n = b.arg(Type::Index);
+        let step = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        b.for_loop(c0, n, step, &[], |_, _, _| vec![]);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let err =
+            interpret(&f, &[V::Index(10), V::Index(0)], &mut bufs, &mut NullModel).unwrap_err();
+        assert_eq!(*err.root(), InterpError::ZeroStep);
+    }
+
+    #[test]
+    fn dangling_buffer_id_is_rejected_up_front() {
+        let mut b = FuncBuilder::new("dangling");
+        let x = b.arg(Type::memref(Type::F64));
+        let c0 = b.const_index(0);
+        let v = b.load(x, c0);
+        b.store(v, x, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new(); // no buffers at all
+        let err = interpret(&f, &[V::Mem(7)], &mut bufs, &mut NullModel).unwrap_err();
+        assert!(matches!(err, InterpError::BadArgs(_)), "got {err}");
     }
 
     #[test]

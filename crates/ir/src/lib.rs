@@ -16,6 +16,7 @@
 
 pub mod builder;
 pub mod cse;
+pub mod diag;
 pub mod fold;
 pub mod interp;
 pub mod ops;
@@ -26,6 +27,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FuncBuilder;
+pub use cse::cse;
+pub use diag::AsapError;
+pub use fold::fold;
 pub use interp::{
     interpret, AccessKind, Buffer, BufferData, Buffers, CountingModel, InterpError, MemoryModel,
     NullModel, V,
@@ -33,8 +37,6 @@ pub use interp::{
 pub use ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
 pub use printer::print_function;
 pub use trace::{TraceEvent, TraceModel};
-pub use cse::cse;
-pub use fold::fold;
 pub use transforms::{dce, licm};
 pub use types::{Literal, Type};
 pub use verify::{verify, VerifyError};

@@ -155,7 +155,11 @@ pub enum OpKind {
     /// Binary arithmetic.
     Binary { op: BinOp, lhs: Value, rhs: Value },
     /// `arith.cmpi`.
-    Cmp { pred: CmpPred, lhs: Value, rhs: Value },
+    Cmp {
+        pred: CmpPred,
+        lhs: Value,
+        rhs: Value,
+    },
     /// `arith.select`.
     Select {
         cond: Value,

@@ -12,9 +12,22 @@ use crate::MemoryModel;
 /// One recorded memory event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
-    Load { pc: OpId, addr: u64, bytes: u8 },
-    Store { pc: OpId, addr: u64, bytes: u8 },
-    Prefetch { pc: OpId, addr: u64, locality: u8, write: bool },
+    Load {
+        pc: OpId,
+        addr: u64,
+        bytes: u8,
+    },
+    Store {
+        pc: OpId,
+        addr: u64,
+        bytes: u8,
+    },
+    Prefetch {
+        pc: OpId,
+        addr: u64,
+        locality: u8,
+        write: bool,
+    },
 }
 
 impl TraceEvent {

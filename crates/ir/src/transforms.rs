@@ -99,7 +99,10 @@ fn licm_region(r: &mut Region, stored: &HashSet<Value>, hoisted: &mut usize) {
         let mut inside: HashSet<Value> = HashSet::new();
         match &r.ops[i].kind {
             OpKind::For {
-                iv, iter_args, body, ..
+                iv,
+                iter_args,
+                body,
+                ..
             } => {
                 inside.insert(*iv);
                 inside.extend(iter_args.iter().copied());
@@ -268,7 +271,10 @@ mod tests {
 
         let (before_out, before_m) = run(&f);
         let hoisted = licm(&mut f);
-        assert!(hoisted >= 2, "expected the bound chain to hoist, got {hoisted}");
+        assert!(
+            hoisted >= 2,
+            "expected the bound chain to hoist, got {hoisted}"
+        );
         verify(&f).unwrap();
         let (after_out, after_m) = run(&f);
         assert_eq!(before_out, after_out);

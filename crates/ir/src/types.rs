@@ -41,7 +41,10 @@ impl Type {
 
     /// Whether this is an integer-like scalar (including `index` and `i1`).
     pub fn is_int_like(&self) -> bool {
-        matches!(self, Type::Index | Type::I64 | Type::I32 | Type::I8 | Type::I1)
+        matches!(
+            self,
+            Type::Index | Type::I64 | Type::I32 | Type::I8 | Type::I1
+        )
     }
 
     /// Whether this is a float scalar.

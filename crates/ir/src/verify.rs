@@ -68,11 +68,7 @@ fn check_types(f: &Function, op: &Op) -> Result<(), VerifyError> {
             }
             let want_float = b.is_float();
             if want_float != f.ty(*lhs).is_float() {
-                return err(format!(
-                    "{} applied to {}",
-                    b.mnemonic(),
-                    f.ty(*lhs)
-                ));
+                return err(format!("{} applied to {}", b.mnemonic(), f.ty(*lhs)));
             }
         }
         OpKind::Cmp { lhs, rhs, .. } => {
@@ -111,17 +107,11 @@ fn check_types(f: &Function, op: &Op) -> Result<(), VerifyError> {
                 return err("store index must be of index type".into());
             }
             if elem != f.ty(*value) {
-                return err(format!(
-                    "store of {} into memref of {}",
-                    f.ty(*value),
-                    elem
-                ));
+                return err(format!("store of {} into memref of {}", f.ty(*value), elem));
             }
         }
-        OpKind::Dim { mem } => {
-            if f.ty(*mem).elem().is_none() {
-                return err("dim of non-memref".into());
-            }
+        OpKind::Dim { mem } if f.ty(*mem).elem().is_none() => {
+            return err("dim of non-memref".into());
         }
         OpKind::For {
             lo,
@@ -161,10 +151,8 @@ fn check_types(f: &Function, op: &Op) -> Result<(), VerifyError> {
                 return err("while results arity mismatch".into());
             }
         }
-        OpKind::If { cond, .. } => {
-            if *f.ty(*cond) != Type::I1 {
-                return err("if condition must be i1".into());
-            }
+        OpKind::If { cond, .. } if *f.ty(*cond) != Type::I1 => {
+            return err("if condition must be i1".into());
         }
         _ => {}
     }
@@ -197,7 +185,10 @@ fn verify_region(
         check_types(f, op)?;
         match &op.kind {
             OpKind::For {
-                iv, iter_args, body, ..
+                iv,
+                iter_args,
+                body,
+                ..
             } => {
                 defined.insert(*iv);
                 defined.extend(iter_args.iter().copied());
@@ -222,9 +213,7 @@ fn verify_region(
                     f,
                     before,
                     defined,
-                    TerminatorKind::Condition {
-                        arity: inits.len(),
-                    },
+                    TerminatorKind::Condition { arity: inits.len() },
                 )?;
                 defined.extend(after_args.iter().copied());
                 verify_region(
@@ -281,13 +270,11 @@ fn verify_region(
                     )));
                 }
             },
-            OpKind::Return(_) => {
-                if term != TerminatorKind::Return {
-                    return Err(VerifyError(format!(
-                        "{}: return inside a nested region",
-                        op.id
-                    )));
-                }
+            OpKind::Return(_) if term != TerminatorKind::Return => {
+                return Err(VerifyError(format!(
+                    "{}: return inside a nested region",
+                    op.id
+                )));
             }
             _ => {}
         }

@@ -11,22 +11,55 @@
 //! ([`MatrixSpec::materialize`]), deterministically.
 
 use crate::gen;
+use crate::rng::Rng64;
 use crate::triplets::Triplets;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator recipe for one matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GenSpec {
-    Banded { n: usize, band: usize, seed: u64 },
-    Stencil5 { nx: usize, ny: usize },
-    ErdosRenyi { n: usize, deg: usize, seed: u64 },
-    Rmat { scale: u32, deg: usize, seed: u64 },
-    PowerLaw { n: usize, deg: usize, alpha: f64, seed: u64 },
-    RoadNetwork { n: usize, seed: u64 },
-    BlockDiagonal { nblocks: usize, block: usize, fill: f64, seed: u64 },
-    WebGraph { n: usize, deg: usize, seed: u64 },
-    Diagonal { n: usize },
+    Banded {
+        n: usize,
+        band: usize,
+        seed: u64,
+    },
+    Stencil5 {
+        nx: usize,
+        ny: usize,
+    },
+    ErdosRenyi {
+        n: usize,
+        deg: usize,
+        seed: u64,
+    },
+    Rmat {
+        scale: u32,
+        deg: usize,
+        seed: u64,
+    },
+    PowerLaw {
+        n: usize,
+        deg: usize,
+        alpha: f64,
+        seed: u64,
+    },
+    RoadNetwork {
+        n: usize,
+        seed: u64,
+    },
+    BlockDiagonal {
+        nblocks: usize,
+        block: usize,
+        fill: f64,
+        seed: u64,
+    },
+    WebGraph {
+        n: usize,
+        deg: usize,
+        seed: u64,
+    },
+    Diagonal {
+        n: usize,
+    },
 }
 
 /// One matrix of the collection.
@@ -52,7 +85,12 @@ impl MatrixSpec {
             GenSpec::Stencil5 { nx, ny } => gen::stencil5(nx, ny),
             GenSpec::ErdosRenyi { n, deg, seed } => gen::erdos_renyi(n, deg, seed),
             GenSpec::Rmat { scale, deg, seed } => gen::rmat(scale, deg, seed),
-            GenSpec::PowerLaw { n, deg, alpha, seed } => gen::power_law(n, deg, alpha, seed),
+            GenSpec::PowerLaw {
+                n,
+                deg,
+                alpha,
+                seed,
+            } => gen::power_law(n, deg, alpha, seed),
             GenSpec::RoadNetwork { n, seed } => gen::road_network(n, seed),
             GenSpec::BlockDiagonal {
                 nblocks,
@@ -64,7 +102,7 @@ impl MatrixSpec {
             GenSpec::Diagonal { n } => gen::diagonal(n),
         };
         if t.binary {
-            let mut rng = StdRng::seed_from_u64(0xA5A5);
+            let mut rng = Rng64::seed_from_u64(0xA5A5);
             for v in &mut t.vals {
                 *v = rng.gen_range(0.1..1.0);
             }
@@ -106,8 +144,7 @@ impl SizeClass {
 }
 
 /// The six unstructured groups aggregated as "Selected" in the figures.
-pub const UNSTRUCTURED_GROUPS: [&str; 6] =
-    ["GAP", "SNAP", "DIMACS10", "LAW", "Gleich", "Pajek"];
+pub const UNSTRUCTURED_GROUPS: [&str; 6] = ["GAP", "SNAP", "DIMACS10", "LAW", "Gleich", "Pajek"];
 
 /// Build the synthetic collection at the given size.
 pub fn synthetic_collection(size: SizeClass) -> Vec<MatrixSpec> {
@@ -122,24 +159,174 @@ pub fn synthetic_collection(size: SizeClass) -> Vec<MatrixSpec> {
     };
     vec![
         // --- Selected: unstructured graph-like families -----------------
-        spec("GAP", "kron19", true, GenSpec::Rmat { scale: 19 - so, deg: 6, seed: 11 }),
-        spec("GAP", "kron19b", true, GenSpec::Rmat { scale: 19 - so, deg: 8, seed: 12 }),
-        spec("GAP", "twitter-like", true, GenSpec::Rmat { scale: 19 - so, deg: 7, seed: 13 }),
-        spec("SNAP", "soc-medium", true, GenSpec::PowerLaw { n: n(300_000), deg: 8, alpha: 1.0, seed: 21 }),
-        spec("SNAP", "soc-large", true, GenSpec::PowerLaw { n: n(500_000), deg: 6, alpha: 1.2, seed: 22 }),
-        spec("DIMACS10", "road-a", true, GenSpec::RoadNetwork { n: n(500_000), seed: 31 }),
-        spec("DIMACS10", "road-b", true, GenSpec::RoadNetwork { n: n(800_000), seed: 32 }),
-        spec("LAW", "web-hosts", true, GenSpec::WebGraph { n: n(280_000), deg: 10, seed: 41 }),
-        spec("LAW", "web-pages", true, GenSpec::WebGraph { n: n(400_000), deg: 8, seed: 42 }),
-        spec("Gleich", "rand-er-a", true, GenSpec::ErdosRenyi { n: n(300_000), deg: 8, seed: 51 }),
-        spec("Gleich", "rand-er-b", true, GenSpec::ErdosRenyi { n: n(500_000), deg: 6, seed: 52 }),
-        spec("Pajek", "net-flat", true, GenSpec::PowerLaw { n: n(400_000), deg: 6, alpha: 0.7, seed: 61 }),
+        spec(
+            "GAP",
+            "kron19",
+            true,
+            GenSpec::Rmat {
+                scale: 19 - so,
+                deg: 6,
+                seed: 11,
+            },
+        ),
+        spec(
+            "GAP",
+            "kron19b",
+            true,
+            GenSpec::Rmat {
+                scale: 19 - so,
+                deg: 8,
+                seed: 12,
+            },
+        ),
+        spec(
+            "GAP",
+            "twitter-like",
+            true,
+            GenSpec::Rmat {
+                scale: 19 - so,
+                deg: 7,
+                seed: 13,
+            },
+        ),
+        spec(
+            "SNAP",
+            "soc-medium",
+            true,
+            GenSpec::PowerLaw {
+                n: n(300_000),
+                deg: 8,
+                alpha: 1.0,
+                seed: 21,
+            },
+        ),
+        spec(
+            "SNAP",
+            "soc-large",
+            true,
+            GenSpec::PowerLaw {
+                n: n(500_000),
+                deg: 6,
+                alpha: 1.2,
+                seed: 22,
+            },
+        ),
+        spec(
+            "DIMACS10",
+            "road-a",
+            true,
+            GenSpec::RoadNetwork {
+                n: n(500_000),
+                seed: 31,
+            },
+        ),
+        spec(
+            "DIMACS10",
+            "road-b",
+            true,
+            GenSpec::RoadNetwork {
+                n: n(800_000),
+                seed: 32,
+            },
+        ),
+        spec(
+            "LAW",
+            "web-hosts",
+            true,
+            GenSpec::WebGraph {
+                n: n(280_000),
+                deg: 10,
+                seed: 41,
+            },
+        ),
+        spec(
+            "LAW",
+            "web-pages",
+            true,
+            GenSpec::WebGraph {
+                n: n(400_000),
+                deg: 8,
+                seed: 42,
+            },
+        ),
+        spec(
+            "Gleich",
+            "rand-er-a",
+            true,
+            GenSpec::ErdosRenyi {
+                n: n(300_000),
+                deg: 8,
+                seed: 51,
+            },
+        ),
+        spec(
+            "Gleich",
+            "rand-er-b",
+            true,
+            GenSpec::ErdosRenyi {
+                n: n(500_000),
+                deg: 6,
+                seed: 52,
+            },
+        ),
+        spec(
+            "Pajek",
+            "net-flat",
+            true,
+            GenSpec::PowerLaw {
+                n: n(400_000),
+                deg: 6,
+                alpha: 0.7,
+                seed: 61,
+            },
+        ),
         // --- Others: structured families ---------------------------------
-        spec("Janna", "band-fem", false, GenSpec::Banded { n: n(400_000), band: 4, seed: 71 }),
-        spec("GHS_psdef", "grid-2d", false, GenSpec::Stencil5 { nx: n(490_000).isqrt(), ny: n(490_000).isqrt() }),
-        spec("Boeing", "blocks", false, GenSpec::BlockDiagonal { nblocks: n(384_000) / 64, block: 64, fill: 0.15, seed: 81 }),
-        spec("Schenk", "band-wide", false, GenSpec::Banded { n: n(300_000), band: 8, seed: 82 }),
-        spec("Oberwolfach", "diag", false, GenSpec::Diagonal { n: n(500_000) }),
+        spec(
+            "Janna",
+            "band-fem",
+            false,
+            GenSpec::Banded {
+                n: n(400_000),
+                band: 4,
+                seed: 71,
+            },
+        ),
+        spec(
+            "GHS_psdef",
+            "grid-2d",
+            false,
+            GenSpec::Stencil5 {
+                nx: n(490_000).isqrt(),
+                ny: n(490_000).isqrt(),
+            },
+        ),
+        spec(
+            "Boeing",
+            "blocks",
+            false,
+            GenSpec::BlockDiagonal {
+                nblocks: n(384_000) / 64,
+                block: 64,
+                fill: 0.15,
+                seed: 81,
+            },
+        ),
+        spec(
+            "Schenk",
+            "band-wide",
+            false,
+            GenSpec::Banded {
+                n: n(300_000),
+                band: 8,
+                seed: 82,
+            },
+        ),
+        spec(
+            "Oberwolfach",
+            "diag",
+            false,
+            GenSpec::Diagonal { n: n(500_000) },
+        ),
     ]
 }
 
@@ -214,11 +401,7 @@ mod tests {
                 | GenSpec::WebGraph { n, .. } => n,
                 _ => unreachable!("unstructured specs are graph archetypes"),
             };
-            assert!(
-                cols * 8 > 2 * 1024 * 1024,
-                "{}: vector fits in L3",
-                m.name
-            );
+            assert!(cols * 8 > 2 * 1024 * 1024, "{}: vector fits in L3", m.name);
         }
     }
 }

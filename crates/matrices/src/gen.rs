@@ -8,14 +8,13 @@
 //!
 //! All generators are deterministic given their seed.
 
+use crate::rng::Rng64;
 use crate::triplets::Triplets;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Banded matrix: `band` diagonals around the main one. Structured;
 /// hardware prefetchers love it (the "Others" regime of Figures 7/11).
 pub fn banded(n: usize, band: usize, seed: u64) -> Triplets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     for i in 0..n {
         let lo = i.saturating_sub(band);
@@ -57,7 +56,7 @@ pub fn stencil5(nx: usize, ny: usize) -> Triplets {
 /// Uniform random (Erdős–Rényi) matrix: every row draws `avg_deg` columns
 /// uniformly. Unstructured, uniform short rows.
 pub fn erdos_renyi(n: usize, avg_deg: usize, seed: u64) -> Triplets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     for i in 0..n {
         for _ in 0..avg_deg {
@@ -75,7 +74,7 @@ pub fn rmat(scale: u32, avg_deg: usize, seed: u64) -> Triplets {
     let n = 1usize << scale;
     let nnz = n * avg_deg;
     let (a, b, c) = (0.57, 0.19, 0.19); // Graph500 parameters
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     t.binary = true;
     for _ in 0..nnz {
@@ -102,7 +101,7 @@ pub fn rmat(scale: u32, avg_deg: usize, seed: u64) -> Triplets {
 /// Power-law row degrees with uniform column targets (SNAP-style social
 /// network): degree of row i ∝ (i+1)^(-alpha), scaled to hit `avg_deg`.
 pub fn power_law(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Triplets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
     let wsum: f64 = weights.iter().sum();
     let total = (n * avg_deg) as f64;
@@ -122,7 +121,7 @@ pub fn power_law(n: usize, avg_deg: usize, alpha: f64, seed: u64) -> Triplets {
 /// 2–4, mostly local edges with occasional long ones. The short rows
 /// (segment length ≪ prefetch distance) are the regime of Section 5.3.
 pub fn road_network(n: usize, seed: u64) -> Triplets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     t.binary = true;
     for i in 0..n {
@@ -152,7 +151,7 @@ pub fn road_network(n: usize, seed: u64) -> Triplets {
 /// structured, excellent locality.
 pub fn block_diagonal(nblocks: usize, block: usize, fill: f64, seed: u64) -> Triplets {
     let n = nblocks * block;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     for bidx in 0..nblocks {
         let base = bidx * block;
@@ -170,7 +169,7 @@ pub fn block_diagonal(nblocks: usize, block: usize, fill: f64, seed: u64) -> Tri
 /// Web-graph-like (LAW archetype): power-law degrees plus locality runs
 /// (consecutive columns), mixing streaming-friendly segments with hubs.
 pub fn web_graph(n: usize, avg_deg: usize, seed: u64) -> Triplets {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut t = Triplets::new(n, n);
     t.binary = true;
     for i in 0..n {
@@ -266,11 +265,7 @@ mod tests {
     #[test]
     fn block_diagonal_stays_in_blocks() {
         let t = block_diagonal(4, 8, 0.5, 2);
-        assert!(t
-            .rows
-            .iter()
-            .zip(&t.cols)
-            .all(|(&r, &c)| r / 8 == c / 8));
+        assert!(t.rows.iter().zip(&t.cols).all(|(&r, &c)| r / 8 == c / 8));
     }
 
     #[test]

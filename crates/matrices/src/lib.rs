@@ -10,12 +10,14 @@
 pub mod collection;
 pub mod gen;
 pub mod mmio;
+pub mod rng;
 pub mod stats;
 pub mod triplets;
 
 pub use collection::{
     spmm_collection, synthetic_collection, GenSpec, MatrixSpec, SizeClass, UNSTRUCTURED_GROUPS,
 };
-pub use mmio::{read_matrix_market, write_matrix_market};
+pub use mmio::{read_matrix_market, write_matrix_market, MmioError};
+pub use rng::Rng64;
 pub use stats::RowStats;
 pub use triplets::Triplets;

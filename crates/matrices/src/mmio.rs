@@ -2,40 +2,170 @@
 //! be dropped into any experiment in place of the synthetic families.
 //!
 //! Supports `matrix coordinate {real,integer,pattern} {general,symmetric}`.
+//!
+//! The reader is hardened against untrusted input: every rejection is a
+//! typed [`MmioError`] carrying the offending (1-based) line number, and
+//! the entry section is checked for out-of-range coordinates,
+//! truncation, and trailing surplus entries. A corrupt file can never
+//! panic the pipeline — it surfaces as `Err` at the parse stage.
 
 use crate::triplets::Triplets;
+use asap_ir::AsapError;
 use std::io::{BufRead, Write};
 
+/// A typed MatrixMarket parse failure. `line` fields are 1-based line
+/// numbers in the input stream (counting comments and blank lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MmioError {
+    /// The underlying reader failed.
+    Io { line: usize, message: String },
+    /// First line is not a `%%MatrixMarket matrix ...` banner.
+    BadHeader { header: String },
+    /// Header is well-formed but requests an unsupported variant.
+    Unsupported { what: &'static str, token: String },
+    /// Stream ended before the `rows cols nnz` size line.
+    MissingSizeLine,
+    /// The size line is malformed.
+    BadSizeLine { line: usize, message: String },
+    /// An entry line is malformed (missing or non-numeric fields).
+    BadEntry { line: usize, message: String },
+    /// An entry's 1-based coordinates fall outside the declared shape
+    /// (this includes 0-based coordinates, which MatrixMarket forbids).
+    OutOfRange {
+        line: usize,
+        row: usize,
+        col: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// Entry count does not match the size line (truncated stream or
+    /// surplus entries). For surplus entries `line` points at the first
+    /// entry past the declared count; for truncation it is the last line.
+    WrongEntryCount {
+        line: usize,
+        expected: usize,
+        read: usize,
+    },
+}
+
+impl MmioError {
+    /// The offending 1-based line number (0 when the stream ended before
+    /// any line could be blamed).
+    pub fn line(&self) -> usize {
+        match self {
+            MmioError::Io { line, .. }
+            | MmioError::BadSizeLine { line, .. }
+            | MmioError::BadEntry { line, .. }
+            | MmioError::OutOfRange { line, .. }
+            | MmioError::WrongEntryCount { line, .. } => *line,
+            MmioError::BadHeader { .. } | MmioError::Unsupported { .. } => 1,
+            MmioError::MissingSizeLine => 0,
+        }
+    }
+
+    /// The failure description without the `line N:` prefix, for callers
+    /// (like [`AsapError::Parse`]) that carry the line number separately.
+    pub fn detail(&self) -> String {
+        match self {
+            MmioError::Io { message, .. } => format!("read failed: {message}"),
+            MmioError::BadHeader { header } => {
+                format!("not a MatrixMarket matrix header: {header}")
+            }
+            MmioError::Unsupported { what, token } => format!("unsupported {what}: {token}"),
+            MmioError::MissingSizeLine => "missing size line".into(),
+            MmioError::BadSizeLine { message, .. } => format!("bad size line: {message}"),
+            MmioError::BadEntry { message, .. } => format!("bad entry: {message}"),
+            MmioError::OutOfRange {
+                row,
+                col,
+                nrows,
+                ncols,
+                ..
+            } => format!(
+                "entry ({row},{col}) out of bounds for a {nrows}x{ncols} matrix \
+                 (coordinates are 1-based)"
+            ),
+            MmioError::WrongEntryCount { expected, read, .. } => {
+                format!("expected {expected} entries, read {read}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for MmioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let MmioError::MissingSizeLine = self {
+            return write!(f, "{}", self.detail());
+        }
+        write!(f, "line {}: {}", self.line(), self.detail())
+    }
+}
+
+impl std::error::Error for MmioError {}
+
+impl From<MmioError> for AsapError {
+    fn from(e: MmioError) -> AsapError {
+        AsapError::parse(e.line(), e.detail())
+    }
+}
+
 /// Parse a MatrixMarket stream.
-pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, String> {
+pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, MmioError> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or("empty input")?
-        .map_err(|e| e.to_string())?;
-    let fields: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let mut lineno = 0usize;
+    let io_err = |lineno: usize, e: std::io::Error| MmioError::Io {
+        line: lineno,
+        message: e.to_string(),
+    };
+
+    lineno += 1;
+    let header = match lines.next() {
+        None => {
+            return Err(MmioError::BadHeader {
+                header: "<empty input>".into(),
+            })
+        }
+        Some(l) => l.map_err(|e| io_err(lineno, e))?,
+    };
+    let fields: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-        return Err(format!("not a MatrixMarket matrix header: {header}"));
+        return Err(MmioError::BadHeader { header });
     }
     if fields[2] != "coordinate" {
-        return Err(format!("unsupported storage format: {}", fields[2]));
+        return Err(MmioError::Unsupported {
+            what: "storage format",
+            token: fields[2].clone(),
+        });
     }
-    let value_type = fields[3].as_str();
-    let pattern = match value_type {
+    let pattern = match fields[3].as_str() {
         "real" | "integer" => false,
         "pattern" => true,
-        other => return Err(format!("unsupported value type: {other}")),
+        other => {
+            return Err(MmioError::Unsupported {
+                what: "value type",
+                token: other.to_string(),
+            })
+        }
     };
     let symmetric = match fields[4].as_str() {
         "general" => false,
         "symmetric" => true,
-        other => return Err(format!("unsupported symmetry: {other}")),
+        other => {
+            return Err(MmioError::Unsupported {
+                what: "symmetry",
+                token: other.to_string(),
+            })
+        }
     };
 
     // Skip comments, read the size line.
     let mut size_line = None;
     for line in lines.by_ref() {
-        let line = line.map_err(|e| e.to_string())?;
+        lineno += 1;
+        let line = line.map_err(|e| io_err(lineno, e))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
@@ -43,46 +173,82 @@ pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, String> {
         size_line = Some(t.to_string());
         break;
     }
-    let size_line = size_line.ok_or("missing size line")?;
+    let size_line = size_line.ok_or(MmioError::MissingSizeLine)?;
+    let size_lineno = lineno;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|x| x.parse().map_err(|e| format!("bad size field {x}: {e}")))
+        .map(|x| {
+            x.parse().map_err(|e| MmioError::BadSizeLine {
+                line: size_lineno,
+                message: format!("field {x}: {e}"),
+            })
+        })
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(format!("size line needs 3 fields: {size_line}"));
+        return Err(MmioError::BadSizeLine {
+            line: size_lineno,
+            message: format!("needs 3 fields, got {}: {size_line}", dims.len()),
+        });
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+    if nnz > nrows.saturating_mul(ncols) {
+        return Err(MmioError::BadSizeLine {
+            line: size_lineno,
+            message: format!("{nnz} entries cannot fit a {nrows}x{ncols} matrix"),
+        });
+    }
 
     let mut t = Triplets::new(nrows, ncols);
     t.binary = pattern;
+    // Repeated (row, col) pairs are accepted: `Triplets` allows duplicates
+    // and downstream COO→storage conversion accumulates them, matching the
+    // SuiteSparse convention.
     let mut read = 0usize;
     for line in lines {
-        let line = line.map_err(|e| e.to_string())?;
+        lineno += 1;
+        let line = line.map_err(|e| io_err(lineno, e))?;
         let s = line.trim();
         if s.is_empty() || s.starts_with('%') {
             continue;
         }
+        if read == nnz {
+            return Err(MmioError::WrongEntryCount {
+                line: lineno,
+                expected: nnz,
+                read: read + 1,
+            });
+        }
+        let bad = |message: String| MmioError::BadEntry {
+            line: lineno,
+            message,
+        };
         let mut it = s.split_whitespace();
         let r: usize = it
             .next()
-            .ok_or("missing row")?
+            .ok_or_else(|| bad("missing row".into()))?
             .parse()
-            .map_err(|e| format!("bad row: {e}"))?;
+            .map_err(|e| bad(format!("row: {e}")))?;
         let c: usize = it
             .next()
-            .ok_or("missing col")?
+            .ok_or_else(|| bad("missing col".into()))?
             .parse()
-            .map_err(|e| format!("bad col: {e}"))?;
+            .map_err(|e| bad(format!("col: {e}")))?;
         if r == 0 || c == 0 || r > nrows || c > ncols {
-            return Err(format!("entry ({r},{c}) out of bounds"));
+            return Err(MmioError::OutOfRange {
+                line: lineno,
+                row: r,
+                col: c,
+                nrows,
+                ncols,
+            });
         }
         let v: f64 = if pattern {
             1.0
         } else {
             it.next()
-                .ok_or("missing value")?
+                .ok_or_else(|| bad("missing value".into()))?
                 .parse()
-                .map_err(|e| format!("bad value: {e}"))?
+                .map_err(|e| bad(format!("value: {e}")))?
         };
         t.push(r - 1, c - 1, v);
         if symmetric && r != c {
@@ -91,7 +257,11 @@ pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, String> {
         read += 1;
     }
     if read != nnz {
-        return Err(format!("expected {nnz} entries, read {read}"));
+        return Err(MmioError::WrongEntryCount {
+            line: lineno,
+            expected: nnz,
+            read,
+        });
     }
     Ok(t)
 }
@@ -152,23 +322,137 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(read_matrix_market("%%Nope\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n".as_bytes()
-        )
-        .is_err());
+        assert!(matches!(
+            read_matrix_market("%%Nope\n1 1 0\n".as_bytes()),
+            Err(MmioError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()),
+            Err(MmioError::Unsupported {
+                what: "storage format",
+                ..
+            })
+        ));
     }
 
     #[test]
-    fn rejects_out_of_bounds_entries() {
+    fn rejects_out_of_bounds_entries_with_line_number() {
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(read_matrix_market(src.as_bytes()).is_err());
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            MmioError::OutOfRange {
+                line: 3,
+                row: 3,
+                col: 1,
+                nrows: 2,
+                ncols: 2
+            }
+        );
     }
 
     #[test]
-    fn rejects_wrong_entry_count() {
+    fn rejects_zero_based_coordinates() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            MmioError::OutOfRange {
+                line: 3,
+                row: 0,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("1-based"), "{err}");
+    }
+
+    #[test]
+    fn accepts_duplicate_entries_for_downstream_accumulation() {
+        // `Triplets` allows duplicates (generators emit them; COO→storage
+        // conversion sums them), so the reader keeps both occurrences.
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 3\n1 1 1.0\n2 2 2.0\n1 1 5.0\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.dense_spmv(&[1.0, 1.0]), vec![6.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_truncated_entry_section() {
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
         let err = read_matrix_market(src.as_bytes()).unwrap_err();
-        assert!(err.contains("expected 2 entries"));
+        assert_eq!(
+            err,
+            MmioError::WrongEntryCount {
+                line: 3,
+                expected: 2,
+                read: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_surplus_entries_at_first_extra_line() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 1\n1 1 1.0\n2 2 2.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            MmioError::WrongEntryCount {
+                line: 4,
+                expected: 1,
+                read: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_size_line() {
+        let src = "%%MatrixMarket matrix coordinate real general\nfoo bar baz\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, MmioError::BadSizeLine { line: 2, .. }),
+            "{err}"
+        );
+
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()).unwrap_err(),
+            MmioError::BadSizeLine { .. }
+        ));
+
+        // nnz larger than the shape can hold.
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 9\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()).unwrap_err(),
+            MmioError::BadSizeLine { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_numeric_entry_fields() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, MmioError::BadEntry { line: 3, .. }), "{err}");
+
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()).unwrap_err(),
+            MmioError::BadEntry { .. }
+        ));
+
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n";
+        assert!(matches!(
+            read_matrix_market(src.as_bytes()).unwrap_err(),
+            MmioError::BadEntry { .. }
+        ));
+    }
+
+    #[test]
+    fn converts_to_asap_error_with_line() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let e: AsapError = read_matrix_market(src.as_bytes()).unwrap_err().into();
+        assert_eq!(e.kind(), "parse");
+        assert!(e.to_string().contains("line 3"), "{e}");
     }
 }

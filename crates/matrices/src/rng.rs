@@ -1,0 +1,172 @@
+//! A small deterministic PRNG, replacing the external `rand` crate so the
+//! workspace builds in offline environments.
+//!
+//! The core is SplitMix64 (Steele, Lea & Flood, "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): a 64-bit counter
+//! advanced by a Weyl constant and scrambled by a 3-round xor-multiply
+//! finalizer. It passes BigCrush, seeds well from consecutive integers,
+//! and is more than random enough for synthetic matrix generation and
+//! fuzzing — none of which need cryptographic strength.
+//!
+//! The API mirrors the subset of `rand::Rng` the generators use
+//! (`gen_range` over usize / inclusive-usize / f64 ranges, `gen::<f64>()`,
+//! `gen_bool`), so call sites read identically. Streams are stable: they
+//! are part of the determinism contract of `asap_matrices::gen` (tests
+//! assert exact equality of generated matrices across runs) and of the
+//! fixed-seed differential fuzzer.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic 64-bit PRNG (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Seed the generator. Any seed is acceptable, including 0 and
+    /// consecutive integers; the output streams are decorrelated by the
+    /// finalizer.
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[0, n)` (Lemire's multiply-shift reduction —
+    /// the bias is < 2^-64 per draw, irrelevant at our scales).
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "usize_below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform sample from a range; mirrors `rand::Rng::gen_range`.
+    /// Supports `usize` ranges (half-open and inclusive) and `f64`
+    /// half-open ranges.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform sample of a whole domain; mirrors `rand::Rng::gen`.
+    /// Implemented for `f64` (uniform in `[0, 1)`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        self.gen_f64() < p
+    }
+}
+
+/// Domains sampled uniformly by [`Rng64::gen`].
+pub trait Sample {
+    fn sample(rng: &mut Rng64) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut Rng64) -> f64 {
+        rng.gen_f64()
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut Rng64) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges sampled uniformly by [`Rng64::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.usize_below(self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample(self, rng: &mut Rng64) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + rng.usize_below(hi - lo + 1)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range {self:?}");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        let mut c = Rng64::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let v = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&v));
+            let f = rng.gen_range(0.1..1.0);
+            assert!((0.1..1.0).contains(&f));
+            let p: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // Chi-square-free smoke test: each of 8 buckets of [0,1) should
+        // get 10-40% of 4096 draws (expected 12.5%).
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut buckets = [0usize; 8];
+        for _ in 0..4096 {
+            buckets[(rng.gen_f64() * 8.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((410..=1640).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.9)).count();
+        assert!((8700..=9300).contains(&hits), "{hits}");
+        let mut rng = Rng64::seed_from_u64(9);
+        assert!((0..100).filter(|_| rng.gen_bool(0.0)).count() == 0);
+    }
+}

@@ -40,12 +40,22 @@ impl Triplets {
 
     /// Convert to an f64 [`asap_tensor::CooTensor`].
     pub fn to_coo_f64(&self) -> asap_tensor::CooTensor {
+        match self.try_to_coo_f64() {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`to_coo_f64`](Triplets::to_coo_f64): reports
+    /// out-of-range coordinates as a typed storage error instead of
+    /// panicking (degenerate inputs from the fuzz harness reach this).
+    pub fn try_to_coo_f64(&self) -> Result<asap_tensor::CooTensor, asap_ir::AsapError> {
         let mut coords = Vec::with_capacity(self.nnz() * 2);
         for (&r, &c) in self.rows.iter().zip(&self.cols) {
             coords.push(r);
             coords.push(c);
         }
-        asap_tensor::CooTensor::new(
+        asap_tensor::CooTensor::try_new(
             vec![self.nrows, self.ncols],
             coords,
             asap_tensor::Values::F64(self.vals.clone()),
@@ -55,12 +65,20 @@ impl Triplets {
     /// Convert to a boolean (i8) [`asap_tensor::CooTensor`]: any non-zero
     /// becomes 1.
     pub fn to_coo_i8(&self) -> asap_tensor::CooTensor {
+        match self.try_to_coo_i8() {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`to_coo_i8`](Triplets::to_coo_i8).
+    pub fn try_to_coo_i8(&self) -> Result<asap_tensor::CooTensor, asap_ir::AsapError> {
         let mut coords = Vec::with_capacity(self.nnz() * 2);
         for (&r, &c) in self.rows.iter().zip(&self.cols) {
             coords.push(r);
             coords.push(c);
         }
-        asap_tensor::CooTensor::new(
+        asap_tensor::CooTensor::try_new(
             vec![self.nrows, self.ncols],
             coords,
             asap_tensor::Values::I8(self.vals.iter().map(|&v| (v != 0.0) as i8).collect()),
@@ -73,6 +91,15 @@ impl Triplets {
             self.to_coo_i8()
         } else {
             self.to_coo_f64()
+        }
+    }
+
+    /// Fallible variant of [`to_coo`](Triplets::to_coo).
+    pub fn try_to_coo(&self) -> Result<asap_tensor::CooTensor, asap_ir::AsapError> {
+        if self.binary {
+            self.try_to_coo_i8()
+        } else {
+            self.try_to_coo_f64()
         }
     }
 

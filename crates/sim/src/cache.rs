@@ -13,7 +13,9 @@ use crate::config::{CacheParams, LINE_BYTES};
 pub enum Probe {
     /// Line present; data usable at `ready` (may be in the future if the
     /// fill is still in flight).
-    Hit { ready: u64 },
+    Hit {
+        ready: u64,
+    },
     Miss,
 }
 

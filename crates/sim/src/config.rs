@@ -196,11 +196,31 @@ impl Default for PrefetcherConfig {
 pub fn table2(chosen: &PrefetcherConfig) -> String {
     let rows = [
         ("L1 NLP", "L1 next-line prefetcher", true, chosen.l1_nlp),
-        ("L1 IPP", "L1 instruction-pointer stride prefetcher (2 streams)", true, chosen.l1_ipp),
+        (
+            "L1 IPP",
+            "L1 instruction-pointer stride prefetcher (2 streams)",
+            true,
+            chosen.l1_ipp,
+        ),
         ("L2 NLP", "L2 next-line prefetcher", false, chosen.l2_nlp),
-        ("MLC Streamer", "L2 stream prefetcher", true, chosen.mlc_streamer),
-        ("L2 AMP", "L2 adaptive multipath prefetcher", true, chosen.l2_amp),
-        ("LLC Streamer", "L3 stream prefetcher", true, chosen.llc_streamer),
+        (
+            "MLC Streamer",
+            "L2 stream prefetcher",
+            true,
+            chosen.mlc_streamer,
+        ),
+        (
+            "L2 AMP",
+            "L2 adaptive multipath prefetcher",
+            true,
+            chosen.l2_amp,
+        ),
+        (
+            "LLC Streamer",
+            "L3 stream prefetcher",
+            true,
+            chosen.llc_streamer,
+        ),
     ];
     let mut s = String::from("Prefetcher    | Default | Setting | Description\n");
     for (name, desc, dflt, on) in rows {
@@ -267,7 +287,14 @@ mod tests {
     #[test]
     fn table2_renders_all_rows() {
         let t = table2(&PrefetcherConfig::optimized_spmv());
-        for name in ["L1 NLP", "L1 IPP", "L2 NLP", "MLC Streamer", "L2 AMP", "LLC Streamer"] {
+        for name in [
+            "L1 NLP",
+            "L1 IPP",
+            "L2 NLP",
+            "MLC Streamer",
+            "L2 AMP",
+            "LLC Streamer",
+        ] {
             assert!(t.contains(name));
         }
     }

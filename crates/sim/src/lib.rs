@@ -21,9 +21,9 @@ pub mod dram;
 pub mod hwpf;
 pub mod machine;
 pub mod mshr;
+pub mod multicore;
 pub mod report;
 pub mod tlb;
-pub mod multicore;
 
 pub use cache::{line_of, Cache, Evicted, Probe};
 pub use config::{table2, CacheParams, GracemontConfig, PrefetcherConfig, LINE_BYTES};
@@ -32,6 +32,6 @@ pub use dram::Dram;
 pub use hwpf::{Amp, FillLevel, Ipp, NextLine, PfRequest, Streamer};
 pub use machine::{Machine, Uncore};
 pub use mshr::{Alloc, Mshr};
+pub use multicore::{run_parallel, ClockSync, MulticoreResult};
 pub use report::{summarize, Rates};
 pub use tlb::{Tlb, TlbConfig};
-pub use multicore::{run_parallel, ClockSync, MulticoreResult};

@@ -21,8 +21,8 @@ use crate::counters::Counters;
 use crate::dram::Dram;
 use crate::hwpf::{Amp, FillLevel, Ipp, NextLine, PfRequest, Streamer};
 use crate::mshr::{Alloc, Mshr};
-use crate::tlb::Tlb;
 use crate::multicore::ClockSync;
+use crate::tlb::Tlb;
 use asap_ir::{MemoryModel, OpId};
 use std::sync::{Arc, Mutex};
 
@@ -69,7 +69,14 @@ impl Uncore {
     /// Fetch a line on behalf of a core. Returns the cycle at which the
     /// data is available to the core. `train` marks L1-originated traffic
     /// (demand or L1 prefetch) that the LLC streamer learns from.
-    fn access(&mut self, line: u64, now: u64, demand: bool, train: bool, ctr: &mut Counters) -> u64 {
+    fn access(
+        &mut self,
+        line: u64,
+        now: u64,
+        demand: bool,
+        train: bool,
+        ctr: &mut Counters,
+    ) -> u64 {
         let avail = match self.l3.probe(line, demand) {
             Probe::Hit { ready } => {
                 if demand {
@@ -210,7 +217,11 @@ impl Machine {
     /// Total DRAM traffic of the whole machine (all cores + prefetchers),
     /// in bytes — the roofline denominator.
     pub fn dram_bytes_total(&self) -> u64 {
-        self.uncore.lock().expect("uncore lock").dram.bytes_transferred()
+        self.uncore
+            .lock()
+            .expect("uncore lock")
+            .dram
+            .bytes_transferred()
     }
 
     fn bump_instr(&mut self, n: u64) {
@@ -245,10 +256,11 @@ impl Machine {
                     self.l2.mark_dirty(e.line_addr);
                 } else {
                     let now = self.cycles;
-                    self.uncore
-                        .lock()
-                        .expect("uncore lock")
-                        .writeback_from_l2(e.line_addr, now, &mut self.ctr);
+                    self.uncore.lock().expect("uncore lock").writeback_from_l2(
+                        e.line_addr,
+                        now,
+                        &mut self.ctr,
+                    );
                 }
             }
         }
@@ -261,10 +273,11 @@ impl Machine {
             }
             if e.dirty {
                 let now = self.cycles;
-                self.uncore
-                    .lock()
-                    .expect("uncore lock")
-                    .writeback_from_l2(e.line_addr, now, &mut self.ctr);
+                self.uncore.lock().expect("uncore lock").writeback_from_l2(
+                    e.line_addr,
+                    now,
+                    &mut self.ctr,
+                );
             }
         }
     }
@@ -325,11 +338,13 @@ impl Machine {
                 }
                 self.sync_uncore();
                 let now = self.cycles;
-                let avail = self
-                    .uncore
-                    .lock()
-                    .expect("uncore lock")
-                    .access(line, now, demand, from_l1, &mut self.ctr);
+                let avail = self.uncore.lock().expect("uncore lock").access(
+                    line,
+                    now,
+                    demand,
+                    from_l1,
+                    &mut self.ctr,
+                );
                 self.l2_mshr.insert(line, avail);
                 let ev = self.l2.install(line, avail, !demand);
                 self.handle_l2_eviction(ev);
@@ -372,15 +387,10 @@ impl Machine {
                     self.l1_nlp.on_miss(line, &mut self.hw_queue);
                 }
                 // L1 fill buffer: demand misses wait for a slot.
-                loop {
-                    match self.l1_mshr.check(line, self.cycles) {
-                        Alloc::Full { free_at } => {
-                            let stall = free_at.saturating_sub(self.cycles);
-                            self.cycles += stall;
-                            self.ctr.stall_cycles += stall;
-                        }
-                        _ => break,
-                    }
+                while let Alloc::Full { free_at } = self.l1_mshr.check(line, self.cycles) {
+                    let stall = free_at.saturating_sub(self.cycles);
+                    self.cycles += stall;
+                    self.ctr.stall_cycles += stall;
                 }
                 let avail = self
                     .fetch_to_l2(line, true, true)
@@ -425,11 +435,13 @@ impl Machine {
             Alloc::Ok => {
                 self.sync_uncore();
                 let now = self.cycles;
-                let avail = self
-                    .uncore
-                    .lock()
-                    .expect("uncore lock")
-                    .access(line, now, false, false, &mut self.ctr);
+                let avail = self.uncore.lock().expect("uncore lock").access(
+                    line,
+                    now,
+                    false,
+                    false,
+                    &mut self.ctr,
+                );
                 self.l2_mshr.insert(line, avail);
                 let ev = self.l2.install(line, avail, true);
                 self.handle_l2_eviction(ev);
@@ -547,8 +559,8 @@ mod tests {
         assert_eq!(c1.l1_misses, 1);
         assert_eq!(c1.dram_hits, 1);
         // Residual DRAM latency is divided across the MLP width.
-        let expect = (small_cfg().dram_latency - small_cfg().overlap_cycles)
-            / small_cfg().mlp_width;
+        let expect =
+            (small_cfg().dram_latency - small_cfg().overlap_cycles) / small_cfg().mlp_width;
         assert!(c1.stall_cycles >= expect, "DRAM stall expected: {c1:?}");
 
         m.load(OpId(1), 0x10000, 8);
@@ -712,10 +724,7 @@ mod tests {
         // A gather over many 4K pages thrashes the TLB; 2MB pages absorb
         // it (the paper's Section 4.4 methodology point).
         let run = |tlb: crate::tlb::TlbConfig| {
-            let cfg = GracemontConfig {
-                tlb,
-                ..small_cfg()
-            };
+            let cfg = GracemontConfig { tlb, ..small_cfg() };
             let mut m = Machine::new(cfg, PrefetcherConfig::all_off());
             // 256 pages, strided so every access touches a new page.
             for round in 0..4u64 {

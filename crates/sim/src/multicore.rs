@@ -123,11 +123,7 @@ where
     for c in &per_core {
         aggregate.merge_parallel(c);
     }
-    let dram_bytes = uncore
-        .lock()
-        .expect("uncore lock")
-        .dram
-        .bytes_transferred();
+    let dram_bytes = uncore.lock().expect("uncore lock").dram.bytes_transferred();
     MulticoreResult {
         per_core,
         aggregate,

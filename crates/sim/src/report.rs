@@ -42,12 +42,33 @@ pub fn summarize(c: &Counters, cfg: &GracemontConfig) -> String {
     let r = Rates::of(c);
     let mut s = String::new();
     let secs = cfg.cycles_to_seconds(c.cycles);
-    let _ = writeln!(s, "{:>14} cycles ({:.3} ms @ {:.1} GHz)", c.cycles, secs * 1e3, cfg.freq_hz as f64 / 1e9);
+    let _ = writeln!(
+        s,
+        "{:>14} cycles ({:.3} ms @ {:.1} GHz)",
+        c.cycles,
+        secs * 1e3,
+        cfg.freq_hz as f64 / 1e9
+    );
     let _ = writeln!(s, "{:>14} instructions ({:.2} IPC)", c.instructions, r.ipc);
-    let _ = writeln!(s, "{:>14} stall cycles ({:.1}%)", c.stall_cycles, 100.0 * r.stall_fraction);
+    let _ = writeln!(
+        s,
+        "{:>14} stall cycles ({:.1}%)",
+        c.stall_cycles,
+        100.0 * r.stall_fraction
+    );
     let _ = writeln!(s, "{:>14} loads, {} stores", c.loads, c.stores);
-    let _ = writeln!(s, "{:>14} L1 misses ({:.2}% of accesses)", c.l1_misses, 100.0 * r.l1_miss_rate);
-    let _ = writeln!(s, "{:>14} L2 misses ({:.2} MPKI)", c.l2_miss_events(), r.l2_mpki);
+    let _ = writeln!(
+        s,
+        "{:>14} L1 misses ({:.2}% of accesses)",
+        c.l1_misses,
+        100.0 * r.l1_miss_rate
+    );
+    let _ = writeln!(
+        s,
+        "{:>14} L2 misses ({:.2} MPKI)",
+        c.l2_miss_events(),
+        r.l2_mpki
+    );
     let _ = writeln!(s, "{:>14} L3 hits, {} DRAM hits", c.l3_hits, c.dram_hits);
     let _ = writeln!(s, "{:>14} dTLB walks", c.tlb_misses);
     let _ = writeln!(
@@ -116,7 +137,13 @@ mod tests {
     #[test]
     fn summary_mentions_key_lines() {
         let s = summarize(&sample(), &GracemontConfig::scaled());
-        for needle in ["instructions", "MPKI", "sw prefetches", "DRAM traffic", "dTLB"] {
+        for needle in [
+            "instructions",
+            "MPKI",
+            "sw prefetches",
+            "DRAM traffic",
+            "dTLB",
+        ] {
             assert!(s.contains(needle), "missing {needle}:\n{s}");
         }
     }

@@ -13,7 +13,7 @@
 use crate::hooks::{LocateCtx, LocateHook, LocateTarget, SizeChain, Stride};
 use crate::itgraph::IterationGraph;
 use crate::spec::KernelSpec;
-use asap_ir::{verify, CmpPred, FuncBuilder, Function, Type, Value};
+use asap_ir::{verify, AsapError, CmpPred, FuncBuilder, Function, Type, Value};
 use asap_tensor::{Format, IndexWidth, LevelType};
 
 /// One entry of a sparsified kernel's calling convention.
@@ -63,25 +63,25 @@ pub fn sparsify(
     format: &Format,
     index_width: IndexWidth,
     mut hook: Option<&mut dyn LocateHook>,
-) -> Result<SparsifiedKernel, String> {
-    spec.validate()?;
+) -> Result<SparsifiedKernel, AsapError> {
+    spec.validate().map_err(AsapError::spec)?;
     let smap = &spec.sparse_input().map;
     if smap.len() != format.rank() {
-        return Err("sparse operand rank != format rank".into());
+        return Err(AsapError::codegen("sparse operand rank != format rank"));
     }
 
     let graph = IterationGraph::build(spec, format);
-    let loop_order = graph.topo_order()?;
+    let loop_order = graph.topo_order().map_err(AsapError::codegen)?;
 
     // Sparse levels must form a prefix of the loop order (our codegen only
     // supports the storage-order traversal, which `sorted = true` demands).
     for l in 0..format.rank() {
         let want = smap[format.dim_of_level(l)];
         if loop_order[l] != want {
-            return Err(format!(
+            return Err(AsapError::codegen(format!(
                 "loop order {loop_order:?} does not follow sparse storage order \
                  (level {l} resolves index {want})"
-            ));
+            )));
         }
     }
 
@@ -191,7 +191,7 @@ pub fn sparsify(
     em.emit_depth(&mut b, 0);
 
     let func = b.finish();
-    verify(&func).map_err(|e| e.to_string())?;
+    verify(&func)?;
     Ok(SparsifiedKernel {
         func,
         args,

@@ -10,7 +10,7 @@
 //! optional ASaP-style software prefetching (bounded by the semantic
 //! buffer sizes, as in Section 3.2.2) is supported for all four streams.
 
-use asap_ir::{verify, CmpPred, FuncBuilder, Function, Type, Value};
+use asap_ir::{verify, AsapError, CmpPred, FuncBuilder, Function, Type, Value};
 use asap_tensor::{DenseTensor, IndexWidth, SparseTensor, ValueKind};
 
 /// Calling convention of a merge kernel.
@@ -51,7 +51,7 @@ pub fn sparse_vector_add(
     index_width: IndexWidth,
     value_kind: ValueKind,
     opts: MergeOptions,
-) -> Result<MergeKernel, String> {
+) -> Result<MergeKernel, AsapError> {
     let idx_elem = match index_width {
         IndexWidth::U32 => Type::I32,
         IndexWidth::U64 => Type::Index,
@@ -189,7 +189,7 @@ pub fn sparse_vector_add(
     tail(&mut b, res[1], hi_y, crd_y, vals_y);
 
     let func = b.finish();
-    verify(&func).map_err(|e| e.to_string())?;
+    verify(&func)?;
     Ok(MergeKernel {
         func,
         args,
@@ -207,17 +207,19 @@ pub fn run_sparse_add(
     y: &SparseTensor,
     out: &mut DenseTensor,
     model: &mut dyn asap_ir::MemoryModel,
-) -> Result<(), String> {
+) -> Result<(), AsapError> {
     use asap_ir::{interpret, Buffers, V};
     for (name, t) in [("x", x), ("y", y)] {
         if t.format().rank() != 1 || !t.format().levels()[0].has_pos() {
-            return Err(format!("{name} must be a single compressed level"));
+            return Err(AsapError::binding(format!(
+                "{name} must be a single compressed level"
+            )));
         }
         if t.index_width() != kernel.index_width {
-            return Err(format!("{name}: index width mismatch"));
+            return Err(AsapError::binding(format!("{name}: index width mismatch")));
         }
         if t.value_kind() != kernel.value_kind {
-            return Err(format!("{name}: value kind mismatch"));
+            return Err(AsapError::binding(format!("{name}: value kind mismatch")));
         }
     }
     let mut bufs = Buffers::new();
@@ -228,17 +230,25 @@ pub fn run_sparse_add(
     for &a in &kernel.args {
         let (t, tb) = (a, [&tx, &ty]);
         argv.push(match t {
-            MergeArg::Pos(k) => V::Mem(tb[k].pos[0].ok_or("missing pos")?),
-            MergeArg::Crd(k) => V::Mem(tb[k].crd[0].ok_or("missing crd")?),
+            MergeArg::Pos(k) => {
+                V::Mem(tb[k].pos[0].ok_or_else(|| AsapError::binding("missing pos"))?)
+            }
+            MergeArg::Crd(k) => {
+                V::Mem(tb[k].crd[0].ok_or_else(|| AsapError::binding("missing crd"))?)
+            }
             MergeArg::Vals(k) => V::Mem(tb[k].vals),
             MergeArg::Output => V::Mem(out_id),
         });
     }
-    interpret(&kernel.func, &argv, &mut bufs, model).map_err(|e| e.to_string())?;
+    interpret(&kernel.func, &argv, &mut bufs, model)?;
     out.values = match &bufs.get(out_id).data {
         asap_ir::BufferData::F64(v) => asap_tensor::Values::F64(v.clone()),
         asap_ir::BufferData::I8(v) => asap_tensor::Values::I8(v.clone()),
-        other => return Err(format!("unexpected output type {other:?}")),
+        other => {
+            return Err(AsapError::binding(format!(
+                "unexpected output type {other:?}"
+            )))
+        }
     };
     Ok(())
 }
@@ -349,8 +359,8 @@ mod tests {
 
     #[test]
     fn merge_loop_shape() {
-        let k = sparse_vector_add(IndexWidth::U64, ValueKind::F64, MergeOptions::default())
-            .unwrap();
+        let k =
+            sparse_vector_add(IndexWidth::U64, ValueKind::F64, MergeOptions::default()).unwrap();
         let mut whiles = 0;
         k.func.walk(&mut |op| {
             if matches!(op.kind, OpKind::While { .. }) {
@@ -362,8 +372,7 @@ mod tests {
 
     #[test]
     fn boolean_semiring_add() {
-        let k = sparse_vector_add(IndexWidth::U32, ValueKind::I8, MergeOptions::default())
-            .unwrap();
+        let k = sparse_vector_add(IndexWidth::U32, ValueKind::I8, MergeOptions::default()).unwrap();
         let mk = |entries: &[usize]| {
             let coo = CooTensor::new(
                 vec![6],
@@ -381,12 +390,13 @@ mod tests {
 
     #[test]
     fn rejects_rank2_operand() {
-        let k = sparse_vector_add(IndexWidth::U32, ValueKind::F64, MergeOptions::default())
-            .unwrap();
+        let k =
+            sparse_vector_add(IndexWidth::U32, ValueKind::F64, MergeOptions::default()).unwrap();
         let coo = CooTensor::new(vec![2, 2], vec![0, 0], Values::F64(vec![1.0]));
         let m = SparseTensor::from_coo(&coo, Format::csr());
         let mut out = DenseTensor::zeros(ValueKind::F64, vec![2]);
         let err = run_sparse_add(&k, &m, &m, &mut out, &mut NullModel).unwrap_err();
-        assert!(err.contains("single compressed level"));
+        assert!(err.to_string().contains("single compressed level"));
+        assert_eq!(err.kind(), "binding");
     }
 }

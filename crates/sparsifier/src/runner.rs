@@ -8,7 +8,7 @@
 
 use crate::codegen::{KernelArg, SparsifiedKernel};
 use crate::spec::KernelSpec;
-use asap_ir::{interpret, Buffers, MemoryModel, V};
+use asap_ir::{interpret, AsapError, Buffers, MemoryModel, V};
 use asap_tensor::{DenseTensor, SparseTensor, ValueKind, Values};
 
 /// Resolve the size of every loop index from operand shapes, checking
@@ -18,24 +18,24 @@ pub fn resolve_dims(
     sparse_dims: &[usize],
     dense_dims: &[&[usize]],
     out_dims: &[usize],
-) -> Result<Vec<usize>, String> {
+) -> Result<Vec<usize>, AsapError> {
     let mut sizes: Vec<Option<usize>> = vec![None; spec.num_indices];
-    let mut bind = |map: &[usize], dims: &[usize], what: &str| -> Result<(), String> {
+    let mut bind = |map: &[usize], dims: &[usize], what: &str| -> Result<(), AsapError> {
         if map.len() != dims.len() {
-            return Err(format!(
+            return Err(AsapError::binding(format!(
                 "{what}: rank {} does not match map rank {}",
                 dims.len(),
                 map.len()
-            ));
+            )));
         }
         for (&idx, &d) in map.iter().zip(dims) {
             match sizes[idx] {
                 None => sizes[idx] = Some(d),
                 Some(prev) if prev == d => {}
                 Some(prev) => {
-                    return Err(format!(
+                    return Err(AsapError::binding(format!(
                         "{what}: index {idx} bound to {d} but previously {prev}"
-                    ))
+                    )))
                 }
             }
         }
@@ -49,7 +49,9 @@ pub fn resolve_dims(
     sizes
         .into_iter()
         .enumerate()
-        .map(|(i, s)| s.ok_or(format!("index {i} not bound by any operand")))
+        .map(|(i, s)| {
+            s.ok_or_else(|| AsapError::binding(format!("index {i} not bound by any operand")))
+        })
         .collect()
 }
 
@@ -68,27 +70,31 @@ pub fn bind(
     sparse: &SparseTensor,
     dense: &[&DenseTensor],
     out: &DenseTensor,
-) -> Result<BoundKernel, String> {
+) -> Result<BoundKernel, AsapError> {
     let spec = &kernel.spec;
     if dense.len() != spec.dense_inputs().len() {
-        return Err(format!(
+        return Err(AsapError::binding(format!(
             "expected {} dense inputs, got {}",
             spec.dense_inputs().len(),
             dense.len()
-        ));
+        )));
     }
     if sparse.format() != &kernel.format {
-        return Err(format!(
+        return Err(AsapError::binding(format!(
             "tensor stored as {} but kernel compiled for {}",
             sparse.format(),
             kernel.format
-        ));
+        )));
     }
     if sparse.index_width() != kernel.index_width {
-        return Err("tensor index width does not match kernel".into());
+        return Err(AsapError::binding(
+            "tensor index width does not match kernel",
+        ));
     }
     if sparse.value_kind() != spec.value_kind {
-        return Err("sparse value kind does not match kernel".into());
+        return Err(AsapError::binding(
+            "sparse value kind does not match kernel",
+        ));
     }
     let dense_dims: Vec<&[usize]> = dense.iter().map(|d| d.dims.as_slice()).collect();
     let dims = resolve_dims(spec, sparse.dims(), &dense_dims, &out.dims)?;
@@ -101,12 +107,16 @@ pub fn bind(
     let mut args = Vec::with_capacity(kernel.args.len());
     for &a in &kernel.args {
         args.push(match a {
-            KernelArg::Pos { level } => V::Mem(
-                tb.pos[level].ok_or(format!("level {level} has no pos buffer"))?,
-            ),
-            KernelArg::Crd { level } => V::Mem(
-                tb.crd[level].ok_or(format!("level {level} has no crd buffer"))?,
-            ),
+            KernelArg::Pos { level } => {
+                V::Mem(tb.pos[level].ok_or_else(|| {
+                    AsapError::binding(format!("level {level} has no pos buffer"))
+                })?)
+            }
+            KernelArg::Crd { level } => {
+                V::Mem(tb.crd[level].ok_or_else(|| {
+                    AsapError::binding(format!("level {level} has no crd buffer"))
+                })?)
+            }
             KernelArg::SparseVals => V::Mem(tb.vals),
             KernelArg::DenseInput { input } => V::Mem(dense_ids[input - 1]),
             KernelArg::Output => V::Mem(out_id),
@@ -128,13 +138,17 @@ pub fn run(
     dense: &[&DenseTensor],
     out: &mut DenseTensor,
     model: &mut dyn MemoryModel,
-) -> Result<(), String> {
+) -> Result<(), AsapError> {
     let mut bound = bind(kernel, sparse, dense, out)?;
-    interpret(&kernel.func, &bound.args, &mut bound.bufs, model).map_err(|e| e.to_string())?;
+    interpret(&kernel.func, &bound.args, &mut bound.bufs, model)?;
     out.values = match &bound.bufs.get(bound.out_buf).data {
         asap_ir::BufferData::F64(v) => Values::F64(v.clone()),
         asap_ir::BufferData::I8(v) => Values::I8(v.clone()),
-        other => return Err(format!("unexpected output buffer type {other:?}")),
+        other => {
+            return Err(AsapError::binding(format!(
+                "unexpected output buffer type {other:?}"
+            )))
+        }
     };
     Ok(())
 }

@@ -80,10 +80,7 @@ impl KernelSpec {
                 IteratorType::Reduction,
                 IteratorType::Parallel,
             ],
-            inputs: vec![
-                OperandSpec::new(vec![0, 1]),
-                OperandSpec::new(vec![1, 2]),
-            ],
+            inputs: vec![OperandSpec::new(vec![0, 1]), OperandSpec::new(vec![1, 2])],
             output: OperandSpec::new(vec![0, 2]),
             value_kind,
             sorted: true,

@@ -42,12 +42,21 @@ fn csr_spmv_is_a_perfect_two_level_nest() {
     let k = sparsify(&spec, &Format::csr(), IndexWidth::U64, None).unwrap();
     // Fig 3b: outer for over all rows, inner for over the row's segment.
     assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::For { .. })), 2);
-    assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::While { .. })), 0);
+    assert_eq!(
+        count_kind(&k.func, |k| matches!(k, OpKind::While { .. })),
+        0
+    );
     assert_eq!(loop_depth(&k.func.body), 2);
     // Scalarized reduction: exactly one store (to a[i], once per row).
-    assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::Store { .. })), 1);
+    assert_eq!(
+        count_kind(&k.func, |k| matches!(k, OpKind::Store { .. })),
+        1
+    );
     let text = print_function(&k.func);
-    assert!(text.contains("iter_args"), "reduction must be scalarized:\n{text}");
+    assert!(
+        text.contains("iter_args"),
+        "reduction must be scalarized:\n{text}"
+    );
 }
 
 #[test]
@@ -56,7 +65,10 @@ fn coo_spmv_has_dedup_while_loops() {
     let k = sparsify(&spec, &Format::coo(), IndexWidth::U64, None).unwrap();
     // Fig 3a: outer while over entries + inner dedup while; one for loop
     // over each segment.
-    assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::While { .. })), 2);
+    assert_eq!(
+        count_kind(&k.func, |k| matches!(k, OpKind::While { .. })),
+        2
+    );
     assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::For { .. })), 1);
     // Dedup comparison short-circuits through an scf.if.
     assert!(count_kind(&k.func, |k| matches!(k, OpKind::If { .. })) >= 1);
@@ -68,7 +80,10 @@ fn dcsr_spmv_is_a_perfect_nest_skipping_empty_rows() {
     let k = sparsify(&spec, &Format::dcsr(), IndexWidth::U64, None).unwrap();
     // Fig 3c: two perfect for loops, no while.
     assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::For { .. })), 2);
-    assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::While { .. })), 0);
+    assert_eq!(
+        count_kind(&k.func, |k| matches!(k, OpKind::While { .. })),
+        0
+    );
     // Both levels compressed: two pos and two crd buffers in the signature.
     assert!(k.arg_position(KernelArg::Pos { level: 0 }).is_some());
     assert!(k.arg_position(KernelArg::Pos { level: 1 }).is_some());
@@ -84,7 +99,10 @@ fn csr_spmm_matches_figure_9() {
     // k loop (one load+store of A per innermost iteration).
     assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::For { .. })), 3);
     assert_eq!(loop_depth(&k.func.body), 3);
-    assert_eq!(count_kind(&k.func, |k| matches!(k, OpKind::Store { .. })), 1);
+    assert_eq!(
+        count_kind(&k.func, |k| matches!(k, OpKind::Store { .. })),
+        1
+    );
     let text = print_function(&k.func);
     assert!(
         !text.contains("iter_args"),

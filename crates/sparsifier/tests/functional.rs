@@ -5,7 +5,6 @@
 use asap_ir::NullModel;
 use asap_sparsifier::{densify, reference_contraction, resolve_dims, run, sparsify, KernelSpec};
 use asap_tensor::{CooTensor, DenseTensor, Format, IndexWidth, SparseTensor, ValueKind, Values};
-use proptest::prelude::*;
 
 fn approx_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len()
@@ -105,7 +104,11 @@ fn spmm_matches_reference() {
 fn binary_spmv_uses_boolean_semiring() {
     let spec = KernelSpec::spmv(ValueKind::I8);
     let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U32, None).unwrap();
-    let coo = CooTensor::new(vec![2, 3], vec![0, 1, 1, 0, 1, 2], Values::I8(vec![1, 1, 1]));
+    let coo = CooTensor::new(
+        vec![2, 3],
+        vec![0, 1, 1, 0, 1, 2],
+        Values::I8(vec![1, 1, 1]),
+    );
     let sparse = SparseTensor::from_coo(&coo, Format::csr());
     let c = DenseTensor::from_i8(vec![3], vec![0, 1, 0]);
     let mut a = DenseTensor::zeros(ValueKind::I8, vec![2]);
@@ -153,7 +156,8 @@ fn binding_rejects_wrong_format() {
     let c = DenseTensor::from_f64(vec![3], vec![1.0; 3]);
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![3]);
     let err = run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap_err();
-    assert!(err.contains("stored as DCSR"), "{err}");
+    assert_eq!(err.kind(), "binding");
+    assert!(err.to_string().contains("stored as DCSR"), "{err}");
 }
 
 #[test]
@@ -164,40 +168,71 @@ fn binding_rejects_mismatched_shapes() {
     let c = DenseTensor::from_f64(vec![5], vec![1.0; 5]); // wrong length
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![3]);
     let err = run(&kernel, &sparse, &[&c], &mut a, &mut NullModel).unwrap_err();
-    assert!(err.contains("index 1 bound to"), "{err}");
+    assert_eq!(err.kind(), "binding");
+    assert!(err.to_string().contains("index 1 bound to"), "{err}");
 }
 
-/// Random COO generator for proptest.
-fn coo_strategy(max_m: usize, max_n: usize) -> impl Strategy<Value = CooTensor> {
-    (1..=max_m, 1..=max_n)
-        .prop_flat_map(|(m, n)| {
-            let entry = (0..m, 0..n, -4.0f64..4.0);
-            (Just((m, n)), proptest::collection::vec(entry, 0..40))
-        })
-        .prop_map(|((m, n), entries)| {
-            let mut coords = Vec::new();
-            let mut vals = Vec::new();
-            for (r, c, v) in entries {
-                coords.extend_from_slice(&[r, c]);
-                vals.push(v);
-            }
-            CooTensor::new(vec![m, n], coords, Values::F64(vals))
-        })
+/// Minimal SplitMix64 — self-contained fixed-seed case generator (the
+/// workspace builds without network access, so there is no external
+/// property-testing crate). Assertion messages name the seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random 2-D COO: shape up to `max_m` x `max_n`, 0..40 entries with
+/// duplicates, values in [-4, 4).
+fn random_coo(rng: &mut Rng, max_m: usize, max_n: usize) -> CooTensor {
+    let m = 1 + rng.below(max_m);
+    let n = 1 + rng.below(max_n);
+    let entries = rng.below(40);
+    let mut coords = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..entries {
+        coords.push(rng.below(m));
+        coords.push(rng.below(n));
+        vals.push(rng.f64() * 8.0 - 4.0);
+    }
+    CooTensor::new(vec![m, n], coords, Values::F64(vals))
+}
 
-    #[test]
-    fn prop_spmv_all_formats_match_reference(coo in coo_strategy(12, 12), wide in any::<bool>()) {
-        let width = if wide { IndexWidth::U64 } else { IndexWidth::U32 };
+#[test]
+fn prop_spmv_all_formats_match_reference() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed);
+        let coo = random_coo(&mut rng, 12, 12);
+        let width = if rng.below(2) == 0 {
+            IndexWidth::U32
+        } else {
+            IndexWidth::U64
+        };
         for fmt in [Format::csr(), Format::csc(), Format::coo(), Format::dcsr()] {
             check_spmv(&coo, fmt, width);
         }
     }
+}
 
-    #[test]
-    fn prop_spmm_csr_matches_reference(coo in coo_strategy(8, 8), n_cols in 1usize..6) {
+#[test]
+fn prop_spmm_csr_matches_reference() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed ^ 0x500);
+        let coo = random_coo(&mut rng, 8, 8);
+        let n_cols = 1 + rng.below(5);
         let spec = KernelSpec::spmm(ValueKind::F64);
         let kernel = sparsify(&spec, &Format::csr(), IndexWidth::U64, None).unwrap();
         let mut sparse = SparseTensor::from_coo(&coo, Format::csr());
@@ -213,16 +248,26 @@ proptest! {
         let dims = resolve_dims(&spec, &[m, n], &[&[n, n_cols]], &[m, n_cols]).unwrap();
         let mut aref = DenseTensor::zeros(ValueKind::F64, vec![m, n_cols]);
         reference_contraction(&spec, &dims, &densify(&sparse), &[m, n], &[&c], &mut aref);
-        prop_assert!(approx_eq(a.as_f64(), aref.as_f64()));
+        assert!(approx_eq(a.as_f64(), aref.as_f64()), "seed {seed}");
     }
+}
 
-    #[test]
-    fn prop_storage_roundtrips(coo in coo_strategy(10, 14)) {
-        for fmt in [Format::csr(), Format::csc(), Format::coo(), Format::dcsr(), Format::dcsc()] {
+#[test]
+fn prop_storage_roundtrips() {
+    for seed in 0..48u64 {
+        let mut rng = Rng(seed ^ 0x5707);
+        let coo = random_coo(&mut rng, 10, 14);
+        for fmt in [
+            Format::csr(),
+            Format::csc(),
+            Format::coo(),
+            Format::dcsr(),
+            Format::dcsc(),
+        ] {
             let t = SparseTensor::from_coo(&coo, fmt.clone());
-            prop_assert!(t.check_invariants().is_ok(), "{fmt}");
+            assert!(t.check_invariants().is_ok(), "seed {seed} {fmt}");
             let dense_direct = SparseTensor::from_coo(&coo, Format::csr()).to_dense_f64();
-            prop_assert_eq!(&t.to_dense_f64(), &dense_direct, "{}", fmt);
+            assert_eq!(t.to_dense_f64(), dense_direct, "seed {seed} {fmt}");
         }
     }
 }

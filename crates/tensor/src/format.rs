@@ -19,15 +19,18 @@ pub struct Format {
 impl Format {
     /// Build an arbitrary format. `dim_of_level` must be a permutation of
     /// `0..levels.len()`.
-    pub fn new(name: impl Into<String>, levels: Vec<LevelType>, dim_of_level: Vec<usize>) -> Format {
-        assert_eq!(
-            levels.len(),
-            dim_of_level.len(),
-            "one dimension per level"
-        );
+    pub fn new(
+        name: impl Into<String>,
+        levels: Vec<LevelType>,
+        dim_of_level: Vec<usize>,
+    ) -> Format {
+        assert_eq!(levels.len(), dim_of_level.len(), "one dimension per level");
         let mut seen = vec![false; dim_of_level.len()];
         for &d in &dim_of_level {
-            assert!(d < seen.len() && !seen[d], "dim_of_level must be a permutation");
+            assert!(
+                d < seen.len() && !seen[d],
+                "dim_of_level must be a permutation"
+            );
             seen[d] = true;
         }
         Format {
@@ -217,10 +220,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "permutation")]
     fn rejects_bad_permutation() {
-        Format::new(
-            "bad",
-            vec![LevelType::Dense, LevelType::Dense],
-            vec![0, 0],
-        );
+        Format::new("bad", vec![LevelType::Dense, LevelType::Dense], vec![0, 0]);
     }
 }

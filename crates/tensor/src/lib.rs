@@ -17,5 +17,7 @@ pub mod values;
 
 pub use format::Format;
 pub use level::LevelType;
-pub use storage::{read_f64, read_i8, CooTensor, DenseTensor, LevelStorage, SparseTensor, TensorBuffers};
+pub use storage::{
+    read_f64, read_i8, CooTensor, DenseTensor, LevelStorage, SparseTensor, TensorBuffers,
+};
 pub use values::{IndexWidth, ValueKind, Values};

@@ -5,7 +5,7 @@
 use crate::format::Format;
 use crate::level::LevelType;
 use crate::values::{IndexWidth, ValueKind, Values};
-use asap_ir::{BufferData, Buffers};
+use asap_ir::{AsapError, BufferData, Buffers};
 use std::ops::Range;
 
 /// A tensor in coordinate form: the universal input representation.
@@ -20,9 +20,31 @@ pub struct CooTensor {
 }
 
 impl CooTensor {
+    /// As [`CooTensor::try_new`], panicking on invalid input. Use this when
+    /// the entries come from trusted code (generators, conversions);
+    /// untrusted or fuzzed input should go through `try_new`.
     pub fn new(dims: Vec<usize>, coords: Vec<usize>, values: Values) -> CooTensor {
+        match CooTensor::try_new(dims, coords, values) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Validating constructor: rejects coordinate/value length mismatches
+    /// and out-of-range coordinates with a typed error instead of panicking.
+    pub fn try_new(
+        dims: Vec<usize>,
+        coords: Vec<usize>,
+        values: Values,
+    ) -> Result<CooTensor, AsapError> {
         let rank = dims.len();
-        assert_eq!(coords.len(), values.len() * rank, "coords/values mismatch");
+        if coords.len() != values.len() * rank {
+            return Err(AsapError::storage(format!(
+                "coords/values mismatch: {} coordinates for {} values of rank {rank}",
+                coords.len(),
+                values.len()
+            )));
+        }
         let t = CooTensor {
             dims,
             coords,
@@ -30,10 +52,15 @@ impl CooTensor {
         };
         for i in 0..t.nnz() {
             for (d, &c) in t.coord(i).iter().enumerate() {
-                assert!(c < t.dims[d], "coordinate {c} out of bounds in dim {d}");
+                if c >= t.dims[d] {
+                    return Err(AsapError::storage(format!(
+                        "entry {i}: coordinate {c} out of bounds in dim {d} (size {})",
+                        t.dims[d]
+                    )));
+                }
             }
         }
-        t
+        Ok(t)
     }
 
     pub fn rank(&self) -> usize {
@@ -84,11 +111,28 @@ pub struct TensorBuffers {
 }
 
 impl SparseTensor {
+    /// As [`SparseTensor::try_from_coo`], panicking on a rank mismatch or a
+    /// tensor that cannot be stored in `format` (e.g. a singleton level
+    /// with more than one entry per parent).
+    pub fn from_coo(coo: &CooTensor, format: Format) -> SparseTensor {
+        match SparseTensor::try_from_coo(coo, format) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Build from coordinate form. Entries may be unsorted and contain
     /// duplicates; duplicates are combined with the value kind's additive
-    /// op (`+` / `|`).
-    pub fn from_coo(coo: &CooTensor, format: Format) -> SparseTensor {
-        assert_eq!(coo.rank(), format.rank(), "rank mismatch");
+    /// op (`+` / `|`). Returns a typed error if the tensor's rank does not
+    /// match the format or the entries violate a level type's requirements.
+    pub fn try_from_coo(coo: &CooTensor, format: Format) -> Result<SparseTensor, AsapError> {
+        if coo.rank() != format.rank() {
+            return Err(AsapError::storage(format!(
+                "rank mismatch: tensor has rank {}, format {format} has rank {}",
+                coo.rank(),
+                format.rank()
+            )));
+        }
         let rank = coo.rank();
         let nnz = coo.nnz();
 
@@ -106,8 +150,7 @@ impl SparseTensor {
         let mut values = Values::empty(coo.values.kind());
         for &i in &order {
             let key = lvl_key(i);
-            let dup = values.len() > 0
-                && lvl_coords[lvl_coords.len() - rank..] == key[..];
+            let dup = !values.is_empty() && lvl_coords[lvl_coords.len() - rank..] == key[..];
             if dup {
                 values.accumulate_last(&coo.values, i);
             } else {
@@ -119,6 +162,7 @@ impl SparseTensor {
 
         // Serialize level by level. `segments` are ranges of entries under
         // each node of the previous level (root: one segment of all).
+        #[allow(clippy::single_range_in_vec_init)] // really one Range, not vec![0; n]
         let mut segments: Vec<Range<usize>> = vec![0..n];
         let mut levels: Vec<LevelStorage> = Vec::with_capacity(rank);
         for l in 0..rank {
@@ -172,11 +216,13 @@ impl SparseTensor {
                 }
                 LevelType::Singleton => {
                     for seg in &segments {
-                        assert_eq!(
-                            seg.len(),
-                            1,
-                            "singleton level requires exactly one entry per parent"
-                        );
+                        if seg.len() != 1 {
+                            return Err(AsapError::storage(format!(
+                                "level {l}: singleton level requires exactly one entry \
+                                 per parent, got {}",
+                                seg.len()
+                            )));
+                        }
                         st.crd.push(coord_at(seg.start));
                         next_segments.push(seg.clone());
                     }
@@ -187,13 +233,13 @@ impl SparseTensor {
         }
 
         let max_dim = coo.dims.iter().copied().max().unwrap_or(0);
-        SparseTensor {
+        Ok(SparseTensor {
             format,
             dims: coo.dims.clone(),
             levels,
             values,
             index_width: IndexWidth::choose(n, max_dim),
-        }
+        })
     }
 
     pub fn format(&self) -> &Format {
@@ -260,30 +306,34 @@ impl SparseTensor {
 
     /// Check the structural invariants of the segmented storage that both
     /// sparsification and ASaP's bound computation rely on.
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), AsapError> {
         let mut parent = 1usize;
         for (l, st) in self.levels.iter().enumerate() {
             let lt = self.format.levels()[l];
             match lt {
                 LevelType::Dense => {
                     if !st.pos.is_empty() || !st.crd.is_empty() {
-                        return Err(format!("level {l}: dense level has buffers"));
+                        return Err(AsapError::storage(format!(
+                            "level {l}: dense level has buffers"
+                        )));
                     }
                     parent *= self.level_dim(l);
                 }
                 LevelType::Compressed { unique, .. } => {
                     if st.pos.len() != parent + 1 {
-                        return Err(format!(
+                        return Err(AsapError::storage(format!(
                             "level {l}: pos len {} != parents+1 = {}",
                             st.pos.len(),
                             parent + 1
-                        ));
+                        )));
                     }
                     if st.pos[0] != 0 || *st.pos.last().expect("non-empty") != st.crd.len() {
-                        return Err(format!("level {l}: pos endpoints wrong"));
+                        return Err(AsapError::storage(format!(
+                            "level {l}: pos endpoints wrong"
+                        )));
                     }
                     if st.pos.windows(2).any(|w| w[0] > w[1]) {
-                        return Err(format!("level {l}: pos not monotone"));
+                        return Err(AsapError::storage(format!("level {l}: pos not monotone")));
                     }
                     for w in st.pos.windows(2) {
                         let seg = &st.crd[w[0]..w[1]];
@@ -293,37 +343,43 @@ impl SparseTensor {
                             seg.windows(2).all(|s| s[0] <= s[1])
                         };
                         if !ok {
-                            return Err(format!("level {l}: segment not sorted/unique"));
+                            return Err(AsapError::storage(format!(
+                                "level {l}: segment not sorted/unique"
+                            )));
                         }
                     }
                     if st.crd.iter().any(|&c| c >= self.level_dim(l)) {
-                        return Err(format!("level {l}: coordinate out of range"));
+                        return Err(AsapError::storage(format!(
+                            "level {l}: coordinate out of range"
+                        )));
                     }
                     parent = st.crd.len();
                 }
                 LevelType::Singleton => {
                     if !st.pos.is_empty() {
-                        return Err(format!("level {l}: singleton has pos"));
+                        return Err(AsapError::storage(format!("level {l}: singleton has pos")));
                     }
                     if st.crd.len() != parent {
-                        return Err(format!(
+                        return Err(AsapError::storage(format!(
                             "level {l}: singleton crd len {} != parents {}",
                             st.crd.len(),
                             parent
-                        ));
+                        )));
                     }
                     if st.crd.iter().any(|&c| c >= self.level_dim(l)) {
-                        return Err(format!("level {l}: coordinate out of range"));
+                        return Err(AsapError::storage(format!(
+                            "level {l}: coordinate out of range"
+                        )));
                     }
                 }
             }
         }
         let leaves = self.node_count(self.format.rank() - 1);
         if leaves != self.values.len() {
-            return Err(format!(
+            return Err(AsapError::storage(format!(
                 "leaf count {leaves} != values {}",
                 self.values.len()
-            ));
+            )));
         }
         Ok(())
     }
@@ -712,5 +768,39 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_range_coordinates() {
         CooTensor::new(vec![2, 2], vec![0, 5], Values::F64(vec![1.0]));
+    }
+
+    #[test]
+    fn try_new_reports_typed_storage_errors() {
+        let e = CooTensor::try_new(vec![2, 2], vec![0, 5], Values::F64(vec![1.0])).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.to_string().contains("out of bounds"), "{e}");
+
+        let e = CooTensor::try_new(vec![2, 2], vec![0], Values::F64(vec![1.0])).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.to_string().contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn try_from_coo_rejects_rank_mismatch() {
+        let coo = CooTensor::new(vec![4], vec![1], Values::F64(vec![1.0]));
+        let e = SparseTensor::try_from_coo(&coo, Format::csr()).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.to_string().contains("rank mismatch"), "{e}");
+    }
+
+    #[test]
+    fn try_from_coo_rejects_overfull_singleton_level() {
+        // Dense-then-singleton can hold at most one entry per row; give
+        // it a row with two.
+        let fmt = crate::format::Format::new(
+            "DS",
+            vec![LevelType::Dense, LevelType::Singleton],
+            vec![0, 1],
+        );
+        let coo = CooTensor::new(vec![2, 2], vec![0, 0, 0, 1], Values::F64(vec![1.0, 2.0]));
+        let e = SparseTensor::try_from_coo(&coo, fmt).unwrap_err();
+        assert_eq!(e.kind(), "storage");
+        assert!(e.to_string().contains("singleton"), "{e}");
     }
 }

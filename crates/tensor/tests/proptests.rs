@@ -1,37 +1,62 @@
 //! Property-based tests of the storage layer, including 3-D CSF tensors:
 //! invariants hold and densification round-trips for arbitrary inputs.
+//!
+//! Cases are drawn with a local fixed-seed SplitMix64 (the workspace
+//! builds without network access, so there is no external
+//! property-testing crate); every assertion message names the seed.
 
 use asap_tensor::{CooTensor, Format, IndexWidth, LevelType, SparseTensor, Values};
-use proptest::prelude::*;
 
-fn coo3_strategy() -> impl Strategy<Value = CooTensor> {
-    (1usize..6, 1usize..6, 1usize..6)
-        .prop_flat_map(|(a, b, c)| {
-            let entry = (0..a, 0..b, 0..c, -3.0f64..3.0);
-            (Just((a, b, c)), proptest::collection::vec(entry, 0..30))
-        })
-        .prop_map(|((a, b, c), entries)| {
-            let mut coords = Vec::new();
-            let mut vals = Vec::new();
-            for (i, j, k, v) in entries {
-                coords.extend_from_slice(&[i, j, k]);
-                vals.push(v);
-            }
-            CooTensor::new(vec![a, b, c], coords, Values::F64(vals))
-        })
+/// Minimal SplitMix64 — self-contained so this test has no dev-deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Random 3-D COO tensor: dims in 1..6 per mode, 0..30 entries with
+/// duplicates, values in [-3, 3).
+fn random_coo3(seed: u64) -> CooTensor {
+    let mut rng = Rng(seed);
+    let dims = vec![1 + rng.below(5), 1 + rng.below(5), 1 + rng.below(5)];
+    let entries = rng.below(30);
+    let mut coords = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..entries {
+        for &d in &dims {
+            coords.push(rng.below(d));
+        }
+        vals.push(rng.f64() * 6.0 - 3.0);
+    }
+    CooTensor::new(dims, coords, Values::F64(vals))
 }
 
 fn dense3(t: &SparseTensor) -> Vec<f64> {
     t.to_dense_f64()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn csf3_invariants_and_roundtrip(coo in coo3_strategy()) {
+#[test]
+fn csf3_invariants_and_roundtrip() {
+    for seed in 0..CASES {
+        let coo = random_coo3(seed);
         let t = SparseTensor::from_coo(&coo, Format::csf(3));
-        prop_assert!(t.check_invariants().is_ok());
+        assert!(t.check_invariants().is_ok(), "seed {seed}");
         // Dense rendering equals accumulation over the raw entries.
         let mut want = vec![0.0; coo.dims.iter().product()];
         for e in 0..coo.nnz() {
@@ -41,16 +66,23 @@ proptest! {
                 want[idx] += v[e];
             }
         }
-        prop_assert_eq!(dense3(&t), want);
+        assert_eq!(dense3(&t), want, "seed {seed}");
     }
+}
 
-    #[test]
-    fn mixed_level_3d_formats_agree(coo in coo3_strategy()) {
+#[test]
+fn mixed_level_3d_formats_agree() {
+    for seed in 0..CASES {
+        let coo = random_coo3(seed ^ 0x3d);
         // Dense-Compressed-Compressed (a "CSR-of-matrices") vs CSF vs
         // Dense-Dense-Compressed: all must densify identically.
         let dcc = Format::new(
             "DCC",
-            vec![LevelType::Dense, LevelType::compressed(), LevelType::compressed()],
+            vec![
+                LevelType::Dense,
+                LevelType::compressed(),
+                LevelType::compressed(),
+            ],
             vec![0, 1, 2],
         );
         let ddc = Format::new(
@@ -61,52 +93,70 @@ proptest! {
         let reference = dense3(&SparseTensor::from_coo(&coo, Format::csf(3)));
         for fmt in [dcc, ddc] {
             let t = SparseTensor::from_coo(&coo, fmt.clone());
-            prop_assert!(t.check_invariants().is_ok(), "{}", fmt);
-            prop_assert_eq!(dense3(&t), reference.clone(), "{}", fmt);
+            assert!(t.check_invariants().is_ok(), "seed {seed} {fmt}");
+            assert_eq!(dense3(&t), reference, "seed {seed} {fmt}");
         }
     }
+}
 
-    #[test]
-    fn node_counts_are_monotone_under_width_change(coo in coo3_strategy()) {
+#[test]
+fn node_counts_are_monotone_under_width_change() {
+    for seed in 0..CASES {
+        let coo = random_coo3(seed ^ 0x7700);
         let mut t = SparseTensor::from_coo(&coo, Format::csf(3));
         let counts: Vec<usize> = (0..3).map(|l| t.node_count(l)).collect();
         t.set_index_width(IndexWidth::U64);
         // Index width is a storage detail: structure unchanged.
-        prop_assert_eq!(counts, (0..3).map(|l| t.node_count(l)).collect::<Vec<_>>());
-        prop_assert_eq!(t.node_count(2), t.nnz());
+        assert_eq!(
+            counts,
+            (0..3).map(|l| t.node_count(l)).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+        assert_eq!(t.node_count(2), t.nnz(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn footprint_scales_with_width(coo in coo3_strategy()) {
-        prop_assume!(coo.nnz() > 0);
+#[test]
+fn footprint_scales_with_width() {
+    let mut checked = 0usize;
+    for seed in 0..CASES {
+        let coo = random_coo3(seed ^ 0xf007);
+        if coo.nnz() == 0 {
+            continue;
+        }
+        checked += 1;
         let mut t = SparseTensor::from_coo(&coo, Format::csf(3));
         t.set_index_width(IndexWidth::U32);
         let narrow = t.footprint_bytes();
         t.set_index_width(IndexWidth::U64);
         let wide = t.footprint_bytes();
-        prop_assert!(wide > narrow);
+        assert!(wide > narrow, "seed {seed}");
         // Values bytes are unchanged; only index buffers doubled.
         let val_bytes = t.nnz() * 8;
-        prop_assert_eq!((wide - val_bytes), 2 * (narrow - val_bytes));
+        assert_eq!(wide - val_bytes, 2 * (narrow - val_bytes), "seed {seed}");
     }
+    assert!(checked > CASES as usize / 2, "generator mostly non-empty");
+}
 
-    #[test]
-    fn permuted_2d_formats_transpose_consistently(
-        entries in proptest::collection::vec((0usize..5, 0usize..7, 0.5f64..2.0), 0..20)
-    ) {
+#[test]
+fn permuted_2d_formats_transpose_consistently() {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed ^ 0x2d2d);
+        let entries = rng.below(20);
         let mut coords = Vec::new();
         let mut vals = Vec::new();
-        for (r, c, v) in &entries {
-            coords.extend_from_slice(&[*r, *c]);
-            vals.push(*v);
+        for _ in 0..entries {
+            coords.push(rng.below(5));
+            coords.push(rng.below(7));
+            vals.push(0.5 + rng.f64() * 1.5);
         }
         let coo = CooTensor::new(vec![5, 7], coords, Values::F64(vals));
         let csr = SparseTensor::from_coo(&coo, Format::csr());
         let csc = SparseTensor::from_coo(&coo, Format::csc());
         // Same dense content regardless of level permutation.
-        prop_assert_eq!(csr.to_dense_f64(), csc.to_dense_f64());
+        assert_eq!(csr.to_dense_f64(), csc.to_dense_f64(), "seed {seed}");
         // CSC's inner segment lengths are column degrees.
         let col_deg_sum: usize = csc.inner_segment_lengths().iter().sum();
-        prop_assert_eq!(col_deg_sum, csc.nnz());
+        assert_eq!(col_deg_sum, csc.nnz(), "seed {seed}");
     }
 }

@@ -18,7 +18,7 @@ fn sample_rows(tri: &Triplets, keep_every: usize) -> Triplets {
     let mut s = Triplets::new(tri.nrows / keep_every, tri.ncols);
     for i in 0..tri.nnz() {
         let r = tri.rows[i];
-        if r % keep_every == 0 && r / keep_every < s.nrows {
+        if r.is_multiple_of(keep_every) && r / keep_every < s.nrows {
             s.push(r / keep_every, tri.cols[i], tri.vals[i]);
         }
     }

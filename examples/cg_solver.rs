@@ -36,7 +36,7 @@ fn cg(
     let mut p = r.clone();
     let mut rs = dot(&r, &r);
     for it in 0..max_iters {
-        let ap = run_spmv_f64_with(ck, a, &p, machine);
+        let ap = run_spmv_f64_with(ck, a, &p, machine).expect("SpMV kernel runs");
         let alpha = rs / dot(&p, &ap);
         for i in 0..n {
             x[i] += alpha * p[i];
@@ -71,8 +71,16 @@ fn main() {
     let mut cycle_counts = Vec::new();
     let mut solutions = Vec::new();
     for (label, strat, pf) in [
-        ("baseline", PrefetchStrategy::none(), PrefetcherConfig::hw_default()),
-        ("asap", PrefetchStrategy::asap(45), PrefetcherConfig::optimized_spmv()),
+        (
+            "baseline",
+            PrefetchStrategy::none(),
+            PrefetcherConfig::hw_default(),
+        ),
+        (
+            "asap",
+            PrefetchStrategy::asap(45),
+            PrefetcherConfig::optimized_spmv(),
+        ),
     ] {
         let ck = compile_with_width(&spec, a.format(), a.index_width(), &strat).unwrap();
         let mut machine = Machine::new(cfg, pf);

@@ -21,15 +21,10 @@ const ITERS: usize = 5;
 
 /// One power iteration: ranks' = d * Aᵀ-normalized walk + (1-d)/n.
 /// (We fold the column normalization into the matrix up front.)
-fn pagerank(
-    ck: &CompiledKernel,
-    at: &SparseTensor,
-    n: usize,
-    machine: &mut Machine,
-) -> Vec<f64> {
+fn pagerank(ck: &CompiledKernel, at: &SparseTensor, n: usize, machine: &mut Machine) -> Vec<f64> {
     let mut ranks = vec![1.0 / n as f64; n];
     for _ in 0..ITERS {
-        let contrib = run_spmv_f64_with(ck, at, &ranks, machine);
+        let contrib = run_spmv_f64_with(ck, at, &ranks, machine).expect("SpMV kernel runs");
         let teleport = (1.0 - DAMPING) / n as f64;
         for (r, c) in ranks.iter_mut().zip(&contrib) {
             *r = teleport + DAMPING * c;
@@ -58,7 +53,11 @@ fn main() {
     let mut report = Vec::new();
     let mut rank_sets = Vec::new();
     for (label, strat, pf) in [
-        ("baseline", PrefetchStrategy::none(), PrefetcherConfig::hw_default()),
+        (
+            "baseline",
+            PrefetchStrategy::none(),
+            PrefetcherConfig::hw_default(),
+        ),
         (
             "asap",
             PrefetchStrategy::asap(45),

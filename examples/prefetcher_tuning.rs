@@ -24,8 +24,14 @@ fn main() {
     let cfg = GracemontConfig::scaled();
 
     let hw_configs = [
-        ("default (Table 2 out-of-box)", PrefetcherConfig::hw_default()),
-        ("optimized (NLP+AMP off)", PrefetcherConfig::optimized_spmv()),
+        (
+            "default (Table 2 out-of-box)",
+            PrefetcherConfig::hw_default(),
+        ),
+        (
+            "optimized (NLP+AMP off)",
+            PrefetcherConfig::optimized_spmv(),
+        ),
         ("all off", PrefetcherConfig::all_off()),
         (
             "NLP only off",

@@ -28,9 +28,9 @@ fn main() {
 
     // 3. Compile SpMV three ways: baseline, ASaP, Ainsworth&Jones.
     let spec = KernelSpec::spmv(ValueKind::F64);
-    let baseline = compile(&spec, b.format(), &PrefetchStrategy::none());
-    let asap = compile(&spec, b.format(), &PrefetchStrategy::asap(45));
-    let aj = compile(&spec, b.format(), &PrefetchStrategy::aj(45));
+    let baseline = compile(&spec, b.format(), &PrefetchStrategy::none()).expect("compiles");
+    let asap = compile(&spec, b.format(), &PrefetchStrategy::asap(45)).expect("compiles");
+    let aj = compile(&spec, b.format(), &PrefetchStrategy::aj(45)).expect("compiles");
     println!(
         "prefetch ops: baseline={}, asap={}, aj={}",
         baseline.prefetch_ops, asap.prefetch_ops, aj.prefetch_ops
@@ -38,7 +38,7 @@ fn main() {
 
     // 4. Run and verify against the dense reference.
     let x: Vec<f64> = (0..16).map(|i| 1.0 + i as f64 * 0.5).collect();
-    let y = run_spmv_f64(&asap, &b, &x);
+    let y = run_spmv_f64(&asap, &b, &x).expect("kernel runs");
     let yref = tri.dense_spmv(&x);
     let max_err = y
         .iter()
@@ -50,5 +50,8 @@ fn main() {
 
     // 5. The generated IR (the paper's Figure 3b plus the Figure 5
     //    prefetch block, after LICM hoisted the bound chain).
-    println!("\n--- ASaP SpMV IR ---\n{}", print_function(&asap.kernel.func));
+    println!(
+        "\n--- ASaP SpMV IR ---\n{}",
+        print_function(&asap.kernel.func)
+    );
 }

@@ -44,7 +44,7 @@ fn main() {
         let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &strat)
             .expect("compiles");
         let mut machine = Machine::new(cfg, pf);
-        let out = run_spmm_f64_with(&ck, &sparse, &dense, &mut machine);
+        let out = run_spmm_f64_with(&ck, &sparse, &dense, &mut machine).expect("SpMM kernel runs");
         let c = machine.counters();
         println!(
             "{:<16} prefetch-ops={}  sw-prefetches={:>8}  l2-mpki={:>6.2}  cycles={}",

@@ -36,17 +36,23 @@
 //! let tri = asap::matrices::gen::banded(16, 3, 7);
 //! let csr = SparseTensor::from_coo(&tri.to_coo(), Format::csr());
 //! let kernel = KernelSpec::spmv(ValueKind::F64);
-//! let compiled = compile(&kernel, csr.format(), &PrefetchStrategy::asap(45));
+//! let compiled = compile(&kernel, csr.format(), &PrefetchStrategy::asap(45))?;
 //! let x = vec![1.0f64; 16];
-//! let y = run_spmv_f64(&compiled, &csr, &x);
+//! let y = run_spmv_f64(&compiled, &csr, &x)?;
 //! let yref = tri.dense_spmv(&x);
 //! for (a, b) in y.iter().zip(&yref) {
 //!     assert!((a - b).abs() < 1e-9);
 //! }
+//! # Ok::<(), asap::AsapError>(())
 //! ```
+//!
+//! Every fallible pipeline stage returns a typed [`AsapError`] instead of
+//! panicking; see `DESIGN.md` ("Error handling & fuzzing") for the error
+//! taxonomy and the graceful-degradation contract.
 
 pub use asap_core as core;
 pub use asap_ir as ir;
+pub use asap_ir::AsapError;
 pub use asap_matrices as matrices;
 pub use asap_sim as sim;
 pub use asap_sparsifier as sparsifier;
@@ -54,8 +60,8 @@ pub use asap_tensor as tensor;
 
 /// Commonly used items, for `use asap::prelude::*`.
 pub mod prelude {
-    pub use asap_core::{compile, run_spmv_f64, CompiledKernel, PrefetchStrategy};
-    pub use asap_ir::{Function, MemoryModel};
+    pub use asap_core::{compile, run_spmv_f64, CompileWarning, CompiledKernel, PrefetchStrategy};
+    pub use asap_ir::{AsapError, Function, MemoryModel};
     pub use asap_matrices::Triplets;
     pub use asap_sim::{GracemontConfig, Machine, PrefetcherConfig};
     pub use asap_sparsifier::KernelSpec;

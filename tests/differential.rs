@@ -1,0 +1,100 @@
+//! Differential fuzzing of the full pipeline (ISSUE acceptance gate):
+//! ≥64 fixed-seed cases, each compiled under all three prefetch
+//! strategies across formats and index widths, interpreted, and checked
+//! bit-identical against each other and (approximately) against a dense
+//! reference — plus a MatrixMarket corruption stage asserting that byte
+//! damage yields typed errors with useful diagnostics, never panics.
+//!
+//! Everything is seeded: a failure message names the seed/case, and
+//! re-running reproduces it exactly.
+
+use asap::tensor::{Format, IndexWidth};
+use asap_fuzz::{
+    corruption_must_error, corruptions, degenerate_cases, differential_spmv, fuzz_smoke,
+    random_triplets, to_mtx_bytes, Outcome, Rng64,
+};
+
+/// The headline gate: 64 random fixed-seed cases, every one exercising a
+/// (format, width, distance) combination drawn from its own seed.
+#[test]
+fn sixty_four_random_cases_agree_across_strategies() {
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let mut verified = 0usize;
+    for seed in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xd1ff * (seed + 1));
+        let tri = random_triplets(&mut rng, 40, 200);
+        let fmt = &formats[(seed % 3) as usize];
+        let width = widths[(seed % 2) as usize];
+        let distance = 1 + (seed as usize * 7) % 90;
+        match differential_spmv(&tri, fmt, width, distance)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"))
+        {
+            Outcome::Verified => verified += 1,
+            Outcome::Rejected(msg) => {
+                panic!("seed {seed}: in-range random input rejected: {msg}")
+            }
+        }
+    }
+    assert_eq!(verified, 64);
+}
+
+/// Degenerate shapes run under every format/width combination: valid ones
+/// verify, invalid ones are rejected with a typed error naming the cause.
+#[test]
+fn degenerate_inputs_never_panic() {
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let (mut verified, mut rejected) = (0usize, 0usize);
+    for (label, tri) in degenerate_cases(7) {
+        for fmt in &formats {
+            for &width in &widths {
+                match differential_spmv(&tri, fmt, width, 45)
+                    .unwrap_or_else(|e| panic!("{label} ({fmt}, {width:?}): {e}"))
+                {
+                    Outcome::Verified => verified += 1,
+                    Outcome::Rejected(msg) => {
+                        assert!(
+                            msg.contains("out of bounds"),
+                            "{label}: rejection must name the cause: {msg}"
+                        );
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(verified > 0, "some degenerate shapes are valid");
+    // Both out-of-range cases, under all 6 combinations each.
+    assert_eq!(rejected, 12, "out-of-range cases must all be rejected");
+}
+
+/// MatrixMarket corruption stage: every corruptor output parses to a
+/// typed error with a line-numbered, non-empty message.
+#[test]
+fn corrupted_mtx_streams_yield_typed_errors() {
+    for seed in 0..8u64 {
+        let mut rng = Rng64::seed_from_u64(0xc0de + seed);
+        let tri = random_triplets(&mut rng, 20, 80);
+        let bytes = to_mtx_bytes(&tri);
+        for (label, corrupt) in corruptions(&bytes, &mut rng) {
+            let msg = corruption_must_error(&label, &corrupt)
+                .unwrap_or_else(|violation| panic!("seed {seed}: {violation}"));
+            // Structural errors past the header must carry a position.
+            if label != "bad-header" {
+                assert!(
+                    msg.contains("line") || msg.contains("size"),
+                    "seed {seed} {label}: diagnostic lacks a position: {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// The CI smoke entry point stays green and reports sensible counts.
+#[test]
+fn fuzz_smoke_pass() {
+    let (verified, rejected) = fuzz_smoke(2026, 64).unwrap();
+    assert!(verified >= 64, "{verified} verified");
+    assert!(rejected >= 2, "{rejected} rejected");
+}

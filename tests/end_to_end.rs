@@ -21,7 +21,7 @@ fn spmv_all_strategies(tri: &Triplets, fmt: Format) {
         PrefetchStrategy::aj(45),
     ] {
         let ck = compile_with_width(&spec, &fmt, sparse.index_width(), &strat).unwrap();
-        let y = asap::core::run_spmv_f64(&ck, &sparse, &x);
+        let y = asap::core::run_spmv_f64(&ck, &sparse, &x).unwrap();
         for (i, (g, w)) in y.iter().zip(&expect).enumerate() {
             assert!(
                 (g - w).abs() < 1e-9 * (1.0 + w.abs()),
@@ -77,9 +77,9 @@ fn simulated_run_matches_functional_run() {
     )
     .unwrap();
     let x: Vec<f64> = (0..2000).map(|i| (i % 3) as f64).collect();
-    let functional = asap::core::run_spmv_f64(&ck, &sparse, &x);
+    let functional = asap::core::run_spmv_f64(&ck, &sparse, &x).unwrap();
     let mut machine = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
-    let simulated = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+    let simulated = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine).unwrap();
     assert_eq!(functional, simulated, "timing model must not alter results");
     let c = machine.counters();
     assert!(c.instructions > 0 && c.cycles > 0 && c.sw_pf_issued > 0);
@@ -112,7 +112,7 @@ fn spmm_pipeline_with_all_strategies() {
         PrefetchStrategy::aj(45),
     ] {
         let ck = compile_with_width(&spec, &Format::csr(), sparse.index_width(), &strat).unwrap();
-        let a = asap::core::run_spmm_f64(&ck, &sparse, &c);
+        let a = asap::core::run_spmm_f64(&ck, &sparse, &c).unwrap();
         match &reference {
             None => reference = Some(a.as_f64().to_vec()),
             Some(r) => assert_eq!(a.as_f64(), &r[..], "{}", strat.label()),
@@ -134,16 +134,13 @@ fn binary_semiring_spmv_end_to_end() {
     )
     .unwrap();
     // x = indicator of a vertex set; y = indicator of its in-neighbors.
-    let x = DenseTensor::from_i8(
-        vec![300],
-        (0..300).map(|i| (i % 7 == 0) as i8).collect(),
-    );
+    let x = DenseTensor::from_i8(vec![300], (0..300).map(|i| (i % 7 == 0) as i8).collect());
     let mut y = DenseTensor::zeros(ValueKind::I8, vec![300]);
     run_compiled(&ck, &sparse, &[&x], &mut y, &mut NullModel).unwrap();
     // Reference with the boolean semiring.
     let mut want = vec![0i8; 300];
     for k in 0..tri.nnz() {
-        want[tri.rows[k]] |= ((tri.vals[k] != 0.0) && (tri.cols[k] % 7 == 0)) as i8;
+        want[tri.rows[k]] |= ((tri.vals[k] != 0.0) && tri.cols[k].is_multiple_of(7)) as i8;
     }
     assert_eq!(y.as_i8(), &want[..]);
 }
@@ -165,7 +162,10 @@ fn mttkrp_csf_with_asap_prefetching() {
     sparse.set_index_width(asap::tensor::IndexWidth::U64);
     let l = 4;
     let cmat = DenseTensor::from_f64(vec![7, l], (0..7 * l).map(|x| x as f64 * 0.5).collect());
-    let dmat = DenseTensor::from_f64(vec![8, l], (0..8 * l).map(|x| 2.0 - x as f64 * 0.1).collect());
+    let dmat = DenseTensor::from_f64(
+        vec![8, l],
+        (0..8 * l).map(|x| 2.0 - x as f64 * 0.1).collect(),
+    );
 
     let mut outs = Vec::new();
     for strat in [PrefetchStrategy::none(), PrefetchStrategy::asap(4)] {
@@ -199,7 +199,7 @@ fn dcsr_and_csc_simulated_runs() {
         .unwrap();
         let x = vec![1.0; 1500];
         let mut machine = Machine::new(GracemontConfig::scaled(), PrefetcherConfig::hw_default());
-        let y = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine);
+        let y = asap::core::run_spmv_f64_with(&ck, &sparse, &x, &mut machine).unwrap();
         let want = tri.dense_spmv(&x);
         for (g, w) in y.iter().zip(&want) {
             assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()), "{fmt}");

@@ -2,9 +2,9 @@
 //! machine (tiny caches so small matrices are memory-bound and the suite
 //! stays fast). Each test names the paper section it reproduces.
 
-use asap_bench::{ews_speedup, run_spmm, run_spmv, Variant};
 use asap::matrices::gen;
 use asap::sim::{CacheParams, GracemontConfig, PrefetcherConfig};
+use asap_bench::{ews_speedup, run_spmm, run_spmv, Variant};
 
 /// A machine with very small caches: a 64K-element vector (512 KB) is
 /// already far beyond the 128 KB L3.
@@ -29,7 +29,7 @@ fn spmv(
     v: Variant,
     pf: PrefetcherConfig,
 ) -> asap_bench::ExperimentResult {
-    run_spmv(tri, "t", "g", true, v, pf, "hw", tiny_machine())
+    run_spmv(tri, "t", "g", true, v, pf, "hw", tiny_machine()).unwrap()
 }
 
 const D: usize = 45;
@@ -42,7 +42,10 @@ fn asap_speeds_up_memory_bound_spmv() {
     let pf = PrefetcherConfig::optimized_spmv();
     let base = spmv(&tri, Variant::Baseline, pf);
     let asap = spmv(&tri, Variant::Asap { distance: D }, pf);
-    assert!(base.l2_mpki > 20.0, "workload must be memory-bound: {base:?}");
+    assert!(
+        base.l2_mpki > 20.0,
+        "workload must be memory-bound: {base:?}"
+    );
     let speedup = asap.throughput / base.throughput;
     assert!(speedup > 1.5, "expected clear speedup, got {speedup:.2}");
     assert!(
@@ -59,7 +62,11 @@ fn asap_regresses_mildly_on_compute_bound_spmv() {
     let pf = PrefetcherConfig::optimized_spmv();
     let base = spmv(&tri, Variant::Baseline, pf);
     let asap = spmv(&tri, Variant::Asap { distance: D }, pf);
-    assert!(base.l2_mpki < 2.0, "must be compute-bound: {}", base.l2_mpki);
+    assert!(
+        base.l2_mpki < 2.0,
+        "must be compute-bound: {}",
+        base.l2_mpki
+    );
     let speedup = asap.throughput / base.throughput;
     assert!(speedup < 1.0, "overhead must show: {speedup:.2}");
     assert!(speedup > 0.6, "but bounded: {speedup:.2}");
@@ -81,7 +88,10 @@ fn asap_beats_aj_on_short_rows() {
     let asap = spmv(&t, Variant::Asap { distance: D }, pf);
     let aj = spmv(&t, Variant::AinsworthJones { distance: D }, pf);
     let ratio = asap.throughput / aj.throughput;
-    assert!(ratio > 1.2, "ASaP must beat A&J across segments: {ratio:.2}");
+    assert!(
+        ratio > 1.2,
+        "ASaP must beat A&J across segments: {ratio:.2}"
+    );
 }
 
 /// Section 5.3: with long rows (segment length >> distance) the two
@@ -106,12 +116,31 @@ fn spmm_aj_generates_nothing_asap_wins() {
     let tri = gen::erdos_renyi(32_000, 8, 9);
     let cfg = tiny_machine();
     let pf = PrefetcherConfig::optimized_spmm();
-    let base = run_spmm(&tri, "t", "g", true, 8, Variant::Baseline, pf, "hw", cfg);
-    let asap = run_spmm(&tri, "t", "g", true, 8, Variant::Asap { distance: D }, pf, "hw", cfg);
+    let base = run_spmm(&tri, "t", "g", true, 8, Variant::Baseline, pf, "hw", cfg).unwrap();
+    let asap = run_spmm(
+        &tri,
+        "t",
+        "g",
+        true,
+        8,
+        Variant::Asap { distance: D },
+        pf,
+        "hw",
+        cfg,
+    )
+    .unwrap();
     let aj = run_spmm(
-        &tri, "t", "g", true, 8,
-        Variant::AinsworthJones { distance: D }, pf, "hw", cfg,
-    );
+        &tri,
+        "t",
+        "g",
+        true,
+        8,
+        Variant::AinsworthJones { distance: D },
+        pf,
+        "hw",
+        cfg,
+    )
+    .unwrap();
     assert_eq!(aj.sw_pf_issued, 0, "A&J cannot instrument SpMM");
     assert!(asap.sw_pf_issued > 0);
     assert!(
@@ -129,7 +158,11 @@ fn spmm_aj_generates_nothing_asap_wins() {
 #[test]
 fn optimized_hw_config_amplifies_asap() {
     let tri = gen::erdos_renyi(64_000, 8, 13);
-    let asap_default = spmv(&tri, Variant::Asap { distance: D }, PrefetcherConfig::hw_default());
+    let asap_default = spmv(
+        &tri,
+        Variant::Asap { distance: D },
+        PrefetcherConfig::hw_default(),
+    );
     let asap_opt = spmv(
         &tri,
         Variant::Asap { distance: D },
@@ -151,10 +184,10 @@ fn optimized_hw_config_amplifies_asap() {
 /// performance — the IPP's two stream slots cannot cover SpMV's streams.
 #[test]
 fn step1_ablation_degrades_asap() {
-    use asap_core::{compile_with_width, AsapConfig, PrefetchStrategy};
     use asap::sim::Machine;
     use asap::sparsifier::KernelSpec;
     use asap::tensor::{Format, SparseTensor, ValueKind};
+    use asap_core::{compile_with_width, AsapConfig, PrefetchStrategy};
     let tri = gen::erdos_renyi(64_000, 8, 17);
     let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
     let spec = KernelSpec::spmv(ValueKind::F64);
@@ -213,16 +246,19 @@ fn huge_distance_never_faults() {
     }
     t.binary = false;
     for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
-        use asap_core::{compile_with_width, PrefetchStrategy};
         use asap::sparsifier::KernelSpec;
         use asap::tensor::{SparseTensor, ValueKind};
+        use asap_core::{compile_with_width, PrefetchStrategy};
         let sparse = SparseTensor::from_coo(&t.to_coo_f64(), fmt.clone());
         let spec = KernelSpec::spmv(ValueKind::F64);
-        for strat in [PrefetchStrategy::asap(1_000_000), PrefetchStrategy::aj(1_000_000)] {
-            let ck =
-                compile_with_width(&spec, &fmt, sparse.index_width(), &strat).unwrap();
+        for strat in [
+            PrefetchStrategy::asap(1_000_000),
+            PrefetchStrategy::aj(1_000_000),
+        ] {
+            let ck = compile_with_width(&spec, &fmt, sparse.index_width(), &strat).unwrap();
             let x = vec![1.0; 2_000];
-            let y = asap::core::run_spmv_f64(&ck, &sparse, &x); // must not fault
+            // Must neither fault nor report an error.
+            let y = asap::core::run_spmv_f64(&ck, &sparse, &x).unwrap();
             let want = t.dense_spmv(&x);
             for (g, w) in y.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-9 * (1.0 + w.abs()));

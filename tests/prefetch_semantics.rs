@@ -12,11 +12,7 @@ use asap::tensor::{DenseTensor, Format, SparseTensor, ValueKind};
 
 /// Run SpMV under a trace model; return the interleaved x-buffer event
 /// stream (demand loads and prefetches, in program order).
-fn gather_trace(
-    sparse: &SparseTensor,
-    n: usize,
-    strat: &PrefetchStrategy,
-) -> Vec<(bool, u64)> {
+fn gather_trace(sparse: &SparseTensor, n: usize, strat: &PrefetchStrategy) -> Vec<(bool, u64)> {
     let spec = KernelSpec::spmv(ValueKind::F64);
     let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), strat).unwrap();
     let x = DenseTensor::from_f64(vec![n], vec![1.0; n]);
@@ -170,5 +166,181 @@ fn asap_prefetch_stream_leads_demand_by_distance() {
     // k + d (the last d prefetches clamp to the final coordinate).
     for k in 0..demand.len() - d {
         assert_eq!(pf[k], demand[k + d], "iteration {k}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: prefetch injection is semantically a no-op (Section 3.2.2).
+// ---------------------------------------------------------------------------
+
+/// Demand Load/Store stream restricted to `[lo, hi)`, in program order.
+/// `(is_store, addr)` pairs; prefetches are excluded by construction.
+fn range_stream(events: &[TraceEvent], lo: u64, hi: u64) -> Vec<(bool, u64)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Load { addr, .. } if *addr >= lo && *addr < hi => Some((false, *addr)),
+            TraceEvent::Store { addr, .. } if *addr >= lo && *addr < hi => Some((true, *addr)),
+            _ => None,
+        })
+        .collect()
+}
+
+struct TracedSpmv {
+    events: Vec<TraceEvent>,
+    x_range: (u64, u64),
+    out_range: (u64, u64),
+    crd_range: (u64, u64),
+    pos_range: (u64, u64),
+    y_bits: Vec<u64>,
+}
+
+/// Run CSR SpMV under a full trace model and report the event stream,
+/// the operand address ranges, and the bit pattern of the result.
+fn traced_spmv(sparse: &SparseTensor, n: usize, strat: &PrefetchStrategy) -> TracedSpmv {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), strat).unwrap();
+    let x = DenseTensor::from_f64(
+        vec![n],
+        (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.25).collect(),
+    );
+    let out = DenseTensor::zeros(ValueKind::F64, vec![sparse.dims()[0]]);
+    let bound = bind(&ck.kernel, sparse, &[&x], &out).unwrap();
+    let pos_of = |arg: KernelArg| ck.kernel.arg_position(arg).unwrap();
+    let buf_of = |p: usize| match bound.args[p] {
+        V::Mem(b) => b,
+        _ => unreachable!("memref argument binds to a buffer"),
+    };
+    let x_buf = buf_of(pos_of(KernelArg::DenseInput { input: 1 }));
+    let out_buf = buf_of(pos_of(KernelArg::Output));
+    let crd_buf = buf_of(pos_of(KernelArg::Crd { level: 1 }));
+    let pos_buf = buf_of(pos_of(KernelArg::Pos { level: 1 }));
+    let mut bufs: Buffers = bound.bufs;
+    let range = |bufs: &Buffers, b| {
+        let buf = bufs.get(b);
+        let bytes = buf.data.len() as u64 * buf.data.elem_bytes() as u64;
+        (buf.base_addr, buf.base_addr + bytes)
+    };
+    let x_range = range(&bufs, x_buf);
+    let out_range = range(&bufs, out_buf);
+    let crd_range = range(&bufs, crd_buf);
+    let pos_range = range(&bufs, pos_buf);
+    let mut t = TraceModel::new();
+    asap::ir::interpret(&ck.kernel.func, &bound.args, &mut bufs, &mut t).unwrap();
+    let y_bits: Vec<u64> = match &bufs.get(out_buf).data {
+        asap::ir::BufferData::F64(v) => v.iter().map(|f| f.to_bits()).collect(),
+        other => panic!("f64 output expected, got {other:?}"),
+    };
+    TracedSpmv {
+        events: t.events,
+        x_range,
+        out_range,
+        crd_range,
+        pos_range,
+        y_bits,
+    }
+}
+
+#[test]
+fn injection_leaves_dense_demand_traffic_and_results_unchanged() {
+    // The paper's key semantic claim, checked on the access stream: the
+    // injected code adds prefetches and look-ahead *coordinate* loads,
+    // but the demand Load/Store streams on the dense operands (the
+    // gather source x and the output y) are byte-for-byte those of the
+    // uninstrumented kernel — and the result bits are identical.
+    let tri = gen::power_law(1_200, 6, 1.0, 17);
+    let sparse = SparseTensor::from_coo(&tri.to_coo_f64(), Format::csr());
+    let n = tri.ncols;
+
+    let base = traced_spmv(&sparse, n, &PrefetchStrategy::none());
+    let base_x = range_stream(&base.events, base.x_range.0, base.x_range.1);
+    let base_out = range_stream(&base.events, base.out_range.0, base.out_range.1);
+    let base_crd_loads = range_stream(&base.events, base.crd_range.0, base.crd_range.1).len();
+    assert!(!base_x.is_empty() && !base_out.is_empty());
+
+    for strat in [
+        PrefetchStrategy::asap(16),
+        PrefetchStrategy::asap(1),
+        PrefetchStrategy::aj(16),
+    ] {
+        let t = traced_spmv(&sparse, n, &strat);
+        assert_eq!(
+            range_stream(&t.events, t.x_range.0, t.x_range.1),
+            base_x,
+            "{}: demand gather stream on x changed",
+            strat.label()
+        );
+        assert_eq!(
+            range_stream(&t.events, t.out_range.0, t.out_range.1),
+            base_out,
+            "{}: output demand stream changed",
+            strat.label()
+        );
+        assert_eq!(t.y_bits, base.y_bits, "{}: result bits", strat.label());
+        // The only extra demand loads are look-ahead coordinate loads,
+        // plus ASaP's hoisted size-chain read of pos[nrows] (Fig. 5
+        // lines 8-10) — a once-per-run metadata load.
+        let crd_loads = range_stream(&t.events, t.crd_range.0, t.crd_range.1).len();
+        assert!(
+            crd_loads >= base_crd_loads,
+            "{}: {crd_loads} vs {base_crd_loads}",
+            strat.label()
+        );
+        let base_pos_loads = range_stream(&base.events, base.pos_range.0, base.pos_range.1).len();
+        let pos_loads = range_stream(&t.events, t.pos_range.0, t.pos_range.1).len();
+        assert!(
+            pos_loads - base_pos_loads <= 1,
+            "{}: the size chain is hoisted, so at most one extra pos load",
+            strat.label()
+        );
+        let extra_demand: usize = t
+            .events
+            .iter()
+            .filter(|e| !e.is_prefetch())
+            .count()
+            .saturating_sub(base.events.iter().filter(|e| !e.is_prefetch()).count());
+        assert_eq!(
+            extra_demand,
+            (crd_loads - base_crd_loads) + (pos_loads - base_pos_loads),
+            "{}: extra demand traffic outside the crd/pos metadata streams",
+            strat.label()
+        );
+    }
+}
+
+#[test]
+fn outputs_bit_identical_across_strategies_formats_and_widths() {
+    use asap::tensor::IndexWidth;
+    for seed in [1u64, 7, 23] {
+        let tri = gen::erdos_renyi(600, 5, seed);
+        for fmt in [Format::csr(), Format::coo(), Format::dcsr()] {
+            for width in [IndexWidth::U32, IndexWidth::U64] {
+                let mut sparse = SparseTensor::from_coo(&tri.to_coo_f64(), fmt.clone());
+                sparse.set_index_width(width);
+                let x: Vec<f64> = (0..tri.ncols)
+                    .map(|i| 0.5 + (i % 11) as f64 * 0.125)
+                    .collect();
+                let spec = KernelSpec::spmv(ValueKind::F64);
+                let mut reference: Option<Vec<u64>> = None;
+                for strat in [
+                    PrefetchStrategy::none(),
+                    PrefetchStrategy::asap(45),
+                    PrefetchStrategy::aj(45),
+                ] {
+                    let ck = compile_with_width(&spec, &fmt, width, &strat).unwrap();
+                    let y = asap::core::run_spmv_f64(&ck, &sparse, &x).unwrap();
+                    let bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    match &reference {
+                        None => reference = Some(bits),
+                        Some(r) => assert_eq!(
+                            &bits,
+                            r,
+                            "seed {seed} {fmt} {width:?} {}: outputs must be bit-identical",
+                            strat.label()
+                        ),
+                    }
+                }
+            }
+        }
     }
 }
