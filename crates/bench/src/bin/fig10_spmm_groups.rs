@@ -6,7 +6,8 @@
 //! negligible for SpMM (which is why Figure 10 omits the "-default" bars).
 
 use asap_bench::{
-    harmonic_mean, run_spmm, ExperimentResult, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64,
+    harmonic_mean, matrix_threads, parallel_map, run_spmm, ExperimentResult, Options, Variant,
+    PAPER_DISTANCE, SPMM_COLS_F64,
 };
 use asap_ir::AsapError;
 use asap_matrices::{spmm_collection, UNSTRUCTURED_GROUPS};
@@ -24,13 +25,9 @@ fn real_main() -> Result<(), AsapError> {
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmm();
 
-    let mut base_thr = Vec::new();
-    let mut asap_thr = Vec::new();
-    let mut groups: Vec<(String, bool)> = Vec::new();
-    let mut results: Vec<ExperimentResult> = Vec::new();
-    for m in spmm_collection(opts.size) {
+    // Per-matrix baseline/ASaP pairs simulate on pool workers.
+    let per_matrix = parallel_map(spmm_collection(opts.size), matrix_threads(1), |_, m| {
         let tri = m.materialize();
-        groups.push((m.group.clone(), m.unstructured));
         let b = run_spmm(
             &tri,
             &m.name,
@@ -55,6 +52,16 @@ fn real_main() -> Result<(), AsapError> {
             "optimized",
             cfg,
         )?;
+        Ok::<_, AsapError>((m, b, a))
+    });
+
+    let mut base_thr = Vec::new();
+    let mut asap_thr = Vec::new();
+    let mut groups: Vec<(String, bool)> = Vec::new();
+    let mut results: Vec<ExperimentResult> = Vec::new();
+    for row in per_matrix {
+        let (m, b, a) = row?;
+        groups.push((m.group.clone(), m.unstructured));
         base_thr.push(b.throughput);
         asap_thr.push(a.throughput);
         results.push(b);

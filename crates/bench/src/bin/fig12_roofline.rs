@@ -47,6 +47,10 @@ fn real_main() -> Result<(), AsapError> {
         "variant", "threads", "AI(F/B)", "GFLOP/s", "time(ms)", "speedup"
     );
 
+    // Deliberately serial: each run_spmv_threads call already spawns one
+    // host thread per simulated core with spin-synchronized clocks, so
+    // matrix-level pool workers must not wrap it (run_prepared_parallel
+    // rejects that nesting with a typed error).
     let mut results: Vec<ExperimentResult> = Vec::new();
     let mut base_gflops = [0.0f64; 9];
     for v in [

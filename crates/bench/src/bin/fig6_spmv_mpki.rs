@@ -5,7 +5,9 @@
 //! overhead, speedup growing with MPKI, break-even at a small MPKI, and
 //! >2x speedups for the most memory-bound matrices.
 
-use asap_bench::{linear_fit, run_spmv, Options, Variant, PAPER_DISTANCE};
+use asap_bench::{
+    linear_fit, matrix_threads, parallel_map, run_spmv, Options, Variant, PAPER_DISTANCE,
+};
 use asap_ir::AsapError;
 use asap_matrices::synthetic_collection;
 use asap_sim::{GracemontConfig, PrefetcherConfig};
@@ -30,30 +32,40 @@ fn real_main() -> Result<(), AsapError> {
         "{:<24} {:>10} {:>10} {:>8}",
         "matrix", "mpki", "speedup", "nnz(M)"
     );
-    for m in synthetic_collection(opts.size) {
-        let tri = m.materialize();
-        let base = run_spmv(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            Variant::Baseline,
-            pf,
-            "optimized",
-            cfg,
-        )?;
-        let asap = run_spmv(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            Variant::Asap {
-                distance: PAPER_DISTANCE,
-            },
-            pf,
-            "optimized",
-            cfg,
-        )?;
+    // Each matrix's two single-core simulations run on a pool worker;
+    // the table prints in collection order afterwards.
+    let per_matrix = parallel_map(
+        synthetic_collection(opts.size),
+        matrix_threads(1),
+        |_, m| {
+            let tri = m.materialize();
+            let base = run_spmv(
+                &tri,
+                &m.name,
+                &m.group,
+                m.unstructured,
+                Variant::Baseline,
+                pf,
+                "optimized",
+                cfg,
+            )?;
+            let asap = run_spmv(
+                &tri,
+                &m.name,
+                &m.group,
+                m.unstructured,
+                Variant::Asap {
+                    distance: PAPER_DISTANCE,
+                },
+                pf,
+                "optimized",
+                cfg,
+            )?;
+            Ok::<_, AsapError>((m, base, asap))
+        },
+    );
+    for row in per_matrix {
+        let (m, base, asap) = row?;
         let speedup = asap.throughput / base.throughput;
         println!(
             "{:<24} {:>10.2} {:>10.3} {:>8.2}",

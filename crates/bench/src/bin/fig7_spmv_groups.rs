@@ -6,7 +6,10 @@
 //! optimized prefetchers, consistently above ASaP-default; the baseline
 //! is roughly insensitive to the configuration; "Others" regresses (~0.8x).
 
-use asap_bench::{harmonic_mean, run_spmv, ExperimentResult, Options, Variant, PAPER_DISTANCE};
+use asap_bench::{
+    harmonic_mean, matrix_threads, parallel_map, run_spmv, ExperimentResult, Options, Variant,
+    PAPER_DISTANCE,
+};
 use asap_ir::AsapError;
 use asap_matrices::{synthetic_collection, UNSTRUCTURED_GROUPS};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
@@ -49,15 +52,38 @@ fn real_main() -> Result<(), AsapError> {
         ),
     ];
 
+    // All four configs of one matrix run on the same pool worker; the
+    // per-config throughput columns are reassembled in collection order.
+    let per_matrix = parallel_map(
+        synthetic_collection(opts.size),
+        matrix_threads(1),
+        |_, m| {
+            let tri = m.materialize();
+            let mut rows = Vec::with_capacity(configs.len());
+            for (label, v, pf) in &configs {
+                rows.push(run_spmv(
+                    &tri,
+                    &m.name,
+                    &m.group,
+                    m.unstructured,
+                    *v,
+                    *pf,
+                    label,
+                    cfg,
+                )?);
+            }
+            Ok::<_, AsapError>((m, rows))
+        },
+    );
+
     // throughput[config][matrix index]
     let mut thr: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     let mut groups: Vec<(String, bool)> = Vec::new();
     let mut results: Vec<ExperimentResult> = Vec::new();
-    for m in synthetic_collection(opts.size) {
-        let tri = m.materialize();
+    for row in per_matrix {
+        let (m, rows) = row?;
         groups.push((m.group.clone(), m.unstructured));
-        for (label, v, pf) in &configs {
-            let r = run_spmv(&tri, &m.name, &m.group, m.unstructured, *v, *pf, label, cfg)?;
+        for ((label, _, _), r) in configs.iter().zip(rows) {
             thr.entry(label).or_default().push(r.throughput);
             results.push(r);
         }

@@ -5,7 +5,10 @@
 //! (outer-loop prefetching amortizes the instruction overhead), with the
 //! regression line starting near 1.0.
 
-use asap_bench::{linear_fit, run_spmm, Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64};
+use asap_bench::{
+    linear_fit, matrix_threads, parallel_map, run_spmm, Options, Variant, PAPER_DISTANCE,
+    SPMM_COLS_F64,
+};
 use asap_ir::AsapError;
 use asap_matrices::spmm_collection;
 use asap_sim::{GracemontConfig, PrefetcherConfig};
@@ -30,7 +33,9 @@ fn real_main() -> Result<(), AsapError> {
         "{:<24} {:>10} {:>10} {:>8}",
         "matrix", "mpki", "speedup", "nnz(M)"
     );
-    for m in spmm_collection(opts.size) {
+    // Per-matrix baseline/ASaP pairs simulate on pool workers; the table
+    // prints in collection order afterwards.
+    let per_matrix = parallel_map(spmm_collection(opts.size), matrix_threads(1), |_, m| {
         let tri = m.materialize();
         let base = run_spmm(
             &tri,
@@ -56,6 +61,10 @@ fn real_main() -> Result<(), AsapError> {
             "optimized",
             cfg,
         )?;
+        Ok::<_, AsapError>((m, base, asap))
+    });
+    for row in per_matrix {
+        let (m, base, asap) = row?;
         let speedup = asap.throughput / base.throughput;
         println!(
             "{:<24} {:>10.2} {:>10.3} {:>8.2}",

@@ -1,0 +1,277 @@
+//! perfstat: wall-clock A/B of the two execution engines.
+//!
+//! For every matrix in the synthetic SpMV collection, runs the same
+//! compiled kernel under the tree-walking interpreter and the bytecode VM
+//! (identical bound buffers, identical memory-model dispatch), measures
+//! wall-clock time over `--reps` repetitions, and reports simulated
+//! instructions per second for each engine plus the aggregate speedup.
+//! Results land in a hand-rolled JSON report (`--out`, default
+//! `BENCH_exec.json`); the process exits non-zero if the aggregate
+//! speedup falls below `--min-speedup` (CI's regression gate).
+//!
+//! Usage: `perfstat [--size tiny|small|full] [--reps N]
+//!         [--out <path.json>] [--min-speedup X]`
+
+use asap_bench::PAPER_DISTANCE;
+use asap_core::{cache_stats, compile_cached, ExecEngine, PrefetchStrategy};
+use asap_ir::{execute, interpret, BufferData, MemoryModel, OpId};
+use asap_matrices::{synthetic_collection, SizeClass};
+use asap_sparsifier::{bind, KernelSpec};
+use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Counts retired instructions with the same accounting as the trace and
+/// timing models (each memory event retires one instruction), without
+/// storing events — so the A/B timing measures engine dispatch, not
+/// trace-buffer growth.
+#[derive(Default)]
+struct CountModel {
+    instructions: u64,
+}
+
+impl MemoryModel for CountModel {
+    fn load(&mut self, _pc: OpId, _addr: u64, _bytes: u8) {
+        self.instructions += 1;
+    }
+    fn store(&mut self, _pc: OpId, _addr: u64, _bytes: u8) {
+        self.instructions += 1;
+    }
+    fn prefetch(&mut self, _pc: OpId, _addr: u64, _locality: u8, _write: bool) {
+        self.instructions += 1;
+    }
+    fn retire(&mut self, n: u64) {
+        self.instructions += n;
+    }
+}
+
+struct Args {
+    size: SizeClass,
+    reps: usize,
+    out: PathBuf,
+    min_speedup: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        size: SizeClass::Small,
+        reps: 3,
+        out: PathBuf::from("BENCH_exec.json"),
+        min_speedup: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--size" => {
+                args.size = match value("--size")?.as_str() {
+                    "tiny" => SizeClass::Tiny,
+                    "small" => SizeClass::Small,
+                    "full" => SizeClass::Full,
+                    other => return Err(format!("unknown size {other} (tiny|small|full)")),
+                }
+            }
+            "--reps" => {
+                args.reps = value("--reps")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--reps: {e}"))?
+                    .max(1)
+            }
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--min-speedup" => {
+                args.min_speedup = value("--min-speedup")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--min-speedup: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+struct Row {
+    name: String,
+    nnz: usize,
+    instructions: u64,
+    tree_ms: f64,
+    byte_ms: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.tree_ms / self.byte_ms
+    }
+    fn mips(&self, ms: f64) -> f64 {
+        self.instructions as f64 / (ms * 1e3)
+    }
+}
+
+/// Time `reps` runs of one engine; returns (elapsed ms, instructions per
+/// run, bitwise output). Instructions and output are identical across
+/// reps (the engines are deterministic). Operand binding — the O(nnz)
+/// copy of the sparse arrays into interpreter buffers — happens outside
+/// the timed window: it is identical for both engines and would only
+/// dilute the A/B ratio.
+fn time_engine(
+    ck: &asap_core::CompiledKernel,
+    sparse: &SparseTensor,
+    x: &[f64],
+    engine: ExecEngine,
+    reps: usize,
+) -> Result<(f64, u64, Vec<u64>), String> {
+    let n = sparse.dims()[1];
+    let cx = DenseTensor::from_f64(vec![n], x.to_vec());
+    let out = DenseTensor::zeros(ValueKind::F64, vec![sparse.dims()[0]]);
+    let mut instructions = 0;
+    let mut bits = Vec::new();
+    let mut elapsed = 0.0;
+    for _ in 0..reps {
+        let mut bound = bind(&ck.kernel, sparse, &[&cx], &out).map_err(|e| e.to_string())?;
+        let mut model = CountModel::default();
+        let start = Instant::now();
+        let ran = match engine {
+            ExecEngine::Bytecode => {
+                let prog = ck.program.as_ref().ok_or("kernel has no lowered program")?;
+                execute(prog, &bound.args, &mut bound.bufs, &mut model)
+            }
+            _ => interpret(&ck.kernel.func, &bound.args, &mut bound.bufs, &mut model),
+        };
+        elapsed += start.elapsed().as_secs_f64();
+        ran.map_err(|e| e.to_string())?;
+        instructions = model.instructions;
+        bits = match &bound.bufs.get(bound.out_buf).data {
+            BufferData::F64(v) => v.iter().map(|y| y.to_bits()).collect(),
+            other => return Err(format!("output buffer is not f64: {other:?}")),
+        };
+    }
+    Ok((elapsed * 1e3, instructions, bits))
+}
+
+fn real_main() -> Result<(), String> {
+    let args = parse_args()?;
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let strategy = PrefetchStrategy::asap(PAPER_DISTANCE);
+
+    println!("# perfstat: simulated-instructions/sec, tree-walk vs bytecode (SpMV, asap)");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "matrix", "nnz", "instrs", "tree MI/s", "byte MI/s", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for m in synthetic_collection(args.size) {
+        let tri = m.materialize();
+        let sparse = SparseTensor::try_from_coo(
+            &tri.try_to_coo_f64().map_err(|e| e.to_string())?,
+            Format::csr(),
+        )
+        .map_err(|e| e.to_string())?;
+        let ck = compile_cached(&spec, sparse.format(), sparse.index_width(), &strategy)
+            .map_err(|e| e.to_string())?;
+        let x: Vec<f64> = (0..tri.ncols)
+            .map(|i| 0.25 + (i % 31) as f64 * 0.125)
+            .collect();
+
+        let (tree_ms, tree_instr, tree_bits) =
+            time_engine(&ck, &sparse, &x, ExecEngine::TreeWalk, args.reps)
+                .map_err(|e| format!("{}: tree-walk: {e}", m.name))?;
+        let (byte_ms, byte_instr, byte_bits) =
+            time_engine(&ck, &sparse, &x, ExecEngine::Bytecode, args.reps)
+                .map_err(|e| format!("{}: bytecode: {e}", m.name))?;
+        if tree_bits != byte_bits {
+            return Err(format!("{}: engine outputs differ bitwise", m.name));
+        }
+        if tree_instr != byte_instr {
+            return Err(format!(
+                "{}: retired-instruction counts differ: tree-walk {tree_instr} vs bytecode {byte_instr}",
+                m.name
+            ));
+        }
+
+        let row = Row {
+            name: m.name.clone(),
+            nnz: sparse.nnz(),
+            instructions: tree_instr,
+            tree_ms,
+            byte_ms,
+        };
+        println!(
+            "{:<24} {:>10} {:>12} {:>12.1} {:>12.1} {:>8.2}",
+            row.name,
+            row.nnz,
+            row.instructions,
+            row.mips(row.tree_ms),
+            row.mips(row.byte_ms),
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("empty collection".into());
+    }
+
+    let tree_total: f64 = rows.iter().map(|r| r.tree_ms).sum();
+    let byte_total: f64 = rows.iter().map(|r| r.byte_ms).sum();
+    let instr_total: u64 = rows.iter().map(|r| r.instructions).sum();
+    let speedup = tree_total / byte_total;
+    let (hits, misses) = cache_stats();
+    println!();
+    println!(
+        "aggregate: {instr_total} instructions/run, tree-walk {:.1} ms, bytecode {:.1} ms, speedup {speedup:.2}x",
+        tree_total, byte_total
+    );
+    println!("compile cache: {hits} hits, {misses} misses");
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"exec-engine\",\n  \"kernel\": \"spmv\",\n  \"variant\": \"asap\",\n  \"reps\": {},\n",
+        args.reps
+    ));
+    json.push_str("  \"matrices\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"nnz\": {}, \"instructions\": {}, \
+             \"tree_walk_ms\": {:.3}, \"bytecode_ms\": {:.3}, \
+             \"tree_walk_mips\": {:.1}, \"bytecode_mips\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.name.replace('"', "'"),
+            r.nnz,
+            r.instructions,
+            r.tree_ms,
+            r.byte_ms,
+            r.mips(r.tree_ms),
+            r.mips(r.byte_ms),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total\": {{\"instructions\": {instr_total}, \"tree_walk_ms\": {tree_total:.3}, \
+         \"bytecode_ms\": {byte_total:.3}, \"speedup\": {speedup:.3}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"compile_cache\": {{\"hits\": {hits}, \"misses\": {misses}}}\n}}\n"
+    ));
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    std::fs::write(&args.out, json).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", args.out.display());
+
+    if speedup < args.min_speedup {
+        return Err(format!(
+            "aggregate speedup {speedup:.3} below required {:.3}",
+            args.min_speedup
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

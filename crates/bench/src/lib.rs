@@ -7,12 +7,14 @@
 
 pub mod cli;
 pub mod ews;
+pub mod pool;
 pub mod predict;
 pub mod run;
 pub mod table;
 
 pub use cli::{linear_fit, Options, UsageError};
 pub use ews::{ews_speedup, harmonic_mean};
+pub use pool::{auto_threads, in_worker, matrix_threads, parallel_map};
 pub use predict::{aj_coverage, predict_asap_over_aj, predicted_advantage};
 pub use run::{
     results_to_json, run_spmm, run_spmm_threads, run_spmv, run_spmv_threads, sweep_spmv_dir,

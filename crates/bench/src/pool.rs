@@ -1,0 +1,167 @@
+//! A dependency-free worker pool for matrix-level parallelism.
+//!
+//! Every figure sweep is embarrassingly parallel across matrices: each
+//! (matrix, variant, prefetcher) cell simulates independently and only
+//! the printed table needs the original order. [`parallel_map`] provides
+//! exactly that — `std::thread::scope` workers claiming indices off an
+//! atomic counter, writing results into their input's slot — with no
+//! channels, no rayon, no allocation beyond the result vector.
+//!
+//! Composition with the simulator's own multi-core mode (Figure 12) is
+//! the subtle part: `asap_sim::run_parallel` spawns one OS thread per
+//! simulated core and spin-synchronizes their clocks. Nesting that inside
+//! a matrix-level worker oversubscribes the host and deadlock-prone
+//! spinners crawl. The pool therefore marks its workers with a
+//! thread-local flag ([`in_worker`]); [`matrix_threads`] collapses to 1
+//! whenever the per-matrix simulation itself is multi-threaded, and the
+//! bench runner refuses the remaining misuse with a typed error.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on a [`parallel_map`] worker thread (including nested calls on
+/// that thread). The bench runner uses this to reject simulated-core
+/// parallelism from inside a matrix-level worker.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Matrix-level worker count: the `ASAP_BENCH_THREADS` environment
+/// variable when set (clamped to at least 1), otherwise the machine's
+/// available parallelism. `ASAP_BENCH_THREADS=1` forces serial sweeps.
+pub fn auto_threads() -> usize {
+    if let Ok(v) = std::env::var("ASAP_BENCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Thread budget for a matrix sweep whose per-matrix simulation spawns
+/// `sim_threads` simulated cores. Multi-core simulations keep the sweep
+/// serial (the cores already use the host's parallelism, and their clock
+/// synchronization must not share cores with other work); single-core
+/// simulations sweep with [`auto_threads`] workers.
+pub fn matrix_threads(sim_threads: usize) -> usize {
+    if sim_threads > 1 || in_worker() {
+        1
+    } else {
+        auto_threads()
+    }
+}
+
+/// Apply `f` to every item on up to `threads` worker threads, returning
+/// the results in input order. `f` receives `(index, item)`. With one
+/// thread (or zero/one items) everything runs on the calling thread and
+/// no workers are marked.
+///
+/// A panicking `f` propagates the panic to the caller after the scope
+/// joins — same behaviour as the serial loop it replaces.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<Mutex<(Option<T>, Option<R>)>> = items
+        .into_iter()
+        .map(|t| Mutex::new((Some(t), None)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| {
+                IN_WORKER.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Each index is claimed exactly once, so the lock is
+                    // uncontended; a poisoned slot means another worker
+                    // panicked mid-item and the scope is unwinding anyway.
+                    let item = match slots[i].lock() {
+                        Ok(mut s) => s.0.take(),
+                        Err(_) => None,
+                    };
+                    let Some(item) = item else { continue };
+                    let r = f(i, item);
+                    if let Ok(mut s) = slots[i].lock() {
+                        s.1 = Some(r);
+                    }
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|p| p.into_inner())
+                .1
+                .expect("worker pool completed every claimed item")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_across_threads() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items, 7, |i, x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel() {
+        let a = parallel_map((0..17).collect::<Vec<i64>>(), 1, |_, x| x * x);
+        let b = parallel_map((0..17).collect::<Vec<i64>>(), 4, |_, x| x * x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn workers_are_marked_and_caller_is_not() {
+        assert!(!in_worker());
+        let flags = parallel_map(vec![(); 8], 4, |_, ()| in_worker());
+        assert!(flags.iter().all(|&w| w), "all items ran on marked workers");
+        assert!(!in_worker(), "the calling thread stays unmarked");
+    }
+
+    #[test]
+    fn matrix_threads_collapses_under_sim_parallelism() {
+        assert_eq!(matrix_threads(4), 1);
+        assert!(matrix_threads(1) >= 1);
+        // Inside a worker, nested sweeps stay serial regardless.
+        let nested = parallel_map(vec![(); 2], 2, |_, ()| matrix_threads(1));
+        assert_eq!(nested, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = parallel_map(Vec::<u8>::new(), 8, |_, x| x);
+        assert!(none.is_empty());
+        assert_eq!(parallel_map(vec![9], 8, |_, x| x + 1), vec![10]);
+    }
+}

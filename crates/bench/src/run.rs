@@ -7,8 +7,8 @@
 //! matrix is recorded in the [`SweepReport::skipped`] list and the sweep
 //! continues with the rest of the collection.
 
-use asap_core::{compile_with_width, CompiledKernel, PrefetchStrategy};
-use asap_ir::{interpret, AsapError, V};
+use asap_core::{compile_cached, CompiledKernel, PrefetchStrategy};
+use asap_ir::{execute, interpret, AsapError, V};
 use asap_matrices::{read_matrix_market, Triplets};
 use asap_sim::{run_parallel, GracemontConfig, Machine, PrefetcherConfig};
 use asap_sparsifier::{bind, KernelArg, KernelSpec};
@@ -178,7 +178,7 @@ fn x_vector(n: usize) -> Vec<f64> {
 
 fn compile_spmv(t: &SparseTensor, variant: Variant) -> Result<CompiledKernel, AsapError> {
     let spec = KernelSpec::spmv(ValueKind::F64);
-    compile_with_width(&spec, t.format(), t.index_width(), &variant.strategy())
+    compile_cached(&spec, t.format(), t.index_width(), &variant.strategy())
 }
 
 fn warning_strings(ck: &CompiledKernel) -> Vec<String> {
@@ -237,7 +237,7 @@ pub fn run_spmm(
 ) -> Result<ExperimentResult, AsapError> {
     let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
     let spec = KernelSpec::spmm(ValueKind::F64);
-    let ck = compile_with_width(
+    let ck = compile_cached(
         &spec,
         sparse.format(),
         sparse.index_width(),
@@ -321,12 +321,32 @@ struct Prepared {
 /// Run prepared per-thread kernels on the shared-uncore simulator,
 /// propagating the first interpreter trap instead of panicking inside
 /// the worker closure.
+///
+/// Thread-count handling: `n_threads` must equal the number of prepared
+/// slots (one simulated core per row partition — anything else would
+/// leave cores spinning on the clock barrier with no work, or index out
+/// of range), and a multi-core simulation must not be launched from
+/// inside a [`crate::pool`] matrix-level worker: the simulated cores
+/// spin-synchronize their clocks and oversubscribing the host with
+/// nested parallelism stalls them. Both misuses are typed errors.
 fn run_prepared_parallel(
     cfg: GracemontConfig,
     pf: PrefetcherConfig,
     n_threads: usize,
     prepared: Vec<std::sync::Mutex<Option<Prepared>>>,
 ) -> Result<(asap_sim::MulticoreResult, u64), AsapError> {
+    if n_threads == 0 || n_threads != prepared.len() {
+        return Err(AsapError::binding(format!(
+            "multicore run: {n_threads} simulated cores for {} prepared partitions",
+            prepared.len()
+        )));
+    }
+    if n_threads > 1 && crate::pool::in_worker() {
+        return Err(AsapError::binding(
+            "multicore simulation cannot run inside a matrix-level worker thread; \
+             use pool::matrix_threads(n_threads) to keep multi-core sweeps serial",
+        ));
+    }
     let total_dram = std::sync::atomic::AtomicU64::new(0);
     let errors: std::sync::Mutex<Vec<AsapError>> = std::sync::Mutex::new(Vec::new());
     let result = run_parallel(cfg, pf, n_threads, |tid, machine| {
@@ -336,7 +356,12 @@ fn run_prepared_parallel(
         let Some(mut p) = prepared[tid].lock().ok().and_then(|mut s| s.take()) else {
             return;
         };
-        if let Err(e) = interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine) {
+        // Same engine dispatch as asap_core::run_with_engine(Auto).
+        let ran = match &p.ck.program {
+            Some(prog) => execute(prog, &p.args, &mut p.bufs, machine),
+            None => interpret(&p.ck.kernel.func, &p.args, &mut p.bufs, machine),
+        };
+        if let Err(e) = ran {
             if let Ok(mut errs) = errors.lock() {
                 errs.push(e.into());
             }
@@ -446,7 +471,7 @@ pub fn run_spmm_threads(
     for &(r0, r1) in &parts {
         let slice = row_slice(tri, r0, r1);
         let sparse = SparseTensor::try_from_coo(&slice.try_to_coo_f64()?, Format::csr())?;
-        let ck = compile_with_width(
+        let ck = compile_cached(
             &spec,
             sparse.format(),
             sparse.index_width(),
@@ -674,6 +699,29 @@ mod tests {
         assert_eq!(r.threads, 4);
         assert_eq!(r.nnz, tri.nnz()); // threaded path reports input nnz
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn multicore_inside_pool_worker_is_a_typed_error() {
+        let tri = gen::erdos_renyi(512, 4, 2);
+        let outcomes = crate::pool::parallel_map(vec![0, 1], 2, |_, _| {
+            run_spmv_threads(
+                &tri,
+                "er",
+                "g",
+                true,
+                Variant::Baseline,
+                PrefetcherConfig::all_off(),
+                "off",
+                cfg(),
+                2,
+            )
+        });
+        for out in outcomes {
+            let err = out.expect_err("nested multicore must be rejected");
+            assert_eq!(err.kind(), "binding");
+            assert!(err.to_string().contains("matrix-level worker"), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! A process-wide cache of compiled kernels.
+//!
+//! Every figure binary used to re-sparsify, re-optimise, re-verify and
+//! re-lower the same handful of kernels once per matrix × variant. The
+//! kernel depends only on `(spec, strategy, format, index width)` — never
+//! on the matrix contents — so the sweep loops can share one compilation
+//! per combination. The cache key is the `Debug` rendering of that tuple
+//! (all four components derive `Debug` and render every semantically
+//! relevant field, including prefetch distances).
+//!
+//! Thread safety: the map sits behind a `Mutex`; compilation runs outside
+//! the lock so concurrent bench-pool workers never serialize on the
+//! compiler. Two workers racing on the same key both compile and one
+//! result wins — wasted work, never wrong results.
+
+use crate::pipeline::{compile_with_width, CompiledKernel, PrefetchStrategy};
+use asap_ir::AsapError;
+use asap_sparsifier::KernelSpec;
+use asap_tensor::{Format, IndexWidth};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static CACHE: OnceLock<Mutex<HashMap<String, CompiledKernel>>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn map() -> &'static Mutex<HashMap<String, CompiledKernel>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn key(
+    spec: &KernelSpec,
+    format: &Format,
+    width: IndexWidth,
+    strategy: &PrefetchStrategy,
+) -> String {
+    format!("{spec:?}|{format:?}|{width:?}|{strategy:?}")
+}
+
+/// As [`compile_with_width`], memoized on `(spec, format, width,
+/// strategy)`. Compilation errors are not cached (they are cheap to
+/// reproduce and keep their context fresh).
+pub fn compile_cached(
+    spec: &KernelSpec,
+    format: &Format,
+    width: IndexWidth,
+    strategy: &PrefetchStrategy,
+) -> Result<CompiledKernel, AsapError> {
+    let k = key(spec, format, width, strategy);
+    {
+        let m = map().lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(ck) = m.get(&k) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(ck.clone());
+        }
+    }
+    let ck = compile_with_width(spec, format, width, strategy)?;
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    map()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(k, ck.clone());
+    Ok(ck)
+}
+
+/// `(hits, misses)` since process start — the bench harness logs these so
+/// sweeps can show how much re-compilation the cache absorbed.
+pub fn cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_tensor::ValueKind;
+
+    #[test]
+    fn cache_hits_on_repeat_and_distinguishes_distances() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let (_, m0) = cache_stats();
+        let a = compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(45),
+        )
+        .unwrap();
+        let (h1, m1) = cache_stats();
+        assert!(m1 > m0, "first compile misses");
+        let b = compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(45),
+        )
+        .unwrap();
+        let (h2, m2) = cache_stats();
+        assert!(h2 > h1, "second compile hits");
+        assert_eq!(m2, m1, "second compile does not recompile");
+        assert_eq!(a.prefetch_ops, b.prefetch_ops);
+        // A different distance is a different kernel: must not alias.
+        let c = compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(7),
+        )
+        .unwrap();
+        assert_eq!(c.prefetch_ops, a.prefetch_ops);
+        let (_, m3) = cache_stats();
+        assert!(m3 > m2, "distinct distance misses");
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let mut spec = KernelSpec::spmv(ValueKind::F64);
+        spec.output.map = vec![1];
+        for _ in 0..2 {
+            let err = compile_cached(
+                &spec,
+                &Format::csr(),
+                IndexWidth::U32,
+                &PrefetchStrategy::none(),
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), "spec");
+        }
+    }
+}

@@ -18,12 +18,15 @@
 pub mod aj;
 pub mod asap;
 pub mod autotune;
+pub mod cache;
 pub mod pipeline;
 
 pub use aj::{ainsworth_jones, AjConfig};
 pub use asap::{AsapConfig, AsapHook, InjectionSite};
 pub use autotune::{default_candidates, tune_distance, TuneOutcome, TuneSample};
+pub use cache::{cache_stats, compile_cached};
 pub use pipeline::{
     compile, compile_with_width, run, run_spmm_f64, run_spmm_f64_with, run_spmv_f64,
-    run_spmv_f64_with, CompileWarning, CompiledKernel, PrefetchStrategy,
+    run_spmv_f64_engine, run_spmv_f64_with, run_with_engine, CompileWarning, CompiledKernel,
+    ExecEngine, PrefetchStrategy,
 };

@@ -17,8 +17,11 @@
 
 use crate::aj::{ainsworth_jones, AjConfig};
 use crate::asap::{AsapConfig, AsapHook};
-use asap_ir::{cse, dce, fold, licm, AsapError, BinOp, MemoryModel, Op, OpKind, Type};
-use asap_sparsifier::{run as run_kernel, sparsify, KernelSpec, SparsifiedKernel};
+use asap_ir::{
+    cse, dce, execute, fold, interpret, licm, lower, AsapError, BinOp, MemoryModel, Op, OpKind,
+    Program, Type,
+};
+use asap_sparsifier::{bind, read_back, sparsify, KernelSpec, SparsifiedKernel};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
 
 /// Which software-prefetching variant to compile (paper Section 4.3).
@@ -99,6 +102,11 @@ pub struct CompiledKernel {
     pub hoisted_ops: usize,
     /// Non-fatal degradations recorded during compilation.
     pub warnings: Vec<CompileWarning>,
+    /// The kernel lowered to register bytecode (the fast execution
+    /// engine). `None` only if lowering declined the function shape, in
+    /// which case execution falls back to the tree-walker — results and
+    /// memory-event streams are identical either way.
+    pub program: Option<Program>,
 }
 
 impl CompiledKernel {
@@ -133,12 +141,17 @@ fn compile_exact(
         poison(&mut kernel.func);
     }
     asap_ir::verify(&kernel.func)?;
+    // Lower the verified kernel to bytecode. Sparsifier output always
+    // lowers; a decline (e.g. a memref that is not a parameter) simply
+    // leaves the tree-walker as the execution engine.
+    let program = lower(&kernel.func).ok();
     Ok(CompiledKernel {
         prefetch_ops: kernel.func.prefetch_count(),
         kernel,
         strategy: *strategy,
         hoisted_ops: hoisted,
         warnings: Vec::new(),
+        program,
     })
 }
 
@@ -204,15 +217,53 @@ pub fn compile(
     compile_with_width(spec, format, IndexWidth::U32, strategy)
 }
 
+/// Which interpreter executes a compiled kernel. Both engines are
+/// observationally identical (same results, same memory-event stream);
+/// they differ only in wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecEngine {
+    /// Bytecode when the kernel has a lowered [`Program`], else tree-walk.
+    Auto,
+    /// The original recursive tree-walking interpreter.
+    TreeWalk,
+    /// The register-bytecode VM (errors if the kernel has no program).
+    Bytecode,
+}
+
 /// Run a compiled kernel (generic operands) under the given memory model.
-pub fn run(
+pub fn run<M: MemoryModel + ?Sized>(
     ck: &CompiledKernel,
     sparse: &SparseTensor,
     dense: &[&DenseTensor],
     out: &mut DenseTensor,
-    model: &mut dyn MemoryModel,
+    model: &mut M,
 ) -> Result<(), AsapError> {
-    run_kernel(&ck.kernel, sparse, dense, out, model)
+    run_with_engine(ck, sparse, dense, out, model, ExecEngine::Auto)
+}
+
+/// As [`run`], with an explicit engine choice (the A/B instrument used by
+/// `perfstat` and the differential suites).
+pub fn run_with_engine<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    dense: &[&DenseTensor],
+    out: &mut DenseTensor,
+    model: &mut M,
+    engine: ExecEngine,
+) -> Result<(), AsapError> {
+    let mut bound = bind(&ck.kernel, sparse, dense, out)?;
+    let program = match engine {
+        ExecEngine::TreeWalk => None,
+        ExecEngine::Auto => ck.program.as_ref(),
+        ExecEngine::Bytecode => Some(ck.program.as_ref().ok_or_else(|| {
+            AsapError::binding("bytecode engine requested but the kernel has no lowered program")
+        })?),
+    };
+    match program {
+        Some(p) => execute(p, &bound.args, &mut bound.bufs, model)?,
+        None => interpret(&ck.kernel.func, &bound.args, &mut bound.bufs, model)?,
+    };
+    read_back(out, &bound)
 }
 
 /// Convenience: SpMV over f64, functional run, returning `a = B·x`.
@@ -226,11 +277,22 @@ pub fn run_spmv_f64(
 }
 
 /// SpMV over f64 under an arbitrary memory model (e.g. the simulator).
-pub fn run_spmv_f64_with(
+pub fn run_spmv_f64_with<M: MemoryModel + ?Sized>(
     ck: &CompiledKernel,
     b: &SparseTensor,
     x: &[f64],
-    model: &mut dyn MemoryModel,
+    model: &mut M,
+) -> Result<Vec<f64>, AsapError> {
+    run_spmv_f64_engine(ck, b, x, model, ExecEngine::Auto)
+}
+
+/// SpMV over f64 with an explicit execution engine.
+pub fn run_spmv_f64_engine<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    x: &[f64],
+    model: &mut M,
+    engine: ExecEngine,
 ) -> Result<Vec<f64>, AsapError> {
     let n = b.dims()[1];
     if x.len() != n {
@@ -241,7 +303,7 @@ pub fn run_spmv_f64_with(
     }
     let c = DenseTensor::from_f64(vec![n], x.to_vec());
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0]]);
-    run(ck, b, &[&c], &mut a, model)?;
+    run_with_engine(ck, b, &[&c], &mut a, model, engine)?;
     Ok(a.as_f64().to_vec())
 }
 
@@ -256,11 +318,11 @@ pub fn run_spmm_f64(
 }
 
 /// SpMM over f64 under an arbitrary memory model.
-pub fn run_spmm_f64_with(
+pub fn run_spmm_f64_with<M: MemoryModel + ?Sized>(
     ck: &CompiledKernel,
     b: &SparseTensor,
     c: &DenseTensor,
-    model: &mut dyn MemoryModel,
+    model: &mut M,
 ) -> Result<DenseTensor, AsapError> {
     if c.dims.len() != 2 {
         return Err(AsapError::binding(format!(

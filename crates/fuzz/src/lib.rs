@@ -7,9 +7,13 @@
 //! - generators for hostile sparse inputs (empty rows, all-short rows,
 //!   duplicate and out-of-range coordinates, zero-sized shapes),
 //! - byte-level corruptors for MatrixMarket streams,
-//! - the paper's differential oracle (Section 3.2.2): prefetch injection
-//!   is semantically a no-op, so Baseline/ASaP/A&J must produce
-//!   bit-identical outputs, which in turn must match a dense reference.
+//! - the paper's differential oracle (Section 3.2.2), extended to four
+//!   ways: prefetch injection is semantically a no-op, so Baseline/ASaP/
+//!   A&J must produce bit-identical outputs matching a dense reference —
+//!   and for every strategy, the bytecode VM must reproduce the
+//!   tree-walker exactly (bit-identical values, identical ordered
+//!   memory-event stream, equal retired-instruction counts; see
+//!   [`engines_agree`]).
 //!
 //! Every entry point takes an explicit [`Rng64`] seeded by the caller, so
 //! a failing case is reproducible from the seed printed in the assertion
@@ -17,7 +21,10 @@
 //! [`asap_ir::AsapError`] (surfaced here as [`Outcome::Rejected`]), valid
 //! input yields agreeing results — and nothing panics.
 
-use asap_core::{compile_with_width, run_spmv_f64, PrefetchStrategy};
+use asap_core::{
+    compile_with_width, run_spmv_f64_engine, CompiledKernel, ExecEngine, PrefetchStrategy,
+};
+use asap_ir::TraceModel;
 use asap_matrices::{read_matrix_market, write_matrix_market, Triplets};
 use asap_sparsifier::KernelSpec;
 use asap_tensor::{Format, IndexWidth, SparseTensor, ValueKind};
@@ -123,13 +130,106 @@ fn dense_x(n: usize) -> Vec<f64> {
     (0..n).map(|i| 0.75 + (i % 9) as f64 * 0.375).collect()
 }
 
-/// The three-strategy differential oracle for SpMV.
+/// What both execution engines produced when they agreed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineAgreement {
+    /// Both engines succeeded: bit-identical output vectors, identical
+    /// ordered memory-event streams, equal retired-instruction counts.
+    /// Carries the (shared) result and the tree-walker's trace summary.
+    Agreed {
+        y: Vec<f64>,
+        events: usize,
+        instructions: u64,
+    },
+    /// Both engines trapped with the same typed error (same display)
+    /// after emitting identical event prefixes.
+    Trapped(String),
+}
+
+/// Run one compiled kernel under both execution engines (tree-walker and
+/// bytecode VM) with a full [`TraceModel`] each, and require exact
+/// observational equivalence: the same success/trap outcome, bit-identical
+/// `y`, an identical `(op, addr, bytes)` demand/prefetch event stream in
+/// the same order, and equal retired-instruction counts.
+///
+/// `Err` describes the first divergence. This is the engine half of the
+/// four-way oracle; [`differential_spmv`] calls it for every strategy, and
+/// the `bytecode_equiv` integration suite pins it on fixed corpora.
+pub fn engines_agree(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    x: &[f64],
+) -> Result<EngineAgreement, String> {
+    if ck.program.is_none() {
+        return Err("kernel has no lowered bytecode program".into());
+    }
+    let mut tw = TraceModel::new();
+    let rt = run_spmv_f64_engine(ck, sparse, x, &mut tw, ExecEngine::TreeWalk);
+    let mut bc = TraceModel::new();
+    let rb = run_spmv_f64_engine(ck, sparse, x, &mut bc, ExecEngine::Bytecode);
+
+    // Event streams must match in both success and trap outcomes: the VM
+    // must report the same model calls in the same order, up to and
+    // including the access that faulted.
+    if tw.events != bc.events {
+        let n = tw
+            .events
+            .iter()
+            .zip(&bc.events)
+            .take_while(|(a, b)| a == b)
+            .count();
+        return Err(format!(
+            "engine event streams diverge at event {n} (tree-walk {:?} vs bytecode {:?}; lengths {} vs {})",
+            tw.events.get(n),
+            bc.events.get(n),
+            tw.events.len(),
+            bc.events.len()
+        ));
+    }
+    match (rt, rb) {
+        (Ok(yt), Ok(yb)) => {
+            let bt: Vec<u64> = yt.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u64> = yb.iter().map(|v| v.to_bits()).collect();
+            if bt != bb {
+                return Err("engine outputs differ bitwise".into());
+            }
+            if tw.instructions != bc.instructions {
+                return Err(format!(
+                    "retired-instruction counts differ: tree-walk {} vs bytecode {}",
+                    tw.instructions, bc.instructions
+                ));
+            }
+            Ok(EngineAgreement::Agreed {
+                y: yt,
+                events: tw.events.len(),
+                instructions: tw.instructions,
+            })
+        }
+        (Err(et), Err(eb)) => {
+            let (et, eb) = (et.to_string(), eb.to_string());
+            if et == eb {
+                Ok(EngineAgreement::Trapped(et))
+            } else {
+                Err(format!(
+                    "engines trap differently: tree-walk '{et}' vs bytecode '{eb}'"
+                ))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("bytecode trapped where tree-walk succeeded: {e}")),
+        (Err(e), Ok(_)) => Err(format!("tree-walk trapped where bytecode succeeded: {e}")),
+    }
+}
+
+/// The four-way differential oracle for SpMV: three prefetch strategies
+/// (Baseline / ASaP / A&J), each executed by both engines via
+/// [`engines_agree`].
 ///
 /// Returns `Ok(Outcome::Rejected(_))` when the input is invalid and every
 /// stage reported a typed error; `Ok(Outcome::Verified)` when all three
-/// strategies agreed bit-for-bit and matched the dense reference; `Err`
-/// with a description when the oracle is violated (results disagree, or a
-/// valid input failed to compile/run).
+/// strategies agreed bit-for-bit across both engines and matched the
+/// dense reference; `Err` with a description when the oracle is violated
+/// (results disagree, the engines diverge, or a valid input failed to
+/// compile/run).
 pub fn differential_spmv(
     tri: &Triplets,
     fmt: &Format,
@@ -161,8 +261,17 @@ pub fn differential_spmv(
                 strat.label()
             )
         })?;
-        let y = run_spmv_f64(&ck, &sparse, &x)
-            .map_err(|e| format!("{fmt}/{}: run failed on valid input: {e}", strat.label()))?;
+        let y = match engines_agree(&ck, &sparse, &x)
+            .map_err(|e| format!("{fmt}/{}: {e}", strat.label()))?
+        {
+            EngineAgreement::Agreed { y, .. } => y,
+            EngineAgreement::Trapped(e) => {
+                return Err(format!(
+                    "{fmt}/{}: run failed on valid input: {e}",
+                    strat.label()
+                ))
+            }
+        };
         if y.len() != want.len() {
             return Err(format!(
                 "{fmt}/{}: output length {} vs reference {}",
@@ -365,6 +474,35 @@ mod tests {
             "row-out-of-range",
         ] {
             assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_a_healthy_kernel() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let tri = random_triplets(&mut rng, 12, 60);
+        let coo = tri.try_to_coo_f64().unwrap();
+        let sparse = SparseTensor::try_from_coo(&coo, Format::csr()).unwrap();
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let ck = compile_with_width(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(6),
+        )
+        .unwrap();
+        let x = dense_x(tri.ncols);
+        match engines_agree(&ck, &sparse, &x).unwrap() {
+            EngineAgreement::Agreed {
+                y,
+                events,
+                instructions,
+            } => {
+                assert_eq!(y.len(), tri.nrows);
+                assert!(events > 0, "SpMV must touch memory");
+                assert!(instructions > events as u64);
+            }
+            EngineAgreement::Trapped(e) => panic!("healthy kernel trapped: {e}"),
         }
     }
 

@@ -1,0 +1,993 @@
+//! The register VM executing lowered [`Program`]s.
+//!
+//! [`execute`] is observationally identical to [`crate::interpret`] on the
+//! same function and inputs: same return values bit for bit, same buffer
+//! contents, same ordered [`MemoryModel`] call stream (including event
+//! order around traps — a load's demand event is still reported before
+//! its bounds check), and same trap errors with the same op locations.
+//! What changes is the cost per retired instruction: values live in a flat
+//! slot file without `Option` unwrapping, buffer base addresses and
+//! element widths are resolved once per execution instead of per access,
+//! control flow is jump-threaded instead of recursive, and loop-carried
+//! values move through register copies instead of a `Vec` allocation per
+//! iteration. Op-id attachment to trap errors happens only on the error
+//! path.
+
+use crate::bytecode::{Instr, Program};
+use crate::interp::{eval_binary, Buffers, InterpError, MemoryModel, V};
+use crate::types::Type;
+
+/// A pre-resolved buffer binding: everything a memory access needs except
+/// the (mutable) element storage itself.
+#[derive(Clone, Copy)]
+enum MemBinding {
+    Buf {
+        id: u32,
+        base: u64,
+        eb: u8,
+    },
+    /// The argument was not a memref; trap lazily at first use, exactly
+    /// like the tree-walker's `as_mem`.
+    Bad(V),
+}
+
+impl MemBinding {
+    #[inline]
+    fn resolve(self) -> Result<(u32, u64, u8), InterpError> {
+        match self {
+            MemBinding::Buf { id, base, eb } => Ok((id, base, eb)),
+            MemBinding::Bad(v) => Err(V::mismatch("memref", v)),
+        }
+    }
+}
+
+/// Run a lowered program with the given arguments against `bufs`,
+/// reporting events to `model`. The generic parameter allows both
+/// monomorphized models and `&mut dyn MemoryModel`.
+// The fused multiply-accumulate arms pick `p + o` vs `o + p` by the
+// original operand order: f64 addition is commutative in value but not
+// in NaN-payload propagation, and equivalence with the tree-walker is
+// bit-exact.
+#[allow(clippy::if_same_then_else)]
+pub fn execute<M: MemoryModel + ?Sized>(
+    prog: &Program,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut M,
+) -> Result<Vec<V>, InterpError> {
+    if args.len() != prog.param_slots.len() {
+        return Err(InterpError::BadArgs(format!(
+            "expected {} arguments, got {}",
+            prog.param_slots.len(),
+            args.len()
+        )));
+    }
+    for (i, a) in args.iter().enumerate() {
+        if let V::Mem(id) = a {
+            if *id as usize >= bufs.len() {
+                return Err(InterpError::BadArgs(format!(
+                    "argument {i} references buffer {id}, but only {} exist",
+                    bufs.len()
+                )));
+            }
+        }
+    }
+    let mut slots: Vec<V> = vec![V::Index(0); prog.num_slots];
+    for (&s, &a) in prog.param_slots.iter().zip(args) {
+        slots[s as usize] = a;
+    }
+    // Resolve the binding table once: base address and element width per
+    // memref parameter, instead of a `Buffers::get` + `elem_bytes` per
+    // access.
+    let mems: Vec<MemBinding> = prog
+        .mem_args
+        .iter()
+        .map(|&pos| match args[pos] {
+            V::Mem(id) => {
+                let buf = bufs.get(id);
+                MemBinding::Buf {
+                    id,
+                    base: buf.base_addr,
+                    eb: buf.data.elem_bytes(),
+                }
+            }
+            other => MemBinding::Bad(other),
+        })
+        .collect();
+
+    let instrs = &prog.instrs[..];
+    let mut ip = 0usize;
+    loop {
+        let Some(instr) = instrs.get(ip) else {
+            return Err(InterpError::TypeMismatch(
+                "function body did not end in return".into(),
+            ));
+        };
+        ip += 1;
+        match instr {
+            Instr::Const { dst, val } => {
+                model.retire(1);
+                slots[*dst as usize] = *val;
+            }
+            Instr::Bin {
+                op,
+                dst,
+                lhs,
+                rhs,
+                pc,
+            } => {
+                if op.is_float() {
+                    model.retire_fp(1);
+                } else {
+                    model.retire(1);
+                }
+                let l = slots[*lhs as usize];
+                let r = slots[*rhs as usize];
+                slots[*dst as usize] = eval_binary(*op, l, r).map_err(|e| e.at(*pc))?;
+            }
+            Instr::Cmp {
+                pred,
+                dst,
+                lhs,
+                rhs,
+                pc,
+            } => {
+                model.retire(1);
+                let l = slots[*lhs as usize].as_u64().map_err(|e| e.at(*pc))?;
+                let r = slots[*rhs as usize].as_u64().map_err(|e| e.at(*pc))?;
+                use crate::ops::CmpPred::*;
+                let b = match pred {
+                    Eq => l == r,
+                    Ne => l != r,
+                    Ult => l < r,
+                    Ule => l <= r,
+                    Ugt => l > r,
+                    Uge => l >= r,
+                };
+                slots[*dst as usize] = V::Bool(b);
+            }
+            Instr::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+                pc,
+            } => {
+                model.retire(1);
+                let c = slots[*cond as usize].as_bool().map_err(|e| e.at(*pc))?;
+                let src = if c { *if_true } else { *if_false };
+                slots[*dst as usize] = slots[src as usize];
+            }
+            Instr::Cast { dst, src, to, pc } => {
+                model.retire(1);
+                slots[*dst as usize] =
+                    cast_value(slots[*src as usize], to).map_err(|e| e.at(*pc))?;
+            }
+            Instr::Dim { dst, mem, pc } => {
+                model.retire(1);
+                let (id, _, _) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                slots[*dst as usize] = V::Index(bufs.get(id).data.len());
+            }
+            Instr::Load { dst, mem, idx, pc } => {
+                let (id, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = slots[*idx as usize].as_index().map_err(|e| e.at(*pc))?;
+                model.load(*pc, base + i as u64 * eb as u64, eb);
+                slots[*dst as usize] = load_elem(bufs, id, i).map_err(|e| e.at(*pc))?;
+            }
+            Instr::Store { mem, idx, src, pc } => {
+                let (id, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = slots[*idx as usize].as_index().map_err(|e| e.at(*pc))?;
+                let v = slots[*src as usize];
+                model.store(*pc, base + i as u64 * eb as u64, eb);
+                bufs.get_mut(id).data.set(i, v).map_err(|e| e.at(*pc))?;
+            }
+            Instr::Prefetch {
+                mem,
+                idx,
+                locality,
+                write,
+                pc,
+            } => {
+                let (_, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = slots[*idx as usize].as_index().map_err(|e| e.at(*pc))?;
+                model.prefetch(*pc, base + i as u64 * eb as u64, *locality, *write);
+            }
+            Instr::LoadCast {
+                dst,
+                mem,
+                idx,
+                pc,
+                cast_dst,
+                to,
+                cast_pc,
+            } => {
+                let (id, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = slots[*idx as usize].as_index().map_err(|e| e.at(*pc))?;
+                model.load(*pc, base + i as u64 * eb as u64, eb);
+                let v = load_elem(bufs, id, i).map_err(|e| e.at(*pc))?;
+                slots[*dst as usize] = v;
+                model.retire(1);
+                slots[*cast_dst as usize] = cast_value(v, to).map_err(|e| e.at(*cast_pc))?;
+            }
+            Instr::AddPrefetch {
+                op,
+                add_dst,
+                lhs,
+                rhs,
+                add_pc,
+                mem,
+                locality,
+                write,
+                pc,
+            } => {
+                // Matcher guarantees an integer op, so this retires plain.
+                model.retire(1);
+                let l = slots[*lhs as usize];
+                let r = slots[*rhs as usize];
+                let sum = eval_binary(*op, l, r).map_err(|e| e.at(*add_pc))?;
+                slots[*add_dst as usize] = sum;
+                let (_, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = sum.as_index().map_err(|e| e.at(*pc))?;
+                model.prefetch(*pc, base + i as u64 * eb as u64, *locality, *write);
+            }
+            Instr::ClampSelect {
+                op,
+                add_dst,
+                add_lhs,
+                add_rhs,
+                add_pc,
+                pred,
+                cmp_dst,
+                cmp_rhs,
+                cmp_pc,
+                dst,
+                if_true,
+                if_false,
+                // The select condition is the Bool written two sub-ops up,
+                // so its `as_bool` cannot trap and the pc goes unused.
+                pc: _,
+            } => {
+                model.retire(1);
+                let l = slots[*add_lhs as usize];
+                let r = slots[*add_rhs as usize];
+                let sum = eval_binary(*op, l, r).map_err(|e| e.at(*add_pc))?;
+                slots[*add_dst as usize] = sum;
+                model.retire(1);
+                let cl = sum.as_u64().map_err(|e| e.at(*cmp_pc))?;
+                let cr = slots[*cmp_rhs as usize]
+                    .as_u64()
+                    .map_err(|e| e.at(*cmp_pc))?;
+                use crate::ops::CmpPred::*;
+                let b = match pred {
+                    Eq => cl == cr,
+                    Ne => cl != cr,
+                    Ult => cl < cr,
+                    Ule => cl <= cr,
+                    Ugt => cl > cr,
+                    Uge => cl >= cr,
+                };
+                slots[*cmp_dst as usize] = V::Bool(b);
+                model.retire(1);
+                let src = if b { *if_true } else { *if_false };
+                slots[*dst as usize] = slots[src as usize];
+            }
+            Instr::GatherPrefetch {
+                idx,
+                crd_mem,
+                crd_dst,
+                crd_pc,
+                cast_dst,
+                to,
+                cast_pc,
+                mem,
+                locality,
+                write,
+                pc,
+            } => {
+                let (cid, cbase, ceb) = mems[*crd_mem as usize]
+                    .resolve()
+                    .map_err(|e| e.at(*crd_pc))?;
+                let j = slots[*idx as usize].as_index().map_err(|e| e.at(*crd_pc))?;
+                model.load(*crd_pc, cbase + j as u64 * ceb as u64, ceb);
+                let cv = load_elem(bufs, cid, j).map_err(|e| e.at(*crd_pc))?;
+                slots[*crd_dst as usize] = cv;
+                model.retire(1);
+                let c = cast_value(cv, to).map_err(|e| e.at(*cast_pc))?;
+                slots[*cast_dst as usize] = c;
+                let (_, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                let i = c.as_index().map_err(|e| e.at(*pc))?;
+                model.prefetch(*pc, base + i as u64 * eb as u64, *locality, *write);
+            }
+            Instr::LoopBack {
+                iv,
+                step,
+                hi,
+                body,
+                exit,
+                copies,
+            } => {
+                // Yield's bookkeeping retire, then the loop-carried copies.
+                model.retire(1);
+                for &(d, s) in copies {
+                    slots[d as usize] = slots[s as usize];
+                }
+                // ForStep's increment, then ForHead's bound re-check —
+                // same slot reads and trap order as the unfused pair.
+                let i = slots[*iv as usize].as_index()?;
+                let s = slots[*step as usize].as_index()?;
+                let next = i.wrapping_add(s);
+                slots[*iv as usize] = V::Index(next);
+                let h = slots[*hi as usize].as_index()?;
+                if next < h {
+                    model.retire(1);
+                    ip = *body as usize;
+                } else {
+                    ip = *exit as usize;
+                }
+            }
+            Instr::DotStep {
+                a_dst,
+                a_mem,
+                a_idx,
+                a_pc,
+                b_dst,
+                b_mem,
+                b_idx,
+                b_pc,
+                a,
+                b,
+                mul_dst,
+                mul_pc,
+                acc,
+                acc_is_rhs,
+                dst,
+                pc,
+            } => {
+                let (id, base, eb) = mems[*a_mem as usize].resolve().map_err(|e| e.at(*a_pc))?;
+                let i = slots[*a_idx as usize].as_index().map_err(|e| e.at(*a_pc))?;
+                model.load(*a_pc, base + i as u64 * eb as u64, eb);
+                slots[*a_dst as usize] = load_elem(bufs, id, i).map_err(|e| e.at(*a_pc))?;
+                let (id, base, eb) = mems[*b_mem as usize].resolve().map_err(|e| e.at(*b_pc))?;
+                let i = slots[*b_idx as usize].as_index().map_err(|e| e.at(*b_pc))?;
+                model.load(*b_pc, base + i as u64 * eb as u64, eb);
+                slots[*b_dst as usize] = load_elem(bufs, id, i).map_err(|e| e.at(*b_pc))?;
+                model.retire_fp(1);
+                let x = slots[*a as usize].as_f64().map_err(|e| e.at(*mul_pc))?;
+                let y = slots[*b as usize].as_f64().map_err(|e| e.at(*mul_pc))?;
+                let p = x * y;
+                slots[*mul_dst as usize] = V::F64(p);
+                model.retire_fp(1);
+                let o = slots[*acc as usize].as_f64().map_err(|e| e.at(*pc))?;
+                let s = if *acc_is_rhs { p + o } else { o + p };
+                slots[*dst as usize] = V::F64(s);
+            }
+            Instr::Gather {
+                idx,
+                crd_mem,
+                crd_dst,
+                crd_pc,
+                cast,
+                mem,
+                dst,
+                pc,
+            } => {
+                // First load: the coordinate.
+                let (cid, cbase, ceb) = mems[*crd_mem as usize]
+                    .resolve()
+                    .map_err(|e| e.at(*crd_pc))?;
+                let j = slots[*idx as usize].as_index().map_err(|e| e.at(*crd_pc))?;
+                model.load(*crd_pc, cbase + j as u64 * ceb as u64, ceb);
+                let cv = load_elem(bufs, cid, j).map_err(|e| e.at(*crd_pc))?;
+                slots[*crd_dst as usize] = cv;
+                // Optional widening cast of the coordinate to `index`.
+                let i = match cast {
+                    Some((cast_dst, cast_pc)) => {
+                        model.retire(1);
+                        let raw = cv.as_u64().map_err(|e| e.at(*cast_pc))?;
+                        slots[*cast_dst as usize] = V::Index(raw as usize);
+                        raw as usize
+                    }
+                    None => cv.as_index().map_err(|e| e.at(*pc))?,
+                };
+                // Second load: the gathered element.
+                let (id, base, eb) = mems[*mem as usize].resolve().map_err(|e| e.at(*pc))?;
+                model.load(*pc, base + i as u64 * eb as u64, eb);
+                slots[*dst as usize] = load_elem(bufs, id, i).map_err(|e| e.at(*pc))?;
+            }
+            Instr::MulAdd {
+                a,
+                b,
+                mul_dst,
+                mul_pc,
+                acc,
+                acc_is_rhs,
+                dst,
+                pc,
+            } => {
+                model.retire_fp(1);
+                let x = slots[*a as usize].as_f64().map_err(|e| e.at(*mul_pc))?;
+                let y = slots[*b as usize].as_f64().map_err(|e| e.at(*mul_pc))?;
+                let p = x * y;
+                slots[*mul_dst as usize] = V::F64(p);
+                model.retire_fp(1);
+                let o = slots[*acc as usize].as_f64().map_err(|e| e.at(*pc))?;
+                let s = if *acc_is_rhs { p + o } else { o + p };
+                slots[*dst as usize] = V::F64(s);
+            }
+            Instr::SpmvLoop(d) => {
+                ip = run_spmv_loop(d, &mut slots, &mems, bufs, model)? as usize;
+            }
+            Instr::Jump { target } => ip = *target as usize,
+            Instr::IfBr {
+                cond,
+                else_target,
+                pc,
+            } => {
+                model.retire(1);
+                if !slots[*cond as usize].as_bool().map_err(|e| e.at(*pc))? {
+                    ip = *else_target as usize;
+                }
+            }
+            Instr::ForPrologue {
+                lo,
+                hi,
+                step,
+                iv,
+                pc,
+            } => {
+                let l = slots[*lo as usize].as_index().map_err(|e| e.at(*pc))?;
+                slots[*hi as usize].as_index().map_err(|e| e.at(*pc))?;
+                let s = slots[*step as usize].as_index().map_err(|e| e.at(*pc))?;
+                if s == 0 {
+                    return Err(InterpError::ZeroStep.at(*pc));
+                }
+                slots[*iv as usize] = V::Index(l);
+            }
+            Instr::ForHead { iv, hi, exit } => {
+                let i = slots[*iv as usize].as_index()?;
+                let h = slots[*hi as usize].as_index()?;
+                if i < h {
+                    // Loop bookkeeping: induction increment + compare/branch.
+                    model.retire(1);
+                } else {
+                    ip = *exit as usize;
+                }
+            }
+            Instr::ForStep { iv, step, head } => {
+                let i = slots[*iv as usize].as_index()?;
+                let s = slots[*step as usize].as_index()?;
+                slots[*iv as usize] = V::Index(i.wrapping_add(s));
+                ip = *head as usize;
+            }
+            Instr::CondBr { cond, exit, pc } => {
+                model.retire(1);
+                if !slots[*cond as usize].as_bool().map_err(|e| e.at(*pc))? {
+                    ip = *exit as usize;
+                }
+            }
+            Instr::Retire1 => model.retire(1),
+            Instr::Copy { dst, src } => slots[*dst as usize] = slots[*src as usize],
+            Instr::Return { vals } => {
+                model.retire(1);
+                return Ok(vals.iter().map(|&v| slots[v as usize]).collect());
+            }
+        }
+    }
+}
+
+/// A borrowed integer-typed buffer for the [`run_spmv_loop`] fast path:
+/// one discriminant test per element load instead of a `V` round trip.
+/// Conversions mirror `BufferData::get` followed by `V::as_u64` exactly
+/// (zero-extension for the narrow types, wrap for `i64`).
+#[derive(Clone, Copy)]
+enum IntSlice<'a> {
+    I64(&'a [i64]),
+    I32(&'a [i32]),
+    I8(&'a [i8]),
+    Ix(&'a [usize]),
+}
+
+impl<'a> IntSlice<'a> {
+    fn of(data: &'a crate::interp::BufferData) -> Option<IntSlice<'a>> {
+        use crate::interp::BufferData as B;
+        match data {
+            B::I64(v) => Some(IntSlice::I64(v)),
+            B::I32(v) => Some(IntSlice::I32(v)),
+            B::I8(v) => Some(IntSlice::I8(v)),
+            B::Index(v) => Some(IntSlice::Ix(v)),
+            B::F64(_) => None,
+        }
+    }
+
+    #[inline]
+    fn get_u64(&self, i: usize) -> Option<u64> {
+        match self {
+            IntSlice::I64(v) => v.get(i).map(|&x| x as u64),
+            IntSlice::I32(v) => v.get(i).map(|&x| x as u32 as u64),
+            IntSlice::I8(v) => v.get(i).map(|&x| x as u8 as u64),
+            IntSlice::Ix(v) => v.get(i).map(|&x| x as u64),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            IntSlice::I64(v) => v.len(),
+            IntSlice::I32(v) => v.len(),
+            IntSlice::I8(v) => v.len(),
+            IntSlice::Ix(v) => v.len(),
+        }
+    }
+}
+
+/// Execute one [`SpmvLoop`] superinstruction to completion; returns the
+/// ip to resume at (always the loop's exit target).
+///
+/// Two paths, same observable behavior. The *fast* path runs when every
+/// loop-invariant operand is well-typed for the strict SpMV shape — loop
+/// values then live in locals and typed slices, and the only traps still
+/// possible are out-of-bounds loads, reproduced with the same error, op
+/// location, and preceding event stream as the generic path. The
+/// *generic* path replays the seven fused sub-ops slot by slot and
+/// handles every other shape (and every other trap) exactly like the
+/// unfused instruction sequence. Routing between the two only inspects
+/// state — no model call, no trap — so the choice is unobservable.
+// `p + acc` vs `acc + p` by original operand order — see `execute`.
+#[allow(clippy::if_same_then_else)]
+fn run_spmv_loop<M: MemoryModel + ?Sized>(
+    d: &crate::bytecode::SpmvLoop,
+    slots: &mut [V],
+    mems: &[MemBinding],
+    bufs: &Buffers,
+    model: &mut M,
+) -> Result<u32, InterpError> {
+    use crate::ops::{BinOp, CmpPred};
+
+    // The strict shape: the induction variable feeds the crd load, both
+    // prefetch adds, and the vals load; the widened crd element indexes
+    // the dense vector; the clamp output feeds the gather prefetch; the
+    // dot product accumulates through the single loop-carried copy.
+    let strict = d.lc_idx == d.iv
+        && d.ap_lhs == d.iv
+        && d.cs_add_lhs == d.iv
+        && d.ds_a_idx == d.iv
+        && d.ds_b_idx == d.lc_cast_dst
+        && d.gp_idx == d.cs_dst
+        && d.ds_a == d.ds_a_dst
+        && d.ds_b == d.ds_b_dst
+        && d.cs_if_true == d.cs_add_dst
+        && d.cs_if_false == d.cs_cmp_rhs
+        && d.ap_op == BinOp::AddI
+        && d.cs_op == BinOp::AddI
+        && d.cs_pred == CmpPred::Ult
+        && d.copies.len() == 1
+        && d.copies[0] == (d.ds_acc, d.ds_dst);
+    // Loop-invariant operands must already hold the types the strict
+    // shape produces, so no per-iteration type check can ever trap.
+    let invariants = (|| {
+        let dist = slots[d.ap_rhs as usize].as_u64().ok()?;
+        let clamp = slots[d.cs_add_rhs as usize].as_u64().ok()?;
+        let bound = match slots[d.cs_cmp_rhs as usize] {
+            V::Index(b) => b,
+            _ => return None,
+        };
+        let acc = match slots[d.ds_acc as usize] {
+            V::F64(a) => a,
+            _ => return None,
+        };
+        let st = match slots[d.step as usize] {
+            V::Index(s) => s,
+            _ => return None,
+        };
+        Some((dist, clamp, bound, acc, st))
+    })();
+    // Buffer bindings: the crd arrays integer-typed, vals and the dense
+    // vector f64 — matching what `load_elem` + `as_u64`/`as_f64` accept
+    // without trapping.
+    let buffers = (|| {
+        let (lc_id, lc_base, lc_eb) = mems[d.lc_mem as usize].resolve().ok()?;
+        let (_, ap_base, ap_eb) = mems[d.ap_mem as usize].resolve().ok()?;
+        let (gc_id, gc_base, gc_eb) = mems[d.gp_crd_mem as usize].resolve().ok()?;
+        let (_, gp_base, gp_eb) = mems[d.gp_mem as usize].resolve().ok()?;
+        let (a_id, a_base, a_eb) = mems[d.ds_a_mem as usize].resolve().ok()?;
+        let (b_id, b_base, b_eb) = mems[d.ds_b_mem as usize].resolve().ok()?;
+        let crd = IntSlice::of(&bufs.get(lc_id).data)?;
+        let gcrd = IntSlice::of(&bufs.get(gc_id).data)?;
+        let vals = match &bufs.get(a_id).data {
+            crate::interp::BufferData::F64(v) => &v[..],
+            _ => return None,
+        };
+        let dense = match &bufs.get(b_id).data {
+            crate::interp::BufferData::F64(v) => &v[..],
+            _ => return None,
+        };
+        Some((
+            (lc_base, lc_eb, crd),
+            (ap_base, ap_eb),
+            (gc_base, gc_eb, gcrd),
+            (gp_base, gp_eb),
+            (a_base, a_eb, vals),
+            (b_base, b_eb, dense),
+        ))
+    })();
+
+    if let (true, Some((dist, clamp, bound, mut acc, st)), Some(bufs6)) =
+        (strict, invariants, buffers)
+    {
+        let (
+            (lc_base, lc_eb, crd),
+            (ap_base, ap_eb),
+            (gc_base, gc_eb, gcrd),
+            (gp_base, gp_eb),
+            (a_base, a_eb, vals),
+            (b_base, b_eb, dense),
+        ) = bufs6;
+        let mut i = slots[d.iv as usize].as_index()?;
+        let h = slots[d.hi as usize].as_index()?;
+        let oob = |i: usize, len: usize, pc| InterpError::OutOfBounds { index: i, len }.at(pc);
+        while i < h {
+            // ForHead retire, then the five body sub-ops, then the back
+            // edge — every model call in the same order and with the
+            // same arguments as the generic path below.
+            model.retire(1);
+            model.load(d.lc_pc, lc_base + i as u64 * lc_eb as u64, lc_eb);
+            let Some(j64) = crd.get_u64(i) else {
+                return Err(oob(i, crd.len(), d.lc_pc));
+            };
+            let j = j64 as usize;
+            model.retire(1); // crd load retires before the widening cast
+            model.retire(1); // prefetch-address add
+            let pi = (i as u64).wrapping_add(dist);
+            model.prefetch(d.ap_pc, ap_base + pi * ap_eb as u64, d.ap_loc, d.ap_write);
+            model.retire(1); // clamp add
+            let sum = (i as u64).wrapping_add(clamp);
+            model.retire(1); // clamp compare
+            let clamped = if sum < bound as u64 {
+                sum as usize
+            } else {
+                bound
+            };
+            model.retire(1); // clamp select
+            model.load(d.gp_crd_pc, gc_base + clamped as u64 * gc_eb as u64, gc_eb);
+            let Some(g64) = gcrd.get_u64(clamped) else {
+                return Err(oob(clamped, gcrd.len(), d.gp_crd_pc));
+            };
+            model.retire(1); // gathered-coordinate widening cast
+            model.prefetch(d.gp_pc, gp_base + g64 * gp_eb as u64, d.gp_loc, d.gp_write);
+            model.load(d.ds_a_pc, a_base + i as u64 * a_eb as u64, a_eb);
+            let Some(&av) = vals.get(i) else {
+                return Err(oob(i, vals.len(), d.ds_a_pc));
+            };
+            model.load(d.ds_b_pc, b_base + j as u64 * b_eb as u64, b_eb);
+            let Some(&bv) = dense.get(j) else {
+                return Err(oob(j, dense.len(), d.ds_b_pc));
+            };
+            model.retire_fp(1); // multiply
+            let p = av * bv;
+            model.retire_fp(1); // accumulate
+            acc = if d.ds_acc_is_rhs { p + acc } else { acc + p };
+            model.retire(1); // back-edge yield
+            i = i.wrapping_add(st);
+        }
+        // Materialize the slots the code after the loop can still read:
+        // the accumulator (a loop result) and the loop bookkeeping. The
+        // per-iteration intermediates are body-scoped SSA values — the
+        // verifier guarantees nothing after the loop references them.
+        slots[d.iv as usize] = V::Index(i);
+        slots[d.ds_acc as usize] = V::F64(acc);
+        slots[d.ds_dst as usize] = V::F64(acc);
+        return Ok(d.exit);
+    }
+
+    // Generic path: the seven fused sub-ops replayed with identical
+    // model calls, slot writes, and trap order; see `SpmvLoop`. The
+    // top-of-loop bound check doubles as `ForHead` on entry and as
+    // `LoopBack`'s re-check on the back edge.
+    loop {
+        let i = slots[d.iv as usize].as_index()?;
+        let h = slots[d.hi as usize].as_index()?;
+        if i >= h {
+            return Ok(d.exit);
+        }
+        model.retire(1);
+        // load crd[j]; widen to index.
+        let (id, base, eb) = mems[d.lc_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.lc_pc))?;
+        let j = slots[d.lc_idx as usize]
+            .as_index()
+            .map_err(|e| e.at(d.lc_pc))?;
+        model.load(d.lc_pc, base + j as u64 * eb as u64, eb);
+        let cv = load_elem(bufs, id, j).map_err(|e| e.at(d.lc_pc))?;
+        slots[d.lc_dst as usize] = cv;
+        model.retire(1);
+        let raw = cv.as_u64().map_err(|e| e.at(d.lc_cast_pc))?;
+        slots[d.lc_cast_dst as usize] = V::Index(raw as usize);
+        // prefetch crd[j + d].
+        model.retire(1);
+        let l = slots[d.ap_lhs as usize];
+        let r = slots[d.ap_rhs as usize];
+        let sum = eval_binary(d.ap_op, l, r).map_err(|e| e.at(d.ap_add_pc))?;
+        slots[d.ap_dst as usize] = sum;
+        let (_, base, eb) = mems[d.ap_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.ap_pc))?;
+        let pi = sum.as_index().map_err(|e| e.at(d.ap_pc))?;
+        model.prefetch(d.ap_pc, base + pi as u64 * eb as u64, d.ap_loc, d.ap_write);
+        // clamped = min(j + d, bound).
+        model.retire(1);
+        let l = slots[d.cs_add_lhs as usize];
+        let r = slots[d.cs_add_rhs as usize];
+        let sum = eval_binary(d.cs_op, l, r).map_err(|e| e.at(d.cs_add_pc))?;
+        slots[d.cs_add_dst as usize] = sum;
+        model.retire(1);
+        let cl = sum.as_u64().map_err(|e| e.at(d.cs_cmp_pc))?;
+        let cr = slots[d.cs_cmp_rhs as usize]
+            .as_u64()
+            .map_err(|e| e.at(d.cs_cmp_pc))?;
+        use crate::ops::CmpPred::*;
+        let b = match d.cs_pred {
+            Eq => cl == cr,
+            Ne => cl != cr,
+            Ult => cl < cr,
+            Ule => cl <= cr,
+            Ugt => cl > cr,
+            Uge => cl >= cr,
+        };
+        slots[d.cs_cmp_dst as usize] = V::Bool(b);
+        model.retire(1);
+        let src = if b { d.cs_if_true } else { d.cs_if_false };
+        slots[d.cs_dst as usize] = slots[src as usize];
+        // prefetch x[crd[clamped]].
+        let (cid, cbase, ceb) = mems[d.gp_crd_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.gp_crd_pc))?;
+        let gj = slots[d.gp_idx as usize]
+            .as_index()
+            .map_err(|e| e.at(d.gp_crd_pc))?;
+        model.load(d.gp_crd_pc, cbase + gj as u64 * ceb as u64, ceb);
+        let gcv = load_elem(bufs, cid, gj).map_err(|e| e.at(d.gp_crd_pc))?;
+        slots[d.gp_crd_dst as usize] = gcv;
+        model.retire(1);
+        let graw = gcv.as_u64().map_err(|e| e.at(d.gp_cast_pc))?;
+        slots[d.gp_cast_dst as usize] = V::Index(graw as usize);
+        let (_, base, eb) = mems[d.gp_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.gp_pc))?;
+        model.prefetch(d.gp_pc, base + graw * eb as u64, d.gp_loc, d.gp_write);
+        // acc += vals[j] * x[crd[j]].
+        let (id, base, eb) = mems[d.ds_a_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.ds_a_pc))?;
+        let ai = slots[d.ds_a_idx as usize]
+            .as_index()
+            .map_err(|e| e.at(d.ds_a_pc))?;
+        model.load(d.ds_a_pc, base + ai as u64 * eb as u64, eb);
+        slots[d.ds_a_dst as usize] = load_elem(bufs, id, ai).map_err(|e| e.at(d.ds_a_pc))?;
+        let (id, base, eb) = mems[d.ds_b_mem as usize]
+            .resolve()
+            .map_err(|e| e.at(d.ds_b_pc))?;
+        let bi = slots[d.ds_b_idx as usize]
+            .as_index()
+            .map_err(|e| e.at(d.ds_b_pc))?;
+        model.load(d.ds_b_pc, base + bi as u64 * eb as u64, eb);
+        slots[d.ds_b_dst as usize] = load_elem(bufs, id, bi).map_err(|e| e.at(d.ds_b_pc))?;
+        model.retire_fp(1);
+        let x = slots[d.ds_a as usize]
+            .as_f64()
+            .map_err(|e| e.at(d.ds_mul_pc))?;
+        let y = slots[d.ds_b as usize]
+            .as_f64()
+            .map_err(|e| e.at(d.ds_mul_pc))?;
+        let p = x * y;
+        slots[d.ds_mul_dst as usize] = V::F64(p);
+        model.retire_fp(1);
+        let o = slots[d.ds_acc as usize]
+            .as_f64()
+            .map_err(|e| e.at(d.ds_pc))?;
+        let s = if d.ds_acc_is_rhs { p + o } else { o + p };
+        slots[d.ds_dst as usize] = V::F64(s);
+        // Back edge: yield retire, loop-carried copies, step.
+        model.retire(1);
+        for &(cd, cs) in &d.copies {
+            slots[cd as usize] = slots[cs as usize];
+        }
+        let st = slots[d.step as usize].as_index()?;
+        slots[d.iv as usize] = V::Index(i.wrapping_add(st));
+    }
+}
+
+#[inline]
+fn load_elem(bufs: &Buffers, id: u32, i: usize) -> Result<V, InterpError> {
+    let data = &bufs.get(id).data;
+    data.get(i).ok_or(InterpError::OutOfBounds {
+        index: i,
+        len: data.len(),
+    })
+}
+
+#[inline]
+fn cast_value(v: V, to: &Type) -> Result<V, InterpError> {
+    let raw = v.as_u64()?;
+    Ok(match to {
+        Type::Index => V::Index(raw as usize),
+        Type::I64 => V::I64(raw as i64),
+        Type::I32 => V::I32(raw as i32),
+        Type::I8 => V::I8(raw as i8),
+        Type::I1 => V::Bool(raw != 0),
+        other => {
+            return Err(InterpError::TypeMismatch(format!(
+                "cast to unsupported type {other}"
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::bytecode::lower;
+    use crate::interp::{interpret, BufferData, CountingModel, NullModel};
+    use crate::trace::TraceModel;
+    use crate::verify::verify;
+    use crate::Function;
+
+    /// Run a function under both engines on clones of the same buffers and
+    /// assert bit-identical results, buffers, and event streams.
+    fn assert_equivalent(f: &Function, args: &[V], bufs: &Buffers) {
+        verify(f).expect("test functions verify");
+        let prog = lower(f).expect("test functions lower");
+        let mut b1 = bufs.clone();
+        let mut b2 = bufs.clone();
+        let mut t1 = TraceModel::new();
+        let mut t2 = TraceModel::new();
+        let r1 = interpret(f, args, &mut b1, &mut t1);
+        let r2 = execute(&prog, args, &mut b2, &mut t2);
+        match (&r1, &r2) {
+            (Ok(v1), Ok(v2)) => assert_eq!(v1, v2, "return values differ"),
+            (Err(e1), Err(e2)) => assert_eq!(e1, e2, "traps differ"),
+            _ => panic!("engines disagree on success: {r1:?} vs {r2:?}"),
+        }
+        assert_eq!(t1.events, t2.events, "event streams differ");
+        assert_eq!(t1.instructions, t2.instructions, "retire counts differ");
+        for id in 0..bufs.len() as u32 {
+            assert_eq!(b1.get(id).data, b2.get(id).data, "buffer {id} differs");
+        }
+    }
+
+    #[test]
+    fn dot_product_matches_tree_walker() {
+        let mut b = FuncBuilder::new("dot");
+        let x = b.arg(Type::memref(Type::F64));
+        let y = b.arg(Type::memref(Type::F64));
+        let out = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let zero = b.const_f64(0.0);
+        let acc = b.for_loop(c0, n, c1, &[zero], |b, i, args| {
+            let xv = b.load(x, i);
+            let yv = b.load(y, i);
+            let p = b.mulf(xv, yv);
+            vec![b.addf(args[0], p)]
+        });
+        b.store(acc[0], out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let bx = bufs.add(BufferData::F64(vec![1.0, 2.0, 3.0]));
+        let by = bufs.add(BufferData::F64(vec![4.0, 5.0, 6.0]));
+        let bo = bufs.add(BufferData::F64(vec![0.0]));
+        let args = [V::Mem(bx), V::Mem(by), V::Mem(bo), V::Index(3)];
+        assert_equivalent(&f, &args, &bufs);
+
+        // And the bytecode run computes the right value.
+        let prog = lower(&f).unwrap();
+        let mut m = CountingModel::default();
+        execute(&prog, &args, &mut bufs, &mut m).unwrap();
+        match &bufs.get(bo).data {
+            BufferData::F64(v) => assert_eq!(v[0], 32.0),
+            _ => unreachable!(),
+        }
+        assert_eq!(m.loads, 6);
+        assert_eq!(m.stores, 1);
+    }
+
+    #[test]
+    fn gather_shape_matches_including_cast_retire() {
+        let mut b = FuncBuilder::new("gather");
+        let crd = b.arg(Type::memref(Type::I32));
+        let x = b.arg(Type::memref(Type::F64));
+        let out = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let zero = b.const_f64(0.0);
+        let acc = b.for_loop(c0, n, c1, &[zero], |b, j, args| {
+            let c = b.load(crd, j);
+            let ci = b.to_index(c);
+            let xv = b.load(x, ci);
+            vec![b.addf(args[0], xv)]
+        });
+        b.store(acc[0], out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let bc = bufs.add(BufferData::I32(vec![2, 0, 1]));
+        let bx = bufs.add(BufferData::F64(vec![10.0, 20.0, 30.0]));
+        let bo = bufs.add(BufferData::F64(vec![0.0]));
+        assert_equivalent(
+            &f,
+            &[V::Mem(bc), V::Mem(bx), V::Mem(bo), V::Index(3)],
+            &bufs,
+        );
+    }
+
+    #[test]
+    fn while_and_if_shapes_match() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("mix");
+        let n = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::Index));
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let c2 = b.const_index(2);
+        let r = b.while_loop(
+            &[c0, c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0], args[1]]),
+            |b, args| {
+                let rem = b.binary(crate::BinOp::RemUI, args[0], c2);
+                let is_even = b.cmpi(CmpPred::Eq, rem, c0);
+                let inc = b.if_else(is_even, &[Type::Index], |_| vec![c2], |_| vec![c1]);
+                vec![b.addi(args[0], c1), b.addi(args[1], inc[0])]
+            },
+        );
+        b.store(r[1], out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let _ = bufs.add(BufferData::Index(vec![0]));
+        assert_equivalent(&f, &[V::Index(9), V::Mem(0)], &bufs);
+    }
+
+    #[test]
+    fn traps_match_tree_walker_with_locations() {
+        // Out-of-bounds load: same error, same op id, and the demand event
+        // for the faulting load is still reported first.
+        let mut b = FuncBuilder::new("oob");
+        let x = b.arg(Type::memref(Type::F64));
+        let i = b.arg(Type::Index);
+        let out = b.arg(Type::memref(Type::F64));
+        let c0 = b.const_index(0);
+        let v = b.load(x, i);
+        b.store(v, out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        let _ = bufs.add(BufferData::F64(vec![1.0, 2.0]));
+        let _ = bufs.add(BufferData::F64(vec![0.0]));
+        assert_equivalent(&f, &[V::Mem(0), V::Index(5), V::Mem(1)], &bufs);
+    }
+
+    #[test]
+    fn zero_step_and_type_mismatch_trap_identically() {
+        let mut b = FuncBuilder::new("zs");
+        let n = b.arg(Type::Index);
+        let step = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        b.for_loop(c0, n, step, &[], |_, _, _| vec![]);
+        let f = b.finish();
+        let bufs = Buffers::new();
+        assert_equivalent(&f, &[V::Index(10), V::Index(0)], &bufs);
+        assert_equivalent(&f, &[V::F64(1.5), V::Index(1)], &bufs);
+    }
+
+    #[test]
+    fn bad_args_rejected_up_front() {
+        let mut b = FuncBuilder::new("f");
+        let _ = b.arg(Type::Index);
+        let f = b.finish();
+        let prog = lower(&f).unwrap();
+        let mut bufs = Buffers::new();
+        let err = execute(&prog, &[], &mut bufs, &mut NullModel).unwrap_err();
+        assert!(matches!(err, InterpError::BadArgs(_)));
+        let err = execute(&prog, &[V::Mem(3)], &mut bufs, &mut NullModel).unwrap_err();
+        assert!(matches!(err, InterpError::BadArgs(_)));
+    }
+}

@@ -23,11 +23,12 @@ pub enum V {
 }
 
 impl V {
-    fn mismatch(want: &str, got: V) -> InterpError {
+    pub(crate) fn mismatch(want: &str, got: V) -> InterpError {
         InterpError::TypeMismatch(format!("expected {want} value, got {got:?}"))
     }
 
     /// The `index` payload, or a [`InterpError::TypeMismatch`] trap.
+    #[inline]
     pub fn as_index(self) -> Result<usize, InterpError> {
         match self {
             V::Index(v) => Ok(v),
@@ -35,6 +36,7 @@ impl V {
         }
     }
 
+    #[inline]
     pub fn as_f64(self) -> Result<f64, InterpError> {
         match self {
             V::F64(v) => Ok(v),
@@ -42,6 +44,7 @@ impl V {
         }
     }
 
+    #[inline]
     pub fn as_bool(self) -> Result<bool, InterpError> {
         match self {
             V::Bool(v) => Ok(v),
@@ -49,6 +52,7 @@ impl V {
         }
     }
 
+    #[inline]
     pub fn as_mem(self) -> Result<u32, InterpError> {
         match self {
             V::Mem(v) => Ok(v),
@@ -57,6 +61,7 @@ impl V {
     }
 
     /// Widen any integer-like value to u64 (for casts and comparisons).
+    #[inline]
     pub fn as_u64(self) -> Result<u64, InterpError> {
         match self {
             V::Index(v) => Ok(v as u64),
@@ -80,6 +85,7 @@ pub enum BufferData {
 }
 
 impl BufferData {
+    #[inline]
     pub fn len(&self) -> usize {
         match self {
             BufferData::F64(v) => v.len(),
@@ -95,6 +101,7 @@ impl BufferData {
     }
 
     /// Element size in bytes.
+    #[inline]
     pub fn elem_bytes(&self) -> u8 {
         match self {
             BufferData::F64(_) | BufferData::I64(_) | BufferData::Index(_) => 8,
@@ -114,7 +121,8 @@ impl BufferData {
         }
     }
 
-    fn get(&self, i: usize) -> Option<V> {
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> Option<V> {
         match self {
             BufferData::F64(v) => v.get(i).map(|&x| V::F64(x)),
             BufferData::I64(v) => v.get(i).map(|&x| V::I64(x)),
@@ -124,7 +132,8 @@ impl BufferData {
         }
     }
 
-    fn set(&mut self, i: usize, val: V) -> Result<(), InterpError> {
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize, val: V) -> Result<(), InterpError> {
         let oob = |len: usize| InterpError::OutOfBounds { index: i, len };
         match (self, val) {
             (BufferData::F64(v), V::F64(x)) => {
@@ -204,10 +213,12 @@ impl Buffers {
 
     // invariant: ids come from `add`, and `interpret` rejects dangling
     // `V::Mem` arguments before execution starts, so the index is in range.
+    #[inline]
     pub fn get(&self, id: u32) -> &Buffer {
         &self.bufs[id as usize]
     }
 
+    #[inline]
     pub fn get_mut(&mut self, id: u32) -> &mut Buffer {
         &mut self.bufs[id as usize]
     }
@@ -372,11 +383,14 @@ enum Flow {
 
 /// Run `func` with the given arguments against `bufs`, reporting events to
 /// `model`. Returns the values of `func.return`.
-pub fn interpret(
+///
+/// Generic over the model so concrete callers monomorphize the event
+/// calls; `&mut dyn MemoryModel` still works (`M = dyn MemoryModel`).
+pub fn interpret<M: MemoryModel + ?Sized>(
     func: &Function,
     args: &[V],
     bufs: &mut Buffers,
-    model: &mut dyn MemoryModel,
+    model: &mut M,
 ) -> Result<Vec<V>, InterpError> {
     if args.len() != func.params.len() {
         return Err(InterpError::BadArgs(format!(
@@ -402,7 +416,16 @@ pub fn interpret(
     for (&p, &a) in func.params.iter().zip(args) {
         env[p.index()] = Some(a);
     }
-    let mut interp = Interp { bufs, model };
+    // Hoist per-access address math: base address and element width per
+    // buffer, computed once instead of per load/store/prefetch. Sound
+    // because no op allocates buffers mid-run.
+    let addrs: Vec<(u64, u8)> = (0..bufs.len() as u32)
+        .map(|id| {
+            let b = bufs.get(id);
+            (b.base_addr, b.data.elem_bytes())
+        })
+        .collect();
+    let mut interp = Interp { bufs, model, addrs };
     match interp.region(&func.body, &mut env)? {
         Flow::Return(vs) => Ok(vs),
         _ => Err(InterpError::TypeMismatch(
@@ -411,12 +434,14 @@ pub fn interpret(
     }
 }
 
-struct Interp<'a> {
+struct Interp<'a, M: MemoryModel + ?Sized> {
     bufs: &'a mut Buffers,
-    model: &'a mut dyn MemoryModel,
+    model: &'a mut M,
+    /// Per-buffer `(base_addr, elem_bytes)`, hoisted out of the access path.
+    addrs: Vec<(u64, u8)>,
 }
 
-impl<'a> Interp<'a> {
+impl<'a, M: MemoryModel + ?Sized> Interp<'a, M> {
     fn get(env: &[Option<V>], v: Value) -> V {
         // invariant: the verifier rejects use-before-def, and every
         // compiled kernel is verified before interpretation.
@@ -425,17 +450,20 @@ impl<'a> Interp<'a> {
 
     fn region(&mut self, r: &Region, env: &mut Vec<Option<V>>) -> Result<Flow, InterpError> {
         for op in &r.ops {
-            if let Some(flow) = self.op(op, env).map_err(|e| e.at(op.id))? {
-                return Ok(flow);
+            // Op-id attachment is deferred to the error path: the hot loop
+            // pays no `map_err` closure per retired op.
+            match self.op(op, env) {
+                Ok(Some(flow)) => return Ok(flow),
+                Ok(None) => {}
+                Err(e) => return Err(e.at(op.id)),
             }
         }
         unreachable!("verifier guarantees every region ends in a terminator")
     }
 
     fn addr_of(&self, buf_id: u32, index: usize) -> (u64, u8) {
-        let buf = self.bufs.get(buf_id);
-        let eb = buf.data.elem_bytes();
-        (buf.base_addr + index as u64 * eb as u64, eb)
+        let (base, eb) = self.addrs[buf_id as usize];
+        (base + index as u64 * eb as u64, eb)
     }
 
     /// Execute one op. Returns `Some(flow)` when a terminator fires.
@@ -655,7 +683,8 @@ impl<'a> Interp<'a> {
     }
 }
 
-fn eval_binary(b: BinOp, l: V, r: V) -> Result<V, InterpError> {
+#[inline]
+pub(crate) fn eval_binary(b: BinOp, l: V, r: V) -> Result<V, InterpError> {
     use BinOp::*;
     match b {
         AddF | SubF | MulF | DivF => {

@@ -15,8 +15,10 @@
 //!   hoisted, as the paper assumes) and [`dce`].
 
 pub mod builder;
+pub mod bytecode;
 pub mod cse;
 pub mod diag;
+pub mod exec;
 pub mod fold;
 pub mod interp;
 pub mod ops;
@@ -27,8 +29,10 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FuncBuilder;
+pub use bytecode::{lower, Instr, LowerError, Program};
 pub use cse::cse;
 pub use diag::AsapError;
+pub use exec::execute;
 pub use fold::fold;
 pub use interp::{
     interpret, AccessKind, Buffer, BufferData, Buffers, CountingModel, InterpError, MemoryModel,

@@ -24,5 +24,5 @@ pub use codegen::{sparsify, KernelArg, SparsifiedKernel};
 pub use hooks::{LocateCtx, LocateHook, LocateTarget, RecordingHook, SizeChain, Stride};
 pub use itgraph::IterationGraph;
 pub use merge::{run_sparse_add, sparse_vector_add, MergeArg, MergeKernel, MergeOptions};
-pub use runner::{bind, densify, reference_contraction, resolve_dims, run, BoundKernel};
+pub use runner::{bind, densify, read_back, reference_contraction, resolve_dims, run, BoundKernel};
 pub use spec::{IteratorType, KernelSpec, OperandSpec};

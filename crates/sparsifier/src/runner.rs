@@ -130,17 +130,9 @@ pub fn bind(
     })
 }
 
-/// Bind, interpret, and write the result back into `out`. Returns an error
-/// on binding failures or interpreter faults.
-pub fn run(
-    kernel: &SparsifiedKernel,
-    sparse: &SparseTensor,
-    dense: &[&DenseTensor],
-    out: &mut DenseTensor,
-    model: &mut dyn MemoryModel,
-) -> Result<(), AsapError> {
-    let mut bound = bind(kernel, sparse, dense, out)?;
-    interpret(&kernel.func, &bound.args, &mut bound.bufs, model)?;
+/// Copy the output buffer of a finished run back into the dense output
+/// tensor. Shared by every execution path (tree-walk and bytecode).
+pub fn read_back(out: &mut DenseTensor, bound: &BoundKernel) -> Result<(), AsapError> {
     out.values = match &bound.bufs.get(bound.out_buf).data {
         asap_ir::BufferData::F64(v) => Values::F64(v.clone()),
         asap_ir::BufferData::I8(v) => Values::I8(v.clone()),
@@ -151,6 +143,20 @@ pub fn run(
         }
     };
     Ok(())
+}
+
+/// Bind, interpret, and write the result back into `out`. Returns an error
+/// on binding failures or interpreter faults.
+pub fn run<M: MemoryModel + ?Sized>(
+    kernel: &SparsifiedKernel,
+    sparse: &SparseTensor,
+    dense: &[&DenseTensor],
+    out: &mut DenseTensor,
+    model: &mut M,
+) -> Result<(), AsapError> {
+    let mut bound = bind(kernel, sparse, dense, out)?;
+    interpret(&kernel.func, &bound.args, &mut bound.bufs, model)?;
+    read_back(out, &bound)
 }
 
 /// Dense reference contraction: iterates the full iteration space using

@@ -1,0 +1,108 @@
+//! Differential engine-equivalence suite (ISSUE acceptance gate): the
+//! bytecode VM must be observationally identical to the tree-walking
+//! interpreter. Every case runs the same compiled kernel under both
+//! engines with a full [`asap_ir::TraceModel`] each and requires, via
+//! [`asap_fuzz::engines_agree`]:
+//!
+//! - bit-identical output vectors,
+//! - an identical ordered `(op, addr, bytes)` demand/prefetch event
+//!   stream (traces compare `Eq`, so addresses and op ids must match
+//!   exactly — not just event counts),
+//! - equal retired-instruction totals.
+//!
+//! Two corpora: the 64 fixed-seed fuzz cases shared with the strategy
+//! oracle in `tests/differential.rs` (same seeds, same derivation — a
+//! failure here reproduces there), and every matrix of the synthetic
+//! collection the paper figures sweep.
+
+use asap::tensor::{Format, IndexWidth, SparseTensor, ValueKind};
+use asap_bench::PAPER_DISTANCE;
+use asap_core::{compile_with_width, PrefetchStrategy};
+use asap_fuzz::{engines_agree, random_triplets, EngineAgreement, Rng64};
+use asap_matrices::{synthetic_collection, SizeClass};
+use asap_sparsifier::KernelSpec;
+
+/// Deterministic dense operand (distinct from the fuzz crate's, so the
+/// suite does not silently share a code path with the oracle it checks).
+fn dense_x(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 + (i % 13) as f64 * 0.25).collect()
+}
+
+/// Run one (matrix, format, width, distance) case under all three
+/// prefetch strategies and both engines; returns the number of verified
+/// strategy runs. Panics with the case label on any divergence.
+fn case_agrees(label: &str, sparse: &SparseTensor, x: &[f64], distance: usize) -> usize {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let mut verified = 0;
+    for strat in [
+        PrefetchStrategy::none(),
+        PrefetchStrategy::asap(distance),
+        PrefetchStrategy::aj(distance),
+    ] {
+        let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &strat)
+            .unwrap_or_else(|e| panic!("{label}/{}: compile failed: {e}", strat.label()));
+        match engines_agree(&ck, sparse, x)
+            .unwrap_or_else(|e| panic!("{label}/{}: engines diverge: {e}", strat.label()))
+        {
+            EngineAgreement::Agreed { instructions, .. } => {
+                assert!(
+                    instructions > 0,
+                    "{label}/{}: no instructions retired",
+                    strat.label()
+                );
+                verified += 1;
+            }
+            EngineAgreement::Trapped(e) => {
+                panic!("{label}/{}: valid input trapped: {e}", strat.label())
+            }
+        }
+    }
+    verified
+}
+
+/// 64 fixed-seed random cases — the same seed derivation as the strategy
+/// oracle in `tests/differential.rs`, so a failure in either suite is
+/// reproducible in the other.
+#[test]
+fn sixty_four_random_cases_agree_across_engines() {
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let mut verified = 0usize;
+    for seed in 0..64u64 {
+        let mut rng = Rng64::seed_from_u64(0xd1ff * (seed + 1));
+        let tri = random_triplets(&mut rng, 40, 200);
+        let fmt = &formats[(seed % 3) as usize];
+        let width = widths[(seed % 2) as usize];
+        let distance = 1 + (seed as usize * 7) % 90;
+        let coo = tri
+            .try_to_coo_f64()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut sparse = SparseTensor::try_from_coo(&coo, fmt.clone())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sparse.set_index_width(width);
+        let x = dense_x(tri.ncols);
+        verified += case_agrees(&format!("seed {seed}"), &sparse, &x, distance);
+    }
+    // 64 cases × 3 strategies, every one bit-identical across engines.
+    assert_eq!(verified, 64 * 3);
+}
+
+/// Every matrix in the synthetic collection the paper figures sweep, in
+/// CSR at the paper's prefetch distance — the exact configuration
+/// `perfstat` times, so the speedup measured there is over a verified
+/// equivalence.
+#[test]
+fn synthetic_collection_agrees_across_engines() {
+    let mut verified = 0usize;
+    for m in synthetic_collection(SizeClass::Tiny) {
+        let tri = m.materialize();
+        let coo = tri
+            .try_to_coo_f64()
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let sparse = SparseTensor::try_from_coo(&coo, Format::csr())
+            .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        let x = dense_x(tri.ncols);
+        verified += case_agrees(&m.name, &sparse, &x, PAPER_DISTANCE);
+    }
+    assert!(verified >= 3, "collection must not be empty");
+}
