@@ -9,7 +9,11 @@
 //! asap_cli --sweep path/to/dir --variant asap   # skip-and-report sweep
 //! ```
 
-use asap_bench::{run_spmm, run_spmv, sweep_spmv_dir, Variant, SPMM_COLS_F64};
+use asap_bench::{
+    run_spmm, run_spmm_budgeted, run_spmv, run_spmv_budgeted, sweep_spmv_dir, Variant,
+    SPMM_COLS_F64,
+};
+use asap_ir::Budget;
 use asap_matrices::{gen, read_matrix_market, Triplets};
 use asap_sim::{GracemontConfig, PrefetcherConfig};
 use std::io::BufReader;
@@ -26,13 +30,16 @@ struct Args {
     variant: Variant,
     hw: (String, PrefetcherConfig),
     paper_caches: bool,
+    fuel: Option<u64>,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: asap_cli (--matrix FILE.mtx | --gen KIND:ARGS | --sweep DIR) \
          [--kernel spmv|spmm] [--variant baseline|asap|aj] \
-         [--distance N] [--hw default|optimized|off] [--paper-caches]\n\
+         [--distance N] [--hw default|optimized|off] [--paper-caches] \
+         [--fuel N] [--deadline-ms N]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -82,6 +89,8 @@ fn parse_args() -> Args {
     let mut distance = 45usize;
     let mut hw_name = "optimized".to_string();
     let mut paper_caches = false;
+    let mut fuel = None;
+    let mut deadline_ms = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--matrix" => {
@@ -117,6 +126,20 @@ fn parse_args() -> Args {
             }
             "--hw" => hw_name = args.next().unwrap_or_else(|| usage()),
             "--paper-caches" => paper_caches = true,
+            "--fuel" => {
+                fuel = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             _ => usage(),
         }
     }
@@ -145,6 +168,8 @@ fn parse_args() -> Args {
         variant,
         hw: (hw_name, hw),
         paper_caches,
+        fuel,
+        deadline_ms,
     }
 }
 
@@ -191,8 +216,34 @@ fn main() {
         tri.ncols,
         tri.nnz()
     );
+    let governed = a.fuel.is_some() || a.deadline_ms.is_some();
+    let budget = {
+        let mut b = Budget::unlimited();
+        if let Some(f) = a.fuel {
+            b = b.with_fuel(f);
+        }
+        if let Some(ms) = a.deadline_ms {
+            b = b.with_deadline_ms(ms);
+        }
+        b
+    };
     let outcome = match a.kernel.as_str() {
+        "spmv" if governed => run_spmv_budgeted(
+            &tri, &name, "cli", true, a.variant, a.hw.1, &a.hw.0, cfg, &budget,
+        ),
         "spmv" => run_spmv(&tri, &name, "cli", true, a.variant, a.hw.1, &a.hw.0, cfg),
+        "spmm" if governed => run_spmm_budgeted(
+            &tri,
+            &name,
+            "cli",
+            true,
+            SPMM_COLS_F64,
+            a.variant,
+            a.hw.1,
+            &a.hw.0,
+            cfg,
+            &budget,
+        ),
         "spmm" => run_spmm(
             &tri,
             &name,
@@ -206,10 +257,19 @@ fn main() {
         ),
         _ => usage(),
     };
-    let r = outcome.unwrap_or_else(|e| {
-        eprintln!("run failed [{}]: {e}", e.kind());
-        std::process::exit(1);
-    });
+    let r = match outcome {
+        Ok(r) => r,
+        // Governed termination is the budget working as designed: report
+        // the typed trap and exit cleanly (distinct from a failed run).
+        Err(e) if e.kind() == "budget" => {
+            println!("budget exceeded: {e}");
+            return;
+        }
+        Err(e) => {
+            eprintln!("run failed [{}]: {e}", e.kind());
+            std::process::exit(1);
+        }
+    };
     for w in &r.warnings {
         eprintln!("warning: {w}");
     }

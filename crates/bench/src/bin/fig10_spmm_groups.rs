@@ -6,8 +6,8 @@
 //! negligible for SpMM (which is why Figure 10 omits the "-default" bars).
 
 use asap_bench::{
-    harmonic_mean, matrix_threads, parallel_map, run_spmm, ExperimentResult, Options, Variant,
-    PAPER_DISTANCE, SPMM_COLS_F64,
+    cell_key, harmonic_mean, matrix_threads, parallel_map, run_spmm_budgeted, ExperimentResult,
+    Options, Variant, PAPER_DISTANCE, SPMM_COLS_F64,
 };
 use asap_ir::AsapError;
 use asap_matrices::{spmm_collection, UNSTRUCTURED_GROUPS};
@@ -22,35 +22,56 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    let ckpt = opts
+        .checkpoint("fig10")
+        .map_err(|e| AsapError::io(e.to_string()))?;
+    let ckpt = &ckpt;
+    // Built once: fuel bounds each cell (one meter per run), the
+    // deadline — an absolute instant — bounds the whole sweep.
+    let budget = opts.budget();
+    let budget = &budget;
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmm();
 
     // Per-matrix baseline/ASaP pairs simulate on pool workers.
     let per_matrix = parallel_map(spmm_collection(opts.size), matrix_threads(1), |_, m| {
         let tri = m.materialize();
-        let b = run_spmm(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            SPMM_COLS_F64,
-            Variant::Baseline,
-            pf,
-            "optimized",
-            cfg,
-        )?;
-        let a = run_spmm(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            SPMM_COLS_F64,
-            Variant::Asap {
-                distance: PAPER_DISTANCE,
+        let b = ckpt.run_cell(
+            &cell_key(&m.name, "spmm", Variant::Baseline.label(), "optimized", 1),
+            || {
+                run_spmm_budgeted(
+                    &tri,
+                    &m.name,
+                    &m.group,
+                    m.unstructured,
+                    SPMM_COLS_F64,
+                    Variant::Baseline,
+                    pf,
+                    "optimized",
+                    cfg,
+                    budget,
+                )
             },
-            pf,
-            "optimized",
-            cfg,
+        )?;
+        let asap_v = Variant::Asap {
+            distance: PAPER_DISTANCE,
+        };
+        let a = ckpt.run_cell(
+            &cell_key(&m.name, "spmm", asap_v.label(), "optimized", 1),
+            || {
+                run_spmm_budgeted(
+                    &tri,
+                    &m.name,
+                    &m.group,
+                    m.unstructured,
+                    SPMM_COLS_F64,
+                    asap_v,
+                    pf,
+                    "optimized",
+                    cfg,
+                    budget,
+                )
+            },
         )?;
         Ok::<_, AsapError>((m, b, a))
     });

@@ -8,8 +8,8 @@
 //! marginally (~1.02x).
 
 use asap_bench::{
-    harmonic_mean, matrix_threads, parallel_map, run_spmv, ExperimentResult, Options, Variant,
-    PAPER_DISTANCE,
+    cell_key, harmonic_mean, matrix_threads, parallel_map, run_spmv_budgeted, ExperimentResult,
+    Options, Variant, PAPER_DISTANCE,
 };
 use asap_ir::AsapError;
 use asap_matrices::{synthetic_collection, UNSTRUCTURED_GROUPS};
@@ -25,6 +25,14 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    let ckpt = opts
+        .checkpoint("fig11")
+        .map_err(|e| AsapError::io(e.to_string()))?;
+    let ckpt = &ckpt;
+    // Built once: fuel bounds each cell (one meter per run), the
+    // deadline — an absolute instant — bounds the whole sweep.
+    let budget = opts.budget();
+    let budget = &budget;
     let cfg = GracemontConfig::scaled();
     let configs = [
         (
@@ -71,15 +79,21 @@ fn real_main() -> Result<(), AsapError> {
             let tri = m.materialize();
             let mut rows = Vec::with_capacity(configs.len());
             for (label, v, pf) in &configs {
-                rows.push(run_spmv(
-                    &tri,
-                    &m.name,
-                    &m.group,
-                    m.unstructured,
-                    *v,
-                    *pf,
-                    label,
-                    cfg,
+                rows.push(ckpt.run_cell(
+                    &cell_key(&m.name, "spmv", v.label(), label, 1),
+                    || {
+                        run_spmv_budgeted(
+                            &tri,
+                            &m.name,
+                            &m.group,
+                            m.unstructured,
+                            *v,
+                            *pf,
+                            label,
+                            cfg,
+                            budget,
+                        )
+                    },
                 )?);
             }
             Ok::<_, AsapError>((m, rows))

@@ -6,7 +6,8 @@
 //! >2x speedups for the most memory-bound matrices.
 
 use asap_bench::{
-    linear_fit, matrix_threads, parallel_map, run_spmv, Options, Variant, PAPER_DISTANCE,
+    cell_key, linear_fit, matrix_threads, parallel_map, run_spmv_budgeted, Options, Variant,
+    PAPER_DISTANCE,
 };
 use asap_ir::AsapError;
 use asap_matrices::synthetic_collection;
@@ -21,6 +22,14 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    let ckpt = opts
+        .checkpoint("fig6")
+        .map_err(|e| AsapError::io(e.to_string()))?;
+    let ckpt = &ckpt;
+    // Built once: fuel bounds each cell (one meter per run), the
+    // deadline — an absolute instant — bounds the whole sweep.
+    let budget = opts.budget();
+    let budget = &budget;
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmv();
     let mut results = Vec::new();
@@ -39,27 +48,40 @@ fn real_main() -> Result<(), AsapError> {
         matrix_threads(1),
         |_, m| {
             let tri = m.materialize();
-            let base = run_spmv(
-                &tri,
-                &m.name,
-                &m.group,
-                m.unstructured,
-                Variant::Baseline,
-                pf,
-                "optimized",
-                cfg,
-            )?;
-            let asap = run_spmv(
-                &tri,
-                &m.name,
-                &m.group,
-                m.unstructured,
-                Variant::Asap {
-                    distance: PAPER_DISTANCE,
+            let base = ckpt.run_cell(
+                &cell_key(&m.name, "spmv", Variant::Baseline.label(), "optimized", 1),
+                || {
+                    run_spmv_budgeted(
+                        &tri,
+                        &m.name,
+                        &m.group,
+                        m.unstructured,
+                        Variant::Baseline,
+                        pf,
+                        "optimized",
+                        cfg,
+                        budget,
+                    )
                 },
-                pf,
-                "optimized",
-                cfg,
+            )?;
+            let asap_v = Variant::Asap {
+                distance: PAPER_DISTANCE,
+            };
+            let asap = ckpt.run_cell(
+                &cell_key(&m.name, "spmv", asap_v.label(), "optimized", 1),
+                || {
+                    run_spmv_budgeted(
+                        &tri,
+                        &m.name,
+                        &m.group,
+                        m.unstructured,
+                        asap_v,
+                        pf,
+                        "optimized",
+                        cfg,
+                        budget,
+                    )
+                },
             )?;
             Ok::<_, AsapError>((m, base, asap))
         },

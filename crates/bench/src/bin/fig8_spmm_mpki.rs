@@ -6,8 +6,8 @@
 //! regression line starting near 1.0.
 
 use asap_bench::{
-    linear_fit, matrix_threads, parallel_map, run_spmm, Options, Variant, PAPER_DISTANCE,
-    SPMM_COLS_F64,
+    cell_key, linear_fit, matrix_threads, parallel_map, run_spmm_budgeted, Options, Variant,
+    PAPER_DISTANCE, SPMM_COLS_F64,
 };
 use asap_ir::AsapError;
 use asap_matrices::spmm_collection;
@@ -22,6 +22,14 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    let ckpt = opts
+        .checkpoint("fig8")
+        .map_err(|e| AsapError::io(e.to_string()))?;
+    let ckpt = &ckpt;
+    // Built once: fuel bounds each cell (one meter per run), the
+    // deadline — an absolute instant — bounds the whole sweep.
+    let budget = opts.budget();
+    let budget = &budget;
     let cfg = GracemontConfig::scaled();
     // Table 2: the L2 AMP stays on for SpMM (2D-stride friendly).
     let pf = PrefetcherConfig::optimized_spmm();
@@ -37,29 +45,42 @@ fn real_main() -> Result<(), AsapError> {
     // prints in collection order afterwards.
     let per_matrix = parallel_map(spmm_collection(opts.size), matrix_threads(1), |_, m| {
         let tri = m.materialize();
-        let base = run_spmm(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            SPMM_COLS_F64,
-            Variant::Baseline,
-            pf,
-            "optimized",
-            cfg,
-        )?;
-        let asap = run_spmm(
-            &tri,
-            &m.name,
-            &m.group,
-            m.unstructured,
-            SPMM_COLS_F64,
-            Variant::Asap {
-                distance: PAPER_DISTANCE,
+        let base = ckpt.run_cell(
+            &cell_key(&m.name, "spmm", Variant::Baseline.label(), "optimized", 1),
+            || {
+                run_spmm_budgeted(
+                    &tri,
+                    &m.name,
+                    &m.group,
+                    m.unstructured,
+                    SPMM_COLS_F64,
+                    Variant::Baseline,
+                    pf,
+                    "optimized",
+                    cfg,
+                    budget,
+                )
             },
-            pf,
-            "optimized",
-            cfg,
+        )?;
+        let asap_v = Variant::Asap {
+            distance: PAPER_DISTANCE,
+        };
+        let asap = ckpt.run_cell(
+            &cell_key(&m.name, "spmm", asap_v.label(), "optimized", 1),
+            || {
+                run_spmm_budgeted(
+                    &tri,
+                    &m.name,
+                    &m.group,
+                    m.unstructured,
+                    SPMM_COLS_F64,
+                    asap_v,
+                    pf,
+                    "optimized",
+                    cfg,
+                    budget,
+                )
+            },
         )?;
         Ok::<_, AsapError>((m, base, asap))
     });

@@ -1,0 +1,277 @@
+//! Crash-only sweep checkpoints: every completed (matrix, kernel,
+//! variant, hw-config, threads) cell is journaled to an append-only
+//! JSONL file the moment it finishes, so a sweep killed mid-flight —
+//! OOM, deadline, ctrl-C — resumes from the journal instead of starting
+//! over. Each journal line is one [`ExperimentResult::to_json`] object;
+//! the cell key is derived from the result's own identifying fields, so
+//! the journal needs no separate key column and a resumed sweep
+//! reproduces byte-identical tables (the recorded results *are* the
+//! original results).
+//!
+//! Journal writes are best-effort: an unwritable journal degrades to an
+//! uncheckpointed run with a warning on stderr, never a failed sweep.
+
+use crate::run::ExperimentResult;
+use asap_ir::AsapError;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The journal key of one sweep cell.
+pub fn cell_key(
+    matrix: &str,
+    kernel: &str,
+    variant: &str,
+    hw_config: &str,
+    threads: usize,
+) -> String {
+    format!("{matrix}|{kernel}|{variant}|{hw_config}|{threads}")
+}
+
+fn key_of(r: &ExperimentResult) -> String {
+    cell_key(&r.matrix, &r.kernel, &r.variant, &r.hw_config, r.threads)
+}
+
+struct Inner {
+    done: HashMap<String, ExperimentResult>,
+    file: Option<File>,
+    write_failed: bool,
+}
+
+/// A sweep's checkpoint journal. Thread-safe: pool workers record cells
+/// concurrently through one shared `Checkpoint`.
+pub struct Checkpoint {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl Checkpoint {
+    /// A checkpoint that records nothing and resumes nothing — the
+    /// `--no-checkpoint` escape hatch, so call sites need no branching.
+    pub fn disabled() -> Checkpoint {
+        Checkpoint {
+            path: PathBuf::new(),
+            inner: Mutex::new(Inner {
+                done: HashMap::new(),
+                file: None,
+                write_failed: false,
+            }),
+        }
+    }
+
+    /// Open (or create) the journal at `path`. With `resume` set,
+    /// previously journaled cells are loaded and will be returned by
+    /// [`run_cell`](Checkpoint::run_cell) without re-running; without
+    /// it, any existing journal is truncated and the sweep starts
+    /// fresh. Corrupt or truncated journal lines are skipped (their
+    /// cells simply re-run).
+    pub fn open(path: &Path, resume: bool) -> Result<Checkpoint, AsapError> {
+        let mut done = HashMap::new();
+        if resume {
+            match File::open(path) {
+                Ok(f) => {
+                    for line in BufReader::new(f).lines() {
+                        let line = line.map_err(|e| {
+                            AsapError::io(format!("reading {}: {e}", path.display()))
+                        })?;
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        match ExperimentResult::from_json(&line) {
+                            Ok(r) => {
+                                done.insert(key_of(&r), r);
+                            }
+                            Err(e) => {
+                                eprintln!(
+                                    "checkpoint {}: skipping corrupt line ({e})",
+                                    path.display()
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(AsapError::io(format!(
+                        "cannot open {}: {e}",
+                        path.display()
+                    )))
+                }
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| AsapError::io(format!("mkdir {}: {e}", dir.display())))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(resume)
+            .write(true)
+            .truncate(!resume)
+            .open(path)
+            .map_err(|e| AsapError::io(format!("cannot open {}: {e}", path.display())))?;
+        Ok(Checkpoint {
+            path: path.to_path_buf(),
+            inner: Mutex::new(Inner {
+                done,
+                file: Some(file),
+                write_failed: false,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding this lock can only come from a
+        // crash-isolated worker; the done-map and append-only file are
+        // both still coherent (each record is inserted atomically), so
+        // recover the guard rather than cascading the panic.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Number of cells loaded from a resumed journal.
+    pub fn resumed_cells(&self) -> usize {
+        self.lock().done.len()
+    }
+
+    /// The already-journaled result for `key`, if any.
+    pub fn lookup(&self, key: &str) -> Option<ExperimentResult> {
+        self.lock().done.get(key).cloned()
+    }
+
+    /// Journal a completed cell. Best-effort: on the first write
+    /// failure a warning is printed and further writes are skipped.
+    pub fn record(&self, r: &ExperimentResult) {
+        let mut g = self.lock();
+        let line = r.to_json();
+        let healthy = !g.write_failed;
+        if let Some(f) = g.file.as_mut() {
+            if healthy && writeln!(f, "{line}").and_then(|()| f.flush()).is_err() {
+                eprintln!(
+                    "checkpoint {}: journal write failed; sweep continues unjournaled",
+                    self.path.display()
+                );
+                g.write_failed = true;
+            }
+        }
+        g.done.insert(key_of(r), r.clone());
+    }
+
+    /// Run one sweep cell through the journal: return the recorded
+    /// result if `key` already completed, otherwise run `f`, journal
+    /// its success, and return it. Errors are not journaled — a failed
+    /// cell re-runs on resume.
+    pub fn run_cell<F>(&self, key: &str, f: F) -> Result<ExperimentResult, AsapError>
+    where
+        F: FnOnce() -> Result<ExperimentResult, AsapError>,
+    {
+        if let Some(r) = self.lookup(key) {
+            return Ok(r);
+        }
+        let r = f()?;
+        self.record(&r);
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_spmv, Variant};
+    use asap_matrices::gen;
+    use asap_sim::{GracemontConfig, PrefetcherConfig};
+
+    fn sample(name: &str) -> ExperimentResult {
+        let tri = gen::erdos_renyi(256, 4, 3);
+        run_spmv(
+            &tri,
+            name,
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            GracemontConfig::scaled(),
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("asap-ckpt-{}-{name}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn killed_sweep_resumes_with_identical_results() {
+        let path = tmp("resume");
+        let a = sample("m_a");
+        let b = sample("m_b");
+        // First (killed) sweep records only cell a.
+        {
+            let ck = Checkpoint::open(&path, false).unwrap();
+            ck.record(&a);
+        } // process "dies" here
+        let ck = Checkpoint::open(&path, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 1);
+        let mut ran = 0;
+        let ka = cell_key(&a.matrix, &a.kernel, &a.variant, &a.hw_config, a.threads);
+        let kb = cell_key(&b.matrix, &b.kernel, &b.variant, &b.hw_config, b.threads);
+        let ra = ck
+            .run_cell(&ka, || {
+                ran += 1;
+                Ok(sample("m_a"))
+            })
+            .unwrap();
+        assert_eq!(ran, 0, "journaled cell must not re-run");
+        assert_eq!(ra.to_json(), a.to_json(), "byte-identical resumed result");
+        let rb = ck
+            .run_cell(&kb, || {
+                ran += 1;
+                Ok(b.clone())
+            })
+            .unwrap();
+        assert_eq!(ran, 1, "missing cell runs once");
+        assert_eq!(rb.to_json(), b.to_json());
+        // Resume again: both cells now journaled.
+        let ck2 = Checkpoint::open(&path, true).unwrap();
+        assert_eq!(ck2.resumed_cells(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fresh_open_truncates_and_corrupt_lines_are_skipped() {
+        let path = tmp("truncate");
+        let a = sample("m_c");
+        std::fs::write(
+            &path,
+            format!("{}\nnot json at all\n{{\"matrix\":\n", a.to_json()),
+        )
+        .unwrap();
+        // Resume skips the two corrupt lines, keeps the good one.
+        let ck = Checkpoint::open(&path, true).unwrap();
+        assert_eq!(ck.resumed_cells(), 1);
+        drop(ck);
+        // A non-resume open starts fresh.
+        let ck = Checkpoint::open(&path, false).unwrap();
+        assert_eq!(ck.resumed_cells(), 0);
+        drop(ck);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disabled_checkpoint_records_nothing() {
+        let ck = Checkpoint::disabled();
+        let a = sample("m_d");
+        ck.record(&a);
+        // Recording still memoizes in-process (idempotent re-runs)...
+        assert_eq!(ck.resumed_cells(), 1);
+        // ...but a failed cell still surfaces its error.
+        let err = ck
+            .run_cell("missing", || Err(AsapError::io("boom")))
+            .unwrap_err();
+        assert_eq!(err.kind(), "io");
+    }
+}

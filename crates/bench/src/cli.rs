@@ -16,7 +16,8 @@ impl fmt::Display for UsageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} (usage: [--size tiny|small|full] [--out <path.json>])",
+            "{} (usage: [--size tiny|small|full] [--out <path.json>] \
+             [--fuel N] [--deadline-ms N] [--resume] [--no-checkpoint])",
             self.0
         )
     }
@@ -24,11 +25,21 @@ impl fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-/// Common options: `--size tiny|small|full` and `--out <path.json>`.
+/// Common options: `--size tiny|small|full`, `--out <path.json>`, the
+/// resource-governance budget (`--fuel`, `--deadline-ms`), and sweep
+/// checkpointing (`--resume`, `--no-checkpoint`).
 #[derive(Debug, Clone)]
 pub struct Options {
     pub size: SizeClass,
     pub out: Option<PathBuf>,
+    /// Interpreter-step (fuel) limit per run, if any.
+    pub fuel: Option<u64>,
+    /// Wall-clock deadline per run in milliseconds, if any.
+    pub deadline_ms: Option<u64>,
+    /// Resume a killed sweep from its checkpoint journal.
+    pub resume: bool,
+    /// Disable checkpoint journaling entirely.
+    pub no_checkpoint: bool,
 }
 
 impl Options {
@@ -45,8 +56,14 @@ impl Options {
     }
 
     pub fn parse(args: impl Iterator<Item = String>) -> Result<Options, UsageError> {
-        let mut size = SizeClass::Full;
-        let mut out = None;
+        let mut o = Options {
+            size: SizeClass::Full,
+            out: None,
+            fuel: None,
+            deadline_ms: None,
+            resume: false,
+            no_checkpoint: false,
+        };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -54,7 +71,7 @@ impl Options {
                     let v = it
                         .next()
                         .ok_or_else(|| UsageError("--size needs a value".into()))?;
-                    size = match v.as_str() {
+                    o.size = match v.as_str() {
                         "tiny" => SizeClass::Tiny,
                         "small" => SizeClass::Small,
                         "full" => SizeClass::Full,
@@ -69,12 +86,57 @@ impl Options {
                     let v = it
                         .next()
                         .ok_or_else(|| UsageError("--out needs a path".into()))?;
-                    out = Some(PathBuf::from(v));
+                    o.out = Some(PathBuf::from(v));
                 }
+                "--fuel" => o.fuel = Some(parse_u64(&mut it, "--fuel")?),
+                "--deadline-ms" => o.deadline_ms = Some(parse_u64(&mut it, "--deadline-ms")?),
+                "--resume" => o.resume = true,
+                "--no-checkpoint" => o.no_checkpoint = true,
                 other => return Err(UsageError(format!("unknown argument {other}"))),
             }
         }
-        Ok(Options { size, out })
+        if o.resume && o.no_checkpoint {
+            return Err(UsageError(
+                "--resume and --no-checkpoint are mutually exclusive".into(),
+            ));
+        }
+        Ok(o)
+    }
+
+    /// The resource budget the flags describe: unlimited unless `--fuel`
+    /// and/or `--deadline-ms` was given.
+    pub fn budget(&self) -> asap_ir::Budget {
+        let mut b = asap_ir::Budget::unlimited();
+        if let Some(fuel) = self.fuel {
+            b = b.with_fuel(fuel);
+        }
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline_ms(ms);
+        }
+        b
+    }
+
+    /// The checkpoint journal for figure `fig`: next to `--out` when
+    /// given (`<out>.checkpoint.jsonl`), else
+    /// `results/<fig>.checkpoint.jsonl`; disabled by `--no-checkpoint`.
+    pub fn checkpoint(&self, fig: &str) -> Result<crate::checkpoint::Checkpoint, UsageError> {
+        if self.no_checkpoint {
+            return Ok(crate::checkpoint::Checkpoint::disabled());
+        }
+        let path = match &self.out {
+            Some(out) => out.with_extension("checkpoint.jsonl"),
+            None => PathBuf::from("results").join(format!("{fig}.checkpoint.jsonl")),
+        };
+        let ck = crate::checkpoint::Checkpoint::open(&path, self.resume)
+            .map_err(|e| UsageError(format!("checkpoint: {e}")))?;
+        if self.resume {
+            eprintln!(
+                "resuming from {}: {} cell(s) already done",
+                path.display(),
+                ck.resumed_cells()
+            );
+        }
+        Ok(ck)
     }
 
     /// Dump results as JSON next to printing the table.
@@ -88,6 +150,16 @@ impl Options {
         }
         Ok(())
     }
+}
+
+fn parse_u64(
+    it: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<u64, UsageError> {
+    it.next()
+        .ok_or_else(|| UsageError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| UsageError(format!("{flag} needs a non-negative integer")))
 }
 
 /// Least-squares linear fit `y = slope*x + intercept`, with R².
@@ -162,5 +234,48 @@ mod tests {
     fn rejects_dangling_flag() {
         let err = Options::parse(["--out"].iter().map(|s| s.to_string())).unwrap_err();
         assert!(err.to_string().contains("--out needs a path"));
+    }
+
+    #[test]
+    fn parses_budget_and_checkpoint_flags() {
+        let o = Options::parse(
+            ["--fuel", "1000", "--deadline-ms", "250", "--resume"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(o.fuel, Some(1000));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert!(o.resume);
+        assert!(!o.no_checkpoint);
+        // The default budget is unlimited; these flags make it finite.
+        let d = Options::parse(std::iter::empty()).unwrap();
+        assert!(d.fuel.is_none() && d.deadline_ms.is_none());
+    }
+
+    #[test]
+    fn rejects_bad_budget_values_and_conflicting_flags() {
+        let err = Options::parse(["--fuel", "lots"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+        let err = Options::parse(
+            ["--resume", "--no-checkpoint"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_path_follows_out() {
+        let o = Options::parse(
+            ["--out", "/tmp/asap-cli-test/fig7.json", "--no-checkpoint"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        // Disabled checkpoints open nothing on disk.
+        let ck = o.checkpoint("fig7").unwrap();
+        assert_eq!(ck.resumed_cells(), 0);
     }
 }

@@ -5,6 +5,7 @@
 //! metrics (throughput in nnz/ms, L2 MPKI), and the Equal-Work harmonic
 //! mean Speedup (EWS) aggregation of Section 5.
 
+pub mod checkpoint;
 pub mod cli;
 pub mod ews;
 pub mod pool;
@@ -12,13 +13,16 @@ pub mod predict;
 pub mod run;
 pub mod table;
 
+pub use checkpoint::{cell_key, Checkpoint};
 pub use cli::{linear_fit, Options, UsageError};
 pub use ews::{ews_speedup, harmonic_mean};
-pub use pool::{auto_threads, in_worker, matrix_threads, parallel_map};
+pub use pool::{
+    auto_threads, in_worker, matrix_threads, parallel_map, parallel_map_isolated, JobFailure,
+};
 pub use predict::{aj_coverage, predict_asap_over_aj, predicted_advantage};
 pub use run::{
-    results_to_json, run_spmm, run_spmm_threads, run_spmv, run_spmv_threads, sweep_spmv_dir,
-    ExperimentResult, SkippedMatrix, SweepReport, Variant,
+    results_to_json, run_spmm, run_spmm_budgeted, run_spmm_threads, run_spmv, run_spmv_budgeted,
+    run_spmv_threads, sweep_spmv_dir, ExperimentResult, SkippedMatrix, SweepReport, Variant,
 };
 pub use table::{fmt_f64, markdown_table};
 

@@ -17,8 +17,11 @@
 //! bench runner refuses the remaining misuse with a typed error.
 
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -120,6 +123,92 @@ where
         .collect()
 }
 
+/// A job that panicked on every attempt, converted to data instead of
+/// unwinding through the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Input-order index of the failed item.
+    pub index: usize,
+    /// The final attempt's panic payload, rendered as a string.
+    pub message: String,
+    /// How many attempts were made (always `max_attempts`).
+    pub attempts: usize,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "item {} panicked on all {} attempt(s): {}",
+            self.index, self.attempts, self.message
+        )
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Capped exponential backoff before retry `attempt` (1-based): 10ms,
+/// 20ms, 40ms, ... capped at 200ms. Transient failures (memory pressure,
+/// poisoned process-global state healing) get breathing room; permanent
+/// ones only cost a bounded delay.
+fn backoff_delay(attempt: usize) -> Duration {
+    let ms = 10u64.saturating_mul(1u64 << attempt.min(6).saturating_sub(1));
+    Duration::from_millis(ms.min(200))
+}
+
+/// Crash-isolated [`parallel_map`]: each item's closure runs under
+/// `catch_unwind`, so one poisoned matrix (or a bug its shape tickles)
+/// yields an `Err(JobFailure)` in that item's slot instead of tearing
+/// down the whole sweep. A panicking item is retried up to
+/// `max_attempts` times with capped exponential backoff; items are
+/// passed by reference so every attempt sees the same input.
+///
+/// Output order matches input order, exactly as in [`parallel_map`].
+pub fn parallel_map_isolated<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    max_attempts: usize,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let max_attempts = max_attempts.max(1);
+    let run_one = |i: usize, item: &T| -> Result<R, JobFailure> {
+        let mut last = String::new();
+        for attempt in 1..=max_attempts {
+            if attempt > 1 {
+                std::thread::sleep(backoff_delay(attempt - 1));
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => return Ok(r),
+                Err(payload) => last = panic_message(&*payload),
+            }
+        }
+        Err(JobFailure {
+            index: i,
+            message: last,
+            attempts: max_attempts,
+        })
+    };
+    let items_ref = &items;
+    parallel_map((0..items.len()).collect(), threads, move |_, i| {
+        run_one(i, &items_ref[i])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +252,46 @@ mod tests {
         let none: Vec<u8> = parallel_map(Vec::<u8>::new(), 8, |_, x| x);
         assert!(none.is_empty());
         assert_eq!(parallel_map(vec![9], 8, |_, x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn isolated_panic_becomes_a_typed_failure() {
+        let out = parallel_map_isolated((0..8).collect::<Vec<i32>>(), 4, 2, |_, &x| {
+            if x == 3 {
+                panic!("item {x} is cursed");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 3);
+                assert_eq!(e.attempts, 2);
+                assert!(e.message.contains("cursed"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as i32 * 10, "order preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn flaky_item_succeeds_on_retry() {
+        let tries = AtomicUsize::new(0);
+        let out = parallel_map_isolated(vec![()], 1, 3, |_, ()| {
+            if tries.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient");
+            }
+            42
+        });
+        assert_eq!(out, vec![Ok(42)]);
+        assert_eq!(tries.load(Ordering::SeqCst), 3, "two failures then success");
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        assert_eq!(backoff_delay(1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(2), Duration::from_millis(20));
+        assert!(backoff_delay(50) <= Duration::from_millis(200));
     }
 }

@@ -7,8 +7,8 @@
 //! matrix is recorded in the [`SweepReport::skipped`] list and the sweep
 //! continues with the rest of the collection.
 
-use asap_core::{compile_cached, CompiledKernel, PrefetchStrategy};
-use asap_ir::{execute, interpret, AsapError, V};
+use asap_core::{compile_cached, CompiledKernel, ExecEngine, PrefetchStrategy};
+use asap_ir::{execute, interpret, AsapError, Budget, V};
 use asap_matrices::{read_matrix_market, Triplets};
 use asap_sim::{run_parallel, GracemontConfig, Machine, PrefetcherConfig};
 use asap_sparsifier::{bind, KernelArg, KernelSpec};
@@ -122,6 +122,224 @@ impl ExperimentResult {
             warnings.join(",")
         )
     }
+
+    /// Parse one object written by [`to_json`] — the checkpoint journal's
+    /// resume path. Hand-rolled like its writer (no serialization crate);
+    /// accepts fields in any order and reports malformed input as an
+    /// error message instead of panicking, so a corrupt or truncated
+    /// journal line simply re-runs its cell. Floats round-trip exactly:
+    /// `to_json` prints the shortest representation that parses back to
+    /// the same bits.
+    pub fn from_json(s: &str) -> Result<ExperimentResult, String> {
+        let mut c = JsonCursor::new(s);
+        let mut r = ExperimentResult {
+            matrix: String::new(),
+            group: String::new(),
+            unstructured: false,
+            kernel: String::new(),
+            variant: String::new(),
+            hw_config: String::new(),
+            threads: 0,
+            nnz: 0,
+            cycles: 0,
+            instructions: 0,
+            throughput: 0.0,
+            l2_mpki: 0.0,
+            sw_pf_issued: 0,
+            sw_pf_dropped: 0,
+            hw_pf_issued: 0,
+            dram_bytes: 0,
+            stall_cycles: 0,
+            warnings: Vec::new(),
+        };
+        c.expect(b'{')?;
+        loop {
+            c.skip_ws();
+            if c.eat(b'}') {
+                break;
+            }
+            let field = c.parse_string()?;
+            c.skip_ws();
+            c.expect(b':')?;
+            c.skip_ws();
+            match field.as_str() {
+                "matrix" => r.matrix = c.parse_string()?,
+                "group" => r.group = c.parse_string()?,
+                "kernel" => r.kernel = c.parse_string()?,
+                "variant" => r.variant = c.parse_string()?,
+                "hw_config" => r.hw_config = c.parse_string()?,
+                "unstructured" => r.unstructured = c.parse_bool()?,
+                "threads" => r.threads = c.parse_num("threads")?,
+                "nnz" => r.nnz = c.parse_num("nnz")?,
+                "cycles" => r.cycles = c.parse_num("cycles")?,
+                "instructions" => r.instructions = c.parse_num("instructions")?,
+                "throughput" => r.throughput = c.parse_num("throughput")?,
+                "l2_mpki" => r.l2_mpki = c.parse_num("l2_mpki")?,
+                "sw_pf_issued" => r.sw_pf_issued = c.parse_num("sw_pf_issued")?,
+                "sw_pf_dropped" => r.sw_pf_dropped = c.parse_num("sw_pf_dropped")?,
+                "hw_pf_issued" => r.hw_pf_issued = c.parse_num("hw_pf_issued")?,
+                "dram_bytes" => r.dram_bytes = c.parse_num("dram_bytes")?,
+                "stall_cycles" => r.stall_cycles = c.parse_num("stall_cycles")?,
+                "warnings" => r.warnings = c.parse_string_array()?,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+            c.skip_ws();
+            if !c.eat(b',') {
+                c.expect(b'}')?;
+                break;
+            }
+        }
+        c.skip_ws();
+        if !c.at_end() {
+            return Err("trailing data after object".into());
+        }
+        Ok(r)
+    }
+}
+
+/// Minimal JSON scanner for the flat objects [`ExperimentResult::to_json`]
+/// emits: strings with escapes, numbers, booleans, arrays of strings.
+struct JsonCursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> JsonCursor<'a> {
+        JsonCursor {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.b.len()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if !self.eat(b'"') {
+            return Err(format!("expected string at byte {}", self.i));
+        }
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.b.get(self.i) else {
+                return Err("unterminated string".into());
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.b.get(self.i) else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(cp).ok_or(format!("invalid codepoint {cp:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 character starting here.
+                    let start = self.i - 1;
+                    let s = std::str::from_utf8(&self.b[start..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = s.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.i = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.b[self.i..].starts_with(b"true") {
+            self.i += 4;
+            Ok(true)
+        } else if self.b[self.i..].starts_with(b"false") {
+            self.i += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected bool at byte {}", self.i))
+        }
+    }
+
+    /// Parse a number token and convert to the field's concrete type —
+    /// `u64` fields round-trip exactly (no intermediate f64).
+    fn parse_num<N: std::str::FromStr>(&mut self, field: &str) -> Result<N, String> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
+        tok.parse()
+            .map_err(|_| format!("field {field}: bad number {tok:?}"))
+    }
+
+    fn parse_string_array(&mut self) -> Result<Vec<String>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_string()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(out);
+            }
+            self.expect(b',')?;
+        }
+    }
 }
 
 /// JSON array of results, one object per line.
@@ -222,6 +440,46 @@ pub fn run_spmv(
     ))
 }
 
+/// [`run_spmv`] under a resource [`Budget`]: fuel exhaustion, a missed
+/// deadline, or an allocation over the byte ceiling surfaces as a typed
+/// `AsapError::BudgetExceeded` — the run terminates at the next loop
+/// back-edge instead of running (or hanging) to completion.
+#[allow(clippy::too_many_arguments)]
+pub fn run_spmv_budgeted(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+    budget: &Budget,
+) -> Result<ExperimentResult, AsapError> {
+    let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
+    let ck = compile_spmv(&sparse, variant)?;
+    let x = x_vector(tri.ncols);
+    let mut machine = Machine::new(cfg, pf);
+    let y =
+        asap_core::run_spmv_f64_budgeted(&ck, &sparse, &x, &mut machine, ExecEngine::Auto, budget)?;
+    verify_close(&y, &tri.dense_spmv(&x), name)?;
+    let dram = machine.dram_bytes_total();
+    Ok(result_from(
+        name,
+        group,
+        unstructured,
+        "spmv",
+        variant,
+        hw_name,
+        1,
+        sparse.nnz(),
+        &cfg,
+        machine.counters(),
+        dram,
+        warning_strings(&ck),
+    ))
+}
+
 /// Single-threaded SpMM (`A = B·C`, `n_cols` dense columns).
 #[allow(clippy::too_many_arguments)]
 pub fn run_spmm(
@@ -252,6 +510,56 @@ pub fn run_spmm(
     let mut machine = Machine::new(cfg, pf);
     let a = asap_core::run_spmm_f64_with(&ck, &sparse, &c, &mut machine)?;
     // Spot-verify one column against the SpMV reference.
+    let col0: Vec<f64> = (0..tri.ncols).map(|j| c.as_f64()[j * n_cols]).collect();
+    let a0: Vec<f64> = (0..tri.nrows).map(|i| a.as_f64()[i * n_cols]).collect();
+    verify_close(&a0, &tri.dense_spmv(&col0), name)?;
+    let dram = machine.dram_bytes_total();
+    Ok(result_from(
+        name,
+        group,
+        unstructured,
+        "spmm",
+        variant,
+        hw_name,
+        1,
+        sparse.nnz(),
+        &cfg,
+        machine.counters(),
+        dram,
+        warning_strings(&ck),
+    ))
+}
+
+/// [`run_spmm`] under a resource [`Budget`] (see [`run_spmv_budgeted`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_spmm_budgeted(
+    tri: &Triplets,
+    name: &str,
+    group: &str,
+    unstructured: bool,
+    n_cols: usize,
+    variant: Variant,
+    pf: PrefetcherConfig,
+    hw_name: &str,
+    cfg: GracemontConfig,
+    budget: &Budget,
+) -> Result<ExperimentResult, AsapError> {
+    let sparse = SparseTensor::try_from_coo(&tri.try_to_coo_f64()?, Format::csr())?;
+    let spec = KernelSpec::spmm(ValueKind::F64);
+    let ck = compile_cached(
+        &spec,
+        sparse.format(),
+        sparse.index_width(),
+        &variant.strategy(),
+    )?;
+    let c = DenseTensor::from_f64(
+        vec![tri.ncols, n_cols],
+        (0..tri.ncols * n_cols)
+            .map(|i| 0.5 + (i % 17) as f64 * 0.0625)
+            .collect(),
+    );
+    let mut machine = Machine::new(cfg, pf);
+    let a = asap_core::run_spmm_f64_budgeted(&ck, &sparse, &c, &mut machine, budget)?;
     let col0: Vec<f64> = (0..tri.ncols).map(|j| c.as_f64()[j * n_cols]).collect();
     let a0: Vec<f64> = (0..tri.nrows).map(|i| a.as_f64()[i * n_cols]).collect();
     verify_close(&a0, &tri.dense_spmv(&col0), name)?;
@@ -764,6 +1072,78 @@ mod tests {
         let arr = results_to_json(&[r.clone(), r]);
         assert!(arr.starts_with("[\n"));
         assert!(arr.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_roundtrips_through_from_json() {
+        let tri = gen::erdos_renyi(512, 4, 2);
+        let mut r = run_spmv(
+            &tri,
+            "round\"trip",
+            "g",
+            true,
+            Variant::Asap { distance: 11 },
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+        )
+        .unwrap();
+        r.warnings.push("line1\nline2 \"quoted\"".into());
+        let back = ExperimentResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.to_json(), r.to_json(), "byte-identical roundtrip");
+        assert_eq!(back.throughput.to_bits(), r.throughput.to_bits());
+        assert_eq!(back.l2_mpki.to_bits(), r.l2_mpki.to_bits());
+        assert_eq!(back.warnings, r.warnings);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage_without_panicking() {
+        for bad in [
+            "",
+            "{",
+            "{\"matrix\":",
+            "{\"matrix\":\"x\"",
+            "{\"bogus\":1}",
+            "{\"cycles\":\"x\"}",
+            "[1,2]",
+            "{\"matrix\":\"a\"} trailing",
+        ] {
+            assert!(ExperimentResult::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn budgeted_run_traps_with_typed_error() {
+        let tri = gen::erdos_renyi(256, 4, 7);
+        let err = run_spmv_budgeted(
+            &tri,
+            "er",
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+            &Budget::unlimited().with_fuel(3),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "budget");
+        let v = err.budget_violation().expect("structured violation");
+        assert_eq!(v.limit, 3);
+        // A generous budget completes and still verifies the result.
+        let ok = run_spmv_budgeted(
+            &tri,
+            "er",
+            "g",
+            true,
+            Variant::Baseline,
+            PrefetcherConfig::all_off(),
+            "off",
+            cfg(),
+            &Budget::unlimited().with_fuel(100_000_000),
+        )
+        .unwrap();
+        assert!(ok.cycles > 0);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! the lock so concurrent bench-pool workers never serialize on the
 //! compiler. Two workers racing on the same key both compile and one
 //! result wins — wasted work, never wrong results.
+//!
+//! Poisoning: a bench worker that panics while holding the lock (the
+//! crash-isolated pool keeps the process alive) poisons the mutex. The
+//! cache recovers by discarding the whole map — it is a pure memoization
+//! layer, so dropping entries costs recompilation, never correctness —
+//! and counts the event in [`cache_stats_full`] as `poison_recoveries`.
 
 use crate::pipeline::{compile_with_width, CompiledKernel, PrefetchStrategy};
 use asap_ir::AsapError;
@@ -19,14 +25,31 @@ use asap_sparsifier::KernelSpec;
 use asap_tensor::{Format, IndexWidth};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 static CACHE: OnceLock<Mutex<HashMap<String, CompiledKernel>>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 fn map() -> &'static Mutex<HashMap<String, CompiledKernel>> {
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Lock the cache map, recovering from poisoning by clearing it: the
+/// interrupted writer may have left a partially-observed state, and a
+/// memoization cache is always safe to empty.
+fn lock_map() -> MutexGuard<'static, HashMap<String, CompiledKernel>> {
+    match map().lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            let mut g = poisoned.into_inner();
+            g.clear();
+            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            map().clear_poison();
+            g
+        }
+    }
 }
 
 fn key(
@@ -49,7 +72,7 @@ pub fn compile_cached(
 ) -> Result<CompiledKernel, AsapError> {
     let k = key(spec, format, width, strategy);
     {
-        let m = map().lock().unwrap_or_else(|p| p.into_inner());
+        let m = lock_map();
         if let Some(ck) = m.get(&k) {
             HITS.fetch_add(1, Ordering::Relaxed);
             return Ok(ck.clone());
@@ -57,10 +80,7 @@ pub fn compile_cached(
     }
     let ck = compile_with_width(spec, format, width, strategy)?;
     MISSES.fetch_add(1, Ordering::Relaxed);
-    map()
-        .lock()
-        .unwrap_or_else(|p| p.into_inner())
-        .insert(k, ck.clone());
+    lock_map().insert(k, ck.clone());
     Ok(ck)
 }
 
@@ -70,13 +90,37 @@ pub fn cache_stats() -> (u64, u64) {
     (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
 }
 
+/// Cache health counters since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    /// Times a poisoned cache lock was recovered by discarding the map
+    /// (a crash-isolated worker panicked while holding it).
+    pub poison_recoveries: u64,
+}
+
+/// As [`cache_stats`], including the poison-recovery count.
+pub fn cache_stats_full() -> CacheStats {
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        poison_recoveries: POISON_RECOVERIES.load(Ordering::Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use asap_tensor::ValueKind;
 
+    /// The cache is process-global state; the poison test clears it, so
+    /// the tests in this module must not interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn cache_hits_on_repeat_and_distinguishes_distances() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let spec = KernelSpec::spmv(ValueKind::F64);
         let (_, m0) = cache_stats();
         let a = compile_cached(
@@ -114,6 +158,7 @@ mod tests {
 
     #[test]
     fn errors_are_not_cached() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let mut spec = KernelSpec::spmv(ValueKind::F64);
         spec.output.map = vec![1];
         for _ in 0..2 {
@@ -126,5 +171,53 @@ mod tests {
             .unwrap_err();
             assert_eq!(err.kind(), "spec");
         }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_by_clearing_the_map() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        // Seed an entry so there is something to lose.
+        compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(19),
+        )
+        .unwrap();
+        // Poison the cache mutex: panic while holding the guard.
+        let poisoner = std::thread::spawn(|| {
+            let _guard = map().lock().unwrap();
+            panic!("worker dies holding the cache lock");
+        });
+        assert!(poisoner.join().is_err(), "the poisoner must panic");
+        assert!(map().is_poisoned());
+        let before = cache_stats_full();
+        // The next cached compile recovers: no panic, a fresh (cleared)
+        // map, the event counted, and the lock healthy again.
+        compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(19),
+        )
+        .unwrap();
+        let after = cache_stats_full();
+        assert!(
+            after.poison_recoveries > before.poison_recoveries,
+            "recovery must be counted: {after:?}"
+        );
+        assert!(after.misses > before.misses, "the cleared entry recompiles");
+        assert!(!map().is_poisoned(), "the lock is healed, not re-cleared");
+        // And a repeat is a plain hit on the recovered map.
+        let h0 = cache_stats_full().hits;
+        compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(19),
+        )
+        .unwrap();
+        assert!(cache_stats_full().hits > h0);
     }
 }

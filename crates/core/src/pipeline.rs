@@ -18,8 +18,8 @@
 use crate::aj::{ainsworth_jones, AjConfig};
 use crate::asap::{AsapConfig, AsapHook};
 use asap_ir::{
-    cse, dce, execute, fold, interpret, licm, lower, AsapError, BinOp, MemoryModel, Op, OpKind,
-    Program, Type,
+    cse, dce, execute_budgeted, fold, interpret_budgeted, licm, lower, AsapError, BinOp, Budget,
+    MemoryModel, Op, OpKind, Program, Type,
 };
 use asap_sparsifier::{bind, read_back, sparsify, KernelSpec, SparsifiedKernel};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
@@ -251,7 +251,27 @@ pub fn run_with_engine<M: MemoryModel + ?Sized>(
     model: &mut M,
     engine: ExecEngine,
 ) -> Result<(), AsapError> {
+    run_with_engine_budgeted(ck, sparse, dense, out, model, engine, &Budget::unlimited())
+}
+
+/// As [`run_with_engine`], governed by a resource [`Budget`]: the bytes
+/// ceiling is checked eagerly against the bound operand buffers, and the
+/// fuel/deadline/cancellation limits are threaded into whichever engine
+/// runs. Exceeding any limit yields [`AsapError::BudgetExceeded`] — never
+/// a hang, never a panic — at an observationally equivalent point in both
+/// engines.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_engine_budgeted<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    dense: &[&DenseTensor],
+    out: &mut DenseTensor,
+    model: &mut M,
+    engine: ExecEngine,
+    budget: &Budget,
+) -> Result<(), AsapError> {
     let mut bound = bind(&ck.kernel, sparse, dense, out)?;
+    budget.check_bytes(bound.bufs.bytes_allocated())?;
     let program = match engine {
         ExecEngine::TreeWalk => None,
         ExecEngine::Auto => ck.program.as_ref(),
@@ -260,8 +280,8 @@ pub fn run_with_engine<M: MemoryModel + ?Sized>(
         })?),
     };
     match program {
-        Some(p) => execute(p, &bound.args, &mut bound.bufs, model)?,
-        None => interpret(&ck.kernel.func, &bound.args, &mut bound.bufs, model)?,
+        Some(p) => execute_budgeted(p, &bound.args, &mut bound.bufs, model, budget)?,
+        None => interpret_budgeted(&ck.kernel.func, &bound.args, &mut bound.bufs, model, budget)?,
     };
     read_back(out, &bound)
 }
@@ -294,6 +314,18 @@ pub fn run_spmv_f64_engine<M: MemoryModel + ?Sized>(
     model: &mut M,
     engine: ExecEngine,
 ) -> Result<Vec<f64>, AsapError> {
+    run_spmv_f64_budgeted(ck, b, x, model, engine, &Budget::unlimited())
+}
+
+/// SpMV over f64 with an explicit engine, governed by `budget`.
+pub fn run_spmv_f64_budgeted<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    x: &[f64],
+    model: &mut M,
+    engine: ExecEngine,
+    budget: &Budget,
+) -> Result<Vec<f64>, AsapError> {
     let n = b.dims()[1];
     if x.len() != n {
         return Err(AsapError::binding(format!(
@@ -303,7 +335,7 @@ pub fn run_spmv_f64_engine<M: MemoryModel + ?Sized>(
     }
     let c = DenseTensor::from_f64(vec![n], x.to_vec());
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0]]);
-    run_with_engine(ck, b, &[&c], &mut a, model, engine)?;
+    run_with_engine_budgeted(ck, b, &[&c], &mut a, model, engine, budget)?;
     Ok(a.as_f64().to_vec())
 }
 
@@ -324,6 +356,17 @@ pub fn run_spmm_f64_with<M: MemoryModel + ?Sized>(
     c: &DenseTensor,
     model: &mut M,
 ) -> Result<DenseTensor, AsapError> {
+    run_spmm_f64_budgeted(ck, b, c, model, &Budget::unlimited())
+}
+
+/// SpMM over f64, governed by `budget`.
+pub fn run_spmm_f64_budgeted<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    b: &SparseTensor,
+    c: &DenseTensor,
+    model: &mut M,
+    budget: &Budget,
+) -> Result<DenseTensor, AsapError> {
     if c.dims.len() != 2 {
         return Err(AsapError::binding(format!(
             "dense operand must be a matrix, got rank {}",
@@ -331,7 +374,7 @@ pub fn run_spmm_f64_with<M: MemoryModel + ?Sized>(
         )));
     }
     let mut a = DenseTensor::zeros(ValueKind::F64, vec![b.dims()[0], c.dims[1]]);
-    run(ck, b, &[c], &mut a, model)?;
+    run_with_engine_budgeted(ck, b, &[c], &mut a, model, ExecEngine::Auto, budget)?;
     Ok(a)
 }
 
@@ -478,6 +521,43 @@ mod tests {
         let err = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(4)).unwrap_err();
         assert_eq!(err.kind(), "codegen");
         assert!(err.to_string().contains("rank"), "{err}");
+    }
+
+    #[test]
+    fn fuel_budget_traps_with_typed_error() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let x = [1.0, 10.0, 100.0];
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(4)).unwrap();
+        let mut model = asap_ir::NullModel;
+        // One unit of fuel cannot cover a 3-row SpMV: typed trap, not a
+        // hang or panic, with the governing loop's op location attached.
+        let budget = Budget::unlimited().with_fuel(1);
+        let err =
+            run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Auto, &budget).unwrap_err();
+        assert_eq!(err.kind(), "budget");
+        let v = err.budget_violation().expect("structured violation");
+        assert_eq!(v.limit, 1);
+        // Enough fuel and the identical call succeeds with the exact result.
+        let budget = Budget::unlimited().with_fuel(1_000);
+        let r = run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Auto, &budget).unwrap();
+        assert_eq!(r, vec![201.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn bytes_ceiling_is_checked_at_bind_time() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let x = [1.0, 10.0, 100.0];
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::none()).unwrap();
+        let mut model = asap_ir::NullModel;
+        let budget = Budget::unlimited().with_bytes(8);
+        let err =
+            run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Auto, &budget).unwrap_err();
+        assert_eq!(err.kind(), "budget");
+        let v = err.budget_violation().unwrap();
+        assert_eq!(v.resource, asap_ir::Resource::Bytes);
+        assert!(v.spent > 8, "spent reports the actual allocation");
     }
 
     #[test]

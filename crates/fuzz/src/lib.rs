@@ -22,9 +22,9 @@
 //! input yields agreeing results — and nothing panics.
 
 use asap_core::{
-    compile_with_width, run_spmv_f64_engine, CompiledKernel, ExecEngine, PrefetchStrategy,
+    compile_with_width, run_spmv_f64_budgeted, CompiledKernel, ExecEngine, PrefetchStrategy,
 };
-use asap_ir::TraceModel;
+use asap_ir::{Budget, BudgetError, TraceModel};
 use asap_matrices::{read_matrix_market, write_matrix_market, Triplets};
 use asap_sparsifier::KernelSpec;
 use asap_tensor::{Format, IndexWidth, SparseTensor, ValueKind};
@@ -160,13 +160,28 @@ pub fn engines_agree(
     sparse: &SparseTensor,
     x: &[f64],
 ) -> Result<EngineAgreement, String> {
+    engines_agree_budgeted(ck, sparse, x, &Budget::unlimited())
+}
+
+/// [`engines_agree`] under a resource [`Budget`]: both engines run with
+/// the same limits and must trap (or finish) at observationally
+/// equivalent points — same typed error with the same op location, after
+/// identical memory-event prefixes. Budgets passed here should be
+/// deterministic (fuel, not wall-clock deadlines) so the comparison is
+/// meaningful.
+pub fn engines_agree_budgeted(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    x: &[f64],
+    budget: &Budget,
+) -> Result<EngineAgreement, String> {
     if ck.program.is_none() {
         return Err("kernel has no lowered bytecode program".into());
     }
     let mut tw = TraceModel::new();
-    let rt = run_spmv_f64_engine(ck, sparse, x, &mut tw, ExecEngine::TreeWalk);
+    let rt = run_spmv_f64_budgeted(ck, sparse, x, &mut tw, ExecEngine::TreeWalk, budget);
     let mut bc = TraceModel::new();
-    let rb = run_spmv_f64_engine(ck, sparse, x, &mut bc, ExecEngine::Bytecode);
+    let rb = run_spmv_f64_budgeted(ck, sparse, x, &mut bc, ExecEngine::Bytecode, budget);
 
     // Event streams must match in both success and trap outcomes: the VM
     // must report the same model calls in the same order, up to and
@@ -355,6 +370,12 @@ pub fn corruptions(bytes: &[u8], rng: &mut Rng64) -> Vec<(String, Vec<u8>)> {
         };
         out.push(("wrong-entry-count".into(), surplus.join("\n").into_bytes()));
 
+        // Dimensions near usize::MAX: must die at the reader's size cap,
+        // not overflow downstream extent/reservation arithmetic.
+        let mut huge: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        huge[size_idx] = format!("{} {} 1", usize::MAX, usize::MAX >> 1);
+        out.push(("huge-dims".into(), huge.join("\n").into_bytes()));
+
         // Entry lines exist beyond this point: corrupt one of them.
         if size_idx + 1 < lines.len() {
             let entry_span = lines.len() - size_idx - 1;
@@ -448,6 +469,111 @@ pub fn fuzz_smoke(seed: u64, cases: usize) -> Result<(usize, usize), String> {
         corruption_must_error(&label, &corrupt)?;
     }
     Ok((verified, rejected))
+}
+
+/// Chaos mode: inject tiny fuel budgets into otherwise-valid runs and
+/// assert uniform governed degradation. For each case, every strategy
+/// (Baseline / ASaP / A&J) runs under the same budget on both engines;
+/// the contract is that each one
+///
+/// 1. traps (the budget is sized below the loop trip count — a run that
+///    completes means fuel accounting missed iterations),
+/// 2. traps *identically across engines* (checked by
+///    [`engines_agree_budgeted`]: same typed error, same op location,
+///    identical event prefix), and
+/// 3. degrades to the same structured `(resource, spent, limit)` triple
+///    as every other strategy — prefetch injection must not change
+///    where governance bites, only the op location may move.
+///
+/// Returns the number of cases that trapped cleanly, or the first
+/// violation. Budgets here are deterministic (fuel only): wall-clock
+/// deadlines would make the cross-engine comparison racy.
+pub fn fuzz_chaos(seed: u64, cases: usize) -> Result<usize, String> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let mut trapped = 0usize;
+
+    for case in 0..cases {
+        // A full diagonal plus random extras: after deduplication the
+        // matrix still has at least `n` entries and `n` populated rows,
+        // so every format's loop structure runs well past any fuel
+        // injected below.
+        let n = 24 + rng.usize_below(40);
+        let mut tri = Triplets::new(n, n);
+        for r in 0..n {
+            tri.push(r, r, 1.0 + r as f64);
+        }
+        for _ in 0..rng.usize_below(3 * n) {
+            tri.push(
+                rng.usize_below(n),
+                rng.usize_below(n),
+                rng.gen_range(-2.0..2.0),
+            );
+        }
+        let fmt = &formats[rng.usize_below(formats.len())];
+        let width = widths[rng.usize_below(widths.len())];
+        let distance = rng.gen_range(1..96usize);
+        let fuel = 1 + rng.usize_below(3) as u64;
+        let budget = Budget::unlimited().with_fuel(fuel);
+
+        let coo = tri
+            .try_to_coo_f64()
+            .map_err(|e| format!("case {case}: {e}"))?;
+        let mut sparse = SparseTensor::try_from_coo(&coo, fmt.clone())
+            .map_err(|e| format!("case {case}: {e}"))?;
+        sparse.set_index_width(width);
+        let x = dense_x(n);
+
+        let mut violation: Option<BudgetError> = None;
+        for strat in [
+            PrefetchStrategy::none(),
+            PrefetchStrategy::asap(distance),
+            PrefetchStrategy::aj(distance),
+        ] {
+            let label = strat.label();
+            let ck = compile_with_width(&spec, fmt, width, &strat)
+                .map_err(|e| format!("case {case} {fmt}/{label}: compile failed: {e}"))?;
+            match engines_agree_budgeted(&ck, &sparse, &x, &budget)
+                .map_err(|e| format!("case {case} {fmt}/{label}: {e}"))?
+            {
+                EngineAgreement::Trapped(_) => {}
+                EngineAgreement::Agreed { .. } => {
+                    return Err(format!(
+                        "case {case} {fmt}/{label}: fuel {fuel} on a {n}x{n} \
+                         matrix must trap, but the run completed"
+                    ))
+                }
+            }
+            // The display strings already matched across engines; now
+            // check the *structured* trap against the other strategies.
+            let err = run_spmv_f64_budgeted(
+                &ck,
+                &sparse,
+                &x,
+                &mut asap_ir::NullModel,
+                ExecEngine::Auto,
+                &budget,
+            )
+            .expect_err("the same budgeted run trapped above");
+            let v = err.budget_violation().ok_or_else(|| {
+                format!("case {case} {fmt}/{label}: trap is not a budget error: {err}")
+            })?;
+            match &violation {
+                None => violation = Some(v),
+                Some(prev) if *prev != v => {
+                    return Err(format!(
+                        "case {case} {fmt}/{label}: strategies degrade differently: \
+                         {prev} vs {v}"
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        trapped += 1;
+    }
+    Ok(trapped)
 }
 
 #[cfg(test)]
@@ -549,5 +675,35 @@ mod tests {
         assert!(verified > 0);
         // The degenerate set always contains rejectable inputs.
         assert!(rejected >= 2, "expected out-of-range cases to be rejected");
+    }
+
+    #[test]
+    fn budgeted_engines_trap_identically() {
+        let mut rng = Rng64::seed_from_u64(21);
+        let tri = random_triplets(&mut rng, 30, 150);
+        let coo = tri.try_to_coo_f64().unwrap();
+        let sparse = SparseTensor::try_from_coo(&coo, Format::csr()).unwrap();
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let ck = compile_with_width(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(8),
+        )
+        .unwrap();
+        let x = dense_x(tri.ncols);
+        let budget = Budget::unlimited().with_fuel(2);
+        match engines_agree_budgeted(&ck, &sparse, &x, &budget).unwrap() {
+            EngineAgreement::Trapped(msg) => {
+                assert!(msg.contains("fuel"), "trap must name the resource: {msg}")
+            }
+            EngineAgreement::Agreed { .. } => panic!("2 units of fuel cannot finish an SpMV"),
+        }
+    }
+
+    #[test]
+    fn chaos_pass_runs_clean() {
+        let trapped = fuzz_chaos(7, 6).unwrap();
+        assert_eq!(trapped, 6, "every chaos case must trap cleanly");
     }
 }

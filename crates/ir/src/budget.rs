@@ -1,0 +1,404 @@
+//! Resource governance: execution budgets and the per-run meter.
+//!
+//! A [`Budget`] bounds what one kernel run (or simulation) may consume:
+//!
+//! - **fuel** — a deterministic step limit, charged once per loop
+//!   iteration at the loop head (both engines charge at observationally
+//!   identical points, so a fuel trap is part of the engine-equivalence
+//!   contract);
+//! - **deadline** — a wall-clock bound, polled every
+//!   [`BudgetMeter::POLL_INTERVAL`] steps so the hot loop stays cheap;
+//! - **bytes** — an allocation ceiling checked when operands are bound
+//!   (the interpreter allocates nothing mid-run);
+//! - **cancellation** — a shared [`AtomicBool`] token polled alongside
+//!   the deadline; anything holding the token (a peer thread, the
+//!   simulator's cycle cap, a signal handler) can stop the run.
+//!
+//! Exceeding any of these yields a typed [`BudgetError`] — never a hang,
+//! never a panic. Fuel traps are deterministic and engine-equivalent;
+//! deadline and cancellation traps are inherently timing-dependent and
+//! are excluded from the differential oracles.
+//!
+//! The unlimited path is engineered to be near-free: fuel is a single
+//! decrement-and-branch against a `u64::MAX` sentinel, and the poll slot
+//! is skipped entirely when neither a deadline nor a token is installed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The fuel (loop-iteration) limit.
+    Fuel,
+    /// The wall-clock deadline.
+    Deadline,
+    /// The bytes-allocated ceiling (checked at operand binding).
+    Bytes,
+    /// The shared cancellation token was set by another party.
+    Cancelled,
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Resource::Fuel => "fuel",
+            Resource::Deadline => "deadline",
+            Resource::Bytes => "bytes",
+            Resource::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// A typed budget violation. `spent`/`limit` units depend on the
+/// resource: steps for fuel, milliseconds for deadlines, bytes for the
+/// allocation ceiling, steps-so-far (limit 0) for cancellation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    pub resource: Resource,
+    pub spent: u64,
+    pub limit: u64,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.resource {
+            Resource::Fuel => write!(
+                f,
+                "fuel exhausted: {} of {} steps used",
+                self.spent, self.limit
+            ),
+            Resource::Deadline => write!(
+                f,
+                "deadline exceeded: {} ms elapsed (limit {} ms)",
+                self.spent, self.limit
+            ),
+            Resource::Bytes => write!(
+                f,
+                "allocation ceiling exceeded: {} bytes bound (limit {})",
+                self.spent, self.limit
+            ),
+            Resource::Cancelled => {
+                write!(f, "execution cancelled after {} steps", self.spent)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Limits for one run. `Clone` shares the cancellation token (when one
+/// is installed), so clones handed to peer threads are cancelled
+/// together; the numeric limits are independent copies.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    fuel: Option<u64>,
+    deadline: Option<Instant>,
+    deadline_ms: u64,
+    bytes: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// No limits at all — the meter degenerates to a few register ops.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Limit the run to `steps` loop iterations (deterministic).
+    pub fn with_fuel(mut self, steps: u64) -> Budget {
+        self.fuel = Some(steps);
+        self
+    }
+
+    /// Set a wall-clock deadline `ms` milliseconds from now.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Budget {
+        self.deadline = Some(Instant::now() + Duration::from_millis(ms));
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Cap the bytes bound into interpreter buffers for one run.
+    pub fn with_bytes(mut self, bytes: u64) -> Budget {
+        self.bytes = Some(bytes);
+        self
+    }
+
+    /// Install a fresh cancellation token (replacing any existing one).
+    /// Clones made afterwards share it.
+    pub fn with_cancellation(mut self) -> Budget {
+        self.cancel = Some(Arc::new(AtomicBool::new(false)));
+        self
+    }
+
+    /// Attach an externally owned cancellation token (e.g. the
+    /// simulator's cycle cap, or a token shared across worker threads).
+    pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Budget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The shared token, when one is installed.
+    pub fn cancel_token(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.clone()
+    }
+
+    /// Request cancellation: every run metering this budget (or a clone
+    /// of it) traps at its next poll. No-op without a token.
+    pub fn cancel(&self) {
+        if let Some(c) = &self.cancel {
+            c.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has been set.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Acquire))
+    }
+
+    /// True when no limit of any kind is installed.
+    pub fn is_unlimited(&self) -> bool {
+        self.fuel.is_none()
+            && self.deadline.is_none()
+            && self.bytes.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// The fuel limit, when set.
+    pub fn fuel_limit(&self) -> Option<u64> {
+        self.fuel
+    }
+
+    /// The bytes ceiling, when set.
+    pub fn bytes_limit(&self) -> Option<u64> {
+        self.bytes
+    }
+
+    /// Check `used` bytes against the allocation ceiling. Called by the
+    /// pipeline after operand binding (nothing allocates mid-run).
+    pub fn check_bytes(&self, used: u64) -> Result<(), BudgetError> {
+        match self.bytes {
+            Some(limit) if used > limit => Err(BudgetError {
+                resource: Resource::Bytes,
+                spent: used,
+                limit,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// A fresh per-run meter over this budget's limits.
+    pub fn meter(&self) -> BudgetMeter {
+        let needs_poll = self.deadline.is_some() || self.cancel.is_some();
+        BudgetMeter {
+            fuel_left: self.fuel.unwrap_or(u64::MAX),
+            fuel_limit: self.fuel.unwrap_or(u64::MAX),
+            ticks: 0,
+            deadline: self.deadline.map(|d| (d, self.deadline_ms)),
+            started: if needs_poll {
+                Some(Instant::now())
+            } else {
+                None
+            },
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// Per-run consumption state derived from a [`Budget`]. One meter per
+/// engine invocation; both engines charge [`BudgetMeter::tick`] at
+/// observationally identical points (loop-head entries), so the tick
+/// count — and therefore any fuel trap — is engine-invariant.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    /// Remaining fuel; `u64::MAX` sentinel when unlimited, so the hot
+    /// check is one decrement and branch.
+    fuel_left: u64,
+    fuel_limit: u64,
+    ticks: u64,
+    deadline: Option<(Instant, u64)>,
+    started: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Default for BudgetMeter {
+    fn default() -> BudgetMeter {
+        BudgetMeter::unlimited()
+    }
+}
+
+impl BudgetMeter {
+    /// Deadline/cancellation poll period, in ticks (a power of two).
+    pub const POLL_INTERVAL: u64 = 1024;
+
+    /// A meter with no limits and no poll work — what the unbudgeted
+    /// entry points use.
+    pub fn unlimited() -> BudgetMeter {
+        BudgetMeter {
+            fuel_left: u64::MAX,
+            fuel_limit: u64::MAX,
+            ticks: 0,
+            deadline: None,
+            started: None,
+            cancel: None,
+        }
+    }
+
+    /// Charge one step (one loop-iteration entry). Errors when fuel runs
+    /// out immediately; deadline and cancellation are polled every
+    /// [`Self::POLL_INTERVAL`] ticks.
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), BudgetError> {
+        if self.fuel_left == 0 {
+            return Err(BudgetError {
+                resource: Resource::Fuel,
+                spent: self.fuel_limit,
+                limit: self.fuel_limit,
+            });
+        }
+        self.fuel_left -= 1;
+        self.ticks += 1;
+        if self.ticks & (Self::POLL_INTERVAL - 1) == 0 {
+            self.poll()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Steps charged so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    #[cold]
+    fn poll(&self) -> Result<(), BudgetError> {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Acquire) {
+                return Err(BudgetError {
+                    resource: Resource::Cancelled,
+                    spent: self.ticks,
+                    limit: 0,
+                });
+            }
+        }
+        if let Some((d, ms)) = self.deadline {
+            if Instant::now() >= d {
+                let spent = self
+                    .started
+                    .map(|s| s.elapsed().as_millis() as u64)
+                    .unwrap_or(ms);
+                return Err(BudgetError {
+                    resource: Resource::Deadline,
+                    spent,
+                    limit: ms,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_trips() {
+        let mut m = Budget::unlimited().meter();
+        for _ in 0..100_000 {
+            m.tick().unwrap();
+        }
+        assert_eq!(m.ticks(), 100_000);
+    }
+
+    #[test]
+    fn fuel_trips_exactly_at_the_limit() {
+        let mut m = Budget::unlimited().with_fuel(10).meter();
+        for _ in 0..10 {
+            m.tick().unwrap();
+        }
+        let e = m.tick().unwrap_err();
+        assert_eq!(
+            e,
+            BudgetError {
+                resource: Resource::Fuel,
+                spent: 10,
+                limit: 10
+            }
+        );
+        // Still trapped on every further tick (no wraparound).
+        assert!(m.tick().is_err());
+    }
+
+    #[test]
+    fn zero_fuel_trips_on_first_tick() {
+        let mut m = Budget::unlimited().with_fuel(0).meter();
+        let e = m.tick().unwrap_err();
+        assert_eq!(e.resource, Resource::Fuel);
+        assert_eq!((e.spent, e.limit), (0, 0));
+    }
+
+    #[test]
+    fn expired_deadline_trips_at_the_poll_boundary() {
+        let mut m = Budget::unlimited().with_deadline_ms(0).meter();
+        let mut trapped = None;
+        for i in 1..=2 * BudgetMeter::POLL_INTERVAL {
+            if let Err(e) = m.tick() {
+                trapped = Some((i, e));
+                break;
+            }
+        }
+        let (at, e) = trapped.expect("an already-expired deadline must trap");
+        assert_eq!(at, BudgetMeter::POLL_INTERVAL, "polled on the boundary");
+        assert_eq!(e.resource, Resource::Deadline);
+        assert_eq!(e.limit, 0);
+    }
+
+    #[test]
+    fn cancellation_is_shared_across_clones() {
+        let b = Budget::unlimited().with_cancellation();
+        let peer = b.clone();
+        let mut m = peer.meter();
+        m.tick().unwrap();
+        b.cancel();
+        assert!(peer.is_cancelled());
+        let mut trapped = None;
+        for _ in 0..2 * BudgetMeter::POLL_INTERVAL {
+            if let Err(e) = m.tick() {
+                trapped = Some(e);
+                break;
+            }
+        }
+        let e = trapped.expect("cancellation must trap within one poll interval");
+        assert_eq!(e.resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn bytes_ceiling_is_checked_eagerly() {
+        let b = Budget::unlimited().with_bytes(1000);
+        assert!(b.check_bytes(1000).is_ok());
+        let e = b.check_bytes(1001).unwrap_err();
+        assert_eq!(e.resource, Resource::Bytes);
+        assert_eq!((e.spent, e.limit), (1001, 1000));
+        assert!(Budget::unlimited().check_bytes(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn errors_display_their_units() {
+        let fuel = BudgetError {
+            resource: Resource::Fuel,
+            spent: 5,
+            limit: 5,
+        };
+        assert_eq!(fuel.to_string(), "fuel exhausted: 5 of 5 steps used");
+        let dl = BudgetError {
+            resource: Resource::Deadline,
+            spent: 12,
+            limit: 10,
+        };
+        assert!(dl.to_string().contains("deadline exceeded"));
+    }
+}

@@ -163,6 +163,9 @@ pub enum Instr {
         body: u32,
         exit: u32,
         copies: Vec<(u32, u32)>,
+        /// The `scf.for` op, for budget-trap locations (matching the
+        /// tree-walker, whose fuel trap is located at the loop op).
+        pc: OpId,
     },
     /// Fused dot-product step: two independent loads feeding a
     /// multiply–accumulate. Both loads' slots are written, both demand
@@ -244,7 +247,13 @@ pub enum Instr {
     },
     /// Fused loop-counter compare+branch: if `iv < hi` retire the
     /// bookkeeping instruction and fall through, else jump to `exit`.
-    ForHead { iv: u32, hi: u32, exit: u32 },
+    /// `pc` is the `scf.for` op, for budget-trap locations.
+    ForHead {
+        iv: u32,
+        hi: u32,
+        exit: u32,
+        pc: OpId,
+    },
     /// Fused loop-counter increment + back-edge.
     ForStep { iv: u32, step: u32, head: u32 },
     /// `scf.condition`: retire, then exit the `while` when false.
@@ -332,6 +341,9 @@ pub struct SpmvLoop {
     pub ds_pc: OpId,
     // Loop-carried copies of the back edge.
     pub copies: Vec<(u32, u32)>,
+    /// The `scf.for` op this superinstruction replaces, for budget-trap
+    /// locations (same as the tree-walker's fuel-trap location).
+    pub pc: OpId,
 }
 
 /// A lowered function, ready for [`crate::execute`].
@@ -393,6 +405,9 @@ enum TermCtx<'a> {
         /// target (the bound re-check is fused into the back edge).
         body: u32,
         exit: u32,
+        /// The `scf.for` op id, threaded into the back edge's budget
+        /// charge point.
+        pc: OpId,
     },
     /// `scf.while` before-region: `condition` exits or forwards to the
     /// after-region arguments.
@@ -753,7 +768,7 @@ impl Lowerer {
             return;
         }
         let fused = match &self.instrs[head_pos..] {
-            [Instr::ForHead { iv, hi, exit }, Instr::LoadCast {
+            [Instr::ForHead { iv, hi, exit, pc }, Instr::LoadCast {
                 dst: lc_dst,
                 mem: lc_mem,
                 idx: lc_idx,
@@ -821,6 +836,7 @@ impl Lowerer {
                 body: _,
                 exit: lb_exit,
                 copies,
+                pc: _,
             }] if lb_iv == iv && lb_hi == hi && lb_exit == exit => {
                 // The executor re-reads `iv`/`hi`/`step` per iteration,
                 // assuming the body leaves them alone — true for SSA
@@ -904,6 +920,7 @@ impl Lowerer {
                         ds_dst: *ds_dst,
                         ds_pc: *ds_pc,
                         copies: copies.clone(),
+                        pc: *pc,
                     }))
                 }
             }
@@ -1137,6 +1154,7 @@ impl Lowerer {
                         iv: iv.0,
                         hi: hi.0,
                         exit,
+                        pc: op.id,
                     });
                     self.bind(body_l);
                     self.lower_region(
@@ -1149,6 +1167,7 @@ impl Lowerer {
                             head,
                             body: body_l,
                             exit,
+                            pc: op.id,
                         },
                     )?;
                     let head_pos = self.labels[head as usize] as usize;
@@ -1220,6 +1239,7 @@ impl Lowerer {
                             head,
                             body,
                             exit,
+                            pc,
                         } => {
                             // Hazard-free loop-carried copies fuse with the
                             // bookkeeping retire and the back edge; a swap
@@ -1250,6 +1270,7 @@ impl Lowerer {
                                     body: *body,
                                     exit: *exit,
                                     copies: pairs,
+                                    pc: *pc,
                                 });
                             }
                         }

@@ -13,7 +13,9 @@
 //! carry a 1-based line number, interpreter traps carry the static op id
 //! of the faulting op (see [`InterpError::At`](crate::interp::InterpError)).
 
+use crate::budget::{BudgetError, Resource};
 use crate::interp::InterpError;
+use crate::ops::OpId;
 use crate::verify::VerifyError;
 use std::fmt;
 
@@ -42,6 +44,17 @@ pub enum AsapError {
     Mismatch { message: String },
     /// An OS-level I/O failure (file system, not format).
     Io { message: String },
+    /// A resource budget (fuel, wall-clock deadline, allocation ceiling,
+    /// or cancellation) was exceeded. `loc` is the governing loop op when
+    /// the trap fired inside a run; `None` for binding-time ceilings.
+    /// This is governance, not failure: a budget trap is the expected,
+    /// typed outcome of running hostile input under limits.
+    BudgetExceeded {
+        resource: Resource,
+        spent: u64,
+        limit: u64,
+        loc: Option<OpId>,
+    },
 }
 
 impl AsapError {
@@ -94,6 +107,34 @@ impl AsapError {
         }
     }
 
+    pub fn budget(e: BudgetError, loc: Option<OpId>) -> AsapError {
+        AsapError::BudgetExceeded {
+            resource: e.resource,
+            spent: e.spent,
+            limit: e.limit,
+            loc,
+        }
+    }
+
+    /// The violation as a [`BudgetError`], when this is a budget trap.
+    /// The chaos-mode fuzz oracle uses this to assert every strategy
+    /// degrades to the same `(resource, spent, limit)` triple.
+    pub fn budget_violation(&self) -> Option<BudgetError> {
+        match self {
+            AsapError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                ..
+            } => Some(BudgetError {
+                resource: *resource,
+                spent: *spent,
+                limit: *limit,
+            }),
+            _ => None,
+        }
+    }
+
     /// Short stable kind tag, for reports and skip summaries.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -106,6 +147,7 @@ impl AsapError {
             AsapError::Interp { .. } => "interp",
             AsapError::Mismatch { .. } => "mismatch",
             AsapError::Io { .. } => "io",
+            AsapError::BudgetExceeded { .. } => "budget",
         }
     }
 }
@@ -124,6 +166,22 @@ impl fmt::Display for AsapError {
             AsapError::Interp { error } => write!(f, "interpreter trap: {error}"),
             AsapError::Mismatch { message } => write!(f, "result mismatch: {message}"),
             AsapError::Io { message } => write!(f, "io error: {message}"),
+            AsapError::BudgetExceeded {
+                resource,
+                spent,
+                limit,
+                loc,
+            } => {
+                let b = BudgetError {
+                    resource: *resource,
+                    spent: *spent,
+                    limit: *limit,
+                };
+                match loc {
+                    Some(op) => write!(f, "budget exceeded at {op}: {b}"),
+                    None => write!(f, "budget exceeded: {b}"),
+                }
+            }
         }
     }
 }
@@ -139,7 +197,19 @@ impl std::error::Error for AsapError {
 
 impl From<InterpError> for AsapError {
     fn from(error: InterpError) -> AsapError {
+        // Budget traps surface as the dedicated variant so callers (the
+        // bench harness, chaos fuzzing, CI smoke) can distinguish
+        // governed termination from genuine interpreter faults.
+        if let InterpError::Budget(b) = error.root() {
+            return AsapError::budget(b.clone(), error.op());
+        }
         AsapError::Interp { error }
+    }
+}
+
+impl From<BudgetError> for AsapError {
+    fn from(e: BudgetError) -> AsapError {
+        AsapError::budget(e, None)
     }
 }
 

@@ -13,6 +13,7 @@
 //! iteration. Op-id attachment to trap errors happens only on the error
 //! path.
 
+use crate::budget::{Budget, BudgetMeter};
 use crate::bytecode::{Instr, Program};
 use crate::interp::{eval_binary, Buffers, InterpError, MemoryModel, V};
 use crate::types::Type;
@@ -44,17 +45,37 @@ impl MemBinding {
 /// Run a lowered program with the given arguments against `bufs`,
 /// reporting events to `model`. The generic parameter allows both
 /// monomorphized models and `&mut dyn MemoryModel`.
-// The fused multiply-accumulate arms pick `p + o` vs `o + p` by the
-// original operand order: f64 addition is commutative in value but not
-// in NaN-payload propagation, and equivalence with the tree-walker is
-// bit-exact.
-#[allow(clippy::if_same_then_else)]
 pub fn execute<M: MemoryModel + ?Sized>(
     prog: &Program,
     args: &[V],
     bufs: &mut Buffers,
     model: &mut M,
 ) -> Result<Vec<V>, InterpError> {
+    execute_budgeted(prog, args, bufs, model, &Budget::unlimited())
+}
+
+/// [`execute`] under a resource [`Budget`].
+///
+/// Fuel is charged once per *entered* loop iteration and once per
+/// `scf.while` condition evaluation — the same points, in the same
+/// event-stream positions (before the iteration's bookkeeping retire),
+/// as [`crate::interpret_budgeted`]. A trap therefore fires at an
+/// observationally equivalent point in both engines: same
+/// [`InterpError::Budget`] payload, same op location, same
+/// [`MemoryModel`] event prefix.
+// The fused multiply-accumulate arms pick `p + o` vs `o + p` by the
+// original operand order: f64 addition is commutative in value but not
+// in NaN-payload propagation, and equivalence with the tree-walker is
+// bit-exact.
+#[allow(clippy::if_same_then_else)]
+pub fn execute_budgeted<M: MemoryModel + ?Sized>(
+    prog: &Program,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut M,
+    budget: &Budget,
+) -> Result<Vec<V>, InterpError> {
+    let mut meter = budget.meter();
     if args.len() != prog.param_slots.len() {
         return Err(InterpError::BadArgs(format!(
             "expected {} arguments, got {}",
@@ -305,6 +326,7 @@ pub fn execute<M: MemoryModel + ?Sized>(
                 body,
                 exit,
                 copies,
+                pc,
             } => {
                 // Yield's bookkeeping retire, then the loop-carried copies.
                 model.retire(1);
@@ -319,6 +341,9 @@ pub fn execute<M: MemoryModel + ?Sized>(
                 slots[*iv as usize] = V::Index(next);
                 let h = slots[*hi as usize].as_index()?;
                 if next < h {
+                    // Fuel for the next iteration, charged before its
+                    // head retire — same point as the tree-walker.
+                    meter.tick().map_err(|e| InterpError::Budget(e).at(*pc))?;
                     model.retire(1);
                     ip = *body as usize;
                 } else {
@@ -415,7 +440,7 @@ pub fn execute<M: MemoryModel + ?Sized>(
                 slots[*dst as usize] = V::F64(s);
             }
             Instr::SpmvLoop(d) => {
-                ip = run_spmv_loop(d, &mut slots, &mems, bufs, model)? as usize;
+                ip = run_spmv_loop(d, &mut slots, &mems, bufs, model, &mut meter)? as usize;
             }
             Instr::Jump { target } => ip = *target as usize,
             Instr::IfBr {
@@ -443,10 +468,14 @@ pub fn execute<M: MemoryModel + ?Sized>(
                 }
                 slots[*iv as usize] = V::Index(l);
             }
-            Instr::ForHead { iv, hi, exit } => {
+            Instr::ForHead { iv, hi, exit, pc } => {
                 let i = slots[*iv as usize].as_index()?;
                 let h = slots[*hi as usize].as_index()?;
                 if i < h {
+                    // One fuel unit per entered iteration, charged
+                    // before the head retire so a trap leaves the same
+                    // event prefix as the tree-walker.
+                    meter.tick().map_err(|e| InterpError::Budget(e).at(*pc))?;
                     // Loop bookkeeping: induction increment + compare/branch.
                     model.retire(1);
                 } else {
@@ -460,6 +489,9 @@ pub fn execute<M: MemoryModel + ?Sized>(
                 ip = *head as usize;
             }
             Instr::CondBr { cond, exit, pc } => {
+                // Every `scf.while` condition evaluation costs one fuel
+                // unit, matching the tree-walker's ConditionOp charge.
+                meter.tick().map_err(|e| InterpError::Budget(e).at(*pc))?;
                 model.retire(1);
                 if !slots[*cond as usize].as_bool().map_err(|e| e.at(*pc))? {
                     ip = *exit as usize;
@@ -539,6 +571,7 @@ fn run_spmv_loop<M: MemoryModel + ?Sized>(
     mems: &[MemBinding],
     bufs: &Buffers,
     model: &mut M,
+    meter: &mut BudgetMeter,
 ) -> Result<u32, InterpError> {
     use crate::ops::{BinOp, CmpPred};
 
@@ -625,6 +658,12 @@ fn run_spmv_loop<M: MemoryModel + ?Sized>(
         let h = slots[d.hi as usize].as_index()?;
         let oob = |i: usize, len: usize, pc| InterpError::OutOfBounds { index: i, len }.at(pc);
         while i < h {
+            // Fuel first: one unit per entered iteration, before any
+            // model call, so the fast path traps on the same event
+            // prefix as the generic path and the tree-walker. This is
+            // the only budget cost on the typed-slice path — a
+            // decrement and a branch per iteration.
+            meter.tick().map_err(|e| InterpError::Budget(e).at(d.pc))?;
             // ForHead retire, then the five body sub-ops, then the back
             // edge — every model call in the same order and with the
             // same arguments as the generic path below.
@@ -688,6 +727,7 @@ fn run_spmv_loop<M: MemoryModel + ?Sized>(
         if i >= h {
             return Ok(d.exit);
         }
+        meter.tick().map_err(|e| InterpError::Budget(e).at(d.pc))?;
         model.retire(1);
         // load crd[j]; widen to index.
         let (id, base, eb) = mems[d.lc_mem as usize]
@@ -825,9 +865,10 @@ fn cast_value(v: V, to: &Type) -> Result<V, InterpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::Resource;
     use crate::builder::FuncBuilder;
     use crate::bytecode::lower;
-    use crate::interp::{interpret, BufferData, CountingModel, NullModel};
+    use crate::interp::{interpret_budgeted, BufferData, CountingModel, NullModel};
     use crate::trace::TraceModel;
     use crate::verify::verify;
     use crate::Function;
@@ -835,14 +876,26 @@ mod tests {
     /// Run a function under both engines on clones of the same buffers and
     /// assert bit-identical results, buffers, and event streams.
     fn assert_equivalent(f: &Function, args: &[V], bufs: &Buffers) {
+        let _ = assert_equivalent_budgeted(f, args, bufs, &Budget::unlimited());
+    }
+
+    /// [`assert_equivalent`] under an explicit budget: both engines must
+    /// agree on success/trap, payload, op location, event stream, retire
+    /// count, and final buffer contents.
+    fn assert_equivalent_budgeted(
+        f: &Function,
+        args: &[V],
+        bufs: &Buffers,
+        budget: &Budget,
+    ) -> Result<Vec<V>, InterpError> {
         verify(f).expect("test functions verify");
         let prog = lower(f).expect("test functions lower");
         let mut b1 = bufs.clone();
         let mut b2 = bufs.clone();
         let mut t1 = TraceModel::new();
         let mut t2 = TraceModel::new();
-        let r1 = interpret(f, args, &mut b1, &mut t1);
-        let r2 = execute(&prog, args, &mut b2, &mut t2);
+        let r1 = interpret_budgeted(f, args, &mut b1, &mut t1, budget);
+        let r2 = execute_budgeted(&prog, args, &mut b2, &mut t2, budget);
         match (&r1, &r2) {
             (Ok(v1), Ok(v2)) => assert_eq!(v1, v2, "return values differ"),
             (Err(e1), Err(e2)) => assert_eq!(e1, e2, "traps differ"),
@@ -853,6 +906,7 @@ mod tests {
         for id in 0..bufs.len() as u32 {
             assert_eq!(b1.get(id).data, b2.get(id).data, "buffer {id} differs");
         }
+        r2
     }
 
     #[test]
@@ -976,6 +1030,110 @@ mod tests {
         let bufs = Buffers::new();
         assert_equivalent(&f, &[V::Index(10), V::Index(0)], &bufs);
         assert_equivalent(&f, &[V::F64(1.5), V::Index(1)], &bufs);
+    }
+
+    /// A dot-product loop over `n` elements: the canonical fuel consumer.
+    fn dot_fn() -> (Function, Buffers) {
+        let mut b = FuncBuilder::new("dot");
+        let x = b.arg(Type::memref(Type::F64));
+        let y = b.arg(Type::memref(Type::F64));
+        let out = b.arg(Type::memref(Type::F64));
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        let zero = b.const_f64(0.0);
+        let acc = b.for_loop(c0, n, c1, &[zero], |b, i, args| {
+            let xv = b.load(x, i);
+            let yv = b.load(y, i);
+            let p = b.mulf(xv, yv);
+            vec![b.addf(args[0], p)]
+        });
+        b.store(acc[0], out, c0);
+        let f = b.finish();
+        let mut bufs = Buffers::new();
+        bufs.add(BufferData::F64(vec![1.0; 64]));
+        bufs.add(BufferData::F64(vec![2.0; 64]));
+        bufs.add(BufferData::F64(vec![0.0]));
+        (f, bufs)
+    }
+
+    #[test]
+    fn fuel_trap_is_equivalent_in_both_engines() {
+        let (f, bufs) = dot_fn();
+        let args = [V::Mem(0), V::Mem(1), V::Mem(2), V::Index(64)];
+        // 64 iterations, 10 units of fuel: both engines must trap with
+        // the identical error (payload + For-op location) after the
+        // identical event prefix.
+        let err = assert_equivalent_budgeted(&f, &args, &bufs, &Budget::unlimited().with_fuel(10))
+            .unwrap_err();
+        let root = err.root().clone();
+        match root {
+            InterpError::Budget(b) => {
+                assert_eq!(b.resource, Resource::Fuel);
+                assert_eq!(b.spent, 10);
+                assert_eq!(b.limit, 10);
+            }
+            other => panic!("expected a fuel trap, got {other:?}"),
+        }
+        assert!(err.op().is_some(), "budget trap carries the loop op id");
+    }
+
+    #[test]
+    fn exact_fuel_completes_in_both_engines() {
+        let (f, bufs) = dot_fn();
+        let args = [V::Mem(0), V::Mem(1), V::Mem(2), V::Index(64)];
+        // One unit per entered iteration, so exactly 64 suffices.
+        assert_equivalent_budgeted(&f, &args, &bufs, &Budget::unlimited().with_fuel(64))
+            .expect("64 fuel covers 64 iterations");
+        // ... and 63 does not.
+        assert_equivalent_budgeted(&f, &args, &bufs, &Budget::unlimited().with_fuel(63))
+            .unwrap_err();
+    }
+
+    #[test]
+    fn while_loop_fuel_charges_per_condition_check() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("count");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.while_loop(
+            &[c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0]]),
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        let f = b.finish();
+        let bufs = Buffers::new();
+        // 8 entered iterations + the final false check = 9 evaluations.
+        assert_equivalent_budgeted(&f, &[V::Index(8)], &bufs, &Budget::unlimited().with_fuel(9))
+            .expect("9 condition checks fit in 9 fuel");
+        assert_equivalent_budgeted(&f, &[V::Index(8)], &bufs, &Budget::unlimited().with_fuel(8))
+            .unwrap_err();
+    }
+
+    #[test]
+    fn cancellation_traps_both_engines_identically() {
+        use crate::ops::CmpPred;
+        let mut b = FuncBuilder::new("count");
+        let n = b.arg(Type::Index);
+        let c0 = b.const_index(0);
+        let c1 = b.const_index(1);
+        b.while_loop(
+            &[c0],
+            |b, args| (b.cmpi(CmpPred::Ult, args[0], n), vec![args[0]]),
+            |b, args| vec![b.addi(args[0], c1)],
+        );
+        let f = b.finish();
+        let bufs = Buffers::new();
+        let budget = Budget::unlimited().with_cancellation();
+        budget.cancel();
+        // 5001 condition checks cross the poll interval, so the shared
+        // token is observed and both engines trap identically.
+        let err = assert_equivalent_budgeted(&f, &[V::Index(5000)], &bufs, &budget).unwrap_err();
+        match err.root() {
+            InterpError::Budget(b) => assert_eq!(b.resource, Resource::Cancelled),
+            other => panic!("expected a cancellation trap, got {other:?}"),
+        }
     }
 
     #[test]

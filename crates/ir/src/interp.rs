@@ -6,6 +6,7 @@
 //! and timing is obtained by attaching the `asap-sim` machine model as the
 //! memory model. A [`NullModel`] is provided for pure functional runs.
 
+use crate::budget::{Budget, BudgetError, BudgetMeter};
 use crate::ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
 use crate::types::{Literal, Type};
 
@@ -230,6 +231,15 @@ impl Buffers {
     pub fn is_empty(&self) -> bool {
         self.bufs.is_empty()
     }
+
+    /// Total payload bytes bound into this arena (excluding alignment
+    /// padding and guard gaps) — what a [`Budget`] bytes ceiling meters.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.bufs
+            .iter()
+            .map(|b| b.data.len() as u64 * b.data.elem_bytes() as u64)
+            .sum()
+    }
 }
 
 /// Kinds of memory access reported to the model.
@@ -320,6 +330,10 @@ pub enum InterpError {
     DivisionByZero,
     /// `scf.for` with step 0 (would never terminate).
     ZeroStep,
+    /// A resource budget (fuel, deadline, cancellation) ran out. Both
+    /// engines charge the meter at observationally identical points, so
+    /// a fuel trap carries the same location in tree-walk and bytecode.
+    Budget(BudgetError),
     /// An error located at a specific static op, attached by the
     /// interpreter's region walk. `cause` is never itself an `At`.
     At {
@@ -368,6 +382,7 @@ impl std::fmt::Display for InterpError {
             InterpError::BadArgs(m) => write!(f, "bad arguments: {m}"),
             InterpError::DivisionByZero => write!(f, "division by zero"),
             InterpError::ZeroStep => write!(f, "scf.for step must be positive"),
+            InterpError::Budget(b) => write!(f, "budget exceeded: {b}"),
             InterpError::At { op, cause } => write!(f, "{op}: {cause}"),
         }
     }
@@ -391,6 +406,22 @@ pub fn interpret<M: MemoryModel + ?Sized>(
     args: &[V],
     bufs: &mut Buffers,
     model: &mut M,
+) -> Result<Vec<V>, InterpError> {
+    interpret_budgeted(func, args, bufs, model, &Budget::unlimited())
+}
+
+/// [`interpret`] under a resource [`Budget`]: fuel is charged once per
+/// loop-iteration entry (`scf.for` body entries and `scf.while`
+/// condition evaluations), the deadline/cancellation token is polled
+/// every [`BudgetMeter::POLL_INTERVAL`] charges. Exceeding the budget
+/// traps with [`InterpError::Budget`] located at the governing loop op —
+/// the same observable point at which the bytecode engine traps.
+pub fn interpret_budgeted<M: MemoryModel + ?Sized>(
+    func: &Function,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut M,
+    budget: &Budget,
 ) -> Result<Vec<V>, InterpError> {
     if args.len() != func.params.len() {
         return Err(InterpError::BadArgs(format!(
@@ -425,7 +456,12 @@ pub fn interpret<M: MemoryModel + ?Sized>(
             (b.base_addr, b.data.elem_bytes())
         })
         .collect();
-    let mut interp = Interp { bufs, model, addrs };
+    let mut interp = Interp {
+        bufs,
+        model,
+        addrs,
+        meter: budget.meter(),
+    };
     match interp.region(&func.body, &mut env)? {
         Flow::Return(vs) => Ok(vs),
         _ => Err(InterpError::TypeMismatch(
@@ -439,6 +475,8 @@ struct Interp<'a, M: MemoryModel + ?Sized> {
     model: &'a mut M,
     /// Per-buffer `(base_addr, elem_bytes)`, hoisted out of the access path.
     addrs: Vec<(u64, u8)>,
+    /// Per-run resource meter, charged at loop-head entries.
+    meter: BudgetMeter,
 }
 
 impl<'a, M: MemoryModel + ?Sized> Interp<'a, M> {
@@ -592,6 +630,10 @@ impl<'a, M: MemoryModel + ?Sized> Interp<'a, M> {
                 let mut carried: Vec<V> = inits.iter().map(|&v| g(env, v)).collect();
                 let mut i = lo;
                 while i < hi {
+                    // Fuel is charged at the loop head, before the
+                    // bookkeeping retire — the same observable point as
+                    // the VM's ForHead/LoopBack charge.
+                    self.meter.tick().map_err(InterpError::Budget)?;
                     // Loop bookkeeping: induction increment + compare/branch.
                     self.model.retire(1);
                     env[iv.index()] = Some(V::Index(i));
@@ -667,6 +709,10 @@ impl<'a, M: MemoryModel + ?Sized> Interp<'a, M> {
                 return Ok(Some(Flow::Yield(vs.iter().map(|&v| g(env, v)).collect())));
             }
             OpKind::ConditionOp { cond, args } => {
+                // One `scf.while` iteration = one condition evaluation:
+                // fuel is charged here (before the retire), matching the
+                // VM's CondBr charge point.
+                self.meter.tick().map_err(InterpError::Budget)?;
                 self.model.retire(1);
                 let c = g(env, *cond).as_bool()?;
                 return Ok(Some(Flow::Condition(

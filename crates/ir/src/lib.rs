@@ -14,6 +14,7 @@
 //! - transforms: [`licm`] (needed so ASaP's hoistable bound chain really is
 //!   hoisted, as the paper assumes) and [`dce`].
 
+pub mod budget;
 pub mod builder;
 pub mod bytecode;
 pub mod cse;
@@ -28,15 +29,16 @@ pub mod transforms;
 pub mod types;
 pub mod verify;
 
+pub use budget::{Budget, BudgetError, BudgetMeter, Resource};
 pub use builder::FuncBuilder;
 pub use bytecode::{lower, Instr, LowerError, Program};
 pub use cse::cse;
 pub use diag::AsapError;
-pub use exec::execute;
+pub use exec::{execute, execute_budgeted};
 pub use fold::fold;
 pub use interp::{
-    interpret, AccessKind, Buffer, BufferData, Buffers, CountingModel, InterpError, MemoryModel,
-    NullModel, V,
+    interpret, interpret_budgeted, AccessKind, Buffer, BufferData, Buffers, CountingModel,
+    InterpError, MemoryModel, NullModel, V,
 };
 pub use ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
 pub use printer::print_function;

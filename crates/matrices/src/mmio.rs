@@ -191,11 +191,27 @@ pub fn read_matrix_market(r: impl BufRead) -> Result<Triplets, MmioError> {
         });
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
-    if nnz > nrows.saturating_mul(ncols) {
+    // Cap the declared sizes well below usize::MAX so downstream
+    // arithmetic (dense extents, buffer reservations, nnz * mirror for
+    // symmetric reads) can never overflow. No real matrix comes within
+    // orders of magnitude of 2^40 rows; a size line up there is corrupt
+    // or hostile, and a saturating product would let a lying nnz through.
+    const DIM_CAP: usize = 1 << 40;
+    if nrows > DIM_CAP || ncols > DIM_CAP || nnz > DIM_CAP {
         return Err(MmioError::BadSizeLine {
             line: size_lineno,
-            message: format!("{nnz} entries cannot fit a {nrows}x{ncols} matrix"),
+            message: format!("{nrows}x{ncols} with {nnz} entries exceeds the {DIM_CAP} size cap"),
         });
+    }
+    // Under the cap the product can still exceed usize on 64-bit
+    // (2^40 * 2^40); an overflowed product trivially holds any capped nnz.
+    if let Some(cells) = nrows.checked_mul(ncols) {
+        if nnz > cells {
+            return Err(MmioError::BadSizeLine {
+                line: size_lineno,
+                message: format!("{nnz} entries cannot fit a {nrows}x{ncols} matrix"),
+            });
+        }
     }
 
     let mut t = Triplets::new(nrows, ncols);
@@ -427,6 +443,82 @@ mod tests {
             read_matrix_market(src.as_bytes()).unwrap_err(),
             MmioError::BadSizeLine { .. }
         ));
+    }
+
+    #[test]
+    fn parses_empty_matrix() {
+        // nnz = 0 is a legal MatrixMarket file: no entry lines at all.
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 0\n";
+        let t = read_matrix_market(src.as_bytes()).unwrap();
+        assert_eq!((t.nrows, t.ncols, t.nnz()), (2, 2, 0));
+    }
+
+    #[test]
+    fn parses_degenerate_zero_extent_shapes() {
+        // 0xN and Nx0 shapes can hold no entries but are valid shapes.
+        for src in [
+            "%%MatrixMarket matrix coordinate real general\n0 5 0\n",
+            "%%MatrixMarket matrix coordinate real general\n5 0 0\n",
+            "%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+        ] {
+            let t = read_matrix_market(src.as_bytes()).unwrap();
+            assert_eq!(t.nnz(), 0, "{src}");
+        }
+        // ...and any claimed entry in one is a size-line lie.
+        let src = "%%MatrixMarket matrix coordinate real general\n0 5 1\n1 1 1.0\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, MmioError::BadSizeLine { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_dimensions_with_typed_error() {
+        let max = usize::MAX;
+        // Dims near usize::MAX parse as integers but must die at the cap
+        // guard — not overflow a product or reserve absurd buffers.
+        for src in [
+            format!("%%MatrixMarket matrix coordinate real general\n{max} {max} 1\n1 1 1.0\n"),
+            format!("%%MatrixMarket matrix coordinate real general\n{max} 2 1\n1 1 1.0\n"),
+            format!("%%MatrixMarket matrix coordinate real general\n2 2 {max}\n1 1 1.0\n"),
+            // Just past the cap on a single axis.
+            format!(
+                "%%MatrixMarket matrix coordinate real general\n{} 2 1\n1 1 1.0\n",
+                (1usize << 40) + 1
+            ),
+        ] {
+            let err = read_matrix_market(src.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, MmioError::BadSizeLine { line: 2, .. }),
+                "{src}: {err}"
+            );
+            assert!(err.to_string().contains("cap"), "{err}");
+        }
+        // A value too big for usize entirely is a parse failure on the
+        // field, same typed variant, same line number.
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   99999999999999999999999999 2 1\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, MmioError::BadSizeLine { line: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_final_entry_line() {
+        // The last entry line is cut mid-record (row+col, no value).
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   2 2 2\n1 1 1.0\n2 2\n";
+        let err = read_matrix_market(src.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            MmioError::BadEntry {
+                line: 4,
+                message: "missing value".into()
+            }
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::mshr::{Alloc, Mshr};
 use crate::multicore::ClockSync;
 use crate::tlb::Tlb;
 use asap_ir::{MemoryModel, OpId};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The shared part of the hierarchy: L3 and the DRAM controller (plus the
@@ -150,6 +151,10 @@ pub struct Machine {
     ctr: Counters,
     /// Multi-core conservative clock sync (core id, shared clocks).
     sync: Option<(Arc<ClockSync>, usize)>,
+    /// Simulated-cycle ceiling: when local cycles pass the cap, the
+    /// shared cancellation token is raised so the governing
+    /// [`asap_ir::Budget`] traps the run at its next poll.
+    cycle_cap: Option<(u64, Arc<AtomicBool>)>,
 }
 
 impl Machine {
@@ -182,8 +187,29 @@ impl Machine {
             instr_rem: 0,
             ctr: Counters::default(),
             sync: None,
+            cycle_cap: None,
             cfg,
             pf,
+        }
+    }
+
+    /// Govern this core by a simulated-cycle ceiling. The machine cannot
+    /// trap out of a [`MemoryModel`] callback itself (the trait is
+    /// infallible by design — timing never changes semantics), so
+    /// crossing the cap raises `cancel` instead; the interpreter's
+    /// budget meter observes the token and stops the run with a typed
+    /// `Cancelled` trap. With a shared token, one core crossing its cap
+    /// winds down every core of a multi-core run.
+    pub fn set_cycle_cap(&mut self, max_cycles: u64, cancel: Arc<AtomicBool>) {
+        self.cycle_cap = Some((max_cycles, cancel));
+    }
+
+    #[inline]
+    fn check_cycle_cap(&self) {
+        if let Some((cap, tok)) = &self.cycle_cap {
+            if self.cycles > *cap {
+                tok.store(true, Ordering::Relaxed);
+            }
         }
     }
 
@@ -229,6 +255,7 @@ impl Machine {
         self.instr_rem += n;
         self.cycles += self.instr_rem / self.cfg.ipc_base;
         self.instr_rem %= self.cfg.ipc_base;
+        self.check_cycle_cap();
         if let Some((s, id)) = &self.sync {
             s.publish(*id, self.cycles);
         }
@@ -242,6 +269,7 @@ impl Machine {
             let stall = (available - hidden).div_ceil(self.cfg.mlp_width);
             self.cycles += stall;
             self.ctr.stall_cycles += stall;
+            self.check_cycle_cap();
         }
     }
 
@@ -515,6 +543,7 @@ impl MemoryModel for Machine {
     fn retire_fp(&mut self, n: u64) {
         self.ctr.instructions += n;
         self.cycles += n * self.cfg.fp_op_cycles;
+        self.check_cycle_cap();
         if let Some((s, id)) = &self.sync {
             s.publish(*id, self.cycles);
         }
@@ -739,6 +768,32 @@ mod tests {
         let base = run(crate::tlb::TlbConfig::base_pages());
         assert!(base.tlb_misses > 100 * huge.tlb_misses.max(1));
         assert!(base.cycles > huge.cycles, "walks must cost time");
+    }
+
+    #[test]
+    fn cycle_cap_raises_the_cancel_token() {
+        let mut m = machine();
+        let tok = Arc::new(AtomicBool::new(false));
+        m.set_cycle_cap(1_000, tok.clone());
+        // Cheap work stays under the cap.
+        m.retire(300);
+        assert!(!tok.load(Ordering::Relaxed));
+        // DRAM misses blow past it.
+        for i in 0..64u64 {
+            m.load(OpId(1), 0x700000 + i * 4096, 8);
+        }
+        assert!(m.cycles() > 1_000);
+        assert!(tok.load(Ordering::Relaxed), "cap crossing must cancel");
+    }
+
+    #[test]
+    fn uncapped_machine_never_touches_the_token() {
+        let mut m = machine();
+        for i in 0..64u64 {
+            m.load(OpId(1), 0x700000 + i * 4096, 8);
+        }
+        // No cap configured: nothing to observe, nothing raised.
+        assert!(m.counters().cycles > 0);
     }
 
     #[test]

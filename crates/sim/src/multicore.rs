@@ -11,7 +11,7 @@
 use crate::config::{GracemontConfig, PrefetcherConfig};
 use crate::counters::Counters;
 use crate::machine::{Machine, Uncore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Conservative clock synchronization for multi-core runs.
@@ -21,10 +21,18 @@ use std::sync::Arc;
 /// cycles ahead of the slowest active core. This bounds cross-core clock
 /// skew so that shared-resource timestamps (DRAM slots, L3 fills) are
 /// meaningful, without requiring lockstep execution.
+///
+/// An optional cancellation token (shared with the run's
+/// [`asap_ir::Budget`]) keeps the wait loop from wedging: when a peer
+/// core traps out of its run — budget exhaustion, interpreter fault —
+/// it may never advance its clock again, and without the token every
+/// other core would spin in [`wait_turn`](ClockSync::wait_turn)
+/// forever.
 #[derive(Debug)]
 pub struct ClockSync {
     clocks: Vec<AtomicU64>,
     quantum: u64,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl ClockSync {
@@ -33,10 +41,28 @@ impl ClockSync {
     pub const DEFAULT_QUANTUM: u64 = 256;
 
     pub fn new(n_cores: usize, quantum: u64) -> Arc<ClockSync> {
+        ClockSync::with_cancel(n_cores, quantum, None)
+    }
+
+    /// A clock sync whose wait loop observes `cancel`: once the token is
+    /// set, waiting cores stop gating on their peers and return.
+    pub fn with_cancel(
+        n_cores: usize,
+        quantum: u64,
+        cancel: Option<Arc<AtomicBool>>,
+    ) -> Arc<ClockSync> {
         Arc::new(ClockSync {
             clocks: (0..n_cores).map(|_| AtomicU64::new(0)).collect(),
             quantum,
+            cancel,
         })
+    }
+
+    /// Whether the run has been cancelled (always false without a token).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     /// Publish core `id`'s current clock (cheap; called on retire).
@@ -45,7 +71,7 @@ impl ClockSync {
     }
 
     /// Block (yielding) until core `id` at `now` is within the skew bound
-    /// of the slowest active core.
+    /// of the slowest active core, or the run is cancelled.
     pub fn wait_turn(&self, id: usize, now: u64) {
         self.publish(id, now);
         loop {
@@ -58,6 +84,11 @@ impl ClockSync {
                 .min()
                 .unwrap_or(u64::MAX);
             if now <= min_other.saturating_add(self.quantum) {
+                return;
+            }
+            // A trapped peer never advances its clock; the token is the
+            // only exit from this loop in that case.
+            if self.is_cancelled() {
                 return;
             }
             std::thread::yield_now();
@@ -97,9 +128,27 @@ pub fn run_parallel<F>(
 where
     F: Fn(usize, &mut Machine) + Sync,
 {
+    run_parallel_governed(cfg, pf, n_threads, None, work)
+}
+
+/// [`run_parallel`] with an optional cancellation token shared between
+/// the clock sync and the caller's [`asap_ir::Budget`] clones. When one
+/// core trips its budget (or an external deadline fires), the token
+/// releases every peer's `wait_turn` spin so the run winds down instead
+/// of deadlocking on the trapped core's frozen clock.
+pub fn run_parallel_governed<F>(
+    cfg: GracemontConfig,
+    pf: PrefetcherConfig,
+    n_threads: usize,
+    cancel: Option<Arc<AtomicBool>>,
+    work: F,
+) -> MulticoreResult
+where
+    F: Fn(usize, &mut Machine) + Sync,
+{
     assert!(n_threads >= 1);
     let uncore = Uncore::shared(&cfg, &pf);
-    let sync = ClockSync::new(n_threads, ClockSync::DEFAULT_QUANTUM);
+    let sync = ClockSync::with_cancel(n_threads, ClockSync::DEFAULT_QUANTUM, cancel);
     let per_core: Vec<Counters> = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n_threads);
         for tid in 0..n_threads {
@@ -200,6 +249,31 @@ mod tests {
             total_dram < 6000,
             "shared L3 should absorb reuse: {total_dram}"
         );
+    }
+
+    #[test]
+    fn cancelled_wait_turn_returns_despite_skew() {
+        let cancel = Arc::new(AtomicBool::new(true));
+        let sync = ClockSync::with_cancel(2, 256, Some(cancel));
+        // Core 1 is 100k cycles ahead of core 0 (still at 0): without the
+        // token this would spin until core 0 advanced. It must return.
+        sync.wait_turn(1, 100_000);
+        assert!(sync.is_cancelled());
+    }
+
+    #[test]
+    fn governed_run_with_untripped_token_matches_plain_run() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let r = run_parallel_governed(
+            cfg(),
+            PrefetcherConfig::all_off(),
+            2,
+            Some(cancel.clone()),
+            stream_work,
+        );
+        assert_eq!(r.per_core.len(), 2);
+        assert_eq!(r.aggregate.loads, 2 * 16_384);
+        assert!(!cancel.load(Ordering::Relaxed));
     }
 
     #[test]

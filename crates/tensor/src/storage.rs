@@ -271,6 +271,15 @@ impl SparseTensor {
         &self.levels[l]
     }
 
+    /// Mutable access to a level's raw `pos`/`crd` buffers. This exists
+    /// for external deserializers and adversarial tests that need to
+    /// build storages [`check_invariants`](SparseTensor::check_invariants)
+    /// should *reject*; anything that mutates through it must re-validate
+    /// before handing the tensor to the sparsifier.
+    pub fn level_mut(&mut self, l: usize) -> &mut LevelStorage {
+        &mut self.levels[l]
+    }
+
     pub fn index_width(&self) -> IndexWidth {
         self.index_width
     }

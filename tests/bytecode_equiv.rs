@@ -15,10 +15,11 @@
 //! failure here reproduces there), and every matrix of the synthetic
 //! collection the paper figures sweep.
 
+use asap::ir::{Budget, Resource};
 use asap::tensor::{Format, IndexWidth, SparseTensor, ValueKind};
 use asap_bench::PAPER_DISTANCE;
 use asap_core::{compile_with_width, PrefetchStrategy};
-use asap_fuzz::{engines_agree, random_triplets, EngineAgreement, Rng64};
+use asap_fuzz::{engines_agree, engines_agree_budgeted, random_triplets, EngineAgreement, Rng64};
 use asap_matrices::{synthetic_collection, SizeClass};
 use asap_sparsifier::KernelSpec;
 
@@ -85,6 +86,81 @@ fn sixty_four_random_cases_agree_across_engines() {
     }
     // 64 cases × 3 strategies, every one bit-identical across engines.
     assert_eq!(verified, 64 * 3);
+}
+
+/// 36 fixed-seed budgeted cases (acceptance gate: ≥32): a fuel budget of
+/// 1000 — far below the total loop-entry count of these matrices — must
+/// trap BOTH engines at observationally equivalent points. The engine
+/// comparison requires identical memory-event prefixes and the same
+/// typed error display; the structured violation must name `Fuel` with
+/// `spent == limit == 1000`. Formats, index widths, and all three
+/// prefetch strategies rotate across seeds.
+#[test]
+fn budgeted_traps_are_equivalent_across_engines() {
+    const FUEL: u64 = 1000;
+    let formats = [Format::csr(), Format::coo(), Format::dcsr()];
+    let widths = [IndexWidth::U32, IndexWidth::U64];
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let mut verified = 0usize;
+    for seed in 0..36u64 {
+        let mut rng = Rng64::seed_from_u64(0xbd6e7 * (seed + 1));
+        let n = 1200 + (seed as usize * 37) % 400;
+        // Full diagonal guarantees nnz >= n >> FUEL loop entries for
+        // every format; random extras vary the shape per seed.
+        let mut tri = asap_matrices::Triplets::new(n, n);
+        for r in 0..n {
+            tri.push(r, r, 1.0 + (r % 9) as f64);
+        }
+        for _ in 0..n / 2 {
+            tri.push(rng.usize_below(n), rng.usize_below(n), 0.5);
+        }
+        let fmt = &formats[(seed % 3) as usize];
+        let width = widths[(seed % 2) as usize];
+        let distance = 1 + (seed as usize * 11) % 90;
+        let strat = match seed % 3 {
+            0 => PrefetchStrategy::none(),
+            1 => PrefetchStrategy::asap(distance),
+            _ => PrefetchStrategy::aj(distance),
+        };
+        let coo = tri
+            .try_to_coo_f64()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let mut sparse = SparseTensor::try_from_coo(&coo, fmt.clone())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sparse.set_index_width(width);
+        let x = dense_x(tri.ncols);
+        let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &strat)
+            .unwrap_or_else(|e| panic!("seed {seed}: compile failed: {e}"));
+        let budget = Budget::unlimited().with_fuel(FUEL);
+        match engines_agree_budgeted(&ck, &sparse, &x, &budget)
+            .unwrap_or_else(|e| panic!("seed {seed}: engines diverge under budget: {e}"))
+        {
+            EngineAgreement::Trapped(msg) => {
+                assert!(msg.contains("fuel"), "seed {seed}: unexpected trap: {msg}")
+            }
+            EngineAgreement::Agreed { .. } => {
+                panic!("seed {seed}: fuel {FUEL} on a {n}x{n} matrix must trap")
+            }
+        }
+        // The same run through the public entry point carries the
+        // structured violation.
+        let err = asap_core::run_spmv_f64_budgeted(
+            &ck,
+            &sparse,
+            &x,
+            &mut asap::ir::NullModel,
+            asap_core::ExecEngine::Auto,
+            &budget,
+        )
+        .expect_err("budgeted run must trap");
+        let v = err
+            .budget_violation()
+            .unwrap_or_else(|| panic!("seed {seed}: no structured violation in {err}"));
+        assert_eq!(v.resource, Resource::Fuel, "seed {seed}");
+        assert_eq!((v.spent, v.limit), (FUEL, FUEL), "seed {seed}");
+        verified += 1;
+    }
+    assert!(verified >= 32, "only {verified} budgeted cases verified");
 }
 
 /// Every matrix in the synthetic collection the paper figures sweep, in
