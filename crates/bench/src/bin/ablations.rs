@@ -45,6 +45,7 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    opts.init_trace();
     let n = match opts.size {
         asap_matrices::SizeClass::Tiny => 8_000,
         asap_matrices::SizeClass::Small => 40_000,
@@ -109,5 +110,6 @@ fn real_main() -> Result<(), AsapError> {
         println!("{label:<18} {:>12.0} nnz/ms", thrpt(c));
     }
     println!("paper: huge pages for all operands to curb TLB pressure from irregular accesses");
+    opts.finish_trace("ablations")?;
     Ok(())
 }

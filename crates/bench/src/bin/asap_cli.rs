@@ -7,17 +7,25 @@
 //!          --hw optimized --distance 45
 //! asap_cli --gen rmat:16:8 --kernel spmm --variant aj
 //! asap_cli --sweep path/to/dir --variant asap   # skip-and-report sweep
+//! asap_cli profile --gen er:4096:8              # span tree + per-site table
 //! ```
 
 use asap_bench::{
     run_spmm, run_spmm_budgeted, run_spmv, run_spmv_budgeted, sweep_spmv_dir, Variant,
     SPMM_COLS_F64,
 };
-use asap_ir::Budget;
+use asap_ir::{Budget, ExecProfile, TraceModel};
 use asap_matrices::{gen, read_matrix_market, Triplets};
-use asap_sim::{GracemontConfig, PrefetcherConfig};
+use asap_obs::TeeModel;
+use asap_sim::{GracemontConfig, Machine, PrefetcherConfig, Rates};
+use asap_sparsifier::KernelSpec;
+use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
 use std::io::BufReader;
 use std::path::PathBuf;
+
+/// Cap on recorded trace events in profile mode: bounds memory on huge
+/// matrices while keeping the effectiveness window representative.
+const PROFILE_TRACE_EVENTS: usize = 2_000_000;
 
 enum Input {
     Matrix(Triplets, String),
@@ -40,6 +48,9 @@ fn usage() -> ! {
          [--kernel spmv|spmm] [--variant baseline|asap|aj] \
          [--distance N] [--hw default|optimized|off] [--paper-caches] \
          [--fuel N] [--deadline-ms N]\n\
+         \x20      asap_cli profile (--matrix FILE.mtx | --gen KIND:ARGS) \
+         [--kernel spmv|spmm] [--variant baseline|asap|aj] [--distance N] \
+         [--hw default|optimized|off] [--trace-out PATH.jsonl]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -173,7 +184,233 @@ fn parse_args() -> Args {
     }
 }
 
+/// `asap_cli profile`: run one matrix with the full observability stack
+/// on — span recorder, metrics registry, trace-based prefetch
+/// effectiveness, and the VM's per-opcode execution profile — and print
+/// the lot. `--trace-out` additionally dumps the JSONL trace.
+fn profile_main(args: Vec<String>) {
+    // Enable the recorder before any instrumented work (matrix parse,
+    // compile, execution) so the span tree covers every stage.
+    asap_obs::reset_all();
+    asap_obs::set_enabled(true);
+
+    let mut input: Option<(Triplets, String)> = None;
+    let mut kernel = "spmv".to_string();
+    let mut variant_name = "asap".to_string();
+    let mut distance = 45usize;
+    let mut hw_name = "optimized".to_string();
+    let mut paper_caches = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--matrix" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                let span = asap_obs::span_with("parse.matrix", || vec![("matrix", path.clone())]);
+                let f = std::fs::File::open(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot open {path}: {e}");
+                    std::process::exit(1);
+                });
+                let mut t = read_matrix_market(BufReader::new(f)).unwrap_or_else(|e| {
+                    eprintln!("cannot parse {path}: {e}");
+                    std::process::exit(1);
+                });
+                devalue_binary(&mut t);
+                span.attr("nnz", t.nnz());
+                input = Some((t, path));
+            }
+            "--gen" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let span = asap_obs::span_with("parse.matrix", || vec![("matrix", spec.clone())]);
+                let (n, t) = parse_gen(&spec);
+                span.attr("nnz", t.nnz());
+                input = Some((t, n));
+            }
+            "--kernel" => kernel = it.next().unwrap_or_else(|| usage()),
+            "--variant" => variant_name = it.next().unwrap_or_else(|| usage()),
+            "--distance" => {
+                distance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--hw" => hw_name = it.next().unwrap_or_else(|| usage()),
+            "--paper-caches" => paper_caches = true,
+            "--trace-out" => trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let (tri, name) = input.unwrap_or_else(|| usage());
+    let variant = match variant_name.as_str() {
+        "baseline" => Variant::Baseline,
+        "asap" => Variant::Asap { distance },
+        "aj" => Variant::AinsworthJones { distance },
+        _ => usage(),
+    };
+    let hw = match hw_name.as_str() {
+        "default" => PrefetcherConfig::hw_default(),
+        "optimized" if kernel == "spmm" => PrefetcherConfig::optimized_spmm(),
+        "optimized" => PrefetcherConfig::optimized_spmv(),
+        "off" => PrefetcherConfig::all_off(),
+        _ => usage(),
+    };
+    let cfg = if paper_caches {
+        GracemontConfig::paper()
+    } else {
+        GracemontConfig::scaled()
+    };
+
+    let die = |stage: &str, e: asap_ir::AsapError| -> ! {
+        eprintln!("{stage} failed [{}]: {e}", e.kind());
+        std::process::exit(1);
+    };
+
+    println!(
+        "matrix {} : {}x{}, {} nnz",
+        name,
+        tri.nrows,
+        tri.ncols,
+        tri.nnz()
+    );
+    let coo = tri.try_to_coo_f64().unwrap_or_else(|e| die("convert", e));
+    let sparse =
+        SparseTensor::try_from_coo(&coo, Format::csr()).unwrap_or_else(|e| die("convert", e));
+    let spec = match kernel.as_str() {
+        "spmv" => KernelSpec::spmv(ValueKind::F64),
+        "spmm" => KernelSpec::spmm(ValueKind::F64),
+        _ => usage(),
+    };
+    let ck = asap_core::compile_cached(
+        &spec,
+        sparse.format(),
+        sparse.index_width(),
+        &variant.strategy(),
+    )
+    .unwrap_or_else(|e| die("compile", e));
+    for w in &ck.warnings {
+        eprintln!("warning: {w}");
+    }
+
+    // One execution feeds both views: the simulator's timing counters
+    // and the trace the effectiveness analyzer joins against.
+    let mut machine = Machine::new(cfg, hw);
+    let mut trace = TraceModel::with_capacity_limit(PROFILE_TRACE_EVENTS);
+    let x: Vec<f64> = (0..tri.ncols)
+        .map(|i| 0.25 + (i % 31) as f64 * 0.125)
+        .collect();
+    let dense_c = DenseTensor::from_f64(
+        vec![tri.ncols, SPMM_COLS_F64],
+        (0..tri.ncols * SPMM_COLS_F64)
+            .map(|i| 0.5 + (i % 13) as f64 * 0.25)
+            .collect(),
+    );
+    {
+        let mut tee = TeeModel::new(&mut machine, &mut trace);
+        match kernel.as_str() {
+            "spmv" => {
+                asap_core::run_spmv_f64_with(&ck, &sparse, &x, &mut tee)
+                    .map(|_| ())
+                    .unwrap_or_else(|e| die("run", e));
+            }
+            _ => {
+                asap_core::run_spmm_f64_with(&ck, &sparse, &dense_c, &mut tee)
+                    .map(|_| ())
+                    .unwrap_or_else(|e| die("run", e));
+            }
+        }
+    }
+    let counters = machine.counters();
+    let eff = asap_obs::analyze_with_counters(&trace, &counters);
+    let labels = asap_obs::site_labels(&ck.kernel);
+
+    // Per-opcode VM profile: a second bytecode run (NullModel — the
+    // timing view already exists) with the PROFILE monomorphization on.
+    let mut vm_profile = ExecProfile::new();
+    let mut profiled = false;
+    if ck.program.is_some() {
+        let mut null = asap_ir::NullModel;
+        let outcome = match kernel.as_str() {
+            "spmv" => {
+                let cx = DenseTensor::from_f64(vec![tri.ncols], x.clone());
+                let mut out = DenseTensor::zeros(ValueKind::F64, vec![tri.nrows]);
+                asap_core::run_profiled(&ck, &sparse, &[&cx], &mut out, &mut null, &mut vm_profile)
+            }
+            _ => {
+                let mut out = DenseTensor::zeros(ValueKind::F64, vec![tri.nrows, SPMM_COLS_F64]);
+                asap_core::run_profiled(
+                    &ck,
+                    &sparse,
+                    &[&dense_c],
+                    &mut out,
+                    &mut null,
+                    &mut vm_profile,
+                )
+            }
+        };
+        match outcome {
+            Ok(()) => profiled = true,
+            Err(e) => eprintln!("vm profile skipped [{}]: {e}", e.kind()),
+        }
+    }
+
+    asap_obs::set_enabled(false);
+    let spans = asap_obs::snapshot_spans();
+
+    println!("\n# span tree (wall-clock)");
+    print!("{}", asap_obs::render_span_tree_timed(&spans));
+    let metrics = asap_obs::metrics_snapshot();
+    println!("\n# metrics");
+    print!("{}", asap_obs::render_metrics(&metrics));
+    if profiled {
+        println!("\n# VM opcode profile (bytecode engine)");
+        print!("{}", vm_profile.render());
+    } else {
+        println!("\n# VM opcode profile: kernel has no lowered program (tree-walk only)");
+    }
+    println!("\n# prefetch effectiveness (per injection site)");
+    print!("{}", asap_obs::render_site_table(&eff, &labels));
+    let rates = Rates::of(&counters).with_sw_pf_effectiveness(
+        eff.total_useful(),
+        eff.total_issued(),
+        eff.covered_loads,
+        eff.demand_loads,
+    );
+    println!("sw pf accuracy : {:.1}%", 100.0 * rates.sw_pf_accuracy);
+    println!("sw pf coverage : {:.1}%", 100.0 * rates.sw_pf_coverage);
+    println!(
+        "cycles {} / instructions {} (IPC {:.2})",
+        counters.cycles, counters.instructions, rates.ipc
+    );
+
+    if let Some(path) = trace_out {
+        let manifest = asap_obs::RunManifest::new("asap_cli profile")
+            .with("matrix", &name)
+            .with("kernel", &kernel)
+            .with("variant", variant.label())
+            .with("hw", &hw_name)
+            .with("distance", distance);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match asap_obs::write_jsonl(&path, &manifest, &spans, &metrics, Some(&eff)) {
+            Ok(()) => eprintln!("wrote trace {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
+    {
+        let mut args = std::env::args().skip(1).peekable();
+        if args.peek().map(String::as_str) == Some("profile") {
+            args.next();
+            profile_main(args.collect());
+            return;
+        }
+    }
     let a = parse_args();
     let cfg = if a.paper_caches {
         GracemontConfig::paper()

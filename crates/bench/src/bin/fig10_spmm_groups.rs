@@ -22,6 +22,7 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    opts.init_trace();
     let ckpt = opts
         .checkpoint("fig10")
         .map_err(|e| AsapError::io(e.to_string()))?;
@@ -120,6 +121,7 @@ fn real_main() -> Result<(), AsapError> {
     }
     println!();
     println!("paper reference: Selected ~1.28, Others ~1.02");
-    opts.save(&results)?;
+    opts.save("fig10", &results)?;
+    opts.finish_trace("fig10")?;
     Ok(())
 }

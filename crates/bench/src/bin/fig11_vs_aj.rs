@@ -25,6 +25,7 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    opts.init_trace();
     let ckpt = opts
         .checkpoint("fig11")
         .map_err(|e| AsapError::io(e.to_string()))?;
@@ -162,6 +163,7 @@ fn real_main() -> Result<(), AsapError> {
     }
     println!();
     println!("paper reference: Selected asap/aj ~1.38; optimized helps aj only ~1.02x");
-    opts.save(&results)?;
+    opts.save("fig11", &results)?;
+    opts.finish_trace("fig11")?;
     Ok(())
 }

@@ -21,6 +21,7 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    opts.init_trace();
     let cfg = GracemontConfig::scaled();
     let pf = PrefetcherConfig::optimized_spmv();
 
@@ -99,6 +100,7 @@ fn real_main() -> Result<(), AsapError> {
     println!();
     println!("paper reference: ASaP above baseline throughout; peak gain (~28%) at 3 threads;");
     println!("ASaP's AI slightly left of baseline's (extra prefetch traffic).");
-    opts.save(&results)?;
+    opts.save("fig12", &results)?;
+    opts.finish_trace("fig12")?;
     Ok(())
 }

@@ -24,6 +24,7 @@ fn main() {
 
 fn real_main() -> Result<(), AsapError> {
     let opts = Options::from_args();
+    opts.init_trace();
     let ckpt = opts
         .checkpoint("fig7")
         .map_err(|e| AsapError::io(e.to_string()))?;
@@ -154,6 +155,7 @@ fn real_main() -> Result<(), AsapError> {
     }
     println!();
     println!("paper reference: Selected asap ~1.42, Others asap ~0.8, asap > asap-default");
-    opts.save(&results)?;
+    opts.save("fig7", &results)?;
+    opts.finish_trace("fig7")?;
     Ok(())
 }

@@ -7,13 +7,19 @@
 //! instructions per second for each engine plus the aggregate speedup.
 //! Results land in a hand-rolled JSON report (`--out`, default
 //! `BENCH_exec.json`); the process exits non-zero if the aggregate
-//! speedup falls below `--min-speedup` (CI's regression gate).
+//! speedup falls below `--min-speedup` (CI's regression gate) or the
+//! disabled-observability overhead exceeds `--max-obs-overhead`.
+//!
+//! A fourth timing configuration re-runs the bytecode engine with the
+//! (disabled) span-recorder instrumentation exercised every rep — the
+//! `obs_overhead` column verifies asap-obs's contract that dormant
+//! instrumentation costs under 2%.
 //!
 //! Usage: `perfstat [--size tiny|small|full] [--reps N]
-//!         [--out <path.json>] [--min-speedup X]`
+//!         [--out <path.json>] [--min-speedup X] [--max-obs-overhead X]`
 
 use asap_bench::PAPER_DISTANCE;
-use asap_core::{cache_stats, compile_cached, ExecEngine, PrefetchStrategy};
+use asap_core::{cache_stats_full, compile_cached, ExecEngine, PrefetchStrategy};
 use asap_ir::{execute_budgeted, interpret_budgeted, Budget, BufferData, MemoryModel, OpId};
 use asap_matrices::{synthetic_collection, SizeClass};
 use asap_sparsifier::{bind, KernelSpec};
@@ -50,6 +56,9 @@ struct Args {
     reps: usize,
     out: PathBuf,
     min_speedup: f64,
+    /// Gate: fail if the disabled-recorder instrumentation costs more
+    /// than this fraction of the plain bytecode time (CI uses 0.02).
+    max_obs_overhead: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 3,
         out: PathBuf::from("BENCH_exec.json"),
         min_speedup: 0.0,
+        max_obs_overhead: f64::INFINITY,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -83,6 +93,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<f64>()
                     .map_err(|e| format!("--min-speedup: {e}"))?
             }
+            "--max-obs-overhead" => {
+                args.max_obs_overhead = value("--max-obs-overhead")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--max-obs-overhead: {e}"))?
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -99,6 +114,14 @@ struct Row {
     /// the cost of the budget check on every loop back-edge and inside
     /// the SpmvLoop superinstruction's fast path.
     governed_ms: f64,
+    /// Min-of-reps bytecode time — the noise floor used for the
+    /// observability overhead ratio (totals are too jittery for a 2%
+    /// gate on a shared runner; the minimum strips scheduler spikes).
+    byte_min_ms: f64,
+    /// Bytecode again, exercising the *disabled* asap-obs span/counter
+    /// instrumentation each rep: the cost of dormant observability.
+    /// Min-of-reps, to pair with `byte_min_ms`.
+    obs_min_ms: f64,
 }
 
 impl Row {
@@ -108,17 +131,21 @@ impl Row {
     fn budget_overhead(&self) -> f64 {
         self.governed_ms / self.byte_ms - 1.0
     }
+    fn obs_overhead(&self) -> f64 {
+        self.obs_min_ms / self.byte_min_ms - 1.0
+    }
     fn mips(&self, ms: f64) -> f64 {
         self.instructions as f64 / (ms * 1e3)
     }
 }
 
-/// Time `reps` runs of one engine; returns (elapsed ms, instructions per
-/// run, bitwise output). Instructions and output are identical across
-/// reps (the engines are deterministic). Operand binding — the O(nnz)
-/// copy of the sparse arrays into interpreter buffers — happens outside
-/// the timed window: it is identical for both engines and would only
-/// dilute the A/B ratio.
+/// Time `reps` runs of one engine; returns (total elapsed ms, min
+/// single-rep ms, instructions per run, bitwise output). Instructions
+/// and output are identical across reps (the engines are
+/// deterministic). Operand binding — the O(nnz) copy of the sparse
+/// arrays into interpreter buffers — happens outside the timed window:
+/// it is identical for both engines and would only dilute the A/B
+/// ratio.
 fn time_engine(
     ck: &asap_core::CompiledKernel,
     sparse: &SparseTensor,
@@ -126,17 +153,28 @@ fn time_engine(
     engine: ExecEngine,
     reps: usize,
     budget: &Budget,
-) -> Result<(f64, u64, Vec<u64>), String> {
+    obs: bool,
+) -> Result<(f64, f64, u64, Vec<u64>), String> {
     let n = sparse.dims()[1];
     let cx = DenseTensor::from_f64(vec![n], x.to_vec());
     let out = DenseTensor::zeros(ValueKind::F64, vec![sparse.dims()[0]]);
     let mut instructions = 0;
     let mut bits = Vec::new();
     let mut elapsed = 0.0;
+    let mut min_rep = f64::INFINITY;
     for _ in 0..reps {
         let mut bound = bind(&ck.kernel, sparse, &[&cx], &out).map_err(|e| e.to_string())?;
         let mut model = CountModel::default();
         let start = Instant::now();
+        // With `obs` set, exercise the per-run instrumentation the
+        // pipeline carries (disabled-recorder spans + one counter) so
+        // obs_overhead measures the dormant no-op path.
+        let _obs_span = if obs {
+            asap_obs::counter_inc("perfstat.reps");
+            Some(asap_obs::span("exec"))
+        } else {
+            None
+        };
         let ran = match engine {
             ExecEngine::Bytecode => {
                 let prog = ck.program.as_ref().ok_or("kernel has no lowered program")?;
@@ -150,7 +188,9 @@ fn time_engine(
                 budget,
             ),
         };
-        elapsed += start.elapsed().as_secs_f64();
+        let rep = start.elapsed().as_secs_f64();
+        elapsed += rep;
+        min_rep = min_rep.min(rep);
         ran.map_err(|e| e.to_string())?;
         instructions = model.instructions;
         bits = match &bound.bufs.get(bound.out_buf).data {
@@ -158,7 +198,7 @@ fn time_engine(
             other => return Err(format!("output buffer is not f64: {other:?}")),
         };
     }
-    Ok((elapsed * 1e3, instructions, bits))
+    Ok((elapsed * 1e3, min_rep * 1e3, instructions, bits))
 }
 
 fn real_main() -> Result<(), String> {
@@ -173,8 +213,8 @@ fn real_main() -> Result<(), String> {
 
     println!("# perfstat: simulated-instructions/sec, tree-walk vs bytecode (SpMV, asap)");
     println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "matrix", "nnz", "instrs", "tree MI/s", "byte MI/s", "speedup", "budget%"
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "matrix", "nnz", "instrs", "tree MI/s", "byte MI/s", "speedup", "budget%", "obs%"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -191,21 +231,52 @@ fn real_main() -> Result<(), String> {
             .map(|i| 0.25 + (i % 31) as f64 * 0.125)
             .collect();
 
-        let (tree_ms, tree_instr, tree_bits) =
-            time_engine(&ck, &sparse, &x, ExecEngine::TreeWalk, args.reps, &unarmed)
-                .map_err(|e| format!("{}: tree-walk: {e}", m.name))?;
-        let (byte_ms, byte_instr, byte_bits) =
-            time_engine(&ck, &sparse, &x, ExecEngine::Bytecode, args.reps, &unarmed)
-                .map_err(|e| format!("{}: bytecode: {e}", m.name))?;
-        let (governed_ms, governed_instr, governed_bits) =
-            time_engine(&ck, &sparse, &x, ExecEngine::Bytecode, args.reps, &armed)
-                .map_err(|e| format!("{}: bytecode (budgeted): {e}", m.name))?;
-        if tree_bits != byte_bits || byte_bits != governed_bits {
+        let (tree_ms, _, tree_instr, tree_bits) = time_engine(
+            &ck,
+            &sparse,
+            &x,
+            ExecEngine::TreeWalk,
+            args.reps,
+            &unarmed,
+            false,
+        )
+        .map_err(|e| format!("{}: tree-walk: {e}", m.name))?;
+        let (byte_ms, byte_min_ms, byte_instr, byte_bits) = time_engine(
+            &ck,
+            &sparse,
+            &x,
+            ExecEngine::Bytecode,
+            args.reps,
+            &unarmed,
+            false,
+        )
+        .map_err(|e| format!("{}: bytecode: {e}", m.name))?;
+        let (governed_ms, _, governed_instr, governed_bits) = time_engine(
+            &ck,
+            &sparse,
+            &x,
+            ExecEngine::Bytecode,
+            args.reps,
+            &armed,
+            false,
+        )
+        .map_err(|e| format!("{}: bytecode (budgeted): {e}", m.name))?;
+        let (_, obs_min_ms, obs_instr, obs_bits) = time_engine(
+            &ck,
+            &sparse,
+            &x,
+            ExecEngine::Bytecode,
+            args.reps,
+            &unarmed,
+            true,
+        )
+        .map_err(|e| format!("{}: bytecode (obs): {e}", m.name))?;
+        if tree_bits != byte_bits || byte_bits != governed_bits || byte_bits != obs_bits {
             return Err(format!("{}: engine outputs differ bitwise", m.name));
         }
-        if tree_instr != byte_instr || byte_instr != governed_instr {
+        if tree_instr != byte_instr || byte_instr != governed_instr || byte_instr != obs_instr {
             return Err(format!(
-                "{}: retired-instruction counts differ: tree-walk {tree_instr} vs bytecode {byte_instr} vs budgeted {governed_instr}",
+                "{}: retired-instruction counts differ: tree-walk {tree_instr} vs bytecode {byte_instr} vs budgeted {governed_instr} vs obs {obs_instr}",
                 m.name
             ));
         }
@@ -217,16 +288,19 @@ fn real_main() -> Result<(), String> {
             tree_ms,
             byte_ms,
             governed_ms,
+            byte_min_ms,
+            obs_min_ms,
         };
         println!(
-            "{:<24} {:>10} {:>12} {:>12.1} {:>12.1} {:>8.2} {:>7.1}%",
+            "{:<24} {:>10} {:>12} {:>12.1} {:>12.1} {:>8.2} {:>7.1}% {:>7.1}%",
             row.name,
             row.nnz,
             row.instructions,
             row.mips(row.tree_ms),
             row.mips(row.byte_ms),
             row.speedup(),
-            100.0 * row.budget_overhead()
+            100.0 * row.budget_overhead(),
+            100.0 * row.obs_overhead()
         );
         rows.push(row);
     }
@@ -237,10 +311,13 @@ fn real_main() -> Result<(), String> {
     let tree_total: f64 = rows.iter().map(|r| r.tree_ms).sum();
     let byte_total: f64 = rows.iter().map(|r| r.byte_ms).sum();
     let governed_total: f64 = rows.iter().map(|r| r.governed_ms).sum();
+    let byte_min_total: f64 = rows.iter().map(|r| r.byte_min_ms).sum();
+    let obs_min_total: f64 = rows.iter().map(|r| r.obs_min_ms).sum();
     let instr_total: u64 = rows.iter().map(|r| r.instructions).sum();
     let speedup = tree_total / byte_total;
     let budget_overhead = governed_total / byte_total - 1.0;
-    let (hits, misses) = cache_stats();
+    let obs_overhead = obs_min_total / byte_min_total - 1.0;
+    let cache = cache_stats_full();
     println!();
     println!(
         "aggregate: {instr_total} instructions/run, tree-walk {:.1} ms, bytecode {:.1} ms, speedup {speedup:.2}x",
@@ -251,7 +328,15 @@ fn real_main() -> Result<(), String> {
          (documented target <5%; informational — shared-runner noise makes it ungated)",
         100.0 * budget_overhead
     );
-    println!("compile cache: {hits} hits, {misses} misses");
+    println!(
+        "observability: dormant instrumentation {obs_min_total:.1} ms vs {byte_min_total:.1} ms \
+         (min-of-reps), overhead {:+.1}% (contract: <2% when the recorder is off)",
+        100.0 * obs_overhead
+    );
+    println!(
+        "compile cache: {} hits, {} misses, {} evictions, {} poison recoveries",
+        cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
+    );
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -263,18 +348,22 @@ fn real_main() -> Result<(), String> {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"nnz\": {}, \"instructions\": {}, \
              \"tree_walk_ms\": {:.3}, \"bytecode_ms\": {:.3}, \"budgeted_ms\": {:.3}, \
-             \"tree_walk_mips\": {:.1}, \"bytecode_mips\": {:.1}, \"speedup\": {:.3}, \
-             \"budget_overhead\": {:.4}}}{}\n",
+             \"bytecode_min_ms\": {:.3}, \"obs_min_ms\": {:.3}, \
+             \"tree_walk_mips\": {:.1}, \"bytecode_mips\": {:.1}, \
+             \"speedup\": {:.3}, \"budget_overhead\": {:.4}, \"obs_overhead\": {:.4}}}{}\n",
             r.name.replace('"', "'"),
             r.nnz,
             r.instructions,
             r.tree_ms,
             r.byte_ms,
             r.governed_ms,
+            r.byte_min_ms,
+            r.obs_min_ms,
             r.mips(r.tree_ms),
             r.mips(r.byte_ms),
             r.speedup(),
             r.budget_overhead(),
+            r.obs_overhead(),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -282,10 +371,14 @@ fn real_main() -> Result<(), String> {
     json.push_str(&format!(
         "  \"total\": {{\"instructions\": {instr_total}, \"tree_walk_ms\": {tree_total:.3}, \
          \"bytecode_ms\": {byte_total:.3}, \"budgeted_ms\": {governed_total:.3}, \
-         \"speedup\": {speedup:.3}, \"budget_overhead\": {budget_overhead:.4}}},\n"
+         \"bytecode_min_ms\": {byte_min_total:.3}, \"obs_min_ms\": {obs_min_total:.3}, \
+         \"speedup\": {speedup:.3}, \
+         \"budget_overhead\": {budget_overhead:.4}, \"obs_overhead\": {obs_overhead:.4}}},\n"
     ));
     json.push_str(&format!(
-        "  \"compile_cache\": {{\"hits\": {hits}, \"misses\": {misses}}}\n}}\n"
+        "  \"compile_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"poison_recoveries\": {}}}\n}}\n",
+        cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
     ));
     if let Some(dir) = args.out.parent() {
         if !dir.as_os_str().is_empty() {
@@ -299,6 +392,12 @@ fn real_main() -> Result<(), String> {
         return Err(format!(
             "aggregate speedup {speedup:.3} below required {:.3}",
             args.min_speedup
+        ));
+    }
+    if obs_overhead > args.max_obs_overhead {
+        return Err(format!(
+            "dormant observability overhead {:.4} above allowed {:.4}",
+            obs_overhead, args.max_obs_overhead
         ));
     }
     Ok(())

@@ -68,6 +68,7 @@ impl Checkpoint {
     /// fresh. Corrupt or truncated journal lines are skipped (their
     /// cells simply re-run).
     pub fn open(path: &Path, resume: bool) -> Result<Checkpoint, AsapError> {
+        let _s = asap_obs::span_with("checkpoint.open", || vec![("resume", resume.to_string())]);
         let mut done = HashMap::new();
         if resume {
             match File::open(path) {
@@ -145,6 +146,8 @@ impl Checkpoint {
     /// Journal a completed cell. Best-effort: on the first write
     /// failure a warning is printed and further writes are skipped.
     pub fn record(&self, r: &ExperimentResult) {
+        let _s = asap_obs::span("checkpoint.record");
+        asap_obs::counter_inc("checkpoint.records");
         let mut g = self.lock();
         let line = r.to_json();
         let healthy = !g.write_failed;
@@ -169,6 +172,7 @@ impl Checkpoint {
         F: FnOnce() -> Result<ExperimentResult, AsapError>,
     {
         if let Some(r) = self.lookup(key) {
+            asap_obs::counter_inc("checkpoint.cell_hits");
             return Ok(r);
         }
         let r = f()?;

@@ -17,7 +17,8 @@ impl fmt::Display for UsageError {
         write!(
             f,
             "{} (usage: [--size tiny|small|full] [--out <path.json>] \
-             [--fuel N] [--deadline-ms N] [--resume] [--no-checkpoint])",
+             [--fuel N] [--deadline-ms N] [--resume] [--no-checkpoint] \
+             [--trace-out <path.jsonl>])",
             self.0
         )
     }
@@ -40,6 +41,8 @@ pub struct Options {
     pub resume: bool,
     /// Disable checkpoint journaling entirely.
     pub no_checkpoint: bool,
+    /// Dump the observability trace (spans, metrics) as JSONL here.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Options {
@@ -63,6 +66,7 @@ impl Options {
             deadline_ms: None,
             resume: false,
             no_checkpoint: false,
+            trace_out: None,
         };
         let mut it = args.peekable();
         while let Some(a) = it.next() {
@@ -92,6 +96,12 @@ impl Options {
                 "--deadline-ms" => o.deadline_ms = Some(parse_u64(&mut it, "--deadline-ms")?),
                 "--resume" => o.resume = true,
                 "--no-checkpoint" => o.no_checkpoint = true,
+                "--trace-out" => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| UsageError("--trace-out needs a path".into()))?;
+                    o.trace_out = Some(PathBuf::from(v));
+                }
                 other => return Err(UsageError(format!("unknown argument {other}"))),
             }
         }
@@ -139,13 +149,68 @@ impl Options {
         Ok(ck)
     }
 
-    /// Dump results as JSON next to printing the table.
-    pub fn save(&self, results: &[ExperimentResult]) -> std::io::Result<()> {
+    /// The provenance manifest this invocation should stamp into its
+    /// results and trace files: tool name plus every flag that shapes
+    /// the run.
+    pub fn manifest(&self, tool: &str) -> asap_obs::RunManifest {
+        let mut m = asap_obs::RunManifest::new(tool).with("size", format!("{:?}", self.size));
+        if let Some(fuel) = self.fuel {
+            m.push("fuel", fuel);
+        }
+        if let Some(ms) = self.deadline_ms {
+            m.push("deadline_ms", ms);
+        }
+        if self.resume {
+            m.push("resume", "true");
+        }
+        if self.no_checkpoint {
+            m.push("no_checkpoint", "true");
+        }
+        if let Some(p) = &self.trace_out {
+            m.push("trace_out", p.display());
+        }
+        m
+    }
+
+    /// Turn the span recorder on when `--trace-out` was given. Call once
+    /// at binary startup, before any instrumented work runs.
+    pub fn init_trace(&self) {
+        if self.trace_out.is_some() {
+            asap_obs::reset_all();
+            asap_obs::set_enabled(true);
+        }
+    }
+
+    /// Write the JSONL trace dump if `--trace-out` was given: manifest
+    /// line first, then every recorded span, counter, and histogram.
+    /// Call once at the end of `main`.
+    pub fn finish_trace(&self, tool: &str) -> std::io::Result<()> {
+        if let Some(path) = &self.trace_out {
+            asap_obs::set_enabled(false);
+            if let Some(dir) = path.parent() {
+                std::fs::create_dir_all(dir)?;
+            }
+            let spans = asap_obs::take_spans();
+            let metrics = asap_obs::metrics_snapshot();
+            asap_obs::write_jsonl(path, &self.manifest(tool), &spans, &metrics, None)?;
+            eprintln!("wrote trace {}", path.display());
+        }
+        Ok(())
+    }
+
+    /// Dump results as JSON next to printing the table, stamped with the
+    /// run manifest: `{"manifest": {...}, "results": [...]}`.
+    pub fn save(&self, tool: &str, results: &[ExperimentResult]) -> std::io::Result<()> {
         if let Some(path) = &self.out {
             if let Some(dir) = path.parent() {
                 std::fs::create_dir_all(dir)?;
             }
-            std::fs::write(path, results_to_json(results))?;
+            let body = format!(
+                "{{\n\"manifest\": {},\n\"results\": {}}}\n",
+                self.manifest(tool).to_json(),
+                results_to_json(results)
+            );
+            std::fs::write(path, body)?;
             eprintln!("wrote {}", path.display());
         }
         Ok(())
@@ -264,6 +329,52 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn parses_trace_out_and_stamps_manifest() {
+        let o = Options::parse(
+            [
+                "--size",
+                "tiny",
+                "--fuel",
+                "77",
+                "--trace-out",
+                "/tmp/t.jsonl",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(
+            o.trace_out.as_ref().unwrap().to_str().unwrap(),
+            "/tmp/t.jsonl"
+        );
+        let j = o.manifest("fig6").to_json();
+        assert!(j.contains("\"tool\":\"fig6\""), "{j}");
+        assert!(j.contains("\"size\":\"Tiny\""), "{j}");
+        assert!(j.contains("\"fuel\":\"77\""), "{j}");
+        assert!(j.contains("\"trace_out\":\"/tmp/t.jsonl\""), "{j}");
+        let err = Options::parse(["--trace-out"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(err.to_string().contains("--trace-out needs a path"));
+    }
+
+    #[test]
+    fn save_stamps_the_manifest_into_results_json() {
+        let dir = std::env::temp_dir().join("asap-cli-save-test");
+        let path = dir.join("out.json");
+        let o = Options::parse(
+            ["--out", path.to_str().unwrap(), "--no-checkpoint"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        o.save("unit-test", &[]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"manifest\":"), "{body}");
+        assert!(body.contains("\"tool\":\"unit-test\""), "{body}");
+        assert!(body.contains("\"results\":"), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

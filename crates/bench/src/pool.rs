@@ -129,6 +129,9 @@ where
 pub struct JobFailure {
     /// Input-order index of the failed item.
     pub index: usize,
+    /// Human-readable identity of the item (e.g. the matrix name) for
+    /// skip reports; `"item N"` when the caller provided no labels.
+    pub label: String,
     /// The final attempt's panic payload, rendered as a string.
     pub message: String,
     /// How many attempts were made (always `max_attempts`).
@@ -139,8 +142,8 @@ impl fmt::Display for JobFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "item {} panicked on all {} attempt(s): {}",
-            self.index, self.attempts, self.message
+            "{} (index {}) panicked on all {} attempt(s): {}",
+            self.label, self.index, self.attempts, self.message
         )
     }
 }
@@ -185,20 +188,52 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    parallel_map_isolated_labeled(items, threads, max_attempts, |_, i| format!("item {i}"), f)
+}
+
+/// As [`parallel_map_isolated`], with a caller-supplied label per item
+/// (the matrix name in figure sweeps). The label travels into any
+/// [`JobFailure`] and into the `pool.job` span, so skip reports and
+/// traces name the work, not just its index. Retries and terminal
+/// failures are counted in the `asap-obs` registry (`pool.retries`,
+/// `pool.job_failures`).
+pub fn parallel_map_isolated_labeled<T, R, L, F>(
+    items: Vec<T>,
+    threads: usize,
+    max_attempts: usize,
+    label: L,
+    f: F,
+) -> Vec<Result<R, JobFailure>>
+where
+    T: Send + Sync,
+    R: Send,
+    L: Fn(&T, usize) -> String + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let max_attempts = max_attempts.max(1);
     let run_one = |i: usize, item: &T| -> Result<R, JobFailure> {
+        let span = asap_obs::span_with("pool.job", || vec![("label", label(item, i))]);
         let mut last = String::new();
         for attempt in 1..=max_attempts {
             if attempt > 1 {
                 std::thread::sleep(backoff_delay(attempt - 1));
+                asap_obs::counter_inc("pool.retries");
             }
             match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                Ok(r) => return Ok(r),
+                Ok(r) => {
+                    if attempt > 1 {
+                        span.attr("recovered_on_attempt", attempt);
+                    }
+                    return Ok(r);
+                }
                 Err(payload) => last = panic_message(&*payload),
             }
         }
+        asap_obs::counter_inc("pool.job_failures");
+        span.attr("failed_after", max_attempts);
         Err(JobFailure {
             index: i,
+            label: label(item, i),
             message: last,
             attempts: max_attempts,
         })
@@ -207,6 +242,26 @@ where
     parallel_map((0..items.len()).collect(), threads, move |_, i| {
         run_one(i, &items_ref[i])
     })
+}
+
+/// Render the end-of-sweep skip report for failures collected by an
+/// isolated sweep: one line per skipped item with its label and attempt
+/// count. Empty string when nothing was skipped.
+pub fn skip_report(failures: &[JobFailure]) -> String {
+    if failures.is_empty() {
+        return String::new();
+    }
+    let mut s = format!(
+        "skipped {} item(s) after crash isolation:\n",
+        failures.len()
+    );
+    for f in failures {
+        s.push_str(&format!(
+            "  {} — {} attempt(s), last panic: {}\n",
+            f.label, f.attempts, f.message
+        ));
+    }
+    s
 }
 
 #[cfg(test)]
@@ -273,6 +328,32 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), i as i32 * 10, "order preserved");
             }
         }
+    }
+
+    #[test]
+    fn labeled_failures_carry_label_and_attempts_into_the_report() {
+        let out = parallel_map_isolated_labeled(
+            vec!["good", "bad"],
+            1,
+            2,
+            |item, _| format!("matrix:{item}"),
+            |_, &item| {
+                if item == "bad" {
+                    panic!("shape tickles a bug");
+                }
+                item.len()
+            },
+        );
+        assert_eq!(*out[0].as_ref().unwrap(), 4);
+        let e = out[1].as_ref().unwrap_err();
+        assert_eq!(e.label, "matrix:bad");
+        assert_eq!(e.attempts, 2);
+        assert!(e.to_string().contains("matrix:bad"), "{e}");
+        let report = skip_report(std::slice::from_ref(e));
+        assert!(report.contains("skipped 1 item(s)"), "{report}");
+        assert!(report.contains("matrix:bad — 2 attempt(s)"), "{report}");
+        assert!(report.contains("shape tickles a bug"), "{report}");
+        assert_eq!(skip_report(&[]), "");
     }
 
     #[test]

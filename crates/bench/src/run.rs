@@ -847,6 +847,9 @@ pub struct SkippedMatrix {
     pub matrix: String,
     pub kind: &'static str,
     pub reason: String,
+    /// How many times the matrix was attempted before being skipped
+    /// (1 for typed errors; the pool's retry cap for panics).
+    pub attempts: usize,
 }
 
 /// Outcome of a directory sweep: per-matrix results plus the matrices
@@ -868,8 +871,8 @@ impl SweepReport {
         );
         for sk in &self.skipped {
             s.push_str(&format!(
-                "  skipped {} [{}]: {}\n",
-                sk.matrix, sk.kind, sk.reason
+                "  skipped {} [{}] after {} attempt(s): {}\n",
+                sk.matrix, sk.kind, sk.attempts, sk.reason
             ));
         }
         s
@@ -900,8 +903,13 @@ pub fn sweep_spmv_dir(
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
         let outcome = (|| -> Result<ExperimentResult, AsapError> {
-            let file = std::fs::File::open(&path)?;
-            let tri = read_matrix_market(std::io::BufReader::new(file))?;
+            let tri = {
+                let span = asap_obs::span_with("parse.matrix", || vec![("matrix", name.clone())]);
+                let file = std::fs::File::open(&path)?;
+                let tri = read_matrix_market(std::io::BufReader::new(file))?;
+                span.attr("nnz", tri.nnz());
+                tri
+            };
             run_spmv(&tri, &name, "sweep", true, variant, pf, hw_name, cfg)
         })();
         match outcome {
@@ -910,6 +918,7 @@ pub fn sweep_spmv_dir(
                 matrix: name,
                 kind: e.kind(),
                 reason: e.to_string(),
+                attempts: 1,
             }),
         }
     }

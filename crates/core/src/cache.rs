@@ -18,34 +18,58 @@
 //! cache recovers by discarding the whole map — it is a pure memoization
 //! layer, so dropping entries costs recompilation, never correctness —
 //! and counts the event in [`cache_stats_full`] as `poison_recoveries`.
+//!
+//! Eviction: the map is capped at [`CACHE_CAPACITY`] entries with FIFO
+//! replacement (insertion order). Kernels are a few KB each, so the cap
+//! exists to bound a pathological sweep over thousands of distinct
+//! prefetch distances, not normal figure runs — those fit comfortably.
+//! Evictions are counted and surfaced in `perfstat`/sweep output.
+//!
+//! Every outcome is mirrored into the `asap-obs` metrics registry
+//! (`cache.hits`, `cache.misses`, `cache.evictions`,
+//! `cache.poison_recoveries`), and each lookup records a `cache.lookup`
+//! span when the recorder is enabled.
 
 use crate::pipeline::{compile_with_width, CompiledKernel, PrefetchStrategy};
 use asap_ir::AsapError;
 use asap_sparsifier::KernelSpec;
 use asap_tensor::{Format, IndexWidth};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-static CACHE: OnceLock<Mutex<HashMap<String, CompiledKernel>>> = OnceLock::new();
+/// Maximum cached kernels before FIFO eviction kicks in.
+pub const CACHE_CAPACITY: usize = 128;
+
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<String, CompiledKernel>,
+    /// Keys in insertion order, oldest first (FIFO eviction).
+    order: VecDeque<String>,
+}
+
+static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
+static EVICTIONS: AtomicU64 = AtomicU64::new(0);
 static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
-fn map() -> &'static Mutex<HashMap<String, CompiledKernel>> {
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn map() -> &'static Mutex<CacheState> {
+    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
 }
 
 /// Lock the cache map, recovering from poisoning by clearing it: the
 /// interrupted writer may have left a partially-observed state, and a
 /// memoization cache is always safe to empty.
-fn lock_map() -> MutexGuard<'static, HashMap<String, CompiledKernel>> {
+fn lock_map() -> MutexGuard<'static, CacheState> {
     match map().lock() {
         Ok(g) => g,
         Err(poisoned) => {
             let mut g = poisoned.into_inner();
-            g.clear();
+            g.map.clear();
+            g.order.clear();
             POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("cache.poison_recoveries");
             map().clear_poison();
             g
         }
@@ -70,17 +94,39 @@ pub fn compile_cached(
     width: IndexWidth,
     strategy: &PrefetchStrategy,
 ) -> Result<CompiledKernel, AsapError> {
+    let span = asap_obs::span("cache.lookup");
     let k = key(spec, format, width, strategy);
     {
         let m = lock_map();
-        if let Some(ck) = m.get(&k) {
+        if let Some(ck) = m.map.get(&k) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("cache.hits");
+            span.attr("outcome", "hit");
             return Ok(ck.clone());
         }
     }
+    span.attr("outcome", "miss");
     let ck = compile_with_width(spec, format, width, strategy)?;
     MISSES.fetch_add(1, Ordering::Relaxed);
-    lock_map().insert(k, ck.clone());
+    asap_obs::counter_inc("cache.misses");
+    let mut m = lock_map();
+    if !m.map.contains_key(&k) {
+        while m.map.len() >= CACHE_CAPACITY {
+            // FIFO: evict the oldest insertion. A racing clear may leave
+            // stale order entries; skip any key no longer mapped.
+            match m.order.pop_front() {
+                Some(old) => {
+                    if m.map.remove(&old).is_some() {
+                        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+                        asap_obs::counter_inc("cache.evictions");
+                    }
+                }
+                None => break,
+            }
+        }
+        m.order.push_back(k.clone());
+        m.map.insert(k, ck.clone());
+    }
     Ok(ck)
 }
 
@@ -95,16 +141,19 @@ pub fn cache_stats() -> (u64, u64) {
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries dropped by FIFO replacement at [`CACHE_CAPACITY`].
+    pub evictions: u64,
     /// Times a poisoned cache lock was recovered by discarding the map
     /// (a crash-isolated worker panicked while holding it).
     pub poison_recoveries: u64,
 }
 
-/// As [`cache_stats`], including the poison-recovery count.
+/// As [`cache_stats`], including eviction and poison-recovery counts.
 pub fn cache_stats_full() -> CacheStats {
     CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
+        evictions: EVICTIONS.load(Ordering::Relaxed),
         poison_recoveries: POISON_RECOVERIES.load(Ordering::Relaxed),
     }
 }
@@ -154,6 +203,44 @@ mod tests {
         assert_eq!(c.prefetch_ops, a.prefetch_ops);
         let (_, m3) = cache_stats();
         assert!(m3 > m2, "distinct distance misses");
+    }
+
+    #[test]
+    fn fifo_eviction_caps_the_map() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let before = cache_stats_full();
+        // Distinct distances are distinct keys; two more than the
+        // capacity forces at least two evictions (the map may already
+        // hold entries from other tests).
+        for d in 0..(CACHE_CAPACITY + 2) {
+            compile_cached(
+                &spec,
+                &Format::csr(),
+                IndexWidth::U32,
+                &PrefetchStrategy::asap(d),
+            )
+            .unwrap();
+        }
+        let after = cache_stats_full();
+        assert!(
+            after.evictions >= before.evictions + 2,
+            "filling past capacity evicts: {before:?} -> {after:?}"
+        );
+        let g = lock_map();
+        assert!(g.map.len() <= CACHE_CAPACITY);
+        assert_eq!(g.order.len(), g.map.len(), "order mirrors the map");
+        drop(g);
+        // The newest entry survived and is a hit.
+        let h0 = cache_stats_full().hits;
+        compile_cached(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(CACHE_CAPACITY + 1),
+        )
+        .unwrap();
+        assert!(cache_stats_full().hits > h0);
     }
 
     #[test]

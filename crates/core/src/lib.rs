@@ -26,7 +26,8 @@ pub use asap::{AsapConfig, AsapHook, InjectionSite};
 pub use autotune::{default_candidates, tune_distance, TuneOutcome, TuneSample};
 pub use cache::{cache_stats, cache_stats_full, compile_cached, CacheStats};
 pub use pipeline::{
-    compile, compile_with_width, run, run_spmm_f64, run_spmm_f64_budgeted, run_spmm_f64_with,
-    run_spmv_f64, run_spmv_f64_budgeted, run_spmv_f64_engine, run_spmv_f64_with, run_with_engine,
-    run_with_engine_budgeted, CompileWarning, CompiledKernel, ExecEngine, PrefetchStrategy,
+    compile, compile_with_width, run, run_profiled, run_spmm_f64, run_spmm_f64_budgeted,
+    run_spmm_f64_with, run_spmv_f64, run_spmv_f64_budgeted, run_spmv_f64_engine, run_spmv_f64_with,
+    run_with_engine, run_with_engine_budgeted, CompileWarning, CompiledKernel, ExecEngine,
+    PrefetchStrategy,
 };

@@ -18,8 +18,8 @@
 use crate::aj::{ainsworth_jones, AjConfig};
 use crate::asap::{AsapConfig, AsapHook};
 use asap_ir::{
-    cse, dce, execute_budgeted, fold, interpret_budgeted, licm, lower, AsapError, BinOp, Budget,
-    MemoryModel, Op, OpKind, Program, Type,
+    cse, dce, execute_budgeted, execute_budgeted_profiled, fold, interpret_budgeted, licm, lower,
+    AsapError, BinOp, Budget, ExecProfile, MemoryModel, Op, OpKind, Program, Type,
 };
 use asap_sparsifier::{bind, read_back, sparsify, KernelSpec, SparsifiedKernel};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
@@ -123,30 +123,52 @@ fn compile_exact(
     index_width: IndexWidth,
     strategy: &PrefetchStrategy,
 ) -> Result<CompiledKernel, AsapError> {
-    let mut kernel = match strategy {
-        PrefetchStrategy::Asap(cfg) => {
-            let mut hook = AsapHook::new(*cfg);
-            sparsify(spec, format, index_width, Some(&mut hook))?
+    let span = asap_obs::span_with("compile", || {
+        vec![
+            ("kernel", spec.name.clone()),
+            ("strategy", strategy.label().to_string()),
+            ("format", format.name().to_string()),
+        ]
+    });
+    let mut kernel = {
+        let _s = asap_obs::span("compile.sparsify");
+        match strategy {
+            PrefetchStrategy::Asap(cfg) => {
+                let mut hook = AsapHook::new(*cfg);
+                sparsify(spec, format, index_width, Some(&mut hook))?
+            }
+            _ => sparsify(spec, format, index_width, None)?,
         }
-        _ => sparsify(spec, format, index_width, None)?,
     };
-    if let PrefetchStrategy::AinsworthJones(cfg) = strategy {
-        ainsworth_jones(&mut kernel.func, cfg);
-    }
-    let hoisted = licm(&mut kernel.func);
-    fold(&mut kernel.func);
-    cse(&mut kernel.func);
-    dce(&mut kernel.func);
+    let hoisted = {
+        let _s = asap_obs::span("compile.transforms");
+        if let PrefetchStrategy::AinsworthJones(cfg) = strategy {
+            ainsworth_jones(&mut kernel.func, cfg);
+        }
+        let hoisted = licm(&mut kernel.func);
+        fold(&mut kernel.func);
+        cse(&mut kernel.func);
+        dce(&mut kernel.func);
+        hoisted
+    };
     if matches!(strategy, PrefetchStrategy::FaultInjection) {
         poison(&mut kernel.func);
     }
-    asap_ir::verify(&kernel.func)?;
+    {
+        let _s = asap_obs::span("compile.verify");
+        asap_ir::verify(&kernel.func)?;
+    }
     // Lower the verified kernel to bytecode. Sparsifier output always
     // lowers; a decline (e.g. a memref that is not a parameter) simply
     // leaves the tree-walker as the execution engine.
-    let program = lower(&kernel.func).ok();
+    let program = {
+        let _s = asap_obs::span("compile.lower");
+        lower(&kernel.func).ok()
+    };
+    let prefetch_ops = kernel.func.prefetch_count();
+    span.attr("prefetch_ops", prefetch_ops);
     Ok(CompiledKernel {
-        prefetch_ops: kernel.func.prefetch_count(),
+        prefetch_ops,
         kernel,
         strategy: *strategy,
         hoisted_ops: hoisted,
@@ -279,10 +301,52 @@ pub fn run_with_engine_budgeted<M: MemoryModel + ?Sized>(
             AsapError::binding("bytecode engine requested but the kernel has no lowered program")
         })?),
     };
-    match program {
-        Some(p) => execute_budgeted(p, &bound.args, &mut bound.bufs, model, budget)?,
-        None => interpret_budgeted(&ck.kernel.func, &bound.args, &mut bound.bufs, model, budget)?,
-    };
+    {
+        let _s = asap_obs::span_with("exec", || {
+            let engine = if program.is_some() {
+                "bytecode"
+            } else {
+                "tree-walk"
+            };
+            vec![("engine", engine.to_string())]
+        });
+        match program {
+            Some(p) => execute_budgeted(p, &bound.args, &mut bound.bufs, model, budget)?,
+            None => {
+                interpret_budgeted(&ck.kernel.func, &bound.args, &mut bound.bufs, model, budget)?
+            }
+        };
+    }
+    read_back(out, &bound)
+}
+
+/// As [`run`] on the bytecode engine, additionally collecting a
+/// per-opcode [`ExecProfile`] (dispatch counts plus sampled wall-clock
+/// attribution — the flat VM "flamegraph" `asap_cli profile` prints).
+/// Errors if the kernel has no lowered program.
+pub fn run_profiled<M: MemoryModel + ?Sized>(
+    ck: &CompiledKernel,
+    sparse: &SparseTensor,
+    dense: &[&DenseTensor],
+    out: &mut DenseTensor,
+    model: &mut M,
+    profile: &mut ExecProfile,
+) -> Result<(), AsapError> {
+    let mut bound = bind(&ck.kernel, sparse, dense, out)?;
+    let p = ck.program.as_ref().ok_or_else(|| {
+        AsapError::binding(
+            "profiled run requires the bytecode engine but the kernel has no lowered program",
+        )
+    })?;
+    let _s = asap_obs::span_with("exec", || vec![("engine", "bytecode-profiled".to_string())]);
+    execute_budgeted_profiled(
+        p,
+        &bound.args,
+        &mut bound.bufs,
+        model,
+        &Budget::unlimited(),
+        profile,
+    )?;
     read_back(out, &bound)
 }
 

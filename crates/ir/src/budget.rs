@@ -23,9 +23,20 @@
 //! decrement-and-branch against a `u64::MAX` sentinel, and the poll slot
 //! is skipped entirely when neither a deadline nor a token is installed.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Process-wide count of deadline/cancellation poll-slot executions
+/// (one per [`BudgetMeter::POLL_INTERVAL`] ticks on any meter). Lives
+/// here rather than in the observability crate so the meter stays free
+/// of upward dependencies; `asap-obs` mirrors it into its registry.
+static POLLS: AtomicU64 = AtomicU64::new(0);
+
+/// Total budget-meter polls since process start (monotonic).
+pub fn total_polls() -> u64 {
+    POLLS.load(Ordering::Relaxed)
+}
 
 /// Which budgeted resource ran out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,6 +286,7 @@ impl BudgetMeter {
 
     #[cold]
     fn poll(&self) -> Result<(), BudgetError> {
+        POLLS.fetch_add(1, Ordering::Relaxed);
         if let Some(c) = &self.cancel {
             if c.load(Ordering::Acquire) {
                 return Err(BudgetError {
@@ -374,6 +386,17 @@ mod tests {
         }
         let e = trapped.expect("cancellation must trap within one poll interval");
         assert_eq!(e.resource, Resource::Cancelled);
+    }
+
+    #[test]
+    fn poll_counter_is_monotonic_across_meters() {
+        let before = total_polls();
+        let mut m = Budget::unlimited().with_cancellation().meter();
+        for _ in 0..3 * BudgetMeter::POLL_INTERVAL {
+            m.tick().unwrap();
+        }
+        // ≥, not ==: other tests poll concurrently.
+        assert!(total_polls() >= before + 3);
     }
 
     #[test]

@@ -266,6 +266,42 @@ pub enum Instr {
     Return { vals: Vec<u32> },
 }
 
+impl Instr {
+    /// Dense opcode index for per-opcode profiling; indexes
+    /// [`crate::profile::OPCODE_NAMES`].
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::Const { .. } => 0,
+            Instr::Bin { .. } => 1,
+            Instr::Cmp { .. } => 2,
+            Instr::Select { .. } => 3,
+            Instr::Cast { .. } => 4,
+            Instr::Dim { .. } => 5,
+            Instr::Load { .. } => 6,
+            Instr::Store { .. } => 7,
+            Instr::Prefetch { .. } => 8,
+            Instr::LoadCast { .. } => 9,
+            Instr::AddPrefetch { .. } => 10,
+            Instr::ClampSelect { .. } => 11,
+            Instr::GatherPrefetch { .. } => 12,
+            Instr::LoopBack { .. } => 13,
+            Instr::DotStep { .. } => 14,
+            Instr::Gather { .. } => 15,
+            Instr::MulAdd { .. } => 16,
+            Instr::SpmvLoop(_) => 17,
+            Instr::Jump { .. } => 18,
+            Instr::IfBr { .. } => 19,
+            Instr::ForPrologue { .. } => 20,
+            Instr::ForHead { .. } => 21,
+            Instr::ForStep { .. } => 22,
+            Instr::CondBr { .. } => 23,
+            Instr::Retire1 => 24,
+            Instr::Copy { .. } => 25,
+            Instr::Return { .. } => 26,
+        }
+    }
+}
+
 /// Operands of the fused ASaP sparse inner loop, field-for-field the
 /// seven instructions it replaces (`ForHead`, `LoadCast`, `AddPrefetch`,
 /// `ClampSelect`, `GatherPrefetch`, `DotStep`, `LoopBack`). The executor

@@ -16,6 +16,7 @@
 use crate::budget::{Budget, BudgetMeter};
 use crate::bytecode::{Instr, Program};
 use crate::interp::{eval_binary, Buffers, InterpError, MemoryModel, V};
+use crate::profile::ExecProfile;
 use crate::types::Type;
 
 /// A pre-resolved buffer binding: everything a memory access needs except
@@ -63,17 +64,46 @@ pub fn execute<M: MemoryModel + ?Sized>(
 /// observationally equivalent point in both engines: same
 /// [`InterpError::Budget`] payload, same op location, same
 /// [`MemoryModel`] event prefix.
-// The fused multiply-accumulate arms pick `p + o` vs `o + p` by the
-// original operand order: f64 addition is commutative in value but not
-// in NaN-payload propagation, and equivalence with the tree-walker is
-// bit-exact.
-#[allow(clippy::if_same_then_else)]
 pub fn execute_budgeted<M: MemoryModel + ?Sized>(
     prog: &Program,
     args: &[V],
     bufs: &mut Buffers,
     model: &mut M,
     budget: &Budget,
+) -> Result<Vec<V>, InterpError> {
+    // PROFILE=false monomorphization: the per-opcode accounting below
+    // compiles out entirely, so this path is byte-for-byte the old
+    // unprofiled dispatch loop.
+    execute_inner::<M, false>(prog, args, bufs, model, budget, &mut ExecProfile::new())
+}
+
+/// [`execute_budgeted`] with per-opcode dispatch counts and sampled
+/// wall-clock attribution accumulated into `profile` (`asap_cli
+/// profile`'s flat flamegraph). Observationally identical to the
+/// unprofiled entry point — same results, traps, and model stream.
+pub fn execute_budgeted_profiled<M: MemoryModel + ?Sized>(
+    prog: &Program,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut M,
+    budget: &Budget,
+    profile: &mut ExecProfile,
+) -> Result<Vec<V>, InterpError> {
+    execute_inner::<M, true>(prog, args, bufs, model, budget, profile)
+}
+
+// The fused multiply-accumulate arms pick `p + o` vs `o + p` by the
+// original operand order: f64 addition is commutative in value but not
+// in NaN-payload propagation, and equivalence with the tree-walker is
+// bit-exact.
+#[allow(clippy::if_same_then_else)]
+fn execute_inner<M: MemoryModel + ?Sized, const PROFILE: bool>(
+    prog: &Program,
+    args: &[V],
+    bufs: &mut Buffers,
+    model: &mut M,
+    budget: &Budget,
+    profile: &mut ExecProfile,
 ) -> Result<Vec<V>, InterpError> {
     let mut meter = budget.meter();
     if args.len() != prog.param_slots.len() {
@@ -125,6 +155,9 @@ pub fn execute_budgeted<M: MemoryModel + ?Sized>(
             ));
         };
         ip += 1;
+        if PROFILE {
+            profile.note(instr.opcode());
+        }
         match instr {
             Instr::Const { dst, val } => {
                 model.retire(1);
@@ -1134,6 +1167,67 @@ mod tests {
             InterpError::Budget(b) => assert_eq!(b.resource, Resource::Cancelled),
             other => panic!("expected a cancellation trap, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn profiled_execution_is_observationally_identical() {
+        let (f, bufs) = dot_fn();
+        let args = [V::Mem(0), V::Mem(1), V::Mem(2), V::Index(64)];
+        let prog = lower(&f).unwrap();
+        let mut b1 = bufs.clone();
+        let mut b2 = bufs.clone();
+        let mut t1 = TraceModel::new();
+        let mut t2 = TraceModel::new();
+        let mut profile = ExecProfile::new();
+        let r1 = execute_budgeted(&prog, &args, &mut b1, &mut t1, &Budget::unlimited()).unwrap();
+        let r2 = execute_budgeted_profiled(
+            &prog,
+            &args,
+            &mut b2,
+            &mut t2,
+            &Budget::unlimited(),
+            &mut profile,
+        )
+        .unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(t1.events, t2.events);
+        assert_eq!(t1.instructions, t2.instructions);
+        // Every executed instruction was counted, and dispatch counts are
+        // deterministic: a second profiled run produces the same profile.
+        assert_eq!(
+            profile.total_dispatch(),
+            prog_dispatches(&prog, &args, &bufs)
+        );
+        assert!(profile.total_dispatch() > 64, "the loop body was counted");
+        let mut b3 = bufs.clone();
+        let mut profile2 = ExecProfile::new();
+        execute_budgeted_profiled(
+            &prog,
+            &args,
+            &mut b3,
+            &mut NullModel,
+            &Budget::unlimited(),
+            &mut profile2,
+        )
+        .unwrap();
+        assert_eq!(profile.dispatch, profile2.dispatch);
+    }
+
+    /// Re-run profiled and return the dispatch total (helper keeping the
+    /// main assertion readable).
+    fn prog_dispatches(prog: &Program, args: &[V], bufs: &Buffers) -> u64 {
+        let mut b = bufs.clone();
+        let mut p = ExecProfile::new();
+        execute_budgeted_profiled(
+            prog,
+            args,
+            &mut b,
+            &mut NullModel,
+            &Budget::unlimited(),
+            &mut p,
+        )
+        .unwrap();
+        p.total_dispatch()
     }
 
     #[test]

@@ -24,17 +24,18 @@ pub mod fold;
 pub mod interp;
 pub mod ops;
 pub mod printer;
+pub mod profile;
 pub mod trace;
 pub mod transforms;
 pub mod types;
 pub mod verify;
 
-pub use budget::{Budget, BudgetError, BudgetMeter, Resource};
+pub use budget::{total_polls, Budget, BudgetError, BudgetMeter, Resource};
 pub use builder::FuncBuilder;
 pub use bytecode::{lower, Instr, LowerError, Program};
 pub use cse::cse;
 pub use diag::AsapError;
-pub use exec::{execute, execute_budgeted};
+pub use exec::{execute, execute_budgeted, execute_budgeted_profiled};
 pub use fold::fold;
 pub use interp::{
     interpret, interpret_budgeted, AccessKind, Buffer, BufferData, Buffers, CountingModel,
@@ -42,6 +43,7 @@ pub use interp::{
 };
 pub use ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
 pub use printer::print_function;
+pub use profile::{ExecProfile, NUM_OPCODES, OPCODE_NAMES};
 pub use trace::{TraceEvent, TraceModel};
 pub use transforms::{dce, licm};
 pub use types::{Literal, Type};

@@ -1,0 +1,191 @@
+//! Per-opcode execution profiles for the bytecode VM — a flat
+//! "flamegraph" per kernel: how many times each [`Instr`](crate::Instr)
+//! variant was dispatched, plus a sampled wall-clock attribution.
+//!
+//! This lives in `asap-ir` (not `asap-obs`) so the VM can fill it in
+//! without a dependency edge back to the observability crate; `asap-obs`
+//! and the CLI consume the struct. The unprofiled engine entry point
+//! ([`crate::execute_budgeted`]) monomorphizes the dispatch loop with
+//! profiling compiled out entirely, so the default path pays nothing.
+//!
+//! Determinism: `dispatch` counts are exact and identical across
+//! identical runs; `sampled_ns` is wall-clock and excluded from the
+//! determinism contract (see DESIGN.md §10).
+
+use std::time::Instant;
+
+/// Display names for every bytecode opcode, indexed by
+/// [`crate::Instr::opcode`].
+pub const OPCODE_NAMES: [&str; NUM_OPCODES] = [
+    "Const",
+    "Bin",
+    "Cmp",
+    "Select",
+    "Cast",
+    "Dim",
+    "Load",
+    "Store",
+    "Prefetch",
+    "LoadCast",
+    "AddPrefetch",
+    "ClampSelect",
+    "GatherPrefetch",
+    "LoopBack",
+    "DotStep",
+    "Gather",
+    "MulAdd",
+    "SpmvLoop",
+    "Jump",
+    "IfBr",
+    "ForPrologue",
+    "ForHead",
+    "ForStep",
+    "CondBr",
+    "Retire1",
+    "Copy",
+    "Return",
+];
+
+/// Number of bytecode opcodes.
+pub const NUM_OPCODES: usize = 27;
+
+/// Dispatches between wall-clock samples. Sampling keeps the profiled
+/// path cheap (one `Instant::now` per 1024 dispatches) at the cost of
+/// attributing each elapsed window to the opcode dispatched at its end.
+const SAMPLE_INTERVAL: u64 = 1024;
+
+/// A per-kernel execution profile filled by
+/// [`crate::exec::execute_budgeted_profiled`].
+#[derive(Debug, Clone)]
+pub struct ExecProfile {
+    /// Exact dispatch count per opcode.
+    pub dispatch: [u64; NUM_OPCODES],
+    /// Sampled wall-clock nanoseconds attributed per opcode
+    /// (non-deterministic; zero until `SAMPLE_INTERVAL` dispatches ran).
+    pub sampled_ns: [u64; NUM_OPCODES],
+    total: u64,
+    last_sample: Option<Instant>,
+}
+
+impl Default for ExecProfile {
+    fn default() -> ExecProfile {
+        ExecProfile {
+            dispatch: [0; NUM_OPCODES],
+            sampled_ns: [0; NUM_OPCODES],
+            total: 0,
+            last_sample: None,
+        }
+    }
+}
+
+impl ExecProfile {
+    pub fn new() -> ExecProfile {
+        ExecProfile::default()
+    }
+
+    /// Record one dispatch of `opcode`. Called from the VM's dispatch
+    /// loop (profiled monomorphization only).
+    #[inline]
+    pub fn note(&mut self, opcode: usize) {
+        self.dispatch[opcode] += 1;
+        self.total += 1;
+        if self.total.is_multiple_of(SAMPLE_INTERVAL) {
+            let now = Instant::now();
+            if let Some(prev) = self.last_sample {
+                self.sampled_ns[opcode] += now.duration_since(prev).as_nanos() as u64;
+            }
+            self.last_sample = Some(now);
+        }
+    }
+
+    /// Total dispatches across every opcode.
+    pub fn total_dispatch(&self) -> u64 {
+        self.total
+    }
+
+    /// Merge another profile (e.g. across repetitions of the same kernel).
+    pub fn merge(&mut self, other: &ExecProfile) {
+        for i in 0..NUM_OPCODES {
+            self.dispatch[i] += other.dispatch[i];
+            self.sampled_ns[i] += other.sampled_ns[i];
+        }
+        self.total += other.total;
+    }
+
+    /// Render the flat flamegraph: opcodes by descending dispatch count
+    /// (opcode index breaks ties, so identical profiles render
+    /// identically), with dispatch share and sampled-time share.
+    pub fn render(&self) -> String {
+        let mut order: Vec<usize> = (0..NUM_OPCODES).filter(|&i| self.dispatch[i] > 0).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.dispatch[i]), i));
+        let total = self.total.max(1) as f64;
+        let total_ns: u64 = self.sampled_ns.iter().sum();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>8} {:>10}\n",
+            "opcode", "dispatch", "share", "time"
+        ));
+        for i in order {
+            let time = if total_ns == 0 {
+                "-".to_string()
+            } else {
+                format!(
+                    "{:.1}%",
+                    self.sampled_ns[i] as f64 * 100.0 / total_ns as f64
+                )
+            };
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>7.1}% {:>10}\n",
+                OPCODE_NAMES[i],
+                self.dispatch[i],
+                self.dispatch[i] as f64 * 100.0 / total,
+                time
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_counts_and_merge() {
+        let mut p = ExecProfile::new();
+        for _ in 0..10 {
+            p.note(0);
+        }
+        p.note(17);
+        assert_eq!(p.dispatch[0], 10);
+        assert_eq!(p.dispatch[17], 1);
+        assert_eq!(p.total_dispatch(), 11);
+        let mut q = ExecProfile::new();
+        q.note(0);
+        p.merge(&q);
+        assert_eq!(p.dispatch[0], 11);
+        assert_eq!(p.total_dispatch(), 12);
+    }
+
+    #[test]
+    fn render_orders_by_count_desc() {
+        let mut p = ExecProfile::new();
+        p.note(5);
+        p.note(2);
+        p.note(2);
+        let r = p.render();
+        let bin_pos = r.find(OPCODE_NAMES[2]).unwrap();
+        let dim_pos = r.find(OPCODE_NAMES[5]).unwrap();
+        assert!(bin_pos < dim_pos, "higher count first:\n{r}");
+        assert!(r.contains("dispatch"));
+    }
+
+    #[test]
+    fn names_cover_every_opcode() {
+        assert_eq!(OPCODE_NAMES.len(), NUM_OPCODES);
+        let mut uniq: Vec<&str> = OPCODE_NAMES.to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), NUM_OPCODES, "names are distinct");
+    }
+}

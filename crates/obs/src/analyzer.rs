@@ -1,0 +1,393 @@
+//! The prefetch-effectiveness analyzer: joins a [`TraceModel`] event
+//! stream with simulator [`Counters`] to answer, per static prefetch
+//! site, the three questions the paper's evaluation keeps circling:
+//!
+//! - **accuracy** — of the lines this site prefetched, how many were
+//!   later demanded before being prefetched again?
+//! - **coverage** — of all demand accesses, how many hit a line some
+//!   prefetch had already requested?
+//! - **timeliness** — how far ahead of the demand did the prefetch
+//!   land, in trace events (exact) and in estimated cycles (scaled by
+//!   the simulator's cycles-per-event for the same kernel)?
+//!
+//! The join key is the [`OpId`] the sparsifier stamped on the prefetch
+//! op, which [`site_labels`] maps back to the kernel construct (pos/crd/
+//! values/dense-input buffer) the prefetch targets.
+
+use std::collections::HashMap;
+
+use asap_ir::ops::{OpKind, Value};
+use asap_ir::{OpId, TraceEvent, TraceModel};
+use asap_sim::Counters;
+use asap_sparsifier::{KernelArg, SparsifiedKernel};
+
+/// Per-site effectiveness, keyed by the prefetch op's [`OpId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteStats {
+    pub site: OpId,
+    /// Prefetches issued by this site.
+    pub issued: u64,
+    /// Issued lines that were demanded before being re-prefetched.
+    pub useful: u64,
+    /// Sum over useful prefetches of (first-demand event index − issue
+    /// event index); divide by `useful` for the mean distance.
+    pub distance_events_sum: u64,
+    pub min_distance_events: u64,
+    pub max_distance_events: u64,
+}
+
+impl SiteStats {
+    fn new(site: OpId) -> SiteStats {
+        SiteStats {
+            site,
+            issued: 0,
+            useful: 0,
+            distance_events_sum: 0,
+            min_distance_events: u64::MAX,
+            max_distance_events: 0,
+        }
+    }
+
+    /// useful / issued (0.0 when the site never issued).
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.issued as f64
+        }
+    }
+
+    /// Mean issue-to-first-demand distance in trace events.
+    pub fn mean_distance_events(&self) -> f64 {
+        if self.useful == 0 {
+            0.0
+        } else {
+            self.distance_events_sum as f64 / self.useful as f64
+        }
+    }
+}
+
+/// Whole-run effectiveness: per-site stats plus the global coverage
+/// numbers, optionally scaled to cycles via simulator counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Effectiveness {
+    /// Per-site stats, ordered by site `OpId` (deterministic).
+    pub sites: Vec<SiteStats>,
+    /// Demand loads in the trace.
+    pub demand_loads: u64,
+    /// Demand loads whose line had a prior prefetch (any site).
+    pub covered_loads: u64,
+    /// Estimated cycles per trace event, from the joined [`Counters`]
+    /// (0.0 when no counters were supplied or the trace is empty).
+    pub cycles_per_event: f64,
+}
+
+impl Effectiveness {
+    /// covered / demand (0.0 when there were no demand loads).
+    pub fn coverage(&self) -> f64 {
+        if self.demand_loads == 0 {
+            0.0
+        } else {
+            self.covered_loads as f64 / self.demand_loads as f64
+        }
+    }
+
+    /// Aggregate accuracy over every site.
+    pub fn accuracy(&self) -> f64 {
+        let issued: u64 = self.sites.iter().map(|s| s.issued).sum();
+        let useful: u64 = self.sites.iter().map(|s| s.useful).sum();
+        if issued == 0 {
+            0.0
+        } else {
+            useful as f64 / issued as f64
+        }
+    }
+
+    pub fn total_issued(&self) -> u64 {
+        self.sites.iter().map(|s| s.issued).sum()
+    }
+
+    pub fn total_useful(&self) -> u64 {
+        self.sites.iter().map(|s| s.useful).sum()
+    }
+
+    /// Mean timeliness of a site in estimated cycles.
+    pub fn mean_distance_cycles(&self, s: &SiteStats) -> f64 {
+        s.mean_distance_events() * self.cycles_per_event
+    }
+}
+
+/// A prefetch currently "in flight" on a cache line.
+struct LineState {
+    site: OpId,
+    issue_event: u64,
+    credited: bool,
+}
+
+const LINE: u64 = 64;
+
+/// Analyze a trace without simulator counters (`cycles_per_event` stays
+/// 0.0; event-distance timeliness is still exact).
+pub fn analyze(trace: &TraceModel) -> Effectiveness {
+    analyze_events(&trace.events, None)
+}
+
+/// Analyze a trace and scale timeliness to cycles using counters from a
+/// simulator run of the same kernel: the trace's event stream and the
+/// simulator's instruction stream cover the same execution, so
+/// `cycles / total_events` estimates cycles per trace event.
+pub fn analyze_with_counters(trace: &TraceModel, counters: &Counters) -> Effectiveness {
+    analyze_events(&trace.events, Some(counters))
+}
+
+fn analyze_events(events: &[TraceEvent], counters: Option<&Counters>) -> Effectiveness {
+    let mut lines: HashMap<u64, LineState> = HashMap::new();
+    let mut sites: HashMap<OpId, SiteStats> = HashMap::new();
+    let mut demand_loads = 0u64;
+    let mut covered_loads = 0u64;
+
+    for (t, ev) in events.iter().enumerate() {
+        let t = t as u64;
+        match *ev {
+            TraceEvent::Prefetch { pc, addr, .. } => {
+                let s = sites.entry(pc).or_insert_with(|| SiteStats::new(pc));
+                s.issued += 1;
+                // A re-prefetch of a line whose previous prefetch was
+                // never demanded leaves that previous issue inaccurate
+                // (it simply isn't credited). The line now belongs to
+                // this site.
+                lines.insert(
+                    addr / LINE,
+                    LineState {
+                        site: pc,
+                        issue_event: t,
+                        credited: false,
+                    },
+                );
+            }
+            TraceEvent::Load { addr, .. } => {
+                demand_loads += 1;
+                if let Some(ls) = lines.get_mut(&(addr / LINE)) {
+                    covered_loads += 1;
+                    if !ls.credited {
+                        ls.credited = true;
+                        let d = t - ls.issue_event;
+                        let s = sites
+                            .entry(ls.site)
+                            .or_insert_with(|| SiteStats::new(ls.site));
+                        s.useful += 1;
+                        s.distance_events_sum += d;
+                        s.min_distance_events = s.min_distance_events.min(d);
+                        s.max_distance_events = s.max_distance_events.max(d);
+                    }
+                }
+            }
+            TraceEvent::Store { .. } => {}
+        }
+    }
+
+    let mut sites: Vec<SiteStats> = sites.into_values().collect();
+    sites.sort_by_key(|s| s.site.0);
+    for s in &mut sites {
+        if s.useful == 0 {
+            s.min_distance_events = 0;
+        }
+    }
+
+    let cycles_per_event = match counters {
+        Some(c) if !events.is_empty() && c.cycles > 0 => c.cycles as f64 / events.len() as f64,
+        _ => 0.0,
+    };
+
+    Effectiveness {
+        sites,
+        demand_loads,
+        covered_loads,
+        cycles_per_event,
+    }
+}
+
+/// Map each prefetch site in a sparsified kernel back to the construct
+/// it targets: walk the function for `Prefetch` ops and describe the
+/// `mem` operand via the kernel's argument layout. Non-parameter targets
+/// (locals — shouldn't happen in sparsifier output) label as `"local"`.
+pub fn site_labels(kernel: &SparsifiedKernel) -> HashMap<OpId, String> {
+    let param_pos: HashMap<Value, usize> = kernel
+        .func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i))
+        .collect();
+    let mut labels = HashMap::new();
+    kernel.func.walk(&mut |op| {
+        if let OpKind::Prefetch { mem, write, .. } = op.kind {
+            let target = match param_pos.get(&mem) {
+                Some(&i) => kernel
+                    .args
+                    .get(i)
+                    .map_or_else(|| format!("arg{i}"), |a| describe_arg(*a)),
+                None => "local".to_string(),
+            };
+            let rw = if write { "write" } else { "read" };
+            labels.insert(op.id, format!("{target} ({rw})"));
+        }
+    });
+    labels
+}
+
+fn describe_arg(arg: KernelArg) -> String {
+    match arg {
+        KernelArg::Pos { level } => format!("pos[{level}]"),
+        KernelArg::Crd { level } => format!("crd[{level}]"),
+        KernelArg::SparseVals => "sparse values".to_string(),
+        KernelArg::DenseInput { input } => format!("dense input {input}"),
+        KernelArg::Output => "output".to_string(),
+        KernelArg::DimSize { index } => format!("dim size i{index}"),
+    }
+}
+
+/// Render the per-site table `asap_cli profile` prints. Deterministic:
+/// ordered by site id, no timestamps.
+pub fn render_site_table(eff: &Effectiveness, labels: &HashMap<OpId, String>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:<22} {:>8} {:>8} {:>9} {:>10} {:>12}\n",
+        "site", "target", "issued", "useful", "accuracy", "dist(ev)", "dist(cyc)"
+    ));
+    for s in &eff.sites {
+        let label = labels.get(&s.site).map_or("?", String::as_str);
+        out.push_str(&format!(
+            "{:<6} {:<22} {:>8} {:>8} {:>8.1}% {:>10.1} {:>12.1}\n",
+            format!("op{}", s.site.0),
+            label,
+            s.issued,
+            s.useful,
+            s.accuracy() * 100.0,
+            s.mean_distance_events(),
+            eff.mean_distance_cycles(s),
+        ));
+    }
+    out.push_str(&format!(
+        "coverage: {}/{} demand loads ({:.1}%), aggregate accuracy {:.1}%\n",
+        eff.covered_loads,
+        eff.demand_loads,
+        eff.coverage() * 100.0,
+        eff.accuracy() * 100.0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf(pc: u32, addr: u64) -> TraceEvent {
+        TraceEvent::Prefetch {
+            pc: OpId(pc),
+            addr,
+            locality: 2,
+            write: false,
+        }
+    }
+
+    fn ld(pc: u32, addr: u64) -> TraceEvent {
+        TraceEvent::Load {
+            pc: OpId(pc),
+            addr,
+            bytes: 8,
+        }
+    }
+
+    #[test]
+    fn accuracy_coverage_timeliness_by_hand() {
+        // Site op5 prefetches lines 0 and 2; only line 0 is demanded.
+        // Site op9 prefetches line 1; demanded twice (credited once).
+        // One uncovered demand load on line 3.
+        let events = vec![
+            pf(5, 0),   // t=0: line 0
+            pf(9, 64),  // t=1: line 1
+            pf(5, 128), // t=2: line 2, never demanded
+            ld(1, 8),   // t=3: line 0 → credits op5, distance 3
+            ld(1, 64),  // t=4: line 1 → credits op9, distance 3
+            ld(1, 72),  // t=5: line 1 again → covered, not re-credited
+            ld(1, 192), // t=6: line 3, uncovered
+        ];
+        let eff = analyze_events(&events, None);
+        assert_eq!(eff.demand_loads, 4);
+        assert_eq!(eff.covered_loads, 3);
+        assert!((eff.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(eff.sites.len(), 2);
+        let s5 = &eff.sites[0];
+        assert_eq!(s5.site, OpId(5));
+        assert_eq!((s5.issued, s5.useful), (2, 1));
+        assert!((s5.accuracy() - 0.5).abs() < 1e-12);
+        assert!((s5.mean_distance_events() - 3.0).abs() < 1e-12);
+        let s9 = &eff.sites[1];
+        assert_eq!((s9.issued, s9.useful), (1, 1));
+        assert_eq!((s9.min_distance_events, s9.max_distance_events), (3, 3));
+        assert!((eff.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reprefetch_of_undemanded_line_is_not_credited_twice() {
+        let events = vec![
+            pf(5, 0), // t=0, never demanded before re-prefetch
+            pf(7, 0), // t=1, takes over the line
+            ld(1, 0), // t=2 → credits op7 only, distance 1
+        ];
+        let eff = analyze_events(&events, None);
+        let s5 = eff.sites.iter().find(|s| s.site == OpId(5)).unwrap();
+        let s7 = eff.sites.iter().find(|s| s.site == OpId(7)).unwrap();
+        assert_eq!((s5.issued, s5.useful), (1, 0));
+        assert_eq!(s5.accuracy(), 0.0);
+        assert_eq!(s5.min_distance_events, 0);
+        assert_eq!((s7.issued, s7.useful), (1, 1));
+        assert_eq!(s7.distance_events_sum, 1);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let eff = analyze_events(&[], None);
+        assert_eq!(eff.coverage(), 0.0);
+        assert_eq!(eff.accuracy(), 0.0);
+        assert_eq!(eff.cycles_per_event, 0.0);
+        // Stores alone: no demand loads, no sites.
+        let eff = analyze_events(
+            &[TraceEvent::Store {
+                pc: OpId(0),
+                addr: 0,
+                bytes: 8,
+            }],
+            None,
+        );
+        assert_eq!(eff.coverage(), 0.0);
+        assert!(eff.sites.is_empty());
+    }
+
+    #[test]
+    fn cycles_per_event_scales_timeliness() {
+        let events = vec![pf(5, 0), ld(1, 0)];
+        let counters = Counters {
+            cycles: 10,
+            instructions: 2,
+            ..Counters::default()
+        };
+        let eff = analyze_events(&events, Some(&counters));
+        assert!((eff.cycles_per_event - 5.0).abs() < 1e-12);
+        let s = &eff.sites[0];
+        assert!((eff.mean_distance_cycles(s) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_lists_sites_and_coverage() {
+        let events = vec![pf(5, 0), ld(1, 0)];
+        let eff = analyze_events(&events, None);
+        let mut labels = HashMap::new();
+        labels.insert(OpId(5), "crd[1] (read)".to_string());
+        let table = render_site_table(&eff, &labels);
+        assert!(table.contains("op5"));
+        assert!(table.contains("crd[1] (read)"));
+        assert!(table.contains("coverage: 1/1"));
+    }
+}

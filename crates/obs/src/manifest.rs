@@ -1,0 +1,96 @@
+//! The run manifest: enough provenance stamped into every results file
+//! to re-run the experiment — tool name, package version, build profile,
+//! and the flag/seed/budget key-values the binary was invoked with.
+//!
+//! Deliberately git-free: builds are air-gapped and the version from
+//! `CARGO_PKG_VERSION` plus the recorded flags is the reproducibility
+//! contract, not a commit hash.
+
+use crate::sink::json_escape;
+
+/// Provenance for one run. Serialize with [`RunManifest::to_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// The binary or subcommand that produced the results.
+    pub tool: String,
+    /// Workspace package version (compile-time).
+    pub version: &'static str,
+    /// `release` or `debug` (compile-time).
+    pub profile: &'static str,
+    /// Invocation key-values: flags, seed, budget, matrix set, …
+    /// Serialized in insertion order.
+    pub args: Vec<(String, String)>,
+}
+
+/// Build profile this crate was compiled under.
+pub const BUILD_PROFILE: &str = if cfg!(debug_assertions) {
+    "debug"
+} else {
+    "release"
+};
+
+impl RunManifest {
+    pub fn new(tool: impl Into<String>) -> RunManifest {
+        RunManifest {
+            tool: tool.into(),
+            version: env!("CARGO_PKG_VERSION"),
+            profile: BUILD_PROFILE,
+            args: Vec::new(),
+        }
+    }
+
+    /// Record one invocation key-value (builder-style).
+    pub fn with(mut self, key: impl Into<String>, value: impl ToString) -> RunManifest {
+        self.args.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Record one invocation key-value (in-place).
+    pub fn push(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.args.push((key.into(), value.to_string()));
+    }
+
+    /// Serialize as a JSON object (single line, deterministic order).
+    pub fn to_json(&self) -> String {
+        let mut args = String::new();
+        for (i, (k, v)) in self.args.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+        }
+        format!(
+            "{{\"tool\":\"{}\",\"version\":\"{}\",\"profile\":\"{}\",\"args\":{{{}}}}}",
+            json_escape(&self.tool),
+            self.version,
+            self.profile,
+            args
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_order() {
+        let m = RunManifest::new("fig6")
+            .with("seed", 42)
+            .with("size", "small");
+        let j = m.to_json();
+        assert!(j.starts_with("{\"tool\":\"fig6\",\"version\":\""));
+        assert!(j.contains("\"profile\":\""));
+        assert!(j.contains("\"args\":{\"seed\":\"42\",\"size\":\"small\"}"));
+        assert!(crate::sink::validate_jsonl(&format!(
+            "{{\"type\":\"manifest\",\"manifest\":{j}}}\n"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn escapes_arg_values() {
+        let m = RunManifest::new("t").with("path", "a\"b");
+        assert!(m.to_json().contains("a\\\"b"));
+    }
+}

@@ -1,0 +1,273 @@
+//! The metrics registry: named monotonic counters and log2-bucketed
+//! histograms.
+//!
+//! Counters use atomic adds under a registry lock taken only on the first
+//! touch of a name; histograms allocate a fixed 65-bucket array (one per
+//! bit position of a `u64`, plus a zero bucket folded into bucket 0), so
+//! recording never allocates after the first observation of a name.
+//!
+//! The registry is process-global so far-apart layers (the compile cache
+//! in `asap-core`, the worker pool in `asap-bench`, budget meters in
+//! `asap-ir`) can report into one namespace without plumbing a handle
+//! through every API. Names are dotted paths: `cache.hits`,
+//! `pool.retries`, `budget.polls`, `vm.dispatch.<opcode>`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Buckets 0..=64: bucket `b` holds observations `v` with
+/// `64 - v.leading_zeros() == b`, i.e. bucket 0 is `v == 0`,
+/// bucket 1 is `v == 1`, bucket 2 is `2..=3`, bucket 3 is `4..=7`, …
+pub const HIST_BUCKETS: usize = 65;
+
+struct Registry {
+    counters: BTreeMap<&'static str, &'static AtomicU64>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+/// A fixed-size log2 histogram. All fields are atomics so recording
+/// after registration is lock-free.
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the highest non-empty bucket (0 if empty).
+    pub fn max_bucket_floor(&self) -> u64 {
+        for b in (0..HIST_BUCKETS).rev() {
+            if self.buckets[b] > 0 {
+                return if b == 0 { 0 } else { 1u64 << (b - 1) };
+            }
+        }
+        0
+    }
+}
+
+/// Point-in-time copy of the whole registry, in name order (BTreeMap),
+/// so two identical runs snapshot to equal values in equal order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(&'static str, u64)>,
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(Registry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Handle to a registered counter: after the first lookup, increments
+/// are a single relaxed atomic add.
+fn counter_handle(name: &'static str) -> &'static AtomicU64 {
+    let mut g = lock();
+    g.counters
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+fn histogram_handle(name: &'static str) -> &'static Histogram {
+    let mut g = lock();
+    g.histograms
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Histogram::new())))
+}
+
+/// Add `n` to the monotonic counter `name` (registering it on first use).
+pub fn counter_add(name: &'static str, n: u64) {
+    counter_handle(name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Increment the monotonic counter `name` by one.
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Set counter `name` to `max(current, v)` — for gauges that mirror an
+/// external monotonic source (e.g. the cache's own atomic stats).
+pub fn counter_set_max(name: &'static str, v: u64) {
+    counter_handle(name).fetch_max(v, Ordering::Relaxed);
+}
+
+/// Record one observation into the log2 histogram `name`.
+pub fn histogram_record(name: &'static str, v: u64) {
+    histogram_handle(name).record(v);
+}
+
+/// Copy out every metric, in deterministic (name) order.
+pub fn snapshot() -> MetricsSnapshot {
+    let g = lock();
+    MetricsSnapshot {
+        counters: g
+            .counters
+            .iter()
+            .map(|(&n, c)| (n, c.load(Ordering::Relaxed)))
+            .collect(),
+        histograms: g
+            .histograms
+            .iter()
+            .map(|(&n, h)| {
+                (
+                    n,
+                    HistogramSnapshot {
+                        buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Zero every registered metric (names stay registered; the leaked
+/// atomics are reused).
+pub fn reset() {
+    let g = lock();
+    for c in g.counters.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in g.histograms.values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Render a snapshot as a human-readable table (counters first, then
+/// histogram summaries). Deterministic for identical snapshots.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name} = {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        out.push_str(&format!(
+            "{name}: count={} sum={} mean={:.2}\n",
+            h.count,
+            h.sum,
+            h.mean()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; these tests share the `t.`-prefixed
+    // namespace and serialize via the recorder's own coarse behavior
+    // (each test uses distinct names, so no lock needed).
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_name_order() {
+        counter_add("t.zeta", 2);
+        counter_inc("t.alpha");
+        counter_inc("t.zeta");
+        let s = snapshot();
+        assert_eq!(s.counter("t.zeta"), 3);
+        assert_eq!(s.counter("t.alpha"), 1);
+        assert_eq!(s.counter("t.absent"), 0);
+        let names: Vec<_> = s.counters.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot is name-ordered");
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        histogram_record("t.h", 0);
+        histogram_record("t.h", 1);
+        histogram_record("t.h", 2);
+        histogram_record("t.h", 3);
+        histogram_record("t.h", 1024);
+        let s = snapshot();
+        let h = s.histogram("t.h").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1030);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2..=3
+        assert_eq!(h.buckets[11], 1); // 1024..=2047
+        assert!((h.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_max_behaves_like_monotonic_mirror() {
+        counter_set_max("t.max", 10);
+        counter_set_max("t.max", 4);
+        assert_eq!(snapshot().counter("t.max"), 10);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        counter_add("t.render", 7);
+        let a = render(&snapshot());
+        let b = render(&snapshot());
+        assert_eq!(a, b);
+        assert!(a.contains("t.render = 7"));
+    }
+}

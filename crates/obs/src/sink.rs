@@ -1,0 +1,261 @@
+//! JSONL trace sink: serializes the run manifest, spans, metrics, and
+//! effectiveness to one JSON object per line — the `--trace-out PATH`
+//! format every figure binary and `asap_cli` emit.
+//!
+//! Hand-rolled like the rest of the workspace's JSON (dependency-free
+//! builds); [`validate_jsonl`] is the minimal structural parser CI uses
+//! to check the sink's output round-trips.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::analyzer::Effectiveness;
+use crate::manifest::RunManifest;
+use crate::metrics::MetricsSnapshot;
+use crate::recorder::SpanRecord;
+
+/// Escape a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_line(s: &SpanRecord) -> String {
+    let mut attrs = String::new();
+    for (i, (k, v)) in s.attrs.iter().enumerate() {
+        if i > 0 {
+            attrs.push(',');
+        }
+        let _ = write!(attrs, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    let parent = match s.parent {
+        Some(p) => p.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"attrs\":{{{}}}}}",
+        s.id,
+        parent,
+        json_escape(s.name),
+        s.start_ns,
+        s.end_ns,
+        attrs
+    )
+}
+
+fn metric_lines(m: &MetricsSnapshot, out: &mut String) {
+    for (name, v) in &m.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            v
+        );
+    }
+    for (name, h) in &m.histograms {
+        let mut buckets = String::new();
+        for (i, b) in h.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            let _ = write!(buckets, "{b}");
+        }
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            json_escape(name),
+            h.count,
+            h.sum,
+            buckets
+        );
+    }
+}
+
+fn effectiveness_lines(eff: &Effectiveness, out: &mut String) {
+    for s in &eff.sites {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"pf_site\",\"site\":{},\"issued\":{},\"useful\":{},\"accuracy\":{},\"mean_distance_events\":{},\"mean_distance_cycles\":{}}}",
+            s.site.0,
+            s.issued,
+            s.useful,
+            fmt_f64(s.accuracy()),
+            fmt_f64(s.mean_distance_events()),
+            fmt_f64(eff.mean_distance_cycles(s)),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"pf_summary\",\"demand_loads\":{},\"covered_loads\":{},\"coverage\":{},\"accuracy\":{}}}",
+        eff.demand_loads,
+        eff.covered_loads,
+        fmt_f64(eff.coverage()),
+        fmt_f64(eff.accuracy()),
+    );
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Render a full trace dump: one manifest line, then spans, metrics, and
+/// (if present) the effectiveness report, one JSON object per line.
+pub fn render_jsonl(
+    manifest: &RunManifest,
+    spans: &[SpanRecord],
+    metrics: &MetricsSnapshot,
+    effectiveness: Option<&Effectiveness>,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"manifest\",\"manifest\":{}}}",
+        manifest.to_json()
+    );
+    for s in spans {
+        out.push_str(&span_line(s));
+        out.push('\n');
+    }
+    metric_lines(metrics, &mut out);
+    if let Some(eff) = effectiveness {
+        effectiveness_lines(eff, &mut out);
+    }
+    out
+}
+
+/// Render and write a trace dump to `path`.
+pub fn write_jsonl(
+    path: &Path,
+    manifest: &RunManifest,
+    spans: &[SpanRecord],
+    metrics: &MetricsSnapshot,
+    effectiveness: Option<&Effectiveness>,
+) -> io::Result<()> {
+    std::fs::write(path, render_jsonl(manifest, spans, metrics, effectiveness))
+}
+
+/// Structural validation of a JSONL dump: every non-empty line is a
+/// brace-balanced JSON object (string-aware) with a `"type"` key, and
+/// line one is the manifest. Returns the number of lines validated.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return Err(format!("line {}: not a JSON object", lineno + 1));
+        }
+        if !json_object_balanced(line) {
+            return Err(format!("line {}: unbalanced JSON", lineno + 1));
+        }
+        if !line.contains("\"type\":") {
+            return Err(format!("line {}: missing \"type\" key", lineno + 1));
+        }
+        if n == 0 && !line.contains("\"type\":\"manifest\"") {
+            return Err("line 1: first record must be the manifest".to_string());
+        }
+        n += 1;
+    }
+    if n == 0 {
+        return Err("empty trace".to_string());
+    }
+    Ok(n)
+}
+
+fn json_object_balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use asap_ir::TraceModel;
+
+    #[test]
+    fn renders_and_validates() {
+        let manifest = RunManifest::new("test").with("seed", "42");
+        let spans = vec![SpanRecord {
+            id: 0,
+            parent: None,
+            name: "compile",
+            start_ns: 1,
+            end_ns: 9,
+            attrs: vec![("kernel", "spmv \"x\"".to_string())],
+        }];
+        let metrics = MetricsSnapshot {
+            counters: vec![("cache.hits", 3)],
+            histograms: vec![],
+        };
+        let trace = TraceModel::new();
+        let eff = analyze(&trace);
+        let text = render_jsonl(&manifest, &spans, &metrics, Some(&eff));
+        let n = validate_jsonl(&text).expect("valid jsonl");
+        assert!(n >= 3, "manifest + span + counter + summary, got {n}");
+        assert!(text.contains("\\\"x\\\""), "escaped attr value");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_jsonl("").is_err());
+        assert!(validate_jsonl("not json\n").is_err());
+        assert!(
+            validate_jsonl("{\"type\":\"span\"}\n").is_err(),
+            "manifest must be first"
+        );
+        assert!(validate_jsonl("{\"type\":\"manifest\"\n").is_err());
+        assert!(validate_jsonl("{\"type\":\"manifest\",\"x\":{}}\n{\"no_type\":1}\n").is_err());
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,71 @@
+//! [`TeeModel`]: dispatch one memory-event stream to two models.
+//!
+//! `asap_cli profile` needs the simulator's timing counters *and* the
+//! full event trace from the same execution; running the kernel twice
+//! would double the cost and (worse) let the two views drift if either
+//! run traps early. Teeing guarantees both models see the identical
+//! ordered stream.
+
+use asap_ir::{MemoryModel, OpId};
+
+/// Forwards every event to `a` then `b`, in that order.
+pub struct TeeModel<'m, A: MemoryModel, B: MemoryModel> {
+    pub a: &'m mut A,
+    pub b: &'m mut B,
+}
+
+impl<'m, A: MemoryModel, B: MemoryModel> TeeModel<'m, A, B> {
+    pub fn new(a: &'m mut A, b: &'m mut B) -> TeeModel<'m, A, B> {
+        TeeModel { a, b }
+    }
+}
+
+impl<A: MemoryModel, B: MemoryModel> MemoryModel for TeeModel<'_, A, B> {
+    fn load(&mut self, pc: OpId, addr: u64, bytes: u8) {
+        self.a.load(pc, addr, bytes);
+        self.b.load(pc, addr, bytes);
+    }
+
+    fn store(&mut self, pc: OpId, addr: u64, bytes: u8) {
+        self.a.store(pc, addr, bytes);
+        self.b.store(pc, addr, bytes);
+    }
+
+    fn prefetch(&mut self, pc: OpId, addr: u64, locality: u8, write: bool) {
+        self.a.prefetch(pc, addr, locality, write);
+        self.b.prefetch(pc, addr, locality, write);
+    }
+
+    fn retire(&mut self, n: u64) {
+        self.a.retire(n);
+        self.b.retire(n);
+    }
+
+    fn retire_fp(&mut self, n: u64) {
+        self.a.retire_fp(n);
+        self.b.retire_fp(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_ir::TraceModel;
+
+    #[test]
+    fn both_sides_see_identical_streams() {
+        let mut a = TraceModel::new();
+        let mut b = TraceModel::new();
+        {
+            let mut tee = TeeModel::new(&mut a, &mut b);
+            tee.load(OpId(1), 64, 8);
+            tee.prefetch(OpId(2), 128, 2, false);
+            tee.store(OpId(3), 64, 8);
+            tee.retire(5);
+            tee.retire_fp(2);
+        }
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 3);
+        assert_eq!(a.instructions, b.instructions);
+    }
+}

@@ -19,6 +19,14 @@ pub struct Rates {
     pub sw_pf_redundant_rate: f64,
     /// DRAM bandwidth actually consumed, bytes per cycle.
     pub dram_bytes_per_cycle: f64,
+    /// Fraction of issued software prefetches whose line was later
+    /// demanded — from the trace-based effectiveness analyzer
+    /// (`asap-obs`), not derivable from [`Counters`] alone. 0.0 until
+    /// [`Rates::with_sw_pf_effectiveness`] fills it in.
+    pub sw_pf_accuracy: f64,
+    /// Fraction of demand loads whose line had a prior software
+    /// prefetch — same provenance as `sw_pf_accuracy`.
+    pub sw_pf_coverage: f64,
 }
 
 impl Rates {
@@ -33,7 +41,25 @@ impl Rates {
             sw_pf_drop_rate: div(c.sw_pf_dropped, c.sw_pf_issued),
             sw_pf_redundant_rate: div(c.sw_pf_redundant, c.sw_pf_issued),
             dram_bytes_per_cycle: div(c.dram_bytes(), c.cycles),
+            sw_pf_accuracy: 0.0,
+            sw_pf_coverage: 0.0,
         }
+    }
+
+    /// Merge the trace-analyzer's raw tallies: `useful` of `issued`
+    /// prefetched lines were demanded, and `covered` of `demand` loads
+    /// hit a prefetched line. Zero denominators yield 0.0 rates.
+    pub fn with_sw_pf_effectiveness(
+        mut self,
+        useful: u64,
+        issued: u64,
+        covered: u64,
+        demand: u64,
+    ) -> Rates {
+        let div = |a: u64, b: u64| if b == 0 { 0.0 } else { a as f64 / b as f64 };
+        self.sw_pf_accuracy = div(useful, issued);
+        self.sw_pf_coverage = div(covered, demand);
+        self
     }
 }
 
@@ -132,6 +158,30 @@ mod tests {
         let r = Rates::of(&Counters::default());
         assert_eq!(r.ipc, 0.0);
         assert_eq!(r.l2_mpki, 0.0);
+        assert_eq!(r.sw_pf_accuracy, 0.0);
+        assert_eq!(r.sw_pf_coverage, 0.0);
+    }
+
+    #[test]
+    fn effectiveness_rates_fill_in() {
+        let r = Rates::of(&sample()).with_sw_pf_effectiveness(80, 100, 30, 60);
+        assert!((r.sw_pf_accuracy - 0.8).abs() < 1e-12);
+        assert!((r.sw_pf_coverage - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effectiveness_zero_denominators_stay_zero() {
+        // No prefetches issued at all.
+        let r = Rates::of(&sample()).with_sw_pf_effectiveness(0, 0, 5, 10);
+        assert_eq!(r.sw_pf_accuracy, 0.0);
+        assert!((r.sw_pf_coverage - 0.5).abs() < 1e-12);
+        // No demand loads in the trace window.
+        let r = Rates::of(&sample()).with_sw_pf_effectiveness(1, 2, 0, 0);
+        assert!((r.sw_pf_accuracy - 0.5).abs() < 1e-12);
+        assert_eq!(r.sw_pf_coverage, 0.0);
+        // Both empty.
+        let r = Rates::of(&Counters::default()).with_sw_pf_effectiveness(0, 0, 0, 0);
+        assert_eq!((r.sw_pf_accuracy, r.sw_pf_coverage), (0.0, 0.0));
     }
 
     #[test]

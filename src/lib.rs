@@ -23,6 +23,9 @@
 //!   bandwidth model; stands in for the paper's Alder Lake testbed.
 //! - [`matrices`] — synthetic SuiteSparse-like matrix families plus
 //!   MatrixMarket I/O.
+//! - [`obs`] — workspace-wide observability: scoped spans, a metrics
+//!   registry, the per-site prefetch-effectiveness analyzer, and JSONL
+//!   trace sinks (see DESIGN.md §10).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use asap_core as core;
 pub use asap_ir as ir;
 pub use asap_ir::AsapError;
 pub use asap_matrices as matrices;
+pub use asap_obs as obs;
 pub use asap_sim as sim;
 pub use asap_sparsifier as sparsifier;
 pub use asap_tensor as tensor;
