@@ -8,6 +8,7 @@
 //! asap_cli --gen rmat:16:8 --kernel spmm --variant aj
 //! asap_cli --sweep path/to/dir --variant asap   # skip-and-report sweep
 //! asap_cli profile --gen er:4096:8              # span tree + per-site table
+//! asap_cli serve --addr 127.0.0.1:7070          # compile-and-execute daemon
 //! ```
 
 use asap_bench::{
@@ -51,6 +52,8 @@ fn usage() -> ! {
          \x20      asap_cli profile (--matrix FILE.mtx | --gen KIND:ARGS) \
          [--kernel spmv|spmm] [--variant baseline|asap|aj] [--distance N] \
          [--hw default|optimized|off] [--trace-out PATH.jsonl]\n\
+         \x20      asap_cli serve [--addr HOST:PORT] [--workers N] [--queue-bound N] \
+         [--size tiny|small|full] [--deadline-ms N]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -402,12 +405,61 @@ fn profile_main(args: Vec<String>) {
     }
 }
 
+/// `asap_cli serve`: run the compile-and-execute daemon in the
+/// foreground until a client POSTs `/control/shutdown`, then drain
+/// queued requests and exit. All kernel/matrix/strategy choices are
+/// per-request (see DESIGN.md §11); the flags here size the server.
+fn serve_main(args: Vec<String>) {
+    use asap_matrices::SizeClass;
+    use asap_serve::{ServeConfig, Server};
+
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7070".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-bound" => cfg.queue_bound = val().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => cfg.default_deadline_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--size" => {
+                cfg.size = match val().as_str() {
+                    "tiny" => SizeClass::Tiny,
+                    "small" => SizeClass::Small,
+                    "full" => SizeClass::Full,
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    if cfg.workers == 0 || cfg.queue_bound == 0 {
+        usage();
+    }
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    println!("asap-serve listening on {}", server.addr());
+    println!("POST /v1/run | GET /healthz | GET /metrics | POST /control/shutdown");
+    server.run_until_drained();
+    println!("drained; goodbye");
+}
+
 fn main() {
     {
         let mut args = std::env::args().skip(1).peekable();
         if args.peek().map(String::as_str) == Some("profile") {
             args.next();
             profile_main(args.collect());
+            return;
+        }
+        if args.peek().map(String::as_str) == Some("serve") {
+            args.next();
+            serve_main(args.collect());
             return;
         }
     }

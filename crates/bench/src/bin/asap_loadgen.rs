@@ -1,0 +1,331 @@
+//! `asap_loadgen` — open-loop load harness for `asap-serve`.
+//!
+//! Drives a fixed arrival rate against a running server (or one it
+//! spawns in-process with `--spawn`) and reports throughput, response
+//! mix, and latency percentiles to `BENCH_serve.json`.
+//!
+//! ```sh
+//! asap_loadgen --spawn --rps 800 --duration-s 5
+//! asap_loadgen --addr 127.0.0.1:7070 --matrix gen:er:4096:4 --rps 500
+//! ```
+//!
+//! Open-loop means coordination-omission-aware: request *i* has a
+//! scheduled arrival of `start + i/rps`, and its latency is measured
+//! from that scheduled instant — a server that falls behind shows the
+//! queueing delay in the percentiles instead of hiding it by slowing
+//! the generator down. Every 200 response must carry the same checksum
+//! (the requests are identical); a mismatch is a correctness failure,
+//! not a performance number.
+
+use asap_obs::ObjWriter;
+use asap_serve::{post, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    rps: u64,
+    duration_s: u64,
+    threads: usize,
+    warmup: usize,
+    matrix: String,
+    kernel: String,
+    strategy: String,
+    distance: usize,
+    deadline_ms: u64,
+    out: std::path::PathBuf,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asap_loadgen (--addr HOST:PORT | --spawn) [--rps N] [--duration-s S] \
+         [--threads N] [--warmup N] [--matrix REF] [--kernel spmv|spmm] \
+         [--strategy baseline|asap|aj] [--distance N] [--deadline-ms N] \
+         [--out PATH] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        addr: None,
+        spawn: false,
+        rps: 600,
+        duration_s: 5,
+        threads: 8,
+        warmup: 20,
+        matrix: "gen:er:4096:4".to_string(),
+        kernel: "spmv".to_string(),
+        strategy: "asap".to_string(),
+        distance: 45,
+        deadline_ms: 5_000,
+        out: std::path::PathBuf::from("BENCH_serve.json"),
+        strict: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => a.addr = Some(val()),
+            "--spawn" => a.spawn = true,
+            "--rps" => a.rps = val().parse().unwrap_or_else(|_| usage()),
+            "--duration-s" => a.duration_s = val().parse().unwrap_or_else(|_| usage()),
+            "--threads" => a.threads = val().parse().unwrap_or_else(|_| usage()),
+            "--warmup" => a.warmup = val().parse().unwrap_or_else(|_| usage()),
+            "--matrix" => a.matrix = val(),
+            "--kernel" => a.kernel = val(),
+            "--strategy" => a.strategy = val(),
+            "--distance" => a.distance = val().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => a.deadline_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => a.out = std::path::PathBuf::from(val()),
+            "--strict" => a.strict = true,
+            _ => usage(),
+        }
+    }
+    if a.addr.is_none() && !a.spawn {
+        usage();
+    }
+    if a.rps == 0 || a.duration_s == 0 || a.threads == 0 {
+        usage();
+    }
+    a
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    rejected: u64,
+    deadline: u64,
+    bad: u64,
+    transport: u64,
+    latencies_ns: Vec<u64>,
+    checksums: Vec<String>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // --spawn: run the server in this process (the CI smoke path — no
+    // orphaned daemons, one exit code).
+    let spawned = if args.spawn {
+        let server = Server::start(ServeConfig::default()).unwrap_or_else(|e| {
+            eprintln!("cannot start in-process server: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("spawned in-process server on {}", server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr: SocketAddr = match &spawned {
+        Some(s) => s.addr(),
+        None => match args.addr.as_deref().unwrap().parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("bad --addr: {e}");
+                std::process::exit(1);
+            }
+        },
+    };
+
+    let body = {
+        let mut w = ObjWriter::new();
+        w.str("kernel", &args.kernel)
+            .str("matrix", &args.matrix)
+            .str("strategy", &args.strategy)
+            .usize("distance", args.distance)
+            .u64("deadline_ms", args.deadline_ms);
+        w.finish()
+    };
+    let timeout = Duration::from_millis(args.deadline_ms + 10_000);
+
+    // Warm the kernel cache and the resolved matrix so the measured
+    // window is steady-state (the acceptance number is warm-cache).
+    for i in 0..args.warmup {
+        if let Err(e) = post(addr, "/v1/run", &body, timeout) {
+            eprintln!("warmup request {i} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let total = (args.rps * args.duration_s) as usize;
+    let interval = Duration::from_nanos(1_000_000_000 / args.rps);
+    let next = Arc::new(AtomicUsize::new(0));
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..args.threads)
+        .map(|_| {
+            let next = next.clone();
+            let tally = tally.clone();
+            let body = body.clone();
+            std::thread::spawn(move || {
+                let mut local = Tally::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let scheduled = interval * i as u32;
+                    let now = start.elapsed();
+                    if now < scheduled {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    match post(addr, "/v1/run", &body, timeout) {
+                        Ok(reply) => {
+                            let latency = start.elapsed().saturating_sub(scheduled);
+                            match reply.status {
+                                200 => {
+                                    local.ok += 1;
+                                    local.latencies_ns.push(latency.as_nanos() as u64);
+                                    if let Ok(v) = asap_obs::parse_json(&reply.body) {
+                                        if let Some(c) = v.get("checksum").and_then(|c| c.as_str())
+                                        {
+                                            if !local.checksums.iter().any(|s| s == c) {
+                                                local.checksums.push(c.to_string());
+                                            }
+                                        }
+                                    }
+                                }
+                                429 => local.rejected += 1,
+                                504 => local.deadline += 1,
+                                _ => local.bad += 1,
+                            }
+                        }
+                        Err(_) => local.transport += 1,
+                    }
+                }
+                let mut t = tally.lock().unwrap_or_else(|p| p.into_inner());
+                t.ok += local.ok;
+                t.rejected += local.rejected;
+                t.deadline += local.deadline;
+                t.bad += local.bad;
+                t.transport += local.transport;
+                t.latencies_ns.extend(local.latencies_ns);
+                for c in local.checksums {
+                    if !t.checksums.iter().any(|s| s == &c) {
+                        t.checksums.push(c);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = start.elapsed();
+
+    let mut t = Arc::try_unwrap(tally)
+        .unwrap_or_else(|_| unreachable!("workers joined"))
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner());
+    t.latencies_ns.sort_unstable();
+    let achieved_rps = t.ok as f64 / elapsed.as_secs_f64();
+    let p50 = percentile(&t.latencies_ns, 0.50);
+    let p95 = percentile(&t.latencies_ns, 0.95);
+    let p99 = percentile(&t.latencies_ns, 0.99);
+    let pmax = t.latencies_ns.last().copied().unwrap_or(0);
+
+    println!(
+        "sent {total} over {:.2}s: {} ok, {} rejected(429), {} deadline(504), {} bad, {} transport",
+        elapsed.as_secs_f64(),
+        t.ok,
+        t.rejected,
+        t.deadline,
+        t.bad,
+        t.transport
+    );
+    println!(
+        "throughput : {achieved_rps:.0} ok/s (target arrival {} req/s)",
+        args.rps
+    );
+    println!(
+        "latency    : p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  max {:.2}ms",
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        pmax as f64 / 1e6
+    );
+    println!(
+        "checksums  : {} distinct ({})",
+        t.checksums.len(),
+        t.checksums.join(", ")
+    );
+
+    let json = {
+        let cfg = {
+            let mut w = ObjWriter::new();
+            w.str("matrix", &args.matrix)
+                .str("kernel", &args.kernel)
+                .str("strategy", &args.strategy)
+                .usize("distance", args.distance)
+                .u64("target_rps", args.rps)
+                .u64("duration_s", args.duration_s)
+                .usize("threads", args.threads)
+                .bool("spawned", args.spawn);
+            w.finish()
+        };
+        let mut w = ObjWriter::new();
+        w.str("bench", "serve-load")
+            .raw("config", &cfg)
+            .usize("sent", total)
+            .u64("ok", t.ok)
+            .u64("rejected_429", t.rejected)
+            .u64("deadline_504", t.deadline)
+            .u64("bad", t.bad)
+            .u64("transport_errors", t.transport)
+            .raw("achieved_rps", &format!("{achieved_rps:.1}"))
+            .raw("elapsed_s", &format!("{:.3}", elapsed.as_secs_f64()))
+            .u64("latency_p50_ns", p50)
+            .u64("latency_p95_ns", p95)
+            .u64("latency_p99_ns", p99)
+            .u64("latency_max_ns", pmax)
+            .str_array("checksums", &t.checksums);
+        w.finish()
+    };
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out.display());
+
+    if let Some(server) = spawned {
+        server.join();
+    }
+
+    // Strict gate (CI smoke): identical requests must agree bit-for-bit,
+    // every request must get *an* answer, and at least one must succeed.
+    if args.strict {
+        if t.checksums.len() > 1 {
+            eprintln!(
+                "FAIL: {} distinct checksums from identical requests",
+                t.checksums.len()
+            );
+            std::process::exit(1);
+        }
+        if t.transport > 0 || t.bad > 0 || t.ok == 0 {
+            eprintln!(
+                "FAIL: {} transport errors, {} bad responses, {} ok",
+                t.transport, t.bad, t.ok
+            );
+            std::process::exit(1);
+        }
+    }
+}

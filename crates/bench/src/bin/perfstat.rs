@@ -22,6 +22,7 @@ use asap_bench::PAPER_DISTANCE;
 use asap_core::{cache_stats_full, compile_cached, ExecEngine, PrefetchStrategy};
 use asap_ir::{execute_budgeted, interpret_budgeted, Budget, BufferData, MemoryModel, OpId};
 use asap_matrices::{synthetic_collection, SizeClass};
+use asap_obs::ObjWriter;
 use asap_sparsifier::{bind, KernelSpec};
 use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
 use std::path::PathBuf;
@@ -338,48 +339,54 @@ fn real_main() -> Result<(), String> {
         cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
     );
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"bench\": \"exec-engine\",\n  \"kernel\": \"spmv\",\n  \"variant\": \"asap\",\n  \"reps\": {},\n",
-        args.reps
-    ));
-    json.push_str("  \"matrices\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"nnz\": {}, \"instructions\": {}, \
-             \"tree_walk_ms\": {:.3}, \"bytecode_ms\": {:.3}, \"budgeted_ms\": {:.3}, \
-             \"bytecode_min_ms\": {:.3}, \"obs_min_ms\": {:.3}, \
-             \"tree_walk_mips\": {:.1}, \"bytecode_mips\": {:.1}, \
-             \"speedup\": {:.3}, \"budget_overhead\": {:.4}, \"obs_overhead\": {:.4}}}{}\n",
-            r.name.replace('"', "'"),
-            r.nnz,
-            r.instructions,
-            r.tree_ms,
-            r.byte_ms,
-            r.governed_ms,
-            r.byte_min_ms,
-            r.obs_min_ms,
-            r.mips(r.tree_ms),
-            r.mips(r.byte_ms),
-            r.speedup(),
-            r.budget_overhead(),
-            r.obs_overhead(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"total\": {{\"instructions\": {instr_total}, \"tree_walk_ms\": {tree_total:.3}, \
-         \"bytecode_ms\": {byte_total:.3}, \"budgeted_ms\": {governed_total:.3}, \
-         \"bytecode_min_ms\": {byte_min_total:.3}, \"obs_min_ms\": {obs_min_total:.3}, \
-         \"speedup\": {speedup:.3}, \
-         \"budget_overhead\": {budget_overhead:.4}, \"obs_overhead\": {obs_overhead:.4}}},\n"
-    ));
-    json.push_str(&format!(
-        "  \"compile_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
-         \"poison_recoveries\": {}}}\n}}\n",
-        cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
-    ));
+    // Fixed-precision floats by design: the artifact diffs cleanly run
+    // to run, so `raw` with pre-rendered tokens instead of shortest-repr.
+    let row_objs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let mut w = ObjWriter::new();
+            w.str("name", &r.name)
+                .usize("nnz", r.nnz)
+                .u64("instructions", r.instructions)
+                .raw("tree_walk_ms", &format!("{:.3}", r.tree_ms))
+                .raw("bytecode_ms", &format!("{:.3}", r.byte_ms))
+                .raw("budgeted_ms", &format!("{:.3}", r.governed_ms))
+                .raw("bytecode_min_ms", &format!("{:.3}", r.byte_min_ms))
+                .raw("obs_min_ms", &format!("{:.3}", r.obs_min_ms))
+                .raw("tree_walk_mips", &format!("{:.1}", r.mips(r.tree_ms)))
+                .raw("bytecode_mips", &format!("{:.1}", r.mips(r.byte_ms)))
+                .raw("speedup", &format!("{:.3}", r.speedup()))
+                .raw("budget_overhead", &format!("{:.4}", r.budget_overhead()))
+                .raw("obs_overhead", &format!("{:.4}", r.obs_overhead()));
+            format!("    {}", w.finish())
+        })
+        .collect();
+    let total = {
+        let mut w = ObjWriter::new();
+        w.u64("instructions", instr_total)
+            .raw("tree_walk_ms", &format!("{tree_total:.3}"))
+            .raw("bytecode_ms", &format!("{byte_total:.3}"))
+            .raw("budgeted_ms", &format!("{governed_total:.3}"))
+            .raw("bytecode_min_ms", &format!("{byte_min_total:.3}"))
+            .raw("obs_min_ms", &format!("{obs_min_total:.3}"))
+            .raw("speedup", &format!("{speedup:.3}"))
+            .raw("budget_overhead", &format!("{budget_overhead:.4}"))
+            .raw("obs_overhead", &format!("{obs_overhead:.4}"));
+        w.finish()
+    };
+    let cache_obj = {
+        let mut w = ObjWriter::new();
+        w.u64("hits", cache.hits)
+            .u64("misses", cache.misses)
+            .u64("evictions", cache.evictions)
+            .u64("poison_recoveries", cache.poison_recoveries);
+        w.finish()
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"exec-engine\",\n  \"kernel\": \"spmv\",\n  \"variant\": \"asap\",\n  \"reps\": {},\n  \"matrices\": [\n{}\n  ],\n  \"total\": {total},\n  \"compile_cache\": {cache_obj}\n}}\n",
+        args.reps,
+        row_objs.join(",\n")
+    );
     if let Some(dir) = args.out.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;

@@ -10,6 +10,7 @@
 use asap_core::{compile_cached, CompiledKernel, ExecEngine, PrefetchStrategy};
 use asap_ir::{execute, interpret, AsapError, Budget, V};
 use asap_matrices::{read_matrix_market, Triplets};
+use asap_obs::{Json, ObjWriter};
 use asap_sim::{run_parallel, GracemontConfig, Machine, PrefetcherConfig};
 use asap_sparsifier::{bind, KernelArg, KernelSpec};
 use asap_tensor::{DenseTensor, Format, SparseTensor, ValueKind};
@@ -69,69 +70,58 @@ pub struct ExperimentResult {
     pub warnings: Vec<String>,
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 impl ExperimentResult {
-    /// Hand-rolled JSON object (no external serialization crate).
+    /// JSON object via the workspace's shared writer
+    /// (`asap-obs::json`) — no external serialization crate.
     pub fn to_json(&self) -> String {
-        let warnings: Vec<String> = self
-            .warnings
-            .iter()
-            .map(|w| format!("\"{}\"", json_escape(w)))
-            .collect();
-        format!(
-            concat!(
-                "{{\"matrix\":\"{}\",\"group\":\"{}\",\"unstructured\":{},",
-                "\"kernel\":\"{}\",\"variant\":\"{}\",\"hw_config\":\"{}\",",
-                "\"threads\":{},\"nnz\":{},\"cycles\":{},\"instructions\":{},",
-                "\"throughput\":{},\"l2_mpki\":{},\"sw_pf_issued\":{},",
-                "\"sw_pf_dropped\":{},\"hw_pf_issued\":{},\"dram_bytes\":{},",
-                "\"stall_cycles\":{},\"warnings\":[{}]}}"
-            ),
-            json_escape(&self.matrix),
-            json_escape(&self.group),
-            self.unstructured,
-            json_escape(&self.kernel),
-            json_escape(&self.variant),
-            json_escape(&self.hw_config),
-            self.threads,
-            self.nnz,
-            self.cycles,
-            self.instructions,
-            self.throughput,
-            self.l2_mpki,
-            self.sw_pf_issued,
-            self.sw_pf_dropped,
-            self.hw_pf_issued,
-            self.dram_bytes,
-            self.stall_cycles,
-            warnings.join(",")
-        )
+        let mut w = ObjWriter::new();
+        w.str("matrix", &self.matrix)
+            .str("group", &self.group)
+            .bool("unstructured", self.unstructured)
+            .str("kernel", &self.kernel)
+            .str("variant", &self.variant)
+            .str("hw_config", &self.hw_config)
+            .usize("threads", self.threads)
+            .usize("nnz", self.nnz)
+            .u64("cycles", self.cycles)
+            .u64("instructions", self.instructions)
+            .f64("throughput", self.throughput)
+            .f64("l2_mpki", self.l2_mpki)
+            .u64("sw_pf_issued", self.sw_pf_issued)
+            .u64("sw_pf_dropped", self.sw_pf_dropped)
+            .u64("hw_pf_issued", self.hw_pf_issued)
+            .u64("dram_bytes", self.dram_bytes)
+            .u64("stall_cycles", self.stall_cycles)
+            .str_array("warnings", &self.warnings);
+        w.finish()
     }
 
     /// Parse one object written by [`to_json`] — the checkpoint journal's
-    /// resume path. Hand-rolled like its writer (no serialization crate);
-    /// accepts fields in any order and reports malformed input as an
-    /// error message instead of panicking, so a corrupt or truncated
-    /// journal line simply re-runs its cell. Floats round-trip exactly:
-    /// `to_json` prints the shortest representation that parses back to
-    /// the same bits.
+    /// resume path, on the shared `asap-obs` parser. Accepts fields in
+    /// any order, rejects unknown ones, and reports malformed input as
+    /// an error message instead of panicking, so a corrupt or truncated
+    /// journal line simply re-runs its cell. Numbers round-trip exactly:
+    /// the parser keeps the raw token and each field re-parses it into
+    /// its concrete type (`u64` never detours through `f64`; floats
+    /// reread the shortest representation `to_json` printed).
     pub fn from_json(s: &str) -> Result<ExperimentResult, String> {
-        let mut c = JsonCursor::new(s);
+        let v = asap_obs::parse_json(s).map_err(|e| e.to_string())?;
+        let Json::Obj(fields) = &v else {
+            return Err("expected a JSON object".into());
+        };
+        fn want_str(v: &Json, field: &str) -> Result<String, String> {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("field {field}: expected a string"))
+        }
+        fn want_num<N: std::str::FromStr>(v: &Json, field: &str) -> Result<N, String> {
+            match v {
+                Json::Num(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("field {field}: bad number {raw:?}")),
+                _ => Err(format!("field {field}: expected a number")),
+            }
+        }
         let mut r = ExperimentResult {
             matrix: String::new(),
             group: String::new(),
@@ -152,193 +142,42 @@ impl ExperimentResult {
             stall_cycles: 0,
             warnings: Vec::new(),
         };
-        c.expect(b'{')?;
-        loop {
-            c.skip_ws();
-            if c.eat(b'}') {
-                break;
-            }
-            let field = c.parse_string()?;
-            c.skip_ws();
-            c.expect(b':')?;
-            c.skip_ws();
+        for (field, val) in fields {
             match field.as_str() {
-                "matrix" => r.matrix = c.parse_string()?,
-                "group" => r.group = c.parse_string()?,
-                "kernel" => r.kernel = c.parse_string()?,
-                "variant" => r.variant = c.parse_string()?,
-                "hw_config" => r.hw_config = c.parse_string()?,
-                "unstructured" => r.unstructured = c.parse_bool()?,
-                "threads" => r.threads = c.parse_num("threads")?,
-                "nnz" => r.nnz = c.parse_num("nnz")?,
-                "cycles" => r.cycles = c.parse_num("cycles")?,
-                "instructions" => r.instructions = c.parse_num("instructions")?,
-                "throughput" => r.throughput = c.parse_num("throughput")?,
-                "l2_mpki" => r.l2_mpki = c.parse_num("l2_mpki")?,
-                "sw_pf_issued" => r.sw_pf_issued = c.parse_num("sw_pf_issued")?,
-                "sw_pf_dropped" => r.sw_pf_dropped = c.parse_num("sw_pf_dropped")?,
-                "hw_pf_issued" => r.hw_pf_issued = c.parse_num("hw_pf_issued")?,
-                "dram_bytes" => r.dram_bytes = c.parse_num("dram_bytes")?,
-                "stall_cycles" => r.stall_cycles = c.parse_num("stall_cycles")?,
-                "warnings" => r.warnings = c.parse_string_array()?,
+                "matrix" => r.matrix = want_str(val, field)?,
+                "group" => r.group = want_str(val, field)?,
+                "kernel" => r.kernel = want_str(val, field)?,
+                "variant" => r.variant = want_str(val, field)?,
+                "hw_config" => r.hw_config = want_str(val, field)?,
+                "unstructured" => {
+                    r.unstructured = val
+                        .as_bool()
+                        .ok_or_else(|| format!("field {field}: expected a bool"))?
+                }
+                "threads" => r.threads = want_num(val, field)?,
+                "nnz" => r.nnz = want_num(val, field)?,
+                "cycles" => r.cycles = want_num(val, field)?,
+                "instructions" => r.instructions = want_num(val, field)?,
+                "throughput" => r.throughput = want_num(val, field)?,
+                "l2_mpki" => r.l2_mpki = want_num(val, field)?,
+                "sw_pf_issued" => r.sw_pf_issued = want_num(val, field)?,
+                "sw_pf_dropped" => r.sw_pf_dropped = want_num(val, field)?,
+                "hw_pf_issued" => r.hw_pf_issued = want_num(val, field)?,
+                "dram_bytes" => r.dram_bytes = want_num(val, field)?,
+                "stall_cycles" => r.stall_cycles = want_num(val, field)?,
+                "warnings" => {
+                    let arr = val
+                        .as_array()
+                        .ok_or_else(|| format!("field {field}: expected an array"))?;
+                    r.warnings = arr
+                        .iter()
+                        .map(|w| want_str(w, field))
+                        .collect::<Result<_, _>>()?;
+                }
                 other => return Err(format!("unknown field {other:?}")),
             }
-            c.skip_ws();
-            if !c.eat(b',') {
-                c.expect(b'}')?;
-                break;
-            }
-        }
-        c.skip_ws();
-        if !c.at_end() {
-            return Err("trailing data after object".into());
         }
         Ok(r)
-    }
-}
-
-/// Minimal JSON scanner for the flat objects [`ExperimentResult::to_json`]
-/// emits: strings with escapes, numbers, booleans, arrays of strings.
-struct JsonCursor<'a> {
-    b: &'a [u8],
-    i: usize,
-}
-
-impl<'a> JsonCursor<'a> {
-    fn new(s: &'a str) -> JsonCursor<'a> {
-        JsonCursor {
-            b: s.as_bytes(),
-            i: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn at_end(&self) -> bool {
-        self.i >= self.b.len()
-    }
-
-    fn eat(&mut self, c: u8) -> bool {
-        if self.i < self.b.len() && self.b[self.i] == c {
-            self.i += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        self.skip_ws();
-        if self.eat(c) {
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", c as char, self.i))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.skip_ws();
-        if !self.eat(b'"') {
-            return Err(format!("expected string at byte {}", self.i));
-        }
-        let mut out = String::new();
-        loop {
-            let Some(&c) = self.b.get(self.i) else {
-                return Err("unterminated string".into());
-            };
-            self.i += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&e) = self.b.get(self.i) else {
-                        return Err("unterminated escape".into());
-                    };
-                    self.i += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .b
-                                .get(self.i..self.i + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let cp = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
-                            self.i += 4;
-                            out.push(
-                                char::from_u32(cp).ok_or(format!("invalid codepoint {cp:#x}"))?,
-                            );
-                        }
-                        other => return Err(format!("unknown escape \\{}", other as char)),
-                    }
-                }
-                _ => {
-                    // Re-borrow the full UTF-8 character starting here.
-                    let start = self.i - 1;
-                    let s = std::str::from_utf8(&self.b[start..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let ch = s.chars().next().ok_or("unterminated string")?;
-                    out.push(ch);
-                    self.i = start + ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_bool(&mut self) -> Result<bool, String> {
-        self.skip_ws();
-        if self.b[self.i..].starts_with(b"true") {
-            self.i += 4;
-            Ok(true)
-        } else if self.b[self.i..].starts_with(b"false") {
-            self.i += 5;
-            Ok(false)
-        } else {
-            Err(format!("expected bool at byte {}", self.i))
-        }
-    }
-
-    /// Parse a number token and convert to the field's concrete type —
-    /// `u64` fields round-trip exactly (no intermediate f64).
-    fn parse_num<N: std::str::FromStr>(&mut self, field: &str) -> Result<N, String> {
-        self.skip_ws();
-        let start = self.i;
-        while self
-            .b
-            .get(self.i)
-            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.i += 1;
-        }
-        let tok = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
-        tok.parse()
-            .map_err(|_| format!("field {field}: bad number {tok:?}"))
-    }
-
-    fn parse_string_array(&mut self) -> Result<Vec<String>, String> {
-        self.expect(b'[')?;
-        let mut out = Vec::new();
-        self.skip_ws();
-        if self.eat(b']') {
-            return Ok(out);
-        }
-        loop {
-            out.push(self.parse_string()?);
-            self.skip_ws();
-            if self.eat(b']') {
-                return Ok(out);
-            }
-            self.expect(b',')?;
-        }
     }
 }
 

@@ -1,29 +1,37 @@
-//! A process-wide cache of compiled kernels.
+//! A process-wide, lock-striped cache of compiled kernels.
 //!
 //! Every figure binary used to re-sparsify, re-optimise, re-verify and
-//! re-lower the same handful of kernels once per matrix × variant. The
-//! kernel depends only on `(spec, strategy, format, index width)` — never
-//! on the matrix contents — so the sweep loops can share one compilation
-//! per combination. The cache key is the `Debug` rendering of that tuple
-//! (all four components derive `Debug` and render every semantically
-//! relevant field, including prefetch distances).
+//! re-lower the same handful of kernels once per matrix × variant, and
+//! the serving daemon compiles on the request path. The kernel depends
+//! only on `(spec, strategy, format, index width)` — never on the matrix
+//! contents — so sweep loops and concurrent requests can share one
+//! compilation per combination. The cache key is the `Debug` rendering
+//! of that tuple (all four components derive `Debug` and render every
+//! semantically relevant field, including prefetch distances).
 //!
-//! Thread safety: the map sits behind a `Mutex`; compilation runs outside
-//! the lock so concurrent bench-pool workers never serialize on the
-//! compiler. Two workers racing on the same key both compile and one
-//! result wins — wasted work, never wrong results.
+//! Sharding: the map is striped across [`CACHE_SHARDS`] independent
+//! mutex-guarded shards, selected by an FNV-1a hash of the key, so a
+//! serving worker pool hammering a handful of hot kernels never
+//! serializes every lookup on one lock. Compilation runs outside any
+//! lock; two workers racing on the same key both compile and one result
+//! wins — wasted work, never wrong results. (The serving layer layers
+//! single-flight coalescing on top; see `asap-serve::batcher`.)
 //!
-//! Poisoning: a bench worker that panics while holding the lock (the
-//! crash-isolated pool keeps the process alive) poisons the mutex. The
-//! cache recovers by discarding the whole map — it is a pure memoization
-//! layer, so dropping entries costs recompilation, never correctness —
-//! and counts the event in [`cache_stats_full`] as `poison_recoveries`.
+//! Stats: each shard keeps its own hit/miss/eviction/poison counters;
+//! [`cache_stats_full`] aggregates them into process totals.
 //!
-//! Eviction: the map is capped at [`CACHE_CAPACITY`] entries with FIFO
-//! replacement (insertion order). Kernels are a few KB each, so the cap
+//! Poisoning: a worker that panics while holding a shard lock (the
+//! crash-isolated pool keeps the process alive) poisons only that
+//! shard. The shard recovers by discarding its own map — it is a pure
+//! memoization layer, so dropping entries costs recompilation, never
+//! correctness — and counts the event as a `poison_recovery`. The other
+//! shards keep their entries.
+//!
+//! Eviction: each shard is capped at `CACHE_CAPACITY / CACHE_SHARDS`
+//! entries with FIFO replacement (insertion order), bounding the whole
+//! cache at [`CACHE_CAPACITY`]. Kernels are a few KB each, so the cap
 //! exists to bound a pathological sweep over thousands of distinct
-//! prefetch distances, not normal figure runs — those fit comfortably.
-//! Evictions are counted and surfaced in `perfstat`/sweep output.
+//! prefetch distances, not normal runs — those fit comfortably.
 //!
 //! Every outcome is mirrored into the `asap-obs` metrics registry
 //! (`cache.hits`, `cache.misses`, `cache.evictions`,
@@ -38,39 +46,67 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-/// Maximum cached kernels before FIFO eviction kicks in.
+/// Maximum cached kernels across all shards before FIFO eviction.
 pub const CACHE_CAPACITY: usize = 128;
 
+/// Number of lock stripes. A power of two so the hash maps to a shard
+/// with a mask; 8 stripes keep lock contention negligible even with a
+/// serving pool of a few dozen workers.
+pub const CACHE_SHARDS: usize = 8;
+
+const SHARD_CAPACITY: usize = CACHE_CAPACITY / CACHE_SHARDS;
+
 #[derive(Default)]
-struct CacheState {
+struct ShardState {
     map: HashMap<String, CompiledKernel>,
     /// Keys in insertion order, oldest first (FIFO eviction).
     order: VecDeque<String>,
 }
 
-static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
-static EVICTIONS: AtomicU64 = AtomicU64::new(0);
-static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
-
-fn map() -> &'static Mutex<CacheState> {
-    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
+#[derive(Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
-/// Lock the cache map, recovering from poisoning by clearing it: the
+static CACHE: OnceLock<Vec<Shard>> = OnceLock::new();
+
+fn shards() -> &'static [Shard] {
+    CACHE.get_or_init(|| (0..CACHE_SHARDS).map(|_| Shard::default()).collect())
+}
+
+/// FNV-1a over the key bytes: cheap, deterministic, and well-mixed for
+/// the short `Debug`-rendered tuples used as keys.
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn shard_for(key: &str) -> &'static Shard {
+    &shards()[(fnv1a(key) as usize) & (CACHE_SHARDS - 1)]
+}
+
+/// Lock one shard's map, recovering from poisoning by clearing it: the
 /// interrupted writer may have left a partially-observed state, and a
-/// memoization cache is always safe to empty.
-fn lock_map() -> MutexGuard<'static, CacheState> {
-    match map().lock() {
+/// memoization cache is always safe to empty. Only the poisoned shard
+/// loses its entries.
+fn lock_shard(shard: &Shard) -> MutexGuard<'_, ShardState> {
+    match shard.state.lock() {
         Ok(g) => g,
         Err(poisoned) => {
             let mut g = poisoned.into_inner();
             g.map.clear();
             g.order.clear();
-            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            shard.poison_recoveries.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("cache.poison_recoveries");
-            map().clear_poison();
+            shard.state.clear_poison();
             g
         }
     }
@@ -94,30 +130,44 @@ pub fn compile_cached(
     width: IndexWidth,
     strategy: &PrefetchStrategy,
 ) -> Result<CompiledKernel, AsapError> {
+    compile_cached_stat(spec, format, width, strategy).map(|(ck, _)| ck)
+}
+
+/// As [`compile_cached`], additionally reporting whether the kernel was
+/// served from the cache (`true`) or compiled by this call (`false`).
+/// The serving layer surfaces the flag in responses so clients — and the
+/// coalescing tests — can see exactly which request paid the compile.
+pub fn compile_cached_stat(
+    spec: &KernelSpec,
+    format: &Format,
+    width: IndexWidth,
+    strategy: &PrefetchStrategy,
+) -> Result<(CompiledKernel, bool), AsapError> {
     let span = asap_obs::span("cache.lookup");
     let k = key(spec, format, width, strategy);
+    let shard = shard_for(&k);
     {
-        let m = lock_map();
+        let m = lock_shard(shard);
         if let Some(ck) = m.map.get(&k) {
-            HITS.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("cache.hits");
             span.attr("outcome", "hit");
-            return Ok(ck.clone());
+            return Ok((ck.clone(), true));
         }
     }
     span.attr("outcome", "miss");
     let ck = compile_with_width(spec, format, width, strategy)?;
-    MISSES.fetch_add(1, Ordering::Relaxed);
+    shard.misses.fetch_add(1, Ordering::Relaxed);
     asap_obs::counter_inc("cache.misses");
-    let mut m = lock_map();
+    let mut m = lock_shard(shard);
     if !m.map.contains_key(&k) {
-        while m.map.len() >= CACHE_CAPACITY {
+        while m.map.len() >= SHARD_CAPACITY {
             // FIFO: evict the oldest insertion. A racing clear may leave
             // stale order entries; skip any key no longer mapped.
             match m.order.pop_front() {
                 Some(old) => {
                     if m.map.remove(&old).is_some() {
-                        EVICTIONS.fetch_add(1, Ordering::Relaxed);
+                        shard.evictions.fetch_add(1, Ordering::Relaxed);
                         asap_obs::counter_inc("cache.evictions");
                     }
                 }
@@ -127,35 +177,41 @@ pub fn compile_cached(
         m.order.push_back(k.clone());
         m.map.insert(k, ck.clone());
     }
-    Ok(ck)
+    Ok((ck, false))
 }
 
-/// `(hits, misses)` since process start — the bench harness logs these so
-/// sweeps can show how much re-compilation the cache absorbed.
-pub fn cache_stats() -> (u64, u64) {
-    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
-}
-
-/// Cache health counters since process start.
+/// Cache health counters since process start, aggregated across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
-    /// Entries dropped by FIFO replacement at [`CACHE_CAPACITY`].
+    /// Entries dropped by FIFO replacement at the per-shard cap.
     pub evictions: u64,
-    /// Times a poisoned cache lock was recovered by discarding the map
-    /// (a crash-isolated worker panicked while holding it).
+    /// Times a poisoned shard lock was recovered by discarding that
+    /// shard's map (a crash-isolated worker panicked while holding it).
     pub poison_recoveries: u64,
 }
 
-/// As [`cache_stats`], including eviction and poison-recovery counts.
+/// Aggregate the per-shard counters into process-wide totals.
 pub fn cache_stats_full() -> CacheStats {
-    CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
-        evictions: EVICTIONS.load(Ordering::Relaxed),
-        poison_recoveries: POISON_RECOVERIES.load(Ordering::Relaxed),
+    let mut s = CacheStats {
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        poison_recoveries: 0,
+    };
+    for shard in shards() {
+        s.hits += shard.hits.load(Ordering::Relaxed);
+        s.misses += shard.misses.load(Ordering::Relaxed);
+        s.evictions += shard.evictions.load(Ordering::Relaxed);
+        s.poison_recoveries += shard.poison_recoveries.load(Ordering::Relaxed);
     }
+    s
+}
+
+/// Total entries currently cached, across all shards.
+pub fn cache_len() -> usize {
+    shards().iter().map(|s| lock_shard(s).map.len()).sum()
 }
 
 #[cfg(test)]
@@ -163,56 +219,82 @@ mod tests {
     use super::*;
     use asap_tensor::ValueKind;
 
-    /// The cache is process-global state; the poison test clears it, so
-    /// the tests in this module must not interleave.
+    /// The cache is process-global state; the poison test clears a
+    /// shard, so the tests in this module must not interleave.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn cache_hits_on_repeat_and_distinguishes_distances() {
         let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let spec = KernelSpec::spmv(ValueKind::F64);
-        let (_, m0) = cache_stats();
-        let a = compile_cached(
+        let m0 = cache_stats_full().misses;
+        let (a, _) = compile_cached_stat(
             &spec,
             &Format::csr(),
             IndexWidth::U32,
             &PrefetchStrategy::asap(45),
         )
         .unwrap();
-        let (h1, m1) = cache_stats();
-        assert!(m1 > m0, "first compile misses");
-        let b = compile_cached(
+        let s1 = cache_stats_full();
+        assert!(s1.misses > m0, "first compile misses");
+        let (b, hit) = compile_cached_stat(
             &spec,
             &Format::csr(),
             IndexWidth::U32,
             &PrefetchStrategy::asap(45),
         )
         .unwrap();
-        let (h2, m2) = cache_stats();
-        assert!(h2 > h1, "second compile hits");
-        assert_eq!(m2, m1, "second compile does not recompile");
+        let s2 = cache_stats_full();
+        assert!(hit, "second compile reports a hit");
+        assert!(s2.hits > s1.hits, "second compile hits");
+        assert_eq!(s2.misses, s1.misses, "second compile does not recompile");
         assert_eq!(a.prefetch_ops, b.prefetch_ops);
         // A different distance is a different kernel: must not alias.
-        let c = compile_cached(
+        let (c, hit) = compile_cached_stat(
             &spec,
             &Format::csr(),
             IndexWidth::U32,
             &PrefetchStrategy::asap(7),
         )
         .unwrap();
+        assert!(!hit, "distinct distance is a fresh compile");
         assert_eq!(c.prefetch_ops, a.prefetch_ops);
-        let (_, m3) = cache_stats();
-        assert!(m3 > m2, "distinct distance misses");
+        assert!(
+            cache_stats_full().misses > s2.misses,
+            "distinct distance misses"
+        );
     }
 
     #[test]
-    fn fifo_eviction_caps_the_map() {
+    fn keys_spread_across_shards() {
+        // The FNV stripe must actually distribute: 64 realistic keys
+        // (distinct distances) should touch well over half the shards.
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let mut used = std::collections::HashSet::new();
+        for d in 0..64 {
+            let k = key(
+                &spec,
+                &Format::csr(),
+                IndexWidth::U32,
+                &PrefetchStrategy::asap(d),
+            );
+            used.insert((fnv1a(&k) as usize) & (CACHE_SHARDS - 1));
+        }
+        assert!(
+            used.len() > CACHE_SHARDS / 2,
+            "only {} shards used",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn fifo_eviction_caps_the_total() {
         let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let spec = KernelSpec::spmv(ValueKind::F64);
         let before = cache_stats_full();
-        // Distinct distances are distinct keys; two more than the
-        // capacity forces at least two evictions (the map may already
-        // hold entries from other tests).
+        // Distinct distances are distinct keys; two more than the total
+        // capacity forces at least two evictions (every key past a
+        // shard's cap evicts, and Σ per-shard overflow ≥ total − cap).
         for d in 0..(CACHE_CAPACITY + 2) {
             compile_cached(
                 &spec,
@@ -227,20 +309,12 @@ mod tests {
             after.evictions >= before.evictions + 2,
             "filling past capacity evicts: {before:?} -> {after:?}"
         );
-        let g = lock_map();
-        assert!(g.map.len() <= CACHE_CAPACITY);
-        assert_eq!(g.order.len(), g.map.len(), "order mirrors the map");
-        drop(g);
-        // The newest entry survived and is a hit.
-        let h0 = cache_stats_full().hits;
-        compile_cached(
-            &spec,
-            &Format::csr(),
-            IndexWidth::U32,
-            &PrefetchStrategy::asap(CACHE_CAPACITY + 1),
-        )
-        .unwrap();
-        assert!(cache_stats_full().hits > h0);
+        assert!(cache_len() <= CACHE_CAPACITY, "total stays bounded");
+        for shard in shards() {
+            let g = lock_shard(shard);
+            assert!(g.map.len() <= SHARD_CAPACITY);
+            assert_eq!(g.order.len(), g.map.len(), "order mirrors the map");
+        }
     }
 
     #[test]
@@ -261,10 +335,10 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_lock_recovers_by_clearing_the_map() {
+    fn poisoned_shard_recovers_by_clearing_only_itself() {
         let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         let spec = KernelSpec::spmv(ValueKind::F64);
-        // Seed an entry so there is something to lose.
+        // Seed an entry so there is something to lose, and find its shard.
         compile_cached(
             &spec,
             &Format::csr(),
@@ -272,16 +346,23 @@ mod tests {
             &PrefetchStrategy::asap(19),
         )
         .unwrap();
-        // Poison the cache mutex: panic while holding the guard.
-        let poisoner = std::thread::spawn(|| {
-            let _guard = map().lock().unwrap();
-            panic!("worker dies holding the cache lock");
+        let k = key(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(19),
+        );
+        let shard = shard_for(&k);
+        // Poison exactly that shard: panic while holding its guard.
+        let poisoner = std::thread::spawn(move || {
+            let _guard = shard.state.lock().unwrap();
+            panic!("worker dies holding a shard lock");
         });
         assert!(poisoner.join().is_err(), "the poisoner must panic");
-        assert!(map().is_poisoned());
+        assert!(shard.state.is_poisoned());
         let before = cache_stats_full();
         // The next cached compile recovers: no panic, a fresh (cleared)
-        // map, the event counted, and the lock healthy again.
+        // shard, the event counted, and the lock healthy again.
         compile_cached(
             &spec,
             &Format::csr(),
@@ -295,16 +376,20 @@ mod tests {
             "recovery must be counted: {after:?}"
         );
         assert!(after.misses > before.misses, "the cleared entry recompiles");
-        assert!(!map().is_poisoned(), "the lock is healed, not re-cleared");
-        // And a repeat is a plain hit on the recovered map.
+        assert!(
+            !shard.state.is_poisoned(),
+            "the lock is healed, not re-cleared"
+        );
+        // And a repeat is a plain hit on the recovered shard.
         let h0 = cache_stats_full().hits;
-        compile_cached(
+        let (_, hit) = compile_cached_stat(
             &spec,
             &Format::csr(),
             IndexWidth::U32,
             &PrefetchStrategy::asap(19),
         )
         .unwrap();
+        assert!(hit);
         assert!(cache_stats_full().hits > h0);
     }
 }

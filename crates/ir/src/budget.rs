@@ -99,6 +99,38 @@ impl std::fmt::Display for BudgetError {
 
 impl std::error::Error for BudgetError {}
 
+/// A shareable cancellation handle: a thin wrapper over the
+/// `Arc<AtomicBool>` the meters poll, with the set/query pair named for
+/// intent. Clones share the flag, so a token handed to a serving layer
+/// (one per in-flight request) cancels every run metering a [`Budget`]
+/// the token was attached to — the disconnect-reaper plumbing
+/// `asap-serve` uses to stop work for clients that hung up mid-request.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token: every meter polling it traps with
+    /// [`Resource::Cancelled`] at its next poll slot.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// The underlying shared flag (for APIs that take the raw `Arc`).
+    pub fn as_arc(&self) -> Arc<AtomicBool> {
+        self.0.clone()
+    }
+}
+
 /// Limits for one run. `Clone` shares the cancellation token (when one
 /// is installed), so clones handed to peer threads are cancelled
 /// together; the numeric limits are independent copies.
@@ -148,6 +180,13 @@ impl Budget {
     pub fn with_cancel_token(mut self, token: Arc<AtomicBool>) -> Budget {
         self.cancel = Some(token);
         self
+    }
+
+    /// Attach a shared [`CancelToken`] (the serving layer's per-request
+    /// disconnect handle). Equivalent to
+    /// `with_cancel_token(token.as_arc())`.
+    pub fn with_cancel(self, token: &CancelToken) -> Budget {
+        self.with_cancel_token(token.as_arc())
     }
 
     /// The shared token, when one is installed.
@@ -397,6 +436,29 @@ mod tests {
         }
         // ≥, not ==: other tests poll concurrently.
         assert!(total_polls() >= before + 3);
+    }
+
+    #[test]
+    fn cancel_token_wrapper_trips_meters_on_attached_budgets() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        let budget = Budget::unlimited().with_cancel(&token);
+        let mut m = budget.meter();
+        m.tick().unwrap();
+        // A clone of the token fires the shared flag.
+        let peer = token.clone();
+        peer.cancel();
+        assert!(token.is_cancelled());
+        assert!(budget.is_cancelled());
+        let mut trapped = None;
+        for _ in 0..2 * BudgetMeter::POLL_INTERVAL {
+            if let Err(e) = m.tick() {
+                trapped = Some(e);
+                break;
+            }
+        }
+        let e = trapped.expect("fired token must trap within one poll interval");
+        assert_eq!(e.resource, Resource::Cancelled);
     }
 
     #[test]

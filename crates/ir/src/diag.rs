@@ -44,6 +44,10 @@ pub enum AsapError {
     Mismatch { message: String },
     /// An OS-level I/O failure (file system, not format).
     Io { message: String },
+    /// Malformed JSON input (the serving layer's request bodies, the
+    /// checkpoint journal's resume path). Carries a byte offset into the
+    /// rejected text when the parser knows one.
+    Json { offset: usize, message: String },
     /// A resource budget (fuel, wall-clock deadline, allocation ceiling,
     /// or cancellation) was exceeded. `loc` is the governing loop op when
     /// the trap fired inside a run; `None` for binding-time ceilings.
@@ -107,6 +111,13 @@ impl AsapError {
         }
     }
 
+    pub fn json(offset: usize, message: impl Into<String>) -> AsapError {
+        AsapError::Json {
+            offset,
+            message: message.into(),
+        }
+    }
+
     pub fn budget(e: BudgetError, loc: Option<OpId>) -> AsapError {
         AsapError::BudgetExceeded {
             resource: e.resource,
@@ -147,6 +158,7 @@ impl AsapError {
             AsapError::Interp { .. } => "interp",
             AsapError::Mismatch { .. } => "mismatch",
             AsapError::Io { .. } => "io",
+            AsapError::Json { .. } => "json",
             AsapError::BudgetExceeded { .. } => "budget",
         }
     }
@@ -166,6 +178,9 @@ impl fmt::Display for AsapError {
             AsapError::Interp { error } => write!(f, "interpreter trap: {error}"),
             AsapError::Mismatch { message } => write!(f, "result mismatch: {message}"),
             AsapError::Io { message } => write!(f, "io error: {message}"),
+            AsapError::Json { offset, message } => {
+                write!(f, "json error at byte {offset}: {message}")
+            }
             AsapError::BudgetExceeded {
                 resource,
                 spent,
@@ -240,6 +255,16 @@ mod tests {
         let e: AsapError = InterpError::OutOfBounds { index: 9, len: 4 }.into();
         assert!(e.to_string().contains("index 9 out of bounds"));
         assert_eq!(e.kind(), "interp");
+    }
+
+    #[test]
+    fn json_error_carries_offset_and_kind() {
+        let e = AsapError::json(12, "expected ':' after object key");
+        assert_eq!(e.kind(), "json");
+        assert_eq!(
+            e.to_string(),
+            "json error at byte 12: expected ':' after object key"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod transforms;
 pub mod types;
 pub mod verify;
 
-pub use budget::{total_polls, Budget, BudgetError, BudgetMeter, Resource};
+pub use budget::{total_polls, Budget, BudgetError, BudgetMeter, CancelToken, Resource};
 pub use builder::FuncBuilder;
 pub use bytecode::{lower, Instr, LowerError, Program};
 pub use cse::cse;

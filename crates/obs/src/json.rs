@@ -1,0 +1,550 @@
+//! The workspace's one JSON implementation.
+//!
+//! Before this module the JSON *writer* was duplicated three times
+//! (the trace sink, the bench result emitter, the run manifest) and the
+//! only parser was a bespoke cursor inside `asap-bench::run`. The
+//! serving layer needs a general, tolerant reader for request bodies,
+//! so writer and parser now live together here, round-trip-tested, and
+//! every emitter shares [`escape`]/[`fmt_f64`]/[`ObjWriter`].
+//!
+//! The parser handles the full value grammar the workspace emits —
+//! objects, arrays, strings (with `\uXXXX` escapes), numbers, booleans,
+//! `null` — and is *tolerant* in the sense that it accepts any field
+//! order and arbitrary nesting; malformed input is a typed
+//! [`AsapError::Json`] carrying the byte offset of the failure, never a
+//! panic. Numbers keep their raw token ([`Json::Num`]) so integer
+//! fields round-trip exactly (no forced trip through `f64`).
+
+use asap_ir::AsapError;
+use std::fmt::Write as _;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float for JSON output: finite values print their shortest
+/// round-trippable representation; NaN/inf (not representable in JSON)
+/// degrade to `0.0`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits the decimal point for integral floats; keep one so
+        // the token reads back as a float everywhere.
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Incremental writer for one JSON object: `{"k":v,...}` with the
+/// commas and escaping handled. The field methods take the key unescaped
+/// and escape string *values*; keys are workspace-controlled literals.
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjWriter {
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub fn usize(&mut self, k: &str, v: usize) -> &mut Self {
+        self.u64(k, v as u64)
+    }
+
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Emit `v` verbatim — for pre-rendered arrays/objects.
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// An array of string values, each escaped.
+    pub fn str_array<S: AsRef<str>>(&mut self, k: &str, vs: &[S]) -> &mut Self {
+        self.key(k);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "\"{}\"", escape(v.as_ref()));
+        }
+        self.buf.push(']');
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON value. Numbers keep their raw source token so callers
+/// can re-parse into the exact target type (`u64` fields never round
+/// through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// The raw number token, e.g. `"-12"` or `"3.25e-2"`.
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Fields in source order (duplicate keys keep both; lookups take
+    /// the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Render back to JSON text (strings escaped, numbers verbatim).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":", escape(k));
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parse one JSON value from `text`, rejecting trailing non-whitespace.
+/// Malformed input is a typed [`AsapError::Json`] with the byte offset
+/// where the parse failed.
+pub fn parse(text: &str) -> Result<Json, AsapError> {
+    let mut p = Parser {
+        b: text.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i < p.b.len() {
+        return Err(AsapError::json(p.i, "trailing data after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Nesting cap: bounds stack use on hostile request bodies.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> AsapError {
+        AsapError::json(self.i, message)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), AsapError> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, AsapError> {
+        self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.b.get(self.i) {
+            Some(b'{') => {
+                self.depth += 1;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.depth += 1;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, AsapError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {word:?}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, AsapError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|_| self.err("expected object key"))?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b'}')?;
+            return Ok(Json::Obj(fields));
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, AsapError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            self.expect(b']')?;
+            return Ok(Json::Arr(items));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, AsapError> {
+        if !self.eat(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            let Some(&c) = self.b.get(self.i) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.b.get(self.i) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err(format!("bad \\u escape {hex:?}")))?;
+                            self.i += 4;
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| {
+                                    self.err(format!("invalid codepoint {cp:#x}"))
+                                })?,
+                            );
+                        }
+                        other => {
+                            return Err(self.err(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 character starting here.
+                    let start = self.i - 1;
+                    let s = std::str::from_utf8(&self.b[start..])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("empty string"))?;
+                    out.push(ch);
+                    self.i = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, AsapError> {
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        let raw =
+            std::str::from_utf8(&self.b[start..self.i]).map_err(|_| self.err("bad number"))?;
+        // Validate the token parses as a float so `Num` is always usable.
+        raw.parse::<f64>()
+            .map_err(|_| AsapError::json(start, format!("bad number token {raw:?}")))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_value_grammar() {
+        let text = r#"{"a":1,"b":-2.5e3,"s":"x\n\"y\"","t":true,"f":false,"n":null,
+                       "arr":[1,"two",{"k":3}],"nested":{"deep":[[]]}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(-2500.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(v.get("t").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("f").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        let arr = v.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("k").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn roundtrips_render_then_parse() {
+        let text = r#"{"m":"a\"b\\c","n":18446744073709551615,"f":0.1,"arr":[true,null,"s"]}"#;
+        let v = parse(text).unwrap();
+        let again = parse(&v.render()).unwrap();
+        assert_eq!(v, again);
+        // u64::MAX survives exactly — no f64 round trip.
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut w = ObjWriter::new();
+        w.str("name", "a\"b\nc")
+            .u64("count", 42)
+            .f64("rate", 1.5)
+            .f64("whole", 3.0)
+            .bool("ok", true)
+            .str_array("tags", &["x", "y\\z"])
+            .raw("inner", "{\"k\":1}");
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b\nc"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("rate").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("whole").unwrap().as_f64(), Some(3.0));
+        assert_eq!(Json::Num("3.0".into()), v.get("whole").unwrap().clone());
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let tags = v.get("tags").unwrap().as_array().unwrap();
+        assert_eq!(tags[1].as_str(), Some("y\\z"));
+        assert_eq!(v.get("inner").unwrap().get("k").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn malformed_input_is_a_typed_json_error() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "tru",
+            "01a",
+            "nul",
+            "{\"k\": @}",
+            "\"bad \\q escape\"",
+        ] {
+            let e = parse(bad).unwrap_err();
+            assert_eq!(e.kind(), "json", "{bad:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_bounded() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let e = parse(&deep).unwrap_err();
+        assert_eq!(e.kind(), "json");
+        assert!(e.to_string().contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn fmt_f64_keeps_a_decimal_point_and_handles_nonfinite() {
+        assert_eq!(fmt_f64(2.0), "2.0");
+        assert_eq!(fmt_f64(0.125), "0.125");
+        assert_eq!(fmt_f64(f64::NAN), "0.0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0.0");
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -13,6 +13,10 @@
 //!   event stream with `asap-sim` counters into per-prefetch-site
 //!   accuracy / coverage / timeliness, mapped back to the sparsifier
 //!   construct that emitted each site.
+//! - [`json`] — the workspace's one JSON implementation: the shared
+//!   writer every emitter uses plus the tolerant parser the serving
+//!   layer reads request bodies with (typed `AsapError::Json` on
+//!   malformed input).
 //! - [`sink`] + [`manifest`] — hand-rolled JSONL output (`--trace-out`)
 //!   and the run manifest stamped into every results file.
 //! - [`tee`] — a [`MemoryModel`](asap_ir::MemoryModel) splitter so one
@@ -23,6 +27,7 @@
 //! `asap-core`/`asap-bench` call sites).
 
 pub mod analyzer;
+pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
@@ -32,10 +37,12 @@ pub mod tee;
 pub use analyzer::{
     analyze, analyze_with_counters, render_site_table, site_labels, Effectiveness, SiteStats,
 };
+pub use json::{parse as parse_json, Json, ObjWriter};
 pub use manifest::{RunManifest, BUILD_PROFILE};
 pub use metrics::{
-    counter_add, counter_inc, counter_set_max, histogram_record, render as render_metrics,
-    snapshot as metrics_snapshot, HistogramSnapshot, MetricsSnapshot,
+    counter_add, counter_inc, counter_set_max, gauge_add, gauge_get, gauge_set, gauge_sub,
+    histogram_record, render as render_metrics, snapshot as metrics_snapshot, HistogramSnapshot,
+    MetricsSnapshot,
 };
 pub use recorder::{
     enabled, render_span_tree, render_span_tree_timed, set_enabled, snapshot_spans, span,

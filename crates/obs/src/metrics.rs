@@ -13,7 +13,7 @@
 //! `pool.retries`, `budget.polls`, `vm.dispatch.<opcode>`.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Buckets 0..=64: bucket `b` holds observations `v` with
@@ -23,6 +23,7 @@ pub const HIST_BUCKETS: usize = 65;
 
 struct Registry {
     counters: BTreeMap<&'static str, &'static AtomicU64>,
+    gauges: BTreeMap<&'static str, &'static AtomicI64>,
     histograms: BTreeMap<&'static str, &'static Histogram>,
 }
 
@@ -84,12 +85,22 @@ impl HistogramSnapshot {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
+    /// Last-value gauges (queue depth, in-flight requests): signed so a
+    /// decrement below a racing increment can never wrap.
+    pub gauges: Vec<(&'static str, i64)>,
     pub histograms: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
             .iter()
             .find(|(n, _)| *n == name)
             .map_or(0, |(_, v)| *v)
@@ -108,6 +119,7 @@ fn registry() -> &'static Mutex<Registry> {
     REG.get_or_init(|| {
         Mutex::new(Registry {
             counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
         })
     })
@@ -124,6 +136,13 @@ fn counter_handle(name: &'static str) -> &'static AtomicU64 {
     g.counters
         .entry(name)
         .or_insert_with(|| Box::leak(Box::new(AtomicU64::new(0))))
+}
+
+fn gauge_handle(name: &'static str) -> &'static AtomicI64 {
+    let mut g = lock();
+    g.gauges
+        .entry(name)
+        .or_insert_with(|| Box::leak(Box::new(AtomicI64::new(0))))
 }
 
 fn histogram_handle(name: &'static str) -> &'static Histogram {
@@ -149,6 +168,28 @@ pub fn counter_set_max(name: &'static str, v: u64) {
     counter_handle(name).fetch_max(v, Ordering::Relaxed);
 }
 
+/// Set the last-value gauge `name` to `v` (registering it on first use).
+/// Gauges model instantaneous state — queue depth, in-flight requests —
+/// where the *current* value, not an accumulation, is the signal.
+pub fn gauge_set(name: &'static str, v: i64) {
+    gauge_handle(name).store(v, Ordering::Relaxed);
+}
+
+/// Add `delta` to the gauge `name` (atomically; negative deltas allowed).
+pub fn gauge_add(name: &'static str, delta: i64) {
+    gauge_handle(name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Subtract `delta` from the gauge `name`.
+pub fn gauge_sub(name: &'static str, delta: i64) {
+    gauge_handle(name).fetch_sub(delta, Ordering::Relaxed);
+}
+
+/// Current value of the gauge `name` (0 if never touched).
+pub fn gauge_get(name: &'static str) -> i64 {
+    gauge_handle(name).load(Ordering::Relaxed)
+}
+
 /// Record one observation into the log2 histogram `name`.
 pub fn histogram_record(name: &'static str, v: u64) {
     histogram_handle(name).record(v);
@@ -162,6 +203,11 @@ pub fn snapshot() -> MetricsSnapshot {
             .counters
             .iter()
             .map(|(&n, c)| (n, c.load(Ordering::Relaxed)))
+            .collect(),
+        gauges: g
+            .gauges
+            .iter()
+            .map(|(&n, v)| (n, v.load(Ordering::Relaxed)))
             .collect(),
         histograms: g
             .histograms
@@ -187,6 +233,9 @@ pub fn reset() {
     for c in g.counters.values() {
         c.store(0, Ordering::Relaxed);
     }
+    for v in g.gauges.values() {
+        v.store(0, Ordering::Relaxed);
+    }
     for h in g.histograms.values() {
         for b in &h.buckets {
             b.store(0, Ordering::Relaxed);
@@ -202,6 +251,9 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         out.push_str(&format!("{name} = {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("{name} = {v} (gauge)\n"));
     }
     for (name, h) in &snap.histograms {
         out.push_str(&format!(
@@ -253,6 +305,55 @@ mod tests {
         assert_eq!(h.buckets[2], 2); // 2..=3
         assert_eq!(h.buckets[11], 1); // 1024..=2047
         assert!((h.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_have_last_value_semantics() {
+        gauge_set("t.g", 10);
+        gauge_set("t.g", 4);
+        assert_eq!(gauge_get("t.g"), 4, "set overwrites, never accumulates");
+        gauge_add("t.g", 3);
+        gauge_sub("t.g", 9);
+        assert_eq!(gauge_get("t.g"), -2, "signed arithmetic, no wrap");
+        let s = snapshot();
+        assert_eq!(s.gauge("t.g"), -2);
+        assert_eq!(s.gauge("t.g.absent"), 0);
+        let names: Vec<_> = s.gauges.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "gauge snapshot is name-ordered");
+    }
+
+    #[test]
+    fn gauge_tracking_is_deterministic_across_identical_sequences() {
+        let run = || {
+            gauge_set("t.g.det", 0);
+            for depth in [1i64, 2, 3, 2, 1, 0] {
+                gauge_set("t.g.det", depth);
+            }
+            snapshot().gauge("t.g.det")
+        };
+        assert_eq!(run(), run());
+        // Balanced add/sub from many threads settles back to the start.
+        gauge_set("t.g.mt", 0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        gauge_add("t.g.mt", 1);
+                        gauge_sub("t.g.mt", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(gauge_get("t.g.mt"), 0);
+    }
+
+    #[test]
+    fn render_includes_gauges() {
+        gauge_set("t.g.render", 7);
+        let text = render(&snapshot());
+        assert!(text.contains("t.g.render = 7 (gauge)"), "{text}");
     }
 
     #[test]

@@ -15,24 +15,10 @@ use crate::manifest::RunManifest;
 use crate::metrics::MetricsSnapshot;
 use crate::recorder::SpanRecord;
 
-/// Escape a string for embedding in a JSON literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// Escape a string for embedding in a JSON literal. (The shared
+/// implementation lives in [`crate::json`]; this alias keeps the sink's
+/// long-standing public name working.)
+pub use crate::json::escape as json_escape;
 
 fn span_line(s: &SpanRecord) -> String {
     let mut attrs = String::new();
@@ -62,6 +48,14 @@ fn metric_lines(m: &MetricsSnapshot, out: &mut String) {
         let _ = writeln!(
             out,
             "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            json_escape(name),
+            v
+        );
+    }
+    for (name, v) in &m.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
             json_escape(name),
             v
         );
@@ -231,14 +225,22 @@ mod tests {
         }];
         let metrics = MetricsSnapshot {
             counters: vec![("cache.hits", 3)],
+            gauges: vec![("serve.queue_depth", 2)],
             histograms: vec![],
         };
         let trace = TraceModel::new();
         let eff = analyze(&trace);
         let text = render_jsonl(&manifest, &spans, &metrics, Some(&eff));
         let n = validate_jsonl(&text).expect("valid jsonl");
-        assert!(n >= 3, "manifest + span + counter + summary, got {n}");
+        assert!(
+            n >= 4,
+            "manifest + span + counter + gauge + summary, got {n}"
+        );
         assert!(text.contains("\\\"x\\\""), "escaped attr value");
+        assert!(
+            text.contains("{\"type\":\"gauge\",\"name\":\"serve.queue_depth\",\"value\":2}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! A tiny blocking HTTP client for the daemon's own subset — the load
+//! generator and the integration tests talk to the server with this,
+//! so the whole loop (client framing included) stays dependency-free.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+#[derive(Debug)]
+pub struct HttpReply {
+    pub status: u16,
+    /// Headers as lowercase `name: value` lines (no parsing beyond the
+    /// split; callers look up e.g. `retry-after`).
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl HttpReply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One request/response exchange. `timeout` bounds connect, send, and
+/// receive individually.
+pub fn exchange(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: asap\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+/// POST a JSON body.
+pub fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
+    exchange(addr, "POST", path, body, timeout)
+}
+
+/// GET a path.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<HttpReply> {
+    exchange(addr, "GET", path, "", timeout)
+}
+
+fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
+    let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let text = std::str::from_utf8(raw).map_err(|_| bad("non-UTF-8 response"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| bad("no header/body separator"))?;
+    let mut lines = head.lines();
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let headers = lines
+        .filter_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            Some((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+    Ok(HttpReply {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}

@@ -1,0 +1,265 @@
+//! A deliberately minimal HTTP/1.1 layer over `std::net::TcpStream`.
+//!
+//! The daemon speaks exactly the subset its clients need: one request
+//! per connection (`Connection: close` on every response), `GET`/`POST`,
+//! `Content-Length` bodies only (no chunked encoding), ASCII headers.
+//! Anything outside that subset is a typed [`HttpError`] the worker
+//! turns into a 400 — never a panic, never an unbounded read: header
+//! and body sizes are capped before allocation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line + headers. Generous for hand-written
+/// clients, small enough that a garbage stream cannot balloon memory.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Per-connection socket timeout: a client that stops mid-request (or
+/// never sends one) releases the worker within this bound.
+pub const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+#[derive(Debug)]
+pub enum HttpError {
+    /// The stream closed before a complete request arrived.
+    Closed,
+    /// Request line, headers, or framing violated the supported subset.
+    Malformed(String),
+    /// Head or body exceeded the configured cap.
+    TooLarge(String),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed before a complete request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct HttpRequest {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines().skip(1).find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        k.trim().eq_ignore_ascii_case(name).then(|| v.trim())
+    })
+}
+
+/// Read one request (head + `Content-Length` body) from the stream.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, HttpError> {
+    read_request_timeout(stream, max_body, IO_TIMEOUT)
+}
+
+/// Best-effort read-and-discard of one request so a rejection response
+/// survives the close: dropping a socket with unread request bytes in
+/// its receive buffer makes the kernel send RST, which can destroy the
+/// in-flight response before the client reads it. Short timeout so a
+/// slow client cannot wedge the (single) thread rejections run on.
+pub fn drain_request(stream: &mut TcpStream, max_body: usize) {
+    let _ = read_request_timeout(stream, max_body, Duration::from_secs(1));
+}
+
+fn read_request_timeout(
+    stream: &mut TcpStream,
+    max_body: usize,
+    timeout: Duration,
+) -> Result<HttpRequest, HttpError> {
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(HttpError::Io)?;
+    stream
+        .set_write_timeout(Some(IO_TIMEOUT))
+        .map_err(HttpError::Io)?;
+
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "headers exceed {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            return Err(HttpError::Malformed("truncated request head".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 request head".into()))?
+        .to_string();
+    let mut first = head.lines().next().unwrap_or("").split_whitespace();
+    let method = first
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = first
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+        .to_string();
+    match first.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("expected HTTP/1.x".into())),
+    }
+
+    let content_length: usize = match header_value(&head, "content-length") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body} byte cap"
+        )));
+    }
+    if header_value(&head, "transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "transfer-encoding is not supported; send content-length".into(),
+        ));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("truncated request body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response and flush. Every response closes the
+/// connection (one request per connection keeps the admission-control
+/// accounting exact: one accepted socket == one unit of queued work).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        out.push_str(k);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+/// Write a JSON response.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    write_response(stream, status, extra_headers, "application/json", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<HttpRequest, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            // Close the write half so truncated requests hit EOF.
+            s.shutdown(std::net::Shutdown::Write).ok();
+            s
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let r = read_request(&mut server_side, 1024);
+        client.join().unwrap();
+        r
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = roundtrip(b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(roundtrip(b""), Err(HttpError::Closed)));
+        assert!(matches!(
+            roundtrip(b"not an http request\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n"),
+            Err(HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+}

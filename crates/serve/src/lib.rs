@@ -1,0 +1,45 @@
+//! # asap-serve — a concurrent compile-and-execute kernel service
+//!
+//! The workspace's batch story (figure sweeps, `asap_cli`) compiles and
+//! runs kernels one process at a time. This crate turns the same
+//! pipeline into a long-lived daemon: clients POST a request naming a
+//! kernel (SpMV/SpMM), a matrix (collection name, `gen:` spec, or
+//! inline MatrixMarket), a prefetch strategy, an engine, and a
+//! deadline; the server compiles through the sharded kernel cache,
+//! executes on the bytecode VM under a `Budget`, and answers with a
+//! checksum and timings — bit-identical to a direct `asap-core` call.
+//!
+//! Production concerns, all std-only:
+//!
+//! - **Admission control** ([`queue`]): a bounded accept queue; overload
+//!   is an immediate 429 + `Retry-After`, never latency collapse.
+//! - **Request coalescing** ([`batcher`]): concurrent cold compiles of
+//!   the same kernel single-flight; exactly one request pays.
+//! - **Panic isolation** ([`server`]): a panicking request is a 500 for
+//!   that client, not a dead worker.
+//! - **Cancellation**: a reaper thread detects client disconnects and
+//!   fires the request's `CancelToken`, stopping abandoned work at the
+//!   budget's next poll slot.
+//! - **Graceful drain** (`POST /control/shutdown`): stop admitting,
+//!   serve everything queued, join every thread.
+//! - **Observability**: `/healthz`, `/metrics` (the `asap-obs`
+//!   registry: `serve.*` counters, queue-depth/in-flight gauges).
+//!
+//! The protocol and endpoints are documented in DESIGN.md §11; the load
+//! harness (`asap_loadgen` in `asap-bench`) drives open-loop traffic
+//! against this server and reports throughput and latency percentiles.
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod matrix;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use batcher::SingleFlight;
+pub use client::{exchange, get, post, HttpReply};
+pub use matrix::MatrixCatalog;
+pub use queue::{BoundedQueue, PushError};
+pub use request::{parse_run_request, render_error, render_outcome, RunRequest, DEFAULT_SPMM_COLS};
+pub use server::{ServeConfig, Server};

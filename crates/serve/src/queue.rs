@@ -1,0 +1,181 @@
+//! The bounded accept→worker queue behind admission control.
+//!
+//! `try_push` never blocks: a full queue is an immediate
+//! [`PushError::Full`] so the accept loop can answer 429 with
+//! `Retry-After` instead of letting latency collapse under overload —
+//! the "bounded queue depth, not queueing collapse" property the load
+//! harness asserts. `pop` blocks until an item arrives or the queue is
+//! closed *and* drained, which is exactly the graceful-shutdown
+//! contract: closing stops admission, workers finish what was queued.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// At the bound; the item is handed back for the 429 path.
+    Full(T),
+    /// Closed for draining; the item is handed back for the 503 path.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    bound: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(bound: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// Non-blocking admission: enqueue or hand the item straight back.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if g.closed {
+            return Err(PushError::Closed(item));
+        }
+        if g.items.len() >= self.bound {
+            return Err(PushError::Full(item));
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available (`Some`) or the queue is closed
+    /// and fully drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Stop admitting; wake all poppers so they can drain and exit.
+    pub fn close(&self) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        g.closed = true;
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .items
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_bounces_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        match q.try_push(3) {
+            Err(PushError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4).unwrap(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        match q.try_push(12) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 12),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Queued work survives the close; only then does pop return None.
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_poppers_wake_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(1).unwrap();
+        q.close();
+        let mut got: Vec<Option<u32>> = waiters.into_iter().map(|w| w.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, None, Some(1)]);
+    }
+
+    #[test]
+    fn producers_and_consumers_conserve_items() {
+        let q: Arc<BoundedQueue<usize>> = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0usize;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let mut pushed = 0usize;
+        let mut i = 1usize;
+        while pushed < 100 {
+            if q.try_push(i).is_ok() {
+                pushed += 1;
+                i += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, (1..=100).sum::<usize>());
+    }
+}

@@ -1,0 +1,310 @@
+//! The wire protocol: `POST /v1/run` bodies in, response JSON out.
+//!
+//! Requests are strict JSON — unknown fields are rejected (the same
+//! contract as the bench result reader: a typo'd `"distanse"` must be a
+//! 400, not a silently-defaulted 45). Responses carry the checksum as a
+//! fixed-width hex *string*: a u64 does not survive JSON readers that
+//! funnel numbers through f64, and the checksum is the bit-exactness
+//! witness the whole test story hangs on.
+
+use crate::matrix::MatrixCatalog;
+use asap_core::{ExecEngine, PrefetchStrategy, ServiceKernel, ServiceOutcome};
+use asap_ir::{AsapError, Budget, CancelToken};
+use asap_obs::{Json, ObjWriter};
+use asap_tensor::SparseTensor;
+use std::sync::Arc;
+
+/// Default SpMM dense-operand width when the request omits `cols`.
+pub const DEFAULT_SPMM_COLS: usize = 8;
+
+const KNOWN_FIELDS: [&str; 8] = [
+    "kernel",
+    "matrix",
+    "mtx",
+    "cols",
+    "strategy",
+    "distance",
+    "engine",
+    "deadline_ms",
+];
+
+/// A parsed, resolved, ready-to-execute request.
+#[derive(Debug)]
+pub struct RunRequest {
+    pub kernel: ServiceKernel,
+    pub sparse: Arc<SparseTensor>,
+    /// What the client called the matrix (echoed in the response).
+    pub matrix_label: String,
+    pub strategy: PrefetchStrategy,
+    pub strategy_label: &'static str,
+    pub engine: ExecEngine,
+    pub deadline_ms: u64,
+}
+
+impl RunRequest {
+    /// The execution budget: the per-request deadline plus the client
+    /// disconnect token (a `deadline_ms` of 0 means "no deadline").
+    pub fn budget(&self, cancel: &CancelToken) -> Budget {
+        let b = Budget::unlimited().with_cancel(cancel);
+        if self.deadline_ms > 0 {
+            b.with_deadline_ms(self.deadline_ms)
+        } else {
+            b
+        }
+    }
+}
+
+fn want_str<'a>(v: &'a Json, field: &str) -> Result<&'a str, AsapError> {
+    v.get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| AsapError::binding(format!("field {field:?} must be a string")))
+}
+
+fn opt_usize(v: &Json, field: &str) -> Result<Option<usize>, AsapError> {
+    match v.get(field) {
+        None => Ok(None),
+        Some(n) => n.as_usize().map(Some).ok_or_else(|| {
+            AsapError::binding(format!("field {field:?} must be a non-negative integer"))
+        }),
+    }
+}
+
+/// Parse and resolve one `/v1/run` body. Every failure is a typed error
+/// the worker maps to a 400.
+pub fn parse_run_request(
+    body: &[u8],
+    catalog: &MatrixCatalog,
+    default_deadline_ms: u64,
+) -> Result<RunRequest, AsapError> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| AsapError::binding("request body is not UTF-8"))?;
+    let v = asap_obs::parse_json(text)?;
+    let Json::Obj(fields) = &v else {
+        return Err(AsapError::binding("request body must be a JSON object"));
+    };
+    for (k, _) in fields {
+        if !KNOWN_FIELDS.contains(&k.as_str()) {
+            return Err(AsapError::binding(format!("unknown field {k:?}")));
+        }
+    }
+
+    let cols = opt_usize(&v, "cols")?;
+    let kernel = match want_str(&v, "kernel")? {
+        "spmv" => {
+            if cols.is_some() {
+                return Err(AsapError::binding("field \"cols\" only applies to spmm"));
+            }
+            ServiceKernel::Spmv
+        }
+        "spmm" => ServiceKernel::Spmm {
+            cols: cols.unwrap_or(DEFAULT_SPMM_COLS),
+        },
+        other => {
+            return Err(AsapError::binding(format!(
+                "unknown kernel {other:?}: expected spmv or spmm"
+            )))
+        }
+    };
+
+    let (sparse, matrix_label) = match (v.get("matrix"), v.get("mtx")) {
+        (Some(_), Some(_)) => {
+            return Err(AsapError::binding(
+                "give either \"matrix\" or inline \"mtx\", not both",
+            ))
+        }
+        (Some(_), None) => {
+            let name = want_str(&v, "matrix")?;
+            (catalog.resolve(name)?, name.to_string())
+        }
+        (None, Some(_)) => {
+            let text = want_str(&v, "mtx")?;
+            (catalog.resolve_inline(text)?, "inline".to_string())
+        }
+        (None, None) => {
+            return Err(AsapError::binding(
+                "a matrix is required: \"matrix\" (name or gen: spec) or inline \"mtx\"",
+            ))
+        }
+    };
+
+    let distance = opt_usize(&v, "distance")?.unwrap_or(45);
+    let (strategy, strategy_label) = match v.get("strategy").map(|s| s.as_str()) {
+        None => (PrefetchStrategy::asap(distance), "asap"),
+        Some(Some("asap")) => (PrefetchStrategy::asap(distance), "asap"),
+        Some(Some("aj")) => (PrefetchStrategy::aj(distance), "ainsworth-jones"),
+        Some(Some("baseline")) => (PrefetchStrategy::none(), "baseline"),
+        Some(Some(other)) => {
+            return Err(AsapError::binding(format!(
+                "unknown strategy {other:?}: expected baseline, asap, or aj"
+            )))
+        }
+        Some(None) => return Err(AsapError::binding("field \"strategy\" must be a string")),
+    };
+
+    let engine = match v.get("engine").map(|s| s.as_str()) {
+        None | Some(Some("auto")) => ExecEngine::Auto,
+        Some(Some("bytecode")) => ExecEngine::Bytecode,
+        Some(Some("tree-walk")) => ExecEngine::TreeWalk,
+        Some(Some(other)) => {
+            return Err(AsapError::binding(format!(
+                "unknown engine {other:?}: expected auto, bytecode, or tree-walk"
+            )))
+        }
+        Some(None) => return Err(AsapError::binding("field \"engine\" must be a string")),
+    };
+
+    let deadline_ms = match v.get("deadline_ms") {
+        None => default_deadline_ms,
+        Some(n) => n.as_u64().ok_or_else(|| {
+            AsapError::binding("field \"deadline_ms\" must be a non-negative integer")
+        })?,
+    };
+
+    Ok(RunRequest {
+        kernel,
+        sparse,
+        matrix_label,
+        strategy,
+        strategy_label,
+        engine,
+        deadline_ms,
+    })
+}
+
+/// Render the success body for an executed request.
+pub fn render_outcome(req: &RunRequest, outcome: &ServiceOutcome) -> String {
+    let mut w = ObjWriter::new();
+    w.str("status", "ok")
+        .str("kernel", req.kernel.label())
+        .str("matrix", &req.matrix_label)
+        .str("strategy", req.strategy_label)
+        .str("engine", outcome.engine_used)
+        .str("checksum", &format!("{:016x}", outcome.checksum))
+        .usize("rows", outcome.rows)
+        .usize("cols", outcome.cols)
+        .usize("nnz", outcome.nnz)
+        .usize("prefetch_ops", outcome.prefetch_ops)
+        .u64("compile_ns", outcome.compile_ns)
+        .u64("exec_ns", outcome.exec_ns)
+        .bool("cache_hit", outcome.cache_hit)
+        .bool("degraded", outcome.degraded)
+        .str_array("warnings", &outcome.warnings);
+    w.finish()
+}
+
+/// Render an error body: `{"status":..., "error":..., "kind":...}`.
+pub fn render_error(status: &str, kind: &str, message: &str) -> String {
+    let mut w = ObjWriter::new();
+    w.str("status", status)
+        .str("kind", kind)
+        .str("error", message);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_matrices::SizeClass;
+
+    fn catalog() -> MatrixCatalog {
+        MatrixCatalog::new(SizeClass::Tiny)
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let body = br#"{"kernel":"spmm","matrix":"gen:banded:256:4","cols":3,
+                        "strategy":"aj","distance":16,"engine":"tree-walk","deadline_ms":250}"#;
+        let r = parse_run_request(body, &catalog(), 1000).unwrap();
+        assert_eq!(r.kernel, ServiceKernel::Spmm { cols: 3 });
+        assert_eq!(r.strategy_label, "ainsworth-jones");
+        assert_eq!(r.engine, ExecEngine::TreeWalk);
+        assert_eq!(r.deadline_ms, 250);
+        assert_eq!(r.sparse.dims(), &[256, 256]);
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let body = br#"{"kernel":"spmv","matrix":"gen:er:256:4"}"#;
+        let r = parse_run_request(body, &catalog(), 750).unwrap();
+        assert_eq!(r.kernel, ServiceKernel::Spmv);
+        assert_eq!(r.strategy_label, "asap");
+        assert_eq!(r.engine, ExecEngine::Auto);
+        assert_eq!(r.deadline_ms, 750);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_typed_errors() {
+        let cat = catalog();
+        let cases: [(&[u8], &str); 8] = [
+            (b"not json", "json"),
+            (br#"[1,2]"#, "binding"),
+            (br#"{"matrix":"gen:er:256:4"}"#, "binding"),
+            (br#"{"kernel":"spgemm","matrix":"gen:er:256:4"}"#, "binding"),
+            (br#"{"kernel":"spmv"}"#, "binding"),
+            (
+                br#"{"kernel":"spmv","matrix":"gen:er:256:4","distanse":9}"#,
+                "binding",
+            ),
+            (
+                br#"{"kernel":"spmv","matrix":"gen:er:256:4","cols":4}"#,
+                "binding",
+            ),
+            (
+                br#"{"kernel":"spmv","matrix":"gen:er:256:4","engine":"jit"}"#,
+                "binding",
+            ),
+        ];
+        for (body, kind) in cases {
+            let e = parse_run_request(body, &cat, 1000).unwrap_err();
+            assert_eq!(e.kind(), kind, "{:?} -> {e}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn outcome_renders_parseable_json_with_hex_checksum() {
+        let cat = catalog();
+        let req = parse_run_request(
+            br#"{"kernel":"spmv","matrix":"gen:banded:256:2"}"#,
+            &cat,
+            1000,
+        )
+        .unwrap();
+        let cancel = CancelToken::new();
+        let outcome = asap_core::serve_request(
+            req.kernel,
+            &req.sparse,
+            &req.strategy,
+            req.engine,
+            &req.budget(&cancel),
+        )
+        .unwrap();
+        let body = render_outcome(&req, &outcome);
+        let v = asap_obs::parse_json(&body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        let hex = v.get("checksum").unwrap().as_str().unwrap();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(u64::from_str_radix(hex, 16).unwrap(), outcome.checksum);
+        assert_eq!(v.get("nnz").unwrap().as_usize(), Some(outcome.nnz));
+    }
+
+    #[test]
+    fn zero_deadline_means_unlimited() {
+        let cat = catalog();
+        let req = parse_run_request(
+            br#"{"kernel":"spmv","matrix":"gen:er:256:4","deadline_ms":0}"#,
+            &cat,
+            1000,
+        )
+        .unwrap();
+        let cancel = CancelToken::new();
+        // Unlimited budget: the run completes rather than trapping.
+        asap_core::serve_request(
+            req.kernel,
+            &req.sparse,
+            &req.strategy,
+            req.engine,
+            &req.budget(&cancel),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,481 @@
+//! Server lifecycle: the accept loop, the worker pool, the disconnect
+//! reaper, and graceful drain-then-stop shutdown.
+//!
+//! Thread structure (all plain `std::thread`, joined on shutdown):
+//!
+//! - **accept** — non-blocking `TcpListener` polled at ~1ms. Admission
+//!   control happens *here*, before any parsing: a connection either
+//!   enters the bounded queue or is answered 429 + `Retry-After`
+//!   immediately. When draining starts, the loop closes the queue and
+//!   exits — already-queued connections still get served.
+//! - **workers** (N) — pop connections, parse HTTP, route, execute.
+//!   Each request runs under `catch_unwind`: a panic becomes a 500 for
+//!   that one client and a `serve.panics` tick, never a dead worker
+//!   (the same isolation contract as the bench pool).
+//! - **reaper** — polls in-flight clients with a non-blocking peek;
+//!   a closed socket fires the request's [`CancelToken`], so an
+//!   abandoned SpMM stops burning CPU at the budget's next poll slot
+//!   instead of running to completion.
+//!
+//! Shutdown (`POST /control/shutdown` or [`Server::join`]) is
+//! drain-then-stop: stop admitting, serve everything queued, join every
+//! thread. No request that got a 2xx admission is dropped.
+
+use crate::batcher::SingleFlight;
+use crate::http::{drain_request, read_request, write_json, write_response, HttpError};
+use crate::matrix::MatrixCatalog;
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{parse_run_request, render_error, render_outcome};
+use asap_ir::CancelToken;
+use asap_matrices::SizeClass;
+use asap_obs::ObjWriter;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval while the listener is idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Reaper poll interval for in-flight client sockets.
+const REAPER_POLL: Duration = Duration::from_millis(10);
+
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bound on accepted-but-not-yet-served connections; beyond it,
+    /// clients get an immediate 429.
+    pub queue_bound: usize,
+    /// Size class for named collection matrices.
+    pub size: SizeClass,
+    /// Deadline applied when a request does not set `deadline_ms`
+    /// (0 = none).
+    pub default_deadline_ms: u64,
+    /// Cap on request body bytes (inline MatrixMarket can be big).
+    pub max_body_bytes: usize,
+    /// Test-only: sleep this long after claiming each connection,
+    /// simulating a slow worker so overload tests are deterministic.
+    pub worker_delay_ms: u64,
+    /// Test-only: expose `POST /debug/panic` to exercise per-request
+    /// panic isolation end to end.
+    pub enable_fault_endpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_bound: 64,
+            size: SizeClass::Tiny,
+            default_deadline_ms: 10_000,
+            max_body_bytes: 4 * 1024 * 1024,
+            worker_delay_ms: 0,
+            enable_fault_endpoints: false,
+        }
+    }
+}
+
+/// In-flight socket registry the reaper sweeps.
+#[derive(Default)]
+struct Reaper {
+    inflight: Mutex<HashMap<u64, (CancelToken, TcpStream)>>,
+    next_id: AtomicU64,
+}
+
+impl Reaper {
+    /// Register an executing request; the stream clone is switched to
+    /// non-blocking so the sweep's peek never stalls.
+    fn register(&self, token: &CancelToken, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        clone.set_nonblocking(true).ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, (token.clone(), clone));
+        Some(id)
+    }
+
+    fn unregister(&self, id: u64) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+    }
+
+    /// One sweep: cancel every request whose client hung up.
+    fn sweep(&self) {
+        let g = self.inflight.lock().unwrap_or_else(|p| p.into_inner());
+        let mut buf = [0u8; 1];
+        for (token, stream) in g.values() {
+            match stream.peek(&mut buf) {
+                // EOF: the client closed its end.
+                Ok(0) => {
+                    if !token.is_cancelled() {
+                        asap_obs::counter_inc("serve.client_disconnects");
+                        token.cancel();
+                    }
+                }
+                // Bytes pending or nothing yet: still connected.
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                // Reset / broken pipe: gone.
+                Err(_) => {
+                    if !token.is_cancelled() {
+                        asap_obs::counter_inc("serve.client_disconnects");
+                        token.cancel();
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: BoundedQueue<TcpStream>,
+    draining: AtomicBool,
+    reaper_stop: AtomicBool,
+    flights: SingleFlight,
+    catalog: MatrixCatalog,
+    reaper: Reaper,
+    // Per-server health counters ( /metrics shows the process-global
+    // registry; /healthz must describe *this* server instance).
+    served: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// A running server. Dropping the handle does NOT stop it; call
+/// [`Server::join`] (or send `POST /control/shutdown` and then `join`).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the accept loop, workers, and reaper.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_bound),
+            draining: AtomicBool::new(false),
+            reaper_stop: AtomicBool::new(false),
+            flights: SingleFlight::new(),
+            catalog: MatrixCatalog::new(cfg.size),
+            reaper: Reaper::default(),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            cfg,
+        });
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let reaper = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-reaper".into())
+                .spawn(move || {
+                    while !shared.reaper_stop.load(Ordering::Acquire) {
+                        shared.reaper.sweep();
+                        std::thread::sleep(REAPER_POLL);
+                    }
+                })?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            reaper: Some(reaper),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start draining: stop admitting, let queued and in-flight work
+    /// finish. Idempotent; returns immediately.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+    }
+
+    /// Daemon mode: block until a drain is requested (via
+    /// `POST /control/shutdown` or another handle's [`Server::begin_drain`]),
+    /// then finish the drain and join every thread.
+    pub fn run_until_drained(self) {
+        while !self.shared.draining.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join();
+    }
+
+    /// Drain and block until every thread has exited. Queued
+    /// connections are served before workers stop.
+    pub fn join(mut self) {
+        self.begin_drain();
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.reaper_stop.store(true, Ordering::Release);
+        if let Some(r) = self.reaper.take() {
+            let _ = r.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.draining.load(Ordering::Acquire) {
+            // Stop admitting; wake workers to drain what's queued.
+            shared.queue.close();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                asap_obs::counter_inc("serve.accepted");
+                // The accepted socket must block normally for the
+                // worker's reads regardless of listener flags.
+                let _ = stream.set_nonblocking(false);
+                admit(stream, shared);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            // Transient accept failure (EMFILE, aborted handshake):
+            // back off and keep serving.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn admit(stream: TcpStream, shared: &Shared) {
+    match shared.queue.try_push(stream) {
+        Ok(depth) => {
+            asap_obs::gauge_set("serve.queue_depth", depth as i64);
+            asap_obs::counter_set_max("serve.queue_depth_peak", depth as u64);
+        }
+        Err(PushError::Full(mut stream)) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.rejected");
+            drain_request(&mut stream, shared.cfg.max_body_bytes);
+            let _ = write_json(
+                &mut stream,
+                429,
+                &[("Retry-After", "1".to_string())],
+                &render_error("overloaded", "admission", "queue full; retry after 1s"),
+            );
+        }
+        Err(PushError::Closed(mut stream)) => {
+            drain_request(&mut stream, shared.cfg.max_body_bytes);
+            let _ = write_json(
+                &mut stream,
+                503,
+                &[],
+                &render_error("draining", "admission", "server is shutting down"),
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(mut stream) = shared.queue.pop() {
+        asap_obs::gauge_set("serve.queue_depth", shared.queue.len() as i64);
+        if shared.cfg.worker_delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+        }
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+        asap_obs::gauge_add("serve.in_flight", 1);
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
+        asap_obs::gauge_sub("serve.in_flight", 1);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Err(payload) = outcome {
+            asap_obs::counter_inc("serve.panics");
+            let msg = panic_message(payload.as_ref());
+            let _ = write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "request handler panicked".to_string()
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
+    let req = match read_request(stream, shared.cfg.max_body_bytes) {
+        Ok(r) => r,
+        // Client connected and went away without a request: nothing to
+        // answer, nobody to answer it to.
+        Err(HttpError::Closed) => return,
+        Err(e @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
+            asap_obs::counter_inc("serve.bad_requests");
+            let _ = write_json(
+                stream,
+                400,
+                &[],
+                &render_error("bad_request", "http", &e.to_string()),
+            );
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/run") => handle_run(shared, stream, &req.body),
+        ("GET", "/healthz") => {
+            let _ = write_json(stream, 200, &[], &healthz_body(shared));
+        }
+        ("GET", "/metrics") => {
+            let body = asap_obs::render_metrics(&asap_obs::metrics_snapshot());
+            let _ = write_response(stream, 200, &[], "text/plain; charset=utf-8", &body);
+        }
+        ("POST", "/control/shutdown") => {
+            shared.draining.store(true, Ordering::Release);
+            let _ = write_json(
+                stream,
+                200,
+                &[],
+                &render_error("draining", "control", "drain started"),
+            );
+        }
+        ("POST", "/debug/panic") if shared.cfg.enable_fault_endpoints => {
+            panic!("injected panic via /debug/panic");
+        }
+        ("POST" | "GET", _) => {
+            let _ = write_json(
+                stream,
+                404,
+                &[],
+                &render_error("not_found", "http", &format!("no route {}", req.path)),
+            );
+        }
+        _ => {
+            let _ = write_json(
+                stream,
+                405,
+                &[],
+                &render_error("method_not_allowed", "http", &req.method),
+            );
+        }
+    }
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    let mut w = ObjWriter::new();
+    w.str(
+        "status",
+        if shared.draining.load(Ordering::Acquire) {
+            "draining"
+        } else {
+            "ok"
+        },
+    )
+    .usize("queue_depth", shared.queue.len())
+    .u64("in_flight", shared.in_flight.load(Ordering::Relaxed))
+    .u64("served", shared.served.load(Ordering::Relaxed))
+    .u64("rejected", shared.rejected.load(Ordering::Relaxed))
+    .usize("workers", shared.cfg.workers);
+    w.finish()
+}
+
+fn handle_run(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
+    let run = match parse_run_request(body, &shared.catalog, shared.cfg.default_deadline_ms) {
+        Ok(r) => r,
+        Err(e) => {
+            asap_obs::counter_inc("serve.bad_requests");
+            let _ = write_json(
+                stream,
+                400,
+                &[],
+                &render_error("bad_request", e.kind(), &e.to_string()),
+            );
+            return;
+        }
+    };
+    let cancel = CancelToken::new();
+    let reaper_id = shared.reaper.register(&cancel, stream);
+    let result = shared
+        .flights
+        .compile(run.kernel, &run.sparse, &run.strategy)
+        .and_then(|(ck, cache_hit, compile_ns)| {
+            asap_core::execute_request(
+                &ck,
+                run.kernel,
+                &run.sparse,
+                run.engine,
+                &run.budget(&cancel),
+                cache_hit,
+                compile_ns,
+            )
+        });
+    if let Some(id) = reaper_id {
+        shared.reaper.unregister(id);
+    }
+    match result {
+        Ok(outcome) => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.served");
+            asap_obs::histogram_record("serve.exec_ns", outcome.exec_ns);
+            let _ = write_json(stream, 200, &[], &render_outcome(&run, &outcome));
+        }
+        // A tripped budget is governed termination, not failure: the
+        // deadline (or the client disconnecting, via the cancel token)
+        // stopped the run. 504 mirrors a gateway timeout.
+        Err(e) if e.kind() == "budget" => {
+            asap_obs::counter_inc("serve.deadline_exceeded");
+            let _ = write_json(
+                stream,
+                504,
+                &[],
+                &render_error("deadline_exceeded", e.kind(), &e.to_string()),
+            );
+        }
+        // Anything else the pipeline rejects (bad spec, binding) is a
+        // property of the request.
+        Err(e) => {
+            asap_obs::counter_inc("serve.bad_requests");
+            let _ = write_json(
+                stream,
+                400,
+                &[],
+                &render_error("bad_request", e.kind(), &e.to_string()),
+            );
+        }
+    }
+}
