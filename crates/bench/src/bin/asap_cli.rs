@@ -53,7 +53,8 @@ fn usage() -> ! {
          [--kernel spmv|spmm] [--variant baseline|asap|aj] [--distance N] \
          [--hw default|optimized|off] [--trace-out PATH.jsonl]\n\
          \x20      asap_cli serve [--addr HOST:PORT] [--workers N] [--queue-bound N] \
-         [--size tiny|small|full] [--deadline-ms N]\n\
+         [--size tiny|small|full] [--deadline-ms N] [--crash-journal PATH.jsonl]\n\
+         [--io-timeout-ms N]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -425,6 +426,8 @@ fn serve_main(args: Vec<String>) {
             "--workers" => cfg.workers = val().parse().unwrap_or_else(|_| usage()),
             "--queue-bound" => cfg.queue_bound = val().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => cfg.default_deadline_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--crash-journal" => cfg.crash_journal = Some(std::path::PathBuf::from(val())),
+            "--io-timeout-ms" => cfg.io_timeout_ms = val().parse().unwrap_or_else(|_| usage()),
             "--size" => {
                 cfg.size = match val().as_str() {
                     "tiny" => SizeClass::Tiny,

@@ -16,9 +16,18 @@
 //! the generator down. Every 200 response must carry the same checksum
 //! (the requests are identical); a mismatch is a correctness failure,
 //! not a performance number.
+//!
+//! Chaos mode (`--chaos SEED`) interposes the deterministic
+//! `asap-fuzz` fault-injection proxy between the generator and the
+//! server, so a schedule of delays, drips, truncations, corruptions,
+//! and aborts hits every connection; `--retry` switches the generator
+//! to the self-healing [`ResilientClient`] so BENCH_serve.json reports
+//! *goodput* under faults — successful answers per second after
+//! retries, not raw attempts.
 
+use asap_fuzz::chaos_proxy::{ChaosConfig, ChaosProxy};
 use asap_obs::ObjWriter;
-use asap_serve::{post, ServeConfig, Server};
+use asap_serve::{post, ResilientClient, RetryPolicy, ServeConfig, Server};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -38,6 +47,8 @@ struct Args {
     deadline_ms: u64,
     out: std::path::PathBuf,
     strict: bool,
+    chaos: Option<u64>,
+    retry: bool,
 }
 
 fn usage() -> ! {
@@ -45,7 +56,7 @@ fn usage() -> ! {
         "usage: asap_loadgen (--addr HOST:PORT | --spawn) [--rps N] [--duration-s S] \
          [--threads N] [--warmup N] [--matrix REF] [--kernel spmv|spmm] \
          [--strategy baseline|asap|aj] [--distance N] [--deadline-ms N] \
-         [--out PATH] [--strict]"
+         [--out PATH] [--strict] [--chaos SEED] [--retry]"
     );
     std::process::exit(2);
 }
@@ -65,6 +76,8 @@ fn parse_args() -> Args {
         deadline_ms: 5_000,
         out: std::path::PathBuf::from("BENCH_serve.json"),
         strict: false,
+        chaos: None,
+        retry: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +96,8 @@ fn parse_args() -> Args {
             "--deadline-ms" => a.deadline_ms = val().parse().unwrap_or_else(|_| usage()),
             "--out" => a.out = std::path::PathBuf::from(val()),
             "--strict" => a.strict = true,
+            "--chaos" => a.chaos = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--retry" => a.retry = true,
             _ => usage(),
         }
     }
@@ -120,7 +135,14 @@ fn main() {
     // --spawn: run the server in this process (the CI smoke path — no
     // orphaned daemons, one exit code).
     let spawned = if args.spawn {
-        let server = Server::start(ServeConfig::default()).unwrap_or_else(|e| {
+        // Under chaos the proxy forges lying Content-Length heads; a
+        // short read timeout keeps those from pinning workers for the
+        // 10 s default and wrecking the run's wall clock.
+        let cfg = ServeConfig {
+            io_timeout_ms: if args.chaos.is_some() { 1_000 } else { 10_000 },
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg).unwrap_or_else(|e| {
             eprintln!("cannot start in-process server: {e}");
             std::process::exit(1);
         });
@@ -140,6 +162,24 @@ fn main() {
         },
     };
 
+    // With chaos on, the measured traffic goes through the fault proxy;
+    // warmup still talks to the server directly so steady-state is
+    // reached deterministically regardless of the fault schedule.
+    let server_addr = addr;
+    let mut proxy = args.chaos.map(|seed| {
+        ChaosProxy::start(server_addr, seed, ChaosConfig::loadgen()).unwrap_or_else(|e| {
+            eprintln!("cannot start chaos proxy: {e}");
+            std::process::exit(1);
+        })
+    });
+    let addr = proxy.as_ref().map_or(server_addr, |p| p.addr());
+    if let Some(seed) = args.chaos {
+        eprintln!(
+            "chaos proxy on {addr} (seed {seed}) -> server {server_addr}{}",
+            if args.retry { ", retry enabled" } else { "" }
+        );
+    }
+
     let body = {
         let mut w = ObjWriter::new();
         w.str("kernel", &args.kernel)
@@ -150,11 +190,20 @@ fn main() {
         w.finish()
     };
     let timeout = Duration::from_millis(args.deadline_ms + 10_000);
+    let client = args.retry.then(|| {
+        Arc::new(ResilientClient::new(
+            RetryPolicy {
+                seed: args.chaos.unwrap_or(0x10ad),
+                ..RetryPolicy::default()
+            },
+            timeout,
+        ))
+    });
 
     // Warm the kernel cache and the resolved matrix so the measured
     // window is steady-state (the acceptance number is warm-cache).
     for i in 0..args.warmup {
-        if let Err(e) = post(addr, "/v1/run", &body, timeout) {
+        if let Err(e) = post(server_addr, "/v1/run", &body, timeout) {
             eprintln!("warmup request {i} failed: {e}");
             std::process::exit(1);
         }
@@ -171,6 +220,7 @@ fn main() {
             let next = next.clone();
             let tally = tally.clone();
             let body = body.clone();
+            let client = client.clone();
             std::thread::spawn(move || {
                 let mut local = Tally::default();
                 loop {
@@ -183,7 +233,16 @@ fn main() {
                     if now < scheduled {
                         std::thread::sleep(scheduled - now);
                     }
-                    match post(addr, "/v1/run", &body, timeout) {
+                    // The resilient path retries/fast-fails internally;
+                    // its terminal error collapses into the transport
+                    // bucket like a plain client failure.
+                    let result = match &client {
+                        Some(c) => c
+                            .post(addr, "/v1/run", &body)
+                            .map_err(|e| std::io::Error::other(e.to_string())),
+                        None => post(addr, "/v1/run", &body, timeout),
+                    };
+                    match result {
                         Ok(reply) => {
                             let latency = start.elapsed().saturating_sub(scheduled);
                             match reply.status {
@@ -226,6 +285,12 @@ fn main() {
         let _ = w.join();
     }
     let elapsed = start.elapsed();
+    let chaos_stats = proxy.as_mut().map(|p| p.stop());
+    // The resilient client reports through the process-global registry;
+    // loadgen is its own process, so these are this run's numbers.
+    let retries = asap_obs::counter_get("client.retries");
+    let breaker_opens = asap_obs::counter_get("client.breaker_opens");
+    let checksum_mismatches = asap_obs::counter_get("client.checksum_mismatches");
 
     let mut t = Arc::try_unwrap(tally)
         .unwrap_or_else(|_| unreachable!("workers joined"))
@@ -263,6 +328,21 @@ fn main() {
         t.checksums.len(),
         t.checksums.join(", ")
     );
+    if let Some(stats) = &chaos_stats {
+        println!(
+            "chaos      : {} connections proxied, {} with destructive faults \
+             (truncate {}, corrupt {}, abort {}); client retries {}, breaker opens {}, \
+             checksum mismatches {}",
+            stats.connections,
+            stats.destructive(),
+            stats.by_label("truncate"),
+            stats.by_label("corrupt"),
+            stats.by_label("abort"),
+            retries,
+            breaker_opens,
+            checksum_mismatches
+        );
+    }
 
     let json = {
         let cfg = {
@@ -274,7 +354,11 @@ fn main() {
                 .u64("target_rps", args.rps)
                 .u64("duration_s", args.duration_s)
                 .usize("threads", args.threads)
-                .bool("spawned", args.spawn);
+                .bool("spawned", args.spawn)
+                .bool("retry", args.retry);
+            if let Some(seed) = args.chaos {
+                w.u64("chaos_seed", seed);
+            }
             w.finish()
         };
         let mut w = ObjWriter::new();
@@ -286,6 +370,17 @@ fn main() {
             .u64("deadline_504", t.deadline)
             .u64("bad", t.bad)
             .u64("transport_errors", t.transport)
+            .u64("retries", retries)
+            .u64("breaker_opens", breaker_opens)
+            .u64("checksum_mismatches", checksum_mismatches);
+        if let Some(stats) = &chaos_stats {
+            w.u64("chaos_connections", stats.connections)
+                .usize("chaos_destructive", stats.destructive());
+        }
+        // Goodput: completed-with-200 per second of wall clock — under
+        // chaos this is the acceptance number (faults survived), and
+        // without chaos it equals the classic achieved rate.
+        w.raw("goodput_rps", &format!("{achieved_rps:.1}"))
             .raw("achieved_rps", &format!("{achieved_rps:.1}"))
             .raw("elapsed_s", &format!("{:.3}", elapsed.as_secs_f64()))
             .u64("latency_p50_ns", p50)
@@ -310,9 +405,20 @@ fn main() {
         server.join();
     }
 
-    // Strict gate (CI smoke): identical requests must agree bit-for-bit,
-    // every request must get *an* answer, and at least one must succeed.
+    // Strict gate (CI smoke). Under chaos the wire itself is hostile —
+    // transport errors, 4xx from mangled requests, and even corrupted
+    // 200 bodies are *injected* — so the gate is goodput: work still
+    // got through. On a clean wire the full contract applies: identical
+    // requests agree bit-for-bit, every request gets an answer, and at
+    // least one succeeds.
     if args.strict {
+        if args.chaos.is_some() {
+            if t.ok == 0 {
+                eprintln!("FAIL: zero goodput under chaos (no request survived the faults)");
+                std::process::exit(1);
+            }
+            return;
+        }
         if t.checksums.len() > 1 {
             eprintln!(
                 "FAIL: {} distinct checksums from identical requests",

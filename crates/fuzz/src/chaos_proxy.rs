@@ -1,0 +1,936 @@
+//! Deterministic socket-level chaos: a TCP fault-injection proxy and a
+//! battery of hostile HTTP byte streams.
+//!
+//! PR 1's differential fuzzer proved the compute pipeline against
+//! hostile *inputs*; this module extends the same fixed-seed discipline
+//! to the *network* layer. The proxy sits between a client and
+//! `asap-serve`, forwarding bytes through a per-connection fault plan
+//! drawn from a seeded [`Rng64`]: delays, slow-loris byte drips, write
+//! splits at arbitrary boundaries, mid-stream truncation, byte
+//! corruption, and abrupt aborts (closing a socket with unread data
+//! pending, which the kernel answers with RST on Linux). Every plan is
+//! a pure function of `(proxy seed, connection index)`, so a failing
+//! soak case replays from the seed printed in the assertion message.
+//!
+//! The hostile-protocol battery ([`hostile_protocol_cases`]) is the
+//! request-line/header analogue of the MatrixMarket corruptors: each
+//! case is raw bytes the server must answer with a typed 4xx or close
+//! cleanly — never a panic, never a hang, never an unbounded buffer.
+
+pub use asap_matrices::Rng64;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One fault applied to one direction of one proxied connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward unchanged (split into whatever chunks arrive).
+    None,
+    /// Hold the first forwarded chunk back for this many milliseconds.
+    DelayMs(u64),
+    /// Slow-loris: forward the first [`DRIP_WINDOW`] bytes in
+    /// `chunk`-byte writes with `pause_ms` between each, then stream
+    /// the remainder normally (so plans always terminate).
+    Drip { chunk: usize, pause_ms: u64 },
+    /// Re-chunk the stream into writes of at most `max_chunk` bytes,
+    /// exercising every parser resume point without changing content.
+    Split { max_chunk: usize },
+    /// Forward `after` bytes, then close both directions cleanly (FIN).
+    Truncate { after: usize },
+    /// XOR the byte at stream offset `offset` with `mask` (mask is
+    /// never 0, so the stream always differs).
+    Corrupt { offset: usize, mask: u8 },
+    /// Forward `after` bytes, then drop both sockets without reading
+    /// pending data — unread bytes make the kernel send RST.
+    Abort { after: usize },
+}
+
+impl Fault {
+    /// Stable label for per-kind accounting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::DelayMs(_) => "delay",
+            Fault::Drip { .. } => "drip",
+            Fault::Split { .. } => "split",
+            Fault::Truncate { .. } => "truncate",
+            Fault::Corrupt { .. } => "corrupt",
+            Fault::Abort { .. } => "abort",
+        }
+    }
+
+    /// Whether this fault can destroy the request/response exchange
+    /// (as opposed to merely delaying or re-chunking it).
+    pub fn destructive(&self) -> bool {
+        matches!(
+            self,
+            Fault::Truncate { .. } | Fault::Corrupt { .. } | Fault::Abort { .. }
+        )
+    }
+}
+
+/// Bytes subject to dripping before a `Drip` plan reverts to normal
+/// streaming. Covers a whole request head; keeps plans time-bounded.
+pub const DRIP_WINDOW: usize = 256;
+
+/// Per-direction fault probabilities (the remainder is [`Fault::None`]).
+/// Draw order is fixed — delay, drip, split, truncate, corrupt, abort —
+/// so a config is a deterministic partition of `[0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultWeights {
+    pub delay: f64,
+    pub drip: f64,
+    pub split: f64,
+    pub truncate: f64,
+    pub corrupt: f64,
+    pub abort: f64,
+}
+
+impl FaultWeights {
+    /// No faults at all (a transparent proxy direction).
+    pub fn clean() -> FaultWeights {
+        FaultWeights {
+            delay: 0.0,
+            drip: 0.0,
+            split: 0.0,
+            truncate: 0.0,
+            corrupt: 0.0,
+            abort: 0.0,
+        }
+    }
+
+    fn draw(&self, rng: &mut Rng64, max_delay_ms: u64) -> Fault {
+        let p = rng.gen_f64();
+        let mut edge = self.delay;
+        if p < edge {
+            return Fault::DelayMs(1 + rng.next_u64() % max_delay_ms.max(1));
+        }
+        edge += self.drip;
+        if p < edge {
+            return Fault::Drip {
+                chunk: 1 + rng.usize_below(16),
+                pause_ms: 1 + rng.next_u64() % 3,
+            };
+        }
+        edge += self.split;
+        if p < edge {
+            return Fault::Split {
+                max_chunk: 1 + rng.usize_below(32),
+            };
+        }
+        edge += self.truncate;
+        if p < edge {
+            return Fault::Truncate {
+                after: rng.usize_below(DRIP_WINDOW),
+            };
+        }
+        edge += self.corrupt;
+        if p < edge {
+            return Fault::Corrupt {
+                offset: rng.usize_below(DRIP_WINDOW),
+                mask: 1 + (rng.next_u64() % 255) as u8,
+            };
+        }
+        edge += self.abort;
+        if p < edge {
+            return Fault::Abort {
+                after: rng.usize_below(DRIP_WINDOW),
+            };
+        }
+        Fault::None
+    }
+}
+
+/// Fault plan generator for a whole proxy: independent weights for the
+/// two directions of each connection.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// client → server faults.
+    pub inbound: FaultWeights,
+    /// server → client faults.
+    pub outbound: FaultWeights,
+    /// Upper bound for [`Fault::DelayMs`] draws.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// The soak-test mix: every fault kind occurs, destructive faults
+    /// on both directions, delays kept short so runs stay fast.
+    pub fn soak() -> ChaosConfig {
+        ChaosConfig {
+            inbound: FaultWeights {
+                delay: 0.10,
+                drip: 0.10,
+                split: 0.20,
+                truncate: 0.10,
+                corrupt: 0.08,
+                abort: 0.10,
+            },
+            outbound: FaultWeights {
+                delay: 0.05,
+                drip: 0.05,
+                split: 0.15,
+                truncate: 0.08,
+                corrupt: 0.05,
+                abort: 0.08,
+            },
+            max_delay_ms: 20,
+        }
+    }
+
+    /// The loadgen `--chaos` mix: >10% of connections draw a
+    /// destructive inbound fault, so goodput under this schedule is
+    /// only nonzero if the retry layer works.
+    pub fn loadgen() -> ChaosConfig {
+        ChaosConfig {
+            inbound: FaultWeights {
+                delay: 0.05,
+                drip: 0.03,
+                split: 0.15,
+                truncate: 0.08,
+                corrupt: 0.04,
+                abort: 0.08,
+            },
+            outbound: FaultWeights {
+                delay: 0.03,
+                drip: 0.02,
+                split: 0.10,
+                truncate: 0.04,
+                corrupt: 0.03,
+                abort: 0.04,
+            },
+            max_delay_ms: 10,
+        }
+    }
+}
+
+/// What one proxied connection was subjected to and what flowed.
+#[derive(Debug, Clone)]
+pub struct ConnRecord {
+    pub id: u64,
+    pub inbound: Fault,
+    pub outbound: Fault,
+    pub client_to_server_bytes: u64,
+    pub server_to_client_bytes: u64,
+}
+
+#[derive(Default)]
+struct ProxyShared {
+    stop: AtomicBool,
+    connections: AtomicU64,
+    upstream_failures: AtomicU64,
+    records: Mutex<Vec<ConnRecord>>,
+}
+
+/// Point-in-time accounting for a proxy run.
+#[derive(Debug, Clone, Default)]
+pub struct ProxyStats {
+    pub connections: u64,
+    /// Accepted client connections the proxy could not relay because
+    /// the upstream connect failed.
+    pub upstream_failures: u64,
+    pub records: Vec<ConnRecord>,
+}
+
+impl ProxyStats {
+    /// Connections whose plan included at least one destructive fault.
+    pub fn destructive(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.inbound.destructive() || r.outbound.destructive())
+            .count()
+    }
+
+    /// Count of connections whose plan drew `label` on either direction.
+    pub fn by_label(&self, label: &str) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.inbound.label() == label || r.outbound.label() == label)
+            .count()
+    }
+}
+
+/// A running fault-injection proxy. Call [`ChaosProxy::stop`] (or drop)
+/// to tear it down; [`ChaosProxy::stats`] reports what it injected.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+/// Poll interval for the proxy's non-blocking accept loop and the
+/// pumps' read timeout, bounding reaction time to `stop`.
+const PROXY_POLL: Duration = Duration::from_millis(2);
+
+impl ChaosProxy {
+    /// Listen on an ephemeral loopback port and relay every connection
+    /// to `upstream` through a fault plan seeded by
+    /// `seed ^ connection_index`.
+    pub fn start(
+        upstream: SocketAddr,
+        seed: u64,
+        config: ChaosConfig,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared::default());
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("chaos-proxy".into())
+                .spawn(move || accept_loop(listener, upstream, seed, config, &shared))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, join every relay thread, and return the final
+    /// accounting. Idempotent: a second call returns the same stats.
+    pub fn stop(&mut self) -> ProxyStats {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(a) = self.accept.take() {
+            if let Ok(conns) = a.join() {
+                for c in conns {
+                    let _ = c.join();
+                }
+            }
+        }
+        self.stats()
+    }
+
+    /// Current accounting (complete once [`ChaosProxy::stop`] returned).
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            upstream_failures: self.shared.upstream_failures.load(Ordering::Relaxed),
+            records: self
+                .shared
+                .records
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .clone(),
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    seed: u64,
+    config: ChaosConfig,
+    shared: &Arc<ProxyShared>,
+) -> Vec<JoinHandle<()>> {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return conns;
+        }
+        match listener.accept() {
+            Ok((client, _)) => {
+                let id = shared.connections.fetch_add(1, Ordering::Relaxed);
+                // Per-connection schedule: a pure function of the proxy
+                // seed and the connection index (golden-ratio mixing so
+                // consecutive ids decorrelate).
+                let mut rng = Rng64::seed_from_u64(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let inbound = config.inbound.draw(&mut rng, config.max_delay_ms);
+                let outbound = config.outbound.draw(&mut rng, config.max_delay_ms);
+                let shared = shared.clone();
+                if let Ok(h) = std::thread::Builder::new()
+                    .name(format!("chaos-conn-{id}"))
+                    .spawn(move || relay(client, upstream, id, inbound, outbound, &shared))
+                {
+                    conns.push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(PROXY_POLL);
+            }
+            Err(_) => std::thread::sleep(PROXY_POLL),
+        }
+    }
+}
+
+fn relay(
+    client: TcpStream,
+    upstream: SocketAddr,
+    id: u64,
+    inbound: Fault,
+    outbound: Fault,
+    shared: &Arc<ProxyShared>,
+) {
+    let record = |c2s: u64, s2c: u64| {
+        shared
+            .records
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(ConnRecord {
+                id,
+                inbound: inbound.clone(),
+                outbound: outbound.clone(),
+                client_to_server_bytes: c2s,
+                server_to_client_bytes: s2c,
+            });
+    };
+    let server = match TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) {
+        Ok(s) => s,
+        Err(_) => {
+            shared.upstream_failures.fetch_add(1, Ordering::Relaxed);
+            record(0, 0);
+            return;
+        }
+    };
+    let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
+        record(0, 0);
+        return;
+    };
+    let c2s_bytes = Arc::new(AtomicU64::new(0));
+    let s2c_bytes = Arc::new(AtomicU64::new(0));
+    // One pump exiting (fault fired, EOF, error) must release the
+    // other: each holds clones of both sockets, so an `Abort`'s drop
+    // sends nothing on the wire until BOTH pumps let go. Without this
+    // flag the surviving pump pins the connection open and the client
+    // only escapes via its own read timeout.
+    let dead = Arc::new(AtomicBool::new(false));
+    let up = {
+        let (fault, bytes, stop) = (inbound.clone(), c2s_bytes.clone(), shared.clone());
+        let dead = dead.clone();
+        std::thread::Builder::new()
+            .name(format!("chaos-up-{id}"))
+            .spawn(move || pump(client, server, fault, &bytes, &stop.stop, &dead))
+    };
+    // The downstream pump runs on this thread; the upstream half joins
+    // after, so `relay` returning means the connection is fully torn
+    // down and its byte counts are final. Dropping the last socket
+    // clones here is what actually closes the wire — RST if an `Abort`
+    // left unread bytes in a receive buffer, FIN otherwise.
+    pump(
+        server2,
+        client2,
+        outbound.clone(),
+        &s2c_bytes,
+        &shared.stop,
+        &dead,
+    );
+    if let Ok(h) = up {
+        let _ = h.join();
+    }
+    record(
+        c2s_bytes.load(Ordering::Relaxed),
+        s2c_bytes.load(Ordering::Relaxed),
+    );
+}
+
+/// Copy `src` → `dst` through a fault plan until EOF, error, plan
+/// cutoff, or proxy stop. Forwarded byte counts land in `bytes`.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    fault: Fault,
+    bytes: &AtomicU64,
+    stop: &AtomicBool,
+    dead: &AtomicBool,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut chunk = [0u8; 4096];
+    let mut offset: usize = 0; // absolute position in the forwarded stream
+    let mut delayed = matches!(fault, Fault::DelayMs(_));
+    loop {
+        if stop.load(Ordering::Acquire) {
+            dead.store(true, Ordering::Release);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+        if dead.load(Ordering::Acquire) {
+            // The peer pump ended the connection. Return without a
+            // shutdown: `relay` dropping the last socket clones decides
+            // how the wire closes (RST after an abort, FIN otherwise).
+            return;
+        }
+        let n = match src.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: propagate the half-close so the destination's
+                // parser sees the same framing the source sent.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                dead.store(true, Ordering::Release);
+                let _ = dst.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let mut data = chunk[..n].to_vec();
+
+        if delayed {
+            if let Fault::DelayMs(ms) = fault {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            delayed = false;
+        }
+        if let Fault::Corrupt { offset: at, mask } = fault {
+            if at >= offset && at < offset + data.len() {
+                data[at - offset] ^= mask;
+            }
+        }
+        let cutoff = match fault {
+            // Forward up to the cutoff, then end the stream.
+            Fault::Truncate { after } | Fault::Abort { after } => {
+                Some(after.saturating_sub(offset).min(data.len()))
+            }
+            _ => None,
+        };
+        if let Some(keep) = cutoff {
+            data.truncate(keep);
+        }
+
+        let write_ok = match fault {
+            Fault::Drip { chunk, pause_ms } if offset < DRIP_WINDOW => {
+                let mut ok = true;
+                for piece in data.chunks(chunk.max(1)) {
+                    if stop.load(Ordering::Acquire) || dst.write_all(piece).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    let _ = dst.flush();
+                    std::thread::sleep(Duration::from_millis(pause_ms));
+                }
+                ok
+            }
+            Fault::Split { max_chunk } => {
+                let mut ok = true;
+                for piece in data.chunks(max_chunk.max(1)) {
+                    if dst.write_all(piece).is_err() {
+                        ok = false;
+                        break;
+                    }
+                    let _ = dst.flush();
+                }
+                ok
+            }
+            _ => dst.write_all(&data).and_then(|()| dst.flush()).is_ok(),
+        };
+        bytes.fetch_add(data.len() as u64, Ordering::Relaxed);
+        offset += data.len();
+        if !write_ok {
+            dead.store(true, Ordering::Release);
+            let _ = src.shutdown(Shutdown::Both);
+            return;
+        }
+        match fault {
+            Fault::Truncate { after } if offset >= after => {
+                // Clean cut: half-close both ways so each side sees FIN.
+                dead.store(true, Ordering::Release);
+                let _ = dst.shutdown(Shutdown::Both);
+                let _ = src.shutdown(Shutdown::Both);
+                return;
+            }
+            Fault::Abort { after } if offset >= after => {
+                // Abrupt cut with data potentially unread in a receive
+                // buffer — once the peer pump releases its clones, the
+                // close reaches the wire as RST.
+                dead.store(true, Ordering::Release);
+                drop(dst);
+                drop(src);
+                return;
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hostile protocol battery
+// ---------------------------------------------------------------------
+
+/// What a hostile byte stream must provoke from the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileExpect {
+    /// Exactly this status code.
+    Status(u16),
+    /// Any complete response with a 4xx status.
+    Any4xx,
+    /// A complete response (any status) or a clean close — never a hang.
+    ResponseOrClose,
+}
+
+/// One raw byte stream to throw at the server.
+#[derive(Debug, Clone)]
+pub struct HostileCase {
+    pub label: String,
+    pub bytes: Vec<u8>,
+    pub expect: HostileExpect,
+}
+
+fn case(label: &str, bytes: Vec<u8>, expect: HostileExpect) -> HostileCase {
+    HostileCase {
+        label: label.to_string(),
+        bytes,
+        expect,
+    }
+}
+
+/// The hostile-protocol battery: malformed request lines, oversized and
+/// duplicate headers, lying `Content-Length`, pipelined junk, binary
+/// garbage. `seed` perturbs the random-bytes cases; the structural
+/// cases are fixed. Limits referenced here (`max_request_line`,
+/// `max_headers`, `max_head_bytes`) are the server's published caps —
+/// passed in so this crate does not depend on `asap-serve`.
+pub fn hostile_protocol_cases(
+    seed: u64,
+    max_request_line: usize,
+    max_headers: usize,
+    max_head_bytes: usize,
+) -> Vec<HostileCase> {
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x000f_f1ce);
+    let mut out = Vec::new();
+
+    // Binary garbage: no CRLF framing at all.
+    let mut junk = vec![0u8; 64 + rng.usize_below(192)];
+    for b in junk.iter_mut() {
+        *b = (rng.next_u64() % 256) as u8;
+    }
+    // Keep it free of an accidental head terminator.
+    let mut i = 0;
+    while i + 3 < junk.len() {
+        if &junk[i..i + 4] == b"\r\n\r\n" {
+            junk[i] = b'x';
+        }
+        i += 1;
+    }
+    out.push(case("binary-garbage", junk, HostileExpect::ResponseOrClose));
+
+    out.push(case(
+        "empty-request-line",
+        b"\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "whitespace-request-line",
+        b"   \r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "no-path",
+        b"GET\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "bad-version",
+        b"GET /healthz HTTP/9.9\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "not-http",
+        b"HELO chaos.example\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // Request line just over the cap -> 414.
+    let long_path = "a".repeat(max_request_line);
+    out.push(case(
+        "request-line-over-limit",
+        format!("GET /{long_path} HTTP/1.1\r\n\r\n").into_bytes(),
+        HostileExpect::Status(414),
+    ));
+
+    // One header too many -> 431.
+    let mut many = String::from("GET /healthz HTTP/1.1\r\n");
+    for i in 0..=max_headers {
+        many.push_str(&format!("X-H{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    out.push(case(
+        "too-many-headers",
+        many.into_bytes(),
+        HostileExpect::Status(431),
+    ));
+
+    // A single header whose value blows the total head cap -> 431.
+    let huge = format!(
+        "GET /healthz HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+        "b".repeat(max_head_bytes + 1024)
+    );
+    out.push(case(
+        "oversized-header",
+        huge.into_bytes(),
+        HostileExpect::Status(431),
+    ));
+
+    // Conflicting and duplicate Content-Length -> 400.
+    out.push(case(
+        "conflicting-content-length",
+        b"POST /v1/run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 9\r\n\r\nabcd".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "duplicate-content-length",
+        b"POST /v1/run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "negative-content-length",
+        b"POST /v1/run HTTP/1.1\r\nContent-Length: -1\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    out.push(case(
+        "overflow-content-length",
+        b"POST /v1/run HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // Lying Content-Length: promises more bytes than it sends, then
+    // closes -> truncated body, 400.
+    out.push(case(
+        "content-length-over-actual",
+        b"POST /v1/run HTTP/1.1\r\nContent-Length: 999\r\n\r\n{}".to_vec(),
+        HostileExpect::Status(400),
+    ));
+    // Sends more than it declares: the extras are pipelined junk the
+    // server must ignore (one request per connection).
+    out.push(case(
+        "content-length-under-actual",
+        b"GET /healthz HTTP/1.1\r\nContent-Length: 2\r\n\r\nababEXTRAJUNKBYTES".to_vec(),
+        HostileExpect::Status(200),
+    ));
+
+    // Pipelined second request: answered request one, then close.
+    out.push(case(
+        "pipelined-junk",
+        b"GET /healthz HTTP/1.1\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n".to_vec(),
+        HostileExpect::Status(200),
+    ));
+
+    // Header line with no colon: framing junk, not a header.
+    out.push(case(
+        "colonless-header",
+        b"GET /healthz HTTP/1.1\r\nthis is not a header\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // NUL byte embedded in the head.
+    out.push(case(
+        "nul-in-header",
+        b"GET /healthz HTTP/1.1\r\nX-A: a\x00b\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // CRLF injection: a value carrying its own CRLF becomes a second
+    // header line — here a smuggled duplicate Content-Length, which the
+    // duplicate check must catch.
+    out.push(case(
+        "crlf-injected-content-length",
+        b"POST /v1/run HTTP/1.1\r\nX-A: v\r\nContent-Length: 2\r\nContent-Length: 0\r\n\r\nok"
+            .to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // Chunked transfer-encoding is outside the supported subset.
+    out.push(case(
+        "transfer-encoding",
+        b"POST /v1/run HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n".to_vec(),
+        HostileExpect::Status(400),
+    ));
+
+    // UTF-8 violation in the head.
+    out.push(case(
+        "non-utf8-head",
+        b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec(),
+        HostileExpect::Any4xx,
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-shot echo server: reads until EOF or `\r\n\r\n`, writes a
+    /// fixed banner plus the byte count, closes.
+    fn echo_server() -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            for stream in listener.incoming().take(1) {
+                let Ok(mut s) = stream else { return };
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 1024];
+                loop {
+                    match s.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                                break;
+                            }
+                        }
+                    }
+                }
+                let _ = s.write_all(format!("echo:{}", buf.len()).as_bytes());
+            }
+        });
+        (addr, h)
+    }
+
+    #[test]
+    fn fault_plans_are_deterministic_per_seed() {
+        let w = ChaosConfig::soak();
+        let draw = |seed: u64, id: u64| {
+            let mut rng = Rng64::seed_from_u64(seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (
+                w.inbound.draw(&mut rng, w.max_delay_ms),
+                w.outbound.draw(&mut rng, w.max_delay_ms),
+            )
+        };
+        for id in 0..64 {
+            assert_eq!(draw(7, id), draw(7, id), "id {id} not reproducible");
+        }
+        // Different seeds must not produce an identical 64-connection plan.
+        let a: Vec<_> = (0..64).map(|id| draw(7, id)).collect();
+        let b: Vec<_> = (0..64).map(|id| draw(8, id)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn weights_cover_every_fault_kind() {
+        let w = ChaosConfig::soak();
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..4096 {
+            seen.insert(w.inbound.draw(&mut rng, w.max_delay_ms).label());
+        }
+        for want in [
+            "none", "delay", "drip", "split", "truncate", "corrupt", "abort",
+        ] {
+            assert!(seen.contains(want), "fault kind {want} never drawn");
+        }
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        let (addr, server) = echo_server();
+        let cfg = ChaosConfig {
+            inbound: FaultWeights::clean(),
+            outbound: FaultWeights::clean(),
+            max_delay_ms: 1,
+        };
+        let mut proxy = ChaosProxy::start(addr, 1, cfg).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello\r\n\r\n").unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        c.read_to_string(&mut reply).unwrap();
+        assert_eq!(reply, "echo:9");
+        server.join().unwrap();
+        let stats = proxy.stop();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.records.len(), 1);
+        assert_eq!(stats.records[0].client_to_server_bytes, 9);
+        assert_eq!(stats.records[0].inbound, Fault::None);
+    }
+
+    #[test]
+    fn corrupting_proxy_changes_exactly_one_byte() {
+        let (addr, server) = echo_server();
+        // Force a corrupt fault on every inbound stream.
+        let cfg = ChaosConfig {
+            inbound: FaultWeights {
+                corrupt: 1.0,
+                ..FaultWeights::clean()
+            },
+            outbound: FaultWeights::clean(),
+            max_delay_ms: 1,
+        };
+        let mut proxy = ChaosProxy::start(addr, 5, cfg).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"hello\r\n\r\n").unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        let mut reply = String::new();
+        c.read_to_string(&mut reply).unwrap();
+        // Length is preserved even though content was flipped (the echo
+        // server counts bytes; corrupt never inserts or deletes).
+        assert_eq!(reply, "echo:9");
+        server.join().unwrap();
+        let stats = proxy.stop();
+        assert!(matches!(stats.records[0].inbound, Fault::Corrupt { .. }));
+    }
+
+    #[test]
+    fn truncating_proxy_cuts_the_stream() {
+        let (addr, server) = echo_server();
+        let cfg = ChaosConfig {
+            inbound: FaultWeights {
+                truncate: 1.0,
+                ..FaultWeights::clean()
+            },
+            outbound: FaultWeights::clean(),
+            max_delay_ms: 1,
+        };
+        let mut proxy = ChaosProxy::start(addr, 11, cfg).unwrap();
+        let msg = vec![b'x'; 1024];
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        // The write may itself fail once the proxy cuts the stream.
+        let _ = c.write_all(&msg);
+        let _ = c.shutdown(Shutdown::Write);
+        let mut reply = String::new();
+        let _ = c.read_to_string(&mut reply);
+        server.join().unwrap();
+        let stats = proxy.stop();
+        let forwarded = stats.records[0].client_to_server_bytes;
+        assert!(
+            forwarded < 1024,
+            "truncate must cut the 1024-byte stream, forwarded {forwarded}"
+        );
+    }
+
+    #[test]
+    fn hostile_battery_has_documented_coverage() {
+        let cases = hostile_protocol_cases(9, 4096, 64, 16 * 1024);
+        assert!(cases.len() >= 16, "battery size {}", cases.len());
+        let labels: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
+        for want in [
+            "binary-garbage",
+            "request-line-over-limit",
+            "too-many-headers",
+            "oversized-header",
+            "conflicting-content-length",
+            "content-length-over-actual",
+            "pipelined-junk",
+            "crlf-injected-content-length",
+        ] {
+            assert!(labels.contains(&want), "missing case {want}");
+        }
+        // Deterministic per seed.
+        let again = hostile_protocol_cases(9, 4096, 64, 16 * 1024);
+        assert_eq!(cases.len(), again.len());
+        assert!(cases
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.label == b.label && a.bytes == b.bytes));
+    }
+}

@@ -21,6 +21,8 @@
 //! [`asap_ir::AsapError`] (surfaced here as [`Outcome::Rejected`]), valid
 //! input yields agreeing results — and nothing panics.
 
+pub mod chaos_proxy;
+
 use asap_core::{
     compile_with_width, run_spmv_f64_budgeted, CompiledKernel, ExecEngine, PrefetchStrategy,
 };

@@ -40,9 +40,9 @@ pub use analyzer::{
 pub use json::{parse as parse_json, Json, ObjWriter};
 pub use manifest::{RunManifest, BUILD_PROFILE};
 pub use metrics::{
-    counter_add, counter_inc, counter_set_max, gauge_add, gauge_get, gauge_set, gauge_sub,
-    histogram_record, render as render_metrics, snapshot as metrics_snapshot, HistogramSnapshot,
-    MetricsSnapshot,
+    counter_add, counter_get, counter_inc, counter_set_max, gauge_add, gauge_get, gauge_set,
+    gauge_sub, histogram_record, render as render_metrics, snapshot as metrics_snapshot,
+    HistogramSnapshot, MetricsSnapshot,
 };
 pub use recorder::{
     enabled, render_span_tree, render_span_tree_timed, set_enabled, snapshot_spans, span,

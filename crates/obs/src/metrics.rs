@@ -168,6 +168,13 @@ pub fn counter_set_max(name: &'static str, v: u64) {
     counter_handle(name).fetch_max(v, Ordering::Relaxed);
 }
 
+/// Current value of the counter `name` (0 if never touched). For code
+/// that gates on its own prior observations — e.g. a circuit breaker
+/// checking how often it has tripped — without a full [`snapshot`].
+pub fn counter_get(name: &'static str) -> u64 {
+    counter_handle(name).load(Ordering::Relaxed)
+}
+
 /// Set the last-value gauge `name` to `v` (registering it on first use).
 /// Gauges model instantaneous state — queue depth, in-flight requests —
 /// where the *current* value, not an accumulation, is the signal.

@@ -1,10 +1,25 @@
-//! A tiny blocking HTTP client for the daemon's own subset — the load
-//! generator and the integration tests talk to the server with this,
-//! so the whole loop (client framing included) stays dependency-free.
+//! HTTP clients for the daemon's own subset.
+//!
+//! Two tiers, both dependency-free:
+//!
+//! - [`exchange`]/[`post`]/[`get`] — one blocking request/response
+//!   exchange, no policy. The integration tests use these so a test
+//!   observes exactly one wire interaction.
+//! - [`ResilientClient`] — the self-healing tier the load generator
+//!   (and any real client) uses against a chaotic network: capped
+//!   jittered exponential-backoff retries that honor `Retry-After`, a
+//!   closed/open/half-open circuit breaker exported through the
+//!   `asap-obs` metrics registry, and checksum-based validation of
+//!   idempotent responses (the served `checksum` field must agree
+//!   across repeats of the same request — a corrupted byte stream that
+//!   still parses is caught here and retried).
 
+use asap_matrices::Rng64;
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 #[derive(Debug)]
 pub struct HttpReply {
@@ -85,4 +100,419 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
         headers,
         body: body.to_string(),
     })
+}
+
+// ---------------------------------------------------------------------
+// Self-healing tier
+// ---------------------------------------------------------------------
+
+/// Retry schedule: up to `max_attempts` tries, sleeping
+/// `min(max_backoff, base_backoff << (attempt-1))` scaled by a seeded
+/// jitter in `[0.5, 1.5)` between them (full-jitter thundering-herd
+/// avoidance, deterministic per seed).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    pub max_attempts: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (deterministic runs in the harness).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Circuit breaker state, exported as the `client.breaker_state` gauge
+/// (0 = closed, 1 = open, 2 = half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; failures are counted.
+    Closed,
+    /// Fast-fail everything until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is in flight; its
+    /// outcome decides Closed vs back to Open.
+    HalfOpen,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+}
+
+/// Closed/open/half-open circuit breaker. `threshold` consecutive
+/// failures open it; after `cooldown` one probe is admitted, and its
+/// result closes or re-opens the circuit.
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// May a request proceed? `Err(retry_in)` is a fast-fail with the
+    /// remaining cooldown.
+    pub fn admit(&self) -> Result<(), Duration> {
+        let mut g = self.lock();
+        match g.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::HalfOpen => {
+                // A probe is already in flight; others keep failing fast.
+                Err(self.cooldown)
+            }
+            BreakerState::Open => {
+                let elapsed = g.opened_at.map(|t| t.elapsed()).unwrap_or(self.cooldown);
+                if elapsed >= self.cooldown {
+                    g.state = BreakerState::HalfOpen;
+                    asap_obs::gauge_set("client.breaker_state", 2);
+                    asap_obs::counter_inc("client.breaker_probes");
+                    Ok(())
+                } else {
+                    Err(self.cooldown - elapsed)
+                }
+            }
+        }
+    }
+
+    /// The admitted request succeeded: close the circuit.
+    pub fn on_success(&self) {
+        let mut g = self.lock();
+        g.consecutive_failures = 0;
+        if g.state != BreakerState::Closed {
+            g.state = BreakerState::Closed;
+            asap_obs::gauge_set("client.breaker_state", 0);
+        }
+    }
+
+    /// The admitted request failed (transport error or 5xx overload).
+    pub fn on_failure(&self) {
+        let mut g = self.lock();
+        g.consecutive_failures += 1;
+        let trip = match g.state {
+            BreakerState::Closed => g.consecutive_failures >= self.threshold,
+            // A failed probe re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if trip {
+            g.state = BreakerState::Open;
+            g.opened_at = Some(Instant::now());
+            asap_obs::gauge_set("client.breaker_state", 1);
+            asap_obs::counter_inc("client.breaker_opens");
+        }
+    }
+}
+
+/// Why a [`ResilientClient`] request ultimately did not produce a reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The circuit is open: failed fast without touching the network.
+    CircuitOpen { retry_in: Duration },
+    /// Every attempt failed; `last` is the final failure.
+    Exhausted { attempts: u32, last: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::CircuitOpen { retry_in } => {
+                write!(f, "circuit open; retry in {retry_in:?}")
+            }
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "exhausted {attempts} attempts; last: {last}")
+            }
+        }
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The self-healing client: retries with jittered exponential backoff,
+/// honors `Retry-After`, fast-fails through a [`CircuitBreaker`], and
+/// cross-checks the served `checksum` field across repeats of the same
+/// idempotent request.
+///
+/// Shared across threads (`&self` methods, internal locks), so a whole
+/// load-generator fleet shares one breaker — which is the point: the
+/// breaker models the *server's* health, not one connection's.
+pub struct ResilientClient {
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    timeout: Duration,
+    rng: Mutex<Rng64>,
+    /// request fingerprint → the `checksum` field of the last verified
+    /// 200 for that request.
+    witnessed: Mutex<HashMap<u64, String>>,
+}
+
+impl ResilientClient {
+    /// Default breaker: 5 consecutive failures open it for 250ms.
+    pub fn new(policy: RetryPolicy, timeout: Duration) -> ResilientClient {
+        let breaker = CircuitBreaker::new(5, Duration::from_millis(250));
+        ResilientClient::with_breaker(policy, breaker, timeout)
+    }
+
+    pub fn with_breaker(
+        policy: RetryPolicy,
+        breaker: CircuitBreaker,
+        timeout: Duration,
+    ) -> ResilientClient {
+        let rng = Mutex::new(Rng64::seed_from_u64(policy.seed));
+        ResilientClient {
+            policy,
+            breaker,
+            timeout,
+            rng,
+            witnessed: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    pub fn post(&self, addr: SocketAddr, path: &str, body: &str) -> Result<HttpReply, ClientError> {
+        self.request(addr, "POST", path, body)
+    }
+
+    pub fn get(&self, addr: SocketAddr, path: &str) -> Result<HttpReply, ClientError> {
+        self.request(addr, "GET", path, "")
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let shift = (attempt.saturating_sub(1)).min(16);
+        let raw = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.policy.max_backoff);
+        let jitter = 0.5 + self.rng.lock().unwrap_or_else(|p| p.into_inner()).gen_f64();
+        std::thread::sleep(raw.mul_f64(jitter));
+    }
+
+    /// Sleep for a server-provided `Retry-After` (seconds), clamped to
+    /// the policy's backoff cap — the server's hint is advisory, the
+    /// client's patience is bounded.
+    fn honor_retry_after(&self, reply: &HttpReply) {
+        let hinted = reply
+            .header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(self.policy.base_backoff);
+        std::thread::sleep(hinted.min(self.policy.max_backoff));
+    }
+
+    fn request(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<HttpReply, ClientError> {
+        let key = fnv1a64(format!("{method} {path} {body}").as_bytes());
+        let mut last = String::new();
+        for attempt in 1..=self.policy.max_attempts.max(1) {
+            if let Err(retry_in) = self.breaker.admit() {
+                asap_obs::counter_inc("client.fast_fails");
+                if attempt == self.policy.max_attempts.max(1) {
+                    return Err(ClientError::CircuitOpen { retry_in });
+                }
+                // The circuit says the server is struggling: don't add
+                // to the pile, but this request still has attempts
+                // left — wait out (a bounded slice of) the cooldown
+                // rather than failing work that could succeed.
+                std::thread::sleep(retry_in.min(self.policy.max_backoff));
+                last = "circuit open".to_string();
+                continue;
+            }
+            if attempt > 1 {
+                asap_obs::counter_inc("client.retries");
+            }
+            match exchange(addr, method, path, body, self.timeout) {
+                Ok(reply) => match reply.status {
+                    200 => {
+                        if let Some(mismatch) = self.checksum_mismatch(key, &reply) {
+                            // One of the two disagreeing responses was
+                            // corrupted in flight; drop the stored
+                            // witness and re-ask rather than guess.
+                            asap_obs::counter_inc("client.checksum_mismatches");
+                            self.breaker.on_failure();
+                            last = mismatch;
+                            self.backoff(attempt);
+                            continue;
+                        }
+                        self.breaker.on_success();
+                        return Ok(reply);
+                    }
+                    // Explicit pushback: the server is alive and
+                    // answering; wait as told and try again. Not a
+                    // breaker failure.
+                    429 => {
+                        self.breaker.on_success();
+                        last = "429 overloaded".to_string();
+                        self.honor_retry_after(&reply);
+                    }
+                    // Server-side failure: retryable, counts against
+                    // the breaker.
+                    500 | 502 | 503 => {
+                        self.breaker.on_failure();
+                        last = format!("{} {}", reply.status, reply.body);
+                        self.backoff(attempt);
+                    }
+                    // Everything else (4xx, 504 deadline) is a property
+                    // of the request: retrying the same bytes cannot
+                    // help, and the server answered competently.
+                    _ => {
+                        self.breaker.on_success();
+                        return Ok(reply);
+                    }
+                },
+                Err(e) => {
+                    asap_obs::counter_inc("client.transport_errors");
+                    self.breaker.on_failure();
+                    last = format!("transport: {e}");
+                    self.backoff(attempt);
+                }
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.policy.max_attempts.max(1),
+            last,
+        })
+    }
+
+    /// Validate an idempotent 200 against the recorded witness for this
+    /// request. Returns a description of the mismatch, if any. Replies
+    /// without a `checksum` field (healthz, metrics) are not witnessed.
+    fn checksum_mismatch(&self, key: u64, reply: &HttpReply) -> Option<String> {
+        let checksum = asap_obs::parse_json(&reply.body).ok().and_then(|v| {
+            v.get("checksum")
+                .and_then(|c| c.as_str().map(str::to_string))
+        })?;
+        let mut witnessed = self.witnessed.lock().unwrap_or_else(|p| p.into_inner());
+        match witnessed.get(&key) {
+            Some(prev) if *prev != checksum => {
+                let msg = format!("checksum mismatch: witnessed {prev}, got {checksum}");
+                witnessed.remove(&key);
+                Some(msg)
+            }
+            _ => {
+                witnessed.insert(key, checksum);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..2 {
+            b.on_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "threshold trips");
+        assert!(b.admit().is_err(), "open fast-fails");
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.admit().is_ok(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit().is_err(), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed, "probe success closes");
+        assert!(b.admit().is_ok());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(10));
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(b.admit().is_ok());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "failed probe re-opens");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(10));
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "streak broke; threshold needs consecutive failures"
+        );
+    }
+
+    #[test]
+    fn exhausted_client_reports_the_last_failure() {
+        // Nothing listens on this address (bound then dropped), so
+        // every attempt is a transport error.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = ResilientClient::new(
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                seed: 1,
+            },
+            Duration::from_millis(100),
+        );
+        match client.get(addr, "/healthz") {
+            Err(ClientError::Exhausted { attempts, last }) => {
+                assert_eq!(attempts, 2);
+                assert!(last.starts_with("transport:"), "{last}");
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
 }

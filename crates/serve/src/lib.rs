@@ -20,6 +20,17 @@
 //! - **Cancellation**: a reaper thread detects client disconnects and
 //!   fires the request's `CancelToken`, stopping abandoned work at the
 //!   budget's next poll slot.
+//! - **Supervision** ([`server`]): worker-thread death is detected,
+//!   journaled (JSONL crash journal: panic digest + request
+//!   fingerprint), and healed by respawn under consecutive-crash
+//!   backoff.
+//! - **Protocol hygiene** ([`http`]): request-line, header-count,
+//!   head-bytes, and body caps with typed 4xx answers (414/431/413),
+//!   plus a wall-clock read deadline so slow-loris drips cannot pin
+//!   workers.
+//! - **Self-healing clients** ([`client`]): jittered exponential
+//!   backoff honoring `Retry-After`, checksum-witnessed idempotent
+//!   responses, and a closed/open/half-open circuit breaker.
 //! - **Graceful drain** (`POST /control/shutdown`): stop admitting,
 //!   serve everything queued, join every thread.
 //! - **Observability**: `/healthz`, `/metrics` (the `asap-obs`
@@ -38,7 +49,11 @@ pub mod request;
 pub mod server;
 
 pub use batcher::SingleFlight;
-pub use client::{exchange, get, post, HttpReply};
+pub use client::{
+    exchange, get, post, BreakerState, CircuitBreaker, ClientError, HttpReply, ResilientClient,
+    RetryPolicy,
+};
+pub use http::{MAX_HEADERS, MAX_HEAD_BYTES, MAX_REQUEST_LINE};
 pub use matrix::MatrixCatalog;
 pub use queue::{BoundedQueue, PushError};
 pub use request::{parse_run_request, render_error, render_outcome, RunRequest, DEFAULT_SPMM_COLS};

@@ -18,7 +18,7 @@ use asap_ir::AsapError;
 use asap_matrices::{gen, read_matrix_market, synthetic_collection, SizeClass, Triplets};
 use asap_tensor::{Format, SparseTensor};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cap on resolved-matrix cache entries. The full collection is ~20
 /// specs; the headroom is for generator variety.
@@ -44,15 +44,28 @@ impl MatrixCatalog {
         }
     }
 
+    /// Lock the catalog cache, recovering from poisoning the same way
+    /// `asap-core::cache` does: a panic mid-insert may have left the
+    /// map in an arbitrary state, so throw the entries away (they are
+    /// reproducible from their specs), count the recovery, and clear
+    /// the flag so later lockers stop paying the poison branch.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<String, Arc<SparseTensor>>> {
+        match self.cache.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                g.clear();
+                asap_obs::counter_inc("serve.catalog.poison_recoveries");
+                self.cache.clear_poison();
+                g
+            }
+        }
+    }
+
     /// Resolve a `matrix` reference (name or `gen:` spec) to a shared
     /// CSR tensor, building and caching it on first use.
     pub fn resolve(&self, reference: &str) -> Result<Arc<SparseTensor>, AsapError> {
-        if let Some(t) = self
-            .cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .get(reference)
-        {
+        if let Some(t) = self.lock_cache().get(reference) {
             return Ok(t.clone());
         }
         let tri = if let Some(spec) = reference.strip_prefix("gen:") {
@@ -69,7 +82,7 @@ impl MatrixCatalog {
             spec.materialize()
         };
         let sparse = Arc::new(to_csr(tri)?);
-        let mut cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+        let mut cache = self.lock_cache();
         if cache.len() >= CATALOG_CAPACITY {
             // Rare (needs 64 distinct generator specs); dropping the lot
             // costs regeneration, never correctness.
@@ -88,7 +101,7 @@ impl MatrixCatalog {
 
     #[cfg(test)]
     fn cached_len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.lock_cache().len()
     }
 }
 
@@ -199,6 +212,32 @@ mod tests {
             assert_eq!(e.kind(), "binding", "{bad} -> {e}");
         }
         assert_eq!(cat.cached_len(), 0, "failures are not cached");
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_by_clearing() {
+        let cat = Arc::new(MatrixCatalog::new(SizeClass::Tiny));
+        cat.resolve("gen:er:128:2").unwrap();
+        assert_eq!(cat.cached_len(), 1);
+        // Poison the cache mutex: panic while holding the guard.
+        let poisoner = cat.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = poisoner.cache.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(cat.cache.is_poisoned());
+        let before = asap_obs::counter_get("serve.catalog.poison_recoveries");
+        // Recovery: entries discarded, flag cleared, recovery counted,
+        // and the catalog keeps working.
+        assert_eq!(cat.cached_len(), 0);
+        assert!(!cat.cache.is_poisoned());
+        assert_eq!(
+            asap_obs::counter_get("serve.catalog.poison_recoveries"),
+            before + 1
+        );
+        cat.resolve("gen:er:128:2").unwrap();
+        assert_eq!(cat.cached_len(), 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Server lifecycle: the accept loop, the worker pool, the disconnect
-//! reaper, and graceful drain-then-stop shutdown.
+//! Server lifecycle: the accept loop, the supervised worker pool, the
+//! disconnect reaper, and graceful drain-then-stop shutdown.
 //!
 //! Thread structure (all plain `std::thread`, joined on shutdown):
 //!
@@ -12,6 +12,14 @@
 //!   Each request runs under `catch_unwind`: a panic becomes a 500 for
 //!   that one client and a `serve.panics` tick, never a dead worker
 //!   (the same isolation contract as the bench pool).
+//! - **supervisor** — polls worker handles for death. `catch_unwind`
+//!   covers request handlers, but a worker thread can still die (a
+//!   panic outside the guard, an unwind-through-FFI abort path, the
+//!   test-only `/debug/kill_worker`); crash-only design says the
+//!   answer is restart, not hope. Each death is journaled (panic
+//!   digest + fingerprint of the last request the worker read) and the
+//!   worker is respawned under consecutive-crash backoff, so a
+//!   crash-looping input cannot turn the pool into a fork bomb.
 //! - **reaper** — polls in-flight clients with a non-blocking peek;
 //!   a closed socket fires the request's [`CancelToken`], so an
 //!   abandoned SpMM stops burning CPU at the budget's next poll slot
@@ -22,7 +30,7 @@
 //! thread. No request that got a 2xx admission is dropped.
 
 use crate::batcher::SingleFlight;
-use crate::http::{drain_request, read_request, write_json, write_response, HttpError};
+use crate::http::{drain_request, read_request_with_timeout, write_json, write_response};
 use crate::matrix::MatrixCatalog;
 use crate::queue::{BoundedQueue, PushError};
 use crate::request::{parse_run_request, render_error, render_outcome};
@@ -30,18 +38,32 @@ use asap_ir::CancelToken;
 use asap_matrices::SizeClass;
 use asap_obs::ObjWriter;
 use std::collections::HashMap;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Accept-loop poll interval while the listener is idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 
 /// Reaper poll interval for in-flight client sockets.
 const REAPER_POLL: Duration = Duration::from_millis(10);
+
+/// Supervisor poll interval for worker-thread death.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(20);
+
+/// Two crashes closer together than this count as consecutive.
+const CRASH_COALESCE_MS: u64 = 5_000;
+
+/// Restart backoff: `BASE << (consecutive-1)`, capped. A worker that
+/// dies once is back in 50ms; a crash loop converges to one restart
+/// every two seconds instead of a respawn storm.
+const BACKOFF_BASE_MS: u64 = 50;
+const BACKOFF_CAP_MS: u64 = 2_000;
 
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -62,9 +84,18 @@ pub struct ServeConfig {
     /// Test-only: sleep this long after claiming each connection,
     /// simulating a slow worker so overload tests are deterministic.
     pub worker_delay_ms: u64,
-    /// Test-only: expose `POST /debug/panic` to exercise per-request
-    /// panic isolation end to end.
+    /// Test-only: expose `POST /debug/panic` (per-request isolation)
+    /// and `POST /debug/kill_worker` (whole-thread death, exercising
+    /// the supervisor restart path) end to end.
     pub enable_fault_endpoints: bool,
+    /// Append one JSON line per crash (worker death or caught request
+    /// panic) to this file. `None` keeps the journal counters only.
+    pub crash_journal: Option<PathBuf>,
+    /// Per-read socket timeout while parsing a request, in milliseconds
+    /// (the whole request is bounded by twice this). The 10 s default
+    /// suits trusted clients; chaos/soak runs set a few hundred ms so a
+    /// lying `Content-Length` cannot pin a worker for long.
+    pub io_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,8 +109,87 @@ impl Default for ServeConfig {
             max_body_bytes: 4 * 1024 * 1024,
             worker_delay_ms: 0,
             enable_fault_endpoints: false,
+            crash_journal: None,
+            io_timeout_ms: 10_000,
         }
     }
+}
+
+/// FNV-1a — the workspace's standard content digest (same scheme as the
+/// kernel cache and output checksums), here over panic payloads and
+/// request bytes so journal entries from identical causes collate.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// JSONL crash journal: what died, why (digest + message), and what it
+/// was chewing on (request fingerprint). Counting always works; the
+/// file sink is optional.
+struct CrashJournal {
+    file: Mutex<Option<std::fs::File>>,
+    entries: AtomicU64,
+}
+
+impl CrashJournal {
+    fn open(path: Option<&PathBuf>) -> CrashJournal {
+        let file = path.and_then(|p| {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(p)
+                .ok()
+        });
+        CrashJournal {
+            file: Mutex::new(file),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, worker: usize, kind: &str, message: &str, fingerprint: u64) {
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        asap_obs::counter_inc("serve.crashes_journaled");
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut w = ObjWriter::new();
+        w.u64("ts_ms", ts_ms)
+            .usize("worker", worker)
+            .str("kind", kind)
+            .str("digest", &format!("{:016x}", fnv1a64(message.as_bytes())))
+            .str("fingerprint", &format!("{fingerprint:016x}"))
+            .str("message", message);
+        let line = w.finish();
+        if let Some(f) = self.file.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+            let _ = writeln!(f, "{line}");
+            let _ = f.flush();
+        }
+    }
+}
+
+/// One supervised worker: its thread handle plus the fingerprint of the
+/// last request it read (published by `handle_connection`, read by the
+/// supervisor when the thread dies).
+struct WorkerSlot {
+    id: usize,
+    fingerprint: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct Supervisor {
+    slots: Mutex<Vec<WorkerSlot>>,
+    restarts: AtomicU64,
+    consecutive_crashes: AtomicU64,
+    backoff_ms: AtomicU64,
+    /// Milliseconds since server start of the previous crash;
+    /// `u64::MAX` = never.
+    last_crash_ms: AtomicU64,
+    journal: CrashJournal,
 }
 
 /// In-flight socket registry the reaper sweeps.
@@ -143,14 +253,25 @@ struct Shared {
     queue: BoundedQueue<TcpStream>,
     draining: AtomicBool,
     reaper_stop: AtomicBool,
+    supervisor_stop: AtomicBool,
     flights: SingleFlight,
     catalog: MatrixCatalog,
     reaper: Reaper,
+    supervisor: Supervisor,
+    started: Instant,
     // Per-server health counters ( /metrics shows the process-global
     // registry; /healthz must describe *this* server instance).
     served: AtomicU64,
     rejected: AtomicU64,
     in_flight: AtomicU64,
+}
+
+/// What a handled connection asks of its worker afterwards.
+enum ConnOutcome {
+    Done,
+    /// Test-only: die for real (outside `catch_unwind`), exercising the
+    /// supervisor's detect-journal-restart path end to end.
+    KillWorker,
 }
 
 /// A running server. Dropping the handle does NOT stop it; call
@@ -159,23 +280,34 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     reaper: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start the accept loop, workers, and reaper.
+    /// Bind and start the accept loop, workers, supervisor, and reaper.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let journal = CrashJournal::open(cfg.crash_journal.as_ref());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_bound),
             draining: AtomicBool::new(false),
             reaper_stop: AtomicBool::new(false),
+            supervisor_stop: AtomicBool::new(false),
             flights: SingleFlight::new(),
             catalog: MatrixCatalog::new(cfg.size),
             reaper: Reaper::default(),
+            supervisor: Supervisor {
+                slots: Mutex::new(Vec::new()),
+                restarts: AtomicU64::new(0),
+                consecutive_crashes: AtomicU64::new(0),
+                backoff_ms: AtomicU64::new(0),
+                last_crash_ms: AtomicU64::new(u64::MAX),
+                journal,
+            },
+            started: Instant::now(),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -188,14 +320,24 @@ impl Server {
                 .name("serve-accept".into())
                 .spawn(move || accept_loop(listener, &shared))?
         };
-        let workers = (0..shared.cfg.workers.max(1))
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
+        {
+            let mut slots = lock_slots(&shared.supervisor);
+            for id in 0..shared.cfg.workers.max(1) {
+                let fingerprint = Arc::new(AtomicU64::new(0));
+                let handle = spawn_worker(shared.clone(), id, fingerprint.clone())?;
+                slots.push(WorkerSlot {
+                    id,
+                    fingerprint,
+                    handle: Some(handle),
+                });
+            }
+        }
+        let supervisor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))?
+        };
         let reaper = {
             let shared = shared.clone();
             std::thread::Builder::new()
@@ -212,7 +354,7 @@ impl Server {
             addr,
             shared,
             accept: Some(accept),
-            workers,
+            supervisor: Some(supervisor),
             reaper: Some(reaper),
         })
     }
@@ -245,12 +387,117 @@ impl Server {
         if let Some(a) = self.accept.take() {
             let _ = a.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Stop the supervisor before joining workers so it cannot race
+        // a respawn against our handle collection below.
+        self.shared.supervisor_stop.store(true, Ordering::Release);
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = lock_slots(&self.shared.supervisor);
+            slots.iter_mut().filter_map(|s| s.handle.take()).collect()
+        };
+        for h in handles {
+            let _ = h.join();
         }
         self.shared.reaper_stop.store(true, Ordering::Release);
         if let Some(r) = self.reaper.take() {
             let _ = r.join();
+        }
+    }
+}
+
+fn lock_slots(sup: &Supervisor) -> std::sync::MutexGuard<'_, Vec<WorkerSlot>> {
+    sup.slots.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn spawn_worker(
+    shared: Arc<Shared>,
+    id: usize,
+    fingerprint: Arc<AtomicU64>,
+) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("serve-worker-{id}"))
+        .spawn(move || worker_loop(&shared, id, &fingerprint))
+}
+
+/// Detect dead workers, journal the crash, and respawn under backoff.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.supervisor_stop.load(Ordering::Acquire) {
+            return;
+        }
+        // Claim at most one finished handle per pass (the lock is
+        // released before the potentially-slow join + backoff).
+        let dead = {
+            let mut slots = lock_slots(&shared.supervisor);
+            slots.iter_mut().find_map(|s| {
+                s.handle
+                    .as_ref()
+                    .is_some_and(JoinHandle::is_finished)
+                    .then(|| (s.id, s.handle.take().unwrap(), s.fingerprint.clone()))
+            })
+        };
+        let Some((id, handle, fingerprint)) = dead else {
+            std::thread::sleep(SUPERVISOR_POLL);
+            continue;
+        };
+        let result = handle.join();
+        if shared.draining.load(Ordering::Acquire) {
+            // Normal drain exit (or a crash racing the drain — either
+            // way nobody needs this worker back).
+            continue;
+        }
+        let message = match &result {
+            Ok(()) => "worker exited unexpectedly".to_string(),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        shared.supervisor.journal.record(
+            id,
+            "worker_crash",
+            &message,
+            fingerprint.load(Ordering::Relaxed),
+        );
+
+        // Consecutive-crash backoff: crashes spaced under the coalesce
+        // window escalate the delay geometrically up to the cap.
+        let now_ms = shared.started.elapsed().as_millis() as u64;
+        let last = shared
+            .supervisor
+            .last_crash_ms
+            .swap(now_ms, Ordering::Relaxed);
+        let consecutive = if last != u64::MAX && now_ms.saturating_sub(last) < CRASH_COALESCE_MS {
+            shared
+                .supervisor
+                .consecutive_crashes
+                .fetch_add(1, Ordering::Relaxed)
+                + 1
+        } else {
+            shared
+                .supervisor
+                .consecutive_crashes
+                .store(1, Ordering::Relaxed);
+            1
+        };
+        let backoff = (BACKOFF_BASE_MS << (consecutive - 1).min(8)).min(BACKOFF_CAP_MS);
+        shared
+            .supervisor
+            .backoff_ms
+            .store(backoff, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(backoff));
+        if shared.draining.load(Ordering::Acquire) || shared.supervisor_stop.load(Ordering::Acquire)
+        {
+            continue;
+        }
+
+        fingerprint.store(0, Ordering::Relaxed);
+        if let Ok(h) = spawn_worker(shared.clone(), id, fingerprint) {
+            let mut slots = lock_slots(&shared.supervisor);
+            if let Some(slot) = slots.iter_mut().find(|s| s.id == id) {
+                slot.handle = Some(h);
+                shared.supervisor.restarts.fetch_add(1, Ordering::Relaxed);
+                asap_obs::counter_inc("serve.worker_restarts");
+            }
         }
     }
 }
@@ -309,7 +556,7 @@ fn admit(stream: TcpStream, shared: &Shared) {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
     while let Some(mut stream) = shared.queue.pop() {
         asap_obs::gauge_set("serve.queue_depth", shared.queue.len() as i64);
         if shared.cfg.worker_delay_ms > 0 {
@@ -317,13 +564,29 @@ fn worker_loop(shared: &Shared) {
         }
         shared.in_flight.fetch_add(1, Ordering::Relaxed);
         asap_obs::gauge_add("serve.in_flight", 1);
-        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(shared, &mut stream)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(shared, &mut stream, fingerprint)
+        }));
         asap_obs::gauge_sub("serve.in_flight", 1);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        if let Err(payload) = outcome {
-            asap_obs::counter_inc("serve.panics");
-            let msg = panic_message(payload.as_ref());
-            let _ = write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+        match outcome {
+            Ok(ConnOutcome::Done) => {}
+            // Deliberate thread death, *outside* catch_unwind: the
+            // supervisor must notice, journal, and respawn.
+            Ok(ConnOutcome::KillWorker) => {
+                panic!("worker {id} killed via /debug/kill_worker");
+            }
+            Err(payload) => {
+                asap_obs::counter_inc("serve.panics");
+                let msg = panic_message(payload.as_ref());
+                shared.supervisor.journal.record(
+                    id,
+                    "request_panic",
+                    &msg,
+                    fingerprint.load(Ordering::Relaxed),
+                );
+                let _ = write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+            }
         }
     }
 }
@@ -338,24 +601,53 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
-    let req = match read_request(stream, shared.cfg.max_body_bytes) {
+fn handle_connection(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    fingerprint: &AtomicU64,
+) -> ConnOutcome {
+    let io_timeout = Duration::from_millis(shared.cfg.io_timeout_ms.max(1));
+    let req = match read_request_with_timeout(stream, shared.cfg.max_body_bytes, io_timeout) {
         Ok(r) => r,
-        // Client connected and went away without a request: nothing to
-        // answer, nobody to answer it to.
-        Err(HttpError::Closed) => return,
-        Err(e @ (HttpError::Malformed(_) | HttpError::TooLarge(_))) => {
-            asap_obs::counter_inc("serve.bad_requests");
-            let _ = write_json(
-                stream,
-                400,
-                &[],
-                &render_error("bad_request", "http", &e.to_string()),
-            );
-            return;
+        Err(e) => {
+            // Closed / transport errors have nobody to answer; protocol
+            // violations get their typed status (400/408/413/414/431).
+            if let Some(status) = e.status() {
+                asap_obs::counter_inc("serve.bad_requests");
+                asap_obs::counter_inc(match status {
+                    408 => "serve.http.timeout",
+                    413 => "serve.http.body_too_large",
+                    414 => "serve.http.line_too_long",
+                    431 => "serve.http.header_limit",
+                    _ => "serve.http.malformed",
+                });
+                let label = match status {
+                    408 => "timeout",
+                    413 => "payload_too_large",
+                    414 => "uri_too_long",
+                    431 => "header_fields_too_large",
+                    _ => "bad_request",
+                };
+                let _ = write_json(
+                    stream,
+                    status,
+                    &[],
+                    &render_error(label, "http", &e.to_string()),
+                );
+            }
+            return ConnOutcome::Done;
         }
-        Err(HttpError::Io(_)) => return,
     };
+    // Publish what this worker is chewing on; if the thread dies, the
+    // supervisor journals this fingerprint next to the panic digest.
+    let mut fp_bytes = Vec::with_capacity(req.method.len() + req.path.len() + req.body.len() + 2);
+    fp_bytes.extend_from_slice(req.method.as_bytes());
+    fp_bytes.push(b' ');
+    fp_bytes.extend_from_slice(req.path.as_bytes());
+    fp_bytes.push(b' ');
+    fp_bytes.extend_from_slice(&req.body);
+    fingerprint.store(fnv1a64(&fp_bytes), Ordering::Relaxed);
+
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/run") => handle_run(shared, stream, &req.body),
         ("GET", "/healthz") => {
@@ -377,6 +669,16 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
         ("POST", "/debug/panic") if shared.cfg.enable_fault_endpoints => {
             panic!("injected panic via /debug/panic");
         }
+        ("POST", "/debug/kill_worker") if shared.cfg.enable_fault_endpoints => {
+            // Answer first — the death is the worker's, not the client's.
+            let _ = write_json(
+                stream,
+                200,
+                &[],
+                &render_error("ok", "control", "worker death scheduled"),
+            );
+            return ConnOutcome::KillWorker;
+        }
         ("POST" | "GET", _) => {
             let _ = write_json(
                 stream,
@@ -394,9 +696,17 @@ fn handle_connection(shared: &Shared, stream: &mut TcpStream) {
             );
         }
     }
+    ConnOutcome::Done
 }
 
 fn healthz_body(shared: &Shared) -> String {
+    let workers_alive = {
+        let slots = lock_slots(&shared.supervisor);
+        slots
+            .iter()
+            .filter(|s| s.handle.as_ref().is_some_and(|h| !h.is_finished()))
+            .count()
+    };
     let mut w = ObjWriter::new();
     w.str(
         "status",
@@ -410,7 +720,27 @@ fn healthz_body(shared: &Shared) -> String {
     .u64("in_flight", shared.in_flight.load(Ordering::Relaxed))
     .u64("served", shared.served.load(Ordering::Relaxed))
     .u64("rejected", shared.rejected.load(Ordering::Relaxed))
-    .usize("workers", shared.cfg.workers);
+    .usize("workers", shared.cfg.workers)
+    .usize("workers_alive", workers_alive)
+    .u64(
+        "worker_restarts",
+        shared.supervisor.restarts.load(Ordering::Relaxed),
+    )
+    .u64(
+        "consecutive_crashes",
+        shared
+            .supervisor
+            .consecutive_crashes
+            .load(Ordering::Relaxed),
+    )
+    .u64(
+        "supervisor_backoff_ms",
+        shared.supervisor.backoff_ms.load(Ordering::Relaxed),
+    )
+    .u64(
+        "crashes_journaled",
+        shared.supervisor.journal.entries.load(Ordering::Relaxed),
+    );
     w.finish()
 }
 

@@ -1,0 +1,262 @@
+//! Chaos soak for the `asap-serve` daemon (DESIGN.md §12).
+//!
+//! Two batteries, both over real TCP:
+//!
+//! - **Hostile protocol** — every byte stream from
+//!   `hostile_protocol_cases` (malformed request lines, header bombs,
+//!   lying `Content-Length`, binary garbage) must provoke exactly the
+//!   documented typed rejection or a clean close. Never a hang, never
+//!   a panic.
+//! - **Fault soak** — many fixed seeds, each a fresh deterministic
+//!   chaos proxy (delays, drips, splits, truncates, corruptions,
+//!   RST aborts) between a `ResilientClient` and one shared server.
+//!   Some seeds also kill a worker thread outright via
+//!   `/debug/kill_worker`. At the end the server must report healthy
+//!   with every killed worker resurrected, every crash journaled, and
+//!   every request accounted as a success, a typed rejection, or an
+//!   exhausted retry — a 500 anywhere means a parser panic and fails
+//!   the soak.
+//!
+//! Seed count comes from `ASAP_CHAOS_SEEDS` (default 32; CI smoke uses
+//! a smaller value). Everything is deterministic per seed, so a failure
+//! reproduces by exporting the same count.
+
+use asap_fuzz::chaos_proxy::{hostile_protocol_cases, ChaosConfig, ChaosProxy, HostileExpect};
+use asap_serve::{
+    get, post, ClientError, ResilientClient, RetryPolicy, ServeConfig, Server, MAX_HEADERS,
+    MAX_HEAD_BYTES, MAX_REQUEST_LINE,
+};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const RUN_BODY: &str =
+    r#"{"kernel":"spmv","matrix":"gen:er:1024:4","strategy":"asap","distance":47}"#;
+
+fn field(body: &str, key: &str) -> Option<String> {
+    let v = asap_obs::parse_json(body).ok()?;
+    let f = v.get(key)?;
+    f.as_str()
+        .map(str::to_string)
+        .or_else(|| f.as_u64().map(|n| n.to_string()))
+        .or_else(|| f.as_bool().map(|b| b.to_string()))
+}
+
+fn u64_field(body: &str, key: &str) -> u64 {
+    field(body, key)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("missing numeric field {key} in {body}"))
+}
+
+/// Write raw bytes, half-close, and collect whatever comes back.
+/// Returns the parsed status code, or `None` for a (clean or reset)
+/// close with no complete status line. Panics on a hang: a server that
+/// neither answers nor closes within the read timeout has failed the
+/// battery.
+fn throw(addr: SocketAddr, bytes: &[u8], label: &str) -> Option<u16> {
+    let mut s = TcpStream::connect(addr).expect("connect to server");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    // The server may slam the door mid-write (header bombs); that is a
+    // rejection, not a test failure.
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match s.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                panic!("server hung on hostile case {label:?}")
+            }
+            Err(_) => break, // RST: an abrupt close, still a close
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    head.strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|code| code.parse().ok())
+}
+
+#[test]
+fn hostile_battery_gets_typed_rejections_and_never_hangs() {
+    let server = Server::start(ServeConfig {
+        io_timeout_ms: 400,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    for seed in [1u64, 2, 3] {
+        for case in hostile_protocol_cases(seed, MAX_REQUEST_LINE, MAX_HEADERS, MAX_HEAD_BYTES) {
+            let got = throw(addr, &case.bytes, &case.label);
+            match case.expect {
+                HostileExpect::Status(code) => assert_eq!(
+                    got,
+                    Some(code),
+                    "case {:?} (seed {seed}) wanted {code}",
+                    case.label
+                ),
+                HostileExpect::Any4xx => {
+                    let status =
+                        got.unwrap_or_else(|| panic!("case {:?} got no response", case.label));
+                    assert!(
+                        (400..500).contains(&status),
+                        "case {:?} (seed {seed}) wanted a 4xx, got {status}",
+                        case.label
+                    );
+                }
+                // `throw` already panicked if the server hung.
+                HostileExpect::ResponseOrClose => {}
+            }
+        }
+    }
+
+    // The battery must leave no mark: still healthy, still serving.
+    let hz = get(addr, "/healthz", TIMEOUT).expect("healthz transport");
+    assert_eq!(hz.status, 200, "body: {}", hz.body);
+    assert_eq!(field(&hz.body, "status").as_deref(), Some("ok"));
+    let reply = post(addr, "/v1/run", RUN_BODY, TIMEOUT).expect("clean request transport");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    server.join();
+}
+
+#[test]
+fn chaos_soak_ends_healthy_with_consistent_metrics() {
+    let seed_count: u64 = std::env::var("ASAP_CHAOS_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+        .max(1);
+
+    // CI points ASAP_CHAOS_JOURNAL at a workspace path so the journal
+    // survives a failed run and can be uploaded for post-mortem; the
+    // file is kept when the variable is set.
+    let keep_journal = std::env::var_os("ASAP_CHAOS_JOURNAL").is_some();
+    let journal = std::env::var_os("ASAP_CHAOS_JOURNAL")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("asap-chaos-journal-{}.jsonl", std::process::id()))
+        });
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::start(ServeConfig {
+        workers: 3,
+        enable_fault_endpoints: true,
+        crash_journal: Some(journal.clone()),
+        // Short read deadline: a corrupted Content-Length must not pin
+        // a worker for the default 10 s.
+        io_timeout_ms: 400,
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Warm the matrix/kernel caches and record the reference answer
+    // before any fault is in play.
+    let warm = post(addr, "/v1/run", RUN_BODY, TIMEOUT).expect("warmup transport");
+    assert_eq!(warm.status, 200, "body: {}", warm.body);
+    let reference = field(&warm.body, "checksum").expect("checksum field");
+
+    let (mut sent, mut ok, mut rejected, mut exhausted) = (0u64, 0u64, 0u64, 0u64);
+    let mut kills = 0u64;
+    let mut proxied = 0u64;
+    for seed in 1..=seed_count {
+        let mut proxy = ChaosProxy::start(addr, seed, ChaosConfig::soak()).expect("proxy starts");
+        let client = ResilientClient::new(
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+                seed,
+            },
+            Duration::from_secs(3),
+        );
+        for _ in 0..2 {
+            sent += 1;
+            match client.post(proxy.addr(), "/v1/run", RUN_BODY) {
+                Ok(reply) => match reply.status {
+                    200 => ok += 1,
+                    // A caught request panic answers 500; chaos input
+                    // must never reach one.
+                    500 => panic!("server panicked under seed {seed}: {}", reply.body),
+                    400..=599 => rejected += 1,
+                    s => panic!("unexpected status {s} under seed {seed}"),
+                },
+                Err(ClientError::Exhausted { .. }) | Err(ClientError::CircuitOpen { .. }) => {
+                    exhausted += 1
+                }
+            }
+        }
+        let stats = proxy.stop();
+        assert!(stats.connections > 0, "seed {seed} proxied nothing");
+        proxied += stats.connections;
+
+        // Every eighth seed also murders a worker thread, straight at
+        // the server so the proxy cannot eat the kill request.
+        if seed % 8 == 3 {
+            let r = post(addr, "/debug/kill_worker", "{}", TIMEOUT).expect("kill transport");
+            assert_eq!(r.status, 200, "body: {}", r.body);
+            kills += 1;
+        }
+    }
+
+    // Accounting: every request ended as success, typed rejection, or
+    // exhausted retries — nothing vanished, and chaos did not eat the
+    // majority of the traffic.
+    assert_eq!(ok + rejected + exhausted, sent);
+    assert!(ok > sent / 2, "goodput collapsed: {ok}/{sent} ok");
+    assert!(
+        proxied >= sent,
+        "proxy records fewer connections than requests"
+    );
+
+    // Supervisor: every killed worker resurrected. Restart backoff can
+    // delay the last respawn, so poll.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let final_hz = loop {
+        let hz = get(addr, "/healthz", TIMEOUT).expect("healthz transport");
+        assert_eq!(hz.status, 200, "body: {}", hz.body);
+        if u64_field(&hz.body, "workers_alive") == 3 {
+            break hz;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "workers never came back: {}",
+            hz.body
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(field(&final_hz.body, "status").as_deref(), Some("ok"));
+    assert!(u64_field(&final_hz.body, "worker_restarts") >= kills);
+    let journaled = u64_field(&final_hz.body, "crashes_journaled");
+    assert!(journaled >= kills, "journaled {journaled} < kills {kills}");
+
+    // The journal file agrees with the counter and every line parses.
+    let text = std::fs::read_to_string(&journal).expect("journal file exists");
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len() as u64, journaled, "journal lines vs counter");
+    for line in &lines {
+        let v = asap_obs::parse_json(line).expect("journal line parses as JSON");
+        for key in ["ts_ms", "worker", "kind", "digest", "fingerprint"] {
+            assert!(v.get(key).is_some(), "journal line missing {key}: {line}");
+        }
+    }
+
+    // Post-soak the server still gives the pre-soak answer and drains
+    // cleanly.
+    let after = post(addr, "/v1/run", RUN_BODY, TIMEOUT).expect("post-soak transport");
+    assert_eq!(after.status, 200, "body: {}", after.body);
+    assert_eq!(
+        field(&after.body, "checksum").as_deref(),
+        Some(reference.as_str())
+    );
+    server.join();
+    if !keep_journal {
+        let _ = std::fs::remove_file(&journal);
+    }
+}
