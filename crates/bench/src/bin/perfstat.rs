@@ -1,22 +1,28 @@
-//! perfstat: wall-clock A/B of the two execution engines.
+//! perfstat: wall-clock A/B/C of the three execution tiers.
 //!
 //! For every matrix in the synthetic SpMV collection, runs the same
-//! compiled kernel under the tree-walking interpreter and the bytecode VM
-//! (identical bound buffers, identical memory-model dispatch), measures
-//! wall-clock time over `--reps` repetitions, and reports simulated
-//! instructions per second for each engine plus the aggregate speedup.
-//! Results land in a hand-rolled JSON report (`--out`, default
-//! `BENCH_exec.json`); the process exits non-zero if the aggregate
-//! speedup falls below `--min-speedup` (CI's regression gate) or the
-//! disabled-observability overhead exceeds `--max-obs-overhead`.
+//! compiled kernel under the tree-walking interpreter, the bytecode VM,
+//! and the tier-2 native specialization (identical bound buffers),
+//! measures wall-clock time over `--reps` repetitions, and reports
+//! simulated instructions per second for each tier plus the aggregate
+//! speedups (VM over tree-walk, tier-2 over VM). Results land in a
+//! hand-rolled JSON report (`--out`, default `BENCH_exec.json`); the
+//! process exits non-zero if the VM speedup falls below `--min-speedup`,
+//! the tier-2-over-VM speedup falls below `--min-tier2-speedup`, or the
+//! disabled-observability overhead exceeds `--max-obs-overhead` (all
+//! CI regression gates).
 //!
-//! A fourth timing configuration re-runs the bytecode engine with the
+//! A further timing configuration re-runs the bytecode engine with the
 //! (disabled) span-recorder instrumentation exercised every rep — the
 //! `obs_overhead` column verifies asap-obs's contract that dormant
-//! instrumentation costs under 2%.
+//! instrumentation costs under 2%. Both ratio gates (budget, obs) use
+//! min-of-reps on *both* arms: totals on a shared runner are jittery
+//! enough to report negative overheads, while the per-arm minimum
+//! strips scheduler spikes symmetrically.
 //!
 //! Usage: `perfstat [--size tiny|small|full] [--reps N]
-//!         [--out <path.json>] [--min-speedup X] [--max-obs-overhead X]`
+//!         [--out <path.json>] [--min-speedup X] [--min-tier2-speedup X]
+//!         [--max-obs-overhead X]`
 
 use asap_bench::PAPER_DISTANCE;
 use asap_core::{cache_stats_full, compile_cached, ExecEngine, PrefetchStrategy};
@@ -57,6 +63,9 @@ struct Args {
     reps: usize,
     out: PathBuf,
     min_speedup: f64,
+    /// Gate: fail if tier-2's aggregate speedup over the bytecode VM
+    /// falls below this factor (CI uses 3.0).
+    min_tier2_speedup: f64,
     /// Gate: fail if the disabled-recorder instrumentation costs more
     /// than this fraction of the plain bytecode time (CI uses 0.02).
     max_obs_overhead: f64,
@@ -68,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         reps: 3,
         out: PathBuf::from("BENCH_exec.json"),
         min_speedup: 0.0,
+        min_tier2_speedup: 0.0,
         max_obs_overhead: f64::INFINITY,
     };
     let mut it = std::env::args().skip(1);
@@ -94,6 +104,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<f64>()
                     .map_err(|e| format!("--min-speedup: {e}"))?
             }
+            "--min-tier2-speedup" => {
+                args.min_tier2_speedup = value("--min-tier2-speedup")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--min-tier2-speedup: {e}"))?
+            }
             "--max-obs-overhead" => {
                 args.max_obs_overhead = value("--max-obs-overhead")?
                     .parse::<f64>()
@@ -115,10 +130,18 @@ struct Row {
     /// the cost of the budget check on every loop back-edge and inside
     /// the SpmvLoop superinstruction's fast path.
     governed_ms: f64,
+    /// Tier-2 native specialization (prefetch distances baked in).
+    tier2_ms: f64,
     /// Min-of-reps bytecode time — the noise floor used for the
-    /// observability overhead ratio (totals are too jittery for a 2%
+    /// overhead ratios (totals are too jittery for a small-percentage
     /// gate on a shared runner; the minimum strips scheduler spikes).
     byte_min_ms: f64,
+    /// Min-of-reps armed-meter time, to pair with `byte_min_ms`: the
+    /// budget-overhead ratio uses the minimum on both arms so noise on
+    /// either side cannot drive the reported overhead negative.
+    governed_min_ms: f64,
+    /// Min-of-reps tier-2 time, for the tier-2 speedup ratio.
+    tier2_min_ms: f64,
     /// Bytecode again, exercising the *disabled* asap-obs span/counter
     /// instrumentation each rep: the cost of dormant observability.
     /// Min-of-reps, to pair with `byte_min_ms`.
@@ -129,12 +152,19 @@ impl Row {
     fn speedup(&self) -> f64 {
         self.tree_ms / self.byte_ms
     }
+    fn tier2_speedup(&self) -> f64 {
+        self.byte_min_ms / self.tier2_min_ms
+    }
     fn budget_overhead(&self) -> f64 {
-        self.governed_ms / self.byte_ms - 1.0
+        self.governed_min_ms / self.byte_min_ms - 1.0
     }
     fn obs_overhead(&self) -> f64 {
         self.obs_min_ms / self.byte_min_ms - 1.0
     }
+    /// Simulated MIPS: retired instructions over wall-clock. Tier-2
+    /// retires no simulated instructions itself, so its MIPS figure
+    /// uses the VM's count for the same kernel — "how fast would the
+    /// VM have to run to match this wall-clock".
     fn mips(&self, ms: f64) -> f64 {
         self.instructions as f64 / (ms * 1e3)
     }
@@ -181,6 +211,13 @@ fn time_engine(
                 let prog = ck.program.as_ref().ok_or("kernel has no lowered program")?;
                 execute_budgeted(prog, &bound.args, &mut bound.bufs, &mut model, budget)
             }
+            ExecEngine::Tier2 => {
+                let plan = ck
+                    .tier2
+                    .as_ref()
+                    .ok_or("kernel has no tier-2 specialization")?;
+                plan.run(&bound.args, &mut bound.bufs, budget)
+            }
             _ => interpret_budgeted(
                 &ck.kernel.func,
                 &bound.args,
@@ -212,10 +249,21 @@ fn real_main() -> Result<(), String> {
     let unarmed = Budget::unlimited();
     let armed = Budget::unlimited().with_fuel(u64::MAX);
 
-    println!("# perfstat: simulated-instructions/sec, tree-walk vs bytecode (SpMV, asap)");
     println!(
-        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8}",
-        "matrix", "nnz", "instrs", "tree MI/s", "byte MI/s", "speedup", "budget%", "obs%"
+        "# perfstat: simulated-instructions/sec, tree-walk vs bytecode vs tier-2 (SpMV, asap)"
+    );
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "matrix",
+        "nnz",
+        "instrs",
+        "tree MI/s",
+        "byte MI/s",
+        "t2 MI/s",
+        "speedup",
+        "t2 spd",
+        "budget%",
+        "obs%"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -252,7 +300,7 @@ fn real_main() -> Result<(), String> {
             false,
         )
         .map_err(|e| format!("{}: bytecode: {e}", m.name))?;
-        let (governed_ms, _, governed_instr, governed_bits) = time_engine(
+        let (governed_ms, governed_min_ms, governed_instr, governed_bits) = time_engine(
             &ck,
             &sparse,
             &x,
@@ -262,6 +310,16 @@ fn real_main() -> Result<(), String> {
             false,
         )
         .map_err(|e| format!("{}: bytecode (budgeted): {e}", m.name))?;
+        let (tier2_ms, tier2_min_ms, _, tier2_bits) = time_engine(
+            &ck,
+            &sparse,
+            &x,
+            ExecEngine::Tier2,
+            args.reps,
+            &unarmed,
+            false,
+        )
+        .map_err(|e| format!("{}: tier-2: {e}", m.name))?;
         let (_, obs_min_ms, obs_instr, obs_bits) = time_engine(
             &ck,
             &sparse,
@@ -272,7 +330,11 @@ fn real_main() -> Result<(), String> {
             true,
         )
         .map_err(|e| format!("{}: bytecode (obs): {e}", m.name))?;
-        if tree_bits != byte_bits || byte_bits != governed_bits || byte_bits != obs_bits {
+        if tree_bits != byte_bits
+            || byte_bits != governed_bits
+            || byte_bits != obs_bits
+            || byte_bits != tier2_bits
+        {
             return Err(format!("{}: engine outputs differ bitwise", m.name));
         }
         if tree_instr != byte_instr || byte_instr != governed_instr || byte_instr != obs_instr {
@@ -289,17 +351,22 @@ fn real_main() -> Result<(), String> {
             tree_ms,
             byte_ms,
             governed_ms,
+            tier2_ms,
             byte_min_ms,
+            governed_min_ms,
+            tier2_min_ms,
             obs_min_ms,
         };
         println!(
-            "{:<24} {:>10} {:>12} {:>12.1} {:>12.1} {:>8.2} {:>7.1}% {:>7.1}%",
+            "{:<24} {:>10} {:>12} {:>12.1} {:>12.1} {:>12.1} {:>8.2} {:>8.2} {:>7.1}% {:>7.1}%",
             row.name,
             row.nnz,
             row.instructions,
             row.mips(row.tree_ms),
             row.mips(row.byte_ms),
+            row.mips(row.tier2_ms),
             row.speedup(),
+            row.tier2_speedup(),
             100.0 * row.budget_overhead(),
             100.0 * row.obs_overhead()
         );
@@ -312,11 +379,16 @@ fn real_main() -> Result<(), String> {
     let tree_total: f64 = rows.iter().map(|r| r.tree_ms).sum();
     let byte_total: f64 = rows.iter().map(|r| r.byte_ms).sum();
     let governed_total: f64 = rows.iter().map(|r| r.governed_ms).sum();
+    let tier2_total: f64 = rows.iter().map(|r| r.tier2_ms).sum();
     let byte_min_total: f64 = rows.iter().map(|r| r.byte_min_ms).sum();
+    let governed_min_total: f64 = rows.iter().map(|r| r.governed_min_ms).sum();
+    let tier2_min_total: f64 = rows.iter().map(|r| r.tier2_min_ms).sum();
     let obs_min_total: f64 = rows.iter().map(|r| r.obs_min_ms).sum();
     let instr_total: u64 = rows.iter().map(|r| r.instructions).sum();
     let speedup = tree_total / byte_total;
-    let budget_overhead = governed_total / byte_total - 1.0;
+    let tier2_speedup = byte_min_total / tier2_min_total;
+    let tier2_mips = instr_total as f64 / (tier2_total * 1e3);
+    let budget_overhead = governed_min_total / byte_min_total - 1.0;
     let obs_overhead = obs_min_total / byte_min_total - 1.0;
     let cache = cache_stats_full();
     println!();
@@ -325,7 +397,12 @@ fn real_main() -> Result<(), String> {
         tree_total, byte_total
     );
     println!(
-        "budget meter: armed bytecode {governed_total:.1} ms, back-edge check overhead {:+.1}% \
+        "tier-2: native specializations {tier2_min_total:.1} ms vs bytecode {byte_min_total:.1} ms \
+         (min-of-reps), speedup {tier2_speedup:.2}x over the VM, {tier2_mips:.0} VM-equivalent MI/s"
+    );
+    println!(
+        "budget meter: armed bytecode {governed_min_total:.1} ms vs {byte_min_total:.1} ms \
+         (min-of-reps), back-edge check overhead {:+.1}% \
          (documented target <5%; informational — shared-runner noise makes it ungated)",
         100.0 * budget_overhead
     );
@@ -335,8 +412,15 @@ fn real_main() -> Result<(), String> {
         100.0 * obs_overhead
     );
     println!(
-        "compile cache: {} hits, {} misses, {} evictions, {} poison recoveries",
-        cache.hits, cache.misses, cache.evictions, cache.poison_recoveries
+        "compile cache: {} hits, {} misses ({} tier-2-specialized hits, {} misses), \
+         {} evictions, {} poison recoveries, ~{} bytes resident",
+        cache.hits,
+        cache.misses,
+        cache.tier2_hits,
+        cache.tier2_misses,
+        cache.evictions,
+        cache.poison_recoveries,
+        cache.bytes
     );
 
     // Fixed-precision floats by design: the artifact diffs cleanly run
@@ -351,11 +435,16 @@ fn real_main() -> Result<(), String> {
                 .raw("tree_walk_ms", &format!("{:.3}", r.tree_ms))
                 .raw("bytecode_ms", &format!("{:.3}", r.byte_ms))
                 .raw("budgeted_ms", &format!("{:.3}", r.governed_ms))
+                .raw("tier2_ms", &format!("{:.3}", r.tier2_ms))
                 .raw("bytecode_min_ms", &format!("{:.3}", r.byte_min_ms))
+                .raw("budgeted_min_ms", &format!("{:.3}", r.governed_min_ms))
+                .raw("tier2_min_ms", &format!("{:.3}", r.tier2_min_ms))
                 .raw("obs_min_ms", &format!("{:.3}", r.obs_min_ms))
                 .raw("tree_walk_mips", &format!("{:.1}", r.mips(r.tree_ms)))
                 .raw("bytecode_mips", &format!("{:.1}", r.mips(r.byte_ms)))
+                .raw("tier2_mips", &format!("{:.1}", r.mips(r.tier2_ms)))
                 .raw("speedup", &format!("{:.3}", r.speedup()))
+                .raw("tier2_speedup", &format!("{:.3}", r.tier2_speedup()))
                 .raw("budget_overhead", &format!("{:.4}", r.budget_overhead()))
                 .raw("obs_overhead", &format!("{:.4}", r.obs_overhead()));
             format!("    {}", w.finish())
@@ -367,19 +456,37 @@ fn real_main() -> Result<(), String> {
             .raw("tree_walk_ms", &format!("{tree_total:.3}"))
             .raw("bytecode_ms", &format!("{byte_total:.3}"))
             .raw("budgeted_ms", &format!("{governed_total:.3}"))
+            .raw("tier2_ms", &format!("{tier2_total:.3}"))
             .raw("bytecode_min_ms", &format!("{byte_min_total:.3}"))
+            .raw("budgeted_min_ms", &format!("{governed_min_total:.3}"))
+            .raw("tier2_min_ms", &format!("{tier2_min_total:.3}"))
             .raw("obs_min_ms", &format!("{obs_min_total:.3}"))
+            .raw(
+                "tree_walk_mips",
+                &format!("{:.1}", instr_total as f64 / (tree_total * 1e3)),
+            )
+            .raw(
+                "bytecode_mips",
+                &format!("{:.1}", instr_total as f64 / (byte_total * 1e3)),
+            )
+            .raw("tier2_mips", &format!("{tier2_mips:.1}"))
             .raw("speedup", &format!("{speedup:.3}"))
+            .raw("tier2_speedup", &format!("{tier2_speedup:.3}"))
             .raw("budget_overhead", &format!("{budget_overhead:.4}"))
             .raw("obs_overhead", &format!("{obs_overhead:.4}"));
         w.finish()
     };
     let cache_obj = {
         let mut w = ObjWriter::new();
+        let shard_bytes: Vec<String> = cache.shard_bytes.iter().map(u64::to_string).collect();
         w.u64("hits", cache.hits)
             .u64("misses", cache.misses)
+            .u64("tier2_hits", cache.tier2_hits)
+            .u64("tier2_misses", cache.tier2_misses)
             .u64("evictions", cache.evictions)
-            .u64("poison_recoveries", cache.poison_recoveries);
+            .u64("poison_recoveries", cache.poison_recoveries)
+            .u64("bytes", cache.bytes)
+            .raw("shard_bytes", &format!("[{}]", shard_bytes.join(", ")));
         w.finish()
     };
     let json = format!(
@@ -399,6 +506,12 @@ fn real_main() -> Result<(), String> {
         return Err(format!(
             "aggregate speedup {speedup:.3} below required {:.3}",
             args.min_speedup
+        ));
+    }
+    if tier2_speedup < args.min_tier2_speedup {
+        return Err(format!(
+            "aggregate tier-2 speedup {tier2_speedup:.3} over the VM below required {:.3}",
+            args.min_tier2_speedup
         ));
     }
     if obs_overhead > args.max_obs_overhead {

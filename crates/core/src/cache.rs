@@ -65,17 +65,49 @@ struct ShardState {
 
 #[derive(Default)]
 struct Shard {
+    /// This shard's index, for the per-shard occupancy gauge name.
+    id: usize,
     state: Mutex<ShardState>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     poison_recoveries: AtomicU64,
+    /// Approximate resident bytes of the entries currently in this
+    /// shard (Σ [`CompiledKernel::approx_bytes`] over the map). Kept as
+    /// a counter adjusted on insert/evict/poison-clear so occupancy is
+    /// readable without taking the shard lock.
+    bytes: AtomicU64,
+    /// Hits/misses split by whether the kernel carries a tier-2 native
+    /// specialization — the serving dashboards want to know how much of
+    /// the hot set runs native versus on the VM.
+    tier2_hits: AtomicU64,
+    tier2_misses: AtomicU64,
 }
+
+/// `asap-obs` gauge names for per-shard occupancy (`&'static str` is
+/// required by the registry, so the names are spelled out).
+const SHARD_BYTES_GAUGES: [&str; CACHE_SHARDS] = [
+    "cache.shard0.bytes",
+    "cache.shard1.bytes",
+    "cache.shard2.bytes",
+    "cache.shard3.bytes",
+    "cache.shard4.bytes",
+    "cache.shard5.bytes",
+    "cache.shard6.bytes",
+    "cache.shard7.bytes",
+];
 
 static CACHE: OnceLock<Vec<Shard>> = OnceLock::new();
 
 fn shards() -> &'static [Shard] {
-    CACHE.get_or_init(|| (0..CACHE_SHARDS).map(|_| Shard::default()).collect())
+    CACHE.get_or_init(|| {
+        (0..CACHE_SHARDS)
+            .map(|i| Shard {
+                id: i,
+                ..Shard::default()
+            })
+            .collect()
+    })
 }
 
 /// FNV-1a over the key bytes: cheap, deterministic, and well-mixed for
@@ -104,6 +136,9 @@ fn lock_shard(shard: &Shard) -> MutexGuard<'_, ShardState> {
             let mut g = poisoned.into_inner();
             g.map.clear();
             g.order.clear();
+            let dropped = shard.bytes.swap(0, Ordering::Relaxed);
+            asap_obs::gauge_sub("cache.bytes", dropped as i64);
+            asap_obs::gauge_set(SHARD_BYTES_GAUGES[shard.id], 0);
             shard.poison_recoveries.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("cache.poison_recoveries");
             shard.state.clear_poison();
@@ -151,6 +186,10 @@ pub fn compile_cached_stat(
         if let Some(ck) = m.map.get(&k) {
             shard.hits.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("cache.hits");
+            if ck.tier2.is_some() {
+                shard.tier2_hits.fetch_add(1, Ordering::Relaxed);
+                asap_obs::counter_inc("cache.tier2_hits");
+            }
             span.attr("outcome", "hit");
             return Ok((ck.clone(), true));
         }
@@ -159,6 +198,10 @@ pub fn compile_cached_stat(
     let ck = compile_with_width(spec, format, width, strategy)?;
     shard.misses.fetch_add(1, Ordering::Relaxed);
     asap_obs::counter_inc("cache.misses");
+    if ck.tier2.is_some() {
+        shard.tier2_misses.fetch_add(1, Ordering::Relaxed);
+        asap_obs::counter_inc("cache.tier2_misses");
+    }
     let mut m = lock_shard(shard);
     if !m.map.contains_key(&k) {
         while m.map.len() >= SHARD_CAPACITY {
@@ -166,14 +209,22 @@ pub fn compile_cached_stat(
             // stale order entries; skip any key no longer mapped.
             match m.order.pop_front() {
                 Some(old) => {
-                    if m.map.remove(&old).is_some() {
+                    if let Some(evicted) = m.map.remove(&old) {
                         shard.evictions.fetch_add(1, Ordering::Relaxed);
                         asap_obs::counter_inc("cache.evictions");
+                        let freed = evicted.approx_bytes();
+                        shard.bytes.fetch_sub(freed, Ordering::Relaxed);
+                        asap_obs::gauge_sub("cache.bytes", freed as i64);
+                        asap_obs::gauge_sub(SHARD_BYTES_GAUGES[shard.id], freed as i64);
                     }
                 }
                 None => break,
             }
         }
+        let added = ck.approx_bytes();
+        shard.bytes.fetch_add(added, Ordering::Relaxed);
+        asap_obs::gauge_add("cache.bytes", added as i64);
+        asap_obs::gauge_add(SHARD_BYTES_GAUGES[shard.id], added as i64);
         m.order.push_back(k.clone());
         m.map.insert(k, ck.clone());
     }
@@ -190,6 +241,16 @@ pub struct CacheStats {
     /// Times a poisoned shard lock was recovered by discarding that
     /// shard's map (a crash-isolated worker panicked while holding it).
     pub poison_recoveries: u64,
+    /// Subset of `hits`/`misses` whose kernel carries a tier-2 native
+    /// specialization (lookups of VM-only kernels are the difference).
+    pub tier2_hits: u64,
+    pub tier2_misses: u64,
+    /// Approximate resident bytes per shard (Σ
+    /// [`CompiledKernel::approx_bytes`](crate::pipeline::CompiledKernel::approx_bytes)
+    /// over each shard's live entries).
+    pub shard_bytes: [u64; CACHE_SHARDS],
+    /// Σ `shard_bytes`: total approximate cache occupancy.
+    pub bytes: u64,
 }
 
 /// Aggregate the per-shard counters into process-wide totals.
@@ -199,12 +260,20 @@ pub fn cache_stats_full() -> CacheStats {
         misses: 0,
         evictions: 0,
         poison_recoveries: 0,
+        tier2_hits: 0,
+        tier2_misses: 0,
+        shard_bytes: [0; CACHE_SHARDS],
+        bytes: 0,
     };
-    for shard in shards() {
+    for (i, shard) in shards().iter().enumerate() {
         s.hits += shard.hits.load(Ordering::Relaxed);
         s.misses += shard.misses.load(Ordering::Relaxed);
         s.evictions += shard.evictions.load(Ordering::Relaxed);
         s.poison_recoveries += shard.poison_recoveries.load(Ordering::Relaxed);
+        s.tier2_hits += shard.tier2_hits.load(Ordering::Relaxed);
+        s.tier2_misses += shard.tier2_misses.load(Ordering::Relaxed);
+        s.shard_bytes[i] = shard.bytes.load(Ordering::Relaxed);
+        s.bytes += s.shard_bytes[i];
     }
     s
 }
@@ -315,6 +384,61 @@ mod tests {
             assert!(g.map.len() <= SHARD_CAPACITY);
             assert_eq!(g.order.len(), g.map.len(), "order mirrors the map");
         }
+    }
+
+    #[test]
+    fn occupancy_and_tier_split_are_tracked() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let before = cache_stats_full();
+        // A fresh ASaP distance: a tier-2-specialized kernel.
+        let (ck, hit) = compile_cached_stat(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(97),
+        )
+        .unwrap();
+        assert!(ck.tier2.is_some());
+        let mid = cache_stats_full();
+        if !hit {
+            assert!(
+                mid.tier2_misses > before.tier2_misses,
+                "first specialized compile counts as a tier-2 miss"
+            );
+            assert!(
+                mid.bytes >= before.bytes + ck.approx_bytes(),
+                "occupancy grows by at least the inserted kernel: {} -> {}",
+                before.bytes,
+                mid.bytes
+            );
+        }
+        // Repeat: a tier-2 hit, no occupancy change.
+        let (_, hit) = compile_cached_stat(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::asap(97),
+        )
+        .unwrap();
+        assert!(hit);
+        let after = cache_stats_full();
+        assert!(after.tier2_hits > mid.tier2_hits);
+        assert_eq!(after.bytes, mid.bytes, "a hit does not change occupancy");
+        assert_eq!(after.bytes, after.shard_bytes.iter().sum::<u64>());
+        // A baseline kernel has no tier-2 plan: its lookups move the
+        // aggregate counters but not the tier-2 split.
+        let t2 = (after.tier2_hits, after.tier2_misses);
+        let (base, _) = compile_cached_stat(
+            &spec,
+            &Format::csr(),
+            IndexWidth::U32,
+            &PrefetchStrategy::none(),
+        )
+        .unwrap();
+        assert!(base.tier2.is_none());
+        let fin = cache_stats_full();
+        assert_eq!((fin.tier2_hits, fin.tier2_misses), t2);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::aj::{ainsworth_jones, AjConfig};
 use crate::asap::{AsapConfig, AsapHook};
 use asap_ir::{
     cse, dce, execute_budgeted, execute_budgeted_profiled, fold, interpret_budgeted, licm, lower,
-    AsapError, BinOp, Budget, ExecProfile, MemoryModel, Op, OpKind, Program, Type,
+    AsapError, BinOp, Budget, ExecProfile, MemoryModel, Op, OpKind, Program, Tier2Plan, Type,
 };
 use asap_sparsifier::{bind, read_back, sparsify, KernelSpec, SparsifiedKernel};
 use asap_tensor::{DenseTensor, Format, IndexWidth, SparseTensor, ValueKind};
@@ -107,12 +107,36 @@ pub struct CompiledKernel {
     /// which case execution falls back to the tree-walker — results and
     /// memory-event streams are identical either way.
     pub program: Option<Program>,
+    /// The tier-2 native specialization, when the lowered program
+    /// matches a recognized kernel skeleton (ASaP CSR SpMV/SpMM). `None`
+    /// means "shape not recognized — run the VM"; it is never an error.
+    /// Tier-2 runs are bit- and error-exact with the VM but report no
+    /// memory events (see `asap_ir::tier2` for the trace exemption).
+    pub tier2: Option<Tier2Plan>,
 }
 
 impl CompiledKernel {
     /// True if the requested strategy was applied without degradation.
     pub fn is_degraded(&self) -> bool {
         !self.warnings.is_empty()
+    }
+
+    /// Rough resident footprint of this kernel, for cache occupancy
+    /// accounting: the struct itself plus the dominant heap blocks (the
+    /// bytecode instruction vector and its side tables). Deliberately an
+    /// estimate — the cache reports occupancy, it does not enforce a
+    /// byte ceiling, so systematic undercounting of small allocations
+    /// (strings, warnings) is acceptable.
+    pub fn approx_bytes(&self) -> u64 {
+        let mut b = std::mem::size_of::<CompiledKernel>();
+        if let Some(p) = &self.program {
+            b += std::mem::size_of_val(p.instrs.as_slice());
+            b += std::mem::size_of_val(p.param_slots.as_slice());
+            b += std::mem::size_of_val(p.mem_args.as_slice());
+            b += p.name.len();
+        }
+        b += self.warnings.len() * std::mem::size_of::<CompileWarning>();
+        b as u64
     }
 }
 
@@ -165,6 +189,10 @@ fn compile_exact(
         let _s = asap_obs::span("compile.lower");
         lower(&kernel.func).ok()
     };
+    // Stamp the tier-2 native specialization when the bytecode matches
+    // a recognized kernel skeleton. Purely structural and infallible: a
+    // non-match leaves the VM as the fast engine.
+    let tier2 = program.as_ref().and_then(Tier2Plan::from_program);
     let prefetch_ops = kernel.func.prefetch_count();
     span.attr("prefetch_ops", prefetch_ops);
     Ok(CompiledKernel {
@@ -174,6 +202,7 @@ fn compile_exact(
         hoisted_ops: hoisted,
         warnings: Vec::new(),
         program,
+        tier2,
     })
 }
 
@@ -239,17 +268,24 @@ pub fn compile(
     compile_with_width(spec, format, IndexWidth::U32, strategy)
 }
 
-/// Which interpreter executes a compiled kernel. Both engines are
-/// observationally identical (same results, same memory-event stream);
-/// they differ only in wall-clock cost.
+/// Which interpreter executes a compiled kernel. Tree-walk and bytecode
+/// are observationally identical (same results, same memory-event
+/// stream); tier-2 is bit- and error-exact but reports no memory events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecEngine {
     /// Bytecode when the kernel has a lowered [`Program`], else tree-walk.
+    /// Never tier-2: `Auto` callers may attach a memory model, and the
+    /// event stream must stay faithful. The serving layer (which runs
+    /// model-free) upgrades `Auto` to tier-2 itself.
     Auto,
     /// The original recursive tree-walking interpreter.
     TreeWalk,
     /// The register-bytecode VM (errors if the kernel has no program).
     Bytecode,
+    /// The native runtime-specialized kernel (errors if the kernel has
+    /// no tier-2 plan). The memory model is bypassed — see
+    /// `asap_ir::tier2` for the trace-exemption rationale.
+    Tier2,
 }
 
 /// Run a compiled kernel (generic operands) under the given memory model.
@@ -294,27 +330,39 @@ pub fn run_with_engine_budgeted<M: MemoryModel + ?Sized>(
 ) -> Result<(), AsapError> {
     let mut bound = bind(&ck.kernel, sparse, dense, out)?;
     budget.check_bytes(bound.bufs.bytes_allocated())?;
-    let program = match engine {
-        ExecEngine::TreeWalk => None,
-        ExecEngine::Auto => ck.program.as_ref(),
-        ExecEngine::Bytecode => Some(ck.program.as_ref().ok_or_else(|| {
+    enum Chosen<'a> {
+        Tree,
+        Byte(&'a Program),
+        Native(&'a Tier2Plan),
+    }
+    let chosen = match engine {
+        ExecEngine::TreeWalk => Chosen::Tree,
+        ExecEngine::Auto => ck.program.as_ref().map_or(Chosen::Tree, Chosen::Byte),
+        ExecEngine::Bytecode => Chosen::Byte(ck.program.as_ref().ok_or_else(|| {
             AsapError::binding("bytecode engine requested but the kernel has no lowered program")
+        })?),
+        ExecEngine::Tier2 => Chosen::Native(ck.tier2.as_ref().ok_or_else(|| {
+            AsapError::binding(
+                "tier-2 engine requested but the kernel has no native specialization",
+            )
         })?),
     };
     {
         let _s = asap_obs::span_with("exec", || {
-            let engine = if program.is_some() {
-                "bytecode"
-            } else {
-                "tree-walk"
+            let engine = match &chosen {
+                Chosen::Tree => "tree-walk",
+                Chosen::Byte(_) => "bytecode",
+                Chosen::Native(_) => "tier2",
             };
             vec![("engine", engine.to_string())]
         });
-        match program {
-            Some(p) => execute_budgeted(p, &bound.args, &mut bound.bufs, model, budget)?,
-            None => {
+        match chosen {
+            Chosen::Byte(p) => execute_budgeted(p, &bound.args, &mut bound.bufs, model, budget)?,
+            Chosen::Tree => {
                 interpret_budgeted(&ck.kernel.func, &bound.args, &mut bound.bufs, model, budget)?
             }
+            // Tier-2 bypasses the model by design (no events to report).
+            Chosen::Native(plan) => plan.run(&bound.args, &mut bound.bufs, budget)?,
         };
     }
     read_back(out, &bound)
@@ -606,6 +654,79 @@ mod tests {
         let budget = Budget::unlimited().with_fuel(1_000);
         let r = run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Auto, &budget).unwrap();
         assert_eq!(r, vec![201.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn tier2_specializes_csr_asap_spmv_bit_identically() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let x = vec![1.0, 10.0, 100.0];
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(45)).unwrap();
+        let plan = ck.tier2.as_ref().expect("CSR ASaP SpMV must specialize");
+        assert_eq!(plan.label(), "spmv");
+        assert_eq!(plan.key(), "spmv:d45:c90");
+        let mut model = asap_ir::NullModel;
+        let vm = run_spmv_f64_engine(&ck, &b, &x, &mut model, ExecEngine::Bytecode).unwrap();
+        let t2 = run_spmv_f64_engine(&ck, &b, &x, &mut model, ExecEngine::Tier2).unwrap();
+        let bits = |v: &[f64]| -> Vec<u64> { v.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&vm), bits(&t2));
+        assert_eq!(t2, vec![201.0, 0.0, 300.0]);
+    }
+
+    #[test]
+    fn tier2_specializes_csr_asap_spmm_bit_identically() {
+        let spec = KernelSpec::spmm(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let c = DenseTensor::from_f64(vec![3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(3)).unwrap();
+        let plan = ck.tier2.as_ref().expect("CSR ASaP SpMM must specialize");
+        assert_eq!(plan.label(), "spmm");
+        let vm = run_spmm_f64(&ck, &b, &c).unwrap();
+        let mut out = DenseTensor::zeros(ValueKind::F64, vec![3, 2]);
+        let mut model = asap_ir::NullModel;
+        run_with_engine(&ck, &b, &[&c], &mut out, &mut model, ExecEngine::Tier2).unwrap();
+        assert_eq!(vm.as_f64(), out.as_f64());
+        assert_eq!(&out.as_f64()[0..2], &[11.0, 14.0]);
+    }
+
+    #[test]
+    fn non_matching_shapes_have_no_tier2_plan() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        // Baseline CSR: no SpmvLoop superinstruction in the bytecode.
+        let base = compile(&spec, &Format::csr(), &PrefetchStrategy::none()).unwrap();
+        assert!(base.tier2.is_none());
+        // COO ASaP: a different loop structure entirely.
+        let coo = compile(&spec, &Format::coo(), &PrefetchStrategy::asap(8)).unwrap();
+        assert!(coo.tier2.is_none());
+        // Requesting tier-2 explicitly on such a kernel is a typed
+        // binding error, never a silent fallback.
+        let b = paper_tensor(Format::csr());
+        let mut model = asap_ir::NullModel;
+        let err =
+            run_spmv_f64_engine(&base, &b, &[1.0; 3], &mut model, ExecEngine::Tier2).unwrap_err();
+        assert_eq!(err.kind(), "binding");
+        assert!(err.to_string().contains("no native specialization"));
+    }
+
+    #[test]
+    fn tier2_fuel_trap_matches_the_vm() {
+        let spec = KernelSpec::spmv(ValueKind::F64);
+        let b = paper_tensor(Format::csr());
+        let x = [1.0, 10.0, 100.0];
+        let ck = compile(&spec, &Format::csr(), &PrefetchStrategy::asap(4)).unwrap();
+        let mut model = asap_ir::NullModel;
+        for fuel in 0..8 {
+            let budget = Budget::unlimited().with_fuel(fuel);
+            let vm = run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Bytecode, &budget);
+            let t2 = run_spmv_f64_budgeted(&ck, &b, &x, &mut model, ExecEngine::Tier2, &budget);
+            match (vm, t2) {
+                (Ok(a), Ok(c)) => assert_eq!(a, c, "fuel {fuel}"),
+                (Err(a), Err(c)) => {
+                    assert_eq!(a.to_string(), c.to_string(), "fuel {fuel}")
+                }
+                (a, c) => panic!("fuel {fuel}: engines diverge: vm={a:?} tier2={c:?}"),
+            }
+        }
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub struct ServiceOutcome {
     pub degraded: bool,
     /// Rendered compile warnings (empty unless degraded).
     pub warnings: Vec<String>,
-    /// Engine that actually ran: "bytecode" or "tree-walk".
+    /// Engine that actually ran: "tier2", "bytecode", or "tree-walk".
     pub engine_used: &'static str,
     /// `memref.prefetch` ops in the kernel that ran.
     pub prefetch_ops: usize,
@@ -136,6 +136,15 @@ pub fn execute_request(
 ) -> Result<ServiceOutcome, AsapError> {
     let rows = sparse.dims()[0];
     let cols = sparse.dims()[1];
+    // The service always executes under `NullModel`, so the one
+    // observable tier-2 gives up — the memory-event stream — is moot
+    // here. `Auto` therefore upgrades to the native specialization
+    // whenever the compile produced one; explicit engine requests are
+    // honored verbatim.
+    let engine = match engine {
+        ExecEngine::Auto if ck.tier2.is_some() => ExecEngine::Tier2,
+        e => e,
+    };
     let t0 = Instant::now();
     let checksum = match kernel {
         ServiceKernel::Spmv => {
@@ -156,6 +165,7 @@ pub fn execute_request(
     let exec_ns = t0.elapsed().as_nanos() as u64;
     let engine_used = match engine {
         ExecEngine::TreeWalk => "tree-walk",
+        ExecEngine::Tier2 => "tier2",
         _ if ck.program.is_some() => "bytecode",
         _ => "tree-walk",
     };
@@ -249,6 +259,28 @@ mod tests {
         assert_eq!(vm.engine_used, "bytecode");
         assert_eq!(tree.engine_used, "tree-walk");
         assert!(tree.cache_hit, "second request reuses the compile");
+    }
+
+    #[test]
+    fn auto_upgrades_to_tier2_when_specialized() {
+        let sparse = tiny_matrix();
+        let run = |engine| {
+            serve_request(
+                ServiceKernel::Spmv,
+                &sparse,
+                &PrefetchStrategy::asap(8),
+                engine,
+                &Budget::unlimited(),
+            )
+            .unwrap()
+        };
+        let auto = run(ExecEngine::Auto);
+        let vm = run(ExecEngine::Bytecode);
+        let tree = run(ExecEngine::TreeWalk);
+        assert_eq!(auto.engine_used, "tier2", "ASaP CSR SpMV specializes");
+        assert_eq!(vm.engine_used, "bytecode");
+        assert_eq!(auto.checksum, vm.checksum, "tier-2 must be bit-identical");
+        assert_eq!(auto.checksum, tree.checksum);
     }
 
     #[test]

@@ -7,13 +7,16 @@
 //! - generators for hostile sparse inputs (empty rows, all-short rows,
 //!   duplicate and out-of-range coordinates, zero-sized shapes),
 //! - byte-level corruptors for MatrixMarket streams,
-//! - the paper's differential oracle (Section 3.2.2), extended to four
+//! - the paper's differential oracle (Section 3.2.2), extended to five
 //!   ways: prefetch injection is semantically a no-op, so Baseline/ASaP/
 //!   A&J must produce bit-identical outputs matching a dense reference —
 //!   and for every strategy, the bytecode VM must reproduce the
 //!   tree-walker exactly (bit-identical values, identical ordered
-//!   memory-event stream, equal retired-instruction counts; see
-//!   [`engines_agree`]).
+//!   memory-event stream, equal retired-instruction counts), and, when
+//!   the kernel carries a tier-2 native specialization, that engine must
+//!   reproduce the same bits and the same typed traps too (it is exempt
+//!   from the event-stream comparison by design — see `asap_ir::tier2`);
+//!   see [`engines_agree`].
 //!
 //! Every entry point takes an explicit [`Rng64`] seeded by the caller, so
 //! a failing case is reproducible from the seed printed in the assertion
@@ -142,6 +145,9 @@ pub enum EngineAgreement {
         y: Vec<f64>,
         events: usize,
         instructions: u64,
+        /// True when the kernel carried a tier-2 native specialization
+        /// and it, too, reproduced the tree-walker bit-for-bit.
+        tier2: bool,
     },
     /// Both engines trapped with the same typed error (same display)
     /// after emitting identical event prefixes.
@@ -152,10 +158,14 @@ pub enum EngineAgreement {
 /// bytecode VM) with a full [`TraceModel`] each, and require exact
 /// observational equivalence: the same success/trap outcome, bit-identical
 /// `y`, an identical `(op, addr, bytes)` demand/prefetch event stream in
-/// the same order, and equal retired-instruction counts.
+/// the same order, and equal retired-instruction counts. When the kernel
+/// carries a tier-2 native specialization, that engine runs as a third
+/// leg and must reproduce the same bits (or the identical typed trap);
+/// it reports no memory events by design, so it is exempt from the
+/// stream and instruction-count comparisons (see `asap_ir::tier2`).
 ///
 /// `Err` describes the first divergence. This is the engine half of the
-/// four-way oracle; [`differential_spmv`] calls it for every strategy, and
+/// five-way oracle; [`differential_spmv`] calls it for every strategy, and
 /// the `bytecode_equiv` integration suite pins it on fixed corpora.
 pub fn engines_agree(
     ck: &CompiledKernel,
@@ -184,6 +194,19 @@ pub fn engines_agree_budgeted(
     let rt = run_spmv_f64_budgeted(ck, sparse, x, &mut tw, ExecEngine::TreeWalk, budget);
     let mut bc = TraceModel::new();
     let rb = run_spmv_f64_budgeted(ck, sparse, x, &mut bc, ExecEngine::Bytecode, budget);
+    // Tier-2 leg, when the kernel specialized. It runs under `NullModel`:
+    // the native engine emits no memory events by design, so only the
+    // value bits and the typed trap participate in the comparison.
+    let rn = ck.tier2.as_ref().map(|_| {
+        run_spmv_f64_budgeted(
+            ck,
+            sparse,
+            x,
+            &mut asap_ir::NullModel,
+            ExecEngine::Tier2,
+            budget,
+        )
+    });
 
     // Event streams must match in both success and trap outcomes: the VM
     // must report the same model calls in the same order, up to and
@@ -216,20 +239,43 @@ pub fn engines_agree_budgeted(
                     tw.instructions, bc.instructions
                 ));
             }
+            let tier2 = match rn {
+                None => false,
+                Some(Ok(yn)) => {
+                    let bn: Vec<u64> = yn.iter().map(|v| v.to_bits()).collect();
+                    if bn != bt {
+                        return Err("tier-2 output differs bitwise from the tree-walker".into());
+                    }
+                    true
+                }
+                Some(Err(e)) => {
+                    return Err(format!(
+                        "tier-2 trapped where the interpreters succeeded: {e}"
+                    ))
+                }
+            };
             Ok(EngineAgreement::Agreed {
                 y: yt,
                 events: tw.events.len(),
                 instructions: tw.instructions,
+                tier2,
             })
         }
         (Err(et), Err(eb)) => {
             let (et, eb) = (et.to_string(), eb.to_string());
-            if et == eb {
-                Ok(EngineAgreement::Trapped(et))
-            } else {
-                Err(format!(
+            if et != eb {
+                return Err(format!(
                     "engines trap differently: tree-walk '{et}' vs bytecode '{eb}'"
-                ))
+                ));
+            }
+            match rn {
+                Some(Ok(_)) => Err(format!(
+                    "tier-2 succeeded where the interpreters trapped: '{et}'"
+                )),
+                Some(Err(en)) if en.to_string() != et => Err(format!(
+                    "tier-2 traps differently: '{en}' vs interpreter '{et}'"
+                )),
+                _ => Ok(EngineAgreement::Trapped(et)),
             }
         }
         (Ok(_), Err(e)) => Err(format!("bytecode trapped where tree-walk succeeded: {e}")),
@@ -237,9 +283,10 @@ pub fn engines_agree_budgeted(
     }
 }
 
-/// The four-way differential oracle for SpMV: three prefetch strategies
-/// (Baseline / ASaP / A&J), each executed by both engines via
-/// [`engines_agree`].
+/// The five-way differential oracle for SpMV: three prefetch strategies
+/// (Baseline / ASaP / A&J), each executed by both interpreters — plus
+/// the tier-2 native engine whenever a strategy's kernel specialized —
+/// via [`engines_agree`].
 ///
 /// Returns `Ok(Outcome::Rejected(_))` when the input is invalid and every
 /// stage reported a typed error; `Ok(Outcome::Verified)` when all three
@@ -625,10 +672,17 @@ mod tests {
                 y,
                 events,
                 instructions,
+                tier2,
             } => {
                 assert_eq!(y.len(), tri.nrows);
                 assert!(events > 0, "SpMV must touch memory");
                 assert!(instructions > events as u64);
+                assert_eq!(
+                    tier2,
+                    ck.tier2.is_some(),
+                    "the tier-2 leg runs iff the kernel specialized"
+                );
+                assert!(tier2, "ASaP CSR SpMV must specialize to tier-2");
             }
             EngineAgreement::Trapped(e) => panic!("healthy kernel trapped: {e}"),
         }

@@ -318,6 +318,45 @@ impl BudgetMeter {
         }
     }
 
+    /// Charge `n` steps at once — the bulk-metering entry tier-2 kernels
+    /// use to enforce fuel at outer-loop granularity. Equivalent to `n`
+    /// calls to [`Self::tick`] when `n <= fuel_remaining()`: the caller
+    /// must check that first (a fuel shortfall here would trap at the
+    /// wrong point relative to per-iteration metering). Deadline and
+    /// cancellation are polled once if the bulk charge crosses a
+    /// [`Self::POLL_INTERVAL`] boundary.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) -> Result<(), BudgetError> {
+        if n == 0 {
+            return Ok(());
+        }
+        if self.fuel_left < n {
+            return Err(BudgetError {
+                resource: Resource::Fuel,
+                spent: self.fuel_limit,
+                limit: self.fuel_limit,
+            });
+        }
+        self.fuel_left -= n;
+        let before = self.ticks;
+        self.ticks += n;
+        if (before >> Self::POLL_INTERVAL.trailing_zeros())
+            != (self.ticks >> Self::POLL_INTERVAL.trailing_zeros())
+        {
+            self.poll()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Fuel still available (`u64::MAX` when unlimited). Tier-2 kernels
+    /// use this to decide between the bulk-metered fast path and the
+    /// per-iteration governed path for a row.
+    #[inline]
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel_left
+    }
+
     /// Steps charged so far.
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -382,6 +421,49 @@ mod tests {
         );
         // Still trapped on every further tick (no wraparound).
         assert!(m.tick().is_err());
+    }
+
+    #[test]
+    fn bulk_ticks_match_single_ticks() {
+        let mut a = Budget::unlimited().with_fuel(100).meter();
+        let mut b = Budget::unlimited().with_fuel(100).meter();
+        for _ in 0..60 {
+            a.tick().unwrap();
+        }
+        assert_eq!(b.fuel_remaining(), 100);
+        b.tick_n(60).unwrap();
+        assert_eq!(a.ticks(), b.ticks());
+        assert_eq!(a.fuel_remaining(), b.fuel_remaining());
+        // An over-large bulk charge traps with the same payload a
+        // per-iteration trap would carry (spent == limit).
+        let e = b.tick_n(41).unwrap_err();
+        assert_eq!(
+            e,
+            BudgetError {
+                resource: Resource::Fuel,
+                spent: 100,
+                limit: 100
+            }
+        );
+        // ...and charges nothing.
+        assert_eq!(b.fuel_remaining(), 40);
+        b.tick_n(40).unwrap();
+        assert_eq!(b.fuel_remaining(), 0);
+    }
+
+    #[test]
+    fn bulk_ticks_poll_on_interval_crossing() {
+        let before = total_polls();
+        let mut m = Budget::unlimited().with_cancellation().meter();
+        m.tick_n(BudgetMeter::POLL_INTERVAL / 2).unwrap();
+        m.tick_n(BudgetMeter::POLL_INTERVAL / 2).unwrap(); // crosses
+        assert!(total_polls() > before);
+        // A fired token is observed at the next boundary crossing.
+        let b = Budget::unlimited().with_cancellation();
+        let mut m = b.meter();
+        b.cancel();
+        let e = m.tick_n(2 * BudgetMeter::POLL_INTERVAL).unwrap_err();
+        assert_eq!(e.resource, Resource::Cancelled);
     }
 
     #[test]

@@ -382,6 +382,34 @@ pub struct SpmvLoop {
     pub pc: OpId,
 }
 
+impl SpmvLoop {
+    /// The strict SpMV dataflow shape: the induction variable feeds the
+    /// crd load, both prefetch adds, and the vals load; the widened crd
+    /// element indexes the dense vector; the clamp output feeds the
+    /// gather prefetch; the dot product accumulates through the single
+    /// loop-carried copy. Shared by the VM's typed-slice fast path and
+    /// the tier-2 native-kernel matcher — both decline to the generic
+    /// path when it does not hold.
+    pub fn strict_shape(&self) -> bool {
+        use crate::ops::{BinOp, CmpPred};
+        self.lc_idx == self.iv
+            && self.ap_lhs == self.iv
+            && self.cs_add_lhs == self.iv
+            && self.ds_a_idx == self.iv
+            && self.ds_b_idx == self.lc_cast_dst
+            && self.gp_idx == self.cs_dst
+            && self.ds_a == self.ds_a_dst
+            && self.ds_b == self.ds_b_dst
+            && self.cs_if_true == self.cs_add_dst
+            && self.cs_if_false == self.cs_cmp_rhs
+            && self.ap_op == BinOp::AddI
+            && self.cs_op == BinOp::AddI
+            && self.cs_pred == CmpPred::Ult
+            && self.copies.len() == 1
+            && self.copies[0] == (self.ds_acc, self.ds_dst)
+    }
+}
+
 /// A lowered function, ready for [`crate::execute`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {

@@ -606,27 +606,9 @@ fn run_spmv_loop<M: MemoryModel + ?Sized>(
     model: &mut M,
     meter: &mut BudgetMeter,
 ) -> Result<u32, InterpError> {
-    use crate::ops::{BinOp, CmpPred};
-
-    // The strict shape: the induction variable feeds the crd load, both
-    // prefetch adds, and the vals load; the widened crd element indexes
-    // the dense vector; the clamp output feeds the gather prefetch; the
-    // dot product accumulates through the single loop-carried copy.
-    let strict = d.lc_idx == d.iv
-        && d.ap_lhs == d.iv
-        && d.cs_add_lhs == d.iv
-        && d.ds_a_idx == d.iv
-        && d.ds_b_idx == d.lc_cast_dst
-        && d.gp_idx == d.cs_dst
-        && d.ds_a == d.ds_a_dst
-        && d.ds_b == d.ds_b_dst
-        && d.cs_if_true == d.cs_add_dst
-        && d.cs_if_false == d.cs_cmp_rhs
-        && d.ap_op == BinOp::AddI
-        && d.cs_op == BinOp::AddI
-        && d.cs_pred == CmpPred::Ult
-        && d.copies.len() == 1
-        && d.copies[0] == (d.ds_acc, d.ds_dst);
+    // The strict shape (see [`SpmvLoop::strict_shape`], shared with the
+    // tier-2 matcher).
+    let strict = d.strict_shape();
     // Loop-invariant operands must already hold the types the strict
     // shape produces, so no per-iteration type check can ever trap.
     let invariants = (|| {

@@ -25,6 +25,7 @@ pub mod interp;
 pub mod ops;
 pub mod printer;
 pub mod profile;
+pub mod tier2;
 pub mod trace;
 pub mod transforms;
 pub mod types;
@@ -44,6 +45,7 @@ pub use interp::{
 pub use ops::{BinOp, CmpPred, Function, Op, OpId, OpKind, Region, Value};
 pub use printer::print_function;
 pub use profile::{ExecProfile, NUM_OPCODES, OPCODE_NAMES};
+pub use tier2::{SpmmPlan, SpmvPlan, Tier2Plan};
 pub use trace::{TraceEvent, TraceModel};
 pub use transforms::{dce, licm};
 pub use types::{Literal, Type};

@@ -1,0 +1,1569 @@
+//! Tier-2 execution: runtime-specialized native kernels.
+//!
+//! The third execution tier, above the tree-walker (reference) and the
+//! register-bytecode VM. At compile time, [`Tier2Plan::from_program`]
+//! inspects a lowered [`Program`] for the exact instruction skeleton the
+//! sparsifier + LICM/fold/CSE/DCE + lowerer pipeline emits for ASaP CSR
+//! SpMV (the [`crate::bytecode::SpmvLoop`] superinstruction) and for the three-deep ASaP
+//! CSR SpMM loop nest. On a match it extracts a *plan*: buffer/argument
+//! positions, the ASaP-chosen prefetch distances (resolved from the
+//! constant pool), and every op location a trap could be attributed to.
+//! At run time the plan dispatches through a generic-template table —
+//! one monomorphized Rust loop per (pos index type × crd index type)
+//! pair — so the hot loop is direct typed-slice arithmetic with explicit
+//! hardware prefetch hints at the baked-in distances and zero
+//! per-iteration dispatch.
+//!
+//! # Observational contract (and the one documented exemption)
+//!
+//! Tier-2 is bit-exact and error-exact with the other engines:
+//!
+//! - **outputs** are bit-identical (float accumulation replays the
+//!   lowered operand order, including `acc_is_rhs`);
+//! - **typed errors** are identical: out-of-bounds traps carry the same
+//!   index, length, and op location as the VM, and fuel traps the same
+//!   `spent == limit` payload at the same loop op;
+//! - **the demand/prefetch event stream is exempt by design**: a native
+//!   kernel has no [`crate::MemoryModel`] hook — its memory traffic is
+//!   real, not simulated. Callers that need the event stream (the
+//!   simulator, trace capture) must use the VM or the tree-walker; the
+//!   pipeline's `Auto` engine does exactly that.
+//!
+//! # Budget enforcement at outer-loop granularity
+//!
+//! Fuel is metered per *row*: on row entry the plan charges the outer
+//! iteration, then bulk-charges the row's inner-iteration count via
+//! [`crate::BudgetMeter::tick_n`] **only when the remaining fuel covers it** —
+//! in that case no fuel trap can occur mid-row and the hot loop runs
+//! unmetered. Otherwise the row runs on a governed per-iteration path
+//! that replays the VM's exact trap order (bounds checks before fuel at
+//! the same points), so a fuel trap surfaces at the identical iteration
+//! and op location as the VM's. Deadline/cancellation polls ride the
+//! same tick stream (timing-dependent, excluded from the oracles).
+
+use crate::budget::Budget;
+use crate::bytecode::{Instr, Program};
+use crate::interp::{BufferData, Buffers, InterpError, V};
+use crate::ops::{BinOp, CmpPred, OpId};
+use std::collections::HashMap;
+
+/// A runtime specialization extracted from a lowered [`Program`].
+/// `None` from [`Tier2Plan::from_program`] means "shape not recognized —
+/// run the VM"; it is never an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tier2Plan {
+    /// ASaP CSR SpMV: `y[i] += Σ vals[j]·x[crd[j]]` with the two
+    /// software-prefetch streams.
+    Spmv(SpmvPlan),
+    /// ASaP CSR SpMM: `Out[i,k] += Σ vals[j]·C[crd[j],k]` with the
+    /// outer-loop prefetch streams.
+    Spmm(SpmmPlan),
+}
+
+impl Tier2Plan {
+    /// Recognize a lowered program. Purely structural: every slot, mem
+    /// binding, and constant is checked against the exact skeleton the
+    /// pipeline emits, so a match guarantees the native kernel computes
+    /// the same function (traps included) as the bytecode.
+    pub fn from_program(prog: &Program) -> Option<Tier2Plan> {
+        if let Some(p) = match_spmv(prog).or_else(|| match_spmv_unfused(prog)) {
+            return Some(Tier2Plan::Spmv(p));
+        }
+        match_spmm(prog).map(Tier2Plan::Spmm)
+    }
+
+    /// Kernel label for stats and display.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier2Plan::Spmv(_) => "spmv",
+            Tier2Plan::Spmm(_) => "spmm",
+        }
+    }
+
+    /// The specialization key: kernel × baked prefetch distances. The
+    /// index-width leg of the triple is resolved per run by the template
+    /// table (the buffer types select the monomorphized loop).
+    pub fn key(&self) -> String {
+        match self {
+            Tier2Plan::Spmv(p) => format!("spmv:d{}:c{}", p.dist_x, p.dist_crd),
+            Tier2Plan::Spmm(p) => format!("spmm:d{}:c{}", p.dist_x, p.dist_crd),
+        }
+    }
+
+    /// Execute the plan against bound arguments and buffers. The
+    /// signature mirrors [`crate::execute_budgeted`] minus the model —
+    /// see the module docs for the trace exemption.
+    pub fn run(
+        &self,
+        args: &[V],
+        bufs: &mut Buffers,
+        budget: &Budget,
+    ) -> Result<Vec<V>, InterpError> {
+        match self {
+            Tier2Plan::Spmv(p) => run_spmv(p, args, bufs, budget),
+            Tier2Plan::Spmm(p) => run_spmm(p, args, bufs, budget),
+        }
+    }
+}
+
+/// Extracted SpMV specialization: argument positions, baked distances,
+/// and the op locations every possible trap is attributed to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmvPlan {
+    /// Argument positions (indices into the `args` slice).
+    pub nrows_arg: usize,
+    pub pos_arg: usize,
+    pub y_arg: usize,
+    pub crd_arg: usize,
+    pub x_arg: usize,
+    pub vals_arg: usize,
+    /// Clamp distance for the gathered `x` stream (the paper's *d*).
+    pub dist_x: usize,
+    /// Distance of the sequential `crd` stream prefetch (2·*d*).
+    pub dist_crd: usize,
+    /// Whether the accumulator was the rhs of the fused `addf`.
+    pub acc_is_rhs: bool,
+    // Trap locations (op ids of the source function).
+    pre_pos_pc: OpId,
+    outer_pc: OpId,
+    y_pc: OpId,
+    pos_lo_pc: OpId,
+    pos_hi_pc: OpId,
+    inner_pc: OpId,
+    lc_pc: OpId,
+    gp_crd_pc: OpId,
+    ds_a_pc: OpId,
+    ds_b_pc: OpId,
+}
+
+/// Extracted SpMM specialization (three-deep loop nest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmmPlan {
+    pub nrows_arg: usize,
+    pub k_arg: usize,
+    pub pos_arg: usize,
+    pub crd_arg: usize,
+    pub c_arg: usize,
+    pub vals_arg: usize,
+    pub out_arg: usize,
+    pub dist_x: usize,
+    pub dist_crd: usize,
+    pre_pos_pc: OpId,
+    outer_pc: OpId,
+    pos_lo_pc: OpId,
+    pos_hi_pc: OpId,
+    mid_pc: OpId,
+    crd_pc: OpId,
+    gp_crd_pc: OpId,
+    vals_pc: OpId,
+    inner_pc: OpId,
+    c_pc: OpId,
+    out_pc: OpId,
+}
+
+/// The prelude every matched program starts with: index constants, the
+/// hoisted `pos[nrows]` load, and the `bound = nnz - 1` subtract, ending
+/// at the outer `ForPrologue`.
+struct Prelude {
+    /// Constant pool: slot → index literal.
+    consts: HashMap<u32, usize>,
+    /// `(mem, idx_slot, value_slot, load_pc)` of the hoisted pos load.
+    /// The value slot is the cast result for u32-width kernels and the
+    /// load destination itself for index-width kernels.
+    pre_load: Option<(u16, u32, u32, OpId)>,
+    /// `(dst, lhs)` of the `subi` bound computation.
+    bound: Option<(u32, u32)>,
+    /// Instruction index of the outer `ForPrologue`.
+    p: usize,
+}
+
+fn scan_prelude(prog: &Program) -> Option<Prelude> {
+    let mut pre = Prelude {
+        consts: HashMap::new(),
+        pre_load: None,
+        bound: None,
+        p: 0,
+    };
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        match ins {
+            Instr::Const {
+                dst,
+                val: V::Index(k),
+            } => {
+                pre.consts.insert(*dst, *k);
+            }
+            Instr::LoadCast {
+                mem,
+                idx,
+                pc,
+                cast_dst,
+                ..
+            } if pre.pre_load.is_none() => {
+                pre.pre_load = Some((*mem, *idx, *cast_dst, *pc));
+            }
+            Instr::Load { dst, mem, idx, pc } if pre.pre_load.is_none() => {
+                pre.pre_load = Some((*mem, *idx, *dst, *pc));
+            }
+            Instr::Bin {
+                op: BinOp::SubI,
+                dst,
+                lhs,
+                rhs,
+                ..
+            } if pre.bound.is_none() && pre.consts.get(rhs) == Some(&1) => {
+                pre.bound = Some((*dst, *lhs));
+            }
+            Instr::ForPrologue { .. } => {
+                pre.p = i;
+                return Some(pre);
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Argument position of the parameter held in `slot`, if it is one.
+fn arg_of(prog: &Program, slot: u32) -> Option<usize> {
+    prog.param_slots.iter().position(|&s| s == slot)
+}
+
+/// Argument position backing buffer-binding-table entry `mem`.
+fn mem_arg(prog: &Program, mem: u16) -> Option<usize> {
+    prog.mem_args.get(mem as usize).copied()
+}
+
+/// A pos/crd element load with or without the widening cast, as
+/// `(mem, idx_slot, value_slot, load_pc)`. U32-width kernels lower the
+/// index loads to `LoadCast` (the cast result carries the value);
+/// index-width kernels load it directly and the destination is the
+/// value slot.
+fn load_like(ins: &Instr) -> Option<(u16, u32, u32, OpId)> {
+    match ins {
+        Instr::Load { dst, mem, idx, pc } => Some((*mem, *idx, *dst, *pc)),
+        Instr::LoadCast {
+            mem,
+            idx,
+            pc,
+            cast_dst,
+            ..
+        } => Some((*mem, *idx, *cast_dst, *pc)),
+        _ => None,
+    }
+}
+
+fn match_spmv(prog: &Program) -> Option<SpmvPlan> {
+    let pre = scan_prelude(prog)?;
+    let ins = &prog.instrs;
+    let p = pre.p;
+    if ins.len() != p + 13 {
+        return None;
+    }
+    let (pre_mem, pre_idx, pre_cast, pre_pos_pc) = pre.pre_load?;
+    let (bound_slot, bound_lhs) = pre.bound?;
+    if bound_lhs != pre_cast {
+        return None;
+    }
+    let one = |s: &u32| pre.consts.get(s) == Some(&1);
+    let zero = |s: &u32| pre.consts.get(s) == Some(&0);
+
+    let Instr::ForPrologue {
+        lo,
+        hi,
+        step,
+        iv,
+        pc: _,
+    } = &ins[p]
+    else {
+        return None;
+    };
+    if !zero(lo) || !one(step) {
+        return None;
+    }
+    let nrows_arg = arg_of(prog, *hi)?;
+    // The hoisted load is pos[nrows].
+    if pre_idx != *hi {
+        return None;
+    }
+    let Instr::ForHead {
+        iv: h_iv,
+        hi: h_hi,
+        exit,
+        pc: outer_pc,
+    } = &ins[p + 1]
+    else {
+        return None;
+    };
+    if h_iv != iv || h_hi != hi || *exit as usize != p + 12 {
+        return None;
+    }
+    let Instr::Load {
+        dst: acc0,
+        mem: y_mem,
+        idx: y_idx,
+        pc: y_pc,
+    } = &ins[p + 2]
+    else {
+        return None;
+    };
+    if y_idx != iv {
+        return None;
+    }
+    let Instr::LoadCast {
+        mem: lo_mem,
+        idx: lo_idx,
+        pc: pos_lo_pc,
+        cast_dst: lo_slot,
+        ..
+    } = &ins[p + 3]
+    else {
+        return None;
+    };
+    if lo_mem != &pre_mem || lo_idx != iv {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddI,
+        dst: ip1,
+        lhs: a_lhs,
+        rhs: a_rhs,
+        ..
+    } = &ins[p + 4]
+    else {
+        return None;
+    };
+    if a_lhs != iv || !one(a_rhs) {
+        return None;
+    }
+    let Instr::LoadCast {
+        mem: hi_mem,
+        idx: hi_idx,
+        pc: pos_hi_pc,
+        cast_dst: hi_slot,
+        ..
+    } = &ins[p + 5]
+    else {
+        return None;
+    };
+    if hi_mem != &pre_mem || hi_idx != ip1 {
+        return None;
+    }
+    let Instr::ForPrologue {
+        lo: i_lo,
+        hi: i_hi,
+        step: i_step,
+        iv: jv,
+        pc: _,
+    } = &ins[p + 6]
+    else {
+        return None;
+    };
+    if i_lo != lo_slot || i_hi != hi_slot || !one(i_step) {
+        return None;
+    }
+    let Instr::Copy {
+        dst: acc_in,
+        src: acc_src,
+    } = &ins[p + 7]
+    else {
+        return None;
+    };
+    if acc_src != acc0 {
+        return None;
+    }
+    let Instr::SpmvLoop(d) = &ins[p + 8] else {
+        return None;
+    };
+    if !d.strict_shape() {
+        return None;
+    }
+    if d.iv != *jv
+        || d.hi != *hi_slot
+        || !one(&d.step)
+        || d.exit as usize != p + 9
+        || d.ds_acc != *acc_in
+        || d.cs_cmp_rhs != bound_slot
+    {
+        return None;
+    }
+    // One coordinate stream feeds the crd load, its prefetch, and the
+    // clamp gather; the gather prefetch targets the dense vector.
+    if d.lc_mem != d.ap_mem || d.lc_mem != d.gp_crd_mem || d.ds_b_mem != d.gp_mem {
+        return None;
+    }
+    let dist_crd = *pre.consts.get(&d.ap_rhs)?;
+    let dist_x = *pre.consts.get(&d.cs_add_rhs)?;
+    let Instr::Copy {
+        dst: res,
+        src: res_src,
+    } = &ins[p + 9]
+    else {
+        return None;
+    };
+    if res_src != &d.ds_acc {
+        return None;
+    }
+    let Instr::Store {
+        mem: st_mem,
+        idx: st_idx,
+        src: st_src,
+        pc: _,
+    } = &ins[p + 10]
+    else {
+        return None;
+    };
+    if st_mem != y_mem || st_idx != iv || st_src != res {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: b_iv,
+        step: b_step,
+        hi: b_hi,
+        body,
+        exit: b_exit,
+        copies,
+        pc: b_pc,
+    } = &ins[p + 11]
+    else {
+        return None;
+    };
+    if b_iv != iv
+        || b_step != step
+        || b_hi != hi
+        || *body as usize != p + 2
+        || *b_exit as usize != p + 12
+        || !copies.is_empty()
+        || b_pc != outer_pc
+    {
+        return None;
+    }
+    let Instr::Return { vals } = &ins[p + 12] else {
+        return None;
+    };
+    if !vals.is_empty() {
+        return None;
+    }
+    Some(SpmvPlan {
+        nrows_arg,
+        pos_arg: mem_arg(prog, pre_mem)?,
+        y_arg: mem_arg(prog, *y_mem)?,
+        crd_arg: mem_arg(prog, d.lc_mem)?,
+        x_arg: mem_arg(prog, d.ds_b_mem)?,
+        vals_arg: mem_arg(prog, d.ds_a_mem)?,
+        dist_x,
+        dist_crd,
+        acc_is_rhs: d.ds_acc_is_rhs,
+        pre_pos_pc,
+        outer_pc: *outer_pc,
+        y_pc: *y_pc,
+        pos_lo_pc: *pos_lo_pc,
+        pos_hi_pc: *pos_hi_pc,
+        inner_pc: d.pc,
+        lc_pc: d.lc_pc,
+        gp_crd_pc: d.gp_crd_pc,
+        ds_a_pc: d.ds_a_pc,
+        ds_b_pc: d.ds_b_pc,
+    })
+}
+
+/// The index-width SpMV skeleton. Without the u32→index casts the
+/// superinstruction fuser leaves the inner loop as the explicit
+/// `ForHead` / `Load` / `AddPrefetch` / `ClampSelect` / `Load` /
+/// `Prefetch` / `DotStep` / `LoopBack` sequence, so the recognizer
+/// walks that shape instead of `SpmvLoop`. The VM charges one fuel
+/// unit per entered iteration at the loop-head pc in both forms, so
+/// the extracted plan traps identically either way.
+fn match_spmv_unfused(prog: &Program) -> Option<SpmvPlan> {
+    let pre = scan_prelude(prog)?;
+    let ins = &prog.instrs;
+    let p = pre.p;
+    if ins.len() != p + 20 {
+        return None;
+    }
+    let (pre_mem, pre_idx, pre_val, pre_pos_pc) = pre.pre_load?;
+    let (bound_slot, bound_lhs) = pre.bound?;
+    if bound_lhs != pre_val {
+        return None;
+    }
+    let one = |s: &u32| pre.consts.get(s) == Some(&1);
+    let zero = |s: &u32| pre.consts.get(s) == Some(&0);
+
+    let Instr::ForPrologue {
+        lo,
+        hi,
+        step,
+        iv,
+        pc: _,
+    } = &ins[p]
+    else {
+        return None;
+    };
+    if !zero(lo) || !one(step) || pre_idx != *hi {
+        return None;
+    }
+    let nrows_arg = arg_of(prog, *hi)?;
+    let Instr::ForHead {
+        iv: h_iv,
+        hi: h_hi,
+        exit,
+        pc: outer_pc,
+    } = &ins[p + 1]
+    else {
+        return None;
+    };
+    if h_iv != iv || h_hi != hi || *exit as usize != p + 19 {
+        return None;
+    }
+    let Instr::Load {
+        dst: acc0,
+        mem: y_mem,
+        idx: y_idx,
+        pc: y_pc,
+    } = &ins[p + 2]
+    else {
+        return None;
+    };
+    if y_idx != iv {
+        return None;
+    }
+    let (lo_mem, lo_idx, lo_slot, pos_lo_pc) = load_like(&ins[p + 3])?;
+    if lo_mem != pre_mem || lo_idx != *iv {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddI,
+        dst: ip1,
+        lhs: a_lhs,
+        rhs: a_rhs,
+        ..
+    } = &ins[p + 4]
+    else {
+        return None;
+    };
+    if a_lhs != iv || !one(a_rhs) {
+        return None;
+    }
+    let (hi_mem, hi_idx, hi_slot, pos_hi_pc) = load_like(&ins[p + 5])?;
+    if hi_mem != pre_mem || hi_idx != *ip1 {
+        return None;
+    }
+    let Instr::ForPrologue {
+        lo: i_lo,
+        hi: i_hi,
+        step: i_step,
+        iv: jv,
+        pc: _,
+    } = &ins[p + 6]
+    else {
+        return None;
+    };
+    if *i_lo != lo_slot || *i_hi != hi_slot || !one(i_step) {
+        return None;
+    }
+    let Instr::Copy {
+        dst: acc_in,
+        src: acc_src,
+    } = &ins[p + 7]
+    else {
+        return None;
+    };
+    if acc_src != acc0 {
+        return None;
+    }
+    let Instr::ForHead {
+        iv: ih_iv,
+        hi: ih_hi,
+        exit: i_exit,
+        pc: inner_pc,
+    } = &ins[p + 8]
+    else {
+        return None;
+    };
+    if ih_iv != jv || *ih_hi != hi_slot || *i_exit as usize != p + 16 {
+        return None;
+    }
+    let (crd_mem, c_idx, col, lc_pc) = load_like(&ins[p + 9])?;
+    if c_idx != *jv {
+        return None;
+    }
+    let Instr::AddPrefetch {
+        op: BinOp::AddI,
+        lhs: ap_lhs,
+        rhs: ap_rhs,
+        mem: ap_mem,
+        write: false,
+        ..
+    } = &ins[p + 10]
+    else {
+        return None;
+    };
+    if ap_lhs != jv || *ap_mem != crd_mem {
+        return None;
+    }
+    let dist_crd = *pre.consts.get(ap_rhs)?;
+    let Instr::ClampSelect {
+        op: BinOp::AddI,
+        add_dst,
+        add_lhs,
+        add_rhs,
+        pred: CmpPred::Ult,
+        cmp_rhs,
+        dst: clamped,
+        if_true,
+        if_false,
+        ..
+    } = &ins[p + 11]
+    else {
+        return None;
+    };
+    if add_lhs != jv || cmp_rhs != &bound_slot || if_true != add_dst || if_false != cmp_rhs {
+        return None;
+    }
+    let dist_x = *pre.consts.get(add_rhs)?;
+    let (g_mem, g_idx, g_col, gp_crd_pc) = load_like(&ins[p + 12])?;
+    if g_mem != crd_mem || g_idx != *clamped {
+        return None;
+    }
+    let Instr::Prefetch {
+        mem: pf_mem,
+        idx: pf_idx,
+        write: false,
+        ..
+    } = &ins[p + 13]
+    else {
+        return None;
+    };
+    if *pf_idx != g_col {
+        return None;
+    }
+    let Instr::DotStep {
+        a_dst,
+        a_mem: vals_mem,
+        a_idx,
+        a_pc: ds_a_pc,
+        b_dst,
+        b_mem: x_mem,
+        b_idx,
+        b_pc: ds_b_pc,
+        a,
+        b,
+        mul_dst: _,
+        mul_pc: _,
+        acc,
+        acc_is_rhs,
+        dst: ds_dst,
+        pc: _,
+    } = &ins[p + 14]
+    else {
+        return None;
+    };
+    // The prefetch targets the dense vector the dot step gathers from,
+    // and the gathered index is the coordinate loaded this iteration.
+    if a_idx != jv || *b_idx != col || a != a_dst || b != b_dst || acc != acc_in || x_mem != pf_mem
+    {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: ib_iv,
+        step: ib_step,
+        hi: ib_hi,
+        body: ib_body,
+        exit: ib_exit,
+        copies: ib_copies,
+        pc: ib_pc,
+    } = &ins[p + 15]
+    else {
+        return None;
+    };
+    if ib_iv != jv
+        || !one(ib_step)
+        || *ib_hi != hi_slot
+        || *ib_body as usize != p + 9
+        || *ib_exit as usize != p + 16
+        || ib_copies.as_slice() != [(*acc_in, *ds_dst)]
+        || ib_pc != inner_pc
+    {
+        return None;
+    }
+    let Instr::Copy {
+        dst: res,
+        src: res_src,
+    } = &ins[p + 16]
+    else {
+        return None;
+    };
+    if res_src != acc_in {
+        return None;
+    }
+    let Instr::Store {
+        mem: st_mem,
+        idx: st_idx,
+        src: st_src,
+        pc: _,
+    } = &ins[p + 17]
+    else {
+        return None;
+    };
+    if st_mem != y_mem || st_idx != iv || st_src != res {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: b_iv,
+        step: b_step,
+        hi: b_hi,
+        body,
+        exit: b_exit,
+        copies,
+        pc: b_pc,
+    } = &ins[p + 18]
+    else {
+        return None;
+    };
+    if b_iv != iv
+        || b_step != step
+        || b_hi != hi
+        || *body as usize != p + 2
+        || *b_exit as usize != p + 19
+        || !copies.is_empty()
+        || b_pc != outer_pc
+    {
+        return None;
+    }
+    let Instr::Return { vals } = &ins[p + 19] else {
+        return None;
+    };
+    if !vals.is_empty() {
+        return None;
+    }
+    Some(SpmvPlan {
+        nrows_arg,
+        pos_arg: mem_arg(prog, pre_mem)?,
+        y_arg: mem_arg(prog, *y_mem)?,
+        crd_arg: mem_arg(prog, crd_mem)?,
+        x_arg: mem_arg(prog, *x_mem)?,
+        vals_arg: mem_arg(prog, *vals_mem)?,
+        dist_x,
+        dist_crd,
+        acc_is_rhs: *acc_is_rhs,
+        pre_pos_pc,
+        outer_pc: *outer_pc,
+        y_pc: *y_pc,
+        pos_lo_pc,
+        pos_hi_pc,
+        inner_pc: *inner_pc,
+        lc_pc,
+        gp_crd_pc,
+        ds_a_pc: *ds_a_pc,
+        ds_b_pc: *ds_b_pc,
+    })
+}
+
+fn match_spmm(prog: &Program) -> Option<SpmmPlan> {
+    let pre = scan_prelude(prog)?;
+    let ins = &prog.instrs;
+    let p = pre.p;
+    if ins.len() != p + 28 {
+        return None;
+    }
+    let (pre_mem, pre_idx, pre_cast, pre_pos_pc) = pre.pre_load?;
+    let (bound_slot, bound_lhs) = pre.bound?;
+    if bound_lhs != pre_cast {
+        return None;
+    }
+    let one = |s: &u32| pre.consts.get(s) == Some(&1);
+    let zero = |s: &u32| pre.consts.get(s) == Some(&0);
+
+    let Instr::ForPrologue {
+        lo, hi, step, iv, ..
+    } = &ins[p]
+    else {
+        return None;
+    };
+    if !zero(lo) || !one(step) || pre_idx != *hi {
+        return None;
+    }
+    let nrows_arg = arg_of(prog, *hi)?;
+    let Instr::ForHead {
+        iv: h_iv,
+        hi: h_hi,
+        exit,
+        pc: outer_pc,
+    } = &ins[p + 1]
+    else {
+        return None;
+    };
+    if h_iv != iv || h_hi != hi || *exit as usize != p + 27 {
+        return None;
+    }
+    let (lo_mem, lo_idx, lo_slot, pos_lo_pc) = load_like(&ins[p + 2])?;
+    if lo_mem != pre_mem || lo_idx != *iv {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddI,
+        dst: ip1,
+        lhs: a_lhs,
+        rhs: a_rhs,
+        ..
+    } = &ins[p + 3]
+    else {
+        return None;
+    };
+    if a_lhs != iv || !one(a_rhs) {
+        return None;
+    }
+    let (hi_mem, hi_idx, hi_slot, pos_hi_pc) = load_like(&ins[p + 4])?;
+    if hi_mem != pre_mem || hi_idx != *ip1 {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::MulI,
+        dst: rowbase,
+        lhs: rb_lhs,
+        rhs: k_slot,
+        ..
+    } = &ins[p + 5]
+    else {
+        return None;
+    };
+    if rb_lhs != iv {
+        return None;
+    }
+    let k_arg = arg_of(prog, *k_slot)?;
+    let Instr::ForPrologue {
+        lo: m_lo,
+        hi: m_hi,
+        step: m_step,
+        iv: jv,
+        ..
+    } = &ins[p + 6]
+    else {
+        return None;
+    };
+    if *m_lo != lo_slot || *m_hi != hi_slot || !one(m_step) {
+        return None;
+    }
+    let Instr::ForHead {
+        iv: mh_iv,
+        hi: mh_hi,
+        exit: m_exit,
+        pc: mid_pc,
+    } = &ins[p + 7]
+    else {
+        return None;
+    };
+    if mh_iv != jv || *mh_hi != hi_slot || *m_exit as usize != p + 26 {
+        return None;
+    }
+    let (crd_mem, c_idx, col, crd_pc) = load_like(&ins[p + 8])?;
+    if c_idx != *jv {
+        return None;
+    }
+    let Instr::AddPrefetch {
+        op: BinOp::AddI,
+        lhs: ap_lhs,
+        rhs: ap_rhs,
+        mem: ap_mem,
+        write: false,
+        ..
+    } = &ins[p + 9]
+    else {
+        return None;
+    };
+    if ap_lhs != jv || *ap_mem != crd_mem {
+        return None;
+    }
+    let dist_crd = *pre.consts.get(ap_rhs)?;
+    let Instr::ClampSelect {
+        op: BinOp::AddI,
+        add_dst,
+        add_lhs,
+        add_rhs,
+        pred: CmpPred::Ult,
+        cmp_rhs,
+        dst: clamped,
+        if_true,
+        if_false,
+        ..
+    } = &ins[p + 10]
+    else {
+        return None;
+    };
+    if add_lhs != jv || cmp_rhs != &bound_slot || if_true != add_dst || if_false != cmp_rhs {
+        return None;
+    }
+    let dist_x = *pre.consts.get(add_rhs)?;
+    let (g_mem, g_idx, g_col, gp_crd_pc) = load_like(&ins[p + 11])?;
+    if g_mem != crd_mem || g_idx != *clamped {
+        return None;
+    }
+    let Instr::AddPrefetch {
+        op: BinOp::MulI,
+        lhs: gp_lhs,
+        rhs: gp_rhs,
+        mem: c_mem,
+        write: false,
+        ..
+    } = &ins[p + 12]
+    else {
+        return None;
+    };
+    if *gp_lhs != g_col || gp_rhs != k_slot {
+        return None;
+    }
+    let Instr::Load {
+        dst: a_slot,
+        mem: vals_mem,
+        idx: v_idx,
+        pc: vals_pc,
+    } = &ins[p + 13]
+    else {
+        return None;
+    };
+    if v_idx != jv {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::MulI,
+        dst: cbase,
+        lhs: cb_lhs,
+        rhs: cb_rhs,
+        ..
+    } = &ins[p + 14]
+    else {
+        return None;
+    };
+    if *cb_lhs != col || cb_rhs != k_slot {
+        return None;
+    }
+    let Instr::ForPrologue {
+        lo: k_lo,
+        hi: k_hi,
+        step: k_step,
+        iv: kv,
+        ..
+    } = &ins[p + 15]
+    else {
+        return None;
+    };
+    if !zero(k_lo) || k_hi != k_slot || !one(k_step) {
+        return None;
+    }
+    let Instr::ForHead {
+        iv: kh_iv,
+        hi: kh_hi,
+        exit: k_exit,
+        pc: inner_pc,
+    } = &ins[p + 16]
+    else {
+        return None;
+    };
+    if kh_iv != kv || kh_hi != k_slot || *k_exit as usize != p + 25 {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddI,
+        dst: cidx,
+        lhs: ci_lhs,
+        rhs: ci_rhs,
+        ..
+    } = &ins[p + 17]
+    else {
+        return None;
+    };
+    if ci_lhs != cbase || ci_rhs != kv {
+        return None;
+    }
+    let Instr::Load {
+        dst: c_val,
+        mem: c_mem2,
+        idx: c_idx2,
+        pc: c_pc,
+    } = &ins[p + 18]
+    else {
+        return None;
+    };
+    if c_mem2 != c_mem || c_idx2 != cidx {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::MulF,
+        dst: prod,
+        lhs: p_lhs,
+        rhs: p_rhs,
+        ..
+    } = &ins[p + 19]
+    else {
+        return None;
+    };
+    if p_lhs != a_slot || p_rhs != c_val {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddI,
+        dst: oidx,
+        lhs: o_lhs,
+        rhs: o_rhs,
+        ..
+    } = &ins[p + 20]
+    else {
+        return None;
+    };
+    if o_lhs != rowbase || o_rhs != kv {
+        return None;
+    }
+    let Instr::Load {
+        dst: o_val,
+        mem: out_mem,
+        idx: ol_idx,
+        pc: out_pc,
+    } = &ins[p + 21]
+    else {
+        return None;
+    };
+    if ol_idx != oidx {
+        return None;
+    }
+    let Instr::Bin {
+        op: BinOp::AddF,
+        dst: sum,
+        lhs: s_lhs,
+        rhs: s_rhs,
+        ..
+    } = &ins[p + 22]
+    else {
+        return None;
+    };
+    // `Out[..] + product` — the lowered operand order the native loop
+    // replays for bit-exactness.
+    if s_lhs != o_val || s_rhs != prod {
+        return None;
+    }
+    let Instr::Store {
+        mem: st_mem,
+        idx: st_idx,
+        src: st_src,
+        ..
+    } = &ins[p + 23]
+    else {
+        return None;
+    };
+    if st_mem != out_mem || st_idx != oidx || st_src != sum {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: kb_iv,
+        body: kb_body,
+        exit: kb_exit,
+        copies: kb_copies,
+        pc: kb_pc,
+        ..
+    } = &ins[p + 24]
+    else {
+        return None;
+    };
+    if kb_iv != kv
+        || *kb_body as usize != p + 17
+        || *kb_exit as usize != p + 25
+        || !kb_copies.is_empty()
+        || kb_pc != inner_pc
+    {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: mb_iv,
+        body: mb_body,
+        exit: mb_exit,
+        copies: mb_copies,
+        pc: mb_pc,
+        ..
+    } = &ins[p + 25]
+    else {
+        return None;
+    };
+    if mb_iv != jv
+        || *mb_body as usize != p + 8
+        || *mb_exit as usize != p + 26
+        || !mb_copies.is_empty()
+        || mb_pc != mid_pc
+    {
+        return None;
+    }
+    let Instr::LoopBack {
+        iv: ob_iv,
+        body: ob_body,
+        exit: ob_exit,
+        copies: ob_copies,
+        pc: ob_pc,
+        ..
+    } = &ins[p + 26]
+    else {
+        return None;
+    };
+    if ob_iv != iv
+        || *ob_body as usize != p + 2
+        || *ob_exit as usize != p + 27
+        || !ob_copies.is_empty()
+        || ob_pc != outer_pc
+    {
+        return None;
+    }
+    let Instr::Return { vals } = &ins[p + 27] else {
+        return None;
+    };
+    if !vals.is_empty() {
+        return None;
+    }
+    Some(SpmmPlan {
+        nrows_arg,
+        k_arg,
+        pos_arg: mem_arg(prog, pre_mem)?,
+        crd_arg: mem_arg(prog, crd_mem)?,
+        c_arg: mem_arg(prog, *c_mem)?,
+        vals_arg: mem_arg(prog, *vals_mem)?,
+        out_arg: mem_arg(prog, *out_mem)?,
+        dist_x,
+        dist_crd,
+        pre_pos_pc,
+        outer_pc: *outer_pc,
+        pos_lo_pc,
+        pos_hi_pc,
+        mid_pc: *mid_pc,
+        crd_pc,
+        gp_crd_pc,
+        vals_pc: *vals_pc,
+        inner_pc: *inner_pc,
+        c_pc: *c_pc,
+        out_pc: *out_pc,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Runtime: the generic-template kernel table.
+// ---------------------------------------------------------------------
+
+/// An index element the specialized loops are monomorphized over.
+/// `zext` mirrors the VM's `as_u64` widening (zero-extension for the
+/// narrow signed storage types).
+trait IdxElem: Copy {
+    fn zext(self) -> u64;
+}
+
+impl IdxElem for i64 {
+    #[inline(always)]
+    fn zext(self) -> u64 {
+        self as u64
+    }
+}
+impl IdxElem for i32 {
+    #[inline(always)]
+    fn zext(self) -> u64 {
+        self as u32 as u64
+    }
+}
+impl IdxElem for i8 {
+    #[inline(always)]
+    fn zext(self) -> u64 {
+        self as u8 as u64
+    }
+}
+impl IdxElem for usize {
+    #[inline(always)]
+    fn zext(self) -> u64 {
+        self as u64
+    }
+}
+
+/// Issue a best-effort read prefetch for `base[i]`. Never faults: the
+/// address is computed with wrapping pointer arithmetic and prefetch
+/// instructions are architecturally allowed to target unmapped memory.
+/// Compiles to `prefetcht1` on x86-64 (matching the IR's locality-2
+/// hint) and to nothing elsewhere.
+#[inline(always)]
+fn prefetch_read<T>(base: &[T], i: usize) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T1};
+        let p = base.as_ptr().wrapping_add(i) as *const i8;
+        _mm_prefetch::<_MM_HINT_T1>(p);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (base, i);
+    }
+}
+
+#[inline]
+fn oob(index: usize, len: usize, pc: OpId) -> InterpError {
+    InterpError::OutOfBounds { index, len }.at(pc)
+}
+
+#[inline]
+fn fuel(e: crate::budget::BudgetError, pc: OpId) -> InterpError {
+    InterpError::Budget(e).at(pc)
+}
+
+/// The `args` slice is shorter than the plan's highest argument
+/// position — mirrors the VM's argument-count check.
+fn bad_args(pos: usize, got: usize) -> InterpError {
+    InterpError::BadArgs(format!(
+        "tier-2 plan expects at least {} arguments, got {got}",
+        pos + 1
+    ))
+}
+
+/// Resolve `args[pos]` to its buffer id, trapping like the VM's lazy
+/// `MemBinding::Bad` (a type mismatch at the first use site).
+fn mem_id(args: &[V], pos: usize, pc: OpId) -> Result<u32, InterpError> {
+    match args.get(pos) {
+        Some(V::Mem(id)) => Ok(*id),
+        Some(v) => Err(V::mismatch("memref", *v).at(pc)),
+        None => Err(bad_args(pos, args.len())),
+    }
+}
+
+/// Borrow an f64 slice, trapping on a differently-typed buffer.
+fn f64_slice<'a>(bufs: &'a Buffers, id: u32, what: &str) -> Result<&'a [f64], InterpError> {
+    match &bufs.get(id).data {
+        BufferData::F64(v) => Ok(&v[..]),
+        other => Err(InterpError::TypeMismatch(format!(
+            "tier-2 {what} buffer must be f64, got {}",
+            other.elem_type()
+        ))),
+    }
+}
+
+/// Expand a two-way typed dispatch over the (pos, crd) buffer types —
+/// the 16-entry generic-template table. Each arm monomorphizes the
+/// kernel body for one index-width pair, so the selected loop carries no
+/// per-element dispatch at all.
+macro_rules! dispatch2 {
+    ($pos:expr, $crd:expr, |$pv:ident, $cv:ident| $body:expr) => {
+        match ($pos, $crd) {
+            (BufferData::I64($pv), BufferData::I64($cv)) => $body,
+            (BufferData::I64($pv), BufferData::I32($cv)) => $body,
+            (BufferData::I64($pv), BufferData::I8($cv)) => $body,
+            (BufferData::I64($pv), BufferData::Index($cv)) => $body,
+            (BufferData::I32($pv), BufferData::I64($cv)) => $body,
+            (BufferData::I32($pv), BufferData::I32($cv)) => $body,
+            (BufferData::I32($pv), BufferData::I8($cv)) => $body,
+            (BufferData::I32($pv), BufferData::Index($cv)) => $body,
+            (BufferData::I8($pv), BufferData::I64($cv)) => $body,
+            (BufferData::I8($pv), BufferData::I32($cv)) => $body,
+            (BufferData::I8($pv), BufferData::I8($cv)) => $body,
+            (BufferData::I8($pv), BufferData::Index($cv)) => $body,
+            (BufferData::Index($pv), BufferData::I64($cv)) => $body,
+            (BufferData::Index($pv), BufferData::I32($cv)) => $body,
+            (BufferData::Index($pv), BufferData::I8($cv)) => $body,
+            (BufferData::Index($pv), BufferData::Index($cv)) => $body,
+            _ => unreachable!("f64 coordinate buffers rejected above"),
+        }
+    };
+}
+
+/// Run the SpMV plan. `y` is temporarily taken out of the arena so the
+/// output can be written through a typed slice while the read-only
+/// operands stay borrowed; it is restored before returning on every
+/// path, success or trap.
+fn run_spmv(
+    plan: &SpmvPlan,
+    args: &[V],
+    bufs: &mut Buffers,
+    budget: &Budget,
+) -> Result<Vec<V>, InterpError> {
+    let nrows = match args.get(plan.nrows_arg) {
+        Some(v) => v.as_index().map_err(|e| e.at(plan.pre_pos_pc))?,
+        None => return Err(bad_args(plan.nrows_arg, args.len())),
+    };
+    let pos_id = mem_id(args, plan.pos_arg, plan.pre_pos_pc)?;
+    let y_id = mem_id(args, plan.y_arg, plan.y_pc)?;
+    let crd_id = mem_id(args, plan.crd_arg, plan.lc_pc)?;
+    let x_id = mem_id(args, plan.x_arg, plan.ds_b_pc)?;
+    let vals_id = mem_id(args, plan.vals_arg, plan.ds_a_pc)?;
+    if [pos_id, crd_id, x_id, vals_id].contains(&y_id) {
+        return Err(InterpError::TypeMismatch(
+            "tier-2 output buffer aliases an input".into(),
+        ));
+    }
+    // Take the output out of the arena (restored below, on every path).
+    let taken = std::mem::replace(&mut bufs.get_mut(y_id).data, BufferData::F64(Vec::new()));
+    let BufferData::F64(mut y) = taken else {
+        let t = taken.elem_type();
+        bufs.get_mut(y_id).data = taken;
+        return Err(InterpError::TypeMismatch(format!(
+            "tier-2 output buffer must be f64, got {t}"
+        )));
+    };
+    let result = (|| -> Result<(), InterpError> {
+        let vals = f64_slice(bufs, vals_id, "vals")?;
+        let x = f64_slice(bufs, x_id, "x")?;
+        match (&bufs.get(pos_id).data, &bufs.get(crd_id).data) {
+            (BufferData::F64(_), _) | (_, BufferData::F64(_)) => Err(InterpError::TypeMismatch(
+                "tier-2 coordinate buffers must be integer-typed".into(),
+            )),
+            (pos, crd) => dispatch2!(pos, crd, |pv, cv| spmv_rows(
+                plan, nrows, pv, cv, vals, x, &mut y, budget
+            )),
+        }
+    })();
+    bufs.get_mut(y_id).data = BufferData::F64(y);
+    result.map(|()| Vec::new())
+}
+
+/// The monomorphized SpMV kernel: one specialization per (pos, crd)
+/// index-type pair, selected by [`dispatch2!`].
+// `p + acc` vs `acc + p` replays the original `addf` operand order:
+// f64 addition is commutative in value but not in NaN-payload
+// propagation, and equivalence with the interpreters is bit-exact.
+#[allow(clippy::too_many_arguments, clippy::if_same_then_else)]
+fn spmv_rows<P: IdxElem, C: IdxElem>(
+    plan: &SpmvPlan,
+    nrows: usize,
+    pos: &[P],
+    crd: &[C],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    budget: &Budget,
+) -> Result<(), InterpError> {
+    // Hoisted bound chain: `bound = pos[nrows] - 1`, trap-equivalent to
+    // the VM's prelude `LoadCast` + `SubI`.
+    let nnz = pos
+        .get(nrows)
+        .ok_or_else(|| oob(nrows, pos.len(), plan.pre_pos_pc))?
+        .zext() as usize;
+    let bound = nnz.wrapping_sub(1);
+    let mut meter = budget.meter();
+    for i in 0..nrows {
+        // Outer loop entry: one fuel unit, trap at the outer `scf.for`.
+        meter.tick().map_err(|e| fuel(e, plan.outer_pc))?;
+        let acc0 = *y.get(i).ok_or_else(|| oob(i, y.len(), plan.y_pc))?;
+        let lo = pos
+            .get(i)
+            .ok_or_else(|| oob(i, pos.len(), plan.pos_lo_pc))?
+            .zext() as usize;
+        let ip1 = i.wrapping_add(1);
+        let hi = pos
+            .get(ip1)
+            .ok_or_else(|| oob(ip1, pos.len(), plan.pos_hi_pc))?
+            .zext() as usize;
+        let t = hi.saturating_sub(lo) as u64;
+        let mut acc = acc0;
+        // Row dispatch: bulk-meter and run the unchecked hot loop only
+        // when (a) the remaining fuel covers every inner iteration (no
+        // mid-row fuel trap possible) and (b) the coordinate and value
+        // streams are in bounds for the whole row (the clamp guarantees
+        // `clamped <= bound`). Otherwise the governed path replays the
+        // VM's per-iteration metering and trap order exactly.
+        if t > 0
+            && meter.fuel_remaining() >= t
+            && hi <= crd.len()
+            && hi <= vals.len()
+            && bound < crd.len()
+        {
+            meter.tick_n(t).map_err(|e| fuel(e, plan.inner_pc))?;
+            for j in lo..hi {
+                let col = crd[j].zext() as usize;
+                prefetch_read(crd, j.wrapping_add(plan.dist_crd));
+                let sum = j.wrapping_add(plan.dist_x);
+                let clamped = if sum < bound { sum } else { bound };
+                let g = crd[clamped].zext() as usize;
+                prefetch_read(x, g);
+                let av = vals[j];
+                let xv = *x.get(col).ok_or_else(|| oob(col, x.len(), plan.ds_b_pc))?;
+                let p = av * xv;
+                acc = if plan.acc_is_rhs { p + acc } else { acc + p };
+            }
+        } else {
+            let mut j = lo;
+            while j < hi {
+                meter.tick().map_err(|e| fuel(e, plan.inner_pc))?;
+                let col = crd
+                    .get(j)
+                    .ok_or_else(|| oob(j, crd.len(), plan.lc_pc))?
+                    .zext() as usize;
+                prefetch_read(crd, j.wrapping_add(plan.dist_crd));
+                let sum = j.wrapping_add(plan.dist_x);
+                let clamped = if sum < bound { sum } else { bound };
+                let g = crd
+                    .get(clamped)
+                    .ok_or_else(|| oob(clamped, crd.len(), plan.gp_crd_pc))?
+                    .zext() as usize;
+                prefetch_read(x, g);
+                let av = *vals
+                    .get(j)
+                    .ok_or_else(|| oob(j, vals.len(), plan.ds_a_pc))?;
+                let xv = *x.get(col).ok_or_else(|| oob(col, x.len(), plan.ds_b_pc))?;
+                let p = av * xv;
+                acc = if plan.acc_is_rhs { p + acc } else { acc + p };
+                j = j.wrapping_add(1);
+            }
+        }
+        // `y[i]` was bounds-checked by the row's initial load.
+        y[i] = acc;
+    }
+    Ok(())
+}
+
+/// Run the SpMM plan (same structure as [`run_spmv`]; the dense output
+/// matrix is taken out of the arena for the duration).
+fn run_spmm(
+    plan: &SpmmPlan,
+    args: &[V],
+    bufs: &mut Buffers,
+    budget: &Budget,
+) -> Result<Vec<V>, InterpError> {
+    let nrows = match args.get(plan.nrows_arg) {
+        Some(v) => v.as_index().map_err(|e| e.at(plan.pre_pos_pc))?,
+        None => return Err(bad_args(plan.nrows_arg, args.len())),
+    };
+    let k = match args.get(plan.k_arg) {
+        Some(v) => v.as_index().map_err(|e| e.at(plan.inner_pc))?,
+        None => return Err(bad_args(plan.k_arg, args.len())),
+    };
+    let pos_id = mem_id(args, plan.pos_arg, plan.pre_pos_pc)?;
+    let crd_id = mem_id(args, plan.crd_arg, plan.crd_pc)?;
+    let c_id = mem_id(args, plan.c_arg, plan.c_pc)?;
+    let vals_id = mem_id(args, plan.vals_arg, plan.vals_pc)?;
+    let out_id = mem_id(args, plan.out_arg, plan.out_pc)?;
+    if [pos_id, crd_id, c_id, vals_id].contains(&out_id) {
+        return Err(InterpError::TypeMismatch(
+            "tier-2 output buffer aliases an input".into(),
+        ));
+    }
+    let taken = std::mem::replace(&mut bufs.get_mut(out_id).data, BufferData::F64(Vec::new()));
+    let BufferData::F64(mut out) = taken else {
+        let t = taken.elem_type();
+        bufs.get_mut(out_id).data = taken;
+        return Err(InterpError::TypeMismatch(format!(
+            "tier-2 output buffer must be f64, got {t}"
+        )));
+    };
+    let result = (|| -> Result<(), InterpError> {
+        let vals = f64_slice(bufs, vals_id, "vals")?;
+        let cmat = f64_slice(bufs, c_id, "dense")?;
+        match (&bufs.get(pos_id).data, &bufs.get(crd_id).data) {
+            (BufferData::F64(_), _) | (_, BufferData::F64(_)) => Err(InterpError::TypeMismatch(
+                "tier-2 coordinate buffers must be integer-typed".into(),
+            )),
+            (pos, crd) => dispatch2!(pos, crd, |pv, cv| spmm_rows(
+                plan, nrows, k, pv, cv, vals, cmat, &mut out, budget
+            )),
+        }
+    })();
+    bufs.get_mut(out_id).data = BufferData::F64(out);
+    result.map(|()| Vec::new())
+}
+
+/// The monomorphized SpMM kernel.
+#[allow(clippy::too_many_arguments)]
+fn spmm_rows<P: IdxElem, C: IdxElem>(
+    plan: &SpmmPlan,
+    nrows: usize,
+    k: usize,
+    pos: &[P],
+    crd: &[C],
+    vals: &[f64],
+    cmat: &[f64],
+    out: &mut [f64],
+    budget: &Budget,
+) -> Result<(), InterpError> {
+    let nnz = pos
+        .get(nrows)
+        .ok_or_else(|| oob(nrows, pos.len(), plan.pre_pos_pc))?
+        .zext() as usize;
+    let bound = nnz.wrapping_sub(1);
+    let mut meter = budget.meter();
+    // Per-middle-iteration fuel cost: the middle loop entry plus the
+    // K-long innermost loop.
+    let mid_cost = 1u64.saturating_add(k as u64);
+    for i in 0..nrows {
+        meter.tick().map_err(|e| fuel(e, plan.outer_pc))?;
+        let lo = pos
+            .get(i)
+            .ok_or_else(|| oob(i, pos.len(), plan.pos_lo_pc))?
+            .zext() as usize;
+        let ip1 = i.wrapping_add(1);
+        let hi = pos
+            .get(ip1)
+            .ok_or_else(|| oob(ip1, pos.len(), plan.pos_hi_pc))?
+            .zext() as usize;
+        let rowbase = i.wrapping_mul(k);
+        let mut j = lo;
+        while j < hi {
+            // The middle body is O(1); always run it fully checked in
+            // the VM's trap order.
+            let bulk = meter.fuel_remaining() >= mid_cost;
+            if bulk {
+                meter.tick_n(mid_cost).map_err(|e| fuel(e, plan.mid_pc))?;
+            } else {
+                meter.tick().map_err(|e| fuel(e, plan.mid_pc))?;
+            }
+            let col = crd
+                .get(j)
+                .ok_or_else(|| oob(j, crd.len(), plan.crd_pc))?
+                .zext() as usize;
+            prefetch_read(crd, j.wrapping_add(plan.dist_crd));
+            let sum = j.wrapping_add(plan.dist_x);
+            let clamped = if sum < bound { sum } else { bound };
+            let g = crd
+                .get(clamped)
+                .ok_or_else(|| oob(clamped, crd.len(), plan.gp_crd_pc))?
+                .zext() as usize;
+            prefetch_read(cmat, g.wrapping_mul(k));
+            let a = *vals
+                .get(j)
+                .ok_or_else(|| oob(j, vals.len(), plan.vals_pc))?;
+            let cbase = col.wrapping_mul(k);
+            let c_end = cbase.checked_add(k);
+            let o_end = rowbase.checked_add(k);
+            match (bulk, c_end, o_end) {
+                (true, Some(ce), Some(oe)) if ce <= cmat.len() && oe <= out.len() => {
+                    // Hot innermost loop: fuel already charged, rows of
+                    // C and Out proven in bounds.
+                    let cs = &cmat[cbase..ce];
+                    let os = &mut out[rowbase..oe];
+                    for (o, c) in os.iter_mut().zip(cs) {
+                        *o += a * c;
+                    }
+                }
+                (true, _, _) => {
+                    // Fuel charged in bulk, but a row slice may leave
+                    // the buffers: per-element checks with the VM's trap
+                    // order and locations.
+                    for kk in 0..k {
+                        let cidx = cbase.wrapping_add(kk);
+                        let c = *cmat
+                            .get(cidx)
+                            .ok_or_else(|| oob(cidx, cmat.len(), plan.c_pc))?;
+                        let p = a * c;
+                        let oidx = rowbase.wrapping_add(kk);
+                        let o = *out
+                            .get(oidx)
+                            .ok_or_else(|| oob(oidx, out.len(), plan.out_pc))?;
+                        out[oidx] = o + p;
+                    }
+                }
+                (false, _, _) => {
+                    // Governed path: the fuel trap must land on the
+                    // exact innermost iteration the VM would trap on.
+                    for kk in 0..k {
+                        meter.tick().map_err(|e| fuel(e, plan.inner_pc))?;
+                        let cidx = cbase.wrapping_add(kk);
+                        let c = *cmat
+                            .get(cidx)
+                            .ok_or_else(|| oob(cidx, cmat.len(), plan.c_pc))?;
+                        let p = a * c;
+                        let oidx = rowbase.wrapping_add(kk);
+                        let o = *out
+                            .get(oidx)
+                            .ok_or_else(|| oob(oidx, out.len(), plan.out_pc))?;
+                        out[oidx] = o + p;
+                    }
+                }
+            }
+            j = j.wrapping_add(1);
+        }
+    }
+    Ok(())
+}

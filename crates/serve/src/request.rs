@@ -145,9 +145,10 @@ pub fn parse_run_request(
         None | Some(Some("auto")) => ExecEngine::Auto,
         Some(Some("bytecode")) => ExecEngine::Bytecode,
         Some(Some("tree-walk")) => ExecEngine::TreeWalk,
+        Some(Some("tier2")) => ExecEngine::Tier2,
         Some(Some(other)) => {
             return Err(AsapError::binding(format!(
-                "unknown engine {other:?}: expected auto, bytecode, or tree-walk"
+                "unknown engine {other:?}: expected auto, bytecode, tree-walk, or tier2"
             )))
         }
         Some(None) => return Err(AsapError::binding("field \"engine\" must be a string")),
@@ -220,6 +221,13 @@ mod tests {
         assert_eq!(r.engine, ExecEngine::TreeWalk);
         assert_eq!(r.deadline_ms, 250);
         assert_eq!(r.sparse.dims(), &[256, 256]);
+    }
+
+    #[test]
+    fn parses_the_tier2_engine() {
+        let body = br#"{"kernel":"spmv","matrix":"gen:er:256:4","engine":"tier2"}"#;
+        let r = parse_run_request(body, &catalog(), 1000).unwrap();
+        assert_eq!(r.engine, ExecEngine::Tier2);
     }
 
     #[test]

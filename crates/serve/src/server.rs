@@ -654,6 +654,12 @@ fn handle_connection(
             let _ = write_json(stream, 200, &[], &healthz_body(shared));
         }
         ("GET", "/metrics") => {
+            // Refresh the cache-occupancy gauges from the authoritative
+            // per-shard counters at scrape time, so a scrape always sees
+            // the live totals even if no cache traffic updated the
+            // gauges recently.
+            let cache = asap_core::cache_stats_full();
+            asap_obs::gauge_set("cache.bytes", cache.bytes as i64);
             let body = asap_obs::render_metrics(&asap_obs::metrics_snapshot());
             let _ = write_response(stream, 200, &[], "text/plain; charset=utf-8", &body);
         }

@@ -8,7 +8,11 @@
 //! - an identical ordered `(op, addr, bytes)` demand/prefetch event
 //!   stream (traces compare `Eq`, so addresses and op ids must match
 //!   exactly — not just event counts),
-//! - equal retired-instruction totals.
+//! - equal retired-instruction totals,
+//! - and, whenever the kernel carries a tier-2 native specialization,
+//!   a third leg: the native engine must reproduce the same bits and
+//!   the same typed traps (it emits no memory events by design — see
+//!   `asap_ir::tier2` — so it is exempt from the stream comparison).
 //!
 //! Two corpora: the 64 fixed-seed fuzz cases shared with the strategy
 //! oracle in `tests/differential.rs` (same seeds, same derivation — a
@@ -30,11 +34,13 @@ fn dense_x(n: usize) -> Vec<f64> {
 }
 
 /// Run one (matrix, format, width, distance) case under all three
-/// prefetch strategies and both engines; returns the number of verified
-/// strategy runs. Panics with the case label on any divergence.
-fn case_agrees(label: &str, sparse: &SparseTensor, x: &[f64], distance: usize) -> usize {
+/// prefetch strategies and both engines (plus the tier-2 leg whenever a
+/// strategy's kernel specialized); returns `(verified strategy runs,
+/// tier-2 legs run)`. Panics with the case label on any divergence.
+fn case_agrees(label: &str, sparse: &SparseTensor, x: &[f64], distance: usize) -> (usize, usize) {
     let spec = KernelSpec::spmv(ValueKind::F64);
     let mut verified = 0;
+    let mut tier2_runs = 0;
     for strat in [
         PrefetchStrategy::none(),
         PrefetchStrategy::asap(distance),
@@ -45,20 +51,31 @@ fn case_agrees(label: &str, sparse: &SparseTensor, x: &[f64], distance: usize) -
         match engines_agree(&ck, sparse, x)
             .unwrap_or_else(|e| panic!("{label}/{}: engines diverge: {e}", strat.label()))
         {
-            EngineAgreement::Agreed { instructions, .. } => {
+            EngineAgreement::Agreed {
+                instructions,
+                tier2,
+                ..
+            } => {
                 assert!(
                     instructions > 0,
                     "{label}/{}: no instructions retired",
                     strat.label()
                 );
+                assert_eq!(
+                    tier2,
+                    ck.tier2.is_some(),
+                    "{label}/{}: the tier-2 leg runs iff the kernel specialized",
+                    strat.label()
+                );
                 verified += 1;
+                tier2_runs += usize::from(tier2);
             }
             EngineAgreement::Trapped(e) => {
                 panic!("{label}/{}: valid input trapped: {e}", strat.label())
             }
         }
     }
-    verified
+    (verified, tier2_runs)
 }
 
 /// 64 fixed-seed random cases — the same seed derivation as the strategy
@@ -69,6 +86,7 @@ fn sixty_four_random_cases_agree_across_engines() {
     let formats = [Format::csr(), Format::coo(), Format::dcsr()];
     let widths = [IndexWidth::U32, IndexWidth::U64];
     let mut verified = 0usize;
+    let mut tier2_legs = 0usize;
     for seed in 0..64u64 {
         let mut rng = Rng64::seed_from_u64(0xd1ff * (seed + 1));
         let tri = random_triplets(&mut rng, 40, 200);
@@ -82,10 +100,18 @@ fn sixty_four_random_cases_agree_across_engines() {
             .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         sparse.set_index_width(width);
         let x = dense_x(tri.ncols);
-        verified += case_agrees(&format!("seed {seed}"), &sparse, &x, distance);
+        let (v, t2) = case_agrees(&format!("seed {seed}"), &sparse, &x, distance);
+        verified += v;
+        tier2_legs += t2;
     }
     // 64 cases × 3 strategies, every one bit-identical across engines.
     assert_eq!(verified, 64 * 3);
+    // Every CSR case's ASaP kernel specializes to tier-2, making the
+    // comparison five-way for those runs: seeds 0, 3, ..., 63 → 22 legs.
+    assert_eq!(
+        tier2_legs, 22,
+        "expected every CSR/asap case to go five-way"
+    );
 }
 
 /// 36 fixed-seed budgeted cases (acceptance gate: ≥32): a fuel budget of
@@ -94,7 +120,10 @@ fn sixty_four_random_cases_agree_across_engines() {
 /// comparison requires identical memory-event prefixes and the same
 /// typed error display; the structured violation must name `Fuel` with
 /// `spent == limit == 1000`. Formats, index widths, and all three
-/// prefetch strategies rotate across seeds.
+/// prefetch strategies rotate across seeds (format by `seed % 3`,
+/// strategy by `(seed / 3) % 3`, so every combination occurs — in
+/// particular CSR×ASaP, whose kernel specializes to tier-2 and must
+/// trap with the identical error display as both interpreters).
 #[test]
 fn budgeted_traps_are_equivalent_across_engines() {
     const FUEL: u64 = 1000;
@@ -102,6 +131,7 @@ fn budgeted_traps_are_equivalent_across_engines() {
     let widths = [IndexWidth::U32, IndexWidth::U64];
     let spec = KernelSpec::spmv(ValueKind::F64);
     let mut verified = 0usize;
+    let mut tier2_traps = 0usize;
     for seed in 0..36u64 {
         let mut rng = Rng64::seed_from_u64(0xbd6e7 * (seed + 1));
         let n = 1200 + (seed as usize * 37) % 400;
@@ -117,7 +147,7 @@ fn budgeted_traps_are_equivalent_across_engines() {
         let fmt = &formats[(seed % 3) as usize];
         let width = widths[(seed % 2) as usize];
         let distance = 1 + (seed as usize * 11) % 90;
-        let strat = match seed % 3 {
+        let strat = match (seed / 3) % 3 {
             0 => PrefetchStrategy::none(),
             1 => PrefetchStrategy::asap(distance),
             _ => PrefetchStrategy::aj(distance),
@@ -158,9 +188,86 @@ fn budgeted_traps_are_equivalent_across_engines() {
             .unwrap_or_else(|| panic!("seed {seed}: no structured violation in {err}"));
         assert_eq!(v.resource, Resource::Fuel, "seed {seed}");
         assert_eq!((v.spent, v.limit), (FUEL, FUEL), "seed {seed}");
+        // When the kernel specialized, `engines_agree_budgeted` above
+        // already required the tier-2 trap display to match both
+        // interpreters; additionally pin the structured violation.
+        if let Some(plan) = ck.tier2.as_ref() {
+            let err = asap_core::run_spmv_f64_budgeted(
+                &ck,
+                &sparse,
+                &x,
+                &mut asap::ir::NullModel,
+                asap_core::ExecEngine::Tier2,
+                &budget,
+            )
+            .expect_err("budgeted tier-2 run must trap");
+            let v = err
+                .budget_violation()
+                .unwrap_or_else(|| panic!("seed {seed}: tier-2 trap not structured: {err}"));
+            assert_eq!(v.resource, Resource::Fuel, "seed {seed} (tier-2)");
+            assert_eq!((v.spent, v.limit), (FUEL, FUEL), "seed {seed} (tier-2)");
+            assert!(!plan.key().is_empty());
+            tier2_traps += 1;
+        }
         verified += 1;
     }
     assert!(verified >= 32, "only {verified} budgeted cases verified");
+    // CSR×ASaP occurs at seeds ≡ 0 (mod 3) with (seed/3) ≡ 1 (mod 3):
+    // seeds 3, 12, 21, 30 — four tier-2 governed traps.
+    assert_eq!(tier2_traps, 4, "expected the CSR/asap seeds to go tier-2");
+}
+
+/// Kernel shapes the tier-2 matcher does not recognize — baseline CSR
+/// (no `SpmvLoop` superinstruction) and ASaP COO (a different loop
+/// structure) — must compile with `tier2: None`, execute correctly via
+/// the VM on `Auto` (silent, correct fallback), and reject an explicit
+/// tier-2 request with a typed binding error rather than guessing.
+#[test]
+fn non_matching_shapes_fall_back_to_the_vm() {
+    let spec = KernelSpec::spmv(ValueKind::F64);
+    let mut rng = Rng64::seed_from_u64(0xfa11);
+    let tri = random_triplets(&mut rng, 24, 120);
+    let coo = tri.try_to_coo_f64().unwrap();
+    let x = dense_x(tri.ncols);
+    for (label, fmt, strat) in [
+        ("csr/baseline", Format::csr(), PrefetchStrategy::none()),
+        ("coo/asap", Format::coo(), PrefetchStrategy::asap(9)),
+    ] {
+        let sparse = SparseTensor::try_from_coo(&coo, fmt).unwrap();
+        let ck = compile_with_width(&spec, sparse.format(), sparse.index_width(), &strat)
+            .unwrap_or_else(|e| panic!("{label}: compile failed: {e}"));
+        assert!(ck.tier2.is_none(), "{label}: shape must not specialize");
+        match engines_agree(&ck, &sparse, &x)
+            .unwrap_or_else(|e| panic!("{label}: engines diverge: {e}"))
+        {
+            EngineAgreement::Agreed { tier2, .. } => {
+                assert!(!tier2, "{label}: no tier-2 leg without a plan")
+            }
+            EngineAgreement::Trapped(e) => panic!("{label}: valid input trapped: {e}"),
+        }
+        // Auto executes without error — the VM fallback is silent.
+        asap_core::run_spmv_f64_budgeted(
+            &ck,
+            &sparse,
+            &x,
+            &mut asap::ir::NullModel,
+            asap_core::ExecEngine::Auto,
+            &Budget::unlimited(),
+        )
+        .unwrap_or_else(|e| panic!("{label}: auto fallback failed: {e}"));
+        // An explicit tier-2 request on an unspecialized kernel is a
+        // typed binding error, never a silent downgrade.
+        let err = asap_core::run_spmv_f64_budgeted(
+            &ck,
+            &sparse,
+            &x,
+            &mut asap::ir::NullModel,
+            asap_core::ExecEngine::Tier2,
+            &Budget::unlimited(),
+        )
+        .expect_err("explicit tier-2 without a specialization must error");
+        assert_eq!(err.kind(), "binding", "{label}: {err}");
+    }
 }
 
 /// Every matrix in the synthetic collection the paper figures sweep, in
@@ -178,7 +285,13 @@ fn synthetic_collection_agrees_across_engines() {
         let sparse = SparseTensor::try_from_coo(&coo, Format::csr())
             .unwrap_or_else(|e| panic!("{}: {e}", m.name));
         let x = dense_x(tri.ncols);
-        verified += case_agrees(&m.name, &sparse, &x, PAPER_DISTANCE);
+        let (v, t2) = case_agrees(&m.name, &sparse, &x, PAPER_DISTANCE);
+        assert_eq!(
+            t2, 1,
+            "{}: exactly the ASaP CSR kernel specializes per case",
+            m.name
+        );
+        verified += v;
     }
     assert!(verified >= 3, "collection must not be empty");
 }

@@ -79,6 +79,49 @@ fn served_result_is_bit_identical_to_direct_call() {
 }
 
 #[test]
+fn tier2_engine_is_served_bit_identically_and_unmatched_shapes_400() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // The same ASaP CSR kernel through every engine the wire accepts:
+    // one answer, and the explicit tier-2 request actually runs native.
+    let mut checksums = Vec::new();
+    for engine in ["auto", "tier2", "bytecode", "tree-walk"] {
+        let body = format!(
+            r#"{{"kernel":"spmv","matrix":"gen:er:1024:4","strategy":"asap","engine":"{engine}"}}"#
+        );
+        let reply = post(addr, "/v1/run", &body, TIMEOUT).expect("transport ok");
+        assert_eq!(reply.status, 200, "engine {engine}: {}", reply.body);
+        let used = field(&reply.body, "engine").expect("engine field");
+        match engine {
+            // The service upgrades `auto` to tier-2 when the kernel
+            // specialized (DESIGN.md §13.3).
+            "auto" | "tier2" => assert_eq!(used, "tier2", "body: {}", reply.body),
+            other => assert_eq!(used, other, "body: {}", reply.body),
+        }
+        checksums.push(field(&reply.body, "checksum").expect("checksum field"));
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree: {checksums:?}"
+    );
+
+    // A baseline (prefetch-free) kernel never specializes: demanding
+    // tier-2 for it is a typed 400, not a silent fallback.
+    let reply = post(
+        addr,
+        "/v1/run",
+        r#"{"kernel":"spmv","matrix":"gen:er:1024:4","strategy":"baseline","engine":"tier2"}"#,
+        TIMEOUT,
+    )
+    .expect("transport ok");
+    assert_eq!(reply.status, 400, "body: {}", reply.body);
+    assert_eq!(field(&reply.body, "kind").as_deref(), Some("binding"));
+
+    server.join();
+}
+
+#[test]
 fn concurrent_clients_agree_on_one_answer() {
     let server = start(ServeConfig {
         workers: 4,
