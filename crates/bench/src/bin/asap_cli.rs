@@ -54,7 +54,9 @@ fn usage() -> ! {
          [--hw default|optimized|off] [--trace-out PATH.jsonl]\n\
          \x20      asap_cli serve [--addr HOST:PORT] [--workers N] [--queue-bound N] \
          [--size tiny|small|full] [--deadline-ms N] [--crash-journal PATH.jsonl]\n\
-         [--io-timeout-ms N]\n\
+         [--io-timeout-ms N] [--store-bytes N] [--tenant-store-bytes N] \
+         [--tenant-rps F] [--tenant-burst F] [--tenant-queue-bound N] [--job-bound N] \
+         [--exec-bytes N] [--tenant-weight NAME:W]... [--max-tenants N]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -428,6 +430,27 @@ fn serve_main(args: Vec<String>) {
             "--deadline-ms" => cfg.default_deadline_ms = val().parse().unwrap_or_else(|_| usage()),
             "--crash-journal" => cfg.crash_journal = Some(std::path::PathBuf::from(val())),
             "--io-timeout-ms" => cfg.io_timeout_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--store-bytes" => cfg.store_bytes = val().parse().unwrap_or_else(|_| usage()),
+            "--tenant-store-bytes" => {
+                cfg.tenant_store_bytes = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--tenant-rps" => cfg.tenant_rps = val().parse().unwrap_or_else(|_| usage()),
+            "--tenant-burst" => cfg.tenant_burst = val().parse().unwrap_or_else(|_| usage()),
+            "--tenant-queue-bound" => {
+                cfg.tenant_queue_bound = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--job-bound" => cfg.job_bound = val().parse().unwrap_or_else(|_| usage()),
+            "--exec-bytes" => cfg.exec_bytes = val().parse().unwrap_or_else(|_| usage()),
+            "--max-tenants" => cfg.max_tenants = val().parse().unwrap_or_else(|_| usage()),
+            "--tenant-weight" => {
+                // NAME:W — a scheduling weight for a known tenant; repeatable.
+                let spec = val();
+                let Some((name, w)) = spec.rsplit_once(':') else {
+                    usage()
+                };
+                let w: u32 = w.parse().unwrap_or_else(|_| usage());
+                cfg.tenant_weights.push((name.to_string(), w));
+            }
             "--size" => {
                 cfg.size = match val().as_str() {
                     "tiny" => SizeClass::Tiny,

@@ -7,6 +7,8 @@
 //! ```sh
 //! asap_loadgen --spawn --rps 800 --duration-s 5
 //! asap_loadgen --addr 127.0.0.1:7070 --matrix gen:er:4096:4 --rps 500
+//! asap_loadgen --spawn --tenants 3 --zipf 1.1 --rps 600 --duration-s 5
+//! asap_loadgen --spawn --tenants 2 --hostile --store-ab --duration-s 4
 //! ```
 //!
 //! Open-loop means coordination-omission-aware: request *i* has a
@@ -17,6 +19,20 @@
 //! (the requests are identical); a mismatch is a correctness failure,
 //! not a performance number.
 //!
+//! Multi-tenant mode (`--tenants N`) tags every request with an
+//! `X-Asap-Tenant` header (`t0..t{N-1}`) and draws its matrix from a
+//! pool of distinct inline MatrixMarket payloads, zipf-distributed by
+//! `--zipf S` (0 = uniform) — the reuse skew a resident matrix store
+//! lives or dies on. Tallies, throughput, and (CO-aware) p99 are
+//! reported per tenant. `--hostile` gives tenant `t0` a 10× request
+//! share, turning the run into an isolation experiment: the strict gate
+//! then checks the victims still clear `--victim-floor` ok/s and that
+//! the server never answered 5xx. `--store-ab` (with `--spawn`) runs
+//! the same closed-loop workload against two in-process servers — the
+//! resident store enabled vs disabled — and reports the warm-throughput
+//! ratio; the tenancy acceptance wants the hot store ≥ 2× the
+//! re-parse-every-request path.
+//!
 //! Chaos mode (`--chaos SEED`) interposes the deterministic
 //! `asap-fuzz` fault-injection proxy between the generator and the
 //! server, so a schedule of delays, drips, truncations, corruptions,
@@ -26,12 +42,17 @@
 //! retries, not raw attempts.
 
 use asap_fuzz::chaos_proxy::{ChaosConfig, ChaosProxy};
+use asap_matrices::{gen, write_matrix_market, Rng64};
 use asap_obs::ObjWriter;
-use asap_serve::{post, ResilientClient, RetryPolicy, ServeConfig, Server};
+use asap_serve::{exchange_with_headers, post, ResilientClient, RetryPolicy, ServeConfig, Server};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Share of the request stream the hostile tenant (`t0`) gets when
+/// `--hostile` is on; every other tenant gets one share.
+const HOSTILE_SHARES: usize = 10;
 
 struct Args {
     addr: Option<String>,
@@ -49,6 +70,13 @@ struct Args {
     strict: bool,
     chaos: Option<u64>,
     retry: bool,
+    tenants: usize,
+    zipf: f64,
+    pool: usize,
+    hostile: bool,
+    victim_floor: f64,
+    store_ab: bool,
+    seed: u64,
 }
 
 fn usage() -> ! {
@@ -56,7 +84,9 @@ fn usage() -> ! {
         "usage: asap_loadgen (--addr HOST:PORT | --spawn) [--rps N] [--duration-s S] \
          [--threads N] [--warmup N] [--matrix REF] [--kernel spmv|spmm] \
          [--strategy baseline|asap|aj] [--distance N] [--deadline-ms N] \
-         [--out PATH] [--strict] [--chaos SEED] [--retry]"
+         [--out PATH] [--strict] [--chaos SEED] [--retry] \
+         [--tenants N] [--zipf S] [--pool K] [--hostile] [--victim-floor OKPS] \
+         [--store-ab] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -78,6 +108,13 @@ fn parse_args() -> Args {
         strict: false,
         chaos: None,
         retry: false,
+        tenants: 0,
+        zipf: 0.0,
+        pool: 8,
+        hostile: false,
+        victim_floor: 0.0,
+        store_ab: false,
+        seed: 0x10ad,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -98,6 +135,13 @@ fn parse_args() -> Args {
             "--strict" => a.strict = true,
             "--chaos" => a.chaos = Some(val().parse().unwrap_or_else(|_| usage())),
             "--retry" => a.retry = true,
+            "--tenants" => a.tenants = val().parse().unwrap_or_else(|_| usage()),
+            "--zipf" => a.zipf = val().parse().unwrap_or_else(|_| usage()),
+            "--pool" => a.pool = val().parse().unwrap_or_else(|_| usage()),
+            "--hostile" => a.hostile = true,
+            "--victim-floor" => a.victim_floor = val().parse().unwrap_or_else(|_| usage()),
+            "--store-ab" => a.store_ab = true,
+            "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -106,6 +150,17 @@ fn parse_args() -> Args {
     }
     if a.rps == 0 || a.duration_s == 0 || a.threads == 0 {
         usage();
+    }
+    if a.store_ab && (!a.spawn || a.tenants == 0) {
+        eprintln!("--store-ab needs --spawn and --tenants N (it compares two in-process servers)");
+        std::process::exit(2);
+    }
+    if a.hostile && a.tenants < 2 {
+        eprintln!("--hostile needs --tenants >= 2 (someone must be the victim)");
+        std::process::exit(2);
+    }
+    if a.pool == 0 {
+        a.pool = 1;
     }
     a
 }
@@ -116,9 +171,47 @@ struct Tally {
     rejected: u64,
     deadline: u64,
     bad: u64,
+    server_err: u64,
     transport: u64,
     latencies_ns: Vec<u64>,
     checksums: Vec<String>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.rejected += other.rejected;
+        self.deadline += other.deadline;
+        self.bad += other.bad;
+        self.server_err += other.server_err;
+        self.transport += other.transport;
+        self.latencies_ns.extend(other.latencies_ns);
+        for c in other.checksums {
+            if !self.checksums.iter().any(|s| s == &c) {
+                self.checksums.push(c);
+            }
+        }
+    }
+
+    fn record(&mut self, status: u16, latency_ns: u64, body: &str) {
+        match status {
+            200 => {
+                self.ok += 1;
+                self.latencies_ns.push(latency_ns);
+                if let Ok(v) = asap_obs::parse_json(body) {
+                    if let Some(c) = v.get("checksum").and_then(|c| c.as_str()) {
+                        if !self.checksums.iter().any(|s| s == c) {
+                            self.checksums.push(c.to_string());
+                        }
+                    }
+                }
+            }
+            429 => self.rejected += 1,
+            504 => self.deadline += 1,
+            s if s >= 500 => self.server_err += 1,
+            _ => self.bad += 1,
+        }
+    }
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -129,8 +222,354 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// The multi-tenant request plan: pre-rendered bodies (distinct inline
+/// MatrixMarket payloads), a zipf CDF over them, and the tenant share
+/// table. Everything is a pure function of the request index, so the
+/// same seed replays the same workload regardless of thread schedule.
+struct TenantPlan {
+    bodies: Vec<String>,
+    zipf_cdf: Vec<f64>,
+    tenant_names: Vec<String>,
+    /// Request-index → tenant-index assignment cycle (hostile tenants
+    /// appear multiple times).
+    shares: Vec<usize>,
+    seed: u64,
+}
+
+impl TenantPlan {
+    fn build(args: &Args) -> TenantPlan {
+        // Distinct inline matrices: same shape family, different seeds,
+        // so each has its own content digest and its own parse cost.
+        let bodies = (0..args.pool)
+            .map(|j| {
+                let tri = gen::erdos_renyi(2048, 8, 0xA5A5 + j as u64);
+                let mut mtx = Vec::new();
+                write_matrix_market(&tri, &mut mtx).expect("render mtx");
+                let mut w = ObjWriter::new();
+                w.str("kernel", &args.kernel)
+                    .str("mtx", &String::from_utf8(mtx).expect("ascii mtx"))
+                    .str("strategy", &args.strategy)
+                    .usize("distance", args.distance)
+                    .u64("deadline_ms", args.deadline_ms);
+                w.finish()
+            })
+            .collect::<Vec<_>>();
+        // Zipf over pool ranks: weight(j) = 1/(j+1)^s, prefix-summed to
+        // a CDF sampled with one uniform draw.
+        let weights: Vec<f64> = (0..args.pool)
+            .map(|j| 1.0 / ((j + 1) as f64).powf(args.zipf))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let zipf_cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        let tenant_names: Vec<String> = (0..args.tenants).map(|k| format!("t{k}")).collect();
+        let mut shares = Vec::new();
+        for k in 0..args.tenants {
+            let n = if args.hostile && k == 0 {
+                HOSTILE_SHARES
+            } else {
+                1
+            };
+            shares.extend(std::iter::repeat_n(k, n));
+        }
+        TenantPlan {
+            bodies,
+            zipf_cdf,
+            tenant_names,
+            shares,
+            seed: args.seed,
+        }
+    }
+
+    fn tenant_of(&self, i: usize) -> usize {
+        self.shares[i % self.shares.len()]
+    }
+
+    fn body_of(&self, i: usize) -> &str {
+        // Deterministic per-index draw: hash the index into a seed, take
+        // one uniform sample against the zipf CDF.
+        let mut rng =
+            Rng64::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let u = rng.gen_f64();
+        let j = self
+            .zipf_cdf
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.bodies.len() - 1);
+        &self.bodies[j]
+    }
+}
+
+/// One measured phase against `addr`. Open-loop when `rps` is Some
+/// (latency from scheduled arrival — CO-aware); closed-loop when None
+/// (each thread fires back-to-back for `duration`, measuring capacity).
+/// Returns (aggregate, per-tenant) tallies.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    addr: SocketAddr,
+    plan: &TenantPlan,
+    rps: Option<u64>,
+    duration: Duration,
+    threads: usize,
+    timeout: Duration,
+    client: Option<Arc<ResilientClient>>,
+    total_cap: usize,
+) -> (Tally, Vec<Tally>, Duration) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let agg = Arc::new(Mutex::new(Tally::default()));
+    let per_tenant: Arc<Vec<Mutex<Tally>>> = Arc::new(
+        (0..plan.tenant_names.len().max(1))
+            .map(|_| Mutex::new(Tally::default()))
+            .collect(),
+    );
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let next = next.clone();
+            let stop = stop.clone();
+            let agg = agg.clone();
+            let per_tenant = per_tenant.clone();
+            let client = client.clone();
+            s.spawn(move || {
+                let mut local = Tally::default();
+                let mut local_tenant: Vec<Tally> =
+                    (0..per_tenant.len()).map(|_| Tally::default()).collect();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total_cap || stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let scheduled = match rps {
+                        Some(r) => {
+                            let at = Duration::from_nanos(1_000_000_000 / r) * i as u32;
+                            let now = start.elapsed();
+                            if now < at {
+                                std::thread::sleep(at - now);
+                            }
+                            at
+                        }
+                        None => {
+                            if start.elapsed() >= duration {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            start.elapsed()
+                        }
+                    };
+                    let t = plan.tenant_of(i);
+                    let body = plan.body_of(i);
+                    let tenant_header = plan.tenant_names.get(t).map(String::as_str);
+                    let headers: Vec<(&str, &str)> = tenant_header
+                        .map(|n| vec![("X-Asap-Tenant", n)])
+                        .unwrap_or_default();
+                    let result = match &client {
+                        Some(c) => c
+                            .post_with_headers(addr, "/v1/run", &headers, body)
+                            .map_err(|e| std::io::Error::other(e.to_string())),
+                        None => {
+                            exchange_with_headers(addr, "POST", "/v1/run", &headers, body, timeout)
+                        }
+                    };
+                    let latency_ns = start.elapsed().saturating_sub(scheduled).as_nanos() as u64;
+                    match result {
+                        Ok(reply) => {
+                            local.record(reply.status, latency_ns, &reply.body);
+                            local_tenant[t].record(reply.status, latency_ns, &reply.body);
+                        }
+                        Err(_) => {
+                            local.transport += 1;
+                            local_tenant[t].transport += 1;
+                        }
+                    }
+                }
+                agg.lock().unwrap_or_else(|p| p.into_inner()).absorb(local);
+                for (t, lt) in local_tenant.into_iter().enumerate() {
+                    per_tenant[t]
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .absorb(lt);
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let agg = Arc::try_unwrap(agg)
+        .unwrap_or_else(|_| unreachable!("workers joined"))
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner());
+    let per_tenant = Arc::try_unwrap(per_tenant)
+        .unwrap_or_else(|_| unreachable!("workers joined"))
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+        .collect();
+    (agg, per_tenant, elapsed)
+}
+
+fn tenant_json(names: &[String], tallies: &mut [Tally], elapsed: Duration) -> String {
+    let mut parts = Vec::new();
+    for (name, t) in names.iter().zip(tallies.iter_mut()) {
+        t.latencies_ns.sort_unstable();
+        let mut w = ObjWriter::new();
+        w.str("tenant", name)
+            .u64("ok", t.ok)
+            .raw(
+                "ok_per_s",
+                &format!("{:.1}", t.ok as f64 / elapsed.as_secs_f64()),
+            )
+            .u64("rejected_429", t.rejected)
+            .u64("deadline_504", t.deadline)
+            .u64("bad", t.bad)
+            .u64("server_5xx", t.server_err)
+            .u64("transport_errors", t.transport)
+            .u64("latency_p50_ns", percentile(&t.latencies_ns, 0.50))
+            .u64("latency_p99_ns", percentile(&t.latencies_ns, 0.99));
+        parts.push(w.finish());
+    }
+    format!("[{}]", parts.join(","))
+}
+
+/// The `--store-ab` experiment: the same closed-loop zipfian multi-tenant
+/// workload against a store-enabled and a store-disabled server; the
+/// contrast is the price of re-parsing inline matrices every request.
+fn run_store_ab(args: &Args, plan: &TenantPlan, timeout: Duration) -> ! {
+    let spawn = |store_bytes: u64| -> Server {
+        Server::start(ServeConfig {
+            store_bytes,
+            ..ServeConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start in-process server: {e}");
+            std::process::exit(1);
+        })
+    };
+    let duration = Duration::from_secs(args.duration_s);
+    let mut sides = Vec::new();
+    for (label, store_bytes) in [("store", 256u64 * 1024 * 1024), ("reparse", 0)] {
+        let server = spawn(store_bytes);
+        let addr = server.addr();
+        // Warm: touch every pool entry once so the store side measures
+        // hits, not first-sight builds.
+        for body in &plan.bodies {
+            for _ in 0..2 {
+                if let Err(e) = post(addr, "/v1/run", body, timeout) {
+                    eprintln!("warmup against {label} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let (mut agg, mut per_tenant, elapsed) = run_phase(
+            addr,
+            plan,
+            None,
+            duration,
+            args.threads,
+            timeout,
+            None,
+            usize::MAX,
+        );
+        server.join();
+        agg.latencies_ns.sort_unstable();
+        let ok_per_s = agg.ok as f64 / elapsed.as_secs_f64();
+        println!(
+            "{label:8}: {:.0} ok/s over {:.2}s ({} ok, {} rejected, {} deadline, {} bad, {} 5xx, {} transport) p99 {:.2}ms",
+            ok_per_s,
+            elapsed.as_secs_f64(),
+            agg.ok,
+            agg.rejected,
+            agg.deadline,
+            agg.bad,
+            agg.server_err,
+            agg.transport,
+            percentile(&agg.latencies_ns, 0.99) as f64 / 1e6,
+        );
+        let tenants = tenant_json(&plan.tenant_names, &mut per_tenant, elapsed);
+        sides.push((label, ok_per_s, agg, tenants, elapsed));
+    }
+    let store_rate = sides[0].1;
+    let reparse_rate = sides[1].1.max(f64::MIN_POSITIVE);
+    let ratio = store_rate / reparse_rate;
+    println!("warm-store speedup over reparse: {ratio:.2}x");
+
+    let json = {
+        let cfg = {
+            let mut w = ObjWriter::new();
+            w.str("kernel", &args.kernel)
+                .usize("tenants", args.tenants)
+                .raw("zipf", &format!("{:.2}", args.zipf))
+                .usize("pool", args.pool)
+                .bool("hostile", args.hostile)
+                .u64("duration_s", args.duration_s)
+                .usize("threads", args.threads)
+                .u64("seed", args.seed);
+            w.finish()
+        };
+        let mut w = ObjWriter::new();
+        w.str("bench", "serve-tenancy-store-ab").raw("config", &cfg);
+        for (label, rate, agg, tenants, elapsed) in &sides {
+            let mut s = ObjWriter::new();
+            s.raw("ok_per_s", &format!("{rate:.1}"))
+                .u64("ok", agg.ok)
+                .u64("rejected_429", agg.rejected)
+                .u64("deadline_504", agg.deadline)
+                .u64("bad", agg.bad)
+                .u64("server_5xx", agg.server_err)
+                .u64("transport_errors", agg.transport)
+                .raw("elapsed_s", &format!("{:.3}", elapsed.as_secs_f64()))
+                .raw("tenants", tenants);
+            w.raw(label, &s.finish());
+        }
+        w.raw("store_over_reparse", &format!("{ratio:.3}"));
+        w.finish()
+    };
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out.display());
+
+    if args.strict {
+        let server_err: u64 = sides.iter().map(|(_, _, a, _, _)| a.server_err).sum();
+        if server_err > 0 {
+            eprintln!("FAIL: {server_err} 5xx responses in store A/B");
+            std::process::exit(1);
+        }
+        if sides[0].2.ok == 0 || sides[1].2.ok == 0 {
+            eprintln!("FAIL: a side of the A/B produced zero goodput");
+            std::process::exit(1);
+        }
+        if ratio < 2.0 {
+            eprintln!("FAIL: warm store {ratio:.2}x over reparse; acceptance wants >= 2x");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    let timeout = Duration::from_millis(args.deadline_ms + 10_000);
+
+    // Multi-tenant experiments build their request plan up front.
+    let plan = (args.tenants > 0).then(|| TenantPlan::build(&args));
+    if args.store_ab {
+        run_store_ab(
+            &args,
+            plan.as_ref().expect("checked in parse_args"),
+            timeout,
+        );
+    }
 
     // --spawn: run the server in this process (the CI smoke path — no
     // orphaned daemons, one exit code).
@@ -180,7 +619,7 @@ fn main() {
         );
     }
 
-    let body = {
+    let single_body = {
         let mut w = ObjWriter::new();
         w.str("kernel", &args.kernel)
             .str("matrix", &args.matrix)
@@ -189,102 +628,46 @@ fn main() {
             .u64("deadline_ms", args.deadline_ms);
         w.finish()
     };
-    let timeout = Duration::from_millis(args.deadline_ms + 10_000);
     let client = args.retry.then(|| {
         Arc::new(ResilientClient::new(
             RetryPolicy {
-                seed: args.chaos.unwrap_or(0x10ad),
+                seed: args.chaos.unwrap_or(args.seed),
                 ..RetryPolicy::default()
             },
             timeout,
         ))
     });
 
-    // Warm the kernel cache and the resolved matrix so the measured
+    // The single-tenant legacy path is a one-body, one-tenant "plan".
+    let plan = plan.unwrap_or_else(|| TenantPlan {
+        bodies: vec![single_body],
+        zipf_cdf: vec![1.0],
+        tenant_names: Vec::new(),
+        shares: vec![0],
+        seed: args.seed,
+    });
+
+    // Warm the kernel cache and the resolved matrices so the measured
     // window is steady-state (the acceptance number is warm-cache).
     for i in 0..args.warmup {
-        if let Err(e) = post(server_addr, "/v1/run", &body, timeout) {
+        let body = plan.body_of(i);
+        if let Err(e) = post(server_addr, "/v1/run", body, timeout) {
             eprintln!("warmup request {i} failed: {e}");
             std::process::exit(1);
         }
     }
 
     let total = (args.rps * args.duration_s) as usize;
-    let interval = Duration::from_nanos(1_000_000_000 / args.rps);
-    let next = Arc::new(AtomicUsize::new(0));
-    let tally = Arc::new(Mutex::new(Tally::default()));
-    let start = Instant::now();
-
-    let workers: Vec<_> = (0..args.threads)
-        .map(|_| {
-            let next = next.clone();
-            let tally = tally.clone();
-            let body = body.clone();
-            let client = client.clone();
-            std::thread::spawn(move || {
-                let mut local = Tally::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    let scheduled = interval * i as u32;
-                    let now = start.elapsed();
-                    if now < scheduled {
-                        std::thread::sleep(scheduled - now);
-                    }
-                    // The resilient path retries/fast-fails internally;
-                    // its terminal error collapses into the transport
-                    // bucket like a plain client failure.
-                    let result = match &client {
-                        Some(c) => c
-                            .post(addr, "/v1/run", &body)
-                            .map_err(|e| std::io::Error::other(e.to_string())),
-                        None => post(addr, "/v1/run", &body, timeout),
-                    };
-                    match result {
-                        Ok(reply) => {
-                            let latency = start.elapsed().saturating_sub(scheduled);
-                            match reply.status {
-                                200 => {
-                                    local.ok += 1;
-                                    local.latencies_ns.push(latency.as_nanos() as u64);
-                                    if let Ok(v) = asap_obs::parse_json(&reply.body) {
-                                        if let Some(c) = v.get("checksum").and_then(|c| c.as_str())
-                                        {
-                                            if !local.checksums.iter().any(|s| s == c) {
-                                                local.checksums.push(c.to_string());
-                                            }
-                                        }
-                                    }
-                                }
-                                429 => local.rejected += 1,
-                                504 => local.deadline += 1,
-                                _ => local.bad += 1,
-                            }
-                        }
-                        Err(_) => local.transport += 1,
-                    }
-                }
-                let mut t = tally.lock().unwrap_or_else(|p| p.into_inner());
-                t.ok += local.ok;
-                t.rejected += local.rejected;
-                t.deadline += local.deadline;
-                t.bad += local.bad;
-                t.transport += local.transport;
-                t.latencies_ns.extend(local.latencies_ns);
-                for c in local.checksums {
-                    if !t.checksums.iter().any(|s| s == &c) {
-                        t.checksums.push(c);
-                    }
-                }
-            })
-        })
-        .collect();
-    for w in workers {
-        let _ = w.join();
-    }
-    let elapsed = start.elapsed();
+    let (mut t, mut per_tenant, elapsed) = run_phase(
+        addr,
+        &plan,
+        Some(args.rps),
+        Duration::from_secs(args.duration_s),
+        args.threads,
+        timeout,
+        client,
+        total,
+    );
     let chaos_stats = proxy.as_mut().map(|p| p.stop());
     // The resilient client reports through the process-global registry;
     // loadgen is its own process, so these are this run's numbers.
@@ -292,10 +675,6 @@ fn main() {
     let breaker_opens = asap_obs::counter_get("client.breaker_opens");
     let checksum_mismatches = asap_obs::counter_get("client.checksum_mismatches");
 
-    let mut t = Arc::try_unwrap(tally)
-        .unwrap_or_else(|_| unreachable!("workers joined"))
-        .into_inner()
-        .unwrap_or_else(|p| p.into_inner());
     t.latencies_ns.sort_unstable();
     let achieved_rps = t.ok as f64 / elapsed.as_secs_f64();
     let p50 = percentile(&t.latencies_ns, 0.50);
@@ -304,12 +683,13 @@ fn main() {
     let pmax = t.latencies_ns.last().copied().unwrap_or(0);
 
     println!(
-        "sent {total} over {:.2}s: {} ok, {} rejected(429), {} deadline(504), {} bad, {} transport",
+        "sent {total} over {:.2}s: {} ok, {} rejected(429), {} deadline(504), {} bad, {} 5xx, {} transport",
         elapsed.as_secs_f64(),
         t.ok,
         t.rejected,
         t.deadline,
         t.bad,
+        t.server_err,
         t.transport
     );
     println!(
@@ -317,7 +697,7 @@ fn main() {
         args.rps
     );
     println!(
-        "latency    : p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  max {:.2}ms",
+        "latency    : p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms  max {:.2}ms (CO-aware)",
         p50 as f64 / 1e6,
         p95 as f64 / 1e6,
         p99 as f64 / 1e6,
@@ -328,6 +708,18 @@ fn main() {
         t.checksums.len(),
         t.checksums.join(", ")
     );
+    for (name, tt) in plan.tenant_names.iter().zip(per_tenant.iter_mut()) {
+        tt.latencies_ns.sort_unstable();
+        println!(
+            "tenant {name:6}: {:.1} ok/s ({} ok, {} 429, {} 504, {} 5xx) p99 {:.2}ms",
+            tt.ok as f64 / elapsed.as_secs_f64(),
+            tt.ok,
+            tt.rejected,
+            tt.deadline,
+            tt.server_err,
+            percentile(&tt.latencies_ns, 0.99) as f64 / 1e6
+        );
+    }
     if let Some(stats) = &chaos_stats {
         println!(
             "chaos      : {} connections proxied, {} with destructive faults \
@@ -356,6 +748,12 @@ fn main() {
                 .usize("threads", args.threads)
                 .bool("spawned", args.spawn)
                 .bool("retry", args.retry);
+            if args.tenants > 0 {
+                w.usize("tenants", args.tenants)
+                    .raw("zipf", &format!("{:.2}", args.zipf))
+                    .usize("pool", args.pool)
+                    .bool("hostile", args.hostile);
+            }
             if let Some(seed) = args.chaos {
                 w.u64("chaos_seed", seed);
             }
@@ -369,6 +767,7 @@ fn main() {
             .u64("rejected_429", t.rejected)
             .u64("deadline_504", t.deadline)
             .u64("bad", t.bad)
+            .u64("server_5xx", t.server_err)
             .u64("transport_errors", t.transport)
             .u64("retries", retries)
             .u64("breaker_opens", breaker_opens)
@@ -388,6 +787,12 @@ fn main() {
             .u64("latency_p99_ns", p99)
             .u64("latency_max_ns", pmax)
             .str_array("checksums", &t.checksums);
+        if !plan.tenant_names.is_empty() {
+            w.raw(
+                "tenants",
+                &tenant_json(&plan.tenant_names, &mut per_tenant, elapsed),
+            );
+        }
         w.finish()
     };
     if let Some(dir) = args.out.parent() {
@@ -410,12 +815,41 @@ fn main() {
     // 200 bodies are *injected* — so the gate is goodput: work still
     // got through. On a clean wire the full contract applies: identical
     // requests agree bit-for-bit, every request gets an answer, and at
-    // least one succeeds.
+    // least one succeeds. Multi-tenant strict additionally wants zero
+    // 5xx (isolation failures are server bugs, not client problems) and
+    // every victim tenant above the goodput floor.
     if args.strict {
         if args.chaos.is_some() {
             if t.ok == 0 {
                 eprintln!("FAIL: zero goodput under chaos (no request survived the faults)");
                 std::process::exit(1);
+            }
+            return;
+        }
+        if t.server_err > 0 {
+            eprintln!("FAIL: {} 5xx responses on a clean wire", t.server_err);
+            std::process::exit(1);
+        }
+        if args.tenants > 0 {
+            // Distinct pool matrices legitimately produce distinct
+            // checksums; the bit-exactness gate stays per-body and is
+            // covered by the single-tenant path and the test suite.
+            if t.ok == 0 {
+                eprintln!("FAIL: zero goodput");
+                std::process::exit(1);
+            }
+            for (k, (name, tt)) in plan.tenant_names.iter().zip(per_tenant.iter()).enumerate() {
+                if args.hostile && k == 0 {
+                    continue; // the aggressor earns its 429s
+                }
+                let ok_per_s = tt.ok as f64 / elapsed.as_secs_f64();
+                if ok_per_s < args.victim_floor {
+                    eprintln!(
+                        "FAIL: tenant {name} at {ok_per_s:.1} ok/s, below the victim floor {:.1}",
+                        args.victim_floor
+                    );
+                    std::process::exit(1);
+                }
             }
             return;
         }

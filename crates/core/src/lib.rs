@@ -35,6 +35,6 @@ pub use pipeline::{
     PrefetchStrategy,
 };
 pub use service::{
-    checksum_f64, compile_for, execute_request, serve_request, service_c, service_x, ServiceKernel,
-    ServiceOutcome,
+    checksum_f64, compile_for, execute_request, fingerprint64, serve_request, service_c, service_x,
+    ServiceKernel, ServiceOutcome,
 };

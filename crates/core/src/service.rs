@@ -77,14 +77,26 @@ pub struct ServiceOutcome {
     pub prefetch_ops: usize,
 }
 
+/// FNV-1a 64 over a byte slice — the workspace's one content digest,
+/// shared by response checksums, matrix-store keys, and the serving
+/// layer's witness fingerprints so equal bytes always hash equal
+/// everywhere.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// FNV-1a over the bit patterns of a slice of f64s.
 pub fn checksum_f64(values: &[f64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for v in values {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        h = v.to_bits().to_le_bytes().iter().fold(h, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        });
     }
     h
 }

@@ -24,6 +24,8 @@
 //! [`asap_ir::AsapError`] (surfaced here as [`Outcome::Rejected`]), valid
 //! input yields agreeing results — and nothing panics.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos_proxy;
 
 use asap_core::{

@@ -1181,7 +1181,29 @@ impl IdxElem for usize {
 /// hint) and to nothing elsewhere.
 #[inline(always)]
 fn prefetch_read<T>(base: &[T], i: usize) {
+    // The only `unsafe` in the workspace (the serve/obs/fuzz crates
+    // carry `#![forbid(unsafe_code)]`); the invariants it rests on are
+    // spelled out below and cross-checked in debug builds.
+    debug_assert!(
+        std::mem::size_of::<T>() > 0,
+        "prefetch of a ZST slice is meaningless (every element is one address)"
+    );
+    debug_assert!(
+        i.checked_mul(std::mem::size_of::<T>()).is_some(),
+        "prefetch offset {i} * {} overflows the address computation",
+        std::mem::size_of::<T>()
+    );
     #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` never dereferences its argument — it is a
+    // hint to the cache hierarchy, and the ISA defines PREFETCHh as
+    // non-faulting for any address, mapped or not (Intel SDM vol. 2B:
+    // "does not cause page faults"). The address itself is computed
+    // with `wrapping_add`, which is defined for any offset (unlike
+    // `add`, it carries no in-bounds provenance obligation), so an `i`
+    // past `base.len()` — which the ASaP distance schedule produces
+    // near the end of every row by design — yields at worst a useless
+    // hint, never UB and never a fault. No reference is formed and no
+    // memory is read or written.
     unsafe {
         use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T1};
         let p = base.as_ptr().wrapping_add(i) as *const i8;

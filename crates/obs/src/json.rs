@@ -420,11 +420,25 @@ impl Parser<'_> {
                         }
                     }
                 }
+                c if c < 0x80 => out.push(c as char),
                 _ => {
-                    // Re-borrow the full UTF-8 character starting here.
+                    // Decode the one UTF-8 character starting here from a
+                    // bounded window. Validating `&self.b[start..]` instead
+                    // would re-scan the whole tail per character — O(n²) on
+                    // the multi-hundred-KB inline-matrix strings the serving
+                    // layer parses.
                     let start = self.i - 1;
-                    let s = std::str::from_utf8(&self.b[start..])
-                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let end = (start + 4).min(self.b.len());
+                    let window = &self.b[start..end];
+                    let s = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // A complete char followed by the start of another
+                        // that the 4-byte window truncates is fine.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()]).expect("valid prefix")
+                        }
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    };
                     let ch = s.chars().next().ok_or_else(|| self.err("empty string"))?;
                     out.push(ch);
                     self.i = start + ch.len_utf8();

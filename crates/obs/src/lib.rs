@@ -26,6 +26,8 @@
 //! rule (`asap-ir`/`asap-sim` stay obs-free; spans are recorded from
 //! `asap-core`/`asap-bench` call sites).
 
+#![forbid(unsafe_code)]
+
 pub mod analyzer;
 pub mod json;
 pub mod manifest;

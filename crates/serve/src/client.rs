@@ -48,13 +48,33 @@ pub fn exchange(
     body: &str,
     timeout: Duration,
 ) -> std::io::Result<HttpReply> {
+    exchange_with_headers(addr, method, path, &[], body, timeout)
+}
+
+/// [`exchange`] with extra request headers (e.g. `X-Asap-Tenant`).
+pub fn exchange_with_headers(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+    timeout: Duration,
+) -> std::io::Result<HttpReply> {
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: asap\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: asap\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (k, v) in headers {
+        req.push_str(k);
+        req.push_str(": ");
+        req.push_str(v);
+        req.push_str("\r\n");
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
     stream.write_all(req.as_bytes())?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
@@ -106,10 +126,13 @@ fn parse_reply(raw: &[u8]) -> std::io::Result<HttpReply> {
 // Self-healing tier
 // ---------------------------------------------------------------------
 
-/// Retry schedule: up to `max_attempts` tries, sleeping
-/// `min(max_backoff, base_backoff << (attempt-1))` scaled by a seeded
-/// jitter in `[0.5, 1.5)` between them (full-jitter thundering-herd
-/// avoidance, deterministic per seed).
+/// Retry schedule: up to `max_attempts` tries, sleeping a *full-jitter*
+/// backoff between them — uniform in `[0, min(max_backoff,
+/// base_backoff << (attempt-1)))`, deterministic per seed. Full jitter
+/// (rather than jitter *around* the exponential midpoint) is what
+/// actually desynchronizes a fleet: two clients that fail at the same
+/// instant draw independent points across the whole window, so their
+/// retries cannot re-collide attempt after attempt.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     pub max_attempts: u32,
@@ -254,13 +277,16 @@ impl std::fmt::Display for ClientError {
     }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+/// The full-jitter backoff for one attempt: `unit` (a uniform draw in
+/// `[0, 1)`) scaled by the capped exponential ceiling. Pure so the
+/// desynchronization property is unit-testable without sleeping.
+fn backoff_duration(policy: &RetryPolicy, attempt: u32, unit: f64) -> Duration {
+    let shift = attempt.saturating_sub(1).min(16);
+    let ceiling = policy
+        .base_backoff
+        .saturating_mul(1u32 << shift)
+        .min(policy.max_backoff);
+    ceiling.mul_f64(unit)
 }
 
 /// The self-healing client: retries with jittered exponential backoff,
@@ -308,22 +334,28 @@ impl ResilientClient {
     }
 
     pub fn post(&self, addr: SocketAddr, path: &str, body: &str) -> Result<HttpReply, ClientError> {
-        self.request(addr, "POST", path, body)
+        self.request(addr, "POST", path, &[], body)
+    }
+
+    /// [`post`](ResilientClient::post) with extra request headers
+    /// (e.g. `X-Asap-Tenant` for multi-tenant load generation).
+    pub fn post_with_headers(
+        &self,
+        addr: SocketAddr,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> Result<HttpReply, ClientError> {
+        self.request(addr, "POST", path, headers, body)
     }
 
     pub fn get(&self, addr: SocketAddr, path: &str) -> Result<HttpReply, ClientError> {
-        self.request(addr, "GET", path, "")
+        self.request(addr, "GET", path, &[], "")
     }
 
     fn backoff(&self, attempt: u32) {
-        let shift = (attempt.saturating_sub(1)).min(16);
-        let raw = self
-            .policy
-            .base_backoff
-            .saturating_mul(1u32 << shift)
-            .min(self.policy.max_backoff);
-        let jitter = 0.5 + self.rng.lock().unwrap_or_else(|p| p.into_inner()).gen_f64();
-        std::thread::sleep(raw.mul_f64(jitter));
+        let unit = self.rng.lock().unwrap_or_else(|p| p.into_inner()).gen_f64();
+        std::thread::sleep(backoff_duration(&self.policy, attempt, unit));
     }
 
     /// Sleep for a server-provided `Retry-After` (seconds), clamped to
@@ -343,9 +375,11 @@ impl ResilientClient {
         addr: SocketAddr,
         method: &str,
         path: &str,
+        headers: &[(&str, &str)],
         body: &str,
     ) -> Result<HttpReply, ClientError> {
-        let key = fnv1a64(format!("{method} {path} {body}").as_bytes());
+        let key =
+            asap_core::fingerprint64(format!("{method} {path} {headers:?} {body}").as_bytes());
         let mut last = String::new();
         for attempt in 1..=self.policy.max_attempts.max(1) {
             if let Err(retry_in) = self.breaker.admit() {
@@ -364,7 +398,7 @@ impl ResilientClient {
             if attempt > 1 {
                 asap_obs::counter_inc("client.retries");
             }
-            match exchange(addr, method, path, body, self.timeout) {
+            match exchange_with_headers(addr, method, path, headers, body, self.timeout) {
                 Ok(reply) => match reply.status {
                     200 => {
                         if let Some(mismatch) = self.checksum_mismatch(key, &reply) {
@@ -487,6 +521,51 @@ mod tests {
             b.state(),
             BreakerState::Closed,
             "streak broke; threshold needs consecutive failures"
+        );
+    }
+
+    #[test]
+    fn full_jitter_desynchronizes_two_clients() {
+        let policy = |seed| RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(400),
+            seed,
+        };
+        let (pa, pb) = (policy(1), policy(2));
+        // Two clients failing in lockstep draw their backoff schedules
+        // from independent jitter streams.
+        let mut rng_a = Rng64::seed_from_u64(pa.seed);
+        let mut rng_b = Rng64::seed_from_u64(pb.seed);
+        let mut distinct = 0;
+        let mut below_half = 0;
+        for attempt in 1..=pa.max_attempts {
+            let ceiling = Duration::from_millis(10)
+                .saturating_mul(1u32 << (attempt - 1).min(16))
+                .min(Duration::from_millis(400));
+            let a = backoff_duration(&pa, attempt, rng_a.gen_f64());
+            let b = backoff_duration(&pb, attempt, rng_b.gen_f64());
+            assert!(a < ceiling && b < ceiling, "jitter stays in [0, ceiling)");
+            if a != b {
+                distinct += 1;
+            }
+            // Full jitter spans the whole window; the old
+            // [0.5, 1.5)-scaled scheme never slept below half the
+            // ceiling, which is exactly the region that breaks herds.
+            if a < ceiling / 2 {
+                below_half += 1;
+            }
+            if b < ceiling / 2 {
+                below_half += 1;
+            }
+        }
+        assert!(
+            distinct >= 6,
+            "schedules must diverge ({distinct}/8 attempts differ)"
+        );
+        assert!(
+            below_half > 0,
+            "full jitter must sometimes draw below half the ceiling"
         );
     }
 

@@ -84,7 +84,21 @@ impl std::fmt::Display for HttpError {
 pub struct HttpRequest {
     pub method: String,
     pub path: String,
+    /// Parsed headers, names lowercased, values trimmed, wire order
+    /// preserved. Bounded by [`MAX_HEADERS`]/[`MAX_HEAD_BYTES`].
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// Read one request (head + `Content-Length` body) from the stream.
@@ -206,7 +220,7 @@ fn read_request_timeout(
     // Parse every header once, strictly: a line without a colon (or
     // with an empty name) is framing junk, not a header to skip over —
     // skipping is how request-smuggling bugs start.
-    let mut headers: Vec<(String, &str)> = Vec::new();
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in lines {
         if headers.len() >= MAX_HEADERS {
             return Err(HttpError::HeaderLimit(format!(
@@ -226,14 +240,14 @@ fn read_request_timeout(
                 truncate_for_log(line)
             )));
         }
-        headers.push((name.to_ascii_lowercase(), value.trim()));
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
     let header_all = |name: &str| -> Vec<&str> {
         headers
             .iter()
             .filter(|(k, _)| k == name)
-            .map(|(_, v)| *v)
+            .map(|(_, v)| v.as_str())
             .collect()
     };
     let content_length: usize = match header_all("content-length")[..] {
@@ -281,7 +295,12 @@ fn read_request_timeout(
     // Anything past the declared length is pipelined junk: dropped, not
     // parsed (one request per connection).
     body.truncate(content_length);
-    Ok(HttpRequest { method, path, body })
+    Ok(HttpRequest {
+        method,
+        path,
+        headers,
+        body,
+    })
 }
 
 fn truncate_for_log(line: &str) -> String {
@@ -380,6 +399,18 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/run");
         assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive_first_match_trimmed() {
+        let req = roundtrip(
+            b"POST /v1/run HTTP/1.1\r\nX-Asap-Tenant:  team-a \r\nx-asap-tenant: team-b\r\nContent-Length: 0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(req.header("X-ASAP-TENANT"), Some("team-a"));
+        assert_eq!(req.header("x-asap-tenant"), Some("team-a"));
+        assert_eq!(req.header("absent"), None);
     }
 
     #[test]

@@ -36,9 +36,21 @@
 //! - **Observability**: `/healthz`, `/metrics` (the `asap-obs`
 //!   registry: `serve.*` counters, queue-depth/in-flight gauges).
 //!
-//! The protocol and endpoints are documented in DESIGN.md §11; the load
-//! harness (`asap_loadgen` in `asap-bench`) drives open-loop traffic
-//! against this server and reports throughput and latency percentiles.
+//! - **Tenant isolation** ([`tenant`], [`store`], [`queue`]): requests
+//!   are classified by `X-Asap-Tenant`; each tenant gets a token-bucket
+//!   request quota, a resident-byte quota in the bounded matrix store,
+//!   and a weighted deficit-round-robin lane in the job scheduler, so
+//!   one hostile tenant degrades itself, not its neighbours. Under
+//!   sustained pressure a brownout ladder sheds inline uploads first,
+//!   then lowest-weight tenants; queued jobs whose deadline lapses are
+//!   shed as 504 without occupying a worker.
+//!
+//! The protocol and endpoints are documented in DESIGN.md §11 and §14;
+//! the load harness (`asap_loadgen` in `asap-bench`) drives open-loop
+//! (optionally multi-tenant zipfian) traffic against this server and
+//! reports per-tenant throughput and CO-aware latency percentiles.
+
+#![forbid(unsafe_code)]
 
 pub mod batcher;
 pub mod client;
@@ -47,14 +59,21 @@ pub mod matrix;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod store;
+pub mod tenant;
 
 pub use batcher::SingleFlight;
 pub use client::{
-    exchange, get, post, BreakerState, CircuitBreaker, ClientError, HttpReply, ResilientClient,
-    RetryPolicy,
+    exchange, exchange_with_headers, get, post, BreakerState, CircuitBreaker, ClientError,
+    HttpReply, ResilientClient, RetryPolicy,
 };
 pub use http::{MAX_HEADERS, MAX_HEAD_BYTES, MAX_REQUEST_LINE};
 pub use matrix::MatrixCatalog;
-pub use queue::{BoundedQueue, PushError};
-pub use request::{parse_run_request, render_error, render_outcome, RunRequest, DEFAULT_SPMM_COLS};
+pub use queue::{BoundedQueue, PushError, SubmitError, TenantScheduler, Work};
+pub use request::{
+    parse_run_request, render_error, render_outcome, RequestCtx, RunReject, RunRequest,
+    DEFAULT_SPMM_COLS,
+};
 pub use server::{ServeConfig, Server};
+pub use store::{MatrixStore, Resident, StoreError, STORE_SHARDS};
+pub use tenant::{TenantError, TenantQuotas, TenantRegistry, TenantState, DEFAULT_TENANT};

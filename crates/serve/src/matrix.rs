@@ -8,9 +8,15 @@
 //!   `--gen`, with size caps so a request cannot allocate unboundedly);
 //! - inline MatrixMarket text in the request body (`"mtx"` field).
 //!
-//! Named and generated matrices are cached (`Arc`-shared) so repeated
-//! requests skip the O(nnz) build; inline matrices are never cached —
-//! arbitrary client payloads must not be able to pin server memory.
+//! Residency policy lives one layer up, in [`crate::store`]: when the
+//! resident store is enabled the catalog is only the *builder*
+//! ([`MatrixCatalog::build`] / [`MatrixCatalog::resolve_inline`]) and
+//! the store decides what stays hot, under byte ceilings and tenant
+//! quotas — including inline payloads, which are keyed by content
+//! digest so a client cannot pin unbounded server memory. With the
+//! store disabled, [`MatrixCatalog::resolve`] falls back to this
+//! module's own unbounded-tenant-blind cache (the pre-tenancy
+//! behaviour, kept for embedded and test use).
 //! Binary (pattern) matrices get the CLI's deterministic devaluation so
 //! a served result is comparable to `asap_cli --gen` on the same spec.
 
@@ -68,6 +74,20 @@ impl MatrixCatalog {
         if let Some(t) = self.lock_cache().get(reference) {
             return Ok(t.clone());
         }
+        let sparse = self.build(reference)?;
+        let mut cache = self.lock_cache();
+        if cache.len() >= CATALOG_CAPACITY {
+            // Rare (needs 64 distinct generator specs); dropping the lot
+            // costs regeneration, never correctness.
+            cache.clear();
+        }
+        cache.insert(reference.to_string(), sparse.clone());
+        Ok(sparse)
+    }
+
+    /// Build a `matrix` reference without touching this catalog's cache
+    /// — the resident store's path, where *it* owns residency.
+    pub fn build(&self, reference: &str) -> Result<Arc<SparseTensor>, AsapError> {
         let tri = if let Some(spec) = reference.strip_prefix("gen:") {
             parse_gen(spec)?
         } else {
@@ -81,15 +101,7 @@ impl MatrixCatalog {
                 })?;
             spec.materialize()
         };
-        let sparse = Arc::new(to_csr(tri)?);
-        let mut cache = self.lock_cache();
-        if cache.len() >= CATALOG_CAPACITY {
-            // Rare (needs 64 distinct generator specs); dropping the lot
-            // costs regeneration, never correctness.
-            cache.clear();
-        }
-        cache.insert(reference.to_string(), sparse.clone());
-        Ok(sparse)
+        Ok(Arc::new(to_csr(tri)?))
     }
 
     /// Build a tensor from inline MatrixMarket text. Uncached.

@@ -3,15 +3,17 @@
 //!
 //! Thread structure (all plain `std::thread`, joined on shutdown):
 //!
-//! - **accept** — non-blocking `TcpListener` polled at ~1ms. Admission
-//!   control happens *here*, before any parsing: a connection either
-//!   enters the bounded queue or is answered 429 + `Retry-After`
-//!   immediately. When draining starts, the loop closes the queue and
-//!   exits — already-queued connections still get served.
-//! - **workers** (N) — pop connections, parse HTTP, route, execute.
-//!   Each request runs under `catch_unwind`: a panic becomes a 500 for
-//!   that one client and a `serve.panics` tick, never a dead worker
-//!   (the same isolation contract as the bench pool).
+//! - **accept** — non-blocking `TcpListener` polled at ~1ms. Raw
+//!   connections either enter the scheduler's bounded connection FIFO
+//!   or are answered 429 + `Retry-After` immediately. When draining
+//!   starts, the loop closes the scheduler and exits —
+//!   already-admitted work still gets served.
+//! - **workers** (N) — drain the [`TenantScheduler`]: connections
+//!   first (parse HTTP, classify by `X-Asap-Tenant`, run the admission
+//!   ladder, submit the job), then jobs, interleaved across tenants by
+//!   weighted deficit round-robin. Each request runs under
+//!   `catch_unwind`: a panic becomes a 500 for that one client and a
+//!   `serve.panics` tick, never a dead worker.
 //! - **supervisor** — polls worker handles for death. `catch_unwind`
 //!   covers request handlers, but a worker thread can still die (a
 //!   panic outside the guard, an unwind-through-FFI abort path, the
@@ -25,15 +27,35 @@
 //!   abandoned SpMM stops burning CPU at the budget's next poll slot
 //!   instead of running to completion.
 //!
+//! The admission ladder for `POST /v1/run`, in order (each step is a
+//! typed rejection that never reaches a later step):
+//!
+//! 1. tenant resolution — bad names 400, registry full 429;
+//! 2. per-tenant token bucket — empty 429 + computed `Retry-After`;
+//! 3. brownout — under queue pressure, first refuse inline-`.mtx`
+//!    uploads (level 1), then shed lowest-weight tenants (level 2);
+//! 4. parse + matrix residency — store admission failures are typed
+//!    413/429 on the tenant's own account;
+//! 5. lane submit — a full tenant lane is that tenant's 429; the
+//!    global job cap is everyone's.
+//!
+//! Queued jobs whose deadline expires before a worker picks them up are
+//! shed as 504 (`kind: "shed"`) without executing anything.
+//!
 //! Shutdown (`POST /control/shutdown` or [`Server::join`]) is
 //! drain-then-stop: stop admitting, serve everything queued, join every
 //! thread. No request that got a 2xx admission is dropped.
 
 use crate::batcher::SingleFlight;
-use crate::http::{drain_request, read_request_with_timeout, write_json, write_response};
+use crate::http::{
+    drain_request, read_request_with_timeout, write_json, write_response, HttpRequest,
+};
 use crate::matrix::MatrixCatalog;
-use crate::queue::{BoundedQueue, PushError};
-use crate::request::{parse_run_request, render_error, render_outcome};
+use crate::queue::{PushError, SubmitError, TenantScheduler, Work};
+use crate::request::{parse_run_request, render_error, render_outcome, RequestCtx, RunRequest};
+use crate::store::MatrixStore;
+use crate::tenant::{TenantError, TenantQuotas, TenantRegistry, TenantState};
+use asap_core::fingerprint64;
 use asap_ir::CancelToken;
 use asap_matrices::SizeClass;
 use asap_obs::ObjWriter;
@@ -71,7 +93,7 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads executing requests.
     pub workers: usize,
-    /// Bound on accepted-but-not-yet-served connections; beyond it,
+    /// Bound on accepted-but-not-yet-parsed connections; beyond it,
     /// clients get an immediate 429.
     pub queue_bound: usize,
     /// Size class for named collection matrices.
@@ -81,7 +103,7 @@ pub struct ServeConfig {
     pub default_deadline_ms: u64,
     /// Cap on request body bytes (inline MatrixMarket can be big).
     pub max_body_bytes: usize,
-    /// Test-only: sleep this long after claiming each connection,
+    /// Test-only: sleep this long at the start of each job execution,
     /// simulating a slow worker so overload tests are deterministic.
     pub worker_delay_ms: u64,
     /// Test-only: expose `POST /debug/panic` (per-request isolation)
@@ -96,6 +118,27 @@ pub struct ServeConfig {
     /// suits trusted clients; chaos/soak runs set a few hundred ms so a
     /// lying `Content-Length` cannot pin a worker for long.
     pub io_timeout_ms: u64,
+    /// Resident matrix store byte ceiling (0 disables residency and
+    /// every request re-parses/re-generates its matrix).
+    pub store_bytes: u64,
+    /// Per-tenant resident-byte quota in the store (0 = unlimited).
+    pub tenant_store_bytes: u64,
+    /// Per-tenant sustained requests/second (token bucket; 0 = off).
+    pub tenant_rps: f64,
+    /// Token-bucket burst headroom above the sustained rate.
+    pub tenant_burst: f64,
+    /// Bound on one tenant's queued (parsed, unexecuted) jobs.
+    pub tenant_queue_bound: usize,
+    /// Global bound on queued jobs across all tenants; also the
+    /// brownout ladder's pressure scale (level 1 at ≥ 1/2, level 2 at
+    /// ≥ 3/4 of this).
+    pub job_bound: usize,
+    /// Per-request execution byte budget (0 = unlimited).
+    pub exec_bytes: u64,
+    /// DRR weights per tenant name; unlisted tenants weigh 1.
+    pub tenant_weights: Vec<(String, u32)>,
+    /// Hard cap on distinct tenants the registry will mint.
+    pub max_tenants: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,20 +154,17 @@ impl Default for ServeConfig {
             enable_fault_endpoints: false,
             crash_journal: None,
             io_timeout_ms: 10_000,
+            store_bytes: 64 * 1024 * 1024,
+            tenant_store_bytes: 16 * 1024 * 1024,
+            tenant_rps: 0.0,
+            tenant_burst: 16.0,
+            tenant_queue_bound: 64,
+            job_bound: 256,
+            exec_bytes: 0,
+            tenant_weights: Vec::new(),
+            max_tenants: 64,
         }
     }
-}
-
-/// FNV-1a — the workspace's standard content digest (same scheme as the
-/// kernel cache and output checksums), here over panic payloads and
-/// request bytes so journal entries from identical causes collate.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// JSONL crash journal: what died, why (digest + message), and what it
@@ -161,7 +201,10 @@ impl CrashJournal {
         w.u64("ts_ms", ts_ms)
             .usize("worker", worker)
             .str("kind", kind)
-            .str("digest", &format!("{:016x}", fnv1a64(message.as_bytes())))
+            .str(
+                "digest",
+                &format!("{:016x}", fingerprint64(message.as_bytes())),
+            )
             .str("fingerprint", &format!("{fingerprint:016x}"))
             .str("message", message);
         let line = w.finish();
@@ -248,9 +291,23 @@ impl Reaper {
     }
 }
 
+/// A parsed `/v1/run` waiting in its tenant's lane. Holding the
+/// [`RunRequest`] holds the store pin: a queued job's matrix cannot be
+/// evicted out from under it.
+struct Job {
+    stream: TcpStream,
+    run: RunRequest,
+    tenant: Arc<TenantState>,
+    /// Wall-clock instant the client's deadline lands (None = no
+    /// deadline). Queue time counts: jobs past this are shed unrun.
+    deadline_at: Option<Instant>,
+}
+
 struct Shared {
     cfg: ServeConfig,
-    queue: BoundedQueue<TcpStream>,
+    sched: TenantScheduler<TcpStream, Job>,
+    tenants: TenantRegistry,
+    store: Arc<MatrixStore>,
     draining: AtomicBool,
     reaper_stop: AtomicBool,
     supervisor_stop: AtomicBool,
@@ -264,6 +321,7 @@ struct Shared {
     served: AtomicU64,
     rejected: AtomicU64,
     in_flight: AtomicU64,
+    shed_expired: AtomicU64,
 }
 
 /// What a handled connection asks of its worker afterwards.
@@ -291,8 +349,17 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let journal = CrashJournal::open(cfg.crash_journal.as_ref());
+        let tenants = TenantRegistry::new(TenantQuotas {
+            rps: cfg.tenant_rps,
+            burst: cfg.tenant_burst,
+            store_bytes: cfg.tenant_store_bytes,
+            max_tenants: cfg.max_tenants,
+            weights: cfg.tenant_weights.clone(),
+        });
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(cfg.queue_bound),
+            sched: TenantScheduler::new(cfg.queue_bound, cfg.tenant_queue_bound, cfg.job_bound),
+            tenants,
+            store: Arc::new(MatrixStore::new(cfg.store_bytes)),
             draining: AtomicBool::new(false),
             reaper_stop: AtomicBool::new(false),
             supervisor_stop: AtomicBool::new(false),
@@ -311,6 +378,7 @@ impl Server {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
             cfg,
         });
 
@@ -506,7 +574,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
     loop {
         if shared.draining.load(Ordering::Acquire) {
             // Stop admitting; wake workers to drain what's queued.
-            shared.queue.close();
+            shared.sched.close();
             return;
         }
         match listener.accept() {
@@ -528,7 +596,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 }
 
 fn admit(stream: TcpStream, shared: &Shared) {
-    match shared.queue.try_push(stream) {
+    match shared.sched.try_push_conn(stream) {
         Ok(depth) => {
             asap_obs::gauge_set("serve.queue_depth", depth as i64);
             asap_obs::counter_set_max("serve.queue_depth_peak", depth as u64);
@@ -557,35 +625,72 @@ fn admit(stream: TcpStream, shared: &Shared) {
 }
 
 fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
-    while let Some(mut stream) = shared.queue.pop() {
-        asap_obs::gauge_set("serve.queue_depth", shared.queue.len() as i64);
-        if shared.cfg.worker_delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
-        }
-        shared.in_flight.fetch_add(1, Ordering::Relaxed);
-        asap_obs::gauge_add("serve.in_flight", 1);
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_connection(shared, &mut stream, fingerprint)
-        }));
-        asap_obs::gauge_sub("serve.in_flight", 1);
-        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        match outcome {
-            Ok(ConnOutcome::Done) => {}
-            // Deliberate thread death, *outside* catch_unwind: the
-            // supervisor must notice, journal, and respawn.
-            Ok(ConnOutcome::KillWorker) => {
-                panic!("worker {id} killed via /debug/kill_worker");
+    while let Some(work) = shared.sched.next_work() {
+        match work {
+            Work::Conn(stream) => {
+                asap_obs::gauge_set("serve.queue_depth", shared.sched.conn_depth() as i64);
+                // The slot keeps the stream reachable across a panic in
+                // the handler, so the client still gets its 500; the
+                // /v1/run path takes it out to move it into a job.
+                let mut slot = Some(stream);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    handle_connection(shared, &mut slot, fingerprint)
+                }));
+                shared.sched.done_conn();
+                match outcome {
+                    Ok(ConnOutcome::Done) => {}
+                    // Deliberate thread death, *outside* catch_unwind:
+                    // the supervisor must notice, journal, and respawn.
+                    Ok(ConnOutcome::KillWorker) => {
+                        panic!("worker {id} killed via /debug/kill_worker");
+                    }
+                    Err(payload) => {
+                        asap_obs::counter_inc("serve.panics");
+                        let msg = panic_message(payload.as_ref());
+                        shared.supervisor.journal.record(
+                            id,
+                            "request_panic",
+                            &msg,
+                            fingerprint.load(Ordering::Relaxed),
+                        );
+                        if let Some(mut stream) = slot.take() {
+                            let _ = write_json(
+                                &mut stream,
+                                500,
+                                &[],
+                                &render_error("panic", "panic", &msg),
+                            );
+                        }
+                    }
+                }
             }
-            Err(payload) => {
-                asap_obs::counter_inc("serve.panics");
-                let msg = panic_message(payload.as_ref());
-                shared.supervisor.journal.record(
-                    id,
-                    "request_panic",
-                    &msg,
-                    fingerprint.load(Ordering::Relaxed),
-                );
-                let _ = write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+            Work::Job(job) => {
+                asap_obs::gauge_set("serve.jobs_depth", shared.sched.job_depth() as i64);
+                shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                asap_obs::gauge_add("serve.in_flight", 1);
+                let Job {
+                    mut stream,
+                    run,
+                    tenant,
+                    deadline_at,
+                } = job;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    execute_run(shared, &mut stream, &run, &tenant, deadline_at)
+                }));
+                asap_obs::gauge_sub("serve.in_flight", 1);
+                shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                if let Err(payload) = outcome {
+                    asap_obs::counter_inc("serve.panics");
+                    let msg = panic_message(payload.as_ref());
+                    shared.supervisor.journal.record(
+                        id,
+                        "request_panic",
+                        &msg,
+                        fingerprint.load(Ordering::Relaxed),
+                    );
+                    let _ =
+                        write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+                }
             }
         }
     }
@@ -603,39 +708,43 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 fn handle_connection(
     shared: &Shared,
-    stream: &mut TcpStream,
+    slot: &mut Option<TcpStream>,
     fingerprint: &AtomicU64,
 ) -> ConnOutcome {
     let io_timeout = Duration::from_millis(shared.cfg.io_timeout_ms.max(1));
-    let req = match read_request_with_timeout(stream, shared.cfg.max_body_bytes, io_timeout) {
-        Ok(r) => r,
-        Err(e) => {
-            // Closed / transport errors have nobody to answer; protocol
-            // violations get their typed status (400/408/413/414/431).
-            if let Some(status) = e.status() {
-                asap_obs::counter_inc("serve.bad_requests");
-                asap_obs::counter_inc(match status {
-                    408 => "serve.http.timeout",
-                    413 => "serve.http.body_too_large",
-                    414 => "serve.http.line_too_long",
-                    431 => "serve.http.header_limit",
-                    _ => "serve.http.malformed",
-                });
-                let label = match status {
-                    408 => "timeout",
-                    413 => "payload_too_large",
-                    414 => "uri_too_long",
-                    431 => "header_fields_too_large",
-                    _ => "bad_request",
-                };
-                let _ = write_json(
-                    stream,
-                    status,
-                    &[],
-                    &render_error(label, "http", &e.to_string()),
-                );
+    let req = {
+        let stream = slot.as_mut().expect("worker slot holds the connection");
+        match read_request_with_timeout(stream, shared.cfg.max_body_bytes, io_timeout) {
+            Ok(r) => r,
+            Err(e) => {
+                // Closed / transport errors have nobody to answer;
+                // protocol violations get their typed status
+                // (400/408/413/414/431).
+                if let Some(status) = e.status() {
+                    asap_obs::counter_inc("serve.bad_requests");
+                    asap_obs::counter_inc(match status {
+                        408 => "serve.http.timeout",
+                        413 => "serve.http.body_too_large",
+                        414 => "serve.http.line_too_long",
+                        431 => "serve.http.header_limit",
+                        _ => "serve.http.malformed",
+                    });
+                    let label = match status {
+                        408 => "timeout",
+                        413 => "payload_too_large",
+                        414 => "uri_too_long",
+                        431 => "header_fields_too_large",
+                        _ => "bad_request",
+                    };
+                    let _ = write_json(
+                        stream,
+                        status,
+                        &[],
+                        &render_error(label, "http", &e.to_string()),
+                    );
+                }
+                return ConnOutcome::Done;
             }
-            return ConnOutcome::Done;
         }
     };
     // Publish what this worker is chewing on; if the thread dies, the
@@ -646,20 +755,26 @@ fn handle_connection(
     fp_bytes.extend_from_slice(req.path.as_bytes());
     fp_bytes.push(b' ');
     fp_bytes.extend_from_slice(&req.body);
-    fingerprint.store(fnv1a64(&fp_bytes), Ordering::Relaxed);
+    fingerprint.store(fingerprint64(&fp_bytes), Ordering::Relaxed);
 
+    if req.method == "POST" && req.path == "/v1/run" {
+        admit_run(shared, slot, &req);
+        return ConnOutcome::Done;
+    }
+    let stream = slot.as_mut().expect("worker slot holds the connection");
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/run") => handle_run(shared, stream, &req.body),
         ("GET", "/healthz") => {
             let _ = write_json(stream, 200, &[], &healthz_body(shared));
         }
         ("GET", "/metrics") => {
-            // Refresh the cache-occupancy gauges from the authoritative
+            // Refresh the occupancy gauges from the authoritative
             // per-shard counters at scrape time, so a scrape always sees
-            // the live totals even if no cache traffic updated the
-            // gauges recently.
+            // the live totals even if no traffic updated the gauges
+            // recently.
             let cache = asap_core::cache_stats_full();
             asap_obs::gauge_set("cache.bytes", cache.bytes as i64);
+            asap_obs::gauge_set("serve.store.bytes", shared.store.bytes() as i64);
+            asap_obs::gauge_set("serve.store.entries", shared.store.entries() as i64);
             let body = asap_obs::render_metrics(&asap_obs::metrics_snapshot());
             let _ = write_response(stream, 200, &[], "text/plain; charset=utf-8", &body);
         }
@@ -705,6 +820,188 @@ fn handle_connection(
     ConnOutcome::Done
 }
 
+/// Write a rejection with an optional `Retry-After` and account it.
+fn bounce(
+    stream: &mut TcpStream,
+    status: u16,
+    retry_after_secs: Option<u64>,
+    status_label: &str,
+    kind: &str,
+    message: &str,
+) {
+    let extra: Vec<(&str, String)> = match retry_after_secs {
+        Some(s) => vec![("Retry-After", s.to_string())],
+        None => Vec::new(),
+    };
+    let _ = write_json(
+        stream,
+        status,
+        &extra,
+        &render_error(status_label, kind, message),
+    );
+}
+
+/// The brownout ladder's current level from global job-queue pressure:
+/// 0 below half the job bound, 1 (shed inline uploads) at ≥ 1/2,
+/// 2 (also shed lowest-weight tenants) at ≥ 3/4.
+fn brownout_level(shared: &Shared) -> u8 {
+    let depth = shared.sched.job_depth();
+    let bound = shared.sched.job_bound();
+    let level = if depth * 4 >= bound * 3 {
+        2
+    } else if depth * 2 >= bound {
+        1
+    } else {
+        0
+    };
+    asap_obs::gauge_set("serve.brownout.level", i64::from(level));
+    level
+}
+
+/// The admission ladder for one `POST /v1/run` (see module docs):
+/// tenant → token bucket → brownout → parse/residency → lane submit.
+/// Success moves the stream into a queued [`Job`]; every failure writes
+/// its typed rejection here and now.
+fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
+    let stream = slot.as_mut().expect("worker slot holds the connection");
+    let tenant = match shared.tenants.resolve(req.header("x-asap-tenant")) {
+        Ok(t) => t,
+        Err(e @ TenantError::BadName(_)) => {
+            asap_obs::counter_inc("serve.bad_requests");
+            bounce(stream, 400, None, "bad_request", "tenant", &e.to_string());
+            return;
+        }
+        Err(e @ TenantError::TooMany(_)) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.rejected");
+            asap_obs::counter_inc("serve.tenant_rejected");
+            bounce(stream, 429, Some(5), "overloaded", "tenant", &e.to_string());
+            return;
+        }
+    };
+    if let Err(retry_after) = tenant.try_admit() {
+        tenant.count_rejected();
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        asap_obs::counter_inc("serve.rejected");
+        asap_obs::counter_inc("serve.quota_rejected");
+        bounce(
+            stream,
+            429,
+            Some(retry_after),
+            "overloaded",
+            "quota",
+            &format!(
+                "tenant {:?} is over its request rate; retry after {retry_after}s",
+                tenant.name
+            ),
+        );
+        return;
+    }
+    let level = brownout_level(shared);
+    if level >= 2 {
+        // Shed lowest-weight tenants — but only when weights actually
+        // differ; with one weight class there is nobody "lowest".
+        let (min_w, max_w) = shared.tenants.weight_band();
+        if min_w < max_w && tenant.weight == min_w {
+            tenant.count_shed();
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.rejected");
+            asap_obs::counter_inc("serve.brownout.shed");
+            bounce(
+                stream,
+                429,
+                Some(1),
+                "overloaded",
+                "brownout",
+                "server is under sustained pressure and shedding low-weight tenants; retry later",
+            );
+            return;
+        }
+    }
+    let ctx = RequestCtx {
+        catalog: &shared.catalog,
+        store: &shared.store,
+        tenant: &tenant,
+        default_deadline_ms: shared.cfg.default_deadline_ms,
+        exec_bytes: shared.cfg.exec_bytes,
+        allow_inline: level == 0,
+    };
+    let run = match parse_run_request(&req.body, &ctx) {
+        Ok(r) => r,
+        Err(rej) => {
+            let status = rej.status();
+            if status == 400 {
+                asap_obs::counter_inc("serve.bad_requests");
+            } else {
+                tenant.count_rejected();
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                asap_obs::counter_inc("serve.rejected");
+                if rej.kind() == "brownout" {
+                    asap_obs::counter_inc("serve.brownout.inline_rejected");
+                }
+            }
+            let label = match status {
+                400 => "bad_request",
+                413 => "payload_too_large",
+                _ => "overloaded",
+            };
+            let retry = (status == 429).then_some(1);
+            bounce(stream, status, retry, label, rej.kind(), &rej.message());
+            return;
+        }
+    };
+    let deadline_at =
+        (run.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(run.deadline_ms));
+    let stream = slot.take().expect("worker slot holds the connection");
+    let weight = tenant.weight;
+    let name = tenant.name.clone();
+    let job = Job {
+        stream,
+        run,
+        tenant,
+        deadline_at,
+    };
+    match shared.sched.submit_job(&name, weight, job) {
+        Ok(depth) => {
+            asap_obs::gauge_set("serve.jobs_depth", depth as i64);
+            asap_obs::counter_set_max("serve.jobs_depth_peak", depth as u64);
+        }
+        Err(SubmitError::TenantFull(job)) => {
+            let Job {
+                mut stream, tenant, ..
+            } = job;
+            tenant.count_rejected();
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.rejected");
+            asap_obs::counter_inc("serve.lane_rejected");
+            bounce(
+                &mut stream,
+                429,
+                Some(1),
+                "overloaded",
+                "admission",
+                &format!("tenant {name:?} queue is full; retry after 1s"),
+            );
+        }
+        Err(SubmitError::TotalFull(job)) => {
+            let Job {
+                mut stream, tenant, ..
+            } = job;
+            tenant.count_rejected();
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.rejected");
+            bounce(
+                &mut stream,
+                429,
+                Some(1),
+                "overloaded",
+                "admission",
+                "job queue is full; retry after 1s",
+            );
+        }
+    }
+}
+
 fn healthz_body(shared: &Shared) -> String {
     let workers_alive = {
         let slots = lock_slots(&shared.supervisor);
@@ -722,10 +1019,22 @@ fn healthz_body(shared: &Shared) -> String {
             "ok"
         },
     )
-    .usize("queue_depth", shared.queue.len())
+    .usize(
+        "queue_depth",
+        shared.sched.conn_depth() + shared.sched.job_depth(),
+    )
+    .usize("conn_depth", shared.sched.conn_depth())
+    .usize("job_depth", shared.sched.job_depth())
+    .usize("active_lanes", shared.sched.active_lanes())
     .u64("in_flight", shared.in_flight.load(Ordering::Relaxed))
     .u64("served", shared.served.load(Ordering::Relaxed))
     .u64("rejected", shared.rejected.load(Ordering::Relaxed))
+    .u64("shed_expired", shared.shed_expired.load(Ordering::Relaxed))
+    .u64("brownout_level", u64::from(brownout_level(shared)))
+    .u64("store_bytes", shared.store.bytes())
+    .u64("store_ceiling", shared.store.ceiling())
+    .usize("store_entries", shared.store.entries())
+    .usize("tenants", shared.tenants.snapshot().len())
     .usize("workers", shared.cfg.workers)
     .usize("workers_alive", workers_alive)
     .u64(
@@ -750,32 +1059,56 @@ fn healthz_body(shared: &Shared) -> String {
     w.finish()
 }
 
-fn handle_run(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
-    let run = match parse_run_request(body, &shared.catalog, shared.cfg.default_deadline_ms) {
-        Ok(r) => r,
-        Err(e) => {
-            asap_obs::counter_inc("serve.bad_requests");
+/// Execute a popped job — or shed it with a 504 if its deadline expired
+/// while it sat in the lane (a worker writes the response but never
+/// pays compile/execute/delay for a request nobody is waiting on).
+fn execute_run(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    run: &RunRequest,
+    tenant: &Arc<TenantState>,
+    deadline_at: Option<Instant>,
+) {
+    let now = Instant::now();
+    if let Some(d) = deadline_at {
+        if now >= d {
+            shared.shed_expired.fetch_add(1, Ordering::Relaxed);
+            asap_obs::counter_inc("serve.shed.expired");
+            asap_obs::counter_inc("serve.deadline_exceeded");
+            tenant.count_shed();
             let _ = write_json(
                 stream,
-                400,
+                504,
                 &[],
-                &render_error("bad_request", e.kind(), &e.to_string()),
+                &render_error(
+                    "deadline_exceeded",
+                    "shed",
+                    "deadline expired while queued; request shed unrun",
+                ),
             );
             return;
         }
-    };
+    }
+    if shared.cfg.worker_delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+    }
+    // Queue time already spent counts against the client's deadline:
+    // budget with what is left, not the original span.
+    let remaining_ms = deadline_at
+        .map(|d| d.saturating_duration_since(Instant::now()).as_millis() as u64)
+        .unwrap_or(0);
     let cancel = CancelToken::new();
     let reaper_id = shared.reaper.register(&cancel, stream);
     let result = shared
         .flights
-        .compile(run.kernel, &run.sparse, &run.strategy)
+        .compile(run.kernel, run.sparse(), &run.strategy)
         .and_then(|(ck, cache_hit, compile_ns)| {
             asap_core::execute_request(
                 &ck,
                 run.kernel,
-                &run.sparse,
+                run.sparse(),
                 run.engine,
-                &run.budget(&cancel),
+                &run.budget_with_remaining(&cancel, remaining_ms),
                 cache_hit,
                 compile_ns,
             )
@@ -786,9 +1119,13 @@ fn handle_run(shared: &Shared, stream: &mut TcpStream, body: &[u8]) {
     match result {
         Ok(outcome) => {
             shared.served.fetch_add(1, Ordering::Relaxed);
+            tenant.count_served();
             asap_obs::counter_inc("serve.served");
             asap_obs::histogram_record("serve.exec_ns", outcome.exec_ns);
-            let _ = write_json(stream, 200, &[], &render_outcome(&run, &outcome));
+            if run.resident.store_hit {
+                asap_obs::counter_inc("serve.served_store_hits");
+            }
+            let _ = write_json(stream, 200, &[], &render_outcome(run, &outcome));
         }
         // A tripped budget is governed termination, not failure: the
         // deadline (or the client disconnecting, via the cancel token)
