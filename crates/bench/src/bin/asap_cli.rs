@@ -56,7 +56,9 @@ fn usage() -> ! {
          [--size tiny|small|full] [--deadline-ms N] [--crash-journal PATH.jsonl]\n\
          [--io-timeout-ms N] [--store-bytes N] [--tenant-store-bytes N] \
          [--tenant-rps F] [--tenant-burst F] [--tenant-queue-bound N] [--job-bound N] \
-         [--exec-bytes N] [--tenant-weight NAME:W]... [--max-tenants N]\n\
+         [--exec-bytes N] [--tenant-weight NAME:W]... [--max-tenants N] \
+         [--no-telemetry] [--slo-ms N] [--flight-ring N] [--flight-retain N] \
+         [--access-log PATH.jsonl]\n\
          generators: rmat:SCALE:DEG  er:N:DEG  road:N  banded:N:BAND  powerlaw:N:DEG"
     );
     std::process::exit(2);
@@ -442,6 +444,11 @@ fn serve_main(args: Vec<String>) {
             "--job-bound" => cfg.job_bound = val().parse().unwrap_or_else(|_| usage()),
             "--exec-bytes" => cfg.exec_bytes = val().parse().unwrap_or_else(|_| usage()),
             "--max-tenants" => cfg.max_tenants = val().parse().unwrap_or_else(|_| usage()),
+            "--no-telemetry" => cfg.telemetry = false,
+            "--slo-ms" => cfg.slo_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--flight-ring" => cfg.flight_ring = val().parse().unwrap_or_else(|_| usage()),
+            "--flight-retain" => cfg.flight_retain = val().parse().unwrap_or_else(|_| usage()),
+            "--access-log" => cfg.access_log = Some(std::path::PathBuf::from(val())),
             "--tenant-weight" => {
                 // NAME:W — a scheduling weight for a known tenant; repeatable.
                 let spec = val();
@@ -470,7 +477,10 @@ fn serve_main(args: Vec<String>) {
         std::process::exit(1);
     });
     println!("asap-serve listening on {}", server.addr());
-    println!("POST /v1/run | GET /healthz | GET /metrics | POST /control/shutdown");
+    println!(
+        "POST /v1/run | GET /healthz | GET /metrics | GET /debug/requests | \
+         GET /debug/trace/<id> | POST /control/shutdown"
+    );
     server.run_until_drained();
     println!("drained; goodbye");
 }

@@ -43,8 +43,10 @@
 
 use asap_fuzz::chaos_proxy::{ChaosConfig, ChaosProxy};
 use asap_matrices::{gen, write_matrix_market, Rng64};
-use asap_obs::ObjWriter;
-use asap_serve::{exchange_with_headers, post, ResilientClient, RetryPolicy, ServeConfig, Server};
+use asap_obs::{ObjWriter, STAGES, STAGE_COUNT};
+use asap_serve::{
+    exchange_with_headers, get, post, ResilientClient, RetryPolicy, ServeConfig, Server,
+};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -77,6 +79,10 @@ struct Args {
     victim_floor: f64,
     store_ab: bool,
     seed: u64,
+    latency_breakdown: bool,
+    obs_ab: bool,
+    reps: usize,
+    out_set: bool,
 }
 
 fn usage() -> ! {
@@ -86,7 +92,7 @@ fn usage() -> ! {
          [--strategy baseline|asap|aj] [--distance N] [--deadline-ms N] \
          [--out PATH] [--strict] [--chaos SEED] [--retry] \
          [--tenants N] [--zipf S] [--pool K] [--hostile] [--victim-floor OKPS] \
-         [--store-ab] [--seed N]"
+         [--store-ab] [--seed N] [--latency-breakdown] [--obs-ab] [--reps N]"
     );
     std::process::exit(2);
 }
@@ -115,6 +121,10 @@ fn parse_args() -> Args {
         victim_floor: 0.0,
         store_ab: false,
         seed: 0x10ad,
+        latency_breakdown: false,
+        obs_ab: false,
+        reps: 3,
+        out_set: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -131,7 +141,10 @@ fn parse_args() -> Args {
             "--strategy" => a.strategy = val(),
             "--distance" => a.distance = val().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => a.deadline_ms = val().parse().unwrap_or_else(|_| usage()),
-            "--out" => a.out = std::path::PathBuf::from(val()),
+            "--out" => {
+                a.out = std::path::PathBuf::from(val());
+                a.out_set = true;
+            }
             "--strict" => a.strict = true,
             "--chaos" => a.chaos = Some(val().parse().unwrap_or_else(|_| usage())),
             "--retry" => a.retry = true,
@@ -142,18 +155,28 @@ fn parse_args() -> Args {
             "--victim-floor" => a.victim_floor = val().parse().unwrap_or_else(|_| usage()),
             "--store-ab" => a.store_ab = true,
             "--seed" => a.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--latency-breakdown" => a.latency_breakdown = true,
+            "--obs-ab" => a.obs_ab = true,
+            "--reps" => a.reps = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
     if a.addr.is_none() && !a.spawn {
         usage();
     }
-    if a.rps == 0 || a.duration_s == 0 || a.threads == 0 {
+    if a.rps == 0 || a.duration_s == 0 || a.threads == 0 || a.reps == 0 {
         usage();
     }
     if a.store_ab && (!a.spawn || a.tenants == 0) {
         eprintln!("--store-ab needs --spawn and --tenants N (it compares two in-process servers)");
         std::process::exit(2);
+    }
+    if a.obs_ab && !a.spawn {
+        eprintln!("--obs-ab needs --spawn (it compares two in-process servers)");
+        std::process::exit(2);
+    }
+    if a.obs_ab && !a.out_set {
+        a.out = std::path::PathBuf::from("BENCH_serve_obs.json");
     }
     if a.hostile && a.tenants < 2 {
         eprintln!("--hostile needs --tenants >= 2 (someone must be the victim)");
@@ -175,9 +198,21 @@ struct Tally {
     transport: u64,
     latencies_ns: Vec<u64>,
     checksums: Vec<String>,
+    /// Server-reported per-stage nanoseconds ([`STAGE_COUNT`] sample
+    /// vectors), harvested from 200 bodies' `stage_ns` when
+    /// `--latency-breakdown` is on; `None` keeps the parse off the
+    /// default path.
+    stage_ns: Option<Vec<Vec<u64>>>,
 }
 
 impl Tally {
+    fn new(breakdown: bool) -> Tally {
+        Tally {
+            stage_ns: breakdown.then(|| vec![Vec::new(); STAGE_COUNT]),
+            ..Tally::default()
+        }
+    }
+
     fn absorb(&mut self, other: Tally) {
         self.ok += other.ok;
         self.rejected += other.rejected;
@@ -191,6 +226,14 @@ impl Tally {
                 self.checksums.push(c);
             }
         }
+        if let Some(theirs) = other.stage_ns {
+            let mine = self
+                .stage_ns
+                .get_or_insert_with(|| vec![Vec::new(); STAGE_COUNT]);
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                m.extend(t);
+            }
+        }
     }
 
     fn record(&mut self, status: u16, latency_ns: u64, body: &str) {
@@ -202,6 +245,13 @@ impl Tally {
                     if let Some(c) = v.get("checksum").and_then(|c| c.as_str()) {
                         if !self.checksums.iter().any(|s| s == c) {
                             self.checksums.push(c.to_string());
+                        }
+                    }
+                    if let (Some(stages), Some(obj)) = (&mut self.stage_ns, v.get("stage_ns")) {
+                        for (i, stage) in STAGES.iter().enumerate() {
+                            if let Some(ns) = obj.get(stage.label()).and_then(|n| n.as_u64()) {
+                                stages[i].push(ns);
+                            }
                         }
                     }
                 }
@@ -220,6 +270,53 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let rank = (p * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+fn sort_stage_samples(stages: &mut [Vec<u64>]) {
+    for s in stages.iter_mut() {
+        s.sort_unstable();
+    }
+}
+
+/// The `--latency-breakdown` table: per-stage p50/p95/p99 over the
+/// server-reported `stage_ns` samples. Stages with no samples are
+/// omitted — `write` never appears (the response body is rendered
+/// before the write is timed) and `queue_wait` is absent on an idle
+/// server. Expects each stage's samples pre-sorted.
+fn print_stage_breakdown(stages: &[Vec<u64>]) {
+    println!("stage breakdown (server-reported stage_ns from 200 bodies):");
+    for (i, stage) in STAGES.iter().enumerate() {
+        let samples = &stages[i];
+        if samples.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:10}: p50 {:9.1}us  p95 {:9.1}us  p99 {:9.1}us  (n={})",
+            stage.label(),
+            percentile(samples, 0.50) as f64 / 1e3,
+            percentile(samples, 0.95) as f64 / 1e3,
+            percentile(samples, 0.99) as f64 / 1e3,
+            samples.len()
+        );
+    }
+}
+
+/// JSON form of the breakdown table. Expects pre-sorted samples.
+fn stage_breakdown_json(stages: &[Vec<u64>]) -> String {
+    let mut w = ObjWriter::new();
+    for (i, stage) in STAGES.iter().enumerate() {
+        let samples = &stages[i];
+        if samples.is_empty() {
+            continue;
+        }
+        let mut s = ObjWriter::new();
+        s.usize("count", samples.len())
+            .u64("p50_ns", percentile(samples, 0.50))
+            .u64("p95_ns", percentile(samples, 0.95))
+            .u64("p99_ns", percentile(samples, 0.99));
+        w.raw(stage.label(), &s.finish());
+    }
+    w.finish()
 }
 
 /// The multi-tenant request plan: pre-rendered bodies (distinct inline
@@ -320,6 +417,7 @@ fn run_phase(
     timeout: Duration,
     client: Option<Arc<ResilientClient>>,
     total_cap: usize,
+    breakdown: bool,
 ) -> (Tally, Vec<Tally>, Duration) {
     let next = Arc::new(AtomicUsize::new(0));
     let stop = Arc::new(AtomicBool::new(false));
@@ -338,7 +436,7 @@ fn run_phase(
             let per_tenant = per_tenant.clone();
             let client = client.clone();
             s.spawn(move || {
-                let mut local = Tally::default();
+                let mut local = Tally::new(breakdown);
                 let mut local_tenant: Vec<Tally> =
                     (0..per_tenant.len()).map(|_| Tally::default()).collect();
                 loop {
@@ -473,6 +571,7 @@ fn run_store_ab(args: &Args, plan: &TenantPlan, timeout: Duration) -> ! {
             timeout,
             None,
             usize::MAX,
+            false,
         );
         server.join();
         agg.latencies_ns.sort_unstable();
@@ -557,6 +656,212 @@ fn run_store_ab(args: &Args, plan: &TenantPlan, timeout: Duration) -> ! {
     std::process::exit(0);
 }
 
+/// The telemetry-overhead ceiling `--obs-ab --strict` enforces: the
+/// tracing plane may cost at most this fraction of baseline throughput.
+const OBS_OVERHEAD_GATE: f64 = 0.02;
+
+/// The `--obs-ab` experiment: identical closed-loop workloads against a
+/// telemetry-off and a telemetry-on server (access log off on both), so
+/// the contrast is the entire request-scoped tracing plane — trace-id
+/// minting, stage clocks, labeled histograms, the flight recorder.
+/// Closed-loop capacity is noisy, so each side reports its best of
+/// `--reps` phases and the gate compares the bests; the acceptance
+/// wants the overhead under [`OBS_OVERHEAD_GATE`]. The telemetry side
+/// also yields the `--latency-breakdown` stage table (its 200 bodies
+/// carry `stage_ns`) and a flight-recorder dump fetched from
+/// `/debug/requests` while the server is still up, which CI attaches as
+/// an artifact when the gate fails.
+fn run_obs_ab(args: &Args, timeout: Duration) -> ! {
+    // One small named-matrix request: resident in the store after
+    // warmup, so the measured path is short and the fixed per-request
+    // telemetry cost is as visible as it ever gets.
+    let body = {
+        let mut w = ObjWriter::new();
+        w.str("kernel", &args.kernel)
+            .str("matrix", &args.matrix)
+            .str("strategy", &args.strategy)
+            .usize("distance", args.distance)
+            .u64("deadline_ms", args.deadline_ms);
+        w.finish()
+    };
+    let plan = TenantPlan {
+        bodies: vec![body],
+        zipf_cdf: vec![1.0],
+        tenant_names: Vec::new(),
+        shares: vec![0],
+        seed: args.seed,
+    };
+    let duration = Duration::from_secs(args.duration_s);
+    let flight_path = args.out.with_extension("flight.jsonl");
+
+    struct Side {
+        label: &'static str,
+        best: f64,
+        rates: Vec<f64>,
+        agg: Tally,
+    }
+    let mut sides: Vec<Side> = Vec::new();
+    for (label, telemetry) in [("telemetry_off", false), ("telemetry_on", true)] {
+        let server = Server::start(ServeConfig {
+            telemetry,
+            ..ServeConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start in-process server: {e}");
+            std::process::exit(1);
+        });
+        let addr = server.addr();
+        for i in 0..args.warmup.max(2) {
+            if let Err(e) = post(addr, "/v1/run", &plan.bodies[0], timeout) {
+                eprintln!("warmup request {i} against {label} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let mut rates = Vec::new();
+        // Harvest stage_ns only where the server emits it.
+        let mut agg_all = Tally::new(telemetry);
+        for _ in 0..args.reps {
+            let (agg, _, elapsed) = run_phase(
+                addr,
+                &plan,
+                None,
+                duration,
+                args.threads,
+                timeout,
+                None,
+                usize::MAX,
+                telemetry,
+            );
+            rates.push(agg.ok as f64 / elapsed.as_secs_f64());
+            agg_all.absorb(agg);
+        }
+        if telemetry {
+            // Dump the flight recorder while the server is still up.
+            match get(addr, "/debug/requests", timeout) {
+                Ok(reply) if reply.status == 200 => {
+                    if let Err(e) = std::fs::write(&flight_path, &reply.body) {
+                        eprintln!("cannot write {}: {e}", flight_path.display());
+                    } else {
+                        eprintln!("wrote {}", flight_path.display());
+                    }
+                }
+                Ok(reply) => eprintln!("/debug/requests answered {}", reply.status),
+                Err(e) => eprintln!("/debug/requests failed: {e}"),
+            }
+        }
+        server.join();
+        let best = rates.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{label:13}: best {best:.0} ok/s over {} rep(s) [{}] ({} ok, {} 5xx, {} transport)",
+            args.reps,
+            rates
+                .iter()
+                .map(|r| format!("{r:.0}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            agg_all.ok,
+            agg_all.server_err,
+            agg_all.transport
+        );
+        sides.push(Side {
+            label,
+            best,
+            rates,
+            agg: agg_all,
+        });
+    }
+
+    let off_best = sides[0].best.max(f64::MIN_POSITIVE);
+    let overhead = ((off_best - sides[1].best) / off_best).max(0.0);
+    println!(
+        "telemetry overhead: {:.2}% of baseline throughput (gate {:.0}%)",
+        overhead * 100.0,
+        OBS_OVERHEAD_GATE * 100.0
+    );
+    if let Some(stages) = sides[1].agg.stage_ns.as_mut() {
+        sort_stage_samples(stages);
+        print_stage_breakdown(stages);
+    }
+
+    let json = {
+        let cfg = {
+            let mut w = ObjWriter::new();
+            w.str("matrix", &args.matrix)
+                .str("kernel", &args.kernel)
+                .str("strategy", &args.strategy)
+                .usize("distance", args.distance)
+                .u64("duration_s", args.duration_s)
+                .usize("threads", args.threads)
+                .usize("reps", args.reps)
+                .usize("warmup", args.warmup.max(2));
+            w.finish()
+        };
+        let mut w = ObjWriter::new();
+        w.str("bench", "serve-obs-ab").raw("config", &cfg);
+        for side in &sides {
+            let mut s = ObjWriter::new();
+            s.raw("ok_per_s_best", &format!("{:.1}", side.best))
+                .raw(
+                    "ok_per_s_reps",
+                    &format!(
+                        "[{}]",
+                        side.rates
+                            .iter()
+                            .map(|r| format!("{r:.1}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                )
+                .u64("ok", side.agg.ok)
+                .u64("rejected_429", side.agg.rejected)
+                .u64("deadline_504", side.agg.deadline)
+                .u64("bad", side.agg.bad)
+                .u64("server_5xx", side.agg.server_err)
+                .u64("transport_errors", side.agg.transport);
+            w.raw(side.label, &s.finish());
+        }
+        w.raw("overhead_frac", &format!("{overhead:.4}"))
+            .raw("gate_frac", &format!("{OBS_OVERHEAD_GATE:.2}"));
+        if let Some(stages) = &sides[1].agg.stage_ns {
+            w.raw("stage_latency", &stage_breakdown_json(stages));
+        }
+        w.finish()
+    };
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, format!("{json}\n")) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out.display());
+
+    if args.strict {
+        let server_err: u64 = sides.iter().map(|s| s.agg.server_err).sum();
+        if server_err > 0 {
+            eprintln!("FAIL: {server_err} 5xx responses in obs A/B");
+            std::process::exit(1);
+        }
+        if sides.iter().any(|s| s.agg.ok == 0) {
+            eprintln!("FAIL: a side of the obs A/B produced zero goodput");
+            std::process::exit(1);
+        }
+        if overhead > OBS_OVERHEAD_GATE {
+            eprintln!(
+                "FAIL: telemetry costs {:.2}% of throughput; acceptance wants <= {:.0}% \
+                 (flight dump: {})",
+                overhead * 100.0,
+                OBS_OVERHEAD_GATE * 100.0,
+                flight_path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     let timeout = Duration::from_millis(args.deadline_ms + 10_000);
@@ -569,6 +874,9 @@ fn main() {
             plan.as_ref().expect("checked in parse_args"),
             timeout,
         );
+    }
+    if args.obs_ab {
+        run_obs_ab(&args, timeout);
     }
 
     // --spawn: run the server in this process (the CI smoke path — no
@@ -667,6 +975,7 @@ fn main() {
         timeout,
         client,
         total,
+        args.latency_breakdown,
     );
     let chaos_stats = proxy.as_mut().map(|p| p.stop());
     // The resilient client reports through the process-global registry;
@@ -708,6 +1017,10 @@ fn main() {
         t.checksums.len(),
         t.checksums.join(", ")
     );
+    if let Some(stages) = t.stage_ns.as_mut() {
+        sort_stage_samples(stages);
+        print_stage_breakdown(stages);
+    }
     for (name, tt) in plan.tenant_names.iter().zip(per_tenant.iter_mut()) {
         tt.latencies_ns.sort_unstable();
         println!(
@@ -787,6 +1100,9 @@ fn main() {
             .u64("latency_p99_ns", p99)
             .u64("latency_max_ns", pmax)
             .str_array("checksums", &t.checksums);
+        if let Some(stages) = &t.stage_ns {
+            w.raw("stage_latency", &stage_breakdown_json(stages));
+        }
         if !plan.tenant_names.is_empty() {
             w.raw(
                 "tenants",

@@ -35,6 +35,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod tee;
+pub mod trace;
 
 pub use analyzer::{
     analyze, analyze_with_counters, render_site_table, site_labels, Effectiveness, SiteStats,
@@ -43,8 +44,9 @@ pub use json::{parse as parse_json, Json, ObjWriter};
 pub use manifest::{RunManifest, BUILD_PROFILE};
 pub use metrics::{
     counter_add, counter_get, counter_inc, counter_set_max, gauge_add, gauge_get, gauge_set,
-    gauge_sub, histogram_record, render as render_metrics, snapshot as metrics_snapshot,
-    HistogramSnapshot, MetricsSnapshot,
+    gauge_sub, histogram_record, labeled_counter_add, labeled_histogram_record, labeled_name,
+    labeled_snapshot, render as render_metrics, render_labeled, snapshot as metrics_snapshot,
+    HistogramSnapshot, LabeledHistogramSnapshot, LabeledSnapshot, MetricsSnapshot,
 };
 pub use recorder::{
     enabled, render_span_tree, render_span_tree_timed, set_enabled, snapshot_spans, span,
@@ -52,9 +54,23 @@ pub use recorder::{
 };
 pub use sink::{render_jsonl, validate_jsonl, write_jsonl};
 pub use tee::TeeModel;
+pub use trace::{
+    flush_stage_metrics, FlightRecorder, RequestRecord, Stage, TraceCtx, TraceId, STAGES,
+    STAGE_COUNT,
+};
 
 /// Reset spans and metrics together (the determinism tests' preamble).
 pub fn reset_all() {
     recorder::reset();
     metrics::reset();
+    metrics::labeled_reset();
+}
+
+/// Render the full `/metrics` exposition: the unlabeled registry first
+/// (byte-identical to [`render_metrics`] — the determinism golden test
+/// pins that), then the labeled serving series with exemplars.
+pub fn render_metrics_all() -> String {
+    let mut out = render_metrics(&metrics_snapshot());
+    out.push_str(&render_labeled(&labeled_snapshot()));
+    out
 }

@@ -12,6 +12,14 @@
 //! through every API. Names are dotted paths: `cache.hits`,
 //! `pool.retries`, `budget.polls`, `vm.dispatch.<opcode>`.
 
+//! Two registries live here. The original one keys on `&'static str`
+//! (hot-path metrics compiled into call sites). The **labeled** one keys
+//! on owned strings (`serve.stage_ns{stage="exec",tenant="t0"}`) so the
+//! serving layer can fan one metric out per tenant and per stage; its
+//! histograms additionally retain **exemplars** — the last 128-bit trace
+//! id observed in each bucket, written through a tiny seqlock so a
+//! `/metrics` scrape can link a tail bucket to one concrete request.
+
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -273,6 +281,355 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Labeled registry (serving telemetry)
+// ---------------------------------------------------------------------------
+//
+// The serving layer needs one histogram per (stage, tenant) pair, and the
+// set of tenants is only known at runtime, so these registries key on
+// owned `String`s. Recording still costs one registry-lock acquisition
+// per call (the name must be hashed either way); the interesting part is
+// the exemplar slots: each histogram bucket carries a seqlock-protected
+// 128-bit trace id — the last request that landed in that bucket — so
+// a `/metrics` scrape can name a concrete request behind a tail bucket.
+
+/// Seqlock-protected 128-bit exemplar slot. Writers bump `seq` to odd,
+/// store both halves, bump to even; readers retry until they observe a
+/// stable even `seq`. Writers never block (a lost race just means the
+/// other request's trace id wins — either is a valid exemplar).
+struct ExemplarSlot {
+    seq: AtomicU64,
+    hi: AtomicU64,
+    lo: AtomicU64,
+}
+
+impl ExemplarSlot {
+    fn new() -> ExemplarSlot {
+        ExemplarSlot {
+            seq: AtomicU64::new(0),
+            hi: AtomicU64::new(0),
+            lo: AtomicU64::new(0),
+        }
+    }
+
+    fn store(&self, id: u128) {
+        let s = self.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return; // another writer mid-flight; drop ours
+        }
+        if self
+            .seq
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.hi.store((id >> 64) as u64, Ordering::Relaxed);
+        self.lo.store(id as u64, Ordering::Relaxed);
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    fn load(&self) -> Option<u128> {
+        for _ in 0..8 {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 == 0 {
+                return None; // never written
+            }
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let hi = self.hi.load(Ordering::Relaxed);
+            let lo = self.lo.load(Ordering::Relaxed);
+            if self.seq.load(Ordering::Acquire) == s1 {
+                return Some(((hi as u128) << 64) | lo as u128);
+            }
+        }
+        None // persistently torn; skip rather than publish garbage
+    }
+}
+
+/// A log2 histogram whose buckets remember the last trace id observed.
+pub struct LabeledHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    exemplars: [ExemplarSlot; HIST_BUCKETS],
+}
+
+impl LabeledHistogram {
+    fn new() -> LabeledHistogram {
+        LabeledHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            exemplars: std::array::from_fn(|_| ExemplarSlot::new()),
+        }
+    }
+
+    fn record(&self, v: u64, exemplar: Option<u128>) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        if let Some(id) = exemplar {
+            self.exemplars[b].store(id);
+        }
+    }
+}
+
+struct LabeledRegistry {
+    counters: BTreeMap<String, &'static AtomicU64>,
+    histograms: BTreeMap<String, &'static LabeledHistogram>,
+}
+
+fn labeled_registry() -> &'static Mutex<LabeledRegistry> {
+    static REG: OnceLock<Mutex<LabeledRegistry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        Mutex::new(LabeledRegistry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    })
+}
+
+fn labeled_lock() -> std::sync::MutexGuard<'static, LabeledRegistry> {
+    labeled_registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+thread_local! {
+    /// Per-thread handle caches for the hot recording path. Series
+    /// handles are `&'static` and are never removed from the registry
+    /// ([`labeled_reset`] zeroes values in place), so a cached handle
+    /// is valid forever; steady-state recording then takes no lock —
+    /// the registry mutex is only paid the first time each thread sees
+    /// a series name. Without this, every worker serializes on one
+    /// global mutex several times per request, which alone blows the
+    /// serving layer's 2% telemetry-overhead budget.
+    static TL_COUNTERS: std::cell::RefCell<std::collections::HashMap<String, &'static AtomicU64>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+    static TL_HISTOGRAMS:
+        std::cell::RefCell<std::collections::HashMap<String, &'static LabeledHistogram>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Format `name{k1="v1",k2="v2"}`. Callers must pass labels in a fixed
+/// (alphabetical) key order so the same series always renders the same
+/// name — the golden exposition test pins this.
+pub fn labeled_name(name: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Add `n` to the labeled counter `name` (registering it on first use).
+pub fn labeled_counter_add(name: &str, n: u64) {
+    let h = TL_COUNTERS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.get(name) {
+            Some(c) => *c,
+            None => {
+                let c = {
+                    let mut g = labeled_lock();
+                    match g.counters.get(name) {
+                        Some(c) => *c,
+                        None => {
+                            let c: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+                            g.counters.insert(name.to_string(), c);
+                            c
+                        }
+                    }
+                };
+                cache.insert(name.to_string(), c);
+                c
+            }
+        }
+    });
+    h.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record one observation into the labeled histogram `name`, optionally
+/// stamping `exemplar` (a 128-bit trace id) into the bucket it lands in.
+pub fn labeled_histogram_record(name: &str, v: u64, exemplar: Option<u128>) {
+    let h = TL_HISTOGRAMS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        match cache.get(name) {
+            Some(h) => *h,
+            None => {
+                let h = {
+                    let mut g = labeled_lock();
+                    match g.histograms.get(name) {
+                        Some(h) => *h,
+                        None => {
+                            let h: &'static LabeledHistogram =
+                                Box::leak(Box::new(LabeledHistogram::new()));
+                            g.histograms.insert(name.to_string(), h);
+                            h
+                        }
+                    }
+                };
+                cache.insert(name.to_string(), h);
+                h
+            }
+        }
+    });
+    h.record(v, exemplar);
+}
+
+/// Point-in-time copy of one labeled histogram. `exemplars` holds
+/// `(bucket_index, trace_id)` pairs for buckets that have one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledHistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub exemplars: Vec<(usize, u128)>,
+}
+
+impl LabeledHistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the labeled registry, in name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LabeledSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<(String, LabeledHistogramSnapshot)>,
+}
+
+impl LabeledSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LabeledHistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+/// Copy out every labeled metric, in deterministic (name) order.
+pub fn labeled_snapshot() -> LabeledSnapshot {
+    let g = labeled_lock();
+    LabeledSnapshot {
+        counters: g
+            .counters
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+            .collect(),
+        histograms: g
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let mut exemplars = Vec::new();
+                for b in 0..HIST_BUCKETS {
+                    if h.buckets[b].load(Ordering::Relaxed) > 0 {
+                        if let Some(id) = h.exemplars[b].load() {
+                            exemplars.push((b, id));
+                        }
+                    }
+                }
+                (
+                    n.clone(),
+                    LabeledHistogramSnapshot {
+                        buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                        exemplars,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Zero every labeled metric (names stay registered). Exemplar slots are
+/// cleared back to the never-written state observers see as absent.
+pub fn labeled_reset() {
+    let g = labeled_lock();
+    for c in g.counters.values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in g.histograms.values() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        for e in &h.exemplars {
+            e.hi.store(0, Ordering::Relaxed);
+            e.lo.store(0, Ordering::Relaxed);
+            e.seq.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// How many of the highest non-empty buckets render their exemplar.
+/// Tail buckets are the ones a p99 investigation needs; capping the
+/// rendered set keeps `/metrics` output bounded per series.
+pub const EXEMPLAR_TAIL_BUCKETS: usize = 3;
+
+/// Render the labeled registry. Counters render exactly like unlabeled
+/// ones; histograms add a sparse `buckets=[idx:count,…]` listing and an
+/// `exemplars=[idx:trace_hex,…]` listing restricted to the top
+/// [`EXEMPLAR_TAIL_BUCKETS`] non-empty buckets. The golden exposition
+/// test pins this format byte-for-byte.
+pub fn render_labeled(snap: &LabeledSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name} = {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let mut nonempty: Vec<usize> = (0..HIST_BUCKETS).filter(|&b| h.buckets[b] > 0).collect();
+        let tail_from = nonempty.len().saturating_sub(EXEMPLAR_TAIL_BUCKETS);
+        let tail: Vec<usize> = nonempty.split_off(tail_from);
+        let head = nonempty; // renamed for clarity: all non-tail buckets
+        let mut bstr = String::new();
+        for &b in head.iter().chain(tail.iter()) {
+            if !bstr.is_empty() {
+                bstr.push(',');
+            }
+            bstr.push_str(&format!("{b}:{}", h.buckets[b]));
+        }
+        let mut estr = String::new();
+        for &(b, id) in h.exemplars.iter().filter(|(b, _)| tail.contains(b)) {
+            if !estr.is_empty() {
+                estr.push(',');
+            }
+            estr.push_str(&format!("{b}:{id:032x}"));
+        }
+        out.push_str(&format!(
+            "{name}: count={} sum={} mean={:.2} buckets=[{bstr}] exemplars=[{estr}]\n",
+            h.count,
+            h.sum,
+            h.mean()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,5 +734,102 @@ mod tests {
         let b = render(&snapshot());
         assert_eq!(a, b);
         assert!(a.contains("t.render = 7"));
+    }
+
+    #[test]
+    fn labeled_name_is_built_in_caller_order() {
+        assert_eq!(
+            labeled_name("g.stage_ns", &[("stage", "exec"), ("tenant", "t0")]),
+            "g.stage_ns{stage=\"exec\",tenant=\"t0\"}"
+        );
+        assert_eq!(labeled_name("g.plain", &[]), "g.plain{}");
+    }
+
+    #[test]
+    fn labeled_counters_and_histograms_accumulate() {
+        labeled_counter_add("g.lc{tenant=\"a\"}", 2);
+        labeled_counter_add("g.lc{tenant=\"a\"}", 3);
+        labeled_histogram_record("g.lh{tenant=\"a\"}", 100, Some(0xabc));
+        labeled_histogram_record("g.lh{tenant=\"a\"}", 100, None);
+        let s = labeled_snapshot();
+        assert_eq!(s.counter("g.lc{tenant=\"a\"}"), 5);
+        let h = s.histogram("g.lh{tenant=\"a\"}").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 200);
+        assert_eq!(h.buckets[7], 2); // 64..=127
+        assert_eq!(h.exemplars, vec![(7, 0xabc)]);
+    }
+
+    #[test]
+    fn exemplar_slot_survives_concurrent_writes() {
+        let slot = ExemplarSlot::new();
+        std::thread::scope(|s| {
+            for t in 0..4u128 {
+                let slot = &slot;
+                s.spawn(move || {
+                    for i in 0..500u128 {
+                        // Writer t always stores hi == lo == t*1000+i, so a
+                        // torn read (one writer's hi paired with another's
+                        // lo) shows up as mismatched halves.
+                        let v = t * 1000 + i;
+                        slot.store((v << 64) | v);
+                        if let Some(got) = slot.load() {
+                            assert_eq!(got >> 64, got & u64::MAX as u128, "torn exemplar read");
+                        }
+                    }
+                });
+            }
+        });
+        let fin = slot.load().expect("written at least once");
+        assert_eq!(fin >> 64, fin & u64::MAX as u128);
+    }
+
+    /// Golden test for the labeled exposition format: names, label order,
+    /// sparse bucket layout, and tail-bucket exemplars are pinned so
+    /// scrapers and the A/B smokes don't silently break.
+    #[test]
+    fn labeled_render_golden() {
+        let name = labeled_name("g.golden_ns", &[("stage", "exec"), ("tenant", "gold")]);
+        // Buckets: 1→b1, 2→b2, 5→b3, 70→b7, 1000→b10, 5000→b13.
+        for v in [1u64, 2, 5, 70, 1000, 5000] {
+            labeled_histogram_record(&name, v, Some(0x00de_ad00_0000_0000_0000_0000_0000_beef));
+        }
+        labeled_counter_add("g.golden.over{tenant=\"gold\"}", 4);
+        let s = labeled_snapshot();
+        let text = render_labeled(&LabeledSnapshot {
+            counters: s
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with("g.golden"))
+                .cloned()
+                .collect(),
+            histograms: s
+                .histograms
+                .iter()
+                .filter(|(n, _)| n.starts_with("g.golden"))
+                .cloned()
+                .collect(),
+        });
+        let want = concat!(
+            "g.golden.over{tenant=\"gold\"} = 4\n",
+            "g.golden_ns{stage=\"exec\",tenant=\"gold\"}: count=6 sum=6078 mean=1013.00 ",
+            "buckets=[1:1,2:1,3:1,7:1,10:1,13:1] ",
+            "exemplars=[7:00dead0000000000000000000000beef,",
+            "10:00dead0000000000000000000000beef,",
+            "13:00dead0000000000000000000000beef]\n",
+        );
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn labeled_reset_clears_values_and_exemplars() {
+        labeled_counter_add("g.reset.c{}", 9);
+        labeled_histogram_record("g.reset.h{}", 42, Some(7));
+        labeled_reset();
+        let s = labeled_snapshot();
+        assert_eq!(s.counter("g.reset.c{}"), 0);
+        let h = s.histogram("g.reset.h{}").unwrap();
+        assert_eq!(h.count, 0);
+        assert!(h.exemplars.is_empty());
     }
 }

@@ -85,6 +85,11 @@ pub fn set_enabled(on: bool) {
 }
 
 /// True when the recorder is capturing spans.
+///
+/// Lock-free contract: this is one relaxed atomic load and MUST stay
+/// that way — hot paths (the serving loop, VM dispatch) call it per
+/// operation, and taking the state mutex here would serialize them all.
+/// `enabled_never_touches_the_state_mutex` pins this.
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
@@ -301,6 +306,30 @@ mod tests {
         let tree = render_span_tree(&spans);
         assert_eq!(tree, "outer\n  inner stage=x n=3\n  inner2\n");
         assert!(render_span_tree_timed(&spans).contains("ms]"));
+    }
+
+    /// Regression pin: `enabled()` (and the disabled `span()` path it
+    /// guards) must not take the state mutex. We hold the mutex on this
+    /// thread and require a second thread to get through `enabled()` and
+    /// a disabled `span()` anyway; if either ever locks, the probe
+    /// thread blocks and the watchdog timeout fails the test instead of
+    /// hanging the suite.
+    #[test]
+    fn enabled_never_touches_the_state_mutex() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_enabled(false);
+        let _state_held = lock(); // the lock a regression would deadlock on
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let on = enabled();
+            let s = span("probe-while-locked");
+            drop(s);
+            let _ = tx.send(on);
+        });
+        match rx.recv_timeout(std::time::Duration::from_secs(5)) {
+            Ok(on) => assert!(!on),
+            Err(_) => panic!("enabled()/span() blocked on the state mutex"),
+        }
     }
 
     #[test]

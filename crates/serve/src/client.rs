@@ -37,6 +37,12 @@ impl HttpReply {
             .find(|(k, _)| k == &name.to_ascii_lowercase())
             .map(|(_, v)| v.as_str())
     }
+
+    /// The response's `X-Asap-Trace` id, if the server stamped one —
+    /// the correlation handle for `/debug/trace/<id>` lookups.
+    pub fn trace(&self) -> Option<&str> {
+        self.header("x-asap-trace")
+    }
 }
 
 /// One request/response exchange. `timeout` bounds connect, send, and

@@ -21,7 +21,7 @@ use crate::store::{MatrixStore, Resident, StoreError};
 use crate::tenant::TenantState;
 use asap_core::{ExecEngine, PrefetchStrategy, ServiceKernel, ServiceOutcome};
 use asap_ir::{AsapError, Budget, CancelToken};
-use asap_obs::{Json, ObjWriter};
+use asap_obs::{Json, ObjWriter, Stage, TraceCtx, STAGES};
 use std::sync::Arc;
 
 /// Default SpMM dense-operand width when the request omits `cols`.
@@ -50,6 +50,20 @@ pub struct RequestCtx<'a> {
     /// Brownout lever: when false, inline `mtx` uploads are refused
     /// with a retryable 429 before any parsing or allocation happens.
     pub allow_inline: bool,
+    /// Request trace context: store resolution time is attributed to
+    /// [`Stage::Store`] through this. `None` (or a dormant context)
+    /// records nothing.
+    pub trace: Option<&'a TraceCtx>,
+}
+
+impl RequestCtx<'_> {
+    /// Run `f`, attributing its wall time to the store stage.
+    fn timed_store<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.trace {
+            Some(t) => t.time(Stage::Store, f),
+            None => f(),
+        }
+    }
 }
 
 /// A typed parse/resolve failure carrying its HTTP status.
@@ -172,16 +186,18 @@ fn opt_usize(v: &Json, field: &str) -> Result<Option<usize>, AsapError> {
 /// Resolve a named/`gen:` reference through the store (hit → pinned
 /// resident; miss → build once, admit on the tenant's account).
 fn resolve_named(ctx: &RequestCtx, name: &str) -> Result<Resident, RunReject> {
-    if !ctx.store.enabled() {
-        // Store disabled: the legacy catalog cache keeps the warm path.
-        return Ok(Resident::unmanaged(ctx.catalog.resolve(name)?));
-    }
-    let key = format!("ref:{name}");
-    if let Some(r) = ctx.store.lookup(&key) {
-        return Ok(r);
-    }
-    let tensor = ctx.catalog.build(name)?;
-    Ok(ctx.store.admit(&key, tensor, ctx.tenant)?)
+    ctx.timed_store(|| {
+        if !ctx.store.enabled() {
+            // Store disabled: the legacy catalog cache keeps the warm path.
+            return Ok(Resident::unmanaged(ctx.catalog.resolve(name)?));
+        }
+        let key = format!("ref:{name}");
+        if let Some(r) = ctx.store.lookup(&key) {
+            return Ok(r);
+        }
+        let tensor = ctx.catalog.build(name)?;
+        Ok(ctx.store.admit(&key, tensor, ctx.tenant)?)
+    })
 }
 
 /// Resolve inline MatrixMarket text: keyed by content digest, so the
@@ -191,15 +207,17 @@ fn resolve_inline(ctx: &RequestCtx, text: &str) -> Result<Resident, RunReject> {
     if !ctx.allow_inline {
         return Err(RunReject::Brownout);
     }
-    if !ctx.store.enabled() {
-        return Ok(Resident::unmanaged(ctx.catalog.resolve_inline(text)?));
-    }
-    let key = format!("mtx:{:016x}", asap_core::fingerprint64(text.as_bytes()));
-    if let Some(r) = ctx.store.lookup(&key) {
-        return Ok(r);
-    }
-    let tensor = ctx.catalog.resolve_inline(text)?;
-    Ok(ctx.store.admit(&key, tensor, ctx.tenant)?)
+    ctx.timed_store(|| {
+        if !ctx.store.enabled() {
+            return Ok(Resident::unmanaged(ctx.catalog.resolve_inline(text)?));
+        }
+        let key = format!("mtx:{:016x}", asap_core::fingerprint64(text.as_bytes()));
+        if let Some(r) = ctx.store.lookup(&key) {
+            return Ok(r);
+        }
+        let tensor = ctx.catalog.resolve_inline(text)?;
+        Ok(ctx.store.admit(&key, tensor, ctx.tenant)?)
+    })
 }
 
 /// Parse and resolve one `/v1/run` body. Every failure is a typed
@@ -306,8 +324,16 @@ pub fn parse_run_request(body: &[u8], ctx: &RequestCtx) -> Result<RunRequest, Ru
     })
 }
 
-/// Render the success body for an executed request.
-pub fn render_outcome(req: &RunRequest, outcome: &ServiceOutcome) -> String {
+/// Render the success body for an executed request. When a live trace
+/// context is supplied, the body carries a `trace` id and a `stage_ns`
+/// object with the per-stage breakdown so far (the write stage is
+/// excluded — the response is rendered before it is written), which is
+/// what `asap_loadgen --latency-breakdown` aggregates.
+pub fn render_outcome(
+    req: &RunRequest,
+    outcome: &ServiceOutcome,
+    trace: Option<&TraceCtx>,
+) -> String {
     let mut w = ObjWriter::new();
     w.str("status", "ok")
         .str("kernel", req.kernel.label())
@@ -325,6 +351,23 @@ pub fn render_outcome(req: &RunRequest, outcome: &ServiceOutcome) -> String {
         .bool("store_hit", req.resident.store_hit)
         .bool("degraded", outcome.degraded)
         .str_array("warnings", &outcome.warnings);
+    if let Some(t) = trace.filter(|t| t.enabled()) {
+        w.str("trace", &t.id().hex());
+        let mut stages = String::from("{");
+        let mut first = true;
+        for st in STAGES {
+            if st == Stage::Write {
+                continue;
+            }
+            if !first {
+                stages.push(',');
+            }
+            first = false;
+            stages.push_str(&format!("\"{}\":{}", st.label(), t.stage_ns(st)));
+        }
+        stages.push('}');
+        w.raw("stage_ns", &stages);
+    }
     w.finish()
 }
 
@@ -370,6 +413,7 @@ mod tests {
                 default_deadline_ms,
                 exec_bytes: 0,
                 allow_inline: true,
+                trace: None,
             }
         }
     }
@@ -448,6 +492,7 @@ mod tests {
             default_deadline_ms: 1000,
             exec_bytes: 0,
             allow_inline: true,
+            trace: None,
         };
         let e =
             parse_run_request(br#"{"kernel":"spmv","matrix":"gen:er:2048:8"}"#, &ctx).unwrap_err();
@@ -535,9 +580,23 @@ mod tests {
             &req.budget(&cancel),
         )
         .unwrap();
-        let body = render_outcome(&req, &outcome);
+        let body = render_outcome(&req, &outcome, None);
         let v = asap_obs::parse_json(&body).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert!(v.get("stage_ns").is_none(), "no trace, no stage breakdown");
+        // And with a live trace the breakdown appears.
+        let t = TraceCtx::start();
+        t.add(Stage::Exec, 1234);
+        let traced = render_outcome(&req, &outcome, Some(&t));
+        let tv = asap_obs::parse_json(&traced).unwrap();
+        assert_eq!(
+            tv.get("stage_ns").unwrap().get("exec").unwrap().as_u64(),
+            Some(1234)
+        );
+        assert_eq!(
+            tv.get("trace").unwrap().as_str().unwrap(),
+            t.id().hex().as_str()
+        );
         let hex = v.get("checksum").unwrap().as_str().unwrap();
         assert_eq!(hex.len(), 16);
         assert_eq!(u64::from_str_radix(hex, 16).unwrap(), outcome.checksum);

@@ -47,9 +47,7 @@
 //! thread. No request that got a 2xx admission is dropped.
 
 use crate::batcher::SingleFlight;
-use crate::http::{
-    drain_request, read_request_with_timeout, write_json, write_response, HttpRequest,
-};
+use crate::http::{drain_request, read_request_with_timeout, write_response, HttpRequest};
 use crate::matrix::MatrixCatalog;
 use crate::queue::{PushError, SubmitError, TenantScheduler, Work};
 use crate::request::{parse_run_request, render_error, render_outcome, RequestCtx, RunRequest};
@@ -58,7 +56,7 @@ use crate::tenant::{TenantError, TenantQuotas, TenantRegistry, TenantState};
 use asap_core::fingerprint64;
 use asap_ir::CancelToken;
 use asap_matrices::SizeClass;
-use asap_obs::ObjWriter;
+use asap_obs::{flush_stage_metrics, FlightRecorder, ObjWriter, Stage, TraceCtx, TraceId};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -139,6 +137,20 @@ pub struct ServeConfig {
     pub tenant_weights: Vec<(String, u32)>,
     /// Hard cap on distinct tenants the registry will mint.
     pub max_tenants: usize,
+    /// Request-scoped telemetry: trace ids on every response, per-stage
+    /// histograms, the flight recorder. Off = the A/B baseline where
+    /// every trace call is one branch on a dormant context.
+    pub telemetry: bool,
+    /// Latency objective for the per-tenant SLO over/under counters
+    /// (`/v1/run` wall time, milliseconds).
+    pub slo_ms: u64,
+    /// Flight-recorder ring capacity per worker (plus one accept ring).
+    pub flight_ring: usize,
+    /// Bound on retained anomalous request records.
+    pub flight_retain: usize,
+    /// Append one JSON line per completed request to this file. Heavy;
+    /// the telemetry overhead gate runs with this off.
+    pub access_log: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +175,11 @@ impl Default for ServeConfig {
             exec_bytes: 0,
             tenant_weights: Vec::new(),
             max_tenants: 64,
+            telemetry: true,
+            slo_ms: 250,
+            flight_ring: 64,
+            flight_retain: 256,
+            access_log: None,
         }
     }
 }
@@ -291,6 +308,13 @@ impl Reaper {
     }
 }
 
+/// An accepted connection waiting in the conn FIFO, carrying the trace
+/// context minted at accept time (queue wait starts ticking here).
+struct Accepted {
+    stream: TcpStream,
+    trace: Arc<TraceCtx>,
+}
+
 /// A parsed `/v1/run` waiting in its tenant's lane. Holding the
 /// [`RunRequest`] holds the store pin: a queued job's matrix cannot be
 /// evicted out from under it.
@@ -301,11 +325,13 @@ struct Job {
     /// Wall-clock instant the client's deadline lands (None = no
     /// deadline). Queue time counts: jobs past this are shed unrun.
     deadline_at: Option<Instant>,
+    /// The request's trace context, following it across threads.
+    trace: Arc<TraceCtx>,
 }
 
 struct Shared {
     cfg: ServeConfig,
-    sched: TenantScheduler<TcpStream, Job>,
+    sched: TenantScheduler<Accepted, Job>,
     tenants: TenantRegistry,
     store: Arc<MatrixStore>,
     draining: AtomicBool,
@@ -315,6 +341,9 @@ struct Shared {
     catalog: MatrixCatalog,
     reaper: Reaper,
     supervisor: Supervisor,
+    flight: FlightRecorder,
+    /// Access-log sink (append mode), `None` when `--access-log` is off.
+    access: Mutex<Option<std::fs::File>>,
     started: Instant,
     // Per-server health counters ( /metrics shows the process-global
     // registry; /healthz must describe *this* server instance).
@@ -366,6 +395,14 @@ impl Server {
             flights: SingleFlight::new(),
             catalog: MatrixCatalog::new(cfg.size),
             reaper: Reaper::default(),
+            flight: FlightRecorder::new(cfg.workers.max(1) + 1, cfg.flight_ring, cfg.flight_retain),
+            access: Mutex::new(cfg.access_log.as_ref().and_then(|p| {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(p)
+                    .ok()
+            })),
             supervisor: Supervisor {
                 slots: Mutex::new(Vec::new()),
                 restarts: AtomicU64::new(0),
@@ -479,6 +516,92 @@ fn lock_slots(sup: &Supervisor) -> std::sync::MutexGuard<'_, Vec<WorkerSlot>> {
     sup.slots.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+impl Shared {
+    /// Flight-recorder ring index for the accept thread (workers own
+    /// rings `0..workers`; the accept loop gets the extra last ring).
+    fn accept_ring(&self) -> usize {
+        self.cfg.workers.max(1)
+    }
+
+    /// Mint a request trace context (dormant when telemetry is off).
+    /// Shared via `Arc` so the context can move with the job while the
+    /// conn path keeps a handle for its panic-500 response.
+    fn new_trace(&self) -> Arc<TraceCtx> {
+        Arc::new(if self.cfg.telemetry {
+            TraceCtx::start()
+        } else {
+            TraceCtx::disabled()
+        })
+    }
+}
+
+/// Complete a request's telemetry: collapse the context into a
+/// [`asap_obs::RequestRecord`], flush the per-stage histograms (with
+/// the trace id as exemplar) and SLO counters, file the record in the
+/// flight recorder's ring for `ring`, and append the access-log line.
+fn complete(shared: &Shared, ring: usize, trace: &TraceCtx, status: u16) {
+    if !trace.enabled() {
+        return;
+    }
+    let rec = trace.finish(status);
+    flush_stage_metrics(&rec, shared.cfg.slo_ms);
+    let rec = shared.flight.record(ring, rec);
+    let mut g = shared.access.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(f) = g.as_mut() {
+        let _ = writeln!(f, "{}", rec.to_jsonl());
+    }
+}
+
+/// Write a response stamped with `X-Asap-Trace`, attribute the write to
+/// [`Stage::Write`], and complete the request's telemetry. Every
+/// response the server emits — 2xx, 4xx, 5xx, any route — funnels
+/// through here (or [`respond_json`]), which is what makes the trace
+/// header universal.
+#[allow(clippy::too_many_arguments)]
+fn respond(
+    shared: &Shared,
+    ring: usize,
+    stream: &mut TcpStream,
+    trace: &TraceCtx,
+    status: u16,
+    extra: &[(&str, String)],
+    content_type: &str,
+    body: &str,
+) {
+    if !trace.enabled() {
+        let _ = write_response(stream, status, extra, content_type, body);
+        return;
+    }
+    let mut headers: Vec<(&str, String)> = extra.to_vec();
+    headers.push(("X-Asap-Trace", trace.id().hex()));
+    let t0 = Instant::now();
+    let _ = write_response(stream, status, &headers, content_type, body);
+    trace.add(Stage::Write, t0.elapsed().as_nanos() as u64);
+    complete(shared, ring, trace, status);
+}
+
+/// [`respond`] with the JSON content type.
+fn respond_json(
+    shared: &Shared,
+    ring: usize,
+    stream: &mut TcpStream,
+    trace: &TraceCtx,
+    status: u16,
+    extra: &[(&str, String)],
+    body: &str,
+) {
+    respond(
+        shared,
+        ring,
+        stream,
+        trace,
+        status,
+        extra,
+        "application/json",
+        body,
+    );
+}
+
 fn spawn_worker(
     shared: Arc<Shared>,
     id: usize,
@@ -526,6 +649,13 @@ fn supervisor_loop(shared: &Arc<Shared>) {
             &message,
             fingerprint.load(Ordering::Relaxed),
         );
+        // Dump the flight recorder alongside the crash journal: the
+        // retained anomalies plus recent rings are exactly the context
+        // a post-mortem needs next to the panic digest.
+        if let Some(journal_path) = shared.cfg.crash_journal.as_ref() {
+            let sidecar = format!("{}.flight.jsonl", journal_path.display());
+            let _ = std::fs::write(sidecar, shared.flight.dump_jsonl());
+        }
 
         // Consecutive-crash backoff: crashes spaced under the coalesce
         // window escalate the delay geometrically up to the cap.
@@ -596,26 +726,34 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 }
 
 fn admit(stream: TcpStream, shared: &Shared) {
-    match shared.sched.try_push_conn(stream) {
+    let trace = shared.new_trace();
+    trace.mark_queued();
+    match shared.sched.try_push_conn(Accepted { stream, trace }) {
         Ok(depth) => {
             asap_obs::gauge_set("serve.queue_depth", depth as i64);
             asap_obs::counter_set_max("serve.queue_depth_peak", depth as u64);
         }
-        Err(PushError::Full(mut stream)) => {
+        Err(PushError::Full(mut acc)) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("serve.rejected");
-            drain_request(&mut stream, shared.cfg.max_body_bytes);
-            let _ = write_json(
-                &mut stream,
+            drain_request(&mut acc.stream, shared.cfg.max_body_bytes);
+            respond_json(
+                shared,
+                shared.accept_ring(),
+                &mut acc.stream,
+                &acc.trace,
                 429,
                 &[("Retry-After", "1".to_string())],
                 &render_error("overloaded", "admission", "queue full; retry after 1s"),
             );
         }
-        Err(PushError::Closed(mut stream)) => {
-            drain_request(&mut stream, shared.cfg.max_body_bytes);
-            let _ = write_json(
-                &mut stream,
+        Err(PushError::Closed(mut acc)) => {
+            drain_request(&mut acc.stream, shared.cfg.max_body_bytes);
+            respond_json(
+                shared,
+                shared.accept_ring(),
+                &mut acc.stream,
+                &acc.trace,
                 503,
                 &[],
                 &render_error("draining", "admission", "server is shutting down"),
@@ -627,14 +765,16 @@ fn admit(stream: TcpStream, shared: &Shared) {
 fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
     while let Some(work) = shared.sched.next_work() {
         match work {
-            Work::Conn(stream) => {
+            Work::Conn(acc) => {
                 asap_obs::gauge_set("serve.queue_depth", shared.sched.conn_depth() as i64);
+                let Accepted { stream, trace } = acc;
+                trace.end_queued();
                 // The slot keeps the stream reachable across a panic in
                 // the handler, so the client still gets its 500; the
                 // /v1/run path takes it out to move it into a job.
                 let mut slot = Some(stream);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    handle_connection(shared, &mut slot, fingerprint)
+                    handle_connection(shared, &mut slot, &trace, fingerprint, id)
                 }));
                 shared.sched.done_conn();
                 match outcome {
@@ -654,8 +794,12 @@ fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
                             fingerprint.load(Ordering::Relaxed),
                         );
                         if let Some(mut stream) = slot.take() {
-                            let _ = write_json(
+                            trace.note_anomaly("panic");
+                            respond_json(
+                                shared,
+                                id,
                                 &mut stream,
+                                &trace,
                                 500,
                                 &[],
                                 &render_error("panic", "panic", &msg),
@@ -673,9 +817,11 @@ fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
                     run,
                     tenant,
                     deadline_at,
+                    trace,
                 } = job;
+                trace.end_queued();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    execute_run(shared, &mut stream, &run, &tenant, deadline_at)
+                    execute_run(shared, &mut stream, &run, &tenant, deadline_at, &trace, id)
                 }));
                 asap_obs::gauge_sub("serve.in_flight", 1);
                 shared.in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -688,8 +834,16 @@ fn worker_loop(shared: &Shared, id: usize, fingerprint: &AtomicU64) {
                         &msg,
                         fingerprint.load(Ordering::Relaxed),
                     );
-                    let _ =
-                        write_json(&mut stream, 500, &[], &render_error("panic", "panic", &msg));
+                    trace.note_anomaly("panic");
+                    respond_json(
+                        shared,
+                        id,
+                        &mut stream,
+                        &trace,
+                        500,
+                        &[],
+                        &render_error("panic", "panic", &msg),
+                    );
                 }
             }
         }
@@ -709,12 +863,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn handle_connection(
     shared: &Shared,
     slot: &mut Option<TcpStream>,
+    trace: &Arc<TraceCtx>,
     fingerprint: &AtomicU64,
+    ring: usize,
 ) -> ConnOutcome {
     let io_timeout = Duration::from_millis(shared.cfg.io_timeout_ms.max(1));
     let req = {
         let stream = slot.as_mut().expect("worker slot holds the connection");
-        match read_request_with_timeout(stream, shared.cfg.max_body_bytes, io_timeout) {
+        // Reading + parsing HTTP (including waiting out a slow client)
+        // is the request's parse stage.
+        let parsed = trace.time(Stage::Parse, || {
+            read_request_with_timeout(stream, shared.cfg.max_body_bytes, io_timeout)
+        });
+        match parsed {
             Ok(r) => r,
             Err(e) => {
                 // Closed / transport errors have nobody to answer;
@@ -736,12 +897,18 @@ fn handle_connection(
                         431 => "header_fields_too_large",
                         _ => "bad_request",
                     };
-                    let _ = write_json(
+                    respond_json(
+                        shared,
+                        ring,
                         stream,
+                        trace,
                         status,
                         &[],
                         &render_error(label, "http", &e.to_string()),
                     );
+                } else {
+                    // Nobody to answer; still file the flight record.
+                    complete(shared, ring, trace, 0);
                 }
                 return ConnOutcome::Done;
             }
@@ -758,13 +925,39 @@ fn handle_connection(
     fingerprint.store(fingerprint64(&fp_bytes), Ordering::Relaxed);
 
     if req.method == "POST" && req.path == "/v1/run" {
-        admit_run(shared, slot, &req);
+        admit_run(shared, slot, trace, &req, ring);
         return ConnOutcome::Done;
     }
     let stream = slot.as_mut().expect("worker slot holds the connection");
+    if req.method == "GET" {
+        if let Some(hex) = req.path.strip_prefix("/debug/trace/") {
+            // Stage breakdown for a retained (anomalous) request.
+            match TraceId::parse(hex).and_then(|id| shared.flight.lookup(id)) {
+                Some(rec) => {
+                    respond_json(shared, ring, stream, trace, 200, &[], &rec.to_jsonl());
+                }
+                None => {
+                    respond_json(
+                        shared,
+                        ring,
+                        stream,
+                        trace,
+                        404,
+                        &[],
+                        &render_error(
+                            "not_found",
+                            "trace",
+                            "trace id not retained (only anomalous requests are)",
+                        ),
+                    );
+                }
+            }
+            return ConnOutcome::Done;
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            let _ = write_json(stream, 200, &[], &healthz_body(shared));
+            respond_json(shared, ring, stream, trace, 200, &[], &healthz_body(shared));
         }
         ("GET", "/metrics") => {
             // Refresh the occupancy gauges from the authoritative
@@ -775,13 +968,39 @@ fn handle_connection(
             asap_obs::gauge_set("cache.bytes", cache.bytes as i64);
             asap_obs::gauge_set("serve.store.bytes", shared.store.bytes() as i64);
             asap_obs::gauge_set("serve.store.entries", shared.store.entries() as i64);
-            let body = asap_obs::render_metrics(&asap_obs::metrics_snapshot());
-            let _ = write_response(stream, 200, &[], "text/plain; charset=utf-8", &body);
+            let body = asap_obs::render_metrics_all();
+            respond(
+                shared,
+                ring,
+                stream,
+                trace,
+                200,
+                &[],
+                "text/plain; charset=utf-8",
+                &body,
+            );
+        }
+        ("GET", "/debug/requests") => {
+            // Flight-recorder dump: retained anomalies + ring contents.
+            let body = shared.flight.dump_jsonl();
+            respond(
+                shared,
+                ring,
+                stream,
+                trace,
+                200,
+                &[],
+                "application/jsonl",
+                &body,
+            );
         }
         ("POST", "/control/shutdown") => {
             shared.draining.store(true, Ordering::Release);
-            let _ = write_json(
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 200,
                 &[],
                 &render_error("draining", "control", "drain started"),
@@ -792,8 +1011,11 @@ fn handle_connection(
         }
         ("POST", "/debug/kill_worker") if shared.cfg.enable_fault_endpoints => {
             // Answer first — the death is the worker's, not the client's.
-            let _ = write_json(
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 200,
                 &[],
                 &render_error("ok", "control", "worker death scheduled"),
@@ -801,16 +1023,22 @@ fn handle_connection(
             return ConnOutcome::KillWorker;
         }
         ("POST" | "GET", _) => {
-            let _ = write_json(
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 404,
                 &[],
                 &render_error("not_found", "http", &format!("no route {}", req.path)),
             );
         }
         _ => {
-            let _ = write_json(
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 405,
                 &[],
                 &render_error("method_not_allowed", "http", &req.method),
@@ -821,8 +1049,12 @@ fn handle_connection(
 }
 
 /// Write a rejection with an optional `Retry-After` and account it.
+#[allow(clippy::too_many_arguments)]
 fn bounce(
+    shared: &Shared,
+    ring: usize,
     stream: &mut TcpStream,
+    trace: &TraceCtx,
     status: u16,
     retry_after_secs: Option<u64>,
     status_label: &str,
@@ -833,8 +1065,11 @@ fn bounce(
         Some(s) => vec![("Retry-After", s.to_string())],
         None => Vec::new(),
     };
-    let _ = write_json(
+    respond_json(
+        shared,
+        ring,
         stream,
+        trace,
         status,
         &extra,
         &render_error(status_label, kind, message),
@@ -862,30 +1097,67 @@ fn brownout_level(shared: &Shared) -> u8 {
 /// tenant → token bucket → brownout → parse/residency → lane submit.
 /// Success moves the stream into a queued [`Job`]; every failure writes
 /// its typed rejection here and now.
-fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
+fn admit_run(
+    shared: &Shared,
+    slot: &mut Option<TcpStream>,
+    trace: &Arc<TraceCtx>,
+    req: &HttpRequest,
+    ring: usize,
+) {
     let stream = slot.as_mut().expect("worker slot holds the connection");
+    // Quota stage: tenant resolution, token bucket, brownout. Ends when
+    // the ladder reaches parsing (or bounces).
+    let quota_start = Instant::now();
+    let quota_ns = |t0: Instant| t0.elapsed().as_nanos() as u64;
     let tenant = match shared.tenants.resolve(req.header("x-asap-tenant")) {
         Ok(t) => t,
         Err(e @ TenantError::BadName(_)) => {
             asap_obs::counter_inc("serve.bad_requests");
-            bounce(stream, 400, None, "bad_request", "tenant", &e.to_string());
+            trace.add(Stage::Quota, quota_ns(quota_start));
+            bounce(
+                shared,
+                ring,
+                stream,
+                trace,
+                400,
+                None,
+                "bad_request",
+                "tenant",
+                &e.to_string(),
+            );
             return;
         }
         Err(e @ TenantError::TooMany(_)) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("serve.rejected");
             asap_obs::counter_inc("serve.tenant_rejected");
-            bounce(stream, 429, Some(5), "overloaded", "tenant", &e.to_string());
+            trace.add(Stage::Quota, quota_ns(quota_start));
+            bounce(
+                shared,
+                ring,
+                stream,
+                trace,
+                429,
+                Some(5),
+                "overloaded",
+                "tenant",
+                &e.to_string(),
+            );
             return;
         }
     };
+    trace.set_tenant(&tenant.name);
     if let Err(retry_after) = tenant.try_admit() {
         tenant.count_rejected();
         shared.rejected.fetch_add(1, Ordering::Relaxed);
         asap_obs::counter_inc("serve.rejected");
         asap_obs::counter_inc("serve.quota_rejected");
+        trace.add(Stage::Quota, quota_ns(quota_start));
         bounce(
+            shared,
+            ring,
             stream,
+            trace,
             429,
             Some(retry_after),
             "overloaded",
@@ -907,8 +1179,13 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("serve.rejected");
             asap_obs::counter_inc("serve.brownout.shed");
+            trace.add(Stage::Quota, quota_ns(quota_start));
+            trace.note_anomaly("shed");
             bounce(
+                shared,
+                ring,
                 stream,
+                trace,
                 429,
                 Some(1),
                 "overloaded",
@@ -918,6 +1195,7 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
             return;
         }
     }
+    trace.add(Stage::Quota, quota_ns(quota_start));
     let ctx = RequestCtx {
         catalog: &shared.catalog,
         store: &shared.store,
@@ -925,8 +1203,18 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
         default_deadline_ms: shared.cfg.default_deadline_ms,
         exec_bytes: shared.cfg.exec_bytes,
         allow_inline: level == 0,
+        trace: Some(trace.as_ref()),
     };
-    let run = match parse_run_request(&req.body, &ctx) {
+    // Body parsing and matrix residency interleave inside
+    // `parse_run_request` (the store work is timed by the ctx's trace
+    // ref); the remainder of the call is the parse stage proper.
+    let store_before = trace.stage_ns(Stage::Store);
+    let parse_start = Instant::now();
+    let parsed = parse_run_request(&req.body, &ctx);
+    let parse_total = parse_start.elapsed().as_nanos() as u64;
+    let store_delta = trace.stage_ns(Stage::Store).saturating_sub(store_before);
+    trace.add(Stage::Parse, parse_total.saturating_sub(store_delta));
+    let run = match parsed {
         Ok(r) => r,
         Err(rej) => {
             let status = rej.status();
@@ -946,20 +1234,38 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
                 _ => "overloaded",
             };
             let retry = (status == 429).then_some(1);
-            bounce(stream, status, retry, label, rej.kind(), &rej.message());
+            bounce(
+                shared,
+                ring,
+                stream,
+                trace,
+                status,
+                retry,
+                label,
+                rej.kind(),
+                &rej.message(),
+            );
             return;
         }
     };
+    trace.set_request(
+        run.kernel.label(),
+        fingerprint64(run.matrix_label.as_bytes()),
+    );
     let deadline_at =
         (run.deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(run.deadline_ms));
     let stream = slot.take().expect("worker slot holds the connection");
     let weight = tenant.weight;
     let name = tenant.name.clone();
+    // The job leaves this thread with a handle to the same context.
+    // Queue wait in the tenant lane starts now.
+    trace.mark_queued();
     let job = Job {
         stream,
         run,
         tenant,
         deadline_at,
+        trace: trace.clone(),
     };
     match shared.sched.submit_job(&name, weight, job) {
         Ok(depth) => {
@@ -968,14 +1274,20 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
         }
         Err(SubmitError::TenantFull(job)) => {
             let Job {
-                mut stream, tenant, ..
+                mut stream,
+                tenant,
+                trace,
+                ..
             } = job;
             tenant.count_rejected();
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("serve.rejected");
             asap_obs::counter_inc("serve.lane_rejected");
             bounce(
+                shared,
+                ring,
                 &mut stream,
+                &trace,
                 429,
                 Some(1),
                 "overloaded",
@@ -985,13 +1297,19 @@ fn admit_run(shared: &Shared, slot: &mut Option<TcpStream>, req: &HttpRequest) {
         }
         Err(SubmitError::TotalFull(job)) => {
             let Job {
-                mut stream, tenant, ..
+                mut stream,
+                tenant,
+                trace,
+                ..
             } = job;
             tenant.count_rejected();
             shared.rejected.fetch_add(1, Ordering::Relaxed);
             asap_obs::counter_inc("serve.rejected");
             bounce(
+                shared,
+                ring,
                 &mut stream,
+                &trace,
                 429,
                 Some(1),
                 "overloaded",
@@ -1068,6 +1386,8 @@ fn execute_run(
     run: &RunRequest,
     tenant: &Arc<TenantState>,
     deadline_at: Option<Instant>,
+    trace: &TraceCtx,
+    ring: usize,
 ) {
     let now = Instant::now();
     if let Some(d) = deadline_at {
@@ -1076,8 +1396,12 @@ fn execute_run(
             asap_obs::counter_inc("serve.shed.expired");
             asap_obs::counter_inc("serve.deadline_exceeded");
             tenant.count_shed();
-            let _ = write_json(
+            trace.note_anomaly("shed");
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 504,
                 &[],
                 &render_error(
@@ -1090,7 +1414,10 @@ fn execute_run(
         }
     }
     if shared.cfg.worker_delay_ms > 0 {
-        std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+        // The injected delay models slow kernel work: exec stage.
+        trace.time(Stage::Exec, || {
+            std::thread::sleep(Duration::from_millis(shared.cfg.worker_delay_ms));
+        });
     }
     // Queue time already spent counts against the client's deadline:
     // budget with what is left, not the original span.
@@ -1099,19 +1426,24 @@ fn execute_run(
         .unwrap_or(0);
     let cancel = CancelToken::new();
     let reaper_id = shared.reaper.register(&cancel, stream);
-    let result = shared
-        .flights
-        .compile(run.kernel, run.sparse(), &run.strategy)
+    let result = trace
+        .time(Stage::Compile, || {
+            shared
+                .flights
+                .compile(run.kernel, run.sparse(), &run.strategy)
+        })
         .and_then(|(ck, cache_hit, compile_ns)| {
-            asap_core::execute_request(
-                &ck,
-                run.kernel,
-                run.sparse(),
-                run.engine,
-                &run.budget_with_remaining(&cancel, remaining_ms),
-                cache_hit,
-                compile_ns,
-            )
+            trace.time(Stage::Exec, || {
+                asap_core::execute_request(
+                    &ck,
+                    run.kernel,
+                    run.sparse(),
+                    run.engine,
+                    &run.budget_with_remaining(&cancel, remaining_ms),
+                    cache_hit,
+                    compile_ns,
+                )
+            })
         });
     if let Some(id) = reaper_id {
         shared.reaper.unregister(id);
@@ -1125,15 +1457,20 @@ fn execute_run(
             if run.resident.store_hit {
                 asap_obs::counter_inc("serve.served_store_hits");
             }
-            let _ = write_json(stream, 200, &[], &render_outcome(run, &outcome));
+            let body = render_outcome(run, &outcome, Some(trace));
+            respond_json(shared, ring, stream, trace, 200, &[], &body);
         }
         // A tripped budget is governed termination, not failure: the
         // deadline (or the client disconnecting, via the cancel token)
         // stopped the run. 504 mirrors a gateway timeout.
         Err(e) if e.kind() == "budget" => {
             asap_obs::counter_inc("serve.deadline_exceeded");
-            let _ = write_json(
+            trace.note_anomaly("deadline");
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 504,
                 &[],
                 &render_error("deadline_exceeded", e.kind(), &e.to_string()),
@@ -1143,8 +1480,11 @@ fn execute_run(
         // property of the request.
         Err(e) => {
             asap_obs::counter_inc("serve.bad_requests");
-            let _ = write_json(
+            respond_json(
+                shared,
+                ring,
                 stream,
+                trace,
                 400,
                 &[],
                 &render_error("bad_request", e.kind(), &e.to_string()),

@@ -1,0 +1,352 @@
+//! Request-scoped telemetry contracts for the `asap-serve` daemon
+//! (DESIGN.md §15): every response carries a unique `X-Asap-Trace`,
+//! anomalous requests are reconstructable from `/debug/trace/<id>` with
+//! per-stage timings that account for their wall time, the flight
+//! recorder stays bounded under churn, `/metrics` exposes the labeled
+//! stage histograms with exemplars, and the optional access log writes
+//! one parseable JSONL line per completed request.
+//!
+//! Every test starts a real server on an ephemeral loopback port and
+//! talks HTTP over TCP, because the contracts live at the edges: the
+//! header is stamped where the response bytes are written, and the
+//! flight recorder is fed from the worker that owned the request.
+
+use asap_obs::ObjWriter;
+use asap_serve::{exchange_with_headers, get, post, ServeConfig, Server};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn start(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("server starts on ephemeral port")
+}
+
+fn run_body(deadline_ms: Option<u64>) -> String {
+    let mut w = ObjWriter::new();
+    w.str("kernel", "spmv")
+        .str("matrix", "gen:er:256:4")
+        .str("strategy", "baseline");
+    if let Some(d) = deadline_ms {
+        w.u64("deadline_ms", d);
+    }
+    w.finish()
+}
+
+fn assert_trace_hex(t: &str) {
+    assert_eq!(t.len(), 32, "trace id is 128 bits as 32 hex chars: {t:?}");
+    assert!(
+        t.chars().all(|c| c.is_ascii_hexdigit()),
+        "trace id is hex: {t:?}"
+    );
+}
+
+#[test]
+fn every_response_carries_a_unique_trace_header() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+
+    // One of each response class the router can produce from outside:
+    // 200 (valid run), 400 (unparseable body), 404 (unknown route).
+    let ok = post(addr, "/v1/run", &run_body(None), TIMEOUT).expect("transport ok");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    let bad = post(addr, "/v1/run", "this is not json", TIMEOUT).expect("transport ok");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let lost = get(addr, "/no/such/route", TIMEOUT).expect("transport ok");
+    assert_eq!(lost.status, 404, "{}", lost.body);
+
+    let mut seen = Vec::new();
+    for reply in [&ok, &bad, &lost] {
+        let t = reply
+            .trace()
+            .unwrap_or_else(|| panic!("status {} lacks X-Asap-Trace", reply.status))
+            .to_string();
+        assert_trace_hex(&t);
+        assert!(!seen.contains(&t), "duplicate trace id {t}");
+        seen.push(t);
+    }
+
+    // The 200 body's own trace field agrees with the header, so a
+    // client can correlate stored results with server-side telemetry.
+    let v = asap_obs::parse_json(&ok.body).expect("200 body is json");
+    assert_eq!(
+        v.get("trace").and_then(|t| t.as_str()),
+        ok.trace(),
+        "body trace must match the response header"
+    );
+    server.join();
+}
+
+#[test]
+fn telemetry_off_strips_the_trace_plane() {
+    let server = start(ServeConfig {
+        telemetry: false,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let ok = post(addr, "/v1/run", &run_body(None), TIMEOUT).expect("transport ok");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert!(ok.trace().is_none(), "telemetry off must not stamp traces");
+    let v = asap_obs::parse_json(&ok.body).expect("200 body is json");
+    assert!(v.get("trace").is_none(), "no trace field when disabled");
+    assert!(v.get("stage_ns").is_none(), "no stage_ns when disabled");
+    server.join();
+}
+
+/// A request shed for a lapsed deadline is an anomaly, so its full
+/// stage breakdown must be reconstructable from `/debug/trace/<id>`:
+/// 504, anomaly `shed`, queue-wait dominated, and the attributed stage
+/// sum within timer skew of the recorded wall time.
+#[test]
+fn shed_request_is_reconstructable_via_debug_trace() {
+    // One worker, 250 ms per job (the pattern from the tenancy suite):
+    // a burst of long- and 40 ms-deadline requests serializes behind
+    // it, so the short ones are parsed, queued, and expire in the lane.
+    let server = start(ServeConfig {
+        workers: 1,
+        worker_delay_ms: 250,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let warm = post(addr, "/v1/run", &run_body(None), TIMEOUT).expect("transport ok");
+    assert_eq!(warm.status, 200, "warmup: {}", warm.body);
+
+    let shorts = std::thread::scope(|s| {
+        let longs: Vec<_> = (0..3)
+            .map(|_| s.spawn(move || post(addr, "/v1/run", &run_body(None), TIMEOUT)))
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let shorts: Vec<_> = (0..3)
+            .map(|_| s.spawn(move || post(addr, "/v1/run", &run_body(Some(40)), TIMEOUT)))
+            .collect();
+        for h in longs {
+            let r = h.join().unwrap().expect("transport ok");
+            assert_eq!(r.status, 200, "long-deadline request: {}", r.body);
+        }
+        shorts
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("transport ok"))
+            .collect::<Vec<_>>()
+    });
+    // At most one short may trap in the budget meter mid-execution; at
+    // least one must be shed at pop. Reconstruct that one.
+    let shed = shorts
+        .iter()
+        .find(|r| {
+            r.status == 504
+                && asap_obs::parse_json(&r.body)
+                    .ok()
+                    .and_then(|v| v.get("kind").and_then(|k| k.as_str().map(str::to_string)))
+                    .as_deref()
+                    == Some("shed")
+        })
+        .expect("at least one short-deadline request is shed at pop");
+
+    let id = shed.trace().expect("504 carries a trace").to_string();
+    let reply = get(addr, &format!("/debug/trace/{id}"), TIMEOUT).expect("transport ok");
+    assert_eq!(
+        reply.status, 200,
+        "anomaly must be retained: {}",
+        reply.body
+    );
+    let v = asap_obs::parse_json(&reply.body).expect("trace record is json");
+    assert_eq!(v.get("trace").and_then(|t| t.as_str()), Some(id.as_str()));
+    assert_eq!(v.get("status").and_then(|s| s.as_u64()), Some(504));
+    assert_eq!(v.get("anomaly").and_then(|a| a.as_str()), Some("shed"));
+    let total = v
+        .get("total_ns")
+        .and_then(|t| t.as_u64())
+        .expect("total_ns");
+    let stages = v.get("stage_ns").expect("stage_ns object");
+    let queue_wait = stages
+        .get("queue_wait")
+        .and_then(|q| q.as_u64())
+        .expect("queue_wait");
+    let sum: u64 = asap_obs::STAGES
+        .iter()
+        .filter_map(|s| stages.get(s.label()).and_then(|n| n.as_u64()))
+        .sum();
+    assert!(
+        queue_wait >= 10_000_000,
+        "a shed request's time is queue wait; got {queue_wait} ns"
+    );
+    assert!(
+        sum <= total + 5_000_000,
+        "stage sum {sum} ns must not exceed wall time {total} ns (plus skew)"
+    );
+    assert!(
+        sum * 2 >= total,
+        "stage sum {sum} ns should account for most of wall time {total} ns"
+    );
+
+    // An unknown (but well-formed) id is a 404, not a 500.
+    let missing = get(
+        addr,
+        "/debug/trace/00000000000000000000000000000000",
+        TIMEOUT,
+    )
+    .expect("transport ok");
+    assert_eq!(missing.status, 404, "{}", missing.body);
+    server.join();
+}
+
+#[test]
+fn panic_is_promoted_and_listed_in_debug_requests() {
+    let server = start(ServeConfig {
+        enable_fault_endpoints: true,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let reply = post(addr, "/debug/panic", "", TIMEOUT).expect("transport ok");
+    assert_eq!(reply.status, 500, "{}", reply.body);
+    let id = reply.trace().expect("500 carries a trace").to_string();
+
+    let rec = get(addr, &format!("/debug/trace/{id}"), TIMEOUT).expect("transport ok");
+    assert_eq!(rec.status, 200, "panic must be retained: {}", rec.body);
+    let v = asap_obs::parse_json(&rec.body).expect("trace record is json");
+    assert_eq!(v.get("anomaly").and_then(|a| a.as_str()), Some("panic"));
+
+    let dump = get(addr, "/debug/requests", TIMEOUT).expect("transport ok");
+    assert_eq!(dump.status, 200);
+    assert!(
+        dump.body.contains(&id),
+        "flight dump must list the panicked request"
+    );
+    server.join();
+}
+
+/// The flight recorder is fixed-size: per-worker rings plus a bounded
+/// retained set. A churn of successful requests can never grow the
+/// `/debug/requests` dump past `retain + rings * ring_cap` lines.
+#[test]
+fn flight_recorder_stays_bounded_under_churn() {
+    let workers = 2;
+    let (ring_cap, retain_cap) = (4, 8);
+    let server = start(ServeConfig {
+        workers,
+        flight_ring: ring_cap,
+        flight_retain: retain_cap,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let body = run_body(None);
+    for i in 0..60 {
+        let reply = post(addr, "/v1/run", &body, TIMEOUT).expect("transport ok");
+        assert_eq!(reply.status, 200, "request {i}: {}", reply.body);
+    }
+    let dump = get(addr, "/debug/requests", TIMEOUT).expect("transport ok");
+    assert_eq!(dump.status, 200);
+    let lines: Vec<&str> = dump.body.lines().filter(|l| !l.is_empty()).collect();
+    let bound = retain_cap + (workers + 1) * ring_cap;
+    assert!(
+        !lines.is_empty() && lines.len() <= bound,
+        "dump has {} lines; bound is {bound}",
+        lines.len()
+    );
+    for line in lines {
+        let v = asap_obs::parse_json(line).expect("every dump line is json");
+        assert!(v.get("trace").and_then(|t| t.as_str()).is_some());
+    }
+    server.join();
+}
+
+#[test]
+fn metrics_exposes_stage_histograms_with_exemplars_and_slo_counters() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    for _ in 0..5 {
+        let reply = post(addr, "/v1/run", &run_body(None), TIMEOUT).expect("transport ok");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+    }
+    let metrics = get(addr, "/metrics", TIMEOUT).expect("transport ok");
+    assert_eq!(metrics.status, 200);
+    for needle in [
+        "serve.stage_ns{stage=\"exec\",tenant=\"default\"}",
+        "serve.stage_ns{stage=\"parse\",tenant=\"default\"}",
+        "serve.request_ns{tenant=\"default\"}",
+        "serve.slo.under{objective_ms=\"250\",tenant=\"default\"}",
+        "exemplars=[",
+    ] {
+        assert!(
+            metrics.body.contains(needle),
+            "/metrics lacks {needle}:\n{}",
+            metrics.body
+        );
+    }
+    server.join();
+}
+
+#[test]
+fn access_log_writes_one_jsonl_line_per_request() {
+    let path = std::env::temp_dir().join(format!(
+        "asap-serve-access-{}-{:x}.jsonl",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let server = start(ServeConfig {
+        access_log: Some(path.clone()),
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    let mut traces = Vec::new();
+    for _ in 0..4 {
+        let reply = post(addr, "/v1/run", &run_body(None), TIMEOUT).expect("transport ok");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        traces.push(reply.trace().expect("trace header").to_string());
+    }
+    let lost = get(addr, "/no/such/route", TIMEOUT).expect("transport ok");
+    assert_eq!(lost.status, 404);
+    traces.push(lost.trace().expect("trace header").to_string());
+    // Joining drains in-flight work, so every completion has flushed
+    // its line before we read the file.
+    server.join();
+
+    let log = std::fs::read_to_string(&path).expect("access log exists");
+    let _ = std::fs::remove_file(&path);
+    let lines: Vec<&str> = log.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 5, "one line per completed request:\n{log}");
+    let logged: Vec<String> = lines
+        .iter()
+        .map(|l| {
+            let v = asap_obs::parse_json(l).expect("access line is json");
+            assert!(v.get("status").and_then(|s| s.as_u64()).is_some());
+            assert!(v.get("stage_ns").is_some());
+            v.get("trace")
+                .and_then(|t| t.as_str())
+                .expect("trace field")
+                .to_string()
+        })
+        .collect();
+    for t in &traces {
+        assert!(logged.contains(t), "trace {t} missing from access log");
+    }
+}
+
+/// `exchange_with_headers` is in the public client API; use it so the
+/// tenant label on the stage histograms is covered end to end.
+#[test]
+fn stage_histograms_are_labeled_per_tenant() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr();
+    let reply = exchange_with_headers(
+        addr,
+        "POST",
+        "/v1/run",
+        &[("X-Asap-Tenant", "obs-tenant")],
+        &run_body(None),
+        TIMEOUT,
+    )
+    .expect("transport ok");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let metrics = get(addr, "/metrics", TIMEOUT).expect("transport ok");
+    assert!(
+        metrics
+            .body
+            .contains("serve.stage_ns{stage=\"exec\",tenant=\"obs-tenant\"}"),
+        "per-tenant stage histogram missing:\n{}",
+        metrics.body
+    );
+    server.join();
+}
